@@ -1,0 +1,190 @@
+// E3 — ablations over the design choices DESIGN.md calls out:
+//   * per-group vs global (paper-literal) influence
+//   * D'-cleaning on/off, under a noisy user selection
+//   * subgroup-discovery extension on/off
+//   * split criterion: gini vs gain-ratio vs both (default matrix)
+//   * ranker weights: with vs without the complexity penalty
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "dbwipes/datagen/synthetic.h"
+
+namespace dbwipes {
+namespace {
+
+using bench::Fmt;
+using bench::RunScenario;
+using bench::Scenario;
+using bench::ScenarioOutcome;
+using bench::TablePrinter;
+
+Scenario SyntheticScenario(std::string dprime_filter = "v > 75") {
+  Scenario s;
+  s.sql = "SELECT g, avg(v) AS a FROM synthetic GROUP BY g";
+  s.select_agg = "a";
+  s.select_lo = 50.8;
+  s.select_hi = 1e18;
+  s.dprime_filter = std::move(dprime_filter);
+  s.metric = TooHigh(50.0);
+  return s;
+}
+
+LabeledDataset MakeData(uint64_t seed = 123) {
+  SyntheticOptions gen;
+  gen.num_rows = 30000;
+  gen.anomaly_selectivity = 0.02;
+  gen.anomaly_clauses = 2;
+  gen.seed = seed;
+  return *GenerateSyntheticDataset(gen);
+}
+
+void AddRow(TablePrinter* table, const std::string& config,
+            const LabeledDataset& data, const Scenario& scenario,
+            const ExplainOptions& options) {
+  ScenarioOutcome out = RunScenario(data, scenario, options);
+  if (!out.ok) {
+    table->AddRow({config, "-", "-", "-", "-", "FAILED: " + out.error});
+    return;
+  }
+  table->AddRow({config, Fmt(out.top1.f1), Fmt(out.best5.f1),
+                 Fmt(out.explanation.predicates.empty()
+                         ? 0.0
+                         : out.explanation.predicates[0].error_improvement),
+                 Fmt(out.total_ms, 0), out.top1_text});
+}
+
+void PrintReport() {
+  std::printf(
+      "=== E3: ablations (synthetic 2-clause anomaly, 30k rows) ===\n\n");
+  LabeledDataset data = MakeData();
+
+  // With a good D' every configuration succeeds; the interesting
+  // regime is the one the user starts in — no examples at all — where
+  // the influence analysis and the enumerator have to carry the search.
+  std::printf("-- no D' supplied (influence-driven search) --\n");
+  TablePrinter table({"config", "top1_f1", "top5_f1", "err_impr", "ms",
+                      "top-1 predicate"});
+  const Scenario no_dprime = SyntheticScenario("");
+
+  AddRow(&table, "default", data, no_dprime, {});
+  {
+    ExplainOptions o;
+    o.per_group_influence = false;
+    AddRow(&table, "global-influence (paper-literal)", data, no_dprime, o);
+  }
+  {
+    ExplainOptions o;
+    o.enumerator.extend_with_subgroups = false;
+    AddRow(&table, "no-subgroup-extension", data, no_dprime, o);
+  }
+  {
+    ExplainOptions o;
+    o.enumerator.include_top_influence_candidate = false;
+    AddRow(&table, "no-top-influence-candidate", data, no_dprime, o);
+  }
+  {
+    ExplainOptions o;
+    o.predicates.strategies.clear();
+    DecisionTreeOptions t;
+    t.criterion = SplitCriterion::kGini;
+    t.max_depth = 4;
+    o.predicates.strategies.push_back(t);
+    AddRow(&table, "gini-only", data, no_dprime, o);
+  }
+  {
+    ExplainOptions o;
+    o.predicates.strategies.clear();
+    DecisionTreeOptions t;
+    t.criterion = SplitCriterion::kGainRatio;
+    t.max_depth = 4;
+    o.predicates.strategies.push_back(t);
+    AddRow(&table, "gain-ratio-only", data, no_dprime, o);
+  }
+  {
+    ExplainOptions o;
+    o.ranker.w_complexity = 0.0;
+    AddRow(&table, "no-complexity-penalty", data, no_dprime, o);
+  }
+  {
+    ExplainOptions o;
+    o.ranker.w_accuracy = 0.0;
+    o.ranker.w_error = 0.9;
+    AddRow(&table, "no-accuracy-term", data, no_dprime, o);
+  }
+  {
+    ExplainOptions o;
+    o.merge_predicates = false;
+    AddRow(&table, "no-predicate-merging", data, no_dprime, o);
+  }
+  {
+    ExplainOptions o;
+    o.predicates.add_bounding_predicates = false;
+    AddRow(&table, "no-bounding-descriptions", data, no_dprime, o);
+  }
+  table.Print();
+
+  std::printf("\n-- good D' supplied (D' = v > 75) --\n");
+  TablePrinter with_dprime({"config", "top1_f1", "top5_f1", "err_impr",
+                            "ms", "top-1 predicate"});
+  AddRow(&with_dprime, "default", data, SyntheticScenario(), {});
+  {
+    ExplainOptions o;
+    o.enumerator.extend_with_subgroups = false;
+    AddRow(&with_dprime, "no-subgroup-extension", data, SyntheticScenario(),
+           o);
+  }
+  with_dprime.Print();
+
+  // D'-cleaning ablation needs a *noisy* D': "v > 55" sweeps in a
+  // sizable share of ordinary tuples next to the anomalous ones.
+  std::printf("\n-- D' cleaning under a sloppy user selection "
+              "(D' = v > 55, ~1 in 5 normal tuples included) --\n");
+  TablePrinter noisy({"config", "top1_f1", "top5_f1", "err_impr", "ms",
+                      "top-1 predicate"});
+  const Scenario sloppy = SyntheticScenario("v > 55");
+  AddRow(&noisy, "clean=kmeans (default)", data, sloppy, {});
+  {
+    ExplainOptions o;
+    o.enumerator.clean_method = CleanMethod::kClassifier;
+    AddRow(&noisy, "clean=classifier", data, sloppy, o);
+  }
+  {
+    ExplainOptions o;
+    o.enumerator.clean_method = CleanMethod::kNone;
+    AddRow(&noisy, "clean=none", data, sloppy, o);
+  }
+  noisy.Print();
+  std::printf("\n");
+}
+
+void BM_AblationDefault(benchmark::State& state) {
+  LabeledDataset data = MakeData();
+  const Scenario scenario = SyntheticScenario();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunScenario(data, scenario));
+  }
+}
+BENCHMARK(BM_AblationDefault)->Unit(benchmark::kMillisecond);
+
+void BM_AblationNoSubgroups(benchmark::State& state) {
+  LabeledDataset data = MakeData();
+  const Scenario scenario = SyntheticScenario();
+  ExplainOptions options;
+  options.enumerator.extend_with_subgroups = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunScenario(data, scenario, options));
+  }
+}
+BENCHMARK(BM_AblationNoSubgroups)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dbwipes
+
+int main(int argc, char** argv) {
+  dbwipes::PrintReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

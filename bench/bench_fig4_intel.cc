@@ -1,0 +1,145 @@
+// F4 — paper Figure 4: the Intel sensor scenario.
+//
+// Query: avg(temp), stddev(temp) per 30-minute window. The user
+// brushes the high-stddev windows, zooms, selects the >100-degree
+// tuples as D', picks "values are too high", and debugs. This binary
+// regenerates the scenario at several scales, reports the recovered
+// predicates against the injected battery-death ground truth, shows
+// the before/after-cleaning series (the figure's two panels), and
+// times the pipeline with google-benchmark.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "dbwipes/datagen/intel_generator.h"
+
+namespace dbwipes {
+namespace {
+
+using bench::Fmt;
+using bench::RunScenario;
+using bench::ScenarioOutcome;
+using bench::Scenario;
+using bench::TablePrinter;
+
+constexpr char kQuery[] =
+    "SELECT window, avg(temp) AS avg_temp, stddev(temp) AS sd_temp "
+    "FROM readings GROUP BY window";
+
+IntelOptions MakeOptions(int64_t days, double interval_minutes) {
+  IntelOptions gen;
+  gen.duration_days = days;
+  gen.reading_interval_minutes = interval_minutes;
+  gen.faults = {{15, (days / 2) * 1440, 720, 122.0},
+                {18, (days / 2 + 1) * 1440, 720, 110.0}};
+  return gen;
+}
+
+Scenario MakeScenario() {
+  Scenario s;
+  s.sql = kQuery;
+  s.select_agg = "sd_temp";
+  s.select_lo = 8.0;
+  s.select_hi = 1e18;
+  s.dprime_filter = "temp > 100";
+  s.metric = TooHigh(2.0);  // indoor stddev should be ~1-2 degrees
+  s.agg_index = 1;
+  return s;
+}
+
+void PrintReport() {
+  std::printf(
+      "=== F4: Intel sensor scenario (paper Figure 4) ===\n"
+      "query: %s\n"
+      "gesture: brush sd_temp >= 8, zoom, D' = tuples with temp > 100,\n"
+      "metric: stddev too high (expected <= 2)\n\n",
+      kQuery);
+
+  TablePrinter table({"days", "interval", "rows", "|F|", "top-1 predicate",
+                      "P", "R", "F1", "err_impr", "ms"});
+  for (const auto& [days, interval] :
+       std::vector<std::pair<int64_t, double>>{{4, 10.0}, {7, 5.0},
+                                               {14, 2.0}}) {
+    IntelOptions gen = MakeOptions(days, interval);
+    LabeledDataset data = *GenerateIntelDataset(gen);
+    ScenarioOutcome out = RunScenario(data, MakeScenario());
+    if (!out.ok) {
+      table.AddRow({std::to_string(days), Fmt(interval, 1),
+                    std::to_string(data.table->num_rows()), "-",
+                    "FAILED: " + out.error, "-", "-", "-", "-", "-"});
+      continue;
+    }
+    table.AddRow({std::to_string(days), Fmt(interval, 1),
+                  std::to_string(data.table->num_rows()),
+                  std::to_string(out.num_suspect_inputs), out.top1_text,
+                  Fmt(out.top1.precision), Fmt(out.top1.recall),
+                  Fmt(out.top1.f1),
+                  Fmt(out.explanation.predicates.empty()
+                          ? 0.0
+                          : out.explanation.predicates[0].error_improvement),
+                  Fmt(out.total_ms, 0)});
+  }
+  table.Print();
+
+  // The figure's two panels: the stddev series before and after
+  // clicking the top predicate (7-day configuration).
+  IntelOptions gen = MakeOptions(7, 5.0);
+  LabeledDataset data = *GenerateIntelDataset(gen);
+  auto db = std::make_shared<Database>();
+  db->RegisterTable(data.table);
+  Session session(db);
+  DBW_CHECK_OK(session.ExecuteSql(kQuery));
+  auto series_stats = [&session]() {
+    double worst = 0.0;
+    size_t above8 = 0;
+    const QueryResult& r = session.result();
+    for (size_t g = 0; g < r.num_groups(); ++g) {
+      const double sd = r.AggValue(g, 1);
+      if (std::isnan(sd)) continue;
+      worst = std::max(worst, sd);
+      if (sd >= 8.0) ++above8;
+    }
+    return std::make_pair(worst, above8);
+  };
+  const auto [worst_before, suspicious_before] = series_stats();
+  DBW_CHECK_OK(session.SelectResultsInRange("sd_temp", 8.0, 1e18));
+  DBW_CHECK_OK(session.SelectInputsWhere("temp > 100"));
+  DBW_CHECK_OK(session.SetMetric(TooHigh(2.0), 1));
+  DBW_CHECK_OK(session.Debug().status());
+  DBW_CHECK_OK(session.ApplyPredicate(0));
+  const auto [worst_after, suspicious_after] = series_stats();
+  std::printf(
+      "\nseries before cleaning: max sd_temp = %.2f, %zu windows >= 8\n"
+      "series after  cleaning: max sd_temp = %.2f, %zu windows >= 8\n"
+      "cleaned query: %s\n\n",
+      worst_before, suspicious_before, worst_after, suspicious_after,
+      session.CurrentSql().c_str());
+}
+
+void BM_Fig4Pipeline(benchmark::State& state) {
+  IntelOptions gen = MakeOptions(state.range(0), 10.0);
+  LabeledDataset data = *GenerateIntelDataset(gen);
+  const Scenario scenario = MakeScenario();
+  double f1 = 0.0;
+  for (auto _ : state) {
+    ScenarioOutcome out = RunScenario(data, scenario);
+    f1 = out.top1.f1;
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["rows"] = static_cast<double>(data.table->num_rows());
+  state.counters["top1_f1"] = f1;
+}
+BENCHMARK(BM_Fig4Pipeline)->Arg(4)->Arg(7)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dbwipes
+
+int main(int argc, char** argv) {
+  dbwipes::PrintReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

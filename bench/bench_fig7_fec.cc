@@ -1,0 +1,134 @@
+// F7 — paper Figure 7 and the §3.2 walkthrough: McCain's daily
+// donation totals show a negative spike near day 500; the journalist
+// selects it, highlights the negative donations, picks "values are too
+// low", and debugs. The expected predicate references the memo value
+// "REATTRIBUTION TO SPOUSE"; clicking it removes the spike.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "dbwipes/datagen/fec_generator.h"
+
+namespace dbwipes {
+namespace {
+
+using bench::Fmt;
+using bench::RunScenario;
+using bench::ScenarioOutcome;
+using bench::Scenario;
+using bench::TablePrinter;
+
+constexpr char kQuery[] =
+    "SELECT day, sum(amount) AS total FROM donations "
+    "WHERE candidate = 'MCCAIN' GROUP BY day";
+
+Scenario MakeScenario() {
+  Scenario s;
+  s.sql = kQuery;
+  s.select_agg = "total";
+  s.select_lo = -1e18;
+  s.select_hi = -1.0;  // the negative-spike days
+  s.dprime_filter = "amount < 0";
+  s.metric = TooLow(0.0);
+  s.agg_index = 0;
+  return s;
+}
+
+void PrintReport() {
+  std::printf(
+      "=== F7: FEC campaign scenario (paper Figure 7, §3.2) ===\n"
+      "query: %s\n"
+      "gesture: brush days with negative totals, zoom, D' = negative\n"
+      "donations, metric: totals too low (expected >= 0)\n\n",
+      kQuery);
+
+  TablePrinter table({"donations", "reattrib", "top-1 predicate", "mentions",
+                      "P", "R", "F1", "err_impr", "ms"});
+  for (const auto& [donations, reattrib] :
+       std::vector<std::pair<size_t, size_t>>{
+           {20000, 150}, {60000, 400}, {200000, 1200}}) {
+    FecOptions gen;
+    gen.num_donations = donations;
+    gen.num_reattributions = reattrib;
+    LabeledDataset data = *GenerateFecDataset(gen);
+    ScenarioOutcome out = RunScenario(data, MakeScenario());
+    if (!out.ok) {
+      table.AddRow({std::to_string(donations), std::to_string(reattrib),
+                    "FAILED: " + out.error, "-", "-", "-", "-", "-", "-"});
+      continue;
+    }
+    const bool mentions_memo =
+        out.top1_text.find("REATTRIBUTION") != std::string::npos;
+    table.AddRow({std::to_string(donations), std::to_string(reattrib),
+                  out.top1_text, mentions_memo ? "memo:yes" : "memo:NO",
+                  Fmt(out.top1.precision), Fmt(out.top1.recall),
+                  Fmt(out.top1.f1),
+                  Fmt(out.explanation.predicates.empty()
+                          ? 0.0
+                          : out.explanation.predicates[0].error_improvement),
+                  Fmt(out.total_ms, 0)});
+  }
+  table.Print();
+
+  // The figure itself: worst daily total before vs after the click.
+  FecOptions gen;
+  LabeledDataset data = *GenerateFecDataset(gen);
+  auto db = std::make_shared<Database>();
+  db->RegisterTable(data.table);
+  Session session(db);
+  DBW_CHECK_OK(session.ExecuteSql(kQuery));
+  auto worst_total = [&session]() {
+    double worst = 0.0;
+    const QueryResult& r = session.result();
+    for (size_t g = 0; g < r.num_groups(); ++g) {
+      const double t = r.AggValue(g, 0);
+      if (!std::isnan(t)) worst = std::min(worst, t);
+    }
+    return worst;
+  };
+  const double before = worst_total();
+  DBW_CHECK_OK(session.SelectResultsInRange("total", -1e18, -1.0));
+  DBW_CHECK_OK(session.SelectInputsWhere("amount < 0"));
+  DBW_CHECK_OK(session.SetMetric(TooLow(0.0)));
+  DBW_CHECK_OK(session.Debug().status());
+  DBW_CHECK_OK(session.ApplyPredicate(0));
+  const double after = worst_total();
+  std::printf(
+      "\nworst daily total before cleaning: %.0f\n"
+      "worst daily total after  cleaning: %.0f\n"
+      "cleaned query: %s\n\n",
+      before, after, session.CurrentSql().c_str());
+}
+
+void BM_Fig7Pipeline(benchmark::State& state) {
+  FecOptions gen;
+  gen.num_donations = static_cast<size_t>(state.range(0));
+  gen.num_reattributions = gen.num_donations / 150;
+  LabeledDataset data = *GenerateFecDataset(gen);
+  const Scenario scenario = MakeScenario();
+  double f1 = 0.0;
+  for (auto _ : state) {
+    ScenarioOutcome out = RunScenario(data, scenario);
+    f1 = out.top1.f1;
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["rows"] = static_cast<double>(data.table->num_rows());
+  state.counters["top1_f1"] = f1;
+}
+BENCHMARK(BM_Fig7Pipeline)
+    ->Arg(20000)
+    ->Arg(60000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dbwipes
+
+int main(int argc, char** argv) {
+  dbwipes::PrintReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Headless DBWipes backend: reads protocol commands from stdin, writes
+// one JSON response per line to stdout — the process a web dashboard
+// (the paper's frontend) would drive. Both demo datasets are
+// preloaded. Try:
+//
+//   printf 'sql SELECT day, sum(amount) AS total FROM donations
+//           WHERE candidate = 'MCCAIN' GROUP BY day\nselect_range
+//           total -1e18 -1\ninputs_where amount < 0\nmetric too_low
+//           0\ndebug\n' | ./dbwipes_server
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "dbwipes/core/service.h"
+#include "dbwipes/datagen/fec_generator.h"
+#include "dbwipes/datagen/intel_generator.h"
+
+using namespace dbwipes;  // NOLINT — example brevity
+
+int main() {
+  auto db = std::make_shared<Database>();
+  {
+    IntelOptions intel;
+    intel.duration_days = 4;
+    intel.reading_interval_minutes = 10.0;
+    db->RegisterTable(GenerateIntelDataset(intel).ValueOrDie().table);
+    db->RegisterTable(GenerateFecDataset().ValueOrDie().table);
+  }
+  Service service(db);
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line == "quit" || line == "exit") break;
+    std::printf("%s\n", service.Execute(line).c_str());
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,145 @@
+#include "dbwipes/common/random.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "dbwipes/common/logging.h"
+
+namespace dbwipes {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// splitmix64: expands one seed word into the xoshiro state.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformInt(uint64_t bound) {
+  DBW_CHECK(bound > 0);
+  // Lemire's nearly-divisionless bounded sampling with rejection.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t threshold = (~bound + 1) % bound;
+    while (l < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  DBW_CHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return lo + static_cast<int64_t>(UniformInt(span));
+}
+
+double Rng::UniformDouble() {
+  // 53 random bits → [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+double Rng::Normal(double mean, double stddev) {
+  if (has_spare_) {
+    has_spare_ = false;
+    return mean + stddev * spare_;
+  }
+  double u, v, s;
+  do {
+    u = UniformDouble(-1.0, 1.0);
+    v = UniformDouble(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * factor;
+  has_spare_ = true;
+  return mean + stddev * u * factor;
+}
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+double Rng::Exponential(double lambda) {
+  DBW_CHECK(lambda > 0.0);
+  double u;
+  do {
+    u = UniformDouble();
+  } while (u <= 0.0);
+  return -std::log(u) / lambda;
+}
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  DBW_CHECK(n > 0);
+  if (s <= 0.0) return UniformInt(n);
+  // Classic rejection sampling against the Zipf envelope.
+  const double b = std::pow(2.0, s - 1.0);
+  double x, t;
+  do {
+    x = std::floor(std::pow(static_cast<double>(n) + 1.0, UniformDouble()));
+    if (x < 1.0) x = 1.0;
+    t = std::pow(1.0 + 1.0 / x, s - 1.0);
+  } while (UniformDouble() * x * (t - 1.0) * b / (b - 1.0) > t);
+  uint64_t k = static_cast<uint64_t>(x);
+  if (k < 1) k = 1;
+  if (k > n) k = n;
+  return k - 1;
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  DBW_CHECK(!weights.empty());
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  DBW_CHECK(total > 0.0) << "weights must have positive sum";
+  double target = UniformDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  DBW_CHECK(k <= n);
+  // Partial Fisher-Yates over an index vector; O(n) memory, O(n + k).
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + UniformInt(n - i);
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace dbwipes

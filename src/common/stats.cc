@@ -1,0 +1,113 @@
+#include "dbwipes/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dbwipes/common/logging.h"
+
+namespace dbwipes {
+
+void OnlineStats::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::Remove(double x) {
+  DBW_CHECK(count_ > 0) << "Remove from empty OnlineStats";
+  if (count_ == 1) {
+    Reset();
+    return;
+  }
+  const size_t n = count_;
+  const double mean_new =
+      (mean_ * static_cast<double>(n) - x) / static_cast<double>(n - 1);
+  m2_ -= (x - mean_) * (x - mean_new);
+  if (m2_ < 0.0) m2_ = 0.0;  // guard against FP drift
+  mean_ = mean_new;
+  count_ = n - 1;
+}
+
+void OnlineStats::Merge(const OnlineStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const double total = static_cast<double>(count_ + other.count_);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) / total;
+  mean_ += delta * static_cast<double>(other.count_) / total;
+  count_ += other.count_;
+}
+
+void OnlineStats::Reset() {
+  count_ = 0;
+  mean_ = 0.0;
+  m2_ = 0.0;
+}
+
+double OnlineStats::variance() const {
+  return count_ == 0 ? 0.0 : m2_ / static_cast<double>(count_);
+}
+
+double OnlineStats::sample_variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+double OnlineStats::sample_stddev() const {
+  return std::sqrt(sample_variance());
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  OnlineStats s;
+  for (double x : xs) s.Add(x);
+  return s.mean();
+}
+
+double Variance(const std::vector<double>& xs) {
+  OnlineStats s;
+  for (double x : xs) s.Add(x);
+  return s.variance();
+}
+
+double Stddev(const std::vector<double>& xs) { return std::sqrt(Variance(xs)); }
+
+double Quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  if (q <= 0.0) return *std::min_element(xs.begin(), xs.end());
+  if (q >= 1.0) return *std::max_element(xs.begin(), xs.end());
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= xs.size()) return xs[lo];
+  return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+double Median(std::vector<double> xs) { return Quantile(std::move(xs), 0.5); }
+
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  DBW_CHECK(xs.size() == ys.size());
+  const size_t n = xs.size();
+  if (n == 0) return 0.0;
+  const double mx = Mean(xs);
+  const double my = Mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace dbwipes

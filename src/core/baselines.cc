@@ -1,0 +1,205 @@
+#include "dbwipes/core/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+#include "dbwipes/core/removal.h"
+
+namespace dbwipes {
+
+TupleSetExplanation NaiveProvenance(const PreprocessResult& preprocess) {
+  return {preprocess.suspect_inputs, "fine-grained provenance (all of F)"};
+}
+
+TupleSetExplanation InfluenceTopK(const PreprocessResult& preprocess,
+                                  size_t k) {
+  TupleSetExplanation out;
+  out.source = "top-" + std::to_string(k) + " by influence";
+  for (const TupleInfluence& ti : preprocess.influences) {
+    if (out.rows.size() >= k) break;
+    if (ti.influence <= 0.0) break;  // no point returning harmless tuples
+    out.rows.push_back(ti.row);
+  }
+  std::sort(out.rows.begin(), out.rows.end());
+  return out;
+}
+
+namespace {
+
+/// Atomic condition with coverage over F (index-aligned bitmaps, same
+/// construction as subgroup discovery but without beam pruning).
+struct Atom {
+  Clause clause;
+  std::vector<char> covered;
+};
+
+std::vector<Atom> BuildAtoms(const FeatureView& view,
+                             const std::vector<RowId>& rows,
+                             const ExhaustiveSearchOptions& options) {
+  std::vector<Atom> atoms;
+  const size_t n = rows.size();
+  for (size_t f = 0; f < view.num_features(); ++f) {
+    const FeatureSpec& spec = view.features()[f];
+    if (spec.categorical) {
+      std::unordered_map<int32_t, size_t> freq;
+      for (RowId r : rows) {
+        if (!view.IsNull(r, f)) ++freq[static_cast<int32_t>(view.Get(r, f))];
+      }
+      std::vector<std::pair<int32_t, size_t>> cats(freq.begin(), freq.end());
+      std::sort(cats.begin(), cats.end(),
+                [](const auto& a, const auto& b) { return a.second > b.second; });
+      if (cats.size() > options.max_categories_per_feature) {
+        cats.resize(options.max_categories_per_feature);
+      }
+      for (const auto& [code, count] : cats) {
+        Atom atom;
+        atom.clause = Clause::Make(spec.name, CompareOp::kEq,
+                                   Value(view.CategoryName(f, code)));
+        atom.covered.assign(n, 0);
+        for (size_t i = 0; i < n; ++i) {
+          if (!view.IsNull(rows[i], f) &&
+              static_cast<int32_t>(view.Get(rows[i], f)) == code) {
+            atom.covered[i] = 1;
+          }
+        }
+        atoms.push_back(std::move(atom));
+      }
+    } else {
+      std::vector<double> values;
+      for (RowId r : rows) {
+        const double v = view.Get(r, f);
+        if (!std::isnan(v)) values.push_back(v);
+      }
+      if (values.size() < 2) continue;
+      std::sort(values.begin(), values.end());
+      values.erase(std::unique(values.begin(), values.end()), values.end());
+      if (values.size() < 2) continue;
+      std::set<double> thresholds;
+      const size_t buckets =
+          std::min(options.max_numeric_thresholds, values.size() - 1);
+      for (size_t b = 1; b <= buckets; ++b) {
+        const double q =
+            static_cast<double>(b) / static_cast<double>(buckets + 1);
+        const size_t idx = std::min(
+            values.size() - 2,
+            static_cast<size_t>(q * static_cast<double>(values.size() - 1)));
+        thresholds.insert(values[idx] + (values[idx + 1] - values[idx]) / 2.0);
+      }
+      for (double t : thresholds) {
+        for (CompareOp op : {CompareOp::kLe, CompareOp::kGt}) {
+          Atom atom;
+          atom.clause = Clause::Make(spec.name, op, Value(t));
+          atom.covered.assign(n, 0);
+          for (size_t i = 0; i < n; ++i) {
+            if (view.IsNull(rows[i], f)) continue;
+            const double v = view.Get(rows[i], f);
+            if (op == CompareOp::kLe ? v <= t : v > t) atom.covered[i] = 1;
+          }
+          atoms.push_back(std::move(atom));
+        }
+      }
+    }
+  }
+  return atoms;
+}
+
+}  // namespace
+
+Result<std::vector<RankedPredicate>> ExhaustivePredicateSearch(
+    const Table& table, const QueryResult& result,
+    const std::vector<size_t>& selected_groups, const ErrorMetric& metric,
+    size_t agg_index, const FeatureView& view,
+    const PreprocessResult& preprocess,
+    const ExhaustiveSearchOptions& options, size_t* num_evaluated) {
+  const std::vector<RowId>& suspects = preprocess.suspect_inputs;
+  if (suspects.empty()) {
+    return Status::InvalidArgument("no suspect inputs to search over");
+  }
+  const std::vector<Atom> atoms = BuildAtoms(view, suspects, options);
+  if (atoms.empty()) {
+    return Status::InvalidArgument("no atomic conditions available");
+  }
+
+  const double baseline = preprocess.baseline_error;
+  size_t evaluated = 0;
+  std::vector<RankedPredicate> ranked;
+
+  // Enumerate conjunctions by DFS over increasing atom indices.
+  struct Frame {
+    std::vector<size_t> atom_ids;
+    std::vector<char> covered;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({{}, std::vector<char>(suspects.size(), 1)});
+
+  auto evaluate = [&](const Frame& frame) -> Status {
+    std::vector<RowId> matched;
+    for (size_t i = 0; i < suspects.size(); ++i) {
+      if (frame.covered[i]) matched.push_back(suspects[i]);
+    }
+    if (matched.size() < options.min_coverage ||
+        matched.size() == suspects.size()) {
+      return Status::OK();
+    }
+    ++evaluated;
+    DBW_ASSIGN_OR_RETURN(
+        double err_after,
+        ErrorAfterRemoval(table, result, selected_groups, metric, agg_index,
+                          matched));
+    RankedPredicate rp;
+    std::vector<Clause> clauses;
+    for (size_t id : frame.atom_ids) clauses.push_back(atoms[id].clause);
+    rp.predicate = Predicate(std::move(clauses)).Simplify();
+    rp.error_after = err_after;
+    rp.matched_in_suspects = matched.size();
+    rp.error_improvement =
+        baseline > 0.0
+            ? std::clamp((baseline - err_after) / baseline, 0.0, 1.0)
+            : 0.0;
+    rp.score = rp.error_improvement;
+    rp.strategy = "exhaustive";
+    ranked.push_back(std::move(rp));
+    return Status::OK();
+  };
+
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    if (!frame.atom_ids.empty()) {
+      DBW_RETURN_NOT_OK(evaluate(frame));
+    }
+    if (frame.atom_ids.size() >= options.max_clauses) continue;
+    const size_t start =
+        frame.atom_ids.empty() ? 0 : frame.atom_ids.back() + 1;
+    for (size_t a = start; a < atoms.size(); ++a) {
+      Frame next;
+      next.atom_ids = frame.atom_ids;
+      next.atom_ids.push_back(a);
+      next.covered.assign(suspects.size(), 0);
+      size_t cov = 0;
+      for (size_t i = 0; i < suspects.size(); ++i) {
+        if (frame.covered[i] && atoms[a].covered[i]) {
+          next.covered[i] = 1;
+          ++cov;
+        }
+      }
+      if (cov < options.min_coverage) continue;  // prune the subtree
+      stack.push_back(std::move(next));
+    }
+  }
+
+  if (num_evaluated != nullptr) *num_evaluated = evaluated;
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const RankedPredicate& a, const RankedPredicate& b) {
+                     if (a.score != b.score) return a.score > b.score;
+                     // Tie-break toward fewer matched tuples (tighter
+                     // description).
+                     return a.matched_in_suspects < b.matched_in_suspects;
+                   });
+  if (ranked.size() > options.top_k) ranked.resize(options.top_k);
+  return ranked;
+}
+
+}  // namespace dbwipes

@@ -1,0 +1,257 @@
+#include "dbwipes/core/dataset_enumerator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "dbwipes/common/stats.h"
+#include "dbwipes/core/removal.h"
+#include "dbwipes/learn/kmeans.h"
+#include "dbwipes/learn/naive_bayes.h"
+
+namespace dbwipes {
+
+namespace {
+
+std::vector<RowId> SortedUnique(std::vector<RowId> rows) {
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  return rows;
+}
+
+std::vector<RowId> UnionOf(const std::vector<RowId>& a,
+                           const std::vector<RowId>& b) {
+  std::vector<RowId> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<RowId>> DatasetEnumerator::CleanDPrime(
+    const Table& /*table*/, const std::vector<RowId>& dprime,
+    const std::vector<RowId>& suspect_inputs,
+    const std::vector<TupleInfluence>& influences,
+    const FeatureView& view) const {
+  std::vector<RowId> sorted = SortedUnique(dprime);
+  if (sorted.size() < 4 || options_.clean_method == CleanMethod::kNone) {
+    // Too few examples to judge consistency; trust the user.
+    return sorted;
+  }
+
+  // Influence lookup for majority-cluster selection.
+  std::unordered_map<RowId, double> influence_of;
+  for (const TupleInfluence& ti : influences) {
+    influence_of[ti.row] = ti.influence;
+  }
+
+  if (options_.clean_method == CleanMethod::kKMeans) {
+    std::vector<std::vector<double>> matrix;
+    std::vector<size_t> numeric_features;
+    view.NumericMatrix(sorted, /*standardize=*/true, &matrix,
+                       &numeric_features);
+    if (numeric_features.empty()) return sorted;
+
+    Rng rng(options_.seed);
+    DBW_ASSIGN_OR_RETURN(KMeansResult clusters,
+                         KMeansAuto(matrix, /*max_k=*/3, &rng));
+    const size_t k =
+        1 + static_cast<size_t>(*std::max_element(
+                clusters.assignment.begin(), clusters.assignment.end()));
+    if (k <= 1) return sorted;  // D' already looks homogeneous
+
+    // Drop only clusters that look like selection mistakes: much lower
+    // mean influence than the best cluster AND small. A heterogeneous
+    // but genuine D' (e.g. two failing motes) keeps all its modes.
+    std::vector<double> mean_influence(k, 0.0);
+    std::vector<size_t> sizes(k, 0);
+    for (size_t i = 0; i < sorted.size(); ++i) {
+      const int c = clusters.assignment[i];
+      ++sizes[c];
+      auto it = influence_of.find(sorted[i]);
+      if (it != influence_of.end()) mean_influence[c] += it->second;
+    }
+    double best_mean = 0.0;
+    for (size_t c = 0; c < k; ++c) {
+      if (sizes[c] > 0) {
+        mean_influence[c] /= static_cast<double>(sizes[c]);
+        best_mean = std::max(best_mean, mean_influence[c]);
+      }
+    }
+    std::vector<bool> keep_cluster(k, true);
+    for (size_t c = 0; c < k; ++c) {
+      const bool low_influence =
+          best_mean > 0.0 && mean_influence[c] < 0.25 * best_mean;
+      const bool small =
+          sizes[c] * 5 < sorted.size();  // under 20% of D'
+      keep_cluster[c] = !(low_influence && small);
+    }
+    std::vector<RowId> kept;
+    for (size_t i = 0; i < sorted.size(); ++i) {
+      if (keep_cluster[clusters.assignment[i]]) kept.push_back(sorted[i]);
+    }
+    // Never throw away the whole selection.
+    return kept.empty() ? sorted : kept;
+  }
+
+  // Classifier-based cleaning: train D' (=1) against the rest of F
+  // (=0) and drop D' members the model finds unlikely to be positive.
+  std::vector<RowId> rows;
+  std::vector<int> labels;
+  std::unordered_set<RowId> in_dprime(sorted.begin(), sorted.end());
+  for (RowId r : suspect_inputs) {
+    rows.push_back(r);
+    labels.push_back(in_dprime.count(r) ? 1 : 0);
+  }
+  const bool has_negative =
+      std::count(labels.begin(), labels.end(), 0) > 0;
+  if (!has_negative) return sorted;
+
+  auto model = NaiveBayes::Fit(view, rows, labels);
+  if (!model.ok()) return sorted;
+  std::vector<RowId> kept;
+  for (RowId r : sorted) {
+    if (model->PredictProba(view, r) >= 0.4) kept.push_back(r);
+  }
+  return kept.empty() ? sorted : kept;
+}
+
+Result<std::vector<CandidateDataset>> DatasetEnumerator::Enumerate(
+    const Table& table, const QueryResult& result,
+    const std::vector<size_t>& selected_groups,
+    const PreprocessResult& preprocess, const std::vector<RowId>& dprime,
+    const FeatureView& view, const ErrorMetric& metric,
+    size_t agg_index) const {
+  const std::vector<RowId>& suspects = preprocess.suspect_inputs;
+  if (suspects.empty()) {
+    return Status::InvalidArgument(
+        "selection has no lineage tuples to explain");
+  }
+
+  // 1. Clean D'.
+  DBW_ASSIGN_OR_RETURN(
+      std::vector<RowId> cleaned,
+      CleanDPrime(table, dprime, suspects, preprocess.influences, view));
+
+  // 2. Positive labels for the extension step: cleaned D' plus the
+  //    top-influence quantile of F.
+  std::unordered_set<RowId> positives(cleaned.begin(), cleaned.end());
+  std::vector<RowId> top_influence;
+  {
+    // Quantile over the *positive* influences: with a max-style metric
+    // only the worst group's tuples can have any influence at all, so
+    // a quantile over all of F would be stuck at zero.
+    std::vector<double> positive_infl;
+    positive_infl.reserve(preprocess.influences.size());
+    for (const TupleInfluence& ti : preprocess.influences) {
+      if (ti.influence > 0.0) positive_infl.push_back(ti.influence);
+    }
+    if (!positive_infl.empty()) {
+      const double cutoff =
+          Quantile(positive_infl, options_.influence_quantile);
+      for (const TupleInfluence& ti : preprocess.influences) {
+        if (ti.influence > 0.0 && ti.influence >= cutoff) {
+          top_influence.push_back(ti.row);
+          positives.insert(ti.row);
+        }
+      }
+    }
+    top_influence = SortedUnique(std::move(top_influence));
+  }
+
+  // Raw candidate row sets before scoring.
+  struct RawCandidate {
+    std::vector<RowId> rows;
+    std::string source;
+  };
+  std::vector<RawCandidate> raw;
+  if (!cleaned.empty()) {
+    raw.push_back({cleaned, "cleaned-dprime"});
+  }
+  if (options_.include_top_influence_candidate && !top_influence.empty()) {
+    raw.push_back({top_influence, "top-influence"});
+  }
+
+  // 3. Extend via subgroup discovery over F.
+  if (options_.extend_with_subgroups && !positives.empty()) {
+    std::vector<int> labels;
+    labels.reserve(suspects.size());
+    size_t num_pos = 0;
+    for (RowId r : suspects) {
+      const int y = positives.count(r) ? 1 : 0;
+      num_pos += y;
+      labels.push_back(y);
+    }
+    if (num_pos > 0 && num_pos < suspects.size()) {
+      auto subgroups = DiscoverSubgroups(view, suspects, labels,
+                                         /*init_weights=*/{},
+                                         options_.subgroup_options);
+      if (subgroups.ok()) {
+        for (const Subgroup& sg : *subgroups) {
+          std::vector<RowId> rows;
+          rows.reserve(sg.covered.size());
+          for (size_t idx : sg.covered) rows.push_back(suspects[idx]);
+          rows = UnionOf(SortedUnique(std::move(rows)), cleaned);
+          raw.push_back({std::move(rows),
+                         "subgroup: " + sg.predicate.ToString()});
+        }
+      }
+    }
+  }
+
+  if (raw.empty()) {
+    return Status::InvalidArgument(
+        "no candidate datasets: D' is empty and no tuple has positive "
+        "influence");
+  }
+
+  // 4. Score by error reduction; epsilon controls the extension
+  //    (candidates that do not reduce the error are dropped).
+  std::vector<CandidateDataset> out;
+  std::unordered_set<std::string> seen_keys;
+  for (RawCandidate& rc : raw) {
+    if (rc.rows.empty()) continue;
+    std::string key;
+    key.reserve(rc.rows.size() * 4);
+    for (RowId r : rc.rows) {
+      key += std::to_string(r);
+      key += ',';
+    }
+    if (!seen_keys.insert(key).second) continue;
+
+    // Score against the per-group mean error (smooth in partial
+    // progress; see PerGroupError).
+    DBW_ASSIGN_OR_RETURN(
+        double err_after,
+        PerGroupErrorAfterRemoval(table, result, selected_groups, metric,
+                                  agg_index, rc.rows));
+    CandidateDataset cd;
+    cd.rows = std::move(rc.rows);
+    cd.source = std::move(rc.source);
+    cd.error_after_removal = err_after;
+    cd.error_reduction = preprocess.per_group_baseline_error - err_after;
+    if (options_.require_error_reduction && cd.error_reduction <= 0.0) {
+      continue;
+    }
+    out.push_back(std::move(cd));
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const CandidateDataset& a, const CandidateDataset& b) {
+              return a.error_reduction > b.error_reduction;
+            });
+  if (out.size() > options_.max_candidates) {
+    out.resize(options_.max_candidates);
+  }
+  if (out.empty()) {
+    return Status::NotFound(
+        "no candidate dataset reduces the error metric; try a different "
+        "metric or selection");
+  }
+  return out;
+}
+
+}  // namespace dbwipes

@@ -1,0 +1,133 @@
+#include "dbwipes/core/dbwipes.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "dbwipes/common/stats.h"
+
+namespace dbwipes {
+
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+std::vector<std::string> DefaultExplainColumns(const Table& table,
+                                               const AggregateQuery& query,
+                                               size_t agg_index) {
+  std::vector<std::string> exclude;
+  if (agg_index < query.aggregates.size() &&
+      query.aggregates[agg_index].argument) {
+    query.aggregates[agg_index].argument->CollectColumns(&exclude);
+  }
+  std::vector<std::string> out;
+  for (const Field& f : table.schema().fields()) {
+    if (std::find(exclude.begin(), exclude.end(), f.name) == exclude.end()) {
+      out.push_back(f.name);
+    }
+  }
+  return out;
+}
+
+Result<Explanation> DBWipes::Explain(const QueryResult& result,
+                                     const ExplanationRequest& request) const {
+  if (!request.metric) {
+    return Status::InvalidArgument("no error metric supplied");
+  }
+  DBW_ASSIGN_OR_RETURN(std::shared_ptr<const Table> table,
+                       db_->GetTable(result.query.table_name));
+
+  std::vector<std::string> columns = request.explain_columns;
+  if (columns.empty()) {
+    columns = DefaultExplainColumns(*table, result.query, request.agg_index);
+  }
+  DBW_ASSIGN_OR_RETURN(FeatureView view, FeatureView::Create(*table, columns));
+
+  Explanation out;
+
+  // Stage 1: Preprocessor.
+  auto t0 = std::chrono::steady_clock::now();
+  DBW_ASSIGN_OR_RETURN(
+      out.preprocess,
+      Preprocessor::Run(*table, result, request.selected_groups,
+                        *request.metric, request.agg_index,
+                        options_.per_group_influence));
+  out.preprocess_ms = MillisSince(t0);
+
+  // Stage 2: Dataset Enumerator.
+  t0 = std::chrono::steady_clock::now();
+  DatasetEnumerator enumerator(options_.enumerator);
+  DBW_ASSIGN_OR_RETURN(
+      out.cleaned_dprime,
+      enumerator.CleanDPrime(*table, request.suspicious_inputs,
+                             out.preprocess.suspect_inputs,
+                             out.preprocess.influences, view));
+  DBW_ASSIGN_OR_RETURN(
+      out.candidates,
+      enumerator.Enumerate(*table, result, request.selected_groups,
+                           out.preprocess, request.suspicious_inputs, view,
+                           *request.metric, request.agg_index));
+  out.enumerate_ms = MillisSince(t0);
+
+  // Stage 3: Predicate Enumerator.
+  t0 = std::chrono::steady_clock::now();
+  PredicateEnumerator predicate_enumerator(options_.predicates);
+  DBW_ASSIGN_OR_RETURN(
+      std::vector<EnumeratedPredicate> enumerated,
+      predicate_enumerator.Enumerate(view, out.preprocess.suspect_inputs,
+                                     out.candidates));
+  out.predicates_ms = MillisSince(t0);
+
+  // Stage 4: Predicate Ranker. When the user supplied no examples,
+  // the positive-influence tuples stand in as the accuracy reference,
+  // so over-broad predicates (which also zero the error, by deleting
+  // half the data) rank below tight ones.
+  t0 = std::chrono::steady_clock::now();
+  std::vector<RowId> reference = out.cleaned_dprime;
+  if (reference.empty()) {
+    std::vector<double> positive;
+    for (const TupleInfluence& ti : out.preprocess.influences) {
+      if (ti.influence > 0.0) positive.push_back(ti.influence);
+    }
+    if (!positive.empty()) {
+      const double cutoff =
+          Quantile(positive, options_.enumerator.influence_quantile);
+      for (const TupleInfluence& ti : out.preprocess.influences) {
+        if (ti.influence > 0.0 && ti.influence >= cutoff) {
+          reference.push_back(ti.row);
+        }
+      }
+    }
+    std::sort(reference.begin(), reference.end());
+  }
+  PredicateRanker ranker(options_.ranker);
+  DBW_ASSIGN_OR_RETURN(
+      out.predicates,
+      ranker.Rank(*table, result, request.selected_groups, *request.metric,
+                  request.agg_index, out.preprocess.suspect_inputs, reference,
+                  out.preprocess.per_group_baseline_error, enumerated));
+  if (options_.merge_predicates) {
+    DBW_ASSIGN_OR_RETURN(
+        out.predicates,
+        MergeAndRerank(*table, result, request.selected_groups,
+                       *request.metric, request.agg_index,
+                       out.preprocess.suspect_inputs, reference,
+                       out.preprocess.per_group_baseline_error,
+                       out.predicates, options_.ranker, options_.merger));
+  }
+  out.rank_ms = MillisSince(t0);
+  return out;
+}
+
+Result<QueryResult> DBWipes::Clean(const QueryResult& result,
+                                   const Predicate& predicate) const {
+  const AggregateQuery cleaned = result.query.WithCleaningPredicate(predicate);
+  return db_->Execute(cleaned);
+}
+
+}  // namespace dbwipes

@@ -1,0 +1,142 @@
+#include "dbwipes/core/error_metric.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dbwipes/common/stats.h"
+#include "dbwipes/common/string_util.h"
+
+namespace dbwipes {
+
+namespace {
+
+class FunctionMetric final : public ErrorMetric {
+ public:
+  FunctionMetric(std::string description,
+                 std::function<double(const std::vector<double>&)> fn)
+      : description_(std::move(description)), fn_(std::move(fn)) {}
+
+  double Error(const std::vector<double>& values) const override {
+    return fn_(values);
+  }
+  std::string Describe() const override { return description_; }
+
+ private:
+  std::string description_;
+  std::function<double(const std::vector<double>&)> fn_;
+};
+
+std::vector<double> DropNaN(const std::vector<double>& values) {
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (double v : values) {
+    if (!std::isnan(v)) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+ErrorMetricPtr TooHigh(double expected) {
+  return Custom(
+      "values are too high (expected <= " + FormatDouble(expected) + ")",
+      [expected](const std::vector<double>& values) {
+        double worst = 0.0;
+        for (double v : DropNaN(values)) worst = std::max(worst, v - expected);
+        return worst;
+      });
+}
+
+ErrorMetricPtr TooLow(double expected) {
+  return Custom(
+      "values are too low (expected >= " + FormatDouble(expected) + ")",
+      [expected](const std::vector<double>& values) {
+        double worst = 0.0;
+        for (double v : DropNaN(values)) worst = std::max(worst, expected - v);
+        return worst;
+      });
+}
+
+ErrorMetricPtr NotEqual(double expected) {
+  return Custom(
+      "values should equal " + FormatDouble(expected),
+      [expected](const std::vector<double>& values) {
+        double worst = 0.0;
+        for (double v : DropNaN(values)) {
+          worst = std::max(worst, std::fabs(v - expected));
+        }
+        return worst;
+      });
+}
+
+ErrorMetricPtr TotalAbove(double expected) {
+  return Custom(
+      "total overshoot above " + FormatDouble(expected),
+      [expected](const std::vector<double>& values) {
+        double total = 0.0;
+        for (double v : DropNaN(values)) total += std::max(0.0, v - expected);
+        return total;
+      });
+}
+
+ErrorMetricPtr TotalBelow(double expected) {
+  return Custom(
+      "total undershoot below " + FormatDouble(expected),
+      [expected](const std::vector<double>& values) {
+        double total = 0.0;
+        for (double v : DropNaN(values)) total += std::max(0.0, expected - v);
+        return total;
+      });
+}
+
+ErrorMetricPtr Custom(
+    std::string description,
+    std::function<double(const std::vector<double>&)> fn) {
+  return std::make_shared<FunctionMetric>(std::move(description),
+                                          std::move(fn));
+}
+
+std::vector<MetricSuggestion> SuggestMetrics(
+    AggKind kind, const std::vector<double>& selected,
+    const std::vector<double>& unselected) {
+  // Default expected value: the typical (median) value of the groups
+  // the user did NOT flag; fall back to the selection itself.
+  std::vector<double> reference = DropNaN(unselected);
+  if (reference.empty()) reference = DropNaN(selected);
+  const double typical = reference.empty() ? 0.0 : Median(reference);
+
+  const std::vector<double> sel = DropNaN(selected);
+  const double sel_mean = sel.empty() ? typical : Mean(sel);
+
+  std::vector<MetricSuggestion> out;
+  // Order the suggestions so the most plausible direction comes first,
+  // the way the dashboard would.
+  const bool looks_high = sel_mean > typical;
+  MetricSuggestion high{"values are too high",
+                        [](double c) { return TooHigh(c); }, typical};
+  MetricSuggestion low{"values are too low",
+                       [](double c) { return TooLow(c); }, typical};
+  MetricSuggestion equal{"values should be equal to",
+                         [](double c) { return NotEqual(c); }, typical};
+  if (looks_high) {
+    out.push_back(high);
+    out.push_back(low);
+  } else {
+    out.push_back(low);
+    out.push_back(high);
+  }
+  out.push_back(equal);
+
+  // Sum-like aggregates accumulate, so cumulative variants make sense.
+  if (kind == AggKind::kSum || kind == AggKind::kCount) {
+    out.push_back(MetricSuggestion{"total overshoot above",
+                                   [](double c) { return TotalAbove(c); },
+                                   typical});
+    out.push_back(MetricSuggestion{"total undershoot below",
+                                   [](double c) { return TotalBelow(c); },
+                                   typical});
+  }
+  return out;
+}
+
+}  // namespace dbwipes

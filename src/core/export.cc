@@ -1,0 +1,264 @@
+#include "dbwipes/core/export.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dbwipes {
+
+namespace {
+
+/// Tiny streaming JSON writer: tracks indentation and comma placement
+/// so callers only emit keys and values.
+class JsonWriter {
+ public:
+  explicit JsonWriter(bool pretty) : pretty_(pretty) {}
+
+  std::string Take() { return std::move(out_); }
+
+  void BeginObject() {
+    Separator();
+    out_ += '{';
+    PushLevel();
+  }
+  void EndObject() {
+    PopLevel();
+    out_ += '}';
+  }
+  void BeginArray() {
+    Separator();
+    out_ += '[';
+    PushLevel();
+  }
+  void EndArray() {
+    PopLevel();
+    out_ += ']';
+  }
+
+  void Key(const std::string& name) {
+    Separator();
+    out_ += '"' + JsonEscape(name) + "\":";
+    if (pretty_) out_ += ' ';
+    just_wrote_key_ = true;
+  }
+
+  void String(const std::string& value) {
+    Separator();
+    out_ += '"' + JsonEscape(value) + '"';
+  }
+  void Number(double value) {
+    Separator();
+    if (std::isnan(value) || std::isinf(value)) {
+      out_ += "null";  // JSON has no NaN/Inf
+      return;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out_ += buf;
+  }
+  void Number(int64_t value) {
+    Separator();
+    out_ += std::to_string(value);
+  }
+  void Number(size_t value) { Number(static_cast<int64_t>(value)); }
+  void Bool(bool value) {
+    Separator();
+    out_ += value ? "true" : "false";
+  }
+  void Null() {
+    Separator();
+    out_ += "null";
+  }
+
+ private:
+  void PushLevel() {
+    ++depth_;
+    needs_comma_.push_back(false);
+  }
+  void PopLevel() {
+    --depth_;
+    needs_comma_.pop_back();
+    Newline();
+  }
+  void Separator() {
+    if (just_wrote_key_) {
+      just_wrote_key_ = false;
+      return;
+    }
+    if (!needs_comma_.empty()) {
+      if (needs_comma_.back()) out_ += ',';
+      needs_comma_.back() = true;
+      Newline();
+    }
+  }
+  void Newline() {
+    if (!pretty_) return;
+    out_ += '\n';
+    out_ += std::string(static_cast<size_t>(depth_) * 2, ' ');
+  }
+
+  bool pretty_;
+  std::string out_;
+  int depth_ = 0;
+  std::vector<bool> needs_comma_;
+  bool just_wrote_key_ = false;
+};
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string ExplanationToJson(const Explanation& explanation, bool pretty) {
+  JsonWriter w(pretty);
+  w.BeginObject();
+
+  w.Key("baseline_error");
+  w.Number(explanation.preprocess.baseline_error);
+  w.Key("per_group_baseline_error");
+  w.Number(explanation.preprocess.per_group_baseline_error);
+  w.Key("num_suspect_inputs");
+  w.Number(explanation.preprocess.suspect_inputs.size());
+  w.Key("num_cleaned_dprime");
+  w.Number(explanation.cleaned_dprime.size());
+
+  w.Key("timings_ms");
+  w.BeginObject();
+  w.Key("preprocess");
+  w.Number(explanation.preprocess_ms);
+  w.Key("enumerate");
+  w.Number(explanation.enumerate_ms);
+  w.Key("predicates");
+  w.Number(explanation.predicates_ms);
+  w.Key("rank");
+  w.Number(explanation.rank_ms);
+  w.Key("total");
+  w.Number(explanation.total_ms());
+  w.EndObject();
+
+  w.Key("candidates");
+  w.BeginArray();
+  for (const CandidateDataset& c : explanation.candidates) {
+    w.BeginObject();
+    w.Key("source");
+    w.String(c.source);
+    w.Key("num_rows");
+    w.Number(c.rows.size());
+    w.Key("error_after_removal");
+    w.Number(c.error_after_removal);
+    w.Key("error_reduction");
+    w.Number(c.error_reduction);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("predicates");
+  w.BeginArray();
+  for (const RankedPredicate& p : explanation.predicates) {
+    w.BeginObject();
+    w.Key("predicate");
+    w.String(p.predicate.ToString());
+    w.Key("num_clauses");
+    w.Number(p.predicate.num_clauses());
+    w.Key("score");
+    w.Number(p.score);
+    w.Key("error_improvement");
+    w.Number(p.error_improvement);
+    w.Key("error_after");
+    w.Number(p.error_after);
+    w.Key("precision");
+    w.Number(p.precision);
+    w.Key("recall");
+    w.Number(p.recall);
+    w.Key("f1");
+    w.Number(p.f1);
+    w.Key("matched_in_suspects");
+    w.Number(p.matched_in_suspects);
+    w.Key("strategy");
+    w.String(p.strategy);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.EndObject();
+  std::string out = w.Take();
+  if (pretty) out += '\n';
+  return out;
+}
+
+std::string QueryResultToJson(const QueryResult& result, bool pretty) {
+  JsonWriter w(pretty);
+  w.BeginObject();
+  w.Key("sql");
+  w.String(result.query.ToSql());
+  w.Key("columns");
+  w.BeginArray();
+  if (result.rows) {
+    for (const Field& f : result.rows->schema().fields()) {
+      w.String(f.name);
+    }
+  }
+  w.EndArray();
+  w.Key("rows");
+  w.BeginArray();
+  if (result.rows) {
+    for (RowId r = 0; r < result.rows->num_rows(); ++r) {
+      w.BeginArray();
+      for (size_t c = 0; c < result.rows->num_columns(); ++c) {
+        const Column& col = result.rows->column(c);
+        if (col.IsNull(r)) {
+          w.Null();
+        } else if (col.type() == DataType::kString) {
+          w.String(col.GetString(r));
+        } else if (col.type() == DataType::kInt64) {
+          w.Number(col.GetInt64(r));
+        } else {
+          w.Number(col.GetDouble(r));
+        }
+      }
+      w.EndArray();
+    }
+  }
+  w.EndArray();
+  w.EndObject();
+  std::string out = w.Take();
+  if (pretty) out += '\n';
+  return out;
+}
+
+}  // namespace dbwipes

@@ -1,0 +1,232 @@
+#include "dbwipes/core/predicate_enumerator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <set>
+#include <unordered_set>
+
+namespace dbwipes {
+
+namespace {
+
+/// Builds the bounding description of a candidate row set: per
+/// attribute, the candidate's value span (numeric min/max or the set
+/// of categories), kept only when selective against a sample of the
+/// whole table, most selective clauses first.
+std::optional<Predicate> BoundingDescription(
+    const FeatureView& view, const std::vector<RowId>& candidate_rows,
+    const PredicateEnumeratorOptions& options) {
+  if (candidate_rows.empty()) return std::nullopt;
+  const Table& table = view.table();
+
+  // Stride sample of the table for selectivity estimation.
+  std::vector<RowId> sample;
+  const size_t target = 2000;
+  const size_t stride = std::max<size_t>(1, table.num_rows() / target);
+  for (RowId r = 0; r < table.num_rows(); r += stride) sample.push_back(r);
+
+  struct Scored {
+    double fraction;  // of the table sample matched
+    std::vector<Clause> clauses;
+  };
+  std::vector<Scored> kept;
+
+  for (size_t f = 0; f < view.num_features(); ++f) {
+    const FeatureSpec& spec = view.features()[f];
+    std::vector<Clause> clauses;
+    if (spec.categorical) {
+      std::set<int32_t> codes;
+      bool has_null = false;
+      for (RowId r : candidate_rows) {
+        if (view.IsNull(r, f)) {
+          has_null = true;
+        } else {
+          codes.insert(static_cast<int32_t>(view.Get(r, f)));
+        }
+      }
+      if (has_null || codes.empty() ||
+          codes.size() > options.bounding_max_categories) {
+        continue;
+      }
+      if (codes.size() == 1) {
+        clauses.push_back(Clause::Make(spec.name, CompareOp::kEq,
+                                       Value(view.CategoryName(f, *codes.begin()))));
+      } else {
+        std::vector<Value> values;
+        for (int32_t code : codes) {
+          values.push_back(Value(view.CategoryName(f, code)));
+        }
+        clauses.push_back(Clause::In(spec.name, std::move(values)));
+      }
+    } else {
+      double lo = 0.0, hi = 0.0;
+      bool found = false;
+      bool has_null = false;
+      for (RowId r : candidate_rows) {
+        const double v = view.Get(r, f);
+        if (std::isnan(v)) {
+          has_null = true;
+          continue;
+        }
+        if (!found) {
+          lo = hi = v;
+          found = true;
+        } else {
+          lo = std::min(lo, v);
+          hi = std::max(hi, v);
+        }
+      }
+      if (!found || has_null) continue;
+      if (lo == hi) {
+        clauses.push_back(Clause::Make(spec.name, CompareOp::kEq, Value(lo)));
+      } else {
+        clauses.push_back(Clause::Make(spec.name, CompareOp::kGe, Value(lo)));
+        clauses.push_back(Clause::Make(spec.name, CompareOp::kLe, Value(hi)));
+      }
+    }
+
+    // Selectivity of this attribute's span against the table sample;
+    // also drop one-sided halves of a range that exclude nothing.
+    std::vector<Clause> selective;
+    for (Clause& c : clauses) {
+      size_t matched = 0;
+      Predicate single({c});
+      auto bound = single.Bind(table);
+      if (!bound.ok()) continue;
+      for (RowId r : sample) {
+        if (bound->Matches(r)) ++matched;
+      }
+      const double fraction =
+          static_cast<double>(matched) /
+          std::max<double>(1.0, static_cast<double>(sample.size()));
+      if (fraction <= options.bounding_max_table_fraction) {
+        selective.push_back(std::move(c));
+      }
+    }
+    if (selective.empty()) continue;
+
+    // Joint fraction for ordering.
+    Predicate joint(selective);
+    auto bound = joint.Bind(table);
+    if (!bound.ok()) continue;
+    size_t matched = 0;
+    for (RowId r : sample) {
+      if (bound->Matches(r)) ++matched;
+    }
+    kept.push_back(
+        {static_cast<double>(matched) /
+             std::max<double>(1.0, static_cast<double>(sample.size())),
+         std::move(selective)});
+  }
+  if (kept.empty()) return std::nullopt;
+  std::sort(kept.begin(), kept.end(), [](const Scored& a, const Scored& b) {
+    return a.fraction < b.fraction;
+  });
+  std::vector<Clause> final_clauses;
+  for (const Scored& s : kept) {
+    if (final_clauses.size() + s.clauses.size() >
+        options.bounding_max_clauses) {
+      break;
+    }
+    final_clauses.insert(final_clauses.end(), s.clauses.begin(),
+                         s.clauses.end());
+  }
+  if (final_clauses.empty()) return std::nullopt;
+  return Predicate(std::move(final_clauses)).Simplify();
+}
+
+}  // namespace
+
+PredicateEnumeratorOptions PredicateEnumeratorOptions::Defaults() {
+  PredicateEnumeratorOptions out;
+  for (SplitCriterion criterion :
+       {SplitCriterion::kGini, SplitCriterion::kGainRatio}) {
+    for (size_t depth : {3u, 4u}) {
+      DecisionTreeOptions t;
+      t.criterion = criterion;
+      t.max_depth = depth;
+      t.min_samples_leaf = 2.0;
+      t.min_impurity_decrease = 1e-4;
+      out.strategies.push_back(t);
+    }
+  }
+  // One aggressively pruned strategy for very compact predicates.
+  DecisionTreeOptions pruned;
+  pruned.criterion = SplitCriterion::kGini;
+  pruned.max_depth = 2;
+  pruned.min_samples_leaf = 4.0;
+  pruned.ccp_alpha = 0.01;
+  out.strategies.push_back(pruned);
+  return out;
+}
+
+Result<std::vector<EnumeratedPredicate>> PredicateEnumerator::Enumerate(
+    const FeatureView& view, const std::vector<RowId>& suspects,
+    const std::vector<CandidateDataset>& candidates) const {
+  if (candidates.empty()) {
+    return Status::InvalidArgument("no candidate datasets");
+  }
+  if (options_.strategies.empty()) {
+    return Status::InvalidArgument("no tree strategies configured");
+  }
+
+  std::vector<EnumeratedPredicate> out;
+  std::unordered_set<std::string> seen;
+
+  for (size_t ci = 0; ci < candidates.size(); ++ci) {
+    const CandidateDataset& cand = candidates[ci];
+
+    if (options_.add_bounding_predicates) {
+      auto bounding = BoundingDescription(view, cand.rows, options_);
+      if (bounding && seen.insert(bounding->CanonicalString()).second) {
+        EnumeratedPredicate ep;
+        ep.predicate = std::move(*bounding);
+        ep.candidate_index = ci;
+        ep.strategy = "bounding";
+        out.push_back(std::move(ep));
+      }
+    }
+
+    // Label F: member of D* -> 1, else 0.
+    std::vector<int> labels;
+    labels.reserve(suspects.size());
+    size_t num_pos = 0;
+    for (RowId r : suspects) {
+      const int y = std::binary_search(cand.rows.begin(), cand.rows.end(), r)
+                        ? 1
+                        : 0;
+      num_pos += y;
+      labels.push_back(y);
+    }
+    if (num_pos == 0 || num_pos == suspects.size()) continue;
+
+    for (const DecisionTreeOptions& strategy : options_.strategies) {
+      auto tree = DecisionTree::Fit(view, suspects, labels, /*weights=*/{},
+                                    strategy);
+      if (!tree.ok()) continue;
+      const std::string strategy_name =
+          std::string(SplitCriterionToString(strategy.criterion)) + "/d" +
+          std::to_string(strategy.max_depth) +
+          (strategy.ccp_alpha > 0.0 ? "/ccp" : "");
+      for (Predicate& p : tree->PositiveLeafPredicates(
+               view, options_.min_precision, options_.min_positive_weight)) {
+        const std::string key = p.CanonicalString();
+        if (!seen.insert(key).second) continue;
+        EnumeratedPredicate ep;
+        ep.predicate = std::move(p);
+        ep.candidate_index = ci;
+        ep.strategy = strategy_name;
+        out.push_back(std::move(ep));
+      }
+    }
+  }
+
+  if (out.empty()) {
+    return Status::NotFound(
+        "no tree produced a predicate separating any candidate dataset");
+  }
+  return out;
+}
+
+}  // namespace dbwipes

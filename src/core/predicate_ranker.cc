@@ -1,0 +1,117 @@
+#include "dbwipes/core/predicate_ranker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace dbwipes {
+
+Result<std::vector<RankedPredicate>> PredicateRanker::Rank(
+    const Table& table, const QueryResult& result,
+    const std::vector<size_t>& selected_groups, const ErrorMetric& metric,
+    size_t agg_index, const std::vector<RowId>& suspects,
+    const std::vector<RowId>& reference_positive, double per_group_baseline,
+    const std::vector<EnumeratedPredicate>& predicates) const {
+  if (predicates.empty()) {
+    return Status::InvalidArgument("no predicates to rank");
+  }
+
+  const bool have_reference = !reference_positive.empty();
+  double w_error = options_.w_error;
+  double w_acc = options_.w_accuracy;
+  if (!have_reference) {
+    // No user examples to agree with: fold the accuracy weight into
+    // error improvement.
+    w_error += w_acc;
+    w_acc = 0.0;
+  }
+
+  std::vector<RankedPredicate> out;
+  std::vector<size_t> matched_hash;
+  out.reserve(predicates.size());
+  for (const EnumeratedPredicate& ep : predicates) {
+    DBW_ASSIGN_OR_RETURN(BoundPredicate bound, ep.predicate.Bind(table));
+
+    // Tuples of F the predicate matches = the tuples cleaning removes
+    // from the selected groups.
+    std::vector<RowId> matched;
+    size_t hash = 0x9E3779B97F4A7C15ULL;
+    for (RowId r : suspects) {
+      if (bound.Matches(r)) {
+        matched.push_back(r);
+        hash ^= std::hash<RowId>{}(r) + 0x9E3779B9u + (hash << 6) +
+                (hash >> 2);
+      }
+    }
+    matched_hash.push_back(hash);
+
+    RankedPredicate rp;
+    rp.predicate = ep.predicate;
+    rp.strategy = ep.strategy;
+    rp.matched_in_suspects = matched.size();
+
+    // Raw metric for display; per-group mean for the improvement term.
+    DBW_ASSIGN_OR_RETURN(
+        rp.error_after,
+        ErrorAfterRemoval(table, result, selected_groups, metric, agg_index,
+                          matched));
+    DBW_ASSIGN_OR_RETURN(
+        const double per_group_after,
+        PerGroupErrorAfterRemoval(table, result, selected_groups, metric,
+                                  agg_index, matched));
+    if (per_group_baseline > 0.0) {
+      rp.error_improvement = std::clamp(
+          (per_group_baseline - per_group_after) / per_group_baseline, 0.0,
+          1.0);
+    }
+
+    if (have_reference) {
+      size_t tp = 0;
+      for (RowId r : matched) {
+        if (std::binary_search(reference_positive.begin(),
+                               reference_positive.end(), r)) {
+          ++tp;
+        }
+      }
+      rp.precision = matched.empty()
+                         ? 0.0
+                         : static_cast<double>(tp) /
+                               static_cast<double>(matched.size());
+      rp.recall = static_cast<double>(tp) /
+                  static_cast<double>(reference_positive.size());
+      rp.f1 = (rp.precision + rp.recall) > 0.0
+                  ? 2.0 * rp.precision * rp.recall /
+                        (rp.precision + rp.recall)
+                  : 0.0;
+    }
+
+    const double complexity =
+        std::min(1.0, static_cast<double>(rp.predicate.num_clauses()) /
+                          static_cast<double>(options_.max_clauses));
+    rp.score = w_error * rp.error_improvement + w_acc * rp.f1 -
+               options_.w_complexity * complexity;
+    out.push_back(std::move(rp));
+  }
+
+  // Order by score, then collapse predicates that remove the same
+  // tuple set: they are interchangeable repairs, so only the best-
+  // scoring (shortest, by the complexity term) description survives.
+  std::vector<size_t> order(out.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return out[a].score > out[b].score;
+  });
+  std::vector<RankedPredicate> deduped;
+  std::unordered_set<size_t> seen_sets;
+  for (size_t i : order) {
+    if (out[i].matched_in_suspects > 0 &&
+        !seen_sets.insert(matched_hash[i]).second) {
+      continue;
+    }
+    deduped.push_back(std::move(out[i]));
+    if (deduped.size() == options_.top_k) break;
+  }
+  return deduped;
+}
+
+}  // namespace dbwipes

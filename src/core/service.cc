@@ -1,0 +1,187 @@
+#include "dbwipes/core/service.h"
+
+#include <sstream>
+
+#include "dbwipes/common/string_util.h"
+#include "dbwipes/core/export.h"
+#include "dbwipes/expr/parser.h"
+
+namespace dbwipes {
+
+namespace {
+
+std::string Error(const std::string& message) {
+  return "{\"ok\": false, \"error\": \"" + JsonEscape(message) + "\"}";
+}
+
+std::string Error(const Status& status) { return Error(status.ToString()); }
+
+std::string Ok() { return "{\"ok\": true}"; }
+
+std::string OkWith(const std::string& key, const std::string& json_value) {
+  return "{\"ok\": true, \"" + key + "\": " + json_value + "}";
+}
+
+/// Builds a metric from its wire name.
+Result<ErrorMetricPtr> MakeMetric(const std::string& kind, double expected) {
+  if (kind == "too_high") return TooHigh(expected);
+  if (kind == "too_low") return TooLow(expected);
+  if (kind == "not_equal") return NotEqual(expected);
+  if (kind == "total_above") return TotalAbove(expected);
+  if (kind == "total_below") return TotalBelow(expected);
+  return Status::InvalidArgument("unknown metric kind '" + kind + "'");
+}
+
+}  // namespace
+
+std::string Service::Execute(const std::string& line) {
+  std::istringstream in(line);
+  std::string cmd;
+  in >> cmd;
+  if (cmd.empty()) return Error("empty command");
+
+  auto rest = [&in]() {
+    std::string tail;
+    std::getline(in, tail);
+    return std::string(Trim(tail));
+  };
+
+  if (cmd == "sql") {
+    const std::string sql = rest();
+    if (sql.empty()) return Error("usage: sql <query>");
+    Status st = session_.ExecuteSql(sql);
+    if (!st.ok()) return Error(st);
+    return OkWith("num_groups",
+                  std::to_string(session_.result().num_groups()));
+  }
+
+  if (cmd == "result") {
+    if (!session_.has_result()) return Error("no query executed");
+    return OkWith("result",
+                  QueryResultToJson(session_.result(), /*pretty=*/false));
+  }
+
+  if (cmd == "select_range") {
+    std::string agg;
+    double lo = 0.0, hi = 0.0;
+    if (!(in >> agg >> lo >> hi)) {
+      return Error("usage: select_range <agg> <lo> <hi>");
+    }
+    Status st = session_.SelectResultsInRange(agg, lo, hi);
+    if (!st.ok()) return Error(st);
+    return OkWith("num_selected",
+                  std::to_string(session_.selected_groups().size()));
+  }
+
+  if (cmd == "select_groups") {
+    std::vector<size_t> groups;
+    size_t g;
+    while (in >> g) groups.push_back(g);
+    if (groups.empty()) return Error("usage: select_groups <i> [j ...]");
+    Status st = session_.SelectResults(groups);
+    if (!st.ok()) return Error(st);
+    return OkWith("num_selected",
+                  std::to_string(session_.selected_groups().size()));
+  }
+
+  if (cmd == "inputs_where") {
+    const std::string filter = rest();
+    if (filter.empty()) return Error("usage: inputs_where <filter>");
+    Status st = session_.SelectInputsWhere(filter);
+    if (!st.ok()) return Error(st);
+    return OkWith("num_inputs",
+                  std::to_string(session_.selected_inputs().size()));
+  }
+
+  if (cmd == "metrics") {
+    size_t agg_index = 0;
+    in >> agg_index;
+    auto suggestions = session_.SuggestErrorMetrics(agg_index);
+    if (!suggestions.ok()) return Error(suggestions.status());
+    std::string arr = "[";
+    for (size_t i = 0; i < suggestions->size(); ++i) {
+      if (i > 0) arr += ", ";
+      arr += "{\"label\": \"" + JsonEscape((*suggestions)[i].label) +
+             "\", \"default_expected\": " +
+             FormatDouble((*suggestions)[i].default_expected, 17) + "}";
+    }
+    arr += "]";
+    return OkWith("metrics", arr);
+  }
+
+  if (cmd == "metric") {
+    std::string kind;
+    double expected = 0.0;
+    if (!(in >> kind >> expected)) {
+      return Error("usage: metric <kind> <expected> [agg_index]");
+    }
+    size_t agg_index = 0;
+    in >> agg_index;
+    auto metric = MakeMetric(kind, expected);
+    if (!metric.ok()) return Error(metric.status());
+    Status st = session_.SetMetric(*metric, agg_index);
+    if (!st.ok()) return Error(st);
+    return Ok();
+  }
+
+  if (cmd == "debug") {
+    auto exp = session_.Debug();
+    if (!exp.ok()) return Error(exp.status());
+    return OkWith("explanation", ExplanationToJson(*exp, /*pretty=*/false));
+  }
+
+  if (cmd == "clean") {
+    size_t index = 0;
+    if (!(in >> index)) return Error("usage: clean <i>");
+    Status st = session_.ApplyPredicate(index);
+    if (!st.ok()) return Error(st);
+    return OkWith("sql", "\"" + JsonEscape(session_.CurrentSql()) + "\"");
+  }
+
+  if (cmd == "clean_where") {
+    const std::string text = rest();
+    if (text.empty()) return Error("usage: clean_where <predicate>");
+    auto pred = ParsePredicate(text);
+    if (!pred.ok()) return Error(pred.status());
+    Status st = session_.ApplyPredicateDirect(*pred);
+    if (!st.ok()) return Error(st);
+    return OkWith("sql", "\"" + JsonEscape(session_.CurrentSql()) + "\"");
+  }
+
+  if (cmd == "undo") {
+    Status st = session_.UndoLastPredicate();
+    if (!st.ok()) return Error(st);
+    return OkWith("sql", "\"" + JsonEscape(session_.CurrentSql()) + "\"");
+  }
+
+  if (cmd == "reset") {
+    Status st = session_.ResetCleaning();
+    if (!st.ok()) return Error(st);
+    return Ok();
+  }
+
+  if (cmd == "state") {
+    std::string out = "{\"ok\": true";
+    out += ", \"has_result\": ";
+    out += session_.has_result() ? "true" : "false";
+    if (session_.has_result()) {
+      out += ", \"sql\": \"" + JsonEscape(session_.CurrentSql()) + "\"";
+      out += ", \"num_groups\": " +
+             std::to_string(session_.result().num_groups());
+    }
+    out += ", \"num_selected_groups\": " +
+           std::to_string(session_.selected_groups().size());
+    out += ", \"num_selected_inputs\": " +
+           std::to_string(session_.selected_inputs().size());
+    out += ", \"num_applied_predicates\": " +
+           std::to_string(session_.applied_predicates().size());
+    out += ", \"has_explanation\": ";
+    out += session_.has_explanation() ? "true" : "false";
+    out += "}";
+    return out;
+  }
+
+  return Error("unknown command '" + cmd + "'");
+}
+
+}  // namespace dbwipes

@@ -1,0 +1,181 @@
+#include "dbwipes/datagen/fec_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dbwipes/common/random.h"
+
+namespace dbwipes {
+
+namespace {
+
+const char* kCandidates[] = {"OBAMA", "MCCAIN", "CLINTON", "ROMNEY", "PAUL"};
+// Rough share of donations per candidate.
+const double kCandidateWeights[] = {0.38, 0.30, 0.18, 0.09, 0.05};
+
+const char* kStates[] = {"CA", "NY", "TX", "FL", "IL", "MA", "WA", "VA",
+                         "PA", "OH", "MI", "NC", "GA", "NJ", "AZ", "CO"};
+
+const char* kCitiesByState[][3] = {
+    {"LOS ANGELES", "SAN FRANCISCO", "SAN DIEGO"},
+    {"NEW YORK", "BUFFALO", "ALBANY"},
+    {"HOUSTON", "AUSTIN", "DALLAS"},
+    {"MIAMI", "ORLANDO", "TAMPA"},
+    {"CHICAGO", "SPRINGFIELD", "PEORIA"},
+    {"BOSTON", "CAMBRIDGE", "WORCESTER"},
+    {"SEATTLE", "SPOKANE", "TACOMA"},
+    {"RICHMOND", "ARLINGTON", "NORFOLK"},
+    {"PHILADELPHIA", "PITTSBURGH", "ALLENTOWN"},
+    {"COLUMBUS", "CLEVELAND", "CINCINNATI"},
+    {"DETROIT", "ANN ARBOR", "LANSING"},
+    {"CHARLOTTE", "RALEIGH", "DURHAM"},
+    {"ATLANTA", "SAVANNAH", "ATHENS"},
+    {"NEWARK", "JERSEY CITY", "TRENTON"},
+    {"PHOENIX", "TUCSON", "MESA"},
+    {"DENVER", "BOULDER", "COLORADO SPRINGS"},
+};
+
+const char* kOccupations[] = {"RETIRED",      "ATTORNEY",   "PHYSICIAN",
+                              "ENGINEER",     "TEACHER",    "HOMEMAKER",
+                              "CONSULTANT",   "PROFESSOR",  "EXECUTIVE",
+                              "CEO",          "SALES",      "NURSE",
+                              "ACCOUNTANT",   "ARCHITECT",  "STUDENT",
+                              "NOT EMPLOYED", "REAL ESTATE", "BANKER"};
+
+const char* kBenignMemos[] = {"", "", "", "", "", "CONTRIBUTION",
+                              "PRIMARY", "GENERAL", "EARMARKED"};
+
+constexpr char kReattributionMemo[] = "REATTRIBUTION TO SPOUSE";
+constexpr char kRefundMemo[] = "REFUND ISSUED";
+
+// Campaign events produce donation-day clusters (Figure 7's spikes).
+struct Event {
+  double day;
+  double spread;
+  double weight;
+};
+
+}  // namespace
+
+Result<LabeledDataset> GenerateFecDataset(const FecOptions& options) {
+  if (options.num_days <= 1) {
+    return Status::InvalidArgument("num_days must be > 1");
+  }
+  if (options.num_donations == 0) {
+    return Status::InvalidArgument("num_donations must be > 0");
+  }
+  bool target_known = false;
+  for (const char* c : kCandidates) {
+    if (options.target_candidate == c) target_known = true;
+  }
+  if (!target_known) {
+    return Status::InvalidArgument("unknown target candidate '" +
+                                   options.target_candidate + "'");
+  }
+
+  Rng rng(options.seed);
+  Schema schema{{"candidate", DataType::kString},
+                {"state", DataType::kString},
+                {"city", DataType::kString},
+                {"occupation", DataType::kString},
+                {"amount", DataType::kDouble},
+                {"day", DataType::kInt64},
+                {"memo", DataType::kString}};
+  auto table = std::make_shared<Table>(schema, "donations");
+
+  const double days = static_cast<double>(options.num_days);
+  const std::vector<Event> events = {
+      {0.15 * days, 8.0, 0.18}, {0.45 * days, 10.0, 0.22},
+      {0.70 * days, 6.0, 0.20}, {0.92 * days, 5.0, 0.25},
+  };
+
+  auto sample_day = [&]() -> int64_t {
+    // Mixture: baseline uniform-with-growth + event gaussians.
+    const double u = rng.UniformDouble();
+    double acc = 0.0;
+    for (const Event& e : events) {
+      acc += e.weight;
+      if (u < acc) {
+        const double d = rng.Normal(e.day, e.spread);
+        return std::clamp<int64_t>(static_cast<int64_t>(d), 0,
+                                   options.num_days - 1);
+      }
+    }
+    // Baseline grows over the campaign (sqrt ramp).
+    const double t = std::sqrt(rng.UniformDouble());
+    return std::clamp<int64_t>(static_cast<int64_t>(t * days), 0,
+                               options.num_days - 1);
+  };
+
+  const std::vector<double> cand_weights(
+      kCandidateWeights,
+      kCandidateWeights + sizeof(kCandidateWeights) / sizeof(double));
+
+  std::vector<Value> row(schema.num_fields());
+  auto append_row = [&](const std::string& candidate, double amount,
+                        int64_t day, const std::string& memo) -> Status {
+    const size_t si = rng.UniformInt(sizeof(kStates) / sizeof(char*));
+    const size_t ci = rng.UniformInt(3);
+    const size_t oi = rng.UniformInt(sizeof(kOccupations) / sizeof(char*));
+    row[0] = Value(candidate);
+    row[1] = Value(std::string(kStates[si]));
+    row[2] = Value(std::string(kCitiesByState[si][ci]));
+    row[3] = Value(std::string(kOccupations[oi]));
+    row[4] = Value(amount);
+    row[5] = Value(day);
+    row[6] = Value(memo);
+    return table->AppendRow(row);
+  };
+
+  // Normal donations.
+  const size_t num_refunds = static_cast<size_t>(
+      options.refund_rate * static_cast<double>(options.num_donations));
+  for (size_t i = 0; i < options.num_donations; ++i) {
+    const size_t cand = rng.WeightedIndex(cand_weights);
+    // Log-normal-ish amounts, capped at the legal individual limit.
+    double amount = std::exp(rng.Normal(4.3, 1.0));
+    amount = std::min(4600.0, std::max(5.0, std::round(amount)));
+    const size_t mi = rng.UniformInt(sizeof(kBenignMemos) / sizeof(char*));
+    DBW_RETURN_NOT_OK(append_row(kCandidates[cand], amount, sample_day(),
+                                 kBenignMemos[mi]));
+  }
+
+  // Benign refunds: small negatives, uniform over time and candidates.
+  for (size_t i = 0; i < num_refunds; ++i) {
+    const size_t cand = rng.WeightedIndex(cand_weights);
+    const double amount =
+        -std::min(4600.0, std::max(5.0, std::round(std::exp(rng.Normal(3.6, 0.8)))));
+    DBW_RETURN_NOT_OK(append_row(kCandidates[cand], amount, sample_day(),
+                                 kRefundMemo));
+  }
+
+  // The anomaly: large negative reattributions for the target
+  // candidate, tightly clustered around reattribution_day.
+  LabeledDataset out;
+  InjectedAnomaly anomaly;
+  anomaly.description = Predicate({Clause::Make(
+      "memo", CompareOp::kContains, Value(std::string(kReattributionMemo)))});
+  anomaly.note = "reattribution-to-spouse burst for " +
+                 options.target_candidate + " around day " +
+                 std::to_string(options.reattribution_day);
+  for (size_t i = 0; i < options.num_reattributions; ++i) {
+    const int64_t day = std::clamp<int64_t>(
+        static_cast<int64_t>(rng.Normal(
+            static_cast<double>(options.reattribution_day),
+            options.reattribution_spread)),
+        0, options.num_days - 1);
+    // Reattributed donations are the big ones (CEOs and executives).
+    const double amount =
+        -std::round(rng.UniformDouble(1000.0, 4600.0));
+    DBW_RETURN_NOT_OK(append_row(options.target_candidate, amount, day,
+                                 kReattributionMemo));
+    anomaly.rows.push_back(static_cast<RowId>(table->num_rows() - 1));
+  }
+  std::sort(anomaly.rows.begin(), anomaly.rows.end());
+
+  out.table = std::move(table);
+  out.anomalies.push_back(std::move(anomaly));
+  return out;
+}
+
+}  // namespace dbwipes

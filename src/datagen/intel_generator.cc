@@ -1,0 +1,140 @@
+#include "dbwipes/datagen/intel_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dbwipes/common/random.h"
+
+namespace dbwipes {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586;
+}  // namespace
+
+Result<LabeledDataset> GenerateIntelDataset(const IntelOptions& options) {
+  if (options.num_sensors == 0) {
+    return Status::InvalidArgument("num_sensors must be > 0");
+  }
+  if (options.duration_days <= 0) {
+    return Status::InvalidArgument("duration_days must be > 0");
+  }
+  if (options.reading_interval_minutes <= 0.0) {
+    return Status::InvalidArgument("reading_interval_minutes must be > 0");
+  }
+  for (const SensorFault& f : options.faults) {
+    if (f.sensor_id < 0 ||
+        static_cast<size_t>(f.sensor_id) >= options.num_sensors) {
+      return Status::InvalidArgument("fault sensor_id out of range");
+    }
+  }
+
+  Rng rng(options.seed);
+  Schema schema{{"sensorid", DataType::kInt64},
+                {"minute", DataType::kInt64},
+                {"window", DataType::kInt64},
+                {"hour", DataType::kInt64},
+                {"temp", DataType::kDouble},
+                {"humidity", DataType::kDouble},
+                {"light", DataType::kDouble},
+                {"voltage", DataType::kDouble}};
+  auto table = std::make_shared<Table>(schema, "readings");
+
+  const int64_t total_minutes = options.duration_days * 1440;
+
+  // Per-sensor personality.
+  std::vector<double> temp_offset(options.num_sensors);
+  std::vector<double> phase(options.num_sensors);
+  std::vector<double> voltage0(options.num_sensors);
+  for (size_t s = 0; s < options.num_sensors; ++s) {
+    temp_offset[s] = rng.Normal(0.0, 0.6);
+    phase[s] = rng.Normal(0.0, 0.05);
+    voltage0[s] = 2.65 + rng.Normal(0.0, 0.03);
+  }
+
+  // Fault lookup.
+  std::vector<const SensorFault*> fault_of(options.num_sensors, nullptr);
+  for (const SensorFault& f : options.faults) {
+    fault_of[f.sensor_id] = &f;
+  }
+
+  LabeledDataset out;
+  out.anomalies.resize(options.faults.size());
+  for (size_t i = 0; i < options.faults.size(); ++i) {
+    const SensorFault& f = options.faults[i];
+    out.anomalies[i].description = Predicate(
+        {Clause::Make("sensorid", CompareOp::kEq, Value(f.sensor_id)),
+         Clause::Make("minute", CompareOp::kGe, Value(f.start_minute))});
+    out.anomalies[i].note =
+        "battery death of mote " + std::to_string(f.sensor_id) +
+        " starting minute " + std::to_string(f.start_minute);
+  }
+
+  std::vector<Value> row(schema.num_fields());
+  for (double m = 0.0; m < static_cast<double>(total_minutes);
+       m += options.reading_interval_minutes) {
+    const int64_t minute = static_cast<int64_t>(m);
+    const int64_t time_of_day = minute % 1440;
+    const double day_frac = static_cast<double>(time_of_day) / 1440.0;
+    for (size_t s = 0; s < options.num_sensors; ++s) {
+      if (rng.Bernoulli(options.drop_rate)) continue;
+
+      // Diurnal base: coolest ~05:00, warmest ~15:00.
+      double temp = 20.0 + temp_offset[s] +
+                    4.0 * std::sin(kTwoPi * (day_frac - 0.3) + phase[s]) +
+                    rng.Normal(0.0, 0.3);
+      double voltage =
+          voltage0[s] -
+          0.15 * static_cast<double>(minute) /
+              static_cast<double>(total_minutes) +
+          rng.Normal(0.0, 0.005);
+
+      const SensorFault* fault = fault_of[s];
+      bool anomalous = false;
+      if (fault != nullptr && minute >= fault->start_minute) {
+        anomalous = true;
+        const double progress = std::min(
+            1.0, static_cast<double>(minute - fault->start_minute) /
+                     static_cast<double>(std::max<int64_t>(1,
+                                                           fault->ramp_minutes)));
+        temp = temp + progress * (fault->plateau_temp - temp) +
+               rng.Normal(0.0, 1.5);
+        voltage = std::max(1.0, voltage - progress * 0.8);
+      }
+
+      const double humidity =
+          std::clamp(45.0 - 0.8 * (temp - 20.0) + rng.Normal(0.0, 1.5), 0.0,
+                     100.0);
+      const bool daylight = day_frac > 0.25 && day_frac < 0.80;
+      const double light =
+          std::max(0.0, (daylight ? 400.0 + 150.0 * std::sin(kTwoPi *
+                                                             (day_frac - 0.25))
+                                  : 2.0) +
+                            rng.Normal(0.0, 20.0));
+
+      row[0] = Value(static_cast<int64_t>(s));
+      row[1] = Value(minute);
+      row[2] = Value(minute / 30);
+      row[3] = Value(minute / 60);
+      row[4] = Value(temp);
+      row[5] = Value(humidity);
+      row[6] = Value(light);
+      row[7] = Value(voltage);
+      DBW_RETURN_NOT_OK(table->AppendRow(row));
+
+      if (anomalous) {
+        // The row just appended.
+        const RowId rid = static_cast<RowId>(table->num_rows() - 1);
+        for (size_t i = 0; i < options.faults.size(); ++i) {
+          if (options.faults[i].sensor_id == static_cast<int64_t>(s)) {
+            out.anomalies[i].rows.push_back(rid);
+          }
+        }
+      }
+    }
+  }
+
+  out.table = std::move(table);
+  return out;
+}
+
+}  // namespace dbwipes

@@ -1,0 +1,17 @@
+#include "dbwipes/datagen/labeled_dataset.h"
+
+#include <algorithm>
+
+namespace dbwipes {
+
+std::vector<RowId> LabeledDataset::AllAnomalousRows() const {
+  std::vector<RowId> out;
+  for (const InjectedAnomaly& a : anomalies) {
+    out.insert(out.end(), a.rows.begin(), a.rows.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace dbwipes

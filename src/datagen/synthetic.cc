@@ -1,0 +1,122 @@
+#include "dbwipes/datagen/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dbwipes/common/random.h"
+
+namespace dbwipes {
+
+namespace {
+// Anomalous rows draw the flagged numeric attribute from
+// [kAnomalyLow, kAnomalyHigh]; decoys stay strictly below.
+constexpr double kAnomalyLow = 2.0;
+constexpr double kAnomalyHigh = 3.0;
+constexpr char kAnomalyCategory[] = "ANOM";
+}  // namespace
+
+Result<LabeledDataset> GenerateSyntheticDataset(
+    const SyntheticOptions& options) {
+  if (options.num_rows == 0) {
+    return Status::InvalidArgument("num_rows must be > 0");
+  }
+  if (options.num_groups == 0) {
+    return Status::InvalidArgument("num_groups must be > 0");
+  }
+  if (options.num_categorical_attrs == 0) {
+    return Status::InvalidArgument(
+        "need at least one categorical attribute to host the anomaly");
+  }
+  if (options.anomaly_clauses == 2 && options.num_numeric_attrs == 0) {
+    return Status::InvalidArgument(
+        "a 2-clause anomaly needs a numeric attribute");
+  }
+  if (options.anomaly_clauses < 1 || options.anomaly_clauses > 2) {
+    return Status::InvalidArgument("anomaly_clauses must be 1 or 2");
+  }
+  if (options.anomaly_selectivity <= 0.0 ||
+      options.anomaly_selectivity >= 1.0) {
+    return Status::InvalidArgument("anomaly_selectivity must be in (0, 1)");
+  }
+
+  Rng rng(options.seed);
+  std::vector<Field> fields;
+  fields.push_back(Field{"g", DataType::kInt64});
+  for (size_t i = 0; i < options.num_numeric_attrs; ++i) {
+    fields.push_back(Field{"a" + std::to_string(i), DataType::kDouble});
+  }
+  for (size_t i = 0; i < options.num_categorical_attrs; ++i) {
+    fields.push_back(Field{"c" + std::to_string(i), DataType::kString});
+  }
+  fields.push_back(Field{"v", DataType::kDouble});
+  auto table = std::make_shared<Table>(Schema(fields), "synthetic");
+
+  LabeledDataset out;
+  InjectedAnomaly anomaly;
+  {
+    std::vector<Clause> clauses;
+    clauses.push_back(Clause::Make("c0", CompareOp::kEq,
+                                   Value(std::string(kAnomalyCategory))));
+    if (options.anomaly_clauses == 2) {
+      clauses.push_back(
+          Clause::Make("a0", CompareOp::kGe, Value(kAnomalyLow)));
+    }
+    anomaly.description = Predicate(std::move(clauses));
+    anomaly.note = "synthetic planted anomaly";
+  }
+
+  // Decoy rate: rows carrying the anomalous category value without
+  // being anomalous (only meaningful for 2-clause anomalies, where the
+  // category alone is not a sufficient description).
+  const double decoy_rate =
+      options.anomaly_clauses == 2 ? options.anomaly_selectivity : 0.0;
+
+  std::vector<Value> row(fields.size());
+  for (size_t r = 0; r < options.num_rows; ++r) {
+    const bool anomalous = rng.Bernoulli(options.anomaly_selectivity);
+    const bool decoy = !anomalous && rng.Bernoulli(decoy_rate);
+
+    row[0] = Value(static_cast<int64_t>(rng.UniformInt(options.num_groups)));
+    size_t col = 1;
+    for (size_t i = 0; i < options.num_numeric_attrs; ++i, ++col) {
+      double a = rng.Normal(0.0, 1.0);
+      if (i == 0) {
+        if (anomalous && options.anomaly_clauses == 2) {
+          a = rng.UniformDouble(kAnomalyLow, kAnomalyHigh);
+        } else if (decoy) {
+          // Decoys carry the anomalous category but sit strictly below
+          // the numeric threshold, so the category alone over-covers
+          // and the numeric clause alone under-covers: the planted
+          // description really needs both clauses.
+          while (a >= kAnomalyLow) a = rng.Normal(0.0, 1.0);
+        }
+      }
+      row[col] = Value(a);
+    }
+    for (size_t i = 0; i < options.num_categorical_attrs; ++i, ++col) {
+      std::string cat;
+      if (i == 0 && (anomalous || decoy)) {
+        cat = kAnomalyCategory;
+      } else {
+        const uint64_t code =
+            rng.Zipf(options.categorical_cardinality, options.categorical_skew);
+        cat = "cat_" + std::to_string(code);
+      }
+      row[col] = Value(std::move(cat));
+    }
+    double v = rng.Normal(50.0, 5.0);
+    if (anomalous) v += options.anomaly_shift;
+    row[col] = Value(v);
+
+    DBW_RETURN_NOT_OK(table->AppendRow(row));
+    if (anomalous) {
+      anomaly.rows.push_back(static_cast<RowId>(table->num_rows() - 1));
+    }
+  }
+
+  out.table = std::move(table);
+  out.anomalies.push_back(std::move(anomaly));
+  return out;
+}
+
+}  // namespace dbwipes

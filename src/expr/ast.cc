@@ -1,0 +1,98 @@
+#include "dbwipes/expr/ast.h"
+
+#include "dbwipes/common/string_util.h"
+
+namespace dbwipes {
+
+const char* AggKindToString(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCount:
+      return "count";
+    case AggKind::kSum:
+      return "sum";
+    case AggKind::kAvg:
+      return "avg";
+    case AggKind::kMin:
+      return "min";
+    case AggKind::kMax:
+      return "max";
+    case AggKind::kStddev:
+      return "stddev";
+    case AggKind::kVar:
+      return "var";
+    case AggKind::kMedian:
+      return "median";
+  }
+  return "?";
+}
+
+Result<AggKind> AggKindFromString(std::string_view name) {
+  const std::string lower = ToLower(name);
+  if (lower == "count") return AggKind::kCount;
+  if (lower == "sum") return AggKind::kSum;
+  if (lower == "avg" || lower == "mean") return AggKind::kAvg;
+  if (lower == "min") return AggKind::kMin;
+  if (lower == "max") return AggKind::kMax;
+  if (lower == "stddev" || lower == "stdev") return AggKind::kStddev;
+  if (lower == "var" || lower == "variance") return AggKind::kVar;
+  if (lower == "median") return AggKind::kMedian;
+  return Status::ParseError("unknown aggregate function: '" +
+                            std::string(name) + "'");
+}
+
+std::string AggSpec::ToString() const {
+  std::string base = std::string(AggKindToString(kind)) + "(" +
+                     (argument ? argument->ToString() : "*") + ")";
+  if (!output_name.empty() && output_name != base) {
+    base += " AS " + output_name;
+  }
+  return base;
+}
+
+std::string AggregateQuery::ToSql() const {
+  std::vector<std::string> items;
+  for (const std::string& g : group_by) items.push_back(g);
+  for (const AggSpec& a : aggregates) items.push_back(a.ToString());
+  std::string sql = "SELECT " + Join(items, ", ") + " FROM " + table_name;
+  if (where && where->kind() != BoolExpr::Kind::kTrue) {
+    sql += " WHERE " + where->ToString();
+  }
+  if (!group_by.empty()) {
+    sql += " GROUP BY " + Join(group_by, ", ");
+  }
+  return sql;
+}
+
+Status AggregateQuery::Validate(const Schema& schema) const {
+  if (aggregates.empty()) {
+    return Status::InvalidArgument("query has no aggregate functions");
+  }
+  for (const AggSpec& a : aggregates) {
+    if (a.argument) {
+      DBW_RETURN_NOT_OK(a.argument->Validate(schema));
+    } else if (a.kind != AggKind::kCount) {
+      return Status::InvalidArgument(std::string(AggKindToString(a.kind)) +
+                                     " requires an argument");
+    }
+  }
+  if (where) DBW_RETURN_NOT_OK(where->Validate(schema));
+  for (const std::string& g : group_by) {
+    DBW_RETURN_NOT_OK(schema.GetIndex(g).status());
+  }
+  return Status::OK();
+}
+
+AggregateQuery AggregateQuery::WithCleaningPredicate(
+    const Predicate& pred) const {
+  AggregateQuery out = *this;
+  if (pred.empty()) return out;
+  BoolExprPtr not_pred = MakeNot(PredicateToBoolExpr(pred));
+  if (!out.where || out.where->kind() == BoolExpr::Kind::kTrue) {
+    out.where = std::move(not_pred);
+  } else {
+    out.where = MakeAnd(out.where, std::move(not_pred));
+  }
+  return out;
+}
+
+}  // namespace dbwipes

@@ -1,0 +1,90 @@
+#include "dbwipes/expr/bool_expr.h"
+
+namespace dbwipes {
+
+Result<bool> ComparisonExpr::Eval(const Table& table, RowId row) const {
+  DBW_ASSIGN_OR_RETURN(size_t idx, table.schema().GetIndex(clause_.attribute));
+  return clause_.Matches(table.column(idx).GetValue(row));
+}
+
+Status ComparisonExpr::Validate(const Schema& schema) const {
+  return schema.GetIndex(clause_.attribute).status();
+}
+
+Result<bool> AndExpr::Eval(const Table& table, RowId row) const {
+  DBW_ASSIGN_OR_RETURN(bool l, left_->Eval(table, row));
+  if (!l) return false;
+  return right_->Eval(table, row);
+}
+
+Status AndExpr::Validate(const Schema& schema) const {
+  DBW_RETURN_NOT_OK(left_->Validate(schema));
+  return right_->Validate(schema);
+}
+
+std::string AndExpr::ToString() const {
+  return "(" + left_->ToString() + " AND " + right_->ToString() + ")";
+}
+
+Result<bool> OrExpr::Eval(const Table& table, RowId row) const {
+  DBW_ASSIGN_OR_RETURN(bool l, left_->Eval(table, row));
+  if (l) return true;
+  return right_->Eval(table, row);
+}
+
+Status OrExpr::Validate(const Schema& schema) const {
+  DBW_RETURN_NOT_OK(left_->Validate(schema));
+  return right_->Validate(schema);
+}
+
+std::string OrExpr::ToString() const {
+  return "(" + left_->ToString() + " OR " + right_->ToString() + ")";
+}
+
+Result<bool> NotExpr::Eval(const Table& table, RowId row) const {
+  DBW_ASSIGN_OR_RETURN(bool v, child_->Eval(table, row));
+  return !v;
+}
+
+Status NotExpr::Validate(const Schema& schema) const {
+  return child_->Validate(schema);
+}
+
+std::string NotExpr::ToString() const {
+  return "NOT " + child_->ToString();
+}
+
+BoolExprPtr MakeTrue() { return std::make_shared<TrueExpr>(); }
+BoolExprPtr MakeComparison(Clause clause) {
+  return std::make_shared<ComparisonExpr>(std::move(clause));
+}
+BoolExprPtr MakeAnd(BoolExprPtr a, BoolExprPtr b) {
+  return std::make_shared<AndExpr>(std::move(a), std::move(b));
+}
+BoolExprPtr MakeOr(BoolExprPtr a, BoolExprPtr b) {
+  return std::make_shared<OrExpr>(std::move(a), std::move(b));
+}
+BoolExprPtr MakeNot(BoolExprPtr a) {
+  return std::make_shared<NotExpr>(std::move(a));
+}
+
+BoolExprPtr PredicateToBoolExpr(const Predicate& pred) {
+  if (pred.empty()) return MakeTrue();
+  BoolExprPtr out;
+  for (const Clause& c : pred.clauses()) {
+    BoolExprPtr leaf = MakeComparison(c);
+    out = out ? MakeAnd(std::move(out), std::move(leaf)) : std::move(leaf);
+  }
+  return out;
+}
+
+Result<std::vector<bool>> EvalFilter(const BoolExpr& expr, const Table& table) {
+  std::vector<bool> out(table.num_rows(), false);
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    DBW_ASSIGN_OR_RETURN(bool v, expr.Eval(table, r));
+    out[r] = v;
+  }
+  return out;
+}
+
+}  // namespace dbwipes

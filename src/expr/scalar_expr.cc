@@ -1,0 +1,110 @@
+#include "dbwipes/expr/scalar_expr.h"
+
+namespace dbwipes {
+
+Result<Value> ColumnRefExpr::Eval(const Table& table, RowId row) const {
+  DBW_ASSIGN_OR_RETURN(size_t idx, table.schema().GetIndex(name_));
+  return table.column(idx).GetValue(row);
+}
+
+Status ColumnRefExpr::Validate(const Schema& schema) const {
+  return schema.GetIndex(name_).status();
+}
+
+Result<Value> BinaryExpr::Eval(const Table& table, RowId row) const {
+  DBW_ASSIGN_OR_RETURN(Value lv, left_->Eval(table, row));
+  DBW_ASSIGN_OR_RETURN(Value rv, right_->Eval(table, row));
+  if (lv.is_null() || rv.is_null()) return Value::Null();
+  DBW_ASSIGN_OR_RETURN(double l, lv.AsDouble());
+  DBW_ASSIGN_OR_RETURN(double r, rv.AsDouble());
+  switch (op_) {
+    case BinaryOp::kAdd:
+      return Value(l + r);
+    case BinaryOp::kSub:
+      return Value(l - r);
+    case BinaryOp::kMul:
+      return Value(l * r);
+    case BinaryOp::kDiv:
+      if (r == 0.0) return Value::Null();  // SQL: division by zero -> NULL
+      return Value(l / r);
+  }
+  return Status::RuntimeError("unknown binary op");
+}
+
+Status BinaryExpr::Validate(const Schema& schema) const {
+  DBW_RETURN_NOT_OK(left_->Validate(schema));
+  DBW_RETURN_NOT_OK(right_->Validate(schema));
+  // Reject string operands when the type is statically known.
+  std::vector<std::string> cols;
+  CollectColumns(&cols);
+  for (const auto& c : cols) {
+    DBW_ASSIGN_OR_RETURN(Field f, schema.GetField(c));
+    if (f.type == DataType::kString) {
+      return Status::TypeError("arithmetic on string column '" + c + "'");
+    }
+  }
+  return Status::OK();
+}
+
+std::string BinaryExpr::ToString() const {
+  const char* op = "?";
+  switch (op_) {
+    case BinaryOp::kAdd:
+      op = "+";
+      break;
+    case BinaryOp::kSub:
+      op = "-";
+      break;
+    case BinaryOp::kMul:
+      op = "*";
+      break;
+    case BinaryOp::kDiv:
+      op = "/";
+      break;
+  }
+  return "(" + left_->ToString() + " " + op + " " + right_->ToString() + ")";
+}
+
+Result<Value> FunctionExpr::Eval(const Table& table, RowId row) const {
+  DBW_ASSIGN_OR_RETURN(Value v, arg_->Eval(table, row));
+  if (v.is_null()) return Value::Null();
+  DBW_ASSIGN_OR_RETURN(double d, v.AsDouble());
+  return Value(fn_(d));
+}
+
+Status FunctionExpr::Validate(const Schema& schema) const {
+  DBW_RETURN_NOT_OK(arg_->Validate(schema));
+  std::vector<std::string> cols;
+  arg_->CollectColumns(&cols);
+  for (const auto& c : cols) {
+    DBW_ASSIGN_OR_RETURN(Field f, schema.GetField(c));
+    if (f.type == DataType::kString) {
+      return Status::TypeError(name_ + "() applied to string column '" + c +
+                               "'");
+    }
+  }
+  return Status::OK();
+}
+
+ScalarExprPtr Lit(Value v) { return std::make_shared<LiteralExpr>(std::move(v)); }
+ScalarExprPtr Col(std::string name) {
+  return std::make_shared<ColumnRefExpr>(std::move(name));
+}
+ScalarExprPtr Add(ScalarExprPtr a, ScalarExprPtr b) {
+  return std::make_shared<BinaryExpr>(ScalarExpr::BinaryOp::kAdd, std::move(a),
+                                      std::move(b));
+}
+ScalarExprPtr Sub(ScalarExprPtr a, ScalarExprPtr b) {
+  return std::make_shared<BinaryExpr>(ScalarExpr::BinaryOp::kSub, std::move(a),
+                                      std::move(b));
+}
+ScalarExprPtr Mul(ScalarExprPtr a, ScalarExprPtr b) {
+  return std::make_shared<BinaryExpr>(ScalarExpr::BinaryOp::kMul, std::move(a),
+                                      std::move(b));
+}
+ScalarExprPtr Div(ScalarExprPtr a, ScalarExprPtr b) {
+  return std::make_shared<BinaryExpr>(ScalarExpr::BinaryOp::kDiv, std::move(a),
+                                      std::move(b));
+}
+
+}  // namespace dbwipes

@@ -1,0 +1,88 @@
+#ifndef DBWIPES_COMMON_LOGGING_H_
+#define DBWIPES_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace dbwipes {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// \brief Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line; emits to stderr on destruction. A kFatal
+/// message aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a disabled log statement with zero evaluation cost.
+class NullLog {
+ public:
+  template <typename T>
+  NullLog& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// glog-style helper: `operator&` binds looser than `<<` but tighter
+/// than `?:`, letting DBW_CHECK swallow a whole streamed expression.
+class Voidify {
+ public:
+  void operator&(LogMessage&) {}
+  void operator&(NullLog&) {}
+};
+
+}  // namespace internal
+}  // namespace dbwipes
+
+#define DBW_LOG(level)                                                     \
+  ::dbwipes::internal::LogMessage(::dbwipes::LogLevel::k##level, __FILE__, \
+                                  __LINE__)
+
+/// Invariant check: always on (tests and production alike); failure is
+/// a bug, so the process aborts with the location and streamed context.
+/// Extra context may be streamed: DBW_CHECK(n > 0) << "n=" << n;
+#define DBW_CHECK(cond)                                            \
+  (cond) ? static_cast<void>(0)                                    \
+         : ::dbwipes::internal::Voidify() &                        \
+               ::dbwipes::internal::LogMessage(                    \
+                   ::dbwipes::LogLevel::kFatal, __FILE__, __LINE__) \
+                   << "Check failed: " #cond " "
+
+#define DBW_CHECK_OK(expr)                                    \
+  do {                                                        \
+    ::dbwipes::Status _st = (expr);                           \
+    DBW_CHECK(_st.ok()) << _st.ToString();                    \
+  } while (false)
+
+#ifndef NDEBUG
+#define DBW_DCHECK(cond) DBW_CHECK(cond)
+#else
+#define DBW_DCHECK(cond)                       \
+  true ? static_cast<void>(0)                  \
+       : ::dbwipes::internal::Voidify() &      \
+             ::dbwipes::internal::NullLog() << 0
+#endif
+
+#endif  // DBWIPES_COMMON_LOGGING_H_

@@ -1,0 +1,79 @@
+#ifndef DBWIPES_COMMON_RESULT_H_
+#define DBWIPES_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "dbwipes/common/logging.h"
+#include "dbwipes/common/status.h"
+
+namespace dbwipes {
+
+/// \brief Holds either a value of type T or the Status explaining why
+/// no value could be produced.
+///
+/// Mirrors arrow::Result. Construct implicitly from a T or from a
+/// non-OK Status. Access with ValueOrDie() in tests/examples (aborts on
+/// error) or via DBW_ASSIGN_OR_RETURN in library code.
+template <typename T>
+class Result {
+ public:
+  /// Wraps a successfully produced value.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Wraps a failure. `status` must not be OK.
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    DBW_CHECK(!this->status().ok()) << "Result constructed from OK status";
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// The failure, or OK when a value is present.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(data_);
+  }
+
+  /// Value access; undefined if !ok(). Use after checking ok(), or via
+  /// the DBW_ASSIGN_OR_RETURN macro.
+  const T& ValueUnsafe() const& { return std::get<T>(data_); }
+  T& ValueUnsafe() & { return std::get<T>(data_); }
+  T&& ValueUnsafe() && { return std::get<T>(std::move(data_)); }
+
+  /// Returns the value or aborts the process with the error message.
+  /// Intended for tests, examples, and benchmarks.
+  const T& ValueOrDie() const& {
+    DBW_CHECK(ok()) << status().ToString();
+    return std::get<T>(data_);
+  }
+  T& ValueOrDie() & {
+    DBW_CHECK(ok()) << status().ToString();
+    return std::get<T>(data_);
+  }
+  T&& ValueOrDie() && {
+    DBW_CHECK(ok()) << status().ToString();
+    return std::get<T>(std::move(data_));
+  }
+
+  /// Returns the value, or `alternative` when this holds an error.
+  T ValueOr(T alternative) const {
+    if (ok()) return std::get<T>(data_);
+    return alternative;
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_COMMON_RESULT_H_

@@ -1,0 +1,55 @@
+#ifndef DBWIPES_COMMON_STATS_H_
+#define DBWIPES_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace dbwipes {
+
+/// \brief Streaming moments accumulator (Welford), mergeable and
+/// removable.
+///
+/// Supports Add, Remove (exact inverse of Add, enabling the leave-one-
+/// out influence analysis to run in O(1) per tuple), and Merge. Keeps
+/// count / mean / M2, from which variance and stddev derive.
+class OnlineStats {
+ public:
+  void Add(double x);
+  /// Removes a previously added value. Undefined if x was never added.
+  void Remove(double x);
+  void Merge(const OnlineStats& other);
+  void Reset();
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+  /// Population variance (divide by n).
+  double variance() const;
+  /// Sample variance (divide by n-1); 0 when count < 2.
+  double sample_variance() const;
+  double stddev() const;
+  double sample_stddev() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Arithmetic mean; 0 for an empty vector.
+double Mean(const std::vector<double>& xs);
+/// Population variance; 0 for fewer than 1 element.
+double Variance(const std::vector<double>& xs);
+double Stddev(const std::vector<double>& xs);
+
+/// Quantile by linear interpolation on the sorted copy; q in [0, 1].
+double Quantile(std::vector<double> xs, double q);
+double Median(std::vector<double> xs);
+
+/// Pearson correlation; 0 when either side is constant.
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_COMMON_STATS_H_

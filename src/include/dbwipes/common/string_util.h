@@ -1,0 +1,45 @@
+#ifndef DBWIPES_COMMON_STRING_UTIL_H_
+#define DBWIPES_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dbwipes/common/result.h"
+
+namespace dbwipes {
+
+/// Splits on every occurrence of `delim`; consecutive delimiters yield
+/// empty fields (CSV semantics), so Split(",a,", ',') -> {"", "a", ""}.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins parts with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// ASCII lower-casing (locale-independent).
+std::string ToLower(std::string_view s);
+/// ASCII upper-casing (locale-independent).
+std::string ToUpper(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Strict integer parse: the whole string must be a base-10 integer.
+Result<int64_t> ParseInt64(std::string_view s);
+/// Strict floating-point parse: the whole string must be a number.
+Result<double> ParseDouble(std::string_view s);
+
+/// Formats a double compactly: integral values without trailing
+/// zeros, otherwise up to `precision` significant digits.
+std::string FormatDouble(double v, int precision = 6);
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_COMMON_STRING_UTIL_H_

@@ -1,0 +1,64 @@
+#ifndef DBWIPES_CORE_BASELINES_H_
+#define DBWIPES_CORE_BASELINES_H_
+
+#include <string>
+#include <vector>
+
+#include "dbwipes/core/predicate_ranker.h"
+#include "dbwipes/core/preprocessor.h"
+#include "dbwipes/learn/feature.h"
+
+namespace dbwipes {
+
+/// \brief Baseline explainers DBWipes is compared against in the
+/// benchmark harness.
+///
+/// The paper motivates DBWipes by the failure modes of these exact
+/// approaches: fine-grained provenance returns everything ("very low
+/// precision"), influence-only rankings return tuples without a
+/// description, and exhaustive predicate search is exponential.
+
+/// Classic fine-grained provenance: the "explanation" is all of F.
+/// Returned as a tuple set (no predicate exists).
+struct TupleSetExplanation {
+  std::vector<RowId> rows;
+  std::string source;
+};
+
+TupleSetExplanation NaiveProvenance(const PreprocessResult& preprocess);
+
+/// Influence-ranked provenance without descriptions: the top-k tuples
+/// by leave-one-out influence.
+TupleSetExplanation InfluenceTopK(const PreprocessResult& preprocess,
+                                  size_t k);
+
+struct ExhaustiveSearchOptions {
+  /// Conjunctions up to this many clauses are enumerated.
+  size_t max_clauses = 2;
+  /// Candidate thresholds per numeric attribute.
+  size_t max_numeric_thresholds = 8;
+  size_t max_categories_per_feature = 32;
+  /// Minimum rows of F a predicate must match.
+  size_t min_coverage = 2;
+  /// Ranked predicates returned.
+  size_t top_k = 10;
+};
+
+/// Exhaustively enumerates conjunctive predicates over the feature
+/// attributes (the same atomic-condition space subgroup discovery
+/// searches heuristically) and scores every one by error improvement.
+/// Exponential in max_clauses — the E2 benchmark demonstrates the
+/// blow-up that motivates DBWipes' staged search.
+///
+/// Also reports how many predicates were evaluated via
+/// `num_evaluated`.
+Result<std::vector<RankedPredicate>> ExhaustivePredicateSearch(
+    const Table& table, const QueryResult& result,
+    const std::vector<size_t>& selected_groups, const ErrorMetric& metric,
+    size_t agg_index, const FeatureView& view,
+    const PreprocessResult& preprocess,
+    const ExhaustiveSearchOptions& options, size_t* num_evaluated = nullptr);
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_CORE_BASELINES_H_

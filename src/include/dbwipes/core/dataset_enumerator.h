@@ -1,0 +1,82 @@
+#ifndef DBWIPES_CORE_DATASET_ENUMERATOR_H_
+#define DBWIPES_CORE_DATASET_ENUMERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "dbwipes/common/random.h"
+#include "dbwipes/core/preprocessor.h"
+#include "dbwipes/learn/feature.h"
+#include "dbwipes/learn/subgroup.h"
+
+namespace dbwipes {
+
+/// \brief One candidate D* — a hypothesized set of error-causing
+/// input tuples (paper §2.1, sub-problem 1).
+struct CandidateDataset {
+  /// Sorted base-table RowIds (subset of F).
+  std::vector<RowId> rows;
+  /// Where the candidate came from ("cleaned-dprime",
+  /// "subgroup: <pred>", "top-influence"), for diagnostics.
+  std::string source;
+  /// eps after removing the candidate (lower is better).
+  double error_after_removal = 0.0;
+  /// baseline - error_after_removal.
+  double error_reduction = 0.0;
+};
+
+/// How the user's noisy example set D' is made self-consistent.
+enum class CleanMethod { kNone, kKMeans, kClassifier };
+
+struct DatasetEnumeratorOptions {
+  CleanMethod clean_method = CleanMethod::kKMeans;
+  /// Extend the cleaned D' with subgroup discovery over F.
+  bool extend_with_subgroups = true;
+  /// Add the top-influence tuple set as its own candidate.
+  bool include_top_influence_candidate = true;
+  /// Tuples whose influence is above this quantile of F's influence
+  /// distribution count as positives for subgroup discovery.
+  double influence_quantile = 0.90;
+  /// Candidates kept (best error reduction first).
+  size_t max_candidates = 6;
+  /// Candidates that do not reduce eps at all are discarded.
+  bool require_error_reduction = true;
+  SubgroupOptions subgroup_options;
+  uint64_t seed = 42;
+};
+
+/// \brief Second backend stage: clean D' into a self-consistent
+/// subset, then extend it into candidate D* datasets guided by the
+/// error metric (paper §2.2.2).
+class DatasetEnumerator {
+ public:
+  explicit DatasetEnumerator(DatasetEnumeratorOptions options = {})
+      : options_(std::move(options)) {}
+
+  /// `view` defines the attributes subgroups may describe; `dprime`
+  /// holds the user's example suspicious inputs (base-table RowIds,
+  /// may be empty — then influence alone drives the search);
+  /// `preprocess` supplies F, the influence ranking, and the baseline
+  /// error; `metric`/`agg_index` evaluate candidates.
+  Result<std::vector<CandidateDataset>> Enumerate(
+      const Table& table, const QueryResult& result,
+      const std::vector<size_t>& selected_groups,
+      const PreprocessResult& preprocess, const std::vector<RowId>& dprime,
+      const FeatureView& view, const ErrorMetric& metric,
+      size_t agg_index = 0) const;
+
+  /// The D'-cleaning step alone (exposed for tests and ablations):
+  /// returns the subset of `dprime` judged self-consistent.
+  Result<std::vector<RowId>> CleanDPrime(
+      const Table& table, const std::vector<RowId>& dprime,
+      const std::vector<RowId>& suspect_inputs,
+      const std::vector<TupleInfluence>& influences,
+      const FeatureView& view) const;
+
+ private:
+  DatasetEnumeratorOptions options_;
+};
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_CORE_DATASET_ENUMERATOR_H_

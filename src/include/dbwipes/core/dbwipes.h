@@ -1,0 +1,105 @@
+#ifndef DBWIPES_CORE_DBWIPES_H_
+#define DBWIPES_CORE_DBWIPES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dbwipes/core/dataset_enumerator.h"
+#include "dbwipes/core/merger.h"
+#include "dbwipes/core/predicate_enumerator.h"
+#include "dbwipes/core/predicate_ranker.h"
+#include "dbwipes/query/database.h"
+
+namespace dbwipes {
+
+/// \brief One ranked-provenance request: everything the frontend
+/// collects before clicking "debug!" (paper Figure 1, top row).
+struct ExplanationRequest {
+  /// S: indices of suspicious result rows.
+  std::vector<size_t> selected_groups;
+  /// D': example suspicious input tuples (base-table RowIds). May be
+  /// empty; the influence ranking then drives the search alone.
+  std::vector<RowId> suspicious_inputs;
+  /// eps.
+  ErrorMetricPtr metric;
+  /// Which aggregate of the query the metric reads (0-based).
+  size_t agg_index = 0;
+  /// Attributes predicates may mention; empty = every table column
+  /// except the aggregate's own input column(s).
+  std::vector<std::string> explain_columns;
+};
+
+struct ExplainOptions {
+  DatasetEnumeratorOptions enumerator;
+  PredicateEnumeratorOptions predicates =
+      PredicateEnumeratorOptions::Defaults();
+  RankerOptions ranker;
+  /// Influence mode (see InfluenceOptions::per_group).
+  bool per_group_influence = true;
+  /// Scorpion-style post-pass: try to merge top predicates into more
+  /// general descriptions and keep merges that score as well.
+  bool merge_predicates = true;
+  MergerOptions merger;
+};
+
+/// \brief Full output of the backend pipeline.
+struct Explanation {
+  /// Ranked predicates, best first (Figure 6's list).
+  std::vector<RankedPredicate> predicates;
+  /// Stage artifacts for inspection/ablation.
+  PreprocessResult preprocess;
+  std::vector<CandidateDataset> candidates;
+  std::vector<RowId> cleaned_dprime;
+  /// Wall-clock milliseconds per backend stage.
+  double preprocess_ms = 0.0;
+  double enumerate_ms = 0.0;
+  double predicates_ms = 0.0;
+  double rank_ms = 0.0;
+
+  double total_ms() const {
+    return preprocess_ms + enumerate_ms + predicates_ms + rank_ms;
+  }
+};
+
+/// \brief The DBWipes backend facade: run aggregate queries, explain
+/// suspicious results as ranked predicates, clean by re-querying with
+/// a predicate's complement.
+class DBWipes {
+ public:
+  explicit DBWipes(std::shared_ptr<Database> db, ExplainOptions options = {})
+      : db_(std::move(db)), options_(std::move(options)) {}
+
+  const Database& database() const { return *db_; }
+
+  /// Parses and executes SQL with lineage capture.
+  Result<QueryResult> Query(const std::string& sql) const {
+    return db_->ExecuteSql(sql);
+  }
+
+  /// Runs the four backend stages (Preprocessor, Dataset Enumerator,
+  /// Predicate Enumerator, Predicate Ranker) on a query result.
+  Result<Explanation> Explain(const QueryResult& result,
+                              const ExplanationRequest& request) const;
+
+  /// The cleaning interaction: re-executes `result.query` with
+  /// `AND NOT predicate` appended to its filter.
+  Result<QueryResult> Clean(const QueryResult& result,
+                            const Predicate& predicate) const;
+
+ private:
+  std::shared_ptr<Database> db_;
+  ExplainOptions options_;
+};
+
+/// Default explanation attributes for a query: every table column
+/// except the columns the scored aggregate reads (predicates over the
+/// measure itself are usually the user's intent only when they list
+/// the column explicitly).
+std::vector<std::string> DefaultExplainColumns(const Table& table,
+                                               const AggregateQuery& query,
+                                               size_t agg_index);
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_CORE_DBWIPES_H_

@@ -1,0 +1,83 @@
+#ifndef DBWIPES_CORE_ERROR_METRIC_H_
+#define DBWIPES_CORE_ERROR_METRIC_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dbwipes/expr/ast.h"
+#include "dbwipes/provenance/influence.h"
+
+namespace dbwipes {
+
+/// \brief User-selected error metric eps(S) (paper §2.1): maps the
+/// aggregate values of the suspicious result groups S to a value >= 0,
+/// where 0 means "no error".
+///
+/// NaN entries (NULL aggregates) contribute no error.
+class ErrorMetric {
+ public:
+  virtual ~ErrorMetric() = default;
+
+  /// values[i] = aggregate value of the i'th selected group.
+  virtual double Error(const std::vector<double>& values) const = 0;
+
+  /// Human-readable, e.g. "values too high (expected <= 70)".
+  virtual std::string Describe() const = 0;
+
+  /// Adapter to the provenance module's functional interface.
+  ErrorFn AsErrorFn() const {
+    return [this](const std::vector<double>& v) { return Error(v); };
+  }
+};
+
+using ErrorMetricPtr = std::shared_ptr<const ErrorMetric>;
+
+/// The paper's `diff`: max(0, max_i(v_i - c)) — "values are too high;
+/// they should be at most c".
+ErrorMetricPtr TooHigh(double expected);
+
+/// max(0, max_i(c - v_i)) — "values are too low".
+ErrorMetricPtr TooLow(double expected);
+
+/// max_i |v_i - c| — "values should equal c".
+ErrorMetricPtr NotEqual(double expected);
+
+/// sum_i max(0, v_i - c) — cumulative overshoot; smoother than TooHigh
+/// for multi-group selections.
+ErrorMetricPtr TotalAbove(double expected);
+
+/// sum_i max(0, c - v_i) — cumulative undershoot.
+ErrorMetricPtr TotalBelow(double expected);
+
+/// Wraps an arbitrary user lambda (limitation 1 of prior systems: the
+/// user's notion of error rarely matches a fixed criterion).
+ErrorMetricPtr Custom(std::string description,
+                      std::function<double(const std::vector<double>&)> fn);
+
+/// \brief A metric choice the dashboard offers (Figure 5's dynamically
+/// generated error forms).
+struct MetricSuggestion {
+  std::string label;           // e.g. "values are too high"
+  /// Instantiates the metric once the user supplies the expected value
+  /// (the forms' single free parameter).
+  std::function<ErrorMetricPtr(double expected)> make;
+  /// Sensible default for the expected value, derived from the
+  /// unselected groups.
+  double default_expected = 0.0;
+};
+
+/// Suggests metrics for a selection over an aggregate of kind `kind`,
+/// mirroring how the frontend "dynamically offers the user a choice of
+/// predefined metric functions depending on the query results that are
+/// highlighted". `selected` / `unselected` are the aggregate values in
+/// and out of the selection (used to pick defaults, e.g. the median of
+/// the unselected groups).
+std::vector<MetricSuggestion> SuggestMetrics(
+    AggKind kind, const std::vector<double>& selected,
+    const std::vector<double>& unselected);
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_CORE_ERROR_METRIC_H_

@@ -1,0 +1,39 @@
+#ifndef DBWIPES_CORE_EVALUATION_H_
+#define DBWIPES_CORE_EVALUATION_H_
+
+#include <vector>
+
+#include "dbwipes/expr/predicate.h"
+#include "dbwipes/storage/table.h"
+
+namespace dbwipes {
+
+/// \brief Agreement between a produced explanation and the ground
+/// truth rows a data generator injected.
+///
+/// The demo paper offers no quantitative evaluation; these scores are
+/// what our added E1/E3 benchmarks report.
+struct ExplanationQuality {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  double jaccard = 0.0;
+  size_t predicted = 0;
+  size_t truth = 0;
+  size_t intersection = 0;
+};
+
+/// Scores a tuple-set explanation against ground-truth rows (both
+/// sorted ascending).
+ExplanationQuality ScoreTupleSet(const std::vector<RowId>& predicted_sorted,
+                                 const std::vector<RowId>& truth_sorted);
+
+/// Scores a predicate by the rows it matches in `table` against
+/// ground-truth rows (sorted).
+Result<ExplanationQuality> ScorePredicate(
+    const Table& table, const Predicate& predicate,
+    const std::vector<RowId>& truth_sorted);
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_CORE_EVALUATION_H_

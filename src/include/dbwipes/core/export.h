@@ -1,0 +1,28 @@
+#ifndef DBWIPES_CORE_EXPORT_H_
+#define DBWIPES_CORE_EXPORT_H_
+
+#include <string>
+
+#include "dbwipes/core/dbwipes.h"
+
+namespace dbwipes {
+
+/// Serializes an Explanation as JSON — the payload the paper's web
+/// frontend receives from the backend ("sends a ranked list of
+/// predicates for the frontend to display"). Includes the ranked
+/// predicates with their scores, the stage timings, the baseline
+/// error, and per-candidate provenance. Strings are escaped per RFC
+/// 8259; numbers use enough digits to round-trip.
+std::string ExplanationToJson(const Explanation& explanation,
+                              bool pretty = true);
+
+/// Serializes a query result (group keys + aggregate values) as JSON
+/// for the visualization component.
+std::string QueryResultToJson(const QueryResult& result, bool pretty = true);
+
+/// JSON string escaping helper (exposed for tests).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_CORE_EXPORT_H_

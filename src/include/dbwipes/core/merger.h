@@ -1,0 +1,46 @@
+#ifndef DBWIPES_CORE_MERGER_H_
+#define DBWIPES_CORE_MERGER_H_
+
+#include <optional>
+#include <vector>
+
+#include "dbwipes/core/predicate_ranker.h"
+
+namespace dbwipes {
+
+/// Options for the predicate-merging stage.
+struct MergerOptions {
+  /// Top predicates considered for pairwise merging.
+  size_t max_inputs = 8;
+  /// Merged predicates are kept only when their score is at least
+  /// max(parents' scores) - tolerance.
+  double score_tolerance = 0.02;
+};
+
+/// Attempts to generalize two conjunctive predicates into one:
+/// both must constrain the same attribute set; numeric ranges widen to
+/// the union's hull, equality/IN sets union, and any other clause kind
+/// (!=, CONTAINS) must be identical on both sides. Returns nullopt
+/// when the predicates are not mergeable.
+///
+/// This is the MERGER idea from Scorpion (the successor system this
+/// demo paper previews): tree leaves fragment a single anomalous
+/// region into slivers ("a0 in (2.0, 2.1]", "a0 in (2.1, 2.4]"), and
+/// merging reassembles the human-sized description.
+std::optional<Predicate> MergePredicates(const Predicate& a,
+                                         const Predicate& b);
+
+/// Post-ranking pass: tries all pairs among the top ranked predicates,
+/// scores every successful merge with the same ranker, and returns the
+/// re-ranked union of originals and worthwhile merges.
+Result<std::vector<RankedPredicate>> MergeAndRerank(
+    const Table& table, const QueryResult& result,
+    const std::vector<size_t>& selected_groups, const ErrorMetric& metric,
+    size_t agg_index, const std::vector<RowId>& suspects,
+    const std::vector<RowId>& reference_positive, double per_group_baseline,
+    const std::vector<RankedPredicate>& ranked,
+    const RankerOptions& ranker_options, const MergerOptions& options = {});
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_CORE_MERGER_H_

@@ -1,0 +1,77 @@
+#ifndef DBWIPES_CORE_PREDICATE_ENUMERATOR_H_
+#define DBWIPES_CORE_PREDICATE_ENUMERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "dbwipes/core/dataset_enumerator.h"
+#include "dbwipes/learn/decision_tree.h"
+
+namespace dbwipes {
+
+/// \brief A predicate together with the tree strategy and candidate
+/// dataset that produced it.
+struct EnumeratedPredicate {
+  Predicate predicate;
+  /// Index into the candidate-dataset list this predicate describes.
+  size_t candidate_index = 0;
+  /// e.g. "gini/d3" — which splitting/pruning strategy built the tree.
+  std::string strategy;
+};
+
+struct PredicateEnumeratorOptions {
+  /// The strategy matrix: one decision tree is fitted per (candidate
+  /// dataset x strategy). Defaults to gini and gain-ratio at depths 3
+  /// and 4 with light pruning — the paper's "m standard splitting and
+  /// pruning strategies".
+  std::vector<DecisionTreeOptions> strategies;
+  /// Positive leaves below this precision are not turned into
+  /// predicates.
+  double min_precision = 0.5;
+  /// Positive leaves must carry at least this many positive examples.
+  double min_positive_weight = 2.0;
+
+  /// Also emit, per candidate, a "bounding description": the
+  /// conjunction of each attribute's value span over the candidate
+  /// rows, keeping only attributes whose span is selective against the
+  /// whole table. Trees need negative examples inside F; when a
+  /// selection's lineage is (almost) entirely anomalous — e.g. groups
+  /// are per-sensor and a whole sensor is broken — the bounding
+  /// description is what produces the paper's
+  /// "sensorid = 15 AND time in [...]"-shaped answers.
+  bool add_bounding_predicates = true;
+  /// Bounding clauses are dropped when they match more than this
+  /// fraction of a table sample (not selective enough to matter).
+  double bounding_max_table_fraction = 0.9;
+  /// Bounding descriptions use at most this many clauses.
+  size_t bounding_max_clauses = 4;
+  /// Categorical attributes enter a bounding description only when the
+  /// candidate uses at most this many distinct values.
+  size_t bounding_max_categories = 8;
+
+  static PredicateEnumeratorOptions Defaults();
+};
+
+/// \brief Third backend stage: for each candidate D*, label it
+/// positive against F - D* and fit decision trees under several
+/// strategies; root-to-positive-leaf paths become candidate predicates
+/// (paper §2.2.2).
+class PredicateEnumerator {
+ public:
+  explicit PredicateEnumerator(PredicateEnumeratorOptions options =
+                                   PredicateEnumeratorOptions::Defaults())
+      : options_(std::move(options)) {}
+
+  /// `suspects` is F; `candidates` the Dataset Enumerator's output.
+  /// Returned predicates are deduplicated semantically.
+  Result<std::vector<EnumeratedPredicate>> Enumerate(
+      const FeatureView& view, const std::vector<RowId>& suspects,
+      const std::vector<CandidateDataset>& candidates) const;
+
+ private:
+  PredicateEnumeratorOptions options_;
+};
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_CORE_PREDICATE_ENUMERATOR_H_

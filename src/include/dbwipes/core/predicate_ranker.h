@@ -1,0 +1,73 @@
+#ifndef DBWIPES_CORE_PREDICATE_RANKER_H_
+#define DBWIPES_CORE_PREDICATE_RANKER_H_
+
+#include <string>
+#include <vector>
+
+#include "dbwipes/core/predicate_enumerator.h"
+#include "dbwipes/core/removal.h"
+
+namespace dbwipes {
+
+/// \brief A scored predicate, ready for the dashboard's ranked list
+/// (Figure 6).
+struct RankedPredicate {
+  Predicate predicate;
+  /// Combined score (higher is better).
+  double score = 0.0;
+  /// Relative reduction of the per-group mean error when tuples
+  /// matching the predicate are removed, clamped to [0, 1]. (The
+  /// per-group mean is used rather than the raw metric so that a
+  /// max-style eps still rewards partial repairs; see PerGroupError.)
+  double error_improvement = 0.0;
+  /// Agreement with the user's (cleaned) example tuples within F.
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  /// Tuples of F the predicate matches.
+  size_t matched_in_suspects = 0;
+  /// eps after cleaning with this predicate.
+  double error_after = 0.0;
+  /// Strategy that produced the predicate (diagnostics).
+  std::string strategy;
+};
+
+struct RankerOptions {
+  /// score = w_error * error_improvement + w_accuracy * F1
+  ///         - w_complexity * clauses/max_clauses.
+  double w_error = 0.6;
+  double w_accuracy = 0.3;
+  double w_complexity = 0.1;
+  /// Clause count treated as "maximally complex".
+  size_t max_clauses = 5;
+  /// Ranked predicates returned.
+  size_t top_k = 10;
+};
+
+/// \brief Final backend stage: score each enumerated predicate by
+/// error-metric improvement, accuracy at matching the user's examples,
+/// and description complexity (paper §2.1, sub-problem 3).
+class PredicateRanker {
+ public:
+  explicit PredicateRanker(RankerOptions options = {})
+      : options_(options) {}
+
+  /// `reference_positive` is the cleaned D' (accuracy ground truth
+  /// within F); may be empty, in which case accuracy weight shifts to
+  /// error improvement. `per_group_baseline` is
+  /// PreprocessResult::per_group_baseline_error.
+  Result<std::vector<RankedPredicate>> Rank(
+      const Table& table, const QueryResult& result,
+      const std::vector<size_t>& selected_groups, const ErrorMetric& metric,
+      size_t agg_index, const std::vector<RowId>& suspects,
+      const std::vector<RowId>& reference_positive,
+      double per_group_baseline,
+      const std::vector<EnumeratedPredicate>& predicates) const;
+
+ private:
+  RankerOptions options_;
+};
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_CORE_PREDICATE_RANKER_H_

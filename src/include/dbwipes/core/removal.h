@@ -1,0 +1,50 @@
+#ifndef DBWIPES_CORE_REMOVAL_H_
+#define DBWIPES_CORE_REMOVAL_H_
+
+#include <vector>
+
+#include "dbwipes/core/error_metric.h"
+#include "dbwipes/query/executor.h"
+
+namespace dbwipes {
+
+/// Recomputes eps(O(D - removed)) over the selected groups: for each
+/// group in `selected_groups` the aggregate is rebuilt from its
+/// lineage minus the rows in `removed_sorted` (sorted base-table
+/// RowIds), and the metric is applied to the resulting values.
+///
+/// This is the objective every DBWipes stage optimizes — candidate
+/// datasets and predicates are scored by how far they push it toward 0.
+Result<double> ErrorAfterRemoval(const Table& table, const QueryResult& result,
+                                 const std::vector<size_t>& selected_groups,
+                                 const ErrorMetric& metric, size_t agg_index,
+                                 const std::vector<RowId>& removed_sorted);
+
+/// Aggregate values of the selected groups after removal (NaN = the
+/// group lost all its inputs / has no defined value).
+Result<std::vector<double>> ValuesAfterRemoval(
+    const Table& table, const QueryResult& result,
+    const std::vector<size_t>& selected_groups, size_t agg_index,
+    const std::vector<RowId>& removed_sorted);
+
+/// Mean of the metric applied to each selected group's value alone:
+/// (1/|S|) * sum_g eps({v_g}).
+///
+/// A smoother internal objective than eps itself: under the paper's
+/// max-style `diff` metric, a removal that fixes 99 of 100 suspicious
+/// groups scores zero raw improvement (the max is unchanged until the
+/// last group is fixed), which would starve the search of gradient.
+/// The per-group mean is monotone in partial progress while agreeing
+/// with eps on "0 = error-free".
+double PerGroupError(const ErrorMetric& metric,
+                     const std::vector<double>& values);
+
+/// Per-group mean error after removing `removed_sorted`.
+Result<double> PerGroupErrorAfterRemoval(
+    const Table& table, const QueryResult& result,
+    const std::vector<size_t>& selected_groups, const ErrorMetric& metric,
+    size_t agg_index, const std::vector<RowId>& removed_sorted);
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_CORE_REMOVAL_H_

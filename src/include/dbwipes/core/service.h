@@ -1,0 +1,57 @@
+#ifndef DBWIPES_CORE_SERVICE_H_
+#define DBWIPES_CORE_SERVICE_H_
+
+#include <memory>
+#include <string>
+
+#include "dbwipes/core/session.h"
+
+namespace dbwipes {
+
+/// \brief Machine-facing façade over a Session: a line-oriented
+/// command protocol with JSON responses.
+///
+/// This is the seam where the paper's web frontend attaches — every
+/// dashboard gesture maps to one command, and every response is a JSON
+/// document the visualization can render. The REPL example is the
+/// human sibling of this interface.
+///
+/// Commands (one per line; single-quoted SQL-style strings):
+///   sql <query>                  run an aggregate query
+///   result                       current result rows
+///   select_range <agg> <lo> <hi> brush result groups by value range
+///   select_groups <i> <j> ...    brush result groups by index
+///   inputs_where <filter>        select D' among the zoomed tuples
+///   metrics [agg_index]          list suggested error metrics
+///   metric <kind> <expected> [agg_index]
+///                                set the metric; kind in {too_high,
+///                                too_low, not_equal, total_above,
+///                                total_below}
+///   debug                        run the backend, return ranked
+///                                predicates (JSON)
+///   clean <i>                    apply ranked predicate i
+///   clean_where <predicate>      apply an explicit predicate
+///   undo                         remove the last cleaning predicate
+///   reset                        drop all cleaning predicates
+///   state                        session status summary
+///
+/// Every response is a JSON object: {"ok": true, ...} on success or
+/// {"ok": false, "error": "..."} on failure — errors never throw.
+class Service {
+ public:
+  explicit Service(std::shared_ptr<Database> db, ExplainOptions options = {})
+      : session_(std::move(db), std::move(options)) {}
+
+  /// Executes one command line, returning the JSON response.
+  std::string Execute(const std::string& line);
+
+  /// The wrapped session (for tests and embedding).
+  Session& session() { return session_; }
+
+ private:
+  Session session_;
+};
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_CORE_SERVICE_H_

@@ -1,0 +1,47 @@
+#ifndef DBWIPES_DATAGEN_FEC_GENERATOR_H_
+#define DBWIPES_DATAGEN_FEC_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dbwipes/common/result.h"
+#include "dbwipes/datagen/labeled_dataset.h"
+
+namespace dbwipes {
+
+/// Options for the FEC campaign-contributions simulator. Defaults
+/// reproduce the paper's Figure 7 walkthrough: McCain's daily totals
+/// show a negative spike near day 500 caused by "REATTRIBUTION TO
+/// SPOUSE" rows.
+struct FecOptions {
+  size_t num_donations = 60000;
+  /// Campaign length in days (Figure 7 starts 11/14/2006).
+  int64_t num_days = 600;
+  uint64_t seed = 2008;
+  /// Candidate receiving the reattribution anomaly.
+  std::string target_candidate = "MCCAIN";
+  /// Number of negative reattribution rows injected.
+  size_t num_reattributions = 400;
+  /// Center of the anomaly (days into the campaign).
+  int64_t reattribution_day = 500;
+  /// Spread (stddev, days) of the anomaly around its center.
+  double reattribution_spread = 5.0;
+  /// Benign negative rows ("REFUND ISSUED") scattered uniformly, to
+  /// keep the anomaly non-trivial. Fraction of num_donations.
+  double refund_rate = 0.002;
+};
+
+/// Generates the donations table:
+///   candidate:string, state:string, city:string, occupation:string,
+///   amount:double, day:int64, memo:string
+/// Normal donations are log-normal amounts on a day distribution with
+/// campaign-event spikes; the injected anomaly is a burst of negative
+/// large-dollar rows with memo "REATTRIBUTION TO SPOUSE" for the
+/// target candidate around `reattribution_day`. Ground truth:
+/// description `memo CONTAINS 'REATTRIBUTION TO SPOUSE'`.
+Result<LabeledDataset> GenerateFecDataset(const FecOptions& options = {});
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_DATAGEN_FEC_GENERATOR_H_

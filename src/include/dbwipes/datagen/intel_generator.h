@@ -1,0 +1,56 @@
+#ifndef DBWIPES_DATAGEN_INTEL_GENERATOR_H_
+#define DBWIPES_DATAGEN_INTEL_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dbwipes/common/result.h"
+#include "dbwipes/datagen/labeled_dataset.h"
+
+namespace dbwipes {
+
+/// \brief A failing mote: from `start_minute` on, its temperature
+/// ramps toward `plateau_temp` (the Intel Lab dataset's famous
+/// battery-death signature) and its voltage sags.
+struct SensorFault {
+  int64_t sensor_id = 15;
+  int64_t start_minute = 0;
+  /// Minutes to climb from normal to the plateau.
+  int64_t ramp_minutes = 720;
+  double plateau_temp = 120.0;
+};
+
+/// Options for the Intel Lab sensor simulator. Defaults produce a
+/// workable-size slice (7 days, one reading per 10 minutes); the F4
+/// benchmark scales duration/rate up toward the real deployment
+/// (54 motes, ~2 readings/minute, 1 month, 2.3M rows).
+struct IntelOptions {
+  size_t num_sensors = 54;
+  int64_t duration_days = 7;
+  /// Minutes between consecutive readings of one mote (real: ~0.5).
+  double reading_interval_minutes = 10.0;
+  uint64_t seed = 7;
+  /// Injected faults; default: motes 15 and 18 die after day 4.
+  std::vector<SensorFault> faults = {
+      {15, 4 * 1440, 720, 122.0},
+      {18, 5 * 1440, 720, 110.0},
+  };
+  /// Fraction of readings dropped at random (sensor networks lose
+  /// packets).
+  double drop_rate = 0.02;
+};
+
+/// Generates the sensor table:
+///   sensorid:int64, minute:int64, window:int64 (30-minute window id),
+///   hour:int64, temp:double, humidity:double, light:double,
+///   voltage:double
+/// Temperature follows a diurnal cycle (~16-24 C) with per-sensor
+/// offsets and noise; humidity anti-correlates with temperature; light
+/// follows day/night; voltage decays slowly. Faulty motes reproduce
+/// the battery-death ramp. Ground truth: one anomaly per fault with
+/// description `sensorid = k AND minute >= start`.
+Result<LabeledDataset> GenerateIntelDataset(const IntelOptions& options = {});
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_DATAGEN_INTEL_GENERATOR_H_

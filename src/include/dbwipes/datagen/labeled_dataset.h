@@ -1,0 +1,39 @@
+#ifndef DBWIPES_DATAGEN_LABELED_DATASET_H_
+#define DBWIPES_DATAGEN_LABELED_DATASET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dbwipes/expr/predicate.h"
+#include "dbwipes/storage/table.h"
+
+namespace dbwipes {
+
+/// \brief One injected anomaly with its ground truth.
+///
+/// The real FEC / Intel datasets contain anomalies but no labels; the
+/// generators reproduce the anomaly structure *and* record exactly
+/// which rows are anomalous, so explanations can be scored (something
+/// the original demo could only eyeball).
+struct InjectedAnomaly {
+  /// The true compact description, e.g. `sensorid = 15 AND minute >= 28800`.
+  Predicate description;
+  /// Affected base-table rows, sorted ascending.
+  std::vector<RowId> rows;
+  /// Human-readable note ("battery death of mote 15 on day 20").
+  std::string note;
+};
+
+/// \brief A generated table plus the anomalies injected into it.
+struct LabeledDataset {
+  std::shared_ptr<Table> table;
+  std::vector<InjectedAnomaly> anomalies;
+
+  /// Union of all anomaly rows, sorted.
+  std::vector<RowId> AllAnomalousRows() const;
+};
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_DATAGEN_LABELED_DATASET_H_

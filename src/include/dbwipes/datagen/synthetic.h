@@ -1,0 +1,48 @@
+#ifndef DBWIPES_DATAGEN_SYNTHETIC_H_
+#define DBWIPES_DATAGEN_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "dbwipes/common/result.h"
+#include "dbwipes/datagen/labeled_dataset.h"
+
+namespace dbwipes {
+
+/// Options for the controlled-anomaly generator driving the
+/// quantitative benchmarks (E1 quality sweeps, E2 scaling, E3
+/// ablations).
+struct SyntheticOptions {
+  size_t num_rows = 20000;
+  /// Values of the group-by column `g` (0..num_groups-1).
+  size_t num_groups = 50;
+  /// Numeric attribute columns a0..a{n-1}, iid N(0, 1).
+  size_t num_numeric_attrs = 3;
+  /// Categorical attribute columns c0..c{n-1}.
+  size_t num_categorical_attrs = 2;
+  /// Distinct values per categorical column ("cat_<k>").
+  size_t categorical_cardinality = 12;
+  /// Zipf skew of categorical values (0 = uniform).
+  double categorical_skew = 0.5;
+  /// Fraction of rows made anomalous (the anomaly's selectivity).
+  double anomaly_selectivity = 0.02;
+  /// Clauses in the true anomaly description: 1 = one categorical
+  /// equality; 2 = categorical equality AND numeric range.
+  size_t anomaly_clauses = 2;
+  /// Amount added to the measure `v` (baseline N(50, 5)) on anomalous
+  /// rows.
+  double anomaly_shift = 40.0;
+  uint64_t seed = 123;
+};
+
+/// Generates:
+///   g:int64, a0..:double, c0..:string, v:double
+/// A hidden predicate over the attribute columns selects ~selectivity
+/// of the rows and shifts their measure by anomaly_shift, so
+/// `SELECT avg(v) FROM synthetic GROUP BY g` shows elevated groups.
+/// Ground truth carries the hidden predicate and exact row set.
+Result<LabeledDataset> GenerateSyntheticDataset(
+    const SyntheticOptions& options = {});
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_DATAGEN_SYNTHETIC_H_

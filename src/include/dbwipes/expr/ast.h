@@ -1,0 +1,57 @@
+#ifndef DBWIPES_EXPR_AST_H_
+#define DBWIPES_EXPR_AST_H_
+
+#include <string>
+#include <vector>
+
+#include "dbwipes/expr/bool_expr.h"
+#include "dbwipes/expr/scalar_expr.h"
+
+namespace dbwipes {
+
+/// Aggregate functions supported by the engine (the PostgreSQL
+/// aggregates the paper lists: avg, sum, min, max, stddev; plus count,
+/// variance, and median).
+enum class AggKind { kCount, kSum, kAvg, kMin, kMax, kStddev, kVar, kMedian };
+
+const char* AggKindToString(AggKind kind);
+Result<AggKind> AggKindFromString(std::string_view name);
+
+/// \brief One aggregate in the SELECT list, e.g. `avg(temp) AS t`.
+struct AggSpec {
+  AggKind kind = AggKind::kCount;
+  /// Argument expression; null for COUNT(*).
+  ScalarExprPtr argument;
+  /// Output column name (defaults to e.g. "avg(temp)").
+  std::string output_name;
+
+  std::string ToString() const;
+};
+
+/// \brief A parsed single-block aggregate query:
+/// `SELECT aggs FROM table [WHERE filter] [GROUP BY attrs]`.
+///
+/// This is exactly the query class DBWipes operates on (paper §2.1):
+/// one table, a filter, one group-by, one or more aggregates.
+struct AggregateQuery {
+  std::vector<AggSpec> aggregates;
+  std::string table_name;
+  /// Never null; TrueExpr when the query has no WHERE.
+  BoolExprPtr where;
+  std::vector<std::string> group_by;
+
+  /// Renders back to SQL text (used by the dashboard's query form,
+  /// which shows the query as cleaning predicates accumulate).
+  std::string ToSql() const;
+
+  /// Checks aggregates, filter, and group-by columns against a schema.
+  Status Validate(const Schema& schema) const;
+
+  /// Copy of this query with `AND NOT pred` appended to the filter —
+  /// the "clean by clicking a predicate" rewrite.
+  AggregateQuery WithCleaningPredicate(const Predicate& pred) const;
+};
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_EXPR_AST_H_

@@ -1,0 +1,37 @@
+#ifndef DBWIPES_EXPR_PARSER_H_
+#define DBWIPES_EXPR_PARSER_H_
+
+#include <string>
+
+#include "dbwipes/common/result.h"
+#include "dbwipes/expr/ast.h"
+
+namespace dbwipes {
+
+/// Parses the SQL subset DBWipes queries use:
+///
+///   SELECT item (, item)* FROM ident [WHERE filter] [GROUP BY col (, col)*]
+///   item   := agg '(' scalar ')' [AS ident] | agg '(' '*' ')' | ident
+///   agg    := avg | sum | count | min | max | stddev | var
+///   scalar := arithmetic over columns, numbers, parens
+///   filter := boolean algebra (AND / OR / NOT / parens) over
+///             comparisons: col (=|!=|<>|<|<=|>|>=) literal,
+///             col IN (lit, ...), col CONTAINS 'text',
+///             col BETWEEN lit AND lit
+///
+/// Plain identifiers in the SELECT list must also appear in GROUP BY.
+/// Keywords are case-insensitive; strings are single-quoted with ''
+/// escapes.
+Result<AggregateQuery> ParseQuery(const std::string& sql);
+
+/// Parses a bare filter expression (the `filter` production above) —
+/// used by tests and by the REPL's "where" shorthand.
+Result<BoolExprPtr> ParseFilter(const std::string& text);
+
+/// Parses a conjunction of comparisons into a Predicate; rejects OR /
+/// NOT, since a Predicate is a pure conjunction.
+Result<Predicate> ParsePredicate(const std::string& text);
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_EXPR_PARSER_H_

@@ -1,0 +1,163 @@
+#ifndef DBWIPES_EXPR_PREDICATE_H_
+#define DBWIPES_EXPR_PREDICATE_H_
+
+#include <string>
+#include <vector>
+
+#include "dbwipes/common/result.h"
+#include "dbwipes/storage/table.h"
+
+namespace dbwipes {
+
+/// Comparison operators usable in clauses.
+enum class CompareOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kIn,        // attribute value is in a literal set
+  kContains,  // string attribute contains a substring
+};
+
+const char* CompareOpToString(CompareOp op);
+/// kLt <-> kGe etc. kIn and kContains have no single-clause negation
+/// (error).
+Result<CompareOp> NegateOp(CompareOp op);
+
+/// \brief One atomic condition `attr OP literal` (or `attr IN (...)`).
+struct Clause {
+  std::string attribute;
+  CompareOp op = CompareOp::kEq;
+  /// Literal for the binary ops and kContains (must be a string there).
+  Value literal;
+  /// Literal set for kIn.
+  std::vector<Value> in_set;
+
+  static Clause Make(std::string attr, CompareOp op, Value lit) {
+    Clause c;
+    c.attribute = std::move(attr);
+    c.op = op;
+    c.literal = std::move(lit);
+    return c;
+  }
+  static Clause In(std::string attr, std::vector<Value> values) {
+    Clause c;
+    c.attribute = std::move(attr);
+    c.op = CompareOp::kIn;
+    c.in_set = std::move(values);
+    return c;
+  }
+
+  /// True when `v` satisfies the clause. NULL never matches.
+  bool Matches(const Value& v) const;
+
+  /// SQL-ish rendering, e.g. `temp >= 100`, `memo CONTAINS 'SPOUSE'`.
+  std::string ToString() const;
+
+  /// Canonical text used for semantic deduplication (sorts IN sets).
+  std::string CanonicalString() const;
+
+  bool operator==(const Clause& other) const {
+    return CanonicalString() == other.CanonicalString();
+  }
+};
+
+class BoundPredicate;
+
+/// \brief Conjunction of clauses — the unit DBWipes returns to the
+/// user ("sensorid = 15 AND time >= 11:00").
+class Predicate {
+ public:
+  Predicate() = default;
+  explicit Predicate(std::vector<Clause> clauses)
+      : clauses_(std::move(clauses)) {}
+
+  static Predicate True() { return Predicate(); }
+
+  bool empty() const { return clauses_.empty(); }
+  size_t num_clauses() const { return clauses_.size(); }
+  const std::vector<Clause>& clauses() const { return clauses_; }
+
+  void AddClause(Clause c) { clauses_.push_back(std::move(c)); }
+
+  /// Conjunction of this and other.
+  Predicate And(const Predicate& other) const;
+
+  /// Merges clauses on the same attribute (tightest range, duplicate
+  /// removal). Returns the simplified copy; detection of contradictions
+  /// is left to evaluation (an unsatisfiable predicate matches nothing).
+  Predicate Simplify() const;
+
+  /// Row-at-a-time evaluation by attribute lookup; for hot loops use
+  /// Bind() once and evaluate the BoundPredicate.
+  Result<bool> Matches(const Table& table, RowId row) const;
+
+  /// Resolves attribute names to column indices against a table.
+  Result<BoundPredicate> Bind(const Table& table) const;
+
+  /// `a = 1 AND b >= 2`; "TRUE" when empty.
+  std::string ToString() const;
+  /// Order-independent canonical form for dedup.
+  std::string CanonicalString() const;
+
+  bool operator==(const Predicate& other) const {
+    return CanonicalString() == other.CanonicalString();
+  }
+
+ private:
+  std::vector<Clause> clauses_;
+};
+
+/// \brief A Predicate resolved against one table for fast evaluation.
+///
+/// String equality/IN compare dictionary codes; numeric comparisons go
+/// through a branch-predictable switch. Valid only as long as the
+/// table it was bound to.
+class BoundPredicate {
+ public:
+  /// True when the row satisfies all clauses.
+  bool Matches(RowId row) const;
+
+  /// Evaluates over all rows; out[i] = Matches(i).
+  std::vector<bool> MatchAll() const;
+
+  /// Row ids of all matching rows.
+  std::vector<RowId> MatchingRows() const;
+
+  size_t num_clauses() const { return clauses_.size(); }
+
+ private:
+  friend class Predicate;
+
+  struct BoundClause {
+    const Column* column;
+    CompareOp op;
+    // Numeric comparisons.
+    double threshold = 0.0;
+    // String equality via dictionary code; -2 = literal absent from
+    // dictionary (kEq never matches, kNe matches all non-null).
+    int32_t code = -2;
+    // kIn: sorted numeric values and/or string codes.
+    std::vector<double> in_numbers;
+    std::vector<int32_t> in_codes;
+    bool in_has_missing_string = false;
+    // kContains.
+    std::string substring;
+    bool is_string_column = false;
+  };
+
+  explicit BoundPredicate(std::vector<BoundClause> clauses,
+                          const Table* table)
+      : clauses_(std::move(clauses)), table_(table) {}
+
+  static bool ClauseMatches(const BoundClause& c, RowId row);
+
+  std::vector<BoundClause> clauses_;
+  const Table* table_;
+};
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_EXPR_PREDICATE_H_

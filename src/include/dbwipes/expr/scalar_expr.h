@@ -1,0 +1,129 @@
+#ifndef DBWIPES_EXPR_SCALAR_EXPR_H_
+#define DBWIPES_EXPR_SCALAR_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dbwipes/common/result.h"
+#include "dbwipes/storage/table.h"
+
+namespace dbwipes {
+
+/// \brief Row-level scalar expression: literal, column reference, or
+/// arithmetic combination. Used as the argument of aggregates
+/// (e.g. `avg(temp - 32)`).
+class ScalarExpr {
+ public:
+  enum class Kind { kLiteral, kColumnRef, kBinary, kFunction };
+  enum class BinaryOp { kAdd, kSub, kMul, kDiv };
+
+  virtual ~ScalarExpr() = default;
+
+  virtual Kind kind() const = 0;
+  /// Evaluates against one row. NULL inputs propagate to a NULL output.
+  virtual Result<Value> Eval(const Table& table, RowId row) const = 0;
+  /// Checks column references and types against a schema.
+  virtual Status Validate(const Schema& schema) const = 0;
+  virtual std::string ToString() const = 0;
+  /// Column names this expression reads.
+  virtual void CollectColumns(std::vector<std::string>* out) const = 0;
+};
+
+using ScalarExprPtr = std::shared_ptr<const ScalarExpr>;
+
+/// A constant.
+class LiteralExpr final : public ScalarExpr {
+ public:
+  explicit LiteralExpr(Value value) : value_(std::move(value)) {}
+
+  Kind kind() const override { return Kind::kLiteral; }
+  Result<Value> Eval(const Table&, RowId) const override { return value_; }
+  Status Validate(const Schema&) const override { return Status::OK(); }
+  std::string ToString() const override { return value_.ToString(); }
+  void CollectColumns(std::vector<std::string>*) const override {}
+
+  const Value& value() const { return value_; }
+
+ private:
+  Value value_;
+};
+
+/// A reference to a column by name.
+class ColumnRefExpr final : public ScalarExpr {
+ public:
+  explicit ColumnRefExpr(std::string name) : name_(std::move(name)) {}
+
+  Kind kind() const override { return Kind::kColumnRef; }
+  Result<Value> Eval(const Table& table, RowId row) const override;
+  Status Validate(const Schema& schema) const override;
+  std::string ToString() const override { return name_; }
+  void CollectColumns(std::vector<std::string>* out) const override {
+    out->push_back(name_);
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+/// Arithmetic on two sub-expressions; operands must be numeric.
+class BinaryExpr final : public ScalarExpr {
+ public:
+  BinaryExpr(BinaryOp op, ScalarExprPtr left, ScalarExprPtr right)
+      : op_(op), left_(std::move(left)), right_(std::move(right)) {}
+
+  Kind kind() const override { return Kind::kBinary; }
+  Result<Value> Eval(const Table& table, RowId row) const override;
+  Status Validate(const Schema& schema) const override;
+  std::string ToString() const override;
+  void CollectColumns(std::vector<std::string>* out) const override {
+    left_->CollectColumns(out);
+    right_->CollectColumns(out);
+  }
+
+  BinaryOp op() const { return op_; }
+
+ private:
+  BinaryOp op_;
+  ScalarExprPtr left_;
+  ScalarExprPtr right_;
+};
+
+/// A named unary numeric function applied to a sub-expression (floor,
+/// abs, ...). NULL propagates.
+class FunctionExpr final : public ScalarExpr {
+ public:
+  using Fn = double (*)(double);
+
+  FunctionExpr(std::string name, Fn fn, ScalarExprPtr arg)
+      : name_(std::move(name)), fn_(fn), arg_(std::move(arg)) {}
+
+  Kind kind() const override { return Kind::kFunction; }
+  Result<Value> Eval(const Table& table, RowId row) const override;
+  Status Validate(const Schema& schema) const override;
+  std::string ToString() const override {
+    return name_ + "(" + arg_->ToString() + ")";
+  }
+  void CollectColumns(std::vector<std::string>* out) const override {
+    arg_->CollectColumns(out);
+  }
+
+ private:
+  std::string name_;
+  Fn fn_;
+  ScalarExprPtr arg_;
+};
+
+// Convenience builders.
+ScalarExprPtr Lit(Value v);
+ScalarExprPtr Col(std::string name);
+ScalarExprPtr Add(ScalarExprPtr a, ScalarExprPtr b);
+ScalarExprPtr Sub(ScalarExprPtr a, ScalarExprPtr b);
+ScalarExprPtr Mul(ScalarExprPtr a, ScalarExprPtr b);
+ScalarExprPtr Div(ScalarExprPtr a, ScalarExprPtr b);
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_EXPR_SCALAR_EXPR_H_

@@ -1,0 +1,73 @@
+#ifndef DBWIPES_LEARN_FEATURE_H_
+#define DBWIPES_LEARN_FEATURE_H_
+
+#include <string>
+#include <vector>
+
+#include "dbwipes/common/result.h"
+#include "dbwipes/storage/table.h"
+
+namespace dbwipes {
+
+/// \brief Describes how one table column is used as a learning feature.
+struct FeatureSpec {
+  size_t column = 0;
+  /// Categorical features compare dictionary codes; numeric features
+  /// compare doubles.
+  bool categorical = false;
+  std::string name;
+};
+
+/// \brief A view of (a subset of) a table as a learning problem.
+///
+/// Learners read feature values through this view; rows are base-table
+/// RowIds so any predicate or tree learned here translates directly
+/// back to table predicates.
+class FeatureView {
+ public:
+  /// Uses every column in `columns` (by name); string columns become
+  /// categorical features. Errors on unknown columns.
+  static Result<FeatureView> Create(const Table& table,
+                                    const std::vector<std::string>& columns);
+
+  /// Uses all columns except those named in `exclude`.
+  static Result<FeatureView> CreateExcluding(
+      const Table& table, const std::vector<std::string>& exclude);
+
+  const Table& table() const { return *table_; }
+  const std::vector<FeatureSpec>& features() const { return features_; }
+  size_t num_features() const { return features_.size(); }
+
+  /// Numeric value of feature f at base row r. Categorical features
+  /// return their dictionary code as a double; NULL returns NaN.
+  double Get(RowId row, size_t f) const;
+
+  bool IsNull(RowId row, size_t f) const;
+
+  /// Distinct category codes appearing among `rows` for categorical
+  /// feature f (sorted).
+  std::vector<int32_t> CategoriesIn(const std::vector<RowId>& rows,
+                                    size_t f) const;
+
+  /// The string behind a categorical code of feature f.
+  const std::string& CategoryName(size_t f, int32_t code) const;
+
+  /// Dense numeric matrix (rows x numeric-features) for the numeric
+  /// features only, standardized to zero mean / unit variance when
+  /// `standardize`; NULLs are imputed with the (pre-standardization)
+  /// column mean. Also returns the indices (into features()) used.
+  void NumericMatrix(const std::vector<RowId>& rows, bool standardize,
+                     std::vector<std::vector<double>>* matrix,
+                     std::vector<size_t>* feature_indices) const;
+
+ private:
+  FeatureView(const Table* table, std::vector<FeatureSpec> features)
+      : table_(table), features_(std::move(features)) {}
+
+  const Table* table_;
+  std::vector<FeatureSpec> features_;
+};
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_LEARN_FEATURE_H_

@@ -1,0 +1,48 @@
+#ifndef DBWIPES_LEARN_KMEANS_H_
+#define DBWIPES_LEARN_KMEANS_H_
+
+#include <vector>
+
+#include "dbwipes/common/random.h"
+#include "dbwipes/common/result.h"
+
+namespace dbwipes {
+
+struct KMeansOptions {
+  size_t max_iterations = 100;
+  /// Converged when total centroid movement (squared) drops below this.
+  double tolerance = 1e-8;
+  /// Independent restarts; the best-inertia run wins.
+  size_t num_restarts = 3;
+};
+
+struct KMeansResult {
+  /// assignment[i] = cluster of points[i], in [0, k).
+  std::vector<int> assignment;
+  std::vector<std::vector<double>> centroids;
+  /// Sum of squared distances to assigned centroids.
+  double inertia = 0.0;
+  size_t iterations = 0;
+
+  /// Points per cluster.
+  std::vector<size_t> ClusterSizes(size_t k) const;
+};
+
+/// Lloyd's algorithm with k-means++ seeding. Points must be non-empty
+/// and rectangular; k must satisfy 1 <= k <= |points|.
+///
+/// Used by the Dataset Enumerator to find a self-consistent subset of
+/// the user's example tuples D' (paper §2.2.2).
+Result<KMeansResult> KMeans(const std::vector<std::vector<double>>& points,
+                            size_t k, Rng* rng,
+                            const KMeansOptions& options = {});
+
+/// Picks k in [1, max_k] by the largest relative inertia drop ("elbow")
+/// and returns that clustering.
+Result<KMeansResult> KMeansAuto(const std::vector<std::vector<double>>& points,
+                                size_t max_k, Rng* rng,
+                                const KMeansOptions& options = {});
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_LEARN_KMEANS_H_

@@ -1,0 +1,37 @@
+#ifndef DBWIPES_LEARN_PCA_H_
+#define DBWIPES_LEARN_PCA_H_
+
+#include <vector>
+
+#include "dbwipes/common/result.h"
+
+namespace dbwipes {
+
+/// \brief Result of a principal component analysis.
+struct PcaResult {
+  /// Row-major principal axes (num_components x dims), unit length,
+  /// ordered by decreasing explained variance.
+  std::vector<std::vector<double>> components;
+  /// Variance captured by each returned component.
+  std::vector<double> explained_variance;
+  /// Per-dimension means subtracted before projection.
+  std::vector<double> means;
+
+  /// Projects one point (dims) onto the components (num_components).
+  std::vector<double> Project(const std::vector<double>& point) const;
+};
+
+/// Computes the top `num_components` principal components of `points`
+/// (rows = observations) by power iteration with deflation on the
+/// covariance matrix. Deterministic. Errors on empty/ragged input or
+/// num_components > dims.
+///
+/// The paper (§2.2.1) floats exactly this as the visualization for
+/// multi-attribute group-bys: "plotting the two largest principal
+/// components against each other".
+Result<PcaResult> ComputePca(const std::vector<std::vector<double>>& points,
+                             size_t num_components);
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_LEARN_PCA_H_

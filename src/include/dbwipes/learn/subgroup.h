@@ -1,0 +1,60 @@
+#ifndef DBWIPES_LEARN_SUBGROUP_H_
+#define DBWIPES_LEARN_SUBGROUP_H_
+
+#include <vector>
+
+#include "dbwipes/expr/predicate.h"
+#include "dbwipes/learn/feature.h"
+
+namespace dbwipes {
+
+/// Options for CN2-SD-style subgroup discovery (Lavrac et al., JMLR
+/// 2004 — reference [4] of the paper).
+struct SubgroupOptions {
+  /// Rules kept per beam-search level.
+  size_t beam_width = 8;
+  /// Maximum clauses per subgroup description.
+  size_t max_clauses = 3;
+  /// Subgroups to return (one per weighted-covering round).
+  size_t num_rules = 5;
+  /// Candidate thresholds per numeric feature (taken at quantiles).
+  size_t max_numeric_thresholds = 8;
+  /// One-vs-rest candidates per categorical feature (most frequent).
+  size_t max_categories_per_feature = 32;
+  /// Multiplicative weight decay applied to covered positive examples
+  /// after each round (CN2-SD weighted covering).
+  double gamma = 0.5;
+  /// Minimum (unweighted) rows a subgroup must cover.
+  size_t min_coverage = 2;
+};
+
+/// \brief One discovered subgroup: a compact description of a region
+/// dense in positive examples.
+struct Subgroup {
+  Predicate predicate;
+  /// Weighted relative accuracy at the time of selection.
+  double wracc = 0.0;
+  /// Unweighted counts over the training rows.
+  size_t coverage = 0;
+  size_t positives = 0;
+  /// Indices (into the input `rows`) the subgroup covers.
+  std::vector<size_t> covered;
+};
+
+/// Finds up to options.num_rules subgroups of the positive class
+/// (label 1) among `rows`, using beam search over conjunctions of
+/// attribute conditions scored by WRAcc with CN2-SD weighted covering
+/// for diversity. Initial per-example weights may be supplied (e.g.
+/// influence-derived); pass empty for uniform.
+///
+/// DBWipes uses this as the Dataset Enumerator's extension step: the
+/// positive class marks high-influence / user-selected tuples, and
+/// each subgroup (its covered row set) becomes one candidate D*.
+Result<std::vector<Subgroup>> DiscoverSubgroups(
+    const FeatureView& view, const std::vector<RowId>& rows,
+    const std::vector<int>& labels, const std::vector<double>& init_weights,
+    const SubgroupOptions& options = {});
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_LEARN_SUBGROUP_H_

@@ -1,0 +1,70 @@
+#ifndef DBWIPES_PROVENANCE_INFLUENCE_H_
+#define DBWIPES_PROVENANCE_INFLUENCE_H_
+
+#include <functional>
+#include <vector>
+
+#include "dbwipes/query/executor.h"
+
+namespace dbwipes {
+
+/// Maps the aggregate values of the user-selected groups S (in
+/// selection order; NaN = NULL) to an error >= 0, where 0 means
+/// "error-free". The core module adapts its ErrorMetric objects into
+/// this signature.
+using ErrorFn = std::function<double(const std::vector<double>&)>;
+
+/// \brief A tuple's leave-one-out influence on the error metric.
+///
+/// influence = eps(S) - eps(S with the tuple removed): positive values
+/// mean deleting the tuple shrinks the error; the Preprocessor ranks F
+/// by this number (paper §2.2.2).
+struct TupleInfluence {
+  RowId row = 0;
+  /// Index (within the selection) of the group the tuple feeds.
+  size_t selected_group = 0;
+  double influence = 0.0;
+};
+
+struct InfluenceOptions {
+  /// Which aggregate of the query the error metric reads (0-based
+  /// among query.aggregates).
+  size_t agg_index = 0;
+  /// When true (default), a tuple's influence is computed with the
+  /// metric applied to its own group's value alone, treating every
+  /// selected group as an independent error instance. When false, the
+  /// metric sees the full selection vector — the paper's literal
+  /// formulation, under which a max-style metric assigns zero
+  /// influence to every tuple outside the argmax group. Per-group is
+  /// the robust default for multi-group selections; the global mode is
+  /// kept for the E3 ablation.
+  bool per_group = true;
+};
+
+/// Computes leave-one-out influence for every tuple in the lineage of
+/// the selected groups, using incremental aggregate Remove/Add (O(1)
+/// or O(log n) per tuple instead of re-aggregating the group).
+///
+/// Returns influences sorted descending (most error-reducing first).
+Result<std::vector<TupleInfluence>> LeaveOneOutInfluence(
+    const Table& table, const QueryResult& result,
+    const std::vector<size_t>& selected_groups, const ErrorFn& error_fn,
+    const InfluenceOptions& options = {});
+
+/// Reference implementation that re-aggregates each group from scratch
+/// for every removed tuple. O(sum |group|^2); exists to validate the
+/// incremental path in tests and to serve as an ablation baseline.
+Result<std::vector<TupleInfluence>> LeaveOneOutInfluenceBruteForce(
+    const Table& table, const QueryResult& result,
+    const std::vector<size_t>& selected_groups, const ErrorFn& error_fn,
+    const InfluenceOptions& options = {});
+
+/// Baseline error of the selection (no tuple removed).
+Result<double> SelectionError(const QueryResult& result,
+                              const std::vector<size_t>& selected_groups,
+                              const ErrorFn& error_fn,
+                              const InfluenceOptions& options = {});
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_PROVENANCE_INFLUENCE_H_

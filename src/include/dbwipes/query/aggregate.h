@@ -1,0 +1,184 @@
+#ifndef DBWIPES_QUERY_AGGREGATE_H_
+#define DBWIPES_QUERY_AGGREGATE_H_
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "dbwipes/common/stats.h"
+#include "dbwipes/expr/ast.h"
+
+namespace dbwipes {
+
+/// \brief Incremental aggregate state with exact removal.
+///
+/// Removal is the primitive behind DBWipes' leave-one-out influence
+/// analysis (Preprocessor, paper §2.2.2): the influence of every tuple
+/// in a group is computed by Remove(v) / read / Add(v) in O(1) or
+/// O(log n) instead of recomputing the aggregate from scratch.
+class Aggregator {
+ public:
+  virtual ~Aggregator() = default;
+
+  /// Folds in one non-null input value.
+  virtual void Add(double v) = 0;
+  /// Removes a previously added value (exact inverse of Add).
+  virtual void Remove(double v) = 0;
+  /// Current aggregate value. Empty-state conventions: count/sum = 0,
+  /// others = NaN (rendered as NULL by the executor).
+  virtual double Value() const = 0;
+  /// Number of values currently folded in.
+  virtual size_t Count() const = 0;
+  virtual std::unique_ptr<Aggregator> Clone() const = 0;
+};
+
+using AggregatorPtr = std::unique_ptr<Aggregator>;
+
+/// Creates the aggregator implementing `kind`.
+AggregatorPtr MakeAggregator(AggKind kind);
+
+/// Output type of an aggregate: count is int64, others double.
+DataType AggOutputType(AggKind kind);
+
+// --- Implementations (exposed for direct use by influence analysis
+// and tests) ---
+
+class CountAggregator final : public Aggregator {
+ public:
+  void Add(double) override { ++n_; }
+  void Remove(double) override { --n_; }
+  double Value() const override { return static_cast<double>(n_); }
+  size_t Count() const override { return n_; }
+  AggregatorPtr Clone() const override {
+    return std::make_unique<CountAggregator>(*this);
+  }
+
+ private:
+  size_t n_ = 0;
+};
+
+class SumAggregator final : public Aggregator {
+ public:
+  void Add(double v) override {
+    ++n_;
+    sum_ += v;
+  }
+  void Remove(double v) override {
+    --n_;
+    sum_ -= v;
+  }
+  double Value() const override { return sum_; }
+  size_t Count() const override { return n_; }
+  AggregatorPtr Clone() const override {
+    return std::make_unique<SumAggregator>(*this);
+  }
+
+ private:
+  size_t n_ = 0;
+  double sum_ = 0.0;
+};
+
+class AvgAggregator final : public Aggregator {
+ public:
+  void Add(double v) override {
+    ++n_;
+    sum_ += v;
+  }
+  void Remove(double v) override {
+    --n_;
+    sum_ -= v;
+  }
+  double Value() const override;
+  size_t Count() const override { return n_; }
+  AggregatorPtr Clone() const override {
+    return std::make_unique<AvgAggregator>(*this);
+  }
+
+ private:
+  size_t n_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Min/max keep a multiset of values so Remove works in O(log n).
+class MinAggregator final : public Aggregator {
+ public:
+  void Add(double v) override { values_[v]++; }
+  void Remove(double v) override;
+  double Value() const override;
+  size_t Count() const override;
+  AggregatorPtr Clone() const override {
+    return std::make_unique<MinAggregator>(*this);
+  }
+
+ private:
+  std::map<double, size_t> values_;
+};
+
+class MaxAggregator final : public Aggregator {
+ public:
+  void Add(double v) override { values_[v]++; }
+  void Remove(double v) override;
+  double Value() const override;
+  size_t Count() const override;
+  AggregatorPtr Clone() const override {
+    return std::make_unique<MaxAggregator>(*this);
+  }
+
+ private:
+  std::map<double, size_t> values_;
+};
+
+/// Sample standard deviation (matches PostgreSQL stddev).
+class StddevAggregator final : public Aggregator {
+ public:
+  void Add(double v) override { stats_.Add(v); }
+  void Remove(double v) override { stats_.Remove(v); }
+  double Value() const override;
+  size_t Count() const override { return stats_.count(); }
+  AggregatorPtr Clone() const override {
+    return std::make_unique<StddevAggregator>(*this);
+  }
+
+ private:
+  OnlineStats stats_;
+};
+
+/// Exact median with O(log n) insert/remove: the values are kept split
+/// into a lower and an upper multiset balanced so that
+/// |low| == |high| or |low| == |high| + 1; the median reads from the
+/// boundary.
+class MedianAggregator final : public Aggregator {
+ public:
+  void Add(double v) override;
+  void Remove(double v) override;
+  double Value() const override;
+  size_t Count() const override { return low_.size() + high_.size(); }
+  AggregatorPtr Clone() const override {
+    return std::make_unique<MedianAggregator>(*this);
+  }
+
+ private:
+  void Rebalance();
+
+  std::multiset<double> low_;   // max at *low_.rbegin()
+  std::multiset<double> high_;  // min at *high_.begin()
+};
+
+/// Sample variance (matches PostgreSQL variance).
+class VarAggregator final : public Aggregator {
+ public:
+  void Add(double v) override { stats_.Add(v); }
+  void Remove(double v) override { stats_.Remove(v); }
+  double Value() const override;
+  size_t Count() const override { return stats_.count(); }
+  AggregatorPtr Clone() const override {
+    return std::make_unique<VarAggregator>(*this);
+  }
+
+ private:
+  OnlineStats stats_;
+};
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_QUERY_AGGREGATE_H_

@@ -1,0 +1,42 @@
+#ifndef DBWIPES_QUERY_DATABASE_H_
+#define DBWIPES_QUERY_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dbwipes/query/executor.h"
+
+namespace dbwipes {
+
+/// \brief Named-table catalog plus a SQL entry point.
+///
+/// The role PostgreSQL plays in the paper's deployment: hold the
+/// imported datasets and execute the dashboard's aggregate queries.
+class Database {
+ public:
+  /// Registers (or replaces) a table under its own name.
+  void RegisterTable(std::shared_ptr<const Table> table);
+  /// Registers under an explicit name.
+  void RegisterTable(const std::string& name,
+                     std::shared_ptr<const Table> table);
+
+  Result<std::shared_ptr<const Table>> GetTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  /// Parses and runs a SQL aggregate query against the catalog.
+  Result<QueryResult> ExecuteSql(const std::string& sql,
+                                 const ExecOptions& options = {}) const;
+
+  /// Runs an already-parsed query.
+  Result<QueryResult> Execute(const AggregateQuery& query,
+                              const ExecOptions& options = {}) const;
+
+ private:
+  std::unordered_map<std::string, std::shared_ptr<const Table>> tables_;
+};
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_QUERY_DATABASE_H_

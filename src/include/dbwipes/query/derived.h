@@ -1,0 +1,30 @@
+#ifndef DBWIPES_QUERY_DERIVED_H_
+#define DBWIPES_QUERY_DERIVED_H_
+
+#include <memory>
+#include <string>
+
+#include "dbwipes/expr/scalar_expr.h"
+
+namespace dbwipes {
+
+/// Returns a copy of `table` with one extra column `name` holding
+/// `expr` evaluated per row (NULL where the expression is NULL). The
+/// column type is int64 when every produced value is integral, double
+/// otherwise.
+///
+/// This is how ad-hoc bucketings are prepared for GROUP BY — e.g. the
+/// paper's 30-minute windows: WithDerivedColumn(t, "window",
+/// Bucket(Col("minute"), 30)). The new column participates in
+/// lineage, predicates, and explanations like any stored attribute.
+Result<std::shared_ptr<Table>> WithDerivedColumn(const Table& table,
+                                                 const std::string& name,
+                                                 const ScalarExprPtr& expr);
+
+/// floor(input / width): the bucketing expression for numeric columns
+/// (time windows, price bands). width must be > 0.
+ScalarExprPtr Bucket(ScalarExprPtr input, double width);
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_QUERY_DERIVED_H_

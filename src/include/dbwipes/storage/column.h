@@ -1,0 +1,91 @@
+#ifndef DBWIPES_STORAGE_COLUMN_H_
+#define DBWIPES_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dbwipes/common/result.h"
+#include "dbwipes/storage/value.h"
+
+namespace dbwipes {
+
+/// Row index within a table. 32 bits keeps lineage sets compact; the
+/// demo datasets top out in the low millions.
+using RowId = uint32_t;
+
+/// \brief Append-only typed column with null tracking.
+///
+/// Numeric columns store a flat vector. String columns are dictionary
+/// encoded (codes + dictionary), which makes categorical machine-
+/// learning features and group-by keys cheap. Nulls are tracked in a
+/// validity vector; the value slot of a null row is a default.
+class Column {
+ public:
+  explicit Column(DataType type);
+
+  DataType type() const { return type_; }
+  size_t size() const { return validity_.size(); }
+  bool empty() const { return validity_.empty(); }
+
+  bool IsNull(RowId row) const { return !validity_[row]; }
+  size_t null_count() const { return null_count_; }
+
+  // Typed readers. The row must be non-null and of the column's type
+  // (DBW_DCHECK-enforced).
+  int64_t GetInt64(RowId row) const;
+  double GetDouble(RowId row) const;
+  const std::string& GetString(RowId row) const;
+
+  /// Numeric view of a non-null row: int64 widens to double. Must not
+  /// be called on string columns.
+  double AsDouble(RowId row) const;
+
+  /// Boxed value (NULL for null rows).
+  Value GetValue(RowId row) const;
+
+  // Appends.
+  void AppendNull();
+  void AppendInt64(int64_t v);
+  void AppendDouble(double v);
+  void AppendString(const std::string& v);
+  /// Type-checked boxed append; int64 promotes into double columns.
+  Status AppendValue(const Value& v);
+
+  // Dictionary access (string columns only).
+  /// Number of distinct strings ever appended.
+  size_t dictionary_size() const { return dictionary_.size(); }
+  /// Code of the string at `row` (must be non-null), in
+  /// [0, dictionary_size()).
+  int32_t StringCode(RowId row) const;
+  /// The string for a dictionary code.
+  const std::string& DictionaryValue(int32_t code) const;
+  /// Code for `s` if it appears in the dictionary, else -1.
+  int32_t FindCode(const std::string& s) const;
+
+  /// Appends row `row` of `src` (same type) to this column.
+  void AppendFrom(const Column& src, RowId row);
+
+  /// Min/max over non-null numeric rows; error if none.
+  Result<double> MinNumeric() const;
+  Result<double> MaxNumeric() const;
+
+ private:
+  DataType type_;
+  std::vector<bool> validity_;
+  size_t null_count_ = 0;
+
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+
+  std::vector<int32_t> codes_;
+  std::vector<std::string> dictionary_;
+  std::unordered_map<std::string, int32_t> dictionary_index_;
+
+  int32_t InternString(const std::string& s);
+};
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_STORAGE_COLUMN_H_

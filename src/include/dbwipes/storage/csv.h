@@ -1,0 +1,46 @@
+#ifndef DBWIPES_STORAGE_CSV_H_
+#define DBWIPES_STORAGE_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "dbwipes/common/result.h"
+#include "dbwipes/storage/table.h"
+
+namespace dbwipes {
+
+/// \brief Options controlling CSV parsing.
+struct CsvOptions {
+  char delimiter = ',';
+  /// First line holds column names.
+  bool has_header = true;
+  /// Cells matching this exact text (after trimming) become NULL, in
+  /// addition to the empty string.
+  std::string null_token = "NULL";
+  /// Rows to sample for type inference (per column: int64 if every
+  /// sampled cell parses as an integer, else double if every cell
+  /// parses as a number, else string).
+  size_t type_inference_rows = 1000;
+};
+
+/// Parses CSV text into a Table, inferring column types. Fails with
+/// ParseError on ragged rows or on cells that contradict the inferred
+/// type. Quoted fields ("..." with "" escapes) are supported.
+Result<Table> ReadCsv(const std::string& text, const CsvOptions& options = {},
+                      const std::string& table_name = "t");
+
+/// Reads and parses a CSV file.
+Result<Table> ReadCsvFile(const std::string& path,
+                          const CsvOptions& options = {});
+
+/// Serializes a table as CSV (header + rows). Strings containing the
+/// delimiter, quotes, or newlines are quoted.
+std::string WriteCsv(const Table& table, const CsvOptions& options = {});
+
+/// Writes table CSV to a file.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options = {});
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_STORAGE_CSV_H_

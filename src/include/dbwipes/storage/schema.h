@@ -1,0 +1,61 @@
+#ifndef DBWIPES_STORAGE_SCHEMA_H_
+#define DBWIPES_STORAGE_SCHEMA_H_
+
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dbwipes/common/result.h"
+#include "dbwipes/storage/value.h"
+
+namespace dbwipes {
+
+/// \brief A named, typed column descriptor.
+struct Field {
+  std::string name;
+  DataType type;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// \brief Ordered collection of fields with by-name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::initializer_list<Field> fields);
+  explicit Schema(std::vector<Field> fields);
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the column with this name, if present.
+  std::optional<size_t> FindIndex(const std::string& name) const;
+  /// Index of the column with this name, or NotFound.
+  Result<size_t> GetIndex(const std::string& name) const;
+  /// The field with this name, or NotFound.
+  Result<Field> GetField(const std::string& name) const;
+
+  bool Contains(const std::string& name) const {
+    return FindIndex(name).has_value();
+  }
+
+  /// "name:type, name:type, ..." — used in error messages and docs.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const { return fields_ == other.fields_; }
+
+ private:
+  void RebuildIndex();
+
+  std::vector<Field> fields_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_STORAGE_SCHEMA_H_

@@ -1,0 +1,65 @@
+#ifndef DBWIPES_STORAGE_TABLE_H_
+#define DBWIPES_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dbwipes/common/result.h"
+#include "dbwipes/storage/column.h"
+#include "dbwipes/storage/schema.h"
+
+namespace dbwipes {
+
+/// \brief In-memory columnar table: a schema plus one Column per field.
+///
+/// Tables are append-only (AppendRow) and row-addressable by RowId,
+/// which is what the lineage machinery records. Shared via
+/// std::shared_ptr<const Table> once loaded.
+class Table {
+ public:
+  explicit Table(Schema schema, std::string name = "t");
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const { return num_rows_; }
+
+  const Column& column(size_t i) const { return columns_[i]; }
+  Column& column(size_t i) { return columns_[i]; }
+  /// Column by name, or NotFound.
+  Result<const Column*> GetColumn(const std::string& name) const;
+
+  /// Appends one row; the value count must match the schema and each
+  /// value must be appendable to its column (nulls always are).
+  Status AppendRow(const std::vector<Value>& values);
+
+  /// Boxed cell access.
+  Value GetValue(RowId row, size_t col) const {
+    return columns_[col].GetValue(row);
+  }
+  /// One whole row, boxed.
+  std::vector<Value> GetRow(RowId row) const;
+
+  /// New table containing exactly the given rows (in the given order).
+  Table Select(const std::vector<RowId>& rows) const;
+
+  /// New table with rows where keep[row] is true.
+  Table Filter(const std::vector<bool>& keep) const;
+
+  /// Renders up to `max_rows` rows as an aligned text grid (for
+  /// examples and the REPL).
+  std::string ToString(size_t max_rows = 10) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+};
+
+using TablePtr = std::shared_ptr<const Table>;
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_STORAGE_TABLE_H_

@@ -1,0 +1,82 @@
+#ifndef DBWIPES_STORAGE_VALUE_H_
+#define DBWIPES_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <variant>
+
+#include "dbwipes/common/result.h"
+
+namespace dbwipes {
+
+/// \brief Physical type of a column or value.
+enum class DataType { kInt64, kDouble, kString };
+
+/// Returns "int64" / "double" / "string".
+const char* DataTypeToString(DataType type);
+
+/// Parses a type name produced by DataTypeToString.
+Result<DataType> DataTypeFromString(std::string_view name);
+
+/// \brief A dynamically-typed SQL value: NULL, int64, double, or string.
+///
+/// Values appear at system boundaries (row construction, literals in
+/// predicates, query results); inner loops operate on typed column
+/// storage instead.
+class Value {
+ public:
+  /// NULL value.
+  Value() : data_(std::monostate{}) {}
+  Value(int64_t v) : data_(v) {}               // NOLINT(runtime/explicit)
+  Value(double v) : data_(v) {}                // NOLINT(runtime/explicit)
+  Value(std::string v) : data_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  Value(const char* v) : data_(std::string(v)) {}  // NOLINT(runtime/explicit)
+  // Guard against the bool->int64 surprise.
+  Value(bool) = delete;
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+  bool is_int64() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_numeric() const { return is_int64() || is_double(); }
+
+  int64_t int64() const { return std::get<int64_t>(data_); }
+  double dbl() const { return std::get<double>(data_); }
+  const std::string& str() const { return std::get<std::string>(data_); }
+
+  /// Numeric view: int64 widens to double. Error on NULL or string.
+  Result<double> AsDouble() const;
+
+  /// The type of a non-null value; error for NULL.
+  Result<DataType> type() const;
+
+  /// SQL-style rendering: NULL, bare numbers, single-quoted strings.
+  std::string ToString() const;
+
+  /// Total ordering for use as map keys: NULL < numerics < strings;
+  /// numerics compare by value across int64/double.
+  bool operator==(const Value& other) const;
+  bool operator<(const Value& other) const;
+
+  /// Hash consistent with operator== (numeric equality across types).
+  size_t Hash() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_STORAGE_VALUE_H_

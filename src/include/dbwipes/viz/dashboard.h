@@ -1,0 +1,48 @@
+#ifndef DBWIPES_VIZ_DASHBOARD_H_
+#define DBWIPES_VIZ_DASHBOARD_H_
+
+#include <string>
+
+#include "dbwipes/core/session.h"
+#include "dbwipes/viz/scatterplot.h"
+
+namespace dbwipes {
+
+/// \brief Text renderings of the four dashboard components (Figure 2):
+/// 1) query input form, 2) visualization with S/D' selection, 3) error
+/// metric form, 4) ranked predicate list.
+///
+/// The Session owns the state; the Dashboard is pure presentation, so
+/// the REPL example and the F1/F2 tests can assert on exactly what a
+/// user would see.
+class Dashboard {
+ public:
+  explicit Dashboard(const Session* session) : session_(session) {}
+
+  /// Component 1: the query form, including accumulated cleaning
+  /// predicates (Figure 3).
+  std::string RenderQueryForm() const;
+
+  /// Component 2: scatterplot of aggregate `y_column` (empty = first
+  /// aggregate) vs the first group-by column, selected groups marked.
+  Result<std::string> RenderVisualization(const std::string& y_column = "",
+                                          size_t width = 72,
+                                          size_t height = 20) const;
+
+  /// Component 3: the dynamically offered error metrics (Figure 5).
+  Result<std::string> RenderErrorForms(size_t agg_index = 0) const;
+
+  /// Component 4: the ranked predicate list (Figure 6), with scores
+  /// and the effect of clicking each.
+  std::string RenderRankedPredicates() const;
+
+  /// All four components stacked.
+  Result<std::string> RenderAll() const;
+
+ private:
+  const Session* session_;
+};
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_VIZ_DASHBOARD_H_

@@ -1,0 +1,52 @@
+#ifndef DBWIPES_VIZ_HISTOGRAM_H_
+#define DBWIPES_VIZ_HISTOGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "dbwipes/common/result.h"
+#include "dbwipes/storage/table.h"
+
+namespace dbwipes {
+
+/// \brief Distribution view of one column — the "zoom in to view the
+/// individual tuple values" half of Figure 4, rendered as an ASCII
+/// histogram so outliers (the 100-degree readings, the negative
+/// donations) jump out in the terminal.
+class Histogram {
+ public:
+  /// Builds a histogram of `column` over the given rows (all rows when
+  /// `rows` is empty). Numeric columns bucket into `num_buckets`
+  /// equal-width bins; string columns count category frequencies
+  /// (top `num_buckets` by count). NULLs are tallied separately.
+  static Result<Histogram> FromColumn(const Table& table,
+                                      const std::string& column,
+                                      const std::vector<RowId>& rows = {},
+                                      size_t num_buckets = 20);
+
+  struct Bucket {
+    std::string label;
+    size_t count = 0;
+    double lo = 0.0;  // numeric bounds (lo == hi for categories)
+    double hi = 0.0;
+  };
+
+  const std::vector<Bucket>& buckets() const { return buckets_; }
+  size_t null_count() const { return null_count_; }
+  size_t total_count() const { return total_count_; }
+
+  /// Bar chart, one bucket per line, bars scaled to `width`.
+  std::string Render(size_t width = 50) const;
+
+ private:
+  Histogram() = default;
+
+  std::string column_;
+  std::vector<Bucket> buckets_;
+  size_t null_count_ = 0;
+  size_t total_count_ = 0;
+};
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_VIZ_HISTOGRAM_H_

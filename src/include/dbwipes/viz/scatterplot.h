@@ -1,0 +1,75 @@
+#ifndef DBWIPES_VIZ_SCATTERPLOT_H_
+#define DBWIPES_VIZ_SCATTERPLOT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dbwipes/query/executor.h"
+
+namespace dbwipes {
+
+/// \brief One plotted point: a result group positioned by (x, y).
+struct ScatterPoint {
+  double x = 0.0;
+  double y = 0.0;
+  /// Index of the result row (group) this point represents.
+  size_t group = 0;
+  bool selected = false;
+  /// Points whose y (or x) was NULL are kept but not drawn.
+  bool drawable = true;
+};
+
+/// \brief The dashboard's result visualization (Figure 2, component 2):
+/// group keys on the x-axis, aggregate values on the y-axis, with
+/// brush selection.
+class ScatterPlot {
+ public:
+  /// Plots aggregate `y_column` (an output name from the query's
+  /// SELECT list) against `x_column` (a group-by column; pass empty to
+  /// use the first group-by column, or the group ordinal when the
+  /// query has none that is numeric). When the query has a
+  /// multi-attribute group-by, the user picks which one to plot — the
+  /// paper's "pick two group-by attributes" control.
+  static Result<ScatterPlot> FromResult(const QueryResult& result,
+                                        const std::string& y_column,
+                                        const std::string& x_column = "");
+
+  /// Multi-attribute group-by visualization the paper floats in §2.2.1:
+  /// projects each group's key vector onto its two largest principal
+  /// components and plots PC1 (x) against PC2 (y). Categorical key
+  /// attributes enter the projection via their dictionary codes;
+  /// requires at least two group-by attributes.
+  static Result<ScatterPlot> FromResultPca(const QueryResult& result);
+
+  const std::vector<ScatterPoint>& points() const { return points_; }
+  const std::string& x_label() const { return x_label_; }
+  const std::string& y_label() const { return y_label_; }
+
+  /// Marks every point inside the rectangle as selected (the mouse
+  /// brush); returns the group indices now selected. Cumulative until
+  /// ClearSelection().
+  std::vector<size_t> Brush(double x_lo, double x_hi, double y_lo,
+                            double y_hi);
+
+  /// Selects groups whose y value lies in [y_lo, y_hi] regardless of x.
+  std::vector<size_t> BrushY(double y_lo, double y_hi);
+
+  void ClearSelection();
+  std::vector<size_t> SelectedGroups() const;
+
+  /// ASCII rendering: '*' = point, '#' = selected point, with axis
+  /// ranges in the margins. Suitable for the REPL and examples.
+  std::string Render(size_t width = 72, size_t height = 20) const;
+
+ private:
+  ScatterPlot() = default;
+
+  std::vector<ScatterPoint> points_;
+  std::string x_label_;
+  std::string y_label_;
+};
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_VIZ_SCATTERPLOT_H_

@@ -1,0 +1,473 @@
+#include "dbwipes/learn/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+namespace dbwipes {
+
+namespace {
+
+double Gini(double n0, double n1) {
+  const double n = n0 + n1;
+  if (n <= 0.0) return 0.0;
+  const double p0 = n0 / n;
+  const double p1 = n1 / n;
+  return 1.0 - p0 * p0 - p1 * p1;
+}
+
+double Entropy(double n0, double n1) {
+  const double n = n0 + n1;
+  if (n <= 0.0) return 0.0;
+  double h = 0.0;
+  for (double c : {n0, n1}) {
+    if (c > 0.0) {
+      const double p = c / n;
+      h -= p * std::log2(p);
+    }
+  }
+  return h;
+}
+
+struct SplitEval {
+  bool valid = false;
+  double score = -std::numeric_limits<double>::infinity();
+  double impurity_decrease = 0.0;
+  size_t feature = 0;
+  bool categorical = false;
+  double threshold = 0.0;
+  int32_t category = -1;
+  // Positive fraction of the left ("condition true") branch; used to
+  // break score ties toward splits whose equality form is the positive
+  // side — `tag = 'bad'` reads better than `tag != 'fine'`.
+  double left_pos_frac = 0.0;
+};
+
+/// Scores a (left, right) partition under the configured criterion.
+/// Returns (score, impurity_decrease); higher score is better.
+std::pair<double, double> ScorePartition(SplitCriterion criterion, double l0,
+                                         double l1, double r0, double r1) {
+  const double n = l0 + l1 + r0 + r1;
+  const double nl = l0 + l1;
+  const double nr = r0 + r1;
+  if (criterion == SplitCriterion::kGini) {
+    const double parent = Gini(l0 + r0, l1 + r1);
+    const double child = (nl / n) * Gini(l0, l1) + (nr / n) * Gini(r0, r1);
+    const double decrease = parent - child;
+    return {decrease, decrease};
+  }
+  // Gain ratio: information gain normalized by split info.
+  const double parent = Entropy(l0 + r0, l1 + r1);
+  const double child = (nl / n) * Entropy(l0, l1) + (nr / n) * Entropy(r0, r1);
+  const double gain = parent - child;
+  double split_info = 0.0;
+  for (double c : {nl, nr}) {
+    if (c > 0.0) {
+      const double p = c / n;
+      split_info -= p * std::log2(p);
+    }
+  }
+  if (split_info <= 1e-12) return {-1.0, gain};
+  return {gain / split_info, gain};
+}
+
+class TreeBuilder {
+ public:
+  TreeBuilder(const FeatureView& view, const std::vector<RowId>& rows,
+              const std::vector<int>& labels,
+              const std::vector<double>& weights,
+              const DecisionTreeOptions& options,
+              std::vector<DecisionTree::Node>* nodes)
+      : view_(view),
+        rows_(rows),
+        labels_(labels),
+        weights_(weights),
+        options_(options),
+        nodes_(nodes) {}
+
+  int Build(std::vector<size_t> indices, int depth) {
+    DecisionTree::Node node;
+    node.depth = depth;
+    for (size_t i : indices) {
+      (labels_[i] == 1 ? node.n1 : node.n0) += weights_[i];
+    }
+    const int id = static_cast<int>(nodes_->size());
+    nodes_->push_back(node);
+
+    const bool pure = node.n0 <= 0.0 || node.n1 <= 0.0;
+    if (pure || depth >= static_cast<int>(options_.max_depth) ||
+        node.total() < options_.min_samples_split) {
+      return id;
+    }
+
+    const SplitEval best = FindBestSplit(indices);
+    if (!best.valid ||
+        best.impurity_decrease < options_.min_impurity_decrease) {
+      return id;
+    }
+
+    std::vector<size_t> left, right;
+    left.reserve(indices.size());
+    right.reserve(indices.size());
+    for (size_t i : indices) {
+      (GoesLeft(best, rows_[i]) ? left : right).push_back(i);
+    }
+    if (left.empty() || right.empty()) return id;
+
+    indices.clear();
+    indices.shrink_to_fit();
+
+    (*nodes_)[id].is_leaf = false;
+    (*nodes_)[id].feature = best.feature;
+    (*nodes_)[id].categorical = best.categorical;
+    (*nodes_)[id].threshold = best.threshold;
+    (*nodes_)[id].category = best.category;
+    const int left_id = Build(std::move(left), depth + 1);
+    (*nodes_)[id].left = left_id;
+    const int right_id = Build(std::move(right), depth + 1);
+    (*nodes_)[id].right = right_id;
+    return id;
+  }
+
+ private:
+  bool GoesLeft(const SplitEval& split, RowId row) const {
+    if (view_.IsNull(row, split.feature)) return false;
+    const double v = view_.Get(row, split.feature);
+    if (split.categorical) {
+      return static_cast<int32_t>(v) == split.category;
+    }
+    return v <= split.threshold;
+  }
+
+  SplitEval FindBestSplit(const std::vector<size_t>& indices) const {
+    SplitEval best;
+    for (size_t f = 0; f < view_.num_features(); ++f) {
+      if (view_.features()[f].categorical) {
+        EvalCategorical(indices, f, &best);
+      } else {
+        EvalNumeric(indices, f, &best);
+      }
+    }
+    return best;
+  }
+
+  void Consider(SplitEval* best, SplitCriterion criterion, double l0,
+                double l1, double r0, double r1, size_t feature,
+                bool categorical, double threshold, int32_t category) const {
+    const double nl = l0 + l1;
+    const double nr = r0 + r1;
+    if (nl < options_.min_samples_leaf || nr < options_.min_samples_leaf) {
+      return;
+    }
+    const auto [score, decrease] = ScorePartition(criterion, l0, l1, r0, r1);
+    const double left_pos_frac = nl > 0.0 ? l1 / nl : 0.0;
+    const bool better =
+        score > best->score ||
+        (score == best->score && left_pos_frac > best->left_pos_frac);
+    if (better) {
+      best->valid = true;
+      best->score = score;
+      best->impurity_decrease = decrease;
+      best->feature = feature;
+      best->categorical = categorical;
+      best->threshold = threshold;
+      best->category = category;
+      best->left_pos_frac = left_pos_frac;
+    }
+  }
+
+  void EvalNumeric(const std::vector<size_t>& indices, size_t f,
+                   SplitEval* best) const {
+    // Sort non-null values; nulls accumulate on the right side.
+    struct Item {
+      double value;
+      double w0;
+      double w1;
+    };
+    std::vector<Item> items;
+    items.reserve(indices.size());
+    double null0 = 0.0, null1 = 0.0;
+    double tot0 = 0.0, tot1 = 0.0;
+    for (size_t i : indices) {
+      const double w = weights_[i];
+      const int y = labels_[i];
+      (y == 1 ? tot1 : tot0) += w;
+      if (view_.IsNull(rows_[i], f)) {
+        (y == 1 ? null1 : null0) += w;
+        continue;
+      }
+      items.push_back({view_.Get(rows_[i], f), y == 0 ? w : 0.0,
+                       y == 1 ? w : 0.0});
+    }
+    if (items.size() < 2) return;
+    std::sort(items.begin(), items.end(),
+              [](const Item& a, const Item& b) { return a.value < b.value; });
+
+    double l0 = 0.0, l1 = 0.0;
+    for (size_t i = 0; i + 1 < items.size(); ++i) {
+      l0 += items[i].w0;
+      l1 += items[i].w1;
+      if (items[i].value == items[i + 1].value) continue;
+      const double threshold =
+          items[i].value + (items[i + 1].value - items[i].value) / 2.0;
+      Consider(best, options_.criterion, l0, l1, tot0 - l0, tot1 - l1, f,
+               /*categorical=*/false, threshold, -1);
+    }
+  }
+
+  void EvalCategorical(const std::vector<size_t>& indices, size_t f,
+                       SplitEval* best) const {
+    struct CatMass {
+      double w0 = 0.0;
+      double w1 = 0.0;
+    };
+    std::unordered_map<int32_t, CatMass> mass;
+    double tot0 = 0.0, tot1 = 0.0;
+    for (size_t i : indices) {
+      const double w = weights_[i];
+      const int y = labels_[i];
+      (y == 1 ? tot1 : tot0) += w;
+      if (view_.IsNull(rows_[i], f)) continue;
+      CatMass& m = mass[static_cast<int32_t>(view_.Get(rows_[i], f))];
+      (y == 1 ? m.w1 : m.w0) += w;
+    }
+    if (mass.size() < 2) return;
+
+    // Cap candidates at the heaviest categories. Sort fully (heaviest
+    // first, code as tie-break) so candidate order — and therefore the
+    // fitted tree — is deterministic regardless of hash-map iteration.
+    std::vector<std::pair<int32_t, CatMass>> cats(mass.begin(), mass.end());
+    std::sort(cats.begin(), cats.end(), [](const auto& a, const auto& b) {
+      const double wa = a.second.w0 + a.second.w1;
+      const double wb = b.second.w0 + b.second.w1;
+      if (wa != wb) return wa > wb;
+      return a.first < b.first;
+    });
+    if (cats.size() > options_.max_categories_per_feature) {
+      cats.resize(options_.max_categories_per_feature);
+    }
+    for (const auto& [code, m] : cats) {
+      Consider(best, options_.criterion, m.w0, m.w1, tot0 - m.w0,
+               tot1 - m.w1, f, /*categorical=*/true, 0.0, code);
+    }
+  }
+
+  const FeatureView& view_;
+  const std::vector<RowId>& rows_;
+  const std::vector<int>& labels_;
+  const std::vector<double>& weights_;
+  const DecisionTreeOptions& options_;
+  std::vector<DecisionTree::Node>* nodes_;
+};
+
+}  // namespace
+
+const char* SplitCriterionToString(SplitCriterion c) {
+  switch (c) {
+    case SplitCriterion::kGini:
+      return "gini";
+    case SplitCriterion::kGainRatio:
+      return "gain_ratio";
+  }
+  return "?";
+}
+
+Result<DecisionTree> DecisionTree::Fit(const FeatureView& view,
+                                       const std::vector<RowId>& rows,
+                                       const std::vector<int>& labels,
+                                       const std::vector<double>& weights,
+                                       const DecisionTreeOptions& options) {
+  if (rows.size() != labels.size()) {
+    return Status::InvalidArgument("rows/labels size mismatch");
+  }
+  if (rows.empty()) return Status::InvalidArgument("empty training set");
+  if (!weights.empty() && weights.size() != rows.size()) {
+    return Status::InvalidArgument("rows/weights size mismatch");
+  }
+  for (int y : labels) {
+    if (y != 0 && y != 1) {
+      return Status::InvalidArgument("labels must be 0 or 1");
+    }
+  }
+  if (view.num_features() == 0) {
+    return Status::InvalidArgument("feature view has no features");
+  }
+
+  std::vector<double> w = weights;
+  if (w.empty()) w.assign(rows.size(), 1.0);
+
+  DecisionTree tree;
+  TreeBuilder builder(view, rows, labels, w, options, &tree.nodes_);
+  std::vector<size_t> indices(rows.size());
+  for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  builder.Build(std::move(indices), 0);
+
+  if (options.ccp_alpha > 0.0) {
+    // Bottom-up cost-complexity pruning: collapse a subtree when its
+    // error reduction per extra leaf is <= alpha (errors normalized by
+    // total weight).
+    const double total = tree.nodes_[0].total();
+    // Process nodes in reverse creation order = children before parents.
+    for (int id = static_cast<int>(tree.nodes_.size()) - 1; id >= 0; --id) {
+      Node& node = tree.nodes_[id];
+      if (node.is_leaf) continue;
+      // Subtree stats via DFS.
+      double subtree_error = 0.0;
+      size_t leaves = 0;
+      std::vector<int> stack = {id};
+      while (!stack.empty()) {
+        const Node& n = tree.nodes_[stack.back()];
+        stack.pop_back();
+        if (n.is_leaf) {
+          subtree_error += std::min(n.n0, n.n1);
+          ++leaves;
+        } else {
+          stack.push_back(n.left);
+          stack.push_back(n.right);
+        }
+      }
+      const double node_error = std::min(node.n0, node.n1);
+      if (leaves > 1) {
+        const double g = (node_error - subtree_error) /
+                         (total * static_cast<double>(leaves - 1));
+        if (g <= options.ccp_alpha) {
+          node.is_leaf = true;
+          node.left = node.right = -1;
+        }
+      }
+    }
+  }
+  return tree;
+}
+
+double DecisionTree::PredictProba(const FeatureView& view, RowId row) const {
+  int id = 0;
+  while (!nodes_[id].is_leaf) {
+    const Node& n = nodes_[id];
+    bool left;
+    if (view.IsNull(row, n.feature)) {
+      left = false;
+    } else {
+      const double v = view.Get(row, n.feature);
+      left = n.categorical ? static_cast<int32_t>(v) == n.category
+                           : v <= n.threshold;
+    }
+    id = left ? n.left : n.right;
+  }
+  return nodes_[id].prob1();
+}
+
+size_t DecisionTree::num_leaves() const {
+  // Traverse from the root: pruning collapses internal nodes into
+  // leaves and leaves their former descendants orphaned in nodes_.
+  size_t count = 0;
+  std::vector<int> stack = {0};
+  while (!stack.empty()) {
+    const Node& n = nodes_[stack.back()];
+    stack.pop_back();
+    if (n.is_leaf) {
+      ++count;
+    } else {
+      stack.push_back(n.left);
+      stack.push_back(n.right);
+    }
+  }
+  return count;
+}
+
+size_t DecisionTree::depth() const {
+  size_t d = 0;
+  std::vector<int> stack = {0};
+  while (!stack.empty()) {
+    const Node& n = nodes_[stack.back()];
+    stack.pop_back();
+    if (n.is_leaf) {
+      d = std::max(d, static_cast<size_t>(n.depth));
+    } else {
+      stack.push_back(n.left);
+      stack.push_back(n.right);
+    }
+  }
+  return d;
+}
+
+std::vector<Predicate> DecisionTree::PositiveLeafPredicates(
+    const FeatureView& view, double min_precision,
+    double min_positive_weight) const {
+  std::vector<Predicate> out;
+  // DFS carrying the clause stack.
+  struct Frame {
+    int id;
+    std::vector<Clause> clauses;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({0, {}});
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    const Node& n = nodes_[frame.id];
+    if (n.is_leaf) {
+      if (n.prob1() >= min_precision && n.n1 >= min_positive_weight &&
+          !frame.clauses.empty()) {
+        out.push_back(Predicate(frame.clauses).Simplify());
+      }
+      continue;
+    }
+    const FeatureSpec& spec = view.features()[n.feature];
+    Clause left_clause, right_clause;
+    if (n.categorical) {
+      const std::string& cat = view.CategoryName(n.feature, n.category);
+      left_clause = Clause::Make(spec.name, CompareOp::kEq, Value(cat));
+      right_clause = Clause::Make(spec.name, CompareOp::kNe, Value(cat));
+    } else {
+      left_clause =
+          Clause::Make(spec.name, CompareOp::kLe, Value(n.threshold));
+      right_clause =
+          Clause::Make(spec.name, CompareOp::kGt, Value(n.threshold));
+    }
+    Frame left_frame{n.left, frame.clauses};
+    left_frame.clauses.push_back(std::move(left_clause));
+    Frame right_frame{n.right, std::move(frame.clauses)};
+    right_frame.clauses.push_back(std::move(right_clause));
+    stack.push_back(std::move(left_frame));
+    stack.push_back(std::move(right_frame));
+  }
+  return out;
+}
+
+std::string DecisionTree::ToString(const FeatureView& view) const {
+  std::string out;
+  struct Frame {
+    int id;
+    int indent;
+    std::string prefix;
+  };
+  std::vector<Frame> stack = {{0, 0, ""}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[f.id];
+    out += std::string(static_cast<size_t>(f.indent) * 2, ' ') + f.prefix;
+    if (n.is_leaf) {
+      out += "leaf: p1=" + std::to_string(n.prob1()) +
+             " (n0=" + std::to_string(n.n0) + ", n1=" + std::to_string(n.n1) +
+             ")\n";
+      continue;
+    }
+    const FeatureSpec& spec = view.features()[n.feature];
+    std::string cond;
+    if (n.categorical) {
+      cond = spec.name + " == '" + view.CategoryName(n.feature, n.category) +
+             "'";
+    } else {
+      cond = spec.name + " <= " + std::to_string(n.threshold);
+    }
+    out += "split on " + cond + "\n";
+    stack.push_back({n.right, f.indent + 1, "[else] "});
+    stack.push_back({n.left, f.indent + 1, "[" + cond + "] "});
+  }
+  return out;
+}
+
+}  // namespace dbwipes

@@ -1,0 +1,96 @@
+#include "dbwipes/learn/feature.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "dbwipes/common/stats.h"
+
+namespace dbwipes {
+
+Result<FeatureView> FeatureView::Create(
+    const Table& table, const std::vector<std::string>& columns) {
+  std::vector<FeatureSpec> specs;
+  specs.reserve(columns.size());
+  for (const std::string& name : columns) {
+    DBW_ASSIGN_OR_RETURN(size_t idx, table.schema().GetIndex(name));
+    FeatureSpec spec;
+    spec.column = idx;
+    spec.categorical = table.column(idx).type() == DataType::kString;
+    spec.name = name;
+    specs.push_back(std::move(spec));
+  }
+  return FeatureView(&table, std::move(specs));
+}
+
+Result<FeatureView> FeatureView::CreateExcluding(
+    const Table& table, const std::vector<std::string>& exclude) {
+  std::vector<std::string> columns;
+  for (const Field& f : table.schema().fields()) {
+    if (std::find(exclude.begin(), exclude.end(), f.name) == exclude.end()) {
+      columns.push_back(f.name);
+    }
+  }
+  return Create(table, columns);
+}
+
+double FeatureView::Get(RowId row, size_t f) const {
+  const FeatureSpec& spec = features_[f];
+  const Column& col = table_->column(spec.column);
+  if (col.IsNull(row)) return std::numeric_limits<double>::quiet_NaN();
+  if (spec.categorical) return static_cast<double>(col.StringCode(row));
+  return col.AsDouble(row);
+}
+
+bool FeatureView::IsNull(RowId row, size_t f) const {
+  return table_->column(features_[f].column).IsNull(row);
+}
+
+std::vector<int32_t> FeatureView::CategoriesIn(const std::vector<RowId>& rows,
+                                               size_t f) const {
+  DBW_CHECK(features_[f].categorical);
+  const Column& col = table_->column(features_[f].column);
+  std::set<int32_t> codes;
+  for (RowId r : rows) {
+    if (!col.IsNull(r)) codes.insert(col.StringCode(r));
+  }
+  return std::vector<int32_t>(codes.begin(), codes.end());
+}
+
+const std::string& FeatureView::CategoryName(size_t f, int32_t code) const {
+  DBW_CHECK(features_[f].categorical);
+  return table_->column(features_[f].column).DictionaryValue(code);
+}
+
+void FeatureView::NumericMatrix(const std::vector<RowId>& rows,
+                                bool standardize,
+                                std::vector<std::vector<double>>* matrix,
+                                std::vector<size_t>* feature_indices) const {
+  feature_indices->clear();
+  for (size_t f = 0; f < features_.size(); ++f) {
+    if (!features_[f].categorical) feature_indices->push_back(f);
+  }
+  const size_t d = feature_indices->size();
+  matrix->assign(rows.size(), std::vector<double>(d, 0.0));
+
+  for (size_t j = 0; j < d; ++j) {
+    const size_t f = (*feature_indices)[j];
+    OnlineStats stats;
+    for (RowId r : rows) {
+      const double v = Get(r, f);
+      if (!std::isnan(v)) stats.Add(v);
+    }
+    const double mean = stats.mean();
+    const double sd = stats.stddev();
+    for (size_t i = 0; i < rows.size(); ++i) {
+      double v = Get(rows[i], f);
+      if (std::isnan(v)) v = mean;  // mean imputation
+      if (standardize) {
+        v = sd > 0.0 ? (v - mean) / sd : 0.0;
+      }
+      (*matrix)[i][j] = v;
+    }
+  }
+}
+
+}  // namespace dbwipes

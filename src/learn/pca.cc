@@ -1,0 +1,126 @@
+#include "dbwipes/learn/pca.h"
+
+#include <cmath>
+
+#include "dbwipes/common/logging.h"
+
+namespace dbwipes {
+
+namespace {
+
+constexpr size_t kMaxIterations = 500;
+constexpr double kTolerance = 1e-10;
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+void Normalize(std::vector<double>* v) {
+  const double norm = std::sqrt(Dot(*v, *v));
+  if (norm > 0.0) {
+    for (double& x : *v) x /= norm;
+  }
+}
+
+}  // namespace
+
+std::vector<double> PcaResult::Project(const std::vector<double>& point) const {
+  DBW_CHECK(point.size() == means.size());
+  std::vector<double> out(components.size(), 0.0);
+  for (size_t c = 0; c < components.size(); ++c) {
+    for (size_t j = 0; j < point.size(); ++j) {
+      out[c] += (point[j] - means[j]) * components[c][j];
+    }
+  }
+  return out;
+}
+
+Result<PcaResult> ComputePca(const std::vector<std::vector<double>>& points,
+                             size_t num_components) {
+  if (points.empty()) return Status::InvalidArgument("no points for PCA");
+  const size_t n = points.size();
+  const size_t d = points[0].size();
+  if (d == 0) return Status::InvalidArgument("zero-dimensional points");
+  for (const auto& p : points) {
+    if (p.size() != d) {
+      return Status::InvalidArgument("points have inconsistent dimensions");
+    }
+  }
+  if (num_components == 0 || num_components > d) {
+    return Status::InvalidArgument("num_components must be in [1, dims]");
+  }
+
+  PcaResult result;
+  result.means.assign(d, 0.0);
+  for (const auto& p : points) {
+    for (size_t j = 0; j < d; ++j) result.means[j] += p[j];
+  }
+  for (double& m : result.means) m /= static_cast<double>(n);
+
+  // Covariance matrix (d x d). Group-by keys rarely exceed a handful
+  // of attributes, so the dense O(n d^2) build is fine.
+  std::vector<std::vector<double>> cov(d, std::vector<double>(d, 0.0));
+  for (const auto& p : points) {
+    for (size_t i = 0; i < d; ++i) {
+      const double ci = p[i] - result.means[i];
+      for (size_t j = i; j < d; ++j) {
+        cov[i][j] += ci * (p[j] - result.means[j]);
+      }
+    }
+  }
+  const double denom = n > 1 ? static_cast<double>(n - 1) : 1.0;
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = i; j < d; ++j) {
+      cov[i][j] /= denom;
+      cov[j][i] = cov[i][j];
+    }
+  }
+
+  // Power iteration with deflation.
+  for (size_t c = 0; c < num_components; ++c) {
+    // Deterministic start: basis vector of the dimension with the
+    // largest remaining variance.
+    size_t start = 0;
+    for (size_t j = 1; j < d; ++j) {
+      if (cov[j][j] > cov[start][start]) start = j;
+    }
+    std::vector<double> v(d, 0.0);
+    v[start] = 1.0;
+
+    double eigenvalue = 0.0;
+    for (size_t iter = 0; iter < kMaxIterations; ++iter) {
+      std::vector<double> next(d, 0.0);
+      for (size_t i = 0; i < d; ++i) {
+        next[i] = Dot(cov[i], v);
+      }
+      const double norm = std::sqrt(Dot(next, next));
+      if (norm < kTolerance) {
+        // Remaining covariance is ~zero; the rest of the spectrum is
+        // degenerate. Keep the current basis vector with eigenvalue 0.
+        next = v;
+        eigenvalue = 0.0;
+        break;
+      }
+      for (double& x : next) x /= norm;
+      const double delta = 1.0 - std::fabs(Dot(next, v));
+      v = std::move(next);
+      eigenvalue = norm;
+      if (delta < kTolerance) break;
+    }
+    Normalize(&v);
+    result.components.push_back(v);
+    result.explained_variance.push_back(eigenvalue);
+
+    // Deflate: cov -= lambda * v v^T.
+    for (size_t i = 0; i < d; ++i) {
+      for (size_t j = 0; j < d; ++j) {
+        cov[i][j] -= eigenvalue * v[i] * v[j];
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace dbwipes

@@ -1,0 +1,265 @@
+#include "dbwipes/learn/subgroup.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+#include "dbwipes/common/stats.h"
+
+namespace dbwipes {
+
+namespace {
+
+/// One atomic condition with its precomputed coverage bitmap over the
+/// training rows.
+struct Condition {
+  Clause clause;
+  std::vector<char> covered;  // covered[i] over row indices
+};
+
+/// A conjunction under construction during beam search.
+struct Rule {
+  std::vector<size_t> condition_ids;  // sorted
+  std::vector<char> covered;
+  double wracc = -std::numeric_limits<double>::infinity();
+
+  std::string Key() const {
+    std::string k;
+    for (size_t id : condition_ids) k += std::to_string(id) + ",";
+    return k;
+  }
+};
+
+std::vector<Condition> BuildConditions(const FeatureView& view,
+                                       const std::vector<RowId>& rows,
+                                       const SubgroupOptions& options) {
+  std::vector<Condition> conditions;
+  const size_t n = rows.size();
+  for (size_t f = 0; f < view.num_features(); ++f) {
+    const FeatureSpec& spec = view.features()[f];
+    if (spec.categorical) {
+      // Most frequent categories.
+      std::unordered_map<int32_t, size_t> freq;
+      for (RowId r : rows) {
+        if (!view.IsNull(r, f)) {
+          ++freq[static_cast<int32_t>(view.Get(r, f))];
+        }
+      }
+      std::vector<std::pair<int32_t, size_t>> cats(freq.begin(), freq.end());
+      std::sort(cats.begin(), cats.end(), [](const auto& a, const auto& b) {
+        return a.second > b.second;
+      });
+      if (cats.size() > options.max_categories_per_feature) {
+        cats.resize(options.max_categories_per_feature);
+      }
+      for (const auto& [code, count] : cats) {
+        Condition cond;
+        cond.clause = Clause::Make(spec.name, CompareOp::kEq,
+                                   Value(view.CategoryName(f, code)));
+        cond.covered.assign(n, 0);
+        for (size_t i = 0; i < n; ++i) {
+          if (!view.IsNull(rows[i], f) &&
+              static_cast<int32_t>(view.Get(rows[i], f)) == code) {
+            cond.covered[i] = 1;
+          }
+        }
+        conditions.push_back(std::move(cond));
+      }
+    } else {
+      // Quantile thresholds over the distinct values.
+      std::vector<double> values;
+      values.reserve(n);
+      for (RowId r : rows) {
+        const double v = view.Get(r, f);
+        if (!std::isnan(v)) values.push_back(v);
+      }
+      if (values.size() < 2) continue;
+      std::sort(values.begin(), values.end());
+      values.erase(std::unique(values.begin(), values.end()), values.end());
+      if (values.size() < 2) continue;
+
+      std::set<double> thresholds;
+      const size_t buckets =
+          std::min(options.max_numeric_thresholds, values.size() - 1);
+      for (size_t b = 1; b <= buckets; ++b) {
+        const double q = static_cast<double>(b) /
+                         static_cast<double>(buckets + 1);
+        const size_t idx = std::min(
+            values.size() - 2,
+            static_cast<size_t>(q * static_cast<double>(values.size() - 1)));
+        thresholds.insert(values[idx] + (values[idx + 1] - values[idx]) / 2.0);
+      }
+      for (double t : thresholds) {
+        for (CompareOp op : {CompareOp::kLe, CompareOp::kGt}) {
+          Condition cond;
+          cond.clause = Clause::Make(spec.name, op, Value(t));
+          cond.covered.assign(n, 0);
+          for (size_t i = 0; i < n; ++i) {
+            if (view.IsNull(rows[i], f)) continue;
+            const double v = view.Get(rows[i], f);
+            const bool match = op == CompareOp::kLe ? v <= t : v > t;
+            if (match) cond.covered[i] = 1;
+          }
+          conditions.push_back(std::move(cond));
+        }
+      }
+    }
+  }
+  return conditions;
+}
+
+/// Weighted relative accuracy of a coverage bitmap.
+double WRAcc(const std::vector<char>& covered,
+             const std::vector<double>& weights,
+             const std::vector<int>& labels, double total_w,
+             double total_pos_w) {
+  double cov_w = 0.0, cov_pos_w = 0.0;
+  for (size_t i = 0; i < covered.size(); ++i) {
+    if (covered[i]) {
+      cov_w += weights[i];
+      if (labels[i] == 1) cov_pos_w += weights[i];
+    }
+  }
+  if (cov_w <= 0.0 || total_w <= 0.0) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  return (cov_w / total_w) * (cov_pos_w / cov_w - total_pos_w / total_w);
+}
+
+}  // namespace
+
+Result<std::vector<Subgroup>> DiscoverSubgroups(
+    const FeatureView& view, const std::vector<RowId>& rows,
+    const std::vector<int>& labels, const std::vector<double>& init_weights,
+    const SubgroupOptions& options) {
+  if (rows.size() != labels.size()) {
+    return Status::InvalidArgument("rows/labels size mismatch");
+  }
+  if (rows.empty()) return Status::InvalidArgument("empty training set");
+  if (!init_weights.empty() && init_weights.size() != rows.size()) {
+    return Status::InvalidArgument("rows/init_weights size mismatch");
+  }
+  bool has_positive = false;
+  for (int y : labels) {
+    if (y != 0 && y != 1) {
+      return Status::InvalidArgument("labels must be 0 or 1");
+    }
+    if (y == 1) has_positive = true;
+  }
+  if (!has_positive) {
+    return Status::InvalidArgument("no positive examples for subgroups");
+  }
+
+  const size_t n = rows.size();
+  std::vector<Condition> conditions = BuildConditions(view, rows, options);
+  if (conditions.empty()) {
+    return Status::InvalidArgument(
+        "no candidate conditions could be generated from the features");
+  }
+
+  std::vector<double> weights = init_weights;
+  if (weights.empty()) weights.assign(n, 1.0);
+
+  std::vector<Subgroup> subgroups;
+  for (size_t round = 0; round < options.num_rules; ++round) {
+    double total_w = 0.0, total_pos_w = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      total_w += weights[i];
+      if (labels[i] == 1) total_pos_w += weights[i];
+    }
+    if (total_pos_w <= 1e-12) break;
+
+    // Beam search over conjunctions.
+    std::vector<Rule> beam;
+    Rule best;
+    {
+      Rule empty;
+      empty.covered.assign(n, 1);
+      beam.push_back(std::move(empty));
+    }
+    for (size_t level = 0; level < options.max_clauses; ++level) {
+      std::vector<Rule> candidates;
+      std::set<std::string> seen;
+      for (const Rule& rule : beam) {
+        for (size_t ci = 0; ci < conditions.size(); ++ci) {
+          if (std::binary_search(rule.condition_ids.begin(),
+                                 rule.condition_ids.end(), ci)) {
+            continue;
+          }
+          Rule next;
+          next.condition_ids = rule.condition_ids;
+          next.condition_ids.insert(
+              std::upper_bound(next.condition_ids.begin(),
+                               next.condition_ids.end(), ci),
+              ci);
+          const std::string key = next.Key();
+          if (!seen.insert(key).second) continue;
+
+          next.covered.assign(n, 0);
+          size_t cov_count = 0;
+          for (size_t i = 0; i < n; ++i) {
+            if (rule.covered[i] && conditions[ci].covered[i]) {
+              next.covered[i] = 1;
+              ++cov_count;
+            }
+          }
+          if (cov_count < options.min_coverage) continue;
+          next.wracc = WRAcc(next.covered, weights, labels, total_w,
+                             total_pos_w);
+          candidates.push_back(std::move(next));
+        }
+      }
+      if (candidates.empty()) break;
+      std::sort(candidates.begin(), candidates.end(),
+                [](const Rule& a, const Rule& b) { return a.wracc > b.wracc; });
+      if (candidates.size() > options.beam_width) {
+        candidates.resize(options.beam_width);
+      }
+      if (candidates.front().wracc > best.wracc) best = candidates.front();
+      beam = std::move(candidates);
+    }
+
+    if (best.condition_ids.empty() || best.wracc <= 0.0) break;
+
+    Subgroup sg;
+    std::vector<Clause> clauses;
+    for (size_t ci : best.condition_ids) {
+      clauses.push_back(conditions[ci].clause);
+    }
+    sg.predicate = Predicate(std::move(clauses)).Simplify();
+    sg.wracc = best.wracc;
+    for (size_t i = 0; i < n; ++i) {
+      if (best.covered[i]) {
+        ++sg.coverage;
+        if (labels[i] == 1) ++sg.positives;
+        sg.covered.push_back(i);
+      }
+    }
+    // Skip semantic duplicates discovered in later rounds.
+    bool duplicate = false;
+    for (const Subgroup& prev : subgroups) {
+      if (prev.predicate == sg.predicate) {
+        duplicate = true;
+        break;
+      }
+    }
+    // Weighted covering: decay covered positives so later rounds look
+    // elsewhere. (Apply even when the rule was a duplicate, to force
+    // progress.)
+    for (size_t i = 0; i < n; ++i) {
+      if (best.covered[i] && labels[i] == 1) {
+        weights[i] *= options.gamma;
+      }
+    }
+    if (!duplicate) subgroups.push_back(std::move(sg));
+  }
+
+  std::sort(subgroups.begin(), subgroups.end(),
+            [](const Subgroup& a, const Subgroup& b) {
+              return a.wracc > b.wracc;
+            });
+  return subgroups;
+}
+
+}  // namespace dbwipes

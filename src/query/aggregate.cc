@@ -1,0 +1,130 @@
+#include "dbwipes/query/aggregate.h"
+
+#include <cmath>
+#include <limits>
+
+#include "dbwipes/common/logging.h"
+
+namespace dbwipes {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+}  // namespace
+
+double AvgAggregator::Value() const {
+  if (n_ == 0) return kNaN;
+  return sum_ / static_cast<double>(n_);
+}
+
+void MinAggregator::Remove(double v) {
+  auto it = values_.find(v);
+  DBW_CHECK(it != values_.end()) << "Remove of value never added: " << v;
+  if (--it->second == 0) values_.erase(it);
+}
+
+double MinAggregator::Value() const {
+  if (values_.empty()) return kNaN;
+  return values_.begin()->first;
+}
+
+size_t MinAggregator::Count() const {
+  size_t n = 0;
+  for (const auto& [v, c] : values_) n += c;
+  return n;
+}
+
+void MaxAggregator::Remove(double v) {
+  auto it = values_.find(v);
+  DBW_CHECK(it != values_.end()) << "Remove of value never added: " << v;
+  if (--it->second == 0) values_.erase(it);
+}
+
+double MaxAggregator::Value() const {
+  if (values_.empty()) return kNaN;
+  return values_.rbegin()->first;
+}
+
+size_t MaxAggregator::Count() const {
+  size_t n = 0;
+  for (const auto& [v, c] : values_) n += c;
+  return n;
+}
+
+double StddevAggregator::Value() const {
+  if (stats_.count() < 2) return kNaN;
+  return stats_.sample_stddev();
+}
+
+double VarAggregator::Value() const {
+  if (stats_.count() < 2) return kNaN;
+  return stats_.sample_variance();
+}
+
+void MedianAggregator::Add(double v) {
+  if (low_.empty() || v <= *low_.rbegin()) {
+    low_.insert(v);
+  } else {
+    high_.insert(v);
+  }
+  Rebalance();
+}
+
+void MedianAggregator::Remove(double v) {
+  auto it = low_.find(v);
+  if (it != low_.end()) {
+    low_.erase(it);
+  } else {
+    it = high_.find(v);
+    DBW_CHECK(it != high_.end()) << "Remove of value never added: " << v;
+    high_.erase(it);
+  }
+  Rebalance();
+}
+
+void MedianAggregator::Rebalance() {
+  while (low_.size() > high_.size() + 1) {
+    auto it = std::prev(low_.end());
+    high_.insert(*it);
+    low_.erase(it);
+  }
+  while (high_.size() > low_.size()) {
+    auto it = high_.begin();
+    low_.insert(*it);
+    high_.erase(it);
+  }
+}
+
+double MedianAggregator::Value() const {
+  if (low_.empty()) return kNaN;
+  if (low_.size() > high_.size()) return *low_.rbegin();
+  return (*low_.rbegin() + *high_.begin()) / 2.0;
+}
+
+AggregatorPtr MakeAggregator(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCount:
+      return std::make_unique<CountAggregator>();
+    case AggKind::kSum:
+      return std::make_unique<SumAggregator>();
+    case AggKind::kAvg:
+      return std::make_unique<AvgAggregator>();
+    case AggKind::kMin:
+      return std::make_unique<MinAggregator>();
+    case AggKind::kMax:
+      return std::make_unique<MaxAggregator>();
+    case AggKind::kStddev:
+      return std::make_unique<StddevAggregator>();
+    case AggKind::kVar:
+      return std::make_unique<VarAggregator>();
+    case AggKind::kMedian:
+      return std::make_unique<MedianAggregator>();
+  }
+  DBW_CHECK(false) << "unknown AggKind";
+  return nullptr;
+}
+
+DataType AggOutputType(AggKind kind) {
+  return kind == AggKind::kCount ? DataType::kInt64 : DataType::kDouble;
+}
+
+}  // namespace dbwipes

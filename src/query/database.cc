@@ -1,0 +1,51 @@
+#include "dbwipes/query/database.h"
+
+#include <algorithm>
+
+#include "dbwipes/expr/parser.h"
+
+namespace dbwipes {
+
+void Database::RegisterTable(std::shared_ptr<const Table> table) {
+  DBW_CHECK(table != nullptr);
+  const std::string name = table->name();
+  tables_[name] = std::move(table);
+}
+
+void Database::RegisterTable(const std::string& name,
+                             std::shared_ptr<const Table> table) {
+  DBW_CHECK(table != nullptr);
+  tables_[name] = std::move(table);
+}
+
+Result<std::shared_ptr<const Table>> Database::GetTable(
+    const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Result<QueryResult> Database::ExecuteSql(const std::string& sql,
+                                         const ExecOptions& options) const {
+  DBW_ASSIGN_OR_RETURN(AggregateQuery query, ParseQuery(sql));
+  return Execute(query, options);
+}
+
+Result<QueryResult> Database::Execute(const AggregateQuery& query,
+                                      const ExecOptions& options) const {
+  DBW_ASSIGN_OR_RETURN(std::shared_ptr<const Table> table,
+                       GetTable(query.table_name));
+  return ExecuteQuery(query, *table, options);
+}
+
+}  // namespace dbwipes

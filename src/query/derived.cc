@@ -1,0 +1,62 @@
+#include "dbwipes/query/derived.h"
+
+#include <cmath>
+
+namespace dbwipes {
+
+Result<std::shared_ptr<Table>> WithDerivedColumn(const Table& table,
+                                                 const std::string& name,
+                                                 const ScalarExprPtr& expr) {
+  if (expr == nullptr) return Status::InvalidArgument("null expression");
+  if (table.schema().Contains(name)) {
+    return Status::AlreadyExists("column '" + name + "' already exists");
+  }
+  DBW_RETURN_NOT_OK(expr->Validate(table.schema()));
+
+  // Evaluate everything once to decide the column type.
+  std::vector<Value> values;
+  values.reserve(table.num_rows());
+  bool all_integral = true;
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    DBW_ASSIGN_OR_RETURN(Value v, expr->Eval(table, r));
+    if (!v.is_null()) {
+      DBW_ASSIGN_OR_RETURN(double d, v.AsDouble());
+      if (!(std::isfinite(d) && d == std::floor(d) &&
+            std::fabs(d) < 9.0e15)) {
+        all_integral = false;
+      }
+    }
+    values.push_back(std::move(v));
+  }
+
+  std::vector<Field> fields = table.schema().fields();
+  fields.push_back(
+      Field{name, all_integral ? DataType::kInt64 : DataType::kDouble});
+  auto out = std::make_shared<Table>(Schema(std::move(fields)), table.name());
+
+  std::vector<Value> row(out->num_columns());
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      row[c] = table.GetValue(r, c);
+    }
+    const Value& v = values[r];
+    if (v.is_null()) {
+      row.back() = Value::Null();
+    } else if (all_integral) {
+      row.back() = Value(static_cast<int64_t>(*v.AsDouble()));
+    } else {
+      row.back() = Value(*v.AsDouble());
+    }
+    DBW_RETURN_NOT_OK(out->AppendRow(row));
+  }
+  return out;
+}
+
+ScalarExprPtr Bucket(ScalarExprPtr input, double width) {
+  DBW_CHECK(width > 0.0) << "bucket width must be positive";
+  return std::make_shared<FunctionExpr>(
+      "floor", +[](double x) { return std::floor(x); },
+      Div(std::move(input), Lit(Value(width))));
+}
+
+}  // namespace dbwipes

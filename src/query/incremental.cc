@@ -1,0 +1,89 @@
+#include "dbwipes/query/incremental.h"
+
+#include <cmath>
+
+#include "dbwipes/query/aggregate.h"
+
+namespace dbwipes {
+
+Result<QueryResult> IncrementalClean(const Table& table,
+                                     const QueryResult& result,
+                                     const Predicate& predicate) {
+  if (!result.rows) return Status::InvalidArgument("empty query result");
+  if (predicate.empty()) {
+    return Status::InvalidArgument("cannot clean with an empty predicate");
+  }
+  // Lineage capture is a precondition; an all-empty lineage with a
+  // non-empty result means it was disabled.
+  bool any_lineage = false;
+  for (const auto& rows : result.lineage) {
+    if (!rows.empty()) {
+      any_lineage = true;
+      break;
+    }
+  }
+  if (!any_lineage && result.num_groups() > 0) {
+    return Status::InvalidArgument(
+        "result was executed without lineage capture");
+  }
+
+  DBW_ASSIGN_OR_RETURN(BoundPredicate bound, predicate.Bind(table));
+  const AggregateQuery& query = result.query;
+  const size_t num_keys = query.group_by.size();
+  const size_t num_aggs = query.aggregates.size();
+
+  QueryResult out;
+  out.query = query.WithCleaningPredicate(predicate);
+  out.rows = std::make_shared<Table>(result.rows->schema(), "result");
+
+  std::vector<Value> row(num_keys + num_aggs);
+  for (size_t g = 0; g < result.num_groups(); ++g) {
+    const std::vector<RowId>& lineage = result.lineage[g];
+    std::vector<RowId> survivors;
+    survivors.reserve(lineage.size());
+    for (RowId r : lineage) {
+      if (!bound.Matches(r)) survivors.push_back(r);
+    }
+    if (survivors.empty()) continue;  // the whole group was cleaned away
+
+    if (survivors.size() == lineage.size()) {
+      // Untouched group: copy the result row and lineage verbatim.
+      DBW_RETURN_NOT_OK(out.rows->AppendRow(result.rows->GetRow(
+          static_cast<RowId>(g))));
+      out.lineage.push_back(lineage);
+      continue;
+    }
+
+    // Affected group: rebuild only its aggregates over the survivors.
+    for (size_t k = 0; k < num_keys; ++k) {
+      row[k] = result.rows->GetValue(static_cast<RowId>(g), k);
+    }
+    for (size_t ai = 0; ai < num_aggs; ++ai) {
+      const AggSpec& spec = query.aggregates[ai];
+      AggregatorPtr agg = MakeAggregator(spec.kind);
+      for (RowId r : survivors) {
+        if (!spec.argument) {
+          agg->Add(0.0);  // count(*)
+          continue;
+        }
+        DBW_ASSIGN_OR_RETURN(Value v, spec.argument->Eval(table, r));
+        if (v.is_null()) continue;
+        DBW_ASSIGN_OR_RETURN(double d, v.AsDouble());
+        agg->Add(d);
+      }
+      const double value = agg->Value();
+      if (std::isnan(value)) {
+        row[num_keys + ai] = Value::Null();
+      } else if (spec.kind == AggKind::kCount) {
+        row[num_keys + ai] = Value(static_cast<int64_t>(value));
+      } else {
+        row[num_keys + ai] = Value(value);
+      }
+    }
+    DBW_RETURN_NOT_OK(out.rows->AppendRow(row));
+    out.lineage.push_back(std::move(survivors));
+  }
+  return out;
+}
+
+}  // namespace dbwipes

@@ -1,0 +1,205 @@
+#include "dbwipes/storage/column.h"
+
+#include <algorithm>
+
+#include "dbwipes/common/logging.h"
+
+namespace dbwipes {
+
+Column::Column(DataType type) : type_(type) {}
+
+int64_t Column::GetInt64(RowId row) const {
+  DBW_DCHECK(type_ == DataType::kInt64);
+  DBW_DCHECK(validity_[row]);
+  return ints_[row];
+}
+
+double Column::GetDouble(RowId row) const {
+  DBW_DCHECK(type_ == DataType::kDouble);
+  DBW_DCHECK(validity_[row]);
+  return doubles_[row];
+}
+
+const std::string& Column::GetString(RowId row) const {
+  DBW_DCHECK(type_ == DataType::kString);
+  DBW_DCHECK(validity_[row]);
+  return dictionary_[codes_[row]];
+}
+
+double Column::AsDouble(RowId row) const {
+  DBW_DCHECK(validity_[row]);
+  switch (type_) {
+    case DataType::kInt64:
+      return static_cast<double>(ints_[row]);
+    case DataType::kDouble:
+      return doubles_[row];
+    case DataType::kString:
+      DBW_CHECK(false) << "AsDouble on string column";
+  }
+  return 0.0;
+}
+
+Value Column::GetValue(RowId row) const {
+  if (!validity_[row]) return Value::Null();
+  switch (type_) {
+    case DataType::kInt64:
+      return Value(ints_[row]);
+    case DataType::kDouble:
+      return Value(doubles_[row]);
+    case DataType::kString:
+      return Value(dictionary_[codes_[row]]);
+  }
+  return Value::Null();
+}
+
+void Column::AppendNull() {
+  validity_.push_back(false);
+  ++null_count_;
+  switch (type_) {
+    case DataType::kInt64:
+      ints_.push_back(0);
+      break;
+    case DataType::kDouble:
+      doubles_.push_back(0.0);
+      break;
+    case DataType::kString:
+      codes_.push_back(-1);
+      break;
+  }
+}
+
+void Column::AppendInt64(int64_t v) {
+  DBW_DCHECK(type_ == DataType::kInt64);
+  validity_.push_back(true);
+  ints_.push_back(v);
+}
+
+void Column::AppendDouble(double v) {
+  DBW_DCHECK(type_ == DataType::kDouble);
+  validity_.push_back(true);
+  doubles_.push_back(v);
+}
+
+void Column::AppendString(const std::string& v) {
+  DBW_DCHECK(type_ == DataType::kString);
+  validity_.push_back(true);
+  codes_.push_back(InternString(v));
+}
+
+Status Column::AppendValue(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return Status::OK();
+  }
+  switch (type_) {
+    case DataType::kInt64:
+      if (!v.is_int64()) {
+        return Status::TypeError("cannot append " + v.ToString() +
+                                 " to int64 column");
+      }
+      AppendInt64(v.int64());
+      return Status::OK();
+    case DataType::kDouble:
+      if (v.is_int64()) {
+        AppendDouble(static_cast<double>(v.int64()));
+        return Status::OK();
+      }
+      if (!v.is_double()) {
+        return Status::TypeError("cannot append " + v.ToString() +
+                                 " to double column");
+      }
+      AppendDouble(v.dbl());
+      return Status::OK();
+    case DataType::kString:
+      if (!v.is_string()) {
+        return Status::TypeError("cannot append " + v.ToString() +
+                                 " to string column");
+      }
+      AppendString(v.str());
+      return Status::OK();
+  }
+  return Status::TypeError("unknown column type");
+}
+
+int32_t Column::StringCode(RowId row) const {
+  DBW_DCHECK(type_ == DataType::kString);
+  DBW_DCHECK(validity_[row]);
+  return codes_[row];
+}
+
+const std::string& Column::DictionaryValue(int32_t code) const {
+  DBW_DCHECK(type_ == DataType::kString);
+  DBW_DCHECK(code >= 0 && static_cast<size_t>(code) < dictionary_.size());
+  return dictionary_[code];
+}
+
+int32_t Column::FindCode(const std::string& s) const {
+  auto it = dictionary_index_.find(s);
+  return it == dictionary_index_.end() ? -1 : it->second;
+}
+
+void Column::AppendFrom(const Column& src, RowId row) {
+  DBW_CHECK(src.type_ == type_);
+  if (src.IsNull(row)) {
+    AppendNull();
+    return;
+  }
+  switch (type_) {
+    case DataType::kInt64:
+      AppendInt64(src.ints_[row]);
+      break;
+    case DataType::kDouble:
+      AppendDouble(src.doubles_[row]);
+      break;
+    case DataType::kString:
+      AppendString(src.dictionary_[src.codes_[row]]);
+      break;
+  }
+}
+
+Result<double> Column::MinNumeric() const {
+  if (type_ == DataType::kString) {
+    return Status::TypeError("MinNumeric on string column");
+  }
+  bool found = false;
+  double best = 0.0;
+  for (RowId r = 0; r < size(); ++r) {
+    if (IsNull(r)) continue;
+    const double v = AsDouble(r);
+    if (!found || v < best) {
+      best = v;
+      found = true;
+    }
+  }
+  if (!found) return Status::NotFound("column has no non-null values");
+  return best;
+}
+
+Result<double> Column::MaxNumeric() const {
+  if (type_ == DataType::kString) {
+    return Status::TypeError("MaxNumeric on string column");
+  }
+  bool found = false;
+  double best = 0.0;
+  for (RowId r = 0; r < size(); ++r) {
+    if (IsNull(r)) continue;
+    const double v = AsDouble(r);
+    if (!found || v > best) {
+      best = v;
+      found = true;
+    }
+  }
+  if (!found) return Status::NotFound("column has no non-null values");
+  return best;
+}
+
+int32_t Column::InternString(const std::string& s) {
+  auto it = dictionary_index_.find(s);
+  if (it != dictionary_index_.end()) return it->second;
+  const int32_t code = static_cast<int32_t>(dictionary_.size());
+  dictionary_.push_back(s);
+  dictionary_index_.emplace(s, code);
+  return code;
+}
+
+}  // namespace dbwipes

@@ -1,0 +1,247 @@
+#include "dbwipes/storage/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "dbwipes/common/string_util.h"
+
+namespace dbwipes {
+
+namespace {
+
+// Splits one CSV record, honoring quotes. `pos` advances past the
+// record's trailing newline. Returns false at end of input.
+bool NextRecord(const std::string& text, size_t* pos, char delim,
+                std::vector<std::string>* fields, Status* error) {
+  fields->clear();
+  if (*pos >= text.size()) return false;
+  std::string field;
+  bool in_quotes = false;
+  bool saw_any = false;
+  size_t i = *pos;
+  for (; i < text.size(); ++i) {
+    const char c = text[i];
+    saw_any = true;
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+    } else if (c == delim) {
+      fields->push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n') {
+      ++i;
+      break;
+    } else if (c == '\r') {
+      // swallow; handles \r\n
+    } else {
+      field += c;
+    }
+  }
+  if (in_quotes) {
+    *error = Status::ParseError("unterminated quoted field");
+    return false;
+  }
+  *pos = i;
+  if (!saw_any) return false;
+  fields->push_back(std::move(field));
+  return true;
+}
+
+enum class CellKind { kEmpty, kInt, kDouble, kString };
+
+CellKind ClassifyCell(const std::string& cell, const CsvOptions& options) {
+  std::string_view t = Trim(cell);
+  if (t.empty() || t == options.null_token) return CellKind::kEmpty;
+  if (ParseInt64(t).ok()) return CellKind::kInt;
+  if (ParseDouble(t).ok()) return CellKind::kDouble;
+  return CellKind::kString;
+}
+
+}  // namespace
+
+Result<Table> ReadCsv(const std::string& text, const CsvOptions& options,
+                      const std::string& table_name) {
+  size_t pos = 0;
+  Status error;
+  std::vector<std::string> fields;
+
+  // Header.
+  std::vector<std::string> names;
+  if (options.has_header) {
+    if (!NextRecord(text, &pos, options.delimiter, &fields, &error)) {
+      if (!error.ok()) return error;
+      return Status::ParseError("empty CSV input");
+    }
+    for (const auto& f : fields) names.emplace_back(Trim(f));
+  }
+
+  // Collect all records (needed anyway to build the table; type
+  // inference scans the first `type_inference_rows`).
+  std::vector<std::vector<std::string>> records;
+  while (NextRecord(text, &pos, options.delimiter, &fields, &error)) {
+    records.push_back(fields);
+  }
+  if (!error.ok()) return error;
+  if (records.empty() && names.empty()) {
+    return Status::ParseError("empty CSV input");
+  }
+
+  const size_t ncols = names.empty() ? records[0].size() : names.size();
+  if (names.empty()) {
+    for (size_t c = 0; c < ncols; ++c) names.push_back("c" + std::to_string(c));
+  }
+  for (size_t r = 0; r < records.size(); ++r) {
+    if (records[r].size() != ncols) {
+      return Status::ParseError("row " + std::to_string(r + 1) + " has " +
+                                std::to_string(records[r].size()) +
+                                " fields, expected " + std::to_string(ncols));
+    }
+  }
+
+  // Type inference.
+  std::vector<DataType> types(ncols, DataType::kInt64);
+  std::vector<bool> saw_value(ncols, false);
+  const size_t sample = std::min(records.size(), options.type_inference_rows);
+  for (size_t r = 0; r < sample; ++r) {
+    for (size_t c = 0; c < ncols; ++c) {
+      switch (ClassifyCell(records[r][c], options)) {
+        case CellKind::kEmpty:
+          break;
+        case CellKind::kInt:
+          saw_value[c] = true;
+          break;
+        case CellKind::kDouble:
+          saw_value[c] = true;
+          if (types[c] == DataType::kInt64) types[c] = DataType::kDouble;
+          break;
+        case CellKind::kString:
+          saw_value[c] = true;
+          types[c] = DataType::kString;
+          break;
+      }
+    }
+  }
+  // Columns with no sampled values default to string (safest).
+  for (size_t c = 0; c < ncols; ++c) {
+    if (!saw_value[c]) types[c] = DataType::kString;
+  }
+
+  std::vector<Field> schema_fields;
+  for (size_t c = 0; c < ncols; ++c) {
+    schema_fields.push_back(Field{names[c], types[c]});
+  }
+  Table table(Schema(std::move(schema_fields)), table_name);
+
+  std::vector<Value> row(ncols);
+  for (size_t r = 0; r < records.size(); ++r) {
+    for (size_t c = 0; c < ncols; ++c) {
+      const std::string& cell = records[r][c];
+      std::string_view t = Trim(cell);
+      if (t.empty() || t == options.null_token) {
+        row[c] = Value::Null();
+        continue;
+      }
+      switch (types[c]) {
+        case DataType::kInt64: {
+          auto v = ParseInt64(t);
+          if (!v.ok()) {
+            return Status::ParseError(
+                "row " + std::to_string(r + 1) + ", column '" + names[c] +
+                "': expected int64, got '" + std::string(t) + "'");
+          }
+          row[c] = Value(*v);
+          break;
+        }
+        case DataType::kDouble: {
+          auto v = ParseDouble(t);
+          if (!v.ok()) {
+            return Status::ParseError(
+                "row " + std::to_string(r + 1) + ", column '" + names[c] +
+                "': expected double, got '" + std::string(t) + "'");
+          }
+          row[c] = Value(*v);
+          break;
+        }
+        case DataType::kString:
+          row[c] = Value(std::string(t));
+          break;
+      }
+    }
+    DBW_RETURN_NOT_OK(table.AppendRow(row));
+  }
+  return table;
+}
+
+Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ReadCsv(buf.str(), options, path);
+}
+
+std::string WriteCsv(const Table& table, const CsvOptions& options) {
+  std::ostringstream os;
+  const char d = options.delimiter;
+  auto emit = [&](const std::string& cell) {
+    if (cell.find(d) != std::string::npos ||
+        cell.find('"') != std::string::npos ||
+        cell.find('\n') != std::string::npos) {
+      os << '"';
+      for (char c : cell) {
+        if (c == '"') os << '"';
+        os << c;
+      }
+      os << '"';
+    } else {
+      os << cell;
+    }
+  };
+  if (options.has_header) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) os << d;
+      emit(table.schema().field(c).name);
+    }
+    os << "\n";
+  }
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) os << d;
+      const Column& col = table.column(c);
+      if (col.IsNull(r)) {
+        os << options.null_token;
+      } else if (col.type() == DataType::kString) {
+        emit(col.GetString(r));
+      } else if (col.type() == DataType::kInt64) {
+        os << col.GetInt64(r);
+      } else {
+        os << FormatDouble(col.GetDouble(r), 17);
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out << WriteCsv(table, options);
+  if (!out) return Status::IoError("error writing '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace dbwipes

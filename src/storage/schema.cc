@@ -1,0 +1,52 @@
+#include "dbwipes/storage/schema.h"
+
+namespace dbwipes {
+
+Schema::Schema(std::initializer_list<Field> fields)
+    : fields_(fields) {
+  RebuildIndex();
+}
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  RebuildIndex();
+}
+
+void Schema::RebuildIndex() {
+  index_.clear();
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    index_.emplace(fields_[i].name, i);
+  }
+}
+
+std::optional<size_t> Schema::FindIndex(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+Result<size_t> Schema::GetIndex(const std::string& name) const {
+  auto idx = FindIndex(name);
+  if (!idx) {
+    return Status::NotFound("no column named '" + name + "' in schema [" +
+                            ToString() + "]");
+  }
+  return *idx;
+}
+
+Result<Field> Schema::GetField(const std::string& name) const {
+  DBW_ASSIGN_OR_RETURN(size_t idx, GetIndex(name));
+  return fields_[idx];
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ":";
+    out += DataTypeToString(fields_[i].type);
+  }
+  return out;
+}
+
+}  // namespace dbwipes

@@ -1,0 +1,125 @@
+#include "dbwipes/storage/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "dbwipes/common/logging.h"
+
+namespace dbwipes {
+
+Table::Table(Schema schema, std::string name)
+    : name_(std::move(name)), schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_fields());
+  for (const Field& f : schema_.fields()) {
+    columns_.emplace_back(f.type);
+  }
+}
+
+Result<const Column*> Table::GetColumn(const std::string& name) const {
+  DBW_ASSIGN_OR_RETURN(size_t idx, schema_.GetIndex(name));
+  return &columns_[idx];
+}
+
+Status Table::AppendRow(const std::vector<Value>& values) {
+  if (values.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(values.size()) + " values, table '" +
+        name_ + "' has " + std::to_string(columns_.size()) + " columns");
+  }
+  // Validate all cells before mutating any column so a failed append
+  // leaves the table unchanged.
+  for (size_t i = 0; i < values.size(); ++i) {
+    const Value& v = values[i];
+    if (v.is_null()) continue;
+    const DataType t = columns_[i].type();
+    const bool ok =
+        (t == DataType::kInt64 && v.is_int64()) ||
+        (t == DataType::kDouble && v.is_numeric()) ||
+        (t == DataType::kString && v.is_string());
+    if (!ok) {
+      return Status::TypeError("cannot append " + v.ToString() +
+                               " to column '" + schema_.field(i).name +
+                               "' of type " + DataTypeToString(t));
+    }
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    DBW_CHECK_OK(columns_[i].AppendValue(values[i]));
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+std::vector<Value> Table::GetRow(RowId row) const {
+  std::vector<Value> out;
+  out.reserve(columns_.size());
+  for (const Column& c : columns_) out.push_back(c.GetValue(row));
+  return out;
+}
+
+Table Table::Select(const std::vector<RowId>& rows) const {
+  Table out(schema_, name_);
+  for (RowId r : rows) {
+    DBW_DCHECK(r < num_rows_);
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      out.columns_[c].AppendFrom(columns_[c], r);
+    }
+    ++out.num_rows_;
+  }
+  return out;
+}
+
+Table Table::Filter(const std::vector<bool>& keep) const {
+  DBW_CHECK(keep.size() == num_rows_);
+  Table out(schema_, name_);
+  for (RowId r = 0; r < num_rows_; ++r) {
+    if (!keep[r]) continue;
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      out.columns_[c].AppendFrom(columns_[c], r);
+    }
+    ++out.num_rows_;
+  }
+  return out;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  const size_t n = std::min(max_rows, num_rows_);
+  std::vector<std::vector<std::string>> cells;
+  std::vector<std::string> header;
+  for (const Field& f : schema_.fields()) header.push_back(f.name);
+  cells.push_back(header);
+  for (RowId r = 0; r < n; ++r) {
+    std::vector<std::string> row;
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      row.push_back(columns_[c].GetValue(r).ToString());
+    }
+    cells.push_back(std::move(row));
+  }
+  std::vector<size_t> widths(schema_.num_fields(), 0);
+  for (const auto& row : cells) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    for (size_t c = 0; c < cells[i].size(); ++c) {
+      if (c > 0) os << "  ";
+      os << cells[i][c];
+      os << std::string(widths[c] - cells[i][c].size(), ' ');
+    }
+    os << "\n";
+    if (i == 0) {
+      size_t total = 0;
+      for (size_t c = 0; c < widths.size(); ++c) {
+        total += widths[c] + (c > 0 ? 2 : 0);
+      }
+      os << std::string(total, '-') << "\n";
+    }
+  }
+  if (n < num_rows_) {
+    os << "... (" << (num_rows_ - n) << " more rows)\n";
+  }
+  return os.str();
+}
+
+}  // namespace dbwipes

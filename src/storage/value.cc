@@ -1,0 +1,99 @@
+#include "dbwipes/storage/value.h"
+
+#include <cmath>
+
+#include "dbwipes/common/string_util.h"
+
+namespace dbwipes {
+
+const char* DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+Result<DataType> DataTypeFromString(std::string_view name) {
+  if (name == "int64" || name == "int") return DataType::kInt64;
+  if (name == "double" || name == "float") return DataType::kDouble;
+  if (name == "string" || name == "text") return DataType::kString;
+  return Status::ParseError("unknown data type: '" + std::string(name) + "'");
+}
+
+Result<double> Value::AsDouble() const {
+  if (is_int64()) return static_cast<double>(int64());
+  if (is_double()) return dbl();
+  if (is_null()) return Status::TypeError("NULL has no numeric value");
+  return Status::TypeError("string '" + str() + "' has no numeric value");
+}
+
+Result<DataType> Value::type() const {
+  if (is_int64()) return DataType::kInt64;
+  if (is_double()) return DataType::kDouble;
+  if (is_string()) return DataType::kString;
+  return Status::TypeError("NULL has no type");
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int64()) return std::to_string(int64());
+  if (is_double()) return FormatDouble(dbl());
+  // SQL-style string literal: embedded quotes double up, so the
+  // rendering parses back to the same value.
+  std::string out = "'";
+  for (char c : str()) {
+    if (c == '\'') out += '\'';  // double embedded quotes
+    out += c;
+  }
+  out += '\'';
+  return out;
+}
+
+namespace {
+
+// Rank used to order across types: NULL < numeric < string.
+int TypeRank(const Value& v) {
+  if (v.is_null()) return 0;
+  if (v.is_numeric()) return 1;
+  return 2;
+}
+
+}  // namespace
+
+bool Value::operator==(const Value& other) const {
+  if (is_null() || other.is_null()) return is_null() && other.is_null();
+  if (is_numeric() && other.is_numeric()) {
+    // Compare numerically so Value(2) == Value(2.0).
+    return AsDouble().ValueUnsafe() == other.AsDouble().ValueUnsafe();
+  }
+  if (is_string() && other.is_string()) return str() == other.str();
+  return false;
+}
+
+bool Value::operator<(const Value& other) const {
+  const int ra = TypeRank(*this);
+  const int rb = TypeRank(other);
+  if (ra != rb) return ra < rb;
+  if (ra == 0) return false;  // NULL == NULL
+  if (ra == 1) {
+    return AsDouble().ValueUnsafe() < other.AsDouble().ValueUnsafe();
+  }
+  return str() < other.str();
+}
+
+size_t Value::Hash() const {
+  if (is_null()) return 0x9E3779B9u;
+  if (is_numeric()) {
+    double d = AsDouble().ValueUnsafe();
+    if (d == 0.0) d = 0.0;  // collapse -0.0 and +0.0
+    return std::hash<double>{}(d);
+  }
+  return std::hash<std::string>{}(str());
+}
+
+}  // namespace dbwipes

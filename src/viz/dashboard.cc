@@ -1,0 +1,91 @@
+#include "dbwipes/viz/dashboard.h"
+
+#include <algorithm>
+
+#include "dbwipes/common/string_util.h"
+
+namespace dbwipes {
+
+std::string Dashboard::RenderQueryForm() const {
+  std::string out = "=== Query ===\n";
+  const std::string sql = session_->CurrentSql();
+  out += (sql.empty() ? "(no query)" : sql) + "\n";
+  if (!session_->applied_predicates().empty()) {
+    out += "cleaning predicates applied:\n";
+    for (const Predicate& p : session_->applied_predicates()) {
+      out += "  - NOT (" + p.ToString() + ")\n";
+    }
+  }
+  return out;
+}
+
+Result<std::string> Dashboard::RenderVisualization(const std::string& y_column,
+                                                   size_t width,
+                                                   size_t height) const {
+  if (!session_->has_result()) {
+    return std::string("=== Visualization ===\n(no result)\n");
+  }
+  const QueryResult& result = session_->result();
+  std::string y = y_column;
+  if (y.empty()) {
+    if (result.query.aggregates.empty()) {
+      return Status::InvalidArgument("query has no aggregates to plot");
+    }
+    y = result.query.aggregates[0].output_name;
+  }
+  DBW_ASSIGN_OR_RETURN(ScatterPlot plot, ScatterPlot::FromResult(result, y));
+  for (size_t g : session_->selected_groups()) {
+    // Re-mark the session's selection on the fresh plot.
+    plot.Brush(plot.points()[g].x, plot.points()[g].x, plot.points()[g].y,
+               plot.points()[g].y);
+  }
+  return "=== Visualization ===\n" + plot.Render(width, height);
+}
+
+Result<std::string> Dashboard::RenderErrorForms(size_t agg_index) const {
+  DBW_ASSIGN_OR_RETURN(std::vector<MetricSuggestion> suggestions,
+                       session_->SuggestErrorMetrics(agg_index));
+  std::string out = "=== Error metric ===\n";
+  for (size_t i = 0; i < suggestions.size(); ++i) {
+    out += "  [" + std::to_string(i) + "] " + suggestions[i].label +
+           " (default expected: " +
+           FormatDouble(suggestions[i].default_expected, 4) + ")\n";
+  }
+  return out;
+}
+
+std::string Dashboard::RenderRankedPredicates() const {
+  std::string out = "=== Ranked predicates ===\n";
+  if (!session_->has_explanation()) {
+    out += "(click debug! first)\n";
+    return out;
+  }
+  const Explanation& exp = session_->explanation();
+  if (exp.predicates.empty()) {
+    out += "(no predicates found)\n";
+    return out;
+  }
+  for (size_t i = 0; i < exp.predicates.size(); ++i) {
+    const RankedPredicate& rp = exp.predicates[i];
+    out += "  [" + std::to_string(i) + "] " + rp.predicate.ToString() + "\n";
+    out += "       score=" + FormatDouble(rp.score, 3) +
+           "  err_improvement=" + FormatDouble(rp.error_improvement, 3) +
+           "  f1(D')=" + FormatDouble(rp.f1, 3) + "  matches " +
+           std::to_string(rp.matched_in_suspects) + " suspect tuples\n";
+  }
+  return out;
+}
+
+Result<std::string> Dashboard::RenderAll() const {
+  std::string out = RenderQueryForm();
+  DBW_ASSIGN_OR_RETURN(std::string viz, RenderVisualization());
+  out += viz;
+  if (session_->has_result() && !session_->selected_groups().empty()) {
+    DBW_ASSIGN_OR_RETURN(std::string forms, RenderErrorForms());
+    out += forms;
+  }
+  out += RenderRankedPredicates();
+  return out;
+}
+
+}  // namespace dbwipes

@@ -1,0 +1,117 @@
+#include "dbwipes/viz/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "dbwipes/common/string_util.h"
+
+namespace dbwipes {
+
+Result<Histogram> Histogram::FromColumn(const Table& table,
+                                        const std::string& column,
+                                        const std::vector<RowId>& rows,
+                                        size_t num_buckets) {
+  if (num_buckets == 0) {
+    return Status::InvalidArgument("num_buckets must be > 0");
+  }
+  DBW_ASSIGN_OR_RETURN(size_t idx, table.schema().GetIndex(column));
+  const Column& col = table.column(idx);
+
+  std::vector<RowId> all;
+  const std::vector<RowId>* target = &rows;
+  if (rows.empty()) {
+    all.resize(table.num_rows());
+    for (RowId r = 0; r < table.num_rows(); ++r) all[r] = r;
+    target = &all;
+  }
+
+  Histogram h;
+  h.column_ = column;
+  h.total_count_ = target->size();
+
+  if (col.type() == DataType::kString) {
+    std::unordered_map<int32_t, size_t> freq;
+    for (RowId r : *target) {
+      if (col.IsNull(r)) {
+        ++h.null_count_;
+      } else {
+        ++freq[col.StringCode(r)];
+      }
+    }
+    std::vector<std::pair<int32_t, size_t>> cats(freq.begin(), freq.end());
+    std::sort(cats.begin(), cats.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    if (cats.size() > num_buckets) cats.resize(num_buckets);
+    for (const auto& [code, count] : cats) {
+      Bucket b;
+      b.label = col.DictionaryValue(code);
+      b.count = count;
+      h.buckets_.push_back(std::move(b));
+    }
+    return h;
+  }
+
+  // Numeric: equal-width bins over [min, max].
+  double lo = 0.0, hi = 0.0;
+  bool found = false;
+  for (RowId r : *target) {
+    if (col.IsNull(r)) {
+      ++h.null_count_;
+      continue;
+    }
+    const double v = col.AsDouble(r);
+    if (!found) {
+      lo = hi = v;
+      found = true;
+    } else {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (!found) return h;  // only NULLs
+  if (hi == lo) hi = lo + 1.0;
+
+  h.buckets_.resize(num_buckets);
+  const double width = (hi - lo) / static_cast<double>(num_buckets);
+  for (size_t b = 0; b < num_buckets; ++b) {
+    h.buckets_[b].lo = lo + width * static_cast<double>(b);
+    h.buckets_[b].hi = h.buckets_[b].lo + width;
+    h.buckets_[b].label = "[" + FormatDouble(h.buckets_[b].lo, 4) + ", " +
+                          FormatDouble(h.buckets_[b].hi, 4) + ")";
+  }
+  for (RowId r : *target) {
+    if (col.IsNull(r)) continue;
+    const double v = col.AsDouble(r);
+    size_t b = static_cast<size_t>((v - lo) / width);
+    if (b >= num_buckets) b = num_buckets - 1;  // v == hi
+    ++h.buckets_[b].count;
+  }
+  return h;
+}
+
+std::string Histogram::Render(size_t width) const {
+  std::string out = column_ + " (" + std::to_string(total_count_) +
+                    " rows, " + std::to_string(null_count_) + " null)\n";
+  size_t max_count = 1;
+  size_t label_width = 0;
+  for (const Bucket& b : buckets_) {
+    max_count = std::max(max_count, b.count);
+    label_width = std::max(label_width, b.label.size());
+  }
+  for (const Bucket& b : buckets_) {
+    const size_t bar =
+        b.count == 0
+            ? 0
+            : std::max<size_t>(
+                  1, b.count * width / max_count);
+    out += "  " + b.label + std::string(label_width - b.label.size(), ' ') +
+           " |" + std::string(bar, '#') + " " + std::to_string(b.count) +
+           "\n";
+  }
+  return out;
+}
+
+}  // namespace dbwipes

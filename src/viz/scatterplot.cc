@@ -1,0 +1,184 @@
+#include "dbwipes/viz/scatterplot.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dbwipes/common/string_util.h"
+#include "dbwipes/learn/pca.h"
+
+namespace dbwipes {
+
+Result<ScatterPlot> ScatterPlot::FromResult(const QueryResult& result,
+                                            const std::string& y_column,
+                                            const std::string& x_column) {
+  if (!result.rows) return Status::InvalidArgument("empty query result");
+  const Table& rows = *result.rows;
+  DBW_ASSIGN_OR_RETURN(size_t y_idx, rows.schema().GetIndex(y_column));
+
+  // Resolve the x axis: explicit column, else first group-by column,
+  // else the group ordinal.
+  std::optional<size_t> x_idx;
+  std::string x_label = "group";
+  if (!x_column.empty()) {
+    DBW_ASSIGN_OR_RETURN(size_t idx, rows.schema().GetIndex(x_column));
+    x_idx = idx;
+    x_label = x_column;
+  } else if (!result.query.group_by.empty()) {
+    DBW_ASSIGN_OR_RETURN(size_t idx,
+                         rows.schema().GetIndex(result.query.group_by[0]));
+    x_idx = idx;
+    x_label = result.query.group_by[0];
+  }
+
+  ScatterPlot plot;
+  plot.x_label_ = x_label;
+  plot.y_label_ = y_column;
+  plot.points_.reserve(rows.num_rows());
+  for (RowId r = 0; r < rows.num_rows(); ++r) {
+    ScatterPoint p;
+    p.group = r;
+    if (x_idx) {
+      const Column& xc = rows.column(*x_idx);
+      if (xc.IsNull(r)) {
+        p.drawable = false;
+      } else if (xc.type() == DataType::kString) {
+        // Categorical x: position by dictionary code.
+        p.x = static_cast<double>(xc.StringCode(r));
+      } else {
+        p.x = xc.AsDouble(r);
+      }
+    } else {
+      p.x = static_cast<double>(r);
+    }
+    const Column& yc = rows.column(y_idx);
+    if (yc.IsNull(r)) {
+      p.drawable = false;
+    } else {
+      p.y = yc.AsDouble(r);
+    }
+    plot.points_.push_back(p);
+  }
+  return plot;
+}
+
+Result<ScatterPlot> ScatterPlot::FromResultPca(const QueryResult& result) {
+  if (!result.rows) return Status::InvalidArgument("empty query result");
+  if (result.query.group_by.size() < 2) {
+    return Status::InvalidArgument(
+        "PCA projection needs a multi-attribute group-by");
+  }
+  const Table& rows = *result.rows;
+  const size_t d = result.query.group_by.size();
+
+  std::vector<std::vector<double>> keys;
+  std::vector<bool> drawable(rows.num_rows(), true);
+  keys.reserve(rows.num_rows());
+  for (RowId r = 0; r < rows.num_rows(); ++r) {
+    std::vector<double> key(d, 0.0);
+    for (size_t c = 0; c < d; ++c) {
+      const Column& col = rows.column(c);
+      if (col.IsNull(r)) {
+        drawable[r] = false;
+      } else if (col.type() == DataType::kString) {
+        key[c] = static_cast<double>(col.StringCode(r));
+      } else {
+        key[c] = col.AsDouble(r);
+      }
+    }
+    keys.push_back(std::move(key));
+  }
+  DBW_ASSIGN_OR_RETURN(PcaResult pca, ComputePca(keys, 2));
+
+  ScatterPlot plot;
+  plot.x_label_ = "PC1";
+  plot.y_label_ = "PC2";
+  plot.points_.reserve(keys.size());
+  for (size_t r = 0; r < keys.size(); ++r) {
+    ScatterPoint p;
+    p.group = r;
+    p.drawable = drawable[r];
+    const std::vector<double> projected = pca.Project(keys[r]);
+    p.x = projected[0];
+    p.y = projected[1];
+    plot.points_.push_back(p);
+  }
+  return plot;
+}
+
+std::vector<size_t> ScatterPlot::Brush(double x_lo, double x_hi, double y_lo,
+                                       double y_hi) {
+  for (ScatterPoint& p : points_) {
+    if (!p.drawable) continue;
+    if (p.x >= x_lo && p.x <= x_hi && p.y >= y_lo && p.y <= y_hi) {
+      p.selected = true;
+    }
+  }
+  return SelectedGroups();
+}
+
+std::vector<size_t> ScatterPlot::BrushY(double y_lo, double y_hi) {
+  return Brush(-std::numeric_limits<double>::infinity(),
+               std::numeric_limits<double>::infinity(), y_lo, y_hi);
+}
+
+void ScatterPlot::ClearSelection() {
+  for (ScatterPoint& p : points_) p.selected = false;
+}
+
+std::vector<size_t> ScatterPlot::SelectedGroups() const {
+  std::vector<size_t> out;
+  for (const ScatterPoint& p : points_) {
+    if (p.selected) out.push_back(p.group);
+  }
+  return out;
+}
+
+std::string ScatterPlot::Render(size_t width, size_t height) const {
+  width = std::max<size_t>(width, 16);
+  height = std::max<size_t>(height, 4);
+
+  double x_min = 0.0, x_max = 1.0, y_min = 0.0, y_max = 1.0;
+  bool first = true;
+  for (const ScatterPoint& p : points_) {
+    if (!p.drawable) continue;
+    if (first) {
+      x_min = x_max = p.x;
+      y_min = y_max = p.y;
+      first = false;
+    } else {
+      x_min = std::min(x_min, p.x);
+      x_max = std::max(x_max, p.x);
+      y_min = std::min(y_min, p.y);
+      y_max = std::max(y_max, p.y);
+    }
+  }
+  if (first) return "(no drawable points)\n";
+  if (x_max == x_min) x_max = x_min + 1.0;
+  if (y_max == y_min) y_max = y_min + 1.0;
+
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  for (const ScatterPoint& p : points_) {
+    if (!p.drawable) continue;
+    const size_t cx = static_cast<size_t>(
+        (p.x - x_min) / (x_max - x_min) * static_cast<double>(width - 1));
+    const size_t cy = static_cast<size_t>(
+        (p.y - y_min) / (y_max - y_min) * static_cast<double>(height - 1));
+    char& cell = grid[height - 1 - cy][cx];
+    const char mark = p.selected ? '#' : '*';
+    // Selected marks win over plain ones when points overlap.
+    if (cell != '#') cell = mark;
+  }
+
+  std::string out;
+  out += y_label_ + " (" + FormatDouble(y_min, 4) + " .. " +
+         FormatDouble(y_max, 4) + ")\n";
+  for (const std::string& line : grid) {
+    out += "|" + line + "\n";
+  }
+  out += "+" + std::string(width, '-') + "\n";
+  out += " " + x_label_ + " (" + FormatDouble(x_min, 4) + " .. " +
+         FormatDouble(x_max, 4) + ")   [* point, # selected]\n";
+  return out;
+}
+
+}  // namespace dbwipes

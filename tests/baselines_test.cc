@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dbwipes/common/random.h"
+#include "dbwipes/core/baselines.h"
+#include "dbwipes/core/evaluation.h"
+#include "dbwipes/expr/parser.h"
+
+namespace dbwipes {
+namespace {
+
+struct World {
+  std::shared_ptr<Table> table;
+  QueryResult result;
+  std::vector<size_t> suspicious;
+  std::vector<RowId> bad_rows;
+  ErrorMetricPtr metric = TooHigh(15.0);
+  PreprocessResult pre;
+};
+
+World MakeWorld() {
+  Rng rng(31);
+  World w;
+  w.table = std::make_shared<Table>(Schema{{"g", DataType::kInt64},
+                                           {"tag", DataType::kString},
+                                           {"knob", DataType::kDouble},
+                                           {"v", DataType::kDouble}},
+                                    "w");
+  for (int g = 0; g < 3; ++g) {
+    for (int i = 0; i < 60; ++i) {
+      const bool bad = g > 0 && i < 12;
+      DBW_CHECK_OK(w.table->AppendRow(
+          {Value(static_cast<int64_t>(g)), Value(bad ? "bad" : "fine"),
+           Value(rng.Normal(0, 1)),
+           Value(bad ? rng.Normal(90, 2) : rng.Normal(10, 2))}));
+      if (bad) w.bad_rows.push_back(static_cast<RowId>(w.table->num_rows() - 1));
+    }
+  }
+  w.result = *ExecuteQuery(
+      *ParseQuery("SELECT g, avg(v) AS a FROM w GROUP BY g"), *w.table);
+  w.suspicious = {1, 2};
+  w.pre = *Preprocessor::Run(*w.table, w.result, w.suspicious, *w.metric);
+  return w;
+}
+
+TEST(NaiveProvenanceTest, ReturnsAllOfFWithLowPrecision) {
+  World w = MakeWorld();
+  TupleSetExplanation naive = NaiveProvenance(w.pre);
+  EXPECT_EQ(naive.rows.size(), 120u);  // both suspicious groups entirely
+  ExplanationQuality q = ScoreTupleSet(naive.rows, w.bad_rows);
+  EXPECT_DOUBLE_EQ(q.recall, 1.0);  // complete...
+  EXPECT_NEAR(q.precision, 24.0 / 120.0, 1e-9);  // ...but imprecise
+}
+
+TEST(InfluenceTopKTest, PreciseButUndescriptive) {
+  World w = MakeWorld();
+  TupleSetExplanation topk = InfluenceTopK(w.pre, 24);
+  EXPECT_EQ(topk.rows.size(), 24u);
+  ExplanationQuality q = ScoreTupleSet(topk.rows, w.bad_rows);
+  EXPECT_GT(q.precision, 0.95);  // influence finds the bad tuples
+}
+
+TEST(InfluenceTopKTest, StopsAtNonPositiveInfluence) {
+  World w = MakeWorld();
+  TupleSetExplanation huge = InfluenceTopK(w.pre, 100000);
+  // Only tuples that actually reduce the error are returned.
+  EXPECT_LT(huge.rows.size(), w.pre.suspect_inputs.size());
+}
+
+TEST(ExhaustiveSearchTest, FindsTheTruePredicate) {
+  World w = MakeWorld();
+  FeatureView view = *FeatureView::Create(*w.table, {"g", "tag", "knob"});
+  ExhaustiveSearchOptions opts;
+  size_t evaluated = 0;
+  auto ranked = *ExhaustivePredicateSearch(*w.table, w.result, w.suspicious,
+                                           *w.metric, 0, view, w.pre, opts,
+                                           &evaluated);
+  ASSERT_FALSE(ranked.empty());
+  EXPECT_GT(evaluated, 10u);
+  // With the error-only objective the best predicate zeroes the error.
+  EXPECT_NEAR(ranked[0].error_improvement, 1.0, 1e-9);
+  // Ties break toward the *smallest* repair, so the winner may cover
+  // only as many bad rows as needed to cross the threshold — most of
+  // them, but not necessarily all.
+  ExplanationQuality q = *ScorePredicate(*w.table, ranked[0].predicate,
+                                         w.bad_rows);
+  EXPECT_GT(q.recall, 0.6);
+  EXPECT_GT(q.precision, 0.9);
+}
+
+TEST(ExhaustiveSearchTest, EvaluationCountGrowsCombinatorially) {
+  World w = MakeWorld();
+  FeatureView view = *FeatureView::Create(*w.table, {"g", "tag", "knob"});
+  size_t n1 = 0, n2 = 0;
+  ExhaustiveSearchOptions one;
+  one.max_clauses = 1;
+  ExhaustiveSearchOptions two;
+  two.max_clauses = 2;
+  ASSERT_TRUE(ExhaustivePredicateSearch(*w.table, w.result, w.suspicious,
+                                        *w.metric, 0, view, w.pre, one, &n1)
+                  .ok());
+  ASSERT_TRUE(ExhaustivePredicateSearch(*w.table, w.result, w.suspicious,
+                                        *w.metric, 0, view, w.pre, two, &n2)
+                  .ok());
+  EXPECT_GT(n2, 5 * n1);  // the blow-up E2 demonstrates
+}
+
+TEST(ExhaustiveSearchTest, TopKAndCoverageBounds) {
+  World w = MakeWorld();
+  FeatureView view = *FeatureView::Create(*w.table, {"g", "tag", "knob"});
+  ExhaustiveSearchOptions opts;
+  opts.top_k = 3;
+  opts.min_coverage = 5;
+  auto ranked = *ExhaustivePredicateSearch(*w.table, w.result, w.suspicious,
+                                           *w.metric, 0, view, w.pre, opts,
+                                           nullptr);
+  EXPECT_LE(ranked.size(), 3u);
+  for (const RankedPredicate& rp : ranked) {
+    EXPECT_GE(rp.matched_in_suspects, 5u);
+  }
+}
+
+TEST(ExhaustiveSearchTest, Validation) {
+  World w = MakeWorld();
+  FeatureView view = *FeatureView::Create(*w.table, {"tag"});
+  PreprocessResult empty;
+  EXPECT_FALSE(ExhaustivePredicateSearch(*w.table, w.result, w.suspicious,
+                                         *w.metric, 0, view, empty, {},
+                                         nullptr)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace dbwipes

@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "dbwipes/common/random.h"
+#include "dbwipes/common/result.h"
+#include "dbwipes/common/stats.h"
+#include "dbwipes/common/status.h"
+#include "dbwipes/common/string_util.h"
+
+namespace dbwipes {
+namespace {
+
+// ---------- Status / Result ----------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad k");
+}
+
+TEST(StatusTest, AllFactoryCodesRoundTrip) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::IoError("x").IsIoError());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::TypeError("x").IsTypeError());
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  DBW_ASSIGN_OR_RETURN(int h, Half(x));
+  return Half(h);
+}
+
+TEST(ResultTest, ValueAndErrorPaths) {
+  EXPECT_EQ(*Half(10), 5);
+  EXPECT_FALSE(Half(3).ok());
+  EXPECT_TRUE(Half(3).status().IsInvalidArgument());
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3, odd
+}
+
+TEST(ResultTest, ValueOr) {
+  EXPECT_EQ(Half(3).ValueOr(-1), -1);
+  EXPECT_EQ(Half(4).ValueOr(-1), 2);
+}
+
+// ---------- Rng ----------
+
+TEST(RngTest, Deterministic) {
+  Rng a(1), b(1), c(2);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformInt(7u), 7u);
+    const int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(5);
+  OnlineStats s;
+  for (int i = 0; i < 50000; ++i) s.Add(rng.Normal(10.0, 2.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(6);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, ZipfRangeAndSkew) {
+  Rng rng(7);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t v = rng.Zipf(10, 1.2);
+    ASSERT_LT(v, 10u);
+    ++counts[v];
+  }
+  // Rank 0 should dominate rank 9 under skew.
+  EXPECT_GT(counts[0], counts[9] * 3);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(8);
+  std::vector<double> w = {0.0, 1.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 30000; ++i) ++counts[rng.WeightedIndex(w)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.3);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(12);
+  OnlineStats s;
+  for (int i = 0; i < 50000; ++i) s.Add(rng.Exponential(2.0));
+  EXPECT_NEAR(s.mean(), 0.5, 0.02);
+  for (int i = 0; i < 100; ++i) EXPECT_GT(rng.Exponential(0.1), 0.0);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(9);
+  auto sample = rng.SampleWithoutReplacement(100, 30);
+  std::set<size_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(sample.size(), 30u);
+  EXPECT_EQ(distinct.size(), 30u);
+  for (size_t v : sample) EXPECT_LT(v, 100u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(10);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6};
+  auto orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+// ---------- OnlineStats ----------
+
+TEST(OnlineStatsTest, BasicMoments) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 6.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 12.0);
+  EXPECT_NEAR(s.variance(), 8.0 / 3.0, 1e-12);
+  EXPECT_NEAR(s.sample_variance(), 4.0, 1e-12);
+}
+
+TEST(OnlineStatsTest, RemoveIsExactInverseOfAdd) {
+  OnlineStats s;
+  for (double x : {1.0, 5.0, 9.0, 13.0}) s.Add(x);
+  const double mean_before = s.mean();
+  const double var_before = s.variance();
+  s.Add(100.0);
+  s.Remove(100.0);
+  EXPECT_NEAR(s.mean(), mean_before, 1e-9);
+  EXPECT_NEAR(s.variance(), var_before, 1e-9);
+  EXPECT_EQ(s.count(), 4u);
+}
+
+TEST(OnlineStatsTest, RemoveDownToEmpty) {
+  OnlineStats s;
+  s.Add(3.0);
+  s.Remove(3.0);
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStatsTest, MergeMatchesBulk) {
+  Rng rng(11);
+  OnlineStats a, b, all;
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.Normal(5, 2);
+    a.Add(x);
+    all.Add(x);
+  }
+  for (int i = 0; i < 57; ++i) {
+    const double x = rng.Normal(-1, 3);
+    b.Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+class OnlineStatsRemoveProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OnlineStatsRemoveProperty, RandomRemovalMatchesRecompute) {
+  Rng rng(GetParam());
+  std::vector<double> values;
+  OnlineStats s;
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.Normal(0, 10);
+    values.push_back(x);
+    s.Add(x);
+  }
+  // Remove half in random order; compare against a fresh accumulation.
+  rng.Shuffle(&values);
+  for (int i = 0; i < 100; ++i) {
+    s.Remove(values.back());
+    values.pop_back();
+  }
+  OnlineStats fresh;
+  for (double x : values) fresh.Add(x);
+  EXPECT_EQ(s.count(), fresh.count());
+  EXPECT_NEAR(s.mean(), fresh.mean(), 1e-8);
+  EXPECT_NEAR(s.variance(), fresh.variance(), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OnlineStatsRemoveProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---------- batch stats ----------
+
+TEST(StatsTest, QuantileAndMedian) {
+  std::vector<double> xs = {5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(Median(xs), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.25), 2.0);
+}
+
+TEST(StatsTest, QuantileEmpty) { EXPECT_EQ(Quantile({}, 0.5), 0.0); }
+
+TEST(StatsTest, PearsonCorrelation) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<double> ys = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(xs, ys), 1.0, 1e-12);
+  std::vector<double> zs = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(xs, zs), -1.0, 1e-12);
+  std::vector<double> cs = {3, 3, 3, 3, 3};
+  EXPECT_EQ(PearsonCorrelation(xs, cs), 0.0);
+}
+
+// ---------- string utils ----------
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split(",a,", ','),
+            (std::vector<std::string>{"", "a", ""}));
+  EXPECT_EQ(Split("a;b;c", ';'), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, JoinRoundTrip) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, TrimAndCase) {
+  EXPECT_EQ(Trim("  x \t\n"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_EQ(ToUpper("AbC"), "ABC");
+}
+
+TEST(StringUtilTest, PrefixSuffixCase) {
+  EXPECT_TRUE(StartsWith("sensor_id", "sensor"));
+  EXPECT_FALSE(StartsWith("id", "sensor"));
+  EXPECT_TRUE(EndsWith("file.csv", ".csv"));
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_FALSE(EqualsIgnoreCase("SELECT", "selec"));
+}
+
+TEST(StringUtilTest, ParseInt64Strict) {
+  EXPECT_EQ(*ParseInt64("42"), 42);
+  EXPECT_EQ(*ParseInt64(" -7 "), -7);
+  EXPECT_FALSE(ParseInt64("4.2").ok());
+  EXPECT_FALSE(ParseInt64("x").ok());
+  EXPECT_FALSE(ParseInt64("").ok());
+}
+
+TEST(StringUtilTest, ParseDoubleStrict) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("1e3"), 1000.0);
+  EXPECT_FALSE(ParseDouble("3.5x").ok());
+  EXPECT_FALSE(ParseDouble("").ok());
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.0), "3");
+  EXPECT_EQ(FormatDouble(-12.0), "-12");
+  EXPECT_EQ(FormatDouble(3.25), "3.25");
+  EXPECT_EQ(FormatDouble(std::nan("")), "nan");
+}
+
+}  // namespace
+}  // namespace dbwipes

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "dbwipes/storage/csv.h"
+
+namespace dbwipes {
+namespace {
+
+TEST(CsvTest, BasicParseWithTypeInference) {
+  Table t = *ReadCsv("id,name,score\n1,ann,9.5\n2,bob,7\n");
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.schema().field(0).type, DataType::kInt64);
+  EXPECT_EQ(t.schema().field(1).type, DataType::kString);
+  // Mixed int/double -> double.
+  EXPECT_EQ(t.schema().field(2).type, DataType::kDouble);
+  EXPECT_EQ(t.GetValue(1, 1), Value("bob"));
+  EXPECT_EQ(t.GetValue(1, 2), Value(7.0));
+}
+
+TEST(CsvTest, NullTokensAndEmptyCells) {
+  Table t = *ReadCsv("a,b\n1,\n,x\nNULL,y\n");
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_TRUE(t.GetValue(0, 1).is_null());
+  EXPECT_TRUE(t.GetValue(1, 0).is_null());
+  EXPECT_TRUE(t.GetValue(2, 0).is_null());
+  EXPECT_EQ(t.GetValue(2, 1), Value("y"));
+}
+
+TEST(CsvTest, QuotedFieldsWithCommasAndEscapes) {
+  Table t = *ReadCsv("a,b\n\"x, y\",\"he said \"\"hi\"\"\"\n");
+  EXPECT_EQ(t.GetValue(0, 0), Value("x, y"));
+  EXPECT_EQ(t.GetValue(0, 1), Value("he said \"hi\""));
+}
+
+TEST(CsvTest, CrLfLineEndings) {
+  Table t = *ReadCsv("a,b\r\n1,2\r\n3,4\r\n");
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.GetValue(1, 1), Value(int64_t{4}));
+}
+
+TEST(CsvTest, RaggedRowIsError) {
+  auto r = ReadCsv("a,b\n1,2\n3\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsParseError());
+}
+
+TEST(CsvTest, UnterminatedQuoteIsError) {
+  auto r = ReadCsv("a\n\"oops\n");
+  EXPECT_TRUE(r.status().IsParseError());
+}
+
+TEST(CsvTest, EmptyInputIsError) {
+  EXPECT_TRUE(ReadCsv("").status().IsParseError());
+}
+
+TEST(CsvTest, TypeContradictionAfterInferenceWindow) {
+  // Inference samples only the first row; a later string in an int
+  // column must fail loudly, not corrupt the table.
+  CsvOptions opts;
+  opts.type_inference_rows = 1;
+  auto r = ReadCsv("a\n1\nnot_a_number\n", opts);
+  EXPECT_TRUE(r.status().IsParseError());
+}
+
+TEST(CsvTest, NoHeaderGeneratesColumnNames) {
+  CsvOptions opts;
+  opts.has_header = false;
+  Table t = *ReadCsv("1,x\n2,y\n", opts);
+  EXPECT_EQ(t.schema().field(0).name, "c0");
+  EXPECT_EQ(t.schema().field(1).name, "c1");
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(CsvTest, CustomDelimiter) {
+  CsvOptions opts;
+  opts.delimiter = ';';
+  Table t = *ReadCsv("a;b\n1;2\n", opts);
+  EXPECT_EQ(t.GetValue(0, 1), Value(int64_t{2}));
+}
+
+TEST(CsvTest, RoundTripPreservesValues) {
+  Table t(Schema{{"i", DataType::kInt64},
+                 {"d", DataType::kDouble},
+                 {"s", DataType::kString}});
+  DBW_CHECK_OK(t.AppendRow({Value(int64_t{1}), Value(0.125), Value("plain")}));
+  DBW_CHECK_OK(
+      t.AppendRow({Value::Null(), Value(-3.75), Value("with, comma")}));
+  DBW_CHECK_OK(t.AppendRow(
+      {Value(int64_t{-9}), Value::Null(), Value("quote \" inside")}));
+
+  Table back = *ReadCsv(WriteCsv(t));
+  ASSERT_EQ(back.num_rows(), t.num_rows());
+  for (RowId r = 0; r < t.num_rows(); ++r) {
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      EXPECT_EQ(back.GetValue(r, c), t.GetValue(r, c))
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Table t(Schema{{"x", DataType::kInt64}});
+  DBW_CHECK_OK(t.AppendRow({Value(int64_t{42})}));
+  const std::string path = ::testing::TempDir() + "/dbwipes_csv_test.csv";
+  DBW_CHECK_OK(WriteCsvFile(t, path));
+  Table back = *ReadCsvFile(path);
+  EXPECT_EQ(back.num_rows(), 1u);
+  EXPECT_EQ(back.GetValue(0, 0), Value(int64_t{42}));
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsIoError) {
+  EXPECT_TRUE(ReadCsvFile("/nonexistent/nope.csv").status().IsIoError());
+}
+
+TEST(CsvTest, AllEmptyColumnDefaultsToString) {
+  Table t = *ReadCsv("a,b\n,1\n,2\n");
+  EXPECT_EQ(t.schema().field(0).type, DataType::kString);
+  EXPECT_EQ(t.column(0).null_count(), 2u);
+}
+
+}  // namespace
+}  // namespace dbwipes

@@ -1,0 +1,258 @@
+// Differential/property tests: the three predicate-evaluation paths
+// (row-at-a-time Predicate::Matches, compiled BoundPredicate, and the
+// BoolExpr tree) must agree on random tables, and the executor's WHERE
+// handling must match a manual filter-then-aggregate oracle.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dbwipes/common/random.h"
+#include "dbwipes/expr/bool_expr.h"
+#include "dbwipes/expr/parser.h"
+#include "dbwipes/query/executor.h"
+#include "dbwipes/query/incremental.h"
+
+namespace dbwipes {
+namespace {
+
+Table RandomTable(Rng* rng, size_t rows) {
+  Table t(Schema{{"i", DataType::kInt64},
+                 {"d", DataType::kDouble},
+                 {"s", DataType::kString}},
+          "t");
+  const char* cats[] = {"red", "green", "blue", "red-ish"};
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<Value> row(3);
+    row[0] = rng->Bernoulli(0.1)
+                 ? Value::Null()
+                 : Value(rng->UniformInt(-5, 5));
+    row[1] = rng->Bernoulli(0.1) ? Value::Null()
+                                 : Value(rng->Normal(0, 2));
+    row[2] = rng->Bernoulli(0.1)
+                 ? Value::Null()
+                 : Value(std::string(cats[rng->UniformInt(4u)]));
+    DBW_CHECK_OK(t.AppendRow(row));
+  }
+  return t;
+}
+
+Clause RandomClause(Rng* rng) {
+  switch (rng->UniformInt(6u)) {
+    case 0:
+      return Clause::Make("i",
+                          rng->Bernoulli(0.5) ? CompareOp::kLe
+                                              : CompareOp::kGt,
+                          Value(rng->UniformInt(-5, 5)));
+    case 1:
+      return Clause::Make("d",
+                          rng->Bernoulli(0.5) ? CompareOp::kGe
+                                              : CompareOp::kLt,
+                          Value(rng->Normal(0, 2)));
+    case 2:
+      return Clause::Make("s",
+                          rng->Bernoulli(0.5) ? CompareOp::kEq
+                                              : CompareOp::kNe,
+                          Value(rng->Bernoulli(0.8) ? "red" : "missing"));
+    case 3:
+      return Clause::In("s", {Value("green"), Value("blue")});
+    case 4:
+      return Clause::In("i", {Value(int64_t{0}), Value(int64_t{2}),
+                              Value(int64_t{-3})});
+    default:
+      return Clause::Make("s", CompareOp::kContains, Value("red"));
+  }
+}
+
+class PredicatePathEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PredicatePathEquivalence, AllThreePathsAgree) {
+  Rng rng(GetParam());
+  Table t = RandomTable(&rng, 300);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<Clause> clauses;
+    const size_t n = 1 + rng.UniformInt(3u);
+    for (size_t i = 0; i < n; ++i) clauses.push_back(RandomClause(&rng));
+    Predicate pred(clauses);
+    BoundPredicate bound = *pred.Bind(t);
+    BoolExprPtr expr = PredicateToBoolExpr(pred);
+    const std::vector<bool> mask = bound.MatchAll();
+    const std::vector<RowId> matching = bound.MatchingRows();
+
+    size_t match_count = 0;
+    for (RowId r = 0; r < t.num_rows(); ++r) {
+      const bool slow = *pred.Matches(t, r);
+      const bool fast = bound.Matches(r);
+      const bool tree = *expr->Eval(t, r);
+      ASSERT_EQ(slow, fast) << pred.ToString() << " row " << r;
+      ASSERT_EQ(slow, tree) << pred.ToString() << " row " << r;
+      ASSERT_EQ(slow, static_cast<bool>(mask[r]));
+      if (slow) {
+        ASSERT_EQ(matching[match_count], r);
+        ++match_count;
+      }
+    }
+    ASSERT_EQ(match_count, matching.size());
+
+    // Parsing the rendered predicate gives the same matches.
+    auto reparsed = ParsePredicate(pred.ToString());
+    ASSERT_TRUE(reparsed.ok()) << pred.ToString();
+    BoundPredicate bound2 = *reparsed->Bind(t);
+    for (RowId r = 0; r < t.num_rows(); ++r) {
+      ASSERT_EQ(bound.Matches(r), bound2.Matches(r)) << pred.ToString();
+    }
+
+    // Simplify() must preserve semantics.
+    Predicate simplified = pred.Simplify();
+    BoundPredicate bound3 = *simplified.Bind(t);
+    for (RowId r = 0; r < t.num_rows(); ++r) {
+      ASSERT_EQ(bound.Matches(r), bound3.Matches(r))
+          << pred.ToString() << " vs " << simplified.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PredicatePathEquivalence,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+class ExecutorWhereOracle : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExecutorWhereOracle, WhereMatchesManualFilter) {
+  Rng rng(GetParam());
+  Table t = RandomTable(&rng, 400);
+  for (int trial = 0; trial < 10; ++trial) {
+    Predicate pred({RandomClause(&rng)});
+    const std::string sql =
+        "SELECT i, sum(d) AS s, count(*) AS n FROM t WHERE " +
+        pred.ToString() + " GROUP BY i";
+    auto parsed = ParseQuery(sql);
+    ASSERT_TRUE(parsed.ok()) << sql;
+    QueryResult r = *ExecuteQuery(*parsed, t);
+
+    // Oracle: filter manually, then aggregate per key.
+    BoundPredicate bound = *pred.Bind(t);
+    std::map<Value, std::pair<double, int64_t>> expect;  // key -> (sum, n)
+    std::map<Value, bool> has_d;
+    for (RowId row = 0; row < t.num_rows(); ++row) {
+      if (!bound.Matches(row)) continue;
+      const Value key = t.GetValue(row, 0);
+      auto& acc = expect[key];
+      ++acc.second;
+      if (!t.column(1).IsNull(row)) {
+        acc.first += t.column(1).GetDouble(row);
+        has_d[key] = true;
+      }
+    }
+    ASSERT_EQ(r.num_groups(), expect.size()) << sql;
+    size_t gi = 0;
+    for (const auto& [key, acc] : expect) {
+      ASSERT_EQ(r.GroupKey(gi)[0], key) << sql;
+      if (has_d.count(key)) {
+        ASSERT_NEAR(r.AggValue(gi, 0), acc.first, 1e-9) << sql;
+      } else {
+        ASSERT_TRUE(std::isnan(r.AggValue(gi, 0))) << sql;
+      }
+      ASSERT_EQ(r.rows->GetValue(gi, 2), Value(acc.second)) << sql;
+      ++gi;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecutorWhereOracle,
+                         ::testing::Values(7, 14, 21));
+
+// Cleaning-rewrite law: result(query AND NOT P) over any table equals
+// result(query) computed over the table with P-matching rows deleted.
+class CleaningRewriteLaw : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CleaningRewriteLaw, RewriteEqualsPhysicalDeletion) {
+  Rng rng(GetParam());
+  Table t = RandomTable(&rng, 400);
+  AggregateQuery base = *ParseQuery(
+      "SELECT s, avg(d) AS a, count(*) AS n FROM t GROUP BY s");
+  for (int trial = 0; trial < 10; ++trial) {
+    Predicate pred({RandomClause(&rng)});
+    // Path 1: the session's rewrite.
+    QueryResult rewritten =
+        *ExecuteQuery(base.WithCleaningPredicate(pred), t);
+    // Path 2: physically delete matching rows, run the base query.
+    BoundPredicate bound = *pred.Bind(t);
+    std::vector<bool> keep(t.num_rows());
+    for (RowId r = 0; r < t.num_rows(); ++r) keep[r] = !bound.Matches(r);
+    Table physical = t.Filter(keep);
+    QueryResult direct = *ExecuteQuery(base, physical);
+
+    ASSERT_EQ(rewritten.num_groups(), direct.num_groups())
+        << pred.ToString();
+    for (size_t g = 0; g < direct.num_groups(); ++g) {
+      ASSERT_EQ(rewritten.GroupKey(g)[0], direct.GroupKey(g)[0]);
+      const double a1 = rewritten.AggValue(g, 0);
+      const double a2 = direct.AggValue(g, 0);
+      if (std::isnan(a1) || std::isnan(a2)) {
+        ASSERT_TRUE(std::isnan(a1) && std::isnan(a2));
+      } else {
+        ASSERT_NEAR(a1, a2, 1e-9);
+      }
+      ASSERT_EQ(rewritten.rows->GetValue(g, 2), direct.rows->GetValue(g, 2));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CleaningRewriteLaw,
+                         ::testing::Values(31, 62, 93));
+
+// Incremental-clean law: IncrementalClean(result, P) over a
+// lineage-captured result equals re-executing `query AND NOT P` —
+// rows, group order, aggregate values, and lineage alike.
+class IncrementalCleanLaw : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IncrementalCleanLaw, MatchesFullReexecution) {
+  Rng rng(GetParam());
+  Table t = RandomTable(&rng, 500);
+  AggregateQuery base = *ParseQuery(
+      "SELECT i, avg(d) AS a, count(*) AS n, median(d) AS m FROM t "
+      "GROUP BY i");
+  QueryResult original = *ExecuteQuery(base, t);
+  for (int trial = 0; trial < 10; ++trial) {
+    Predicate pred({RandomClause(&rng)});
+    QueryResult fast = *IncrementalClean(t, original, pred);
+    QueryResult slow =
+        *ExecuteQuery(base.WithCleaningPredicate(pred), t);
+
+    ASSERT_EQ(fast.num_groups(), slow.num_groups()) << pred.ToString();
+    ASSERT_EQ(fast.query.ToSql(), slow.query.ToSql());
+    for (size_t g = 0; g < slow.num_groups(); ++g) {
+      ASSERT_EQ(fast.GroupKey(g)[0], slow.GroupKey(g)[0]);
+      for (size_t a = 0; a < 3; ++a) {
+        const double x = fast.AggValue(g, a);
+        const double y = slow.AggValue(g, a);
+        if (std::isnan(x) || std::isnan(y)) {
+          ASSERT_TRUE(std::isnan(x) && std::isnan(y)) << pred.ToString();
+        } else {
+          ASSERT_NEAR(x, y, 1e-9) << pred.ToString();
+        }
+      }
+      ASSERT_EQ(fast.lineage[g], slow.lineage[g]) << pred.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalCleanLaw,
+                         ::testing::Values(41, 82, 123));
+
+TEST(IncrementalCleanTest, Validation) {
+  Rng rng(1);
+  Table t = RandomTable(&rng, 50);
+  AggregateQuery base = *ParseQuery("SELECT i, sum(d) AS s FROM t GROUP BY i");
+  QueryResult result = *ExecuteQuery(base, t);
+  EXPECT_TRUE(IncrementalClean(t, result, Predicate::True()).status()
+                  .IsInvalidArgument());
+  ExecOptions no_lineage;
+  no_lineage.capture_lineage = false;
+  QueryResult bare = *ExecuteQuery(base, t, no_lineage);
+  Predicate pred({Clause::Make("d", CompareOp::kGt, Value(0.0))});
+  EXPECT_TRUE(IncrementalClean(t, bare, pred).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace dbwipes

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dbwipes/core/error_metric.h"
+
+namespace dbwipes {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+TEST(ErrorMetricTest, TooHighIsThePapersDiff) {
+  auto m = TooHigh(70.0);
+  // diff(S) = max(0, max_i(s_i - c)).
+  EXPECT_DOUBLE_EQ(m->Error({60.0, 68.0}), 0.0);
+  EXPECT_DOUBLE_EQ(m->Error({120.0, 75.0}), 50.0);
+  EXPECT_DOUBLE_EQ(m->Error({}), 0.0);
+  EXPECT_NE(m->Describe().find("too high"), std::string::npos);
+}
+
+TEST(ErrorMetricTest, TooLow) {
+  auto m = TooLow(0.0);
+  EXPECT_DOUBLE_EQ(m->Error({5.0, 3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(m->Error({-40.0, 2.0}), 40.0);
+}
+
+TEST(ErrorMetricTest, NotEqual) {
+  auto m = NotEqual(10.0);
+  EXPECT_DOUBLE_EQ(m->Error({10.0}), 0.0);
+  EXPECT_DOUBLE_EQ(m->Error({7.0, 14.0}), 4.0);
+}
+
+TEST(ErrorMetricTest, TotalVariants) {
+  EXPECT_DOUBLE_EQ(TotalAbove(10.0)->Error({12.0, 15.0, 8.0}), 7.0);
+  EXPECT_DOUBLE_EQ(TotalBelow(10.0)->Error({12.0, 5.0, 9.0}), 6.0);
+}
+
+TEST(ErrorMetricTest, NaNValuesContributeNothing) {
+  EXPECT_DOUBLE_EQ(TooHigh(0.0)->Error({kNaN, 5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(TooHigh(0.0)->Error({kNaN}), 0.0);
+  EXPECT_DOUBLE_EQ(TotalBelow(10.0)->Error({kNaN, kNaN}), 0.0);
+}
+
+TEST(ErrorMetricTest, CustomLambda) {
+  auto m = Custom("squared overshoot", [](const std::vector<double>& v) {
+    double s = 0.0;
+    for (double x : v) s += x * x;
+    return s;
+  });
+  EXPECT_DOUBLE_EQ(m->Error({3.0, 4.0}), 25.0);
+  EXPECT_EQ(m->Describe(), "squared overshoot");
+}
+
+TEST(ErrorMetricTest, AsErrorFnAdapts) {
+  auto m = TooHigh(1.0);
+  ErrorFn fn = m->AsErrorFn();
+  EXPECT_DOUBLE_EQ(fn({3.0}), 2.0);
+}
+
+TEST(SuggestMetricsTest, HighSelectionOffersTooHighFirst) {
+  auto suggestions =
+      SuggestMetrics(AggKind::kAvg, {100.0, 110.0}, {20.0, 21.0, 22.0});
+  ASSERT_GE(suggestions.size(), 3u);
+  EXPECT_EQ(suggestions[0].label, "values are too high");
+  // Default expected = median of the unselected groups.
+  EXPECT_DOUBLE_EQ(suggestions[0].default_expected, 21.0);
+  auto metric = suggestions[0].make(suggestions[0].default_expected);
+  EXPECT_DOUBLE_EQ(metric->Error({100.0}), 79.0);
+}
+
+TEST(SuggestMetricsTest, LowSelectionOffersTooLowFirst) {
+  auto suggestions =
+      SuggestMetrics(AggKind::kSum, {-500.0}, {100.0, 200.0, 300.0});
+  EXPECT_EQ(suggestions[0].label, "values are too low");
+}
+
+TEST(SuggestMetricsTest, SumGetsCumulativeVariants) {
+  auto for_sum = SuggestMetrics(AggKind::kSum, {1.0}, {2.0});
+  auto for_avg = SuggestMetrics(AggKind::kAvg, {1.0}, {2.0});
+  EXPECT_GT(for_sum.size(), for_avg.size());
+}
+
+TEST(SuggestMetricsTest, EmptyUnselectedFallsBackToSelection) {
+  auto suggestions = SuggestMetrics(AggKind::kAvg, {10.0, 20.0}, {});
+  EXPECT_DOUBLE_EQ(suggestions[0].default_expected, 15.0);
+}
+
+TEST(SuggestMetricsTest, AllNaNDefaultsToZero) {
+  auto suggestions = SuggestMetrics(AggKind::kAvg, {kNaN}, {kNaN});
+  EXPECT_DOUBLE_EQ(suggestions[0].default_expected, 0.0);
+}
+
+}  // namespace
+}  // namespace dbwipes

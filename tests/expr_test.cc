@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include "dbwipes/expr/bool_expr.h"
+#include "dbwipes/expr/predicate.h"
+#include "dbwipes/expr/scalar_expr.h"
+
+namespace dbwipes {
+namespace {
+
+Table MakeTable() {
+  Table t(Schema{{"x", DataType::kInt64},
+                 {"y", DataType::kDouble},
+                 {"s", DataType::kString}},
+          "t");
+  DBW_CHECK_OK(t.AppendRow({Value(int64_t{1}), Value(10.0), Value("red")}));
+  DBW_CHECK_OK(t.AppendRow({Value(int64_t{2}), Value(20.0), Value("blue")}));
+  DBW_CHECK_OK(t.AppendRow({Value(int64_t{3}), Value::Null(), Value("red")}));
+  DBW_CHECK_OK(t.AppendRow({Value::Null(), Value(40.0), Value("green")}));
+  return t;
+}
+
+// ---------- scalar expressions ----------
+
+TEST(ScalarExprTest, LiteralAndColumn) {
+  Table t = MakeTable();
+  EXPECT_EQ(*Lit(Value(5.0))->Eval(t, 0), Value(5.0));
+  EXPECT_EQ(*Col("x")->Eval(t, 1), Value(int64_t{2}));
+  EXPECT_TRUE(Col("y")->Eval(t, 2)->is_null());
+  EXPECT_FALSE(Col("nope")->Eval(t, 0).ok());
+}
+
+TEST(ScalarExprTest, ArithmeticAndNullPropagation) {
+  Table t = MakeTable();
+  auto e = Add(Mul(Col("x"), Lit(Value(2.0))), Col("y"));
+  EXPECT_EQ(*e->Eval(t, 0), Value(12.0));   // 1*2 + 10
+  EXPECT_TRUE(e->Eval(t, 2)->is_null());    // y NULL propagates
+}
+
+TEST(ScalarExprTest, DivisionByZeroIsNull) {
+  Table t = MakeTable();
+  auto e = Div(Col("y"), Lit(Value(0.0)));
+  EXPECT_TRUE(e->Eval(t, 0)->is_null());
+}
+
+TEST(ScalarExprTest, ValidateRejectsStringArithmetic) {
+  Table t = MakeTable();
+  auto e = Add(Col("s"), Lit(Value(1.0)));
+  EXPECT_TRUE(e->Validate(t.schema()).IsTypeError());
+  EXPECT_TRUE(Add(Col("x"), Col("y"))->Validate(t.schema()).ok());
+}
+
+TEST(ScalarExprTest, ToStringRendering) {
+  auto e = Sub(Col("a"), Mul(Lit(Value(int64_t{2})), Col("b")));
+  EXPECT_EQ(e->ToString(), "(a - (2 * b))");
+}
+
+// ---------- clauses ----------
+
+TEST(ClauseTest, ComparisonOps) {
+  Clause lt = Clause::Make("x", CompareOp::kLt, Value(5.0));
+  EXPECT_TRUE(lt.Matches(Value(4.0)));
+  EXPECT_FALSE(lt.Matches(Value(5.0)));
+  EXPECT_FALSE(lt.Matches(Value::Null()));
+
+  Clause ge = Clause::Make("x", CompareOp::kGe, Value(int64_t{5}));
+  EXPECT_TRUE(ge.Matches(Value(5.0)));
+  EXPECT_TRUE(ge.Matches(Value(int64_t{6})));
+  EXPECT_FALSE(ge.Matches(Value(4.9)));
+
+  Clause ne = Clause::Make("s", CompareOp::kNe, Value("red"));
+  EXPECT_TRUE(ne.Matches(Value("blue")));
+  EXPECT_FALSE(ne.Matches(Value("red")));
+  EXPECT_FALSE(ne.Matches(Value::Null()));  // NULL never matches
+}
+
+TEST(ClauseTest, InAndContains) {
+  Clause in = Clause::In("s", {Value("a"), Value("b")});
+  EXPECT_TRUE(in.Matches(Value("a")));
+  EXPECT_FALSE(in.Matches(Value("c")));
+
+  Clause contains =
+      Clause::Make("memo", CompareOp::kContains, Value("SPOUSE"));
+  EXPECT_TRUE(contains.Matches(Value("REATTRIBUTION TO SPOUSE")));
+  EXPECT_FALSE(contains.Matches(Value("REFUND")));
+  EXPECT_FALSE(contains.Matches(Value(1.0)));
+}
+
+TEST(ClauseTest, NegateOp) {
+  EXPECT_EQ(*NegateOp(CompareOp::kLt), CompareOp::kGe);
+  EXPECT_EQ(*NegateOp(CompareOp::kEq), CompareOp::kNe);
+  EXPECT_FALSE(NegateOp(CompareOp::kIn).ok());
+}
+
+// ---------- predicates ----------
+
+TEST(PredicateTest, MatchesConjunction) {
+  Table t = MakeTable();
+  Predicate p({Clause::Make("s", CompareOp::kEq, Value("red")),
+               Clause::Make("x", CompareOp::kLe, Value(int64_t{2}))});
+  EXPECT_TRUE(*p.Matches(t, 0));
+  EXPECT_FALSE(*p.Matches(t, 1));  // blue
+  EXPECT_FALSE(*p.Matches(t, 2));  // x = 3
+  EXPECT_TRUE(Predicate::True().Matches(t, 0).ValueOrDie());
+}
+
+TEST(PredicateTest, BindFastPathAgreesWithSlowPath) {
+  Table t = MakeTable();
+  Predicate p({Clause::Make("y", CompareOp::kGt, Value(15.0)),
+               Clause::Make("s", CompareOp::kNe, Value("green"))});
+  BoundPredicate bound = *p.Bind(t);
+  for (RowId r = 0; r < t.num_rows(); ++r) {
+    EXPECT_EQ(bound.Matches(r), *p.Matches(t, r)) << "row " << r;
+  }
+}
+
+TEST(PredicateTest, BindStringEqualityForAbsentLiteral) {
+  Table t = MakeTable();
+  Predicate eq({Clause::Make("s", CompareOp::kEq, Value("missing"))});
+  EXPECT_TRUE(eq.Bind(t)->MatchingRows().empty());
+  Predicate ne({Clause::Make("s", CompareOp::kNe, Value("missing"))});
+  EXPECT_EQ(ne.Bind(t)->MatchingRows().size(), 4u);
+}
+
+TEST(PredicateTest, BindRejectsTypeMismatches) {
+  Table t = MakeTable();
+  Predicate ordered({Clause::Make("s", CompareOp::kLt, Value("a"))});
+  EXPECT_TRUE(ordered.Bind(t).status().IsTypeError());
+  Predicate contains_num({Clause::Make("x", CompareOp::kContains, Value("a"))});
+  EXPECT_TRUE(contains_num.Bind(t).status().IsTypeError());
+  Predicate unknown({Clause::Make("zz", CompareOp::kEq, Value(1.0))});
+  EXPECT_TRUE(unknown.Bind(t).status().IsNotFound());
+}
+
+TEST(PredicateTest, BoundInClause) {
+  Table t = MakeTable();
+  Predicate p({Clause::In("s", {Value("red"), Value("green")})});
+  auto rows = p.Bind(t)->MatchingRows();
+  EXPECT_EQ(rows, (std::vector<RowId>{0, 2, 3}));
+
+  Predicate nums({Clause::In("x", {Value(int64_t{1}), Value(int64_t{3})})});
+  EXPECT_EQ(nums.Bind(t)->MatchingRows(), (std::vector<RowId>{0, 2}));
+}
+
+TEST(PredicateTest, SimplifyMergesRangeClauses) {
+  Predicate p({Clause::Make("x", CompareOp::kGe, Value(1.0)),
+               Clause::Make("x", CompareOp::kGe, Value(3.0)),
+               Clause::Make("x", CompareOp::kLt, Value(10.0)),
+               Clause::Make("x", CompareOp::kLe, Value(8.0))});
+  Predicate s = p.Simplify();
+  EXPECT_EQ(s.num_clauses(), 2u);
+  EXPECT_EQ(s.ToString(), "x >= 3 AND x <= 8");
+}
+
+TEST(PredicateTest, SimplifyDeduplicates) {
+  Clause c = Clause::Make("s", CompareOp::kEq, Value("a"));
+  Predicate p({c, c, c});
+  EXPECT_EQ(p.Simplify().num_clauses(), 1u);
+}
+
+TEST(PredicateTest, CanonicalEqualityIsOrderIndependent) {
+  Predicate a({Clause::Make("x", CompareOp::kEq, Value(1.0)),
+               Clause::Make("s", CompareOp::kEq, Value("r"))});
+  Predicate b({Clause::Make("s", CompareOp::kEq, Value("r")),
+               Clause::Make("x", CompareOp::kEq, Value(1.0))});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.CanonicalString(), b.CanonicalString());
+}
+
+TEST(PredicateTest, ToStringFormats) {
+  EXPECT_EQ(Predicate::True().ToString(), "TRUE");
+  Predicate p({Clause::Make("a", CompareOp::kGt, Value(1.5)),
+               Clause::Make("s", CompareOp::kEq, Value("x"))});
+  EXPECT_EQ(p.ToString(), "a > 1.5 AND s = 'x'");
+}
+
+// ---------- bool expressions ----------
+
+TEST(BoolExprTest, AndOrNotEvaluation) {
+  Table t = MakeTable();
+  auto red = MakeComparison(Clause::Make("s", CompareOp::kEq, Value("red")));
+  auto big = MakeComparison(Clause::Make("x", CompareOp::kGe, Value(3.0)));
+  EXPECT_FALSE(*MakeAnd(red, big)->Eval(t, 0));
+  EXPECT_TRUE(*MakeAnd(red, big)->Eval(t, 2));
+  EXPECT_TRUE(*MakeOr(red, big)->Eval(t, 0));
+  EXPECT_FALSE(*MakeOr(red, big)->Eval(t, 1));
+  EXPECT_TRUE(*MakeNot(red)->Eval(t, 1));
+  EXPECT_TRUE(*MakeTrue()->Eval(t, 3));
+}
+
+TEST(BoolExprTest, NullComparisonIsFalseAndNotFlipsIt) {
+  Table t = MakeTable();
+  // Row 3 has x = NULL: x >= 0 is false, NOT (x >= 0) is true (two-
+  // valued semantics, documented in bool_expr.h).
+  auto cmp = MakeComparison(Clause::Make("x", CompareOp::kGe, Value(0.0)));
+  EXPECT_FALSE(*cmp->Eval(t, 3));
+  EXPECT_TRUE(*MakeNot(cmp)->Eval(t, 3));
+}
+
+TEST(BoolExprTest, PredicateConversionMatches) {
+  Table t = MakeTable();
+  Predicate p({Clause::Make("s", CompareOp::kEq, Value("red")),
+               Clause::Make("x", CompareOp::kLe, Value(1.0))});
+  BoolExprPtr e = PredicateToBoolExpr(p);
+  for (RowId r = 0; r < t.num_rows(); ++r) {
+    EXPECT_EQ(*e->Eval(t, r), *p.Matches(t, r));
+  }
+  EXPECT_EQ(PredicateToBoolExpr(Predicate::True())->kind(),
+            BoolExpr::Kind::kTrue);
+}
+
+TEST(BoolExprTest, EvalFilter) {
+  Table t = MakeTable();
+  auto e = MakeComparison(Clause::Make("s", CompareOp::kEq, Value("red")));
+  std::vector<bool> mask = *EvalFilter(*e, t);
+  EXPECT_EQ(mask, (std::vector<bool>{true, false, true, false}));
+}
+
+TEST(BoolExprTest, ValidateCatchesUnknownColumns) {
+  Table t = MakeTable();
+  auto bad = MakeAnd(
+      MakeComparison(Clause::Make("x", CompareOp::kGe, Value(0.0))),
+      MakeComparison(Clause::Make("zz", CompareOp::kEq, Value(1.0))));
+  EXPECT_TRUE(bad->Validate(t.schema()).IsNotFound());
+}
+
+}  // namespace
+}  // namespace dbwipes

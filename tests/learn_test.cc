@@ -1,0 +1,407 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "dbwipes/common/random.h"
+#include "dbwipes/learn/decision_tree.h"
+#include "dbwipes/learn/feature.h"
+#include "dbwipes/learn/kmeans.h"
+#include "dbwipes/learn/naive_bayes.h"
+
+namespace dbwipes {
+namespace {
+
+std::shared_ptr<Table> MixedTable() {
+  auto t = std::make_shared<Table>(Schema{{"num", DataType::kDouble},
+                                          {"cat", DataType::kString},
+                                          {"extra", DataType::kInt64}},
+                                   "m");
+  auto add = [&](double n, const char* c, int64_t e) {
+    DBW_CHECK_OK(t->AppendRow({Value(n), Value(c), Value(e)}));
+  };
+  add(1.0, "a", 10);
+  add(2.0, "b", 20);
+  add(3.0, "a", 30);
+  DBW_CHECK_OK(t->AppendRow({Value::Null(), Value("c"), Value::Null()}));
+  return t;
+}
+
+// ---------- FeatureView ----------
+
+TEST(FeatureViewTest, CreateAndAccess) {
+  auto t = MixedTable();
+  FeatureView v = *FeatureView::Create(*t, {"num", "cat"});
+  ASSERT_EQ(v.num_features(), 2u);
+  EXPECT_FALSE(v.features()[0].categorical);
+  EXPECT_TRUE(v.features()[1].categorical);
+  EXPECT_DOUBLE_EQ(v.Get(0, 0), 1.0);
+  EXPECT_TRUE(std::isnan(v.Get(3, 0)));
+  EXPECT_TRUE(v.IsNull(3, 0));
+  // Categorical values come back as dictionary codes.
+  EXPECT_EQ(v.Get(0, 1), v.Get(2, 1));
+  EXPECT_NE(v.Get(0, 1), v.Get(1, 1));
+  EXPECT_EQ(v.CategoryName(1, static_cast<int32_t>(v.Get(1, 1))), "b");
+}
+
+TEST(FeatureViewTest, CreateExcluding) {
+  auto t = MixedTable();
+  FeatureView v = *FeatureView::CreateExcluding(*t, {"num"});
+  ASSERT_EQ(v.num_features(), 2u);
+  EXPECT_EQ(v.features()[0].name, "cat");
+  EXPECT_EQ(v.features()[1].name, "extra");
+}
+
+TEST(FeatureViewTest, UnknownColumnErrors) {
+  auto t = MixedTable();
+  EXPECT_TRUE(FeatureView::Create(*t, {"nope"}).status().IsNotFound());
+}
+
+TEST(FeatureViewTest, CategoriesIn) {
+  auto t = MixedTable();
+  FeatureView v = *FeatureView::Create(*t, {"cat"});
+  auto cats = v.CategoriesIn({0, 1, 2}, 0);
+  EXPECT_EQ(cats.size(), 2u);  // a, b (not c)
+}
+
+TEST(FeatureViewTest, NumericMatrixStandardizesAndImputes) {
+  auto t = MixedTable();
+  FeatureView v = *FeatureView::Create(*t, {"num", "cat", "extra"});
+  std::vector<std::vector<double>> m;
+  std::vector<size_t> idx;
+  v.NumericMatrix({0, 1, 2, 3}, /*standardize=*/true, &m, &idx);
+  ASSERT_EQ(idx.size(), 2u);  // num, extra (cat excluded)
+  ASSERT_EQ(m.size(), 4u);
+  // Row 3 was NULL -> imputed with the mean -> standardized to 0.
+  EXPECT_NEAR(m[3][0], 0.0, 1e-12);
+  // Column mean of standardized values is ~0.
+  double mean = 0.0;
+  for (const auto& row : m) mean += row[0];
+  EXPECT_NEAR(mean / 4.0, 0.0, 1e-9);
+}
+
+// ---------- k-means ----------
+
+TEST(KMeansTest, SeparatesTwoBlobs) {
+  Rng rng(42);
+  std::vector<std::vector<double>> pts;
+  for (int i = 0; i < 50; ++i) {
+    pts.push_back({rng.Normal(0, 0.5), rng.Normal(0, 0.5)});
+  }
+  for (int i = 0; i < 50; ++i) {
+    pts.push_back({rng.Normal(10, 0.5), rng.Normal(10, 0.5)});
+  }
+  KMeansResult r = *KMeans(pts, 2, &rng);
+  // All of blob 1 in one cluster, all of blob 2 in the other.
+  for (int i = 1; i < 50; ++i) EXPECT_EQ(r.assignment[i], r.assignment[0]);
+  for (int i = 51; i < 100; ++i) EXPECT_EQ(r.assignment[i], r.assignment[50]);
+  EXPECT_NE(r.assignment[0], r.assignment[50]);
+  auto sizes = r.ClusterSizes(2);
+  EXPECT_EQ(sizes[0] + sizes[1], 100u);
+}
+
+TEST(KMeansTest, KOneYieldsCentroidAtMean) {
+  Rng rng(1);
+  std::vector<std::vector<double>> pts = {{0.0}, {2.0}, {4.0}};
+  KMeansResult r = *KMeans(pts, 1, &rng);
+  EXPECT_NEAR(r.centroids[0][0], 2.0, 1e-9);
+}
+
+TEST(KMeansTest, InvalidArguments) {
+  Rng rng(1);
+  EXPECT_FALSE(KMeans({}, 1, &rng).ok());
+  EXPECT_FALSE(KMeans({{1.0}}, 2, &rng).ok());
+  EXPECT_FALSE(KMeans({{1.0}, {1.0, 2.0}}, 1, &rng).ok());
+}
+
+TEST(KMeansTest, DuplicatePointsDoNotCrash) {
+  Rng rng(2);
+  std::vector<std::vector<double>> pts(10, {3.0, 3.0});
+  KMeansResult r = *KMeans(pts, 3, &rng);
+  EXPECT_EQ(r.assignment.size(), 10u);
+  EXPECT_NEAR(r.inertia, 0.0, 1e-9);
+}
+
+TEST(KMeansTest, AutoFindsTwoBlobs) {
+  Rng rng(7);
+  std::vector<std::vector<double>> pts;
+  for (int i = 0; i < 40; ++i) pts.push_back({rng.Normal(0, 0.3)});
+  for (int i = 0; i < 40; ++i) pts.push_back({rng.Normal(8, 0.3)});
+  KMeansResult r = *KMeansAuto(pts, 4, &rng);
+  const int k = 1 + *std::max_element(r.assignment.begin(), r.assignment.end());
+  EXPECT_EQ(k, 2);
+}
+
+TEST(KMeansTest, AutoPrefersOneClusterForHomogeneousData) {
+  Rng rng(8);
+  std::vector<std::vector<double>> pts;
+  for (int i = 0; i < 80; ++i) pts.push_back({rng.UniformDouble(0, 1)});
+  KMeansResult r = *KMeansAuto(pts, 4, &rng);
+  const int k = 1 + *std::max_element(r.assignment.begin(), r.assignment.end());
+  EXPECT_EQ(k, 1);
+}
+
+// ---------- naive Bayes ----------
+
+std::shared_ptr<Table> LabeledBlobTable(std::vector<int>* labels, Rng* rng) {
+  auto t = std::make_shared<Table>(
+      Schema{{"x", DataType::kDouble}, {"color", DataType::kString}}, "b");
+  labels->clear();
+  for (int i = 0; i < 100; ++i) {
+    const bool pos = i % 2 == 0;
+    DBW_CHECK_OK(t->AppendRow(
+        {Value(rng->Normal(pos ? 5.0 : -5.0, 1.0)),
+         Value(pos ? (rng->Bernoulli(0.9) ? "hot" : "cold")
+                   : (rng->Bernoulli(0.9) ? "cold" : "hot"))}));
+    labels->push_back(pos ? 1 : 0);
+  }
+  return t;
+}
+
+TEST(NaiveBayesTest, LearnsSeparableClasses) {
+  Rng rng(3);
+  std::vector<int> labels;
+  auto t = LabeledBlobTable(&labels, &rng);
+  FeatureView v = *FeatureView::Create(*t, {"x", "color"});
+  std::vector<RowId> rows;
+  for (RowId r = 0; r < t->num_rows(); ++r) rows.push_back(r);
+  NaiveBayes model = *NaiveBayes::Fit(v, rows, labels);
+  int correct = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (model.Predict(v, rows[i]) == labels[i]) ++correct;
+  }
+  EXPECT_GE(correct, 95);
+}
+
+TEST(NaiveBayesTest, ProbabilitiesAreCalibratedDirectionally) {
+  Rng rng(4);
+  std::vector<int> labels;
+  auto t = LabeledBlobTable(&labels, &rng);
+  FeatureView v = *FeatureView::Create(*t, {"x"});
+  std::vector<RowId> rows;
+  for (RowId r = 0; r < t->num_rows(); ++r) rows.push_back(r);
+  NaiveBayes model = *NaiveBayes::Fit(v, rows, labels);
+  // A deep-positive row should get probability near 1.
+  double best = 0.0;
+  for (RowId r : rows) best = std::max(best, model.PredictProba(v, r));
+  EXPECT_GT(best, 0.99);
+}
+
+TEST(NaiveBayesTest, FitValidation) {
+  auto t = MixedTable();
+  FeatureView v = *FeatureView::Create(*t, {"num"});
+  EXPECT_FALSE(NaiveBayes::Fit(v, {0, 1}, {1, 1}).ok());   // one class
+  EXPECT_FALSE(NaiveBayes::Fit(v, {0, 1}, {0}).ok());      // size mismatch
+  EXPECT_FALSE(NaiveBayes::Fit(v, {0, 1}, {0, 2}).ok());   // bad label
+  EXPECT_FALSE(NaiveBayes::Fit(v, {}, {}).ok());           // empty
+}
+
+// ---------- decision tree ----------
+
+TEST(DecisionTreeTest, LearnsAxisAlignedSplit) {
+  Rng rng(5);
+  auto t = std::make_shared<Table>(Schema{{"x", DataType::kDouble}}, "d");
+  std::vector<RowId> rows;
+  std::vector<int> labels;
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.UniformDouble(0, 10);
+    DBW_CHECK_OK(t->AppendRow({Value(x)}));
+    rows.push_back(static_cast<RowId>(i));
+    labels.push_back(x > 7.0 ? 1 : 0);
+  }
+  FeatureView v = *FeatureView::Create(*t, {"x"});
+  DecisionTree tree = *DecisionTree::Fit(v, rows, labels, {}, {});
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(tree.Predict(v, rows[i]), labels[i]);
+  }
+  EXPECT_LE(tree.depth(), 2u);
+  // The learned threshold predicate matches the planted split.
+  auto preds = tree.PositiveLeafPredicates(v, 0.9);
+  ASSERT_EQ(preds.size(), 1u);
+  ASSERT_EQ(preds[0].num_clauses(), 1u);
+  EXPECT_EQ(preds[0].clauses()[0].op, CompareOp::kGt);
+  EXPECT_NEAR(*preds[0].clauses()[0].literal.AsDouble(), 7.0, 0.5);
+}
+
+TEST(DecisionTreeTest, LearnsCategoricalSplit) {
+  auto t = std::make_shared<Table>(Schema{{"c", DataType::kString}}, "d");
+  std::vector<RowId> rows;
+  std::vector<int> labels;
+  const char* cats[] = {"bad", "good1", "good2"};
+  Rng rng(6);
+  for (int i = 0; i < 150; ++i) {
+    const size_t c = rng.UniformInt(3u);
+    DBW_CHECK_OK(t->AppendRow({Value(cats[c])}));
+    rows.push_back(static_cast<RowId>(i));
+    labels.push_back(c == 0 ? 1 : 0);
+  }
+  FeatureView v = *FeatureView::Create(*t, {"c"});
+  DecisionTree tree = *DecisionTree::Fit(v, rows, labels, {}, {});
+  auto preds = tree.PositiveLeafPredicates(v, 0.9);
+  ASSERT_FALSE(preds.empty());
+  EXPECT_EQ(preds[0].ToString(), "c = 'bad'");
+}
+
+TEST(DecisionTreeTest, GainRatioAlsoLearns) {
+  Rng rng(9);
+  auto t = std::make_shared<Table>(Schema{{"x", DataType::kDouble}}, "d");
+  std::vector<RowId> rows;
+  std::vector<int> labels;
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.UniformDouble(0, 1);
+    DBW_CHECK_OK(t->AppendRow({Value(x)}));
+    rows.push_back(static_cast<RowId>(i));
+    labels.push_back(x < 0.3 ? 1 : 0);
+  }
+  FeatureView v = *FeatureView::Create(*t, {"x"});
+  DecisionTreeOptions opts;
+  opts.criterion = SplitCriterion::kGainRatio;
+  DecisionTree tree = *DecisionTree::Fit(v, rows, labels, {}, opts);
+  int correct = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    correct += tree.Predict(v, rows[i]) == labels[i];
+  }
+  EXPECT_GE(correct, 195);
+}
+
+TEST(DecisionTreeTest, MaxDepthBoundsPredicateComplexity) {
+  Rng rng(10);
+  auto t = std::make_shared<Table>(
+      Schema{{"a", DataType::kDouble}, {"b", DataType::kDouble}}, "d");
+  std::vector<RowId> rows;
+  std::vector<int> labels;
+  for (int i = 0; i < 300; ++i) {
+    const double a = rng.UniformDouble(0, 1);
+    const double b = rng.UniformDouble(0, 1);
+    DBW_CHECK_OK(t->AppendRow({Value(a), Value(b)}));
+    rows.push_back(static_cast<RowId>(i));
+    labels.push_back(a > 0.5 && b > 0.5 ? 1 : 0);
+  }
+  FeatureView v = *FeatureView::Create(*t, {"a", "b"});
+  DecisionTreeOptions opts;
+  opts.max_depth = 2;
+  DecisionTree tree = *DecisionTree::Fit(v, rows, labels, {}, opts);
+  EXPECT_LE(tree.depth(), 2u);
+  for (const Predicate& p : tree.PositiveLeafPredicates(v, 0.5)) {
+    EXPECT_LE(p.num_clauses(), 2u);
+  }
+}
+
+TEST(DecisionTreeTest, WeightsShiftTheSplit) {
+  // Without weights the majority class dominates; upweighting the
+  // positives forces the tree to carve them out.
+  auto t = std::make_shared<Table>(Schema{{"x", DataType::kDouble}}, "d");
+  std::vector<RowId> rows;
+  std::vector<int> labels;
+  std::vector<double> weights;
+  for (int i = 0; i < 100; ++i) {
+    DBW_CHECK_OK(t->AppendRow({Value(static_cast<double>(i))}));
+    rows.push_back(static_cast<RowId>(i));
+    labels.push_back(i >= 95 ? 1 : 0);
+    weights.push_back(i >= 95 ? 50.0 : 1.0);
+  }
+  FeatureView v = *FeatureView::Create(*t, {"x"});
+  DecisionTreeOptions opts;
+  opts.min_samples_leaf = 1.0;
+  DecisionTree tree = *DecisionTree::Fit(v, rows, labels, weights, opts);
+  EXPECT_EQ(tree.Predict(v, 99), 1);
+  EXPECT_EQ(tree.Predict(v, 10), 0);
+}
+
+TEST(DecisionTreeTest, CostComplexityPruningShrinksTree) {
+  Rng rng(11);
+  auto t = std::make_shared<Table>(Schema{{"x", DataType::kDouble}}, "d");
+  std::vector<RowId> rows;
+  std::vector<int> labels;
+  for (int i = 0; i < 400; ++i) {
+    const double x = rng.UniformDouble(0, 1);
+    DBW_CHECK_OK(t->AppendRow({Value(x)}));
+    rows.push_back(static_cast<RowId>(i));
+    // Noisy labels: 80% follow x > 0.5, 20% random.
+    labels.push_back(rng.Bernoulli(0.8) ? (x > 0.5 ? 1 : 0)
+                                        : (rng.Bernoulli(0.5) ? 1 : 0));
+  }
+  FeatureView v = *FeatureView::Create(*t, {"x"});
+  DecisionTreeOptions loose;
+  loose.max_depth = 8;
+  DecisionTree big = *DecisionTree::Fit(v, rows, labels, {}, loose);
+  DecisionTreeOptions pruned = loose;
+  pruned.ccp_alpha = 0.02;
+  DecisionTree small = *DecisionTree::Fit(v, rows, labels, {}, pruned);
+  EXPECT_LT(small.num_leaves(), big.num_leaves());
+}
+
+TEST(DecisionTreeTest, NullsRouteRight) {
+  auto t = std::make_shared<Table>(Schema{{"x", DataType::kDouble}}, "d");
+  std::vector<RowId> rows;
+  std::vector<int> labels;
+  for (int i = 0; i < 20; ++i) {
+    DBW_CHECK_OK(t->AppendRow({Value(static_cast<double>(i))}));
+    rows.push_back(static_cast<RowId>(i));
+    labels.push_back(i < 10 ? 1 : 0);
+  }
+  DBW_CHECK_OK(t->AppendRow({Value::Null()}));
+  FeatureView v = *FeatureView::Create(*t, {"x"});
+  DecisionTree tree = *DecisionTree::Fit(v, rows, labels, {}, {});
+  // NULL goes right = the "condition false" branch = negative side here.
+  EXPECT_EQ(tree.Predict(v, 20), 0);
+}
+
+TEST(DecisionTreeTest, PredicatesClassifyConsistentlyWithTree) {
+  // Property: rows matching any extracted positive predicate are
+  // predicted positive by the tree (on null-free data).
+  Rng rng(12);
+  auto t = std::make_shared<Table>(
+      Schema{{"a", DataType::kDouble}, {"c", DataType::kString}}, "d");
+  std::vector<RowId> rows;
+  std::vector<int> labels;
+  const char* cats[] = {"p", "q", "r"};
+  for (int i = 0; i < 500; ++i) {
+    const double a = rng.Normal(0, 1);
+    const size_t c = rng.UniformInt(3u);
+    DBW_CHECK_OK(t->AppendRow({Value(a), Value(cats[c])}));
+    rows.push_back(static_cast<RowId>(i));
+    labels.push_back((a > 0.5 && c == 1) ? 1 : 0);
+  }
+  FeatureView v = *FeatureView::Create(*t, {"a", "c"});
+  DecisionTree tree = *DecisionTree::Fit(v, rows, labels, {}, {});
+  auto preds = tree.PositiveLeafPredicates(v, 0.5);
+  ASSERT_FALSE(preds.empty());
+  for (const Predicate& p : preds) {
+    BoundPredicate bound = *p.Bind(*t);
+    for (RowId r : rows) {
+      if (bound.Matches(r)) {
+        EXPECT_GE(tree.PredictProba(v, r), 0.5)
+            << "predicate " << p.ToString() << " row " << r;
+      }
+    }
+  }
+}
+
+TEST(DecisionTreeTest, FitValidation) {
+  auto t = MixedTable();
+  FeatureView v = *FeatureView::Create(*t, {"num"});
+  EXPECT_FALSE(DecisionTree::Fit(v, {}, {}, {}, {}).ok());
+  EXPECT_FALSE(DecisionTree::Fit(v, {0, 1}, {0}, {}, {}).ok());
+  EXPECT_FALSE(DecisionTree::Fit(v, {0, 1}, {0, 3}, {}, {}).ok());
+  EXPECT_FALSE(DecisionTree::Fit(v, {0, 1}, {0, 1}, {1.0}, {}).ok());
+}
+
+TEST(DecisionTreeTest, ToStringShowsStructure) {
+  auto t = std::make_shared<Table>(Schema{{"x", DataType::kDouble}}, "d");
+  std::vector<RowId> rows;
+  std::vector<int> labels;
+  for (int i = 0; i < 20; ++i) {
+    DBW_CHECK_OK(t->AppendRow({Value(static_cast<double>(i))}));
+    rows.push_back(static_cast<RowId>(i));
+    labels.push_back(i < 10 ? 1 : 0);
+  }
+  FeatureView v = *FeatureView::Create(*t, {"x"});
+  DecisionTree tree = *DecisionTree::Fit(v, rows, labels, {}, {});
+  const std::string s = tree.ToString(v);
+  EXPECT_NE(s.find("split on x <="), std::string::npos);
+  EXPECT_NE(s.find("leaf"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dbwipes

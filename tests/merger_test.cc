@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "dbwipes/common/random.h"
+#include "dbwipes/core/merger.h"
+#include "dbwipes/core/preprocessor.h"
+#include "dbwipes/expr/parser.h"
+
+namespace dbwipes {
+namespace {
+
+Predicate P(const std::string& text) { return *ParsePredicate(text); }
+
+TEST(MergePredicatesTest, AdjacentRangesWidenToHull) {
+  auto merged = MergePredicates(P("a0 > 2 AND a0 <= 2.5"),
+                                P("a0 > 2.5 AND a0 <= 3"));
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(merged->ToString(), "a0 > 2 AND a0 <= 3");
+}
+
+TEST(MergePredicatesTest, OpenEndedSideDropsBound) {
+  auto merged = MergePredicates(P("a0 > 2 AND a0 <= 2.5"), P("a0 > 2.5"));
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(merged->ToString(), "a0 > 2");
+}
+
+TEST(MergePredicatesTest, EqualitiesUnionIntoInSet) {
+  auto merged = MergePredicates(P("state = 'CA'"), P("state = 'NY'"));
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(merged->ToString(), "state IN ('CA', 'NY')");
+  // And IN sets union further.
+  auto more = MergePredicates(*merged, P("state = 'TX'"));
+  ASSERT_TRUE(more.has_value());
+  EXPECT_EQ(more->ToString(), "state IN ('CA', 'NY', 'TX')");
+}
+
+TEST(MergePredicatesTest, MultiAttributeMergesPerAttribute) {
+  auto merged = MergePredicates(P("c = 'x' AND a > 1 AND a <= 2"),
+                                P("c = 'x' AND a > 2 AND a <= 3"));
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(merged->CanonicalString(), "a <= 3 AND a > 1 AND c = 'x'");
+}
+
+TEST(MergePredicatesTest, DifferentAttributeSetsDoNotMerge) {
+  EXPECT_FALSE(MergePredicates(P("a > 1"), P("b > 1")).has_value());
+  EXPECT_FALSE(MergePredicates(P("a > 1 AND b > 2"), P("a > 1")).has_value());
+}
+
+TEST(MergePredicatesTest, MixedShapesDoNotMerge) {
+  // Range vs equality on the same attribute.
+  EXPECT_FALSE(MergePredicates(P("a > 1"), P("a = 5")).has_value());
+}
+
+TEST(MergePredicatesTest, ExactClausesMustMatch) {
+  EXPECT_TRUE(MergePredicates(P("memo CONTAINS 'X' AND a > 1 AND a <= 2"),
+                              P("memo CONTAINS 'X' AND a > 2 AND a <= 3"))
+                  .has_value());
+  EXPECT_FALSE(MergePredicates(P("memo CONTAINS 'X' AND a > 1"),
+                               P("memo CONTAINS 'Y' AND a > 2"))
+                   .has_value());
+  EXPECT_FALSE(
+      MergePredicates(P("c != 'u' AND a > 1"), P("c != 'w' AND a > 2"))
+          .has_value());
+}
+
+TEST(MergePredicatesTest, IdenticalOrContainedMergesRejected) {
+  // Merging a predicate with itself (or producing a parent) is useless.
+  EXPECT_FALSE(MergePredicates(P("a > 1"), P("a > 1")).has_value());
+  EXPECT_FALSE(MergePredicates(P("a > 1"), P("a > 2")).has_value());
+}
+
+TEST(MergePredicatesTest, EmptyPredicatesRejected) {
+  EXPECT_FALSE(MergePredicates(Predicate::True(), P("a > 1")).has_value());
+}
+
+// End-to-end: tree slivers over one region reassemble into the whole.
+TEST(MergeAndRerankTest, SliversReassemble) {
+  Rng rng(11);
+  auto t = std::make_shared<Table>(
+      Schema{{"g", DataType::kInt64},
+             {"a", DataType::kDouble},
+             {"v", DataType::kDouble}},
+      "w");
+  std::vector<RowId> bad;
+  for (int g = 0; g < 2; ++g) {
+    for (int i = 0; i < 200; ++i) {
+      const double a = rng.UniformDouble(0.0, 4.0);
+      const bool is_bad = a >= 2.0;
+      DBW_CHECK_OK(t->AppendRow({Value(static_cast<int64_t>(g)), Value(a),
+                                 Value(is_bad ? rng.Normal(100, 2)
+                                              : rng.Normal(10, 2))}));
+      if (is_bad) bad.push_back(static_cast<RowId>(t->num_rows() - 1));
+    }
+  }
+  QueryResult result = *ExecuteQuery(
+      *ParseQuery("SELECT g, avg(v) AS m FROM w GROUP BY g"), *t);
+  auto metric = TooHigh(15.0);
+  std::vector<size_t> selected = {0, 1};
+  PreprocessResult pre =
+      *Preprocessor::Run(*t, result, selected, *metric);
+  std::sort(bad.begin(), bad.end());
+
+  // Simulate fragmented tree output: three slivers of the true region.
+  std::vector<RankedPredicate> ranked(3);
+  ranked[0].predicate = P("a > 2 AND a <= 2.7");
+  ranked[1].predicate = P("a > 2.7 AND a <= 3.4");
+  ranked[2].predicate = P("a > 3.4");
+  for (auto& rp : ranked) rp.score = 0.3;
+
+  auto merged = *MergeAndRerank(*t, result, selected, *metric, 0,
+                                pre.suspect_inputs, bad,
+                                pre.per_group_baseline_error, ranked, {});
+  ASSERT_FALSE(merged.empty());
+  // The top predicate must now be (close to) the full region a > 2.
+  EXPECT_EQ(merged[0].strategy, "merged");
+  EXPECT_EQ(merged[0].predicate.ToString(), "a > 2");
+  EXPECT_NEAR(merged[0].error_improvement, 1.0, 1e-6);
+  EXPECT_GT(merged[0].score, 0.5);
+}
+
+TEST(MergeAndRerankTest, BadMergesAreDropped) {
+  // Two unrelated predicates whose value-set union matches far too
+  // much: the merged candidate must not displace its parents.
+  Rng rng(12);
+  auto t = std::make_shared<Table>(
+      Schema{{"g", DataType::kInt64},
+             {"c", DataType::kString},
+             {"v", DataType::kDouble}},
+      "w");
+  std::vector<RowId> bad;
+  const char* cats[] = {"bad", "huge", "other"};
+  for (int g = 0; g < 2; ++g) {
+    for (int i = 0; i < 300; ++i) {
+      const size_t ci = i < 20 ? 0 : (i < 200 ? 1 : 2);
+      const bool is_bad = ci == 0;
+      DBW_CHECK_OK(t->AppendRow({Value(static_cast<int64_t>(g)),
+                                 Value(cats[ci]),
+                                 Value(is_bad ? rng.Normal(100, 2)
+                                              : rng.Normal(10, 2))}));
+      if (is_bad) bad.push_back(static_cast<RowId>(t->num_rows() - 1));
+    }
+  }
+  QueryResult result = *ExecuteQuery(
+      *ParseQuery("SELECT g, avg(v) AS m FROM w GROUP BY g"), *t);
+  auto metric = TooHigh(15.0);
+  std::vector<size_t> selected = {0, 1};
+  PreprocessResult pre = *Preprocessor::Run(*t, result, selected, *metric);
+  std::sort(bad.begin(), bad.end());
+
+  std::vector<RankedPredicate> ranked(2);
+  ranked[0].predicate = P("c = 'bad'");
+  ranked[0].score = 0.9;
+  ranked[1].predicate = P("c = 'huge'");
+  ranked[1].score = 0.1;
+
+  auto merged = *MergeAndRerank(*t, result, selected, *metric, 0,
+                                pre.suspect_inputs, bad,
+                                pre.per_group_baseline_error, ranked, {});
+  ASSERT_FALSE(merged.empty());
+  EXPECT_EQ(merged[0].predicate.ToString(), "c = 'bad'");
+  for (const RankedPredicate& rp : merged) {
+    EXPECT_NE(rp.predicate.ToString(), "c IN ('bad', 'huge')")
+        << "over-broad merge survived";
+  }
+}
+
+}  // namespace
+}  // namespace dbwipes

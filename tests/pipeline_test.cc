@@ -1,0 +1,467 @@
+// Stage-level tests of the DBWipes backend: Preprocessor, removal
+// evaluation, Dataset Enumerator, Predicate Enumerator, Predicate
+// Ranker — each on a small planted-anomaly world where the right
+// answer is known exactly.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "dbwipes/common/random.h"
+#include "dbwipes/core/dataset_enumerator.h"
+#include "dbwipes/core/dbwipes.h"
+#include "dbwipes/core/predicate_enumerator.h"
+#include "dbwipes/core/predicate_ranker.h"
+#include "dbwipes/core/removal.h"
+#include "dbwipes/expr/parser.h"
+
+namespace dbwipes {
+namespace {
+
+/// A world with 4 groups; rows with tag = 'bad' in groups 2 and 3 carry
+/// v = 100 instead of ~10.
+struct World {
+  std::shared_ptr<Table> table;
+  QueryResult result;
+  std::vector<size_t> suspicious_groups;
+  std::vector<RowId> bad_rows;
+  ErrorMetricPtr metric = TooHigh(15.0);
+};
+
+World MakeWorld(uint64_t seed = 9) {
+  Rng rng(seed);
+  World w;
+  w.table = std::make_shared<Table>(Schema{{"g", DataType::kInt64},
+                                           {"tag", DataType::kString},
+                                           {"knob", DataType::kDouble},
+                                           {"v", DataType::kDouble}},
+                                    "w");
+  for (int g = 0; g < 4; ++g) {
+    for (int i = 0; i < 50; ++i) {
+      const bool bad = g >= 2 && i < 10;
+      DBW_CHECK_OK(w.table->AppendRow(
+          {Value(static_cast<int64_t>(g)), Value(bad ? "bad" : "fine"),
+           Value(rng.Normal(0, 1)),
+           Value(bad ? rng.Normal(100, 2) : rng.Normal(10, 2))}));
+      if (bad) {
+        w.bad_rows.push_back(static_cast<RowId>(w.table->num_rows() - 1));
+      }
+    }
+  }
+  w.result = *ExecuteQuery(
+      *ParseQuery("SELECT g, avg(v) AS a FROM w GROUP BY g"), *w.table);
+  w.suspicious_groups = {2, 3};
+  return w;
+}
+
+// ---------- Preprocessor ----------
+
+TEST(PreprocessorTest, ComputesFAndRanksBadTuplesFirst) {
+  World w = MakeWorld();
+  PreprocessResult pre = *Preprocessor::Run(*w.table, w.result,
+                                            w.suspicious_groups, *w.metric);
+  EXPECT_EQ(pre.suspect_inputs.size(), 100u);  // two groups x 50 rows
+  EXPECT_GT(pre.baseline_error, 0.0);
+  EXPECT_GT(pre.per_group_baseline_error, 0.0);
+  // The 20 bad rows must occupy the top-20 influence slots.
+  for (size_t i = 0; i < w.bad_rows.size(); ++i) {
+    EXPECT_TRUE(std::binary_search(w.bad_rows.begin(), w.bad_rows.end(),
+                                   pre.influences[i].row))
+        << "rank " << i << " is row " << pre.influences[i].row;
+  }
+}
+
+TEST(PreprocessorTest, ErrorsOnEmptySelection) {
+  World w = MakeWorld();
+  EXPECT_FALSE(Preprocessor::Run(*w.table, w.result, {}, *w.metric).ok());
+}
+
+// ---------- removal evaluation ----------
+
+TEST(RemovalTest, RemovingBadRowsZeroesError) {
+  World w = MakeWorld();
+  const double before = *ErrorAfterRemoval(*w.table, w.result,
+                                           w.suspicious_groups, *w.metric, 0,
+                                           {});
+  EXPECT_GT(before, 0.0);
+  const double after = *ErrorAfterRemoval(*w.table, w.result,
+                                          w.suspicious_groups, *w.metric, 0,
+                                          w.bad_rows);
+  EXPECT_DOUBLE_EQ(after, 0.0);
+}
+
+TEST(RemovalTest, ValuesAfterRemovalMatchManualRecompute) {
+  World w = MakeWorld();
+  auto values = *ValuesAfterRemoval(*w.table, w.result, {2}, 0, w.bad_rows);
+  ASSERT_EQ(values.size(), 1u);
+  // Group 2 without its 10 bad rows: all remaining ~N(10, 2).
+  EXPECT_NEAR(values[0], 10.0, 2.0);
+}
+
+TEST(RemovalTest, RemovingEverythingYieldsNaNThenZeroError) {
+  World w = MakeWorld();
+  std::vector<RowId> all = w.result.lineage[2];
+  auto values = *ValuesAfterRemoval(*w.table, w.result, {2}, 0, all);
+  EXPECT_TRUE(std::isnan(values[0]));
+  EXPECT_DOUBLE_EQ(*ErrorAfterRemoval(*w.table, w.result, {2}, *w.metric, 0,
+                                      all),
+                   0.0);
+}
+
+TEST(RemovalTest, PerGroupErrorIsMonotoneInPartialRepair) {
+  World w = MakeWorld();
+  // Fixing only group 2: raw max-metric unchanged, per-group halves.
+  std::vector<RowId> group2_bad;
+  for (RowId r : w.bad_rows) {
+    if (std::binary_search(w.result.lineage[2].begin(),
+                           w.result.lineage[2].end(), r)) {
+      group2_bad.push_back(r);
+    }
+  }
+  const double raw_before = *ErrorAfterRemoval(
+      *w.table, w.result, w.suspicious_groups, *w.metric, 0, {});
+  const double raw_after = *ErrorAfterRemoval(
+      *w.table, w.result, w.suspicious_groups, *w.metric, 0, group2_bad);
+  EXPECT_NEAR(raw_after, raw_before, 1.0);  // max barely moves
+
+  const double pg_before = *PerGroupErrorAfterRemoval(
+      *w.table, w.result, w.suspicious_groups, *w.metric, 0, {});
+  const double pg_after = *PerGroupErrorAfterRemoval(
+      *w.table, w.result, w.suspicious_groups, *w.metric, 0, group2_bad);
+  EXPECT_LT(pg_after, 0.6 * pg_before);  // clear progress signal
+}
+
+TEST(RemovalTest, BadArgIndex) {
+  World w = MakeWorld();
+  EXPECT_TRUE(
+      ErrorAfterRemoval(*w.table, w.result, {0}, *w.metric, 9, {}).status()
+          .IsOutOfRange());
+}
+
+// ---------- Dataset Enumerator ----------
+
+TEST(DatasetEnumeratorTest, FindsErrorReducingCandidates) {
+  World w = MakeWorld();
+  PreprocessResult pre = *Preprocessor::Run(*w.table, w.result,
+                                            w.suspicious_groups, *w.metric);
+  FeatureView view = *FeatureView::Create(*w.table, {"g", "tag", "knob"});
+  DatasetEnumerator enumerator;
+  auto candidates = *enumerator.Enumerate(*w.table, w.result,
+                                          w.suspicious_groups, pre,
+                                          /*dprime=*/{}, view, *w.metric);
+  ASSERT_FALSE(candidates.empty());
+  // Sorted by reduction, all strictly positive.
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    EXPECT_GT(candidates[i].error_reduction, 0.0);
+    if (i > 0) {
+      EXPECT_GE(candidates[i - 1].error_reduction,
+                candidates[i].error_reduction);
+    }
+    EXPECT_TRUE(std::is_sorted(candidates[i].rows.begin(),
+                               candidates[i].rows.end()));
+  }
+  // The best candidate should essentially be the bad-row set.
+  std::vector<RowId> common;
+  std::set_intersection(candidates[0].rows.begin(), candidates[0].rows.end(),
+                        w.bad_rows.begin(), w.bad_rows.end(),
+                        std::back_inserter(common));
+  EXPECT_GE(common.size(), 18u);  // >= 90% of the 20 bad rows
+}
+
+TEST(DatasetEnumeratorTest, DPrimeGuidesWhenProvided) {
+  World w = MakeWorld();
+  PreprocessResult pre = *Preprocessor::Run(*w.table, w.result,
+                                            w.suspicious_groups, *w.metric);
+  FeatureView view = *FeatureView::Create(*w.table, {"g", "tag", "knob"});
+  DatasetEnumerator enumerator;
+  // The user hands us half the bad rows.
+  std::vector<RowId> dprime(w.bad_rows.begin(),
+                            w.bad_rows.begin() + w.bad_rows.size() / 2);
+  auto candidates = *enumerator.Enumerate(*w.table, w.result,
+                                          w.suspicious_groups, pre, dprime,
+                                          view, *w.metric);
+  bool has_dprime_candidate = false;
+  for (const CandidateDataset& c : candidates) {
+    if (c.source == "cleaned-dprime") has_dprime_candidate = true;
+  }
+  EXPECT_TRUE(has_dprime_candidate);
+}
+
+TEST(DatasetEnumeratorTest, CleanDPrimeDropsStrayExamples) {
+  World w = MakeWorld();
+  PreprocessResult pre = *Preprocessor::Run(*w.table, w.result,
+                                            w.suspicious_groups, *w.metric);
+  // Numeric-only view so k-means sees the v gap (bad rows sit at 100).
+  FeatureView view = *FeatureView::Create(*w.table, {"knob", "v"});
+  // D' = 15 bad rows + 2 accidental normal rows.
+  std::vector<RowId> dprime(w.bad_rows.begin(), w.bad_rows.begin() + 15);
+  std::vector<RowId> strays;
+  for (RowId r : pre.suspect_inputs) {
+    if (!std::binary_search(w.bad_rows.begin(), w.bad_rows.end(), r)) {
+      strays.push_back(r);
+      dprime.push_back(r);
+      if (strays.size() == 2) break;
+    }
+  }
+  DatasetEnumerator enumerator;
+  auto cleaned = *enumerator.CleanDPrime(*w.table, dprime, pre.suspect_inputs,
+                                         pre.influences, view);
+  for (RowId stray : strays) {
+    EXPECT_FALSE(std::binary_search(cleaned.begin(), cleaned.end(), stray))
+        << "stray row " << stray << " survived cleaning";
+  }
+  EXPECT_GE(cleaned.size(), 13u);
+}
+
+TEST(DatasetEnumeratorTest, CleanMethodNoneKeepsEverything) {
+  World w = MakeWorld();
+  PreprocessResult pre = *Preprocessor::Run(*w.table, w.result,
+                                            w.suspicious_groups, *w.metric);
+  FeatureView view = *FeatureView::Create(*w.table, {"knob", "v"});
+  DatasetEnumeratorOptions opts;
+  opts.clean_method = CleanMethod::kNone;
+  DatasetEnumerator enumerator(opts);
+  // Two bad rows plus three ordinary (non-bad) suspect rows.
+  std::vector<RowId> dprime = {w.bad_rows[0], w.bad_rows[1]};
+  for (RowId r : pre.suspect_inputs) {
+    if (dprime.size() == 5) break;
+    if (!std::binary_search(w.bad_rows.begin(), w.bad_rows.end(), r)) {
+      dprime.push_back(r);
+    }
+  }
+  std::sort(dprime.begin(), dprime.end());
+  auto cleaned = *enumerator.CleanDPrime(*w.table, dprime, pre.suspect_inputs,
+                                         pre.influences, view);
+  EXPECT_EQ(cleaned, dprime);
+}
+
+TEST(DatasetEnumeratorTest, MaxCandidatesHonored) {
+  World w = MakeWorld();
+  PreprocessResult pre = *Preprocessor::Run(*w.table, w.result,
+                                            w.suspicious_groups, *w.metric);
+  FeatureView view = *FeatureView::Create(*w.table, {"g", "tag", "knob"});
+  DatasetEnumeratorOptions opts;
+  opts.max_candidates = 2;
+  DatasetEnumerator enumerator(opts);
+  auto candidates = *enumerator.Enumerate(*w.table, w.result,
+                                          w.suspicious_groups, pre, {}, view,
+                                          *w.metric);
+  EXPECT_LE(candidates.size(), 2u);
+}
+
+// ---------- Predicate Enumerator ----------
+
+TEST(PredicateEnumeratorTest, TreesRecoverTheTagPredicate) {
+  World w = MakeWorld();
+  PreprocessResult pre = *Preprocessor::Run(*w.table, w.result,
+                                            w.suspicious_groups, *w.metric);
+  FeatureView view = *FeatureView::Create(*w.table, {"g", "tag", "knob"});
+  CandidateDataset cand;
+  cand.rows = w.bad_rows;  // perfect candidate
+  cand.source = "truth";
+  PredicateEnumerator enumerator;
+  auto predicates = *enumerator.Enumerate(view, pre.suspect_inputs, {cand});
+  ASSERT_FALSE(predicates.empty());
+  bool found_tag = false;
+  for (const EnumeratedPredicate& ep : predicates) {
+    if (ep.predicate.ToString() == "tag = 'bad'") found_tag = true;
+  }
+  EXPECT_TRUE(found_tag);
+}
+
+TEST(PredicateEnumeratorTest, DeduplicatesAcrossStrategies) {
+  World w = MakeWorld();
+  PreprocessResult pre = *Preprocessor::Run(*w.table, w.result,
+                                            w.suspicious_groups, *w.metric);
+  FeatureView view = *FeatureView::Create(*w.table, {"tag"});
+  CandidateDataset cand;
+  cand.rows = w.bad_rows;
+  PredicateEnumerator enumerator;
+  auto predicates = *enumerator.Enumerate(view, pre.suspect_inputs, {cand});
+  std::set<std::string> canon;
+  for (const EnumeratedPredicate& ep : predicates) {
+    EXPECT_TRUE(canon.insert(ep.predicate.CanonicalString()).second)
+        << "duplicate " << ep.predicate.ToString();
+  }
+}
+
+TEST(PredicateEnumeratorTest, BoundingDescriptionWhenFIsAllAnomalous) {
+  // Groups are per-sensor, so selecting the broken sensor's group
+  // yields an F with no negative examples for the trees. The bounding
+  // description still produces the paper's "sensorid = 15 AND
+  // minute >= t0" shape by spanning the candidate against the table.
+  Rng rng(44);
+  auto t = std::make_shared<Table>(Schema{{"sensorid", DataType::kInt64},
+                                          {"minute", DataType::kInt64},
+                                          {"temp", DataType::kDouble}},
+                                   "r");
+  for (int s = 0; s < 10; ++s) {
+    for (int m = 0; m < 100; ++m) {
+      const bool hot = s == 7 && m >= 50;
+      DBW_CHECK_OK(t->AppendRow({Value(static_cast<int64_t>(s)),
+                                 Value(static_cast<int64_t>(m)),
+                                 Value(hot ? rng.Normal(120, 2)
+                                           : rng.Normal(20, 1))}));
+    }
+  }
+  QueryResult result = *ExecuteQuery(
+      *ParseQuery("SELECT sensorid, avg(temp) AS a FROM r WHERE minute >= 50 "
+                  "GROUP BY sensorid"),
+      *t);
+  auto metric = TooHigh(25.0);
+  std::vector<size_t> selected = {7};
+  PreprocessResult pre = *Preprocessor::Run(*t, result, selected, *metric);
+  // Everything in F belongs to the broken sensor.
+  FeatureView view = *FeatureView::Create(*t, {"sensorid", "minute"});
+  CandidateDataset cand;
+  cand.rows = pre.suspect_inputs;
+  PredicateEnumerator enumerator;
+  auto predicates = *enumerator.Enumerate(view, pre.suspect_inputs, {cand});
+  ASSERT_FALSE(predicates.empty());
+  bool found = false;
+  for (const EnumeratedPredicate& ep : predicates) {
+    if (ep.strategy == "bounding") {
+      found = true;
+      const std::string text = ep.predicate.ToString();
+      EXPECT_NE(text.find("sensorid = 7"), std::string::npos) << text;
+      EXPECT_NE(text.find("minute >= 50"), std::string::npos) << text;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PredicateEnumeratorTest, DegenerateCandidatesSkipped) {
+  World w = MakeWorld();
+  PreprocessResult pre = *Preprocessor::Run(*w.table, w.result,
+                                            w.suspicious_groups, *w.metric);
+  FeatureView view = *FeatureView::Create(*w.table, {"tag"});
+  CandidateDataset all;
+  all.rows = pre.suspect_inputs;  // covers everything -> no negatives
+  auto r = PredicateEnumerator().Enumerate(view, pre.suspect_inputs, {all});
+  EXPECT_FALSE(r.ok());
+}
+
+// ---------- Predicate Ranker ----------
+
+TEST(PredicateRankerTest, TruePredicateOutranksBroadAndNarrow) {
+  World w = MakeWorld();
+  PreprocessResult pre = *Preprocessor::Run(*w.table, w.result,
+                                            w.suspicious_groups, *w.metric);
+  std::vector<EnumeratedPredicate> candidates;
+  auto add = [&](Predicate p) {
+    EnumeratedPredicate ep;
+    ep.predicate = std::move(p);
+    ep.strategy = "test";
+    candidates.push_back(std::move(ep));
+  };
+  add(Predicate({Clause::Make("tag", CompareOp::kEq, Value("bad"))}));
+  // Over-broad: matches everything.
+  add(Predicate({Clause::Make("knob", CompareOp::kGe, Value(-100.0))}));
+  // Under-broad: matches a couple of bad rows.
+  add(Predicate({Clause::Make("tag", CompareOp::kEq, Value("bad")),
+                 Clause::Make("knob", CompareOp::kGe, Value(1.0))}));
+
+  PredicateRanker ranker;
+  auto ranked = *ranker.Rank(*w.table, w.result, w.suspicious_groups,
+                             *w.metric, 0, pre.suspect_inputs, w.bad_rows,
+                             pre.per_group_baseline_error, candidates);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].predicate.ToString(), "tag = 'bad'");
+  EXPECT_NEAR(ranked[0].error_improvement, 1.0, 1e-9);
+  EXPECT_NEAR(ranked[0].f1, 1.0, 1e-9);
+  EXPECT_NEAR(ranked[0].error_after, 0.0, 1e-9);
+}
+
+TEST(PredicateRankerTest, EquivalentRepairsCollapseToTheShortest) {
+  World w = MakeWorld();
+  PreprocessResult pre = *Preprocessor::Run(*w.table, w.result,
+                                            w.suspicious_groups, *w.metric);
+  // Two predicates removing the same tuples, one padded with a
+  // redundant clause: interchangeable repairs collapse to one entry,
+  // and the complexity penalty makes the shorter description win.
+  std::vector<EnumeratedPredicate> candidates(2);
+  candidates[0].predicate =
+      Predicate({Clause::Make("tag", CompareOp::kEq, Value("bad"))});
+  candidates[1].predicate =
+      Predicate({Clause::Make("tag", CompareOp::kEq, Value("bad")),
+                 Clause::Make("knob", CompareOp::kGe, Value(-1000.0))});
+  PredicateRanker ranker;
+  auto ranked = *ranker.Rank(*w.table, w.result, w.suspicious_groups,
+                             *w.metric, 0, pre.suspect_inputs, w.bad_rows,
+                             pre.per_group_baseline_error, candidates);
+  ASSERT_EQ(ranked.size(), 1u);
+  EXPECT_EQ(ranked[0].predicate.num_clauses(), 1u);
+}
+
+TEST(PredicateRankerTest, TopKLimit) {
+  World w = MakeWorld();
+  PreprocessResult pre = *Preprocessor::Run(*w.table, w.result,
+                                            w.suspicious_groups, *w.metric);
+  std::vector<EnumeratedPredicate> candidates;
+  for (int i = 0; i < 20; ++i) {
+    EnumeratedPredicate ep;
+    ep.predicate = Predicate(
+        {Clause::Make("knob", CompareOp::kGe, Value(i * 0.1))});
+    candidates.push_back(std::move(ep));
+  }
+  RankerOptions opts;
+  opts.top_k = 5;
+  auto ranked = *PredicateRanker(opts).Rank(
+      *w.table, w.result, w.suspicious_groups, *w.metric, 0,
+      pre.suspect_inputs, {}, pre.per_group_baseline_error, candidates);
+  EXPECT_EQ(ranked.size(), 5u);
+}
+
+// ---------- full facade ----------
+
+TEST(DBWipesTest, ExplainEndToEndRecoversTruth) {
+  World w = MakeWorld();
+  auto db = std::make_shared<Database>();
+  db->RegisterTable(w.table);
+  DBWipes engine(db);
+  ExplanationRequest request;
+  request.selected_groups = w.suspicious_groups;
+  request.metric = w.metric;
+  Explanation exp = *engine.Explain(w.result, request);
+  ASSERT_FALSE(exp.predicates.empty());
+  EXPECT_EQ(exp.predicates[0].predicate.ToString(), "tag = 'bad'");
+  EXPECT_NEAR(exp.predicates[0].error_improvement, 1.0, 1e-9);
+  EXPECT_GT(exp.preprocess.baseline_error, 0.0);
+  EXPECT_GE(exp.total_ms(), 0.0);
+}
+
+TEST(DBWipesTest, CleanRemovesTheAnomaly) {
+  World w = MakeWorld();
+  auto db = std::make_shared<Database>();
+  db->RegisterTable(w.table);
+  DBWipes engine(db);
+  Predicate p({Clause::Make("tag", CompareOp::kEq, Value("bad"))});
+  QueryResult cleaned = *engine.Clean(w.result, p);
+  for (size_t g = 0; g < cleaned.num_groups(); ++g) {
+    EXPECT_LT(cleaned.AggValue(g, 0), 15.0);
+  }
+  EXPECT_NE(cleaned.query.ToSql().find("NOT"), std::string::npos);
+}
+
+TEST(DBWipesTest, ExplainValidation) {
+  World w = MakeWorld();
+  auto db = std::make_shared<Database>();
+  db->RegisterTable(w.table);
+  DBWipes engine(db);
+  ExplanationRequest request;  // no metric
+  request.selected_groups = {0};
+  EXPECT_TRUE(engine.Explain(w.result, request).status().IsInvalidArgument());
+  request.metric = w.metric;
+  request.selected_groups = {};
+  EXPECT_FALSE(engine.Explain(w.result, request).ok());
+}
+
+TEST(DBWipesTest, DefaultExplainColumnsExcludeMeasure) {
+  World w = MakeWorld();
+  auto cols = DefaultExplainColumns(*w.table, w.result.query, 0);
+  EXPECT_EQ(cols, (std::vector<std::string>{"g", "tag", "knob"}));
+}
+
+}  // namespace
+}  // namespace dbwipes

@@ -1,0 +1,198 @@
+// F1: the Figure-1 interaction loop, verified as a state machine —
+// each frontend step hands the right artifacts to the next backend
+// stage, out-of-order gestures are rejected, and cleaning feeds back
+// into the query form.
+
+#include <gtest/gtest.h>
+
+#include "dbwipes/common/random.h"
+#include "dbwipes/core/session.h"
+
+namespace dbwipes {
+namespace {
+
+std::shared_ptr<Database> MakeDb(std::vector<RowId>* bad_rows = nullptr) {
+  Rng rng(17);
+  auto t = std::make_shared<Table>(Schema{{"g", DataType::kInt64},
+                                          {"tag", DataType::kString},
+                                          {"v", DataType::kDouble}},
+                                   "w");
+  for (int g = 0; g < 5; ++g) {
+    for (int i = 0; i < 40; ++i) {
+      const bool bad = g >= 3 && i < 8;
+      DBW_CHECK_OK(t->AppendRow({Value(static_cast<int64_t>(g)),
+                                 Value(bad ? "bad" : "fine"),
+                                 Value(bad ? rng.Normal(100, 2)
+                                           : rng.Normal(10, 2))}));
+      if (bad && bad_rows != nullptr) {
+        bad_rows->push_back(static_cast<RowId>(t->num_rows() - 1));
+      }
+    }
+  }
+  auto db = std::make_shared<Database>();
+  db->RegisterTable(t);
+  return db;
+}
+
+constexpr char kQuery[] = "SELECT g, avg(v) AS a FROM w GROUP BY g";
+
+TEST(SessionTest, HappyPathLoop) {
+  Session session(MakeDb());
+  // Step 1: query.
+  ASSERT_TRUE(session.ExecuteSql(kQuery).ok());
+  EXPECT_EQ(session.result().num_groups(), 5u);
+  // Step 2: select suspicious results.
+  ASSERT_TRUE(session.SelectResultsInRange("a", 20.0, 1e9).ok());
+  EXPECT_EQ(session.selected_groups(), (std::vector<size_t>{3, 4}));
+  // Step 3: zoom.
+  Table zoomed = *session.Zoom();
+  EXPECT_EQ(zoomed.num_rows(), 80u);
+  EXPECT_EQ(zoomed.schema().field(0).name, "_rowid");
+  // Step 4: select suspicious inputs.
+  ASSERT_TRUE(session.SelectInputsWhere("v > 50").ok());
+  EXPECT_EQ(session.selected_inputs().size(), 16u);
+  // Step 5: metric.
+  auto suggestions = *session.SuggestErrorMetrics();
+  ASSERT_FALSE(suggestions.empty());
+  EXPECT_EQ(suggestions[0].label, "values are too high");
+  ASSERT_TRUE(
+      session.SetMetric(suggestions[0].make(suggestions[0].default_expected))
+          .ok());
+  // Step 6: debug.
+  Explanation exp = *session.Debug();
+  ASSERT_FALSE(exp.predicates.empty());
+  EXPECT_EQ(exp.predicates[0].predicate.ToString(), "tag = 'bad'");
+  // Step 7: clean.
+  ASSERT_TRUE(session.ApplyPredicate(0).ok());
+  for (size_t g = 0; g < session.result().num_groups(); ++g) {
+    EXPECT_LT(session.result().AggValue(g, 0), 15.0);
+  }
+  EXPECT_NE(session.CurrentSql().find("NOT"), std::string::npos);
+  EXPECT_EQ(session.applied_predicates().size(), 1u);
+}
+
+TEST(SessionTest, OutOfOrderGesturesRejected) {
+  Session session(MakeDb());
+  // Everything before a query fails.
+  EXPECT_FALSE(session.SelectResults({0}).ok());
+  EXPECT_FALSE(session.Zoom().ok());
+  EXPECT_FALSE(session.SelectInputs({0}).ok());
+  EXPECT_FALSE(session.SuggestErrorMetrics().ok());
+  EXPECT_FALSE(session.SetMetric(TooHigh(0)).ok());
+  EXPECT_FALSE(session.Debug().ok());
+  EXPECT_FALSE(session.ApplyPredicateDirect(
+                          Predicate({Clause::Make("tag", CompareOp::kEq,
+                                                  Value("bad"))}))
+                   .ok());
+  EXPECT_FALSE(session.ResetCleaning().ok());
+  EXPECT_FALSE(session.DescribePlan().ok());
+
+  ASSERT_TRUE(session.ExecuteSql(kQuery).ok());
+  // Zoom / input selection / metric suggestions before S selection.
+  EXPECT_FALSE(session.Zoom().ok());
+  EXPECT_FALSE(session.SelectInputs({0}).ok());
+  EXPECT_FALSE(session.SuggestErrorMetrics().ok());
+  // Debug without metric.
+  ASSERT_TRUE(session.SelectResults({3, 4}).ok());
+  EXPECT_FALSE(session.Debug().ok());
+  // ApplyPredicate without explanation.
+  EXPECT_FALSE(session.ApplyPredicate(0).ok());
+}
+
+TEST(SessionTest, SelectionValidation) {
+  Session session(MakeDb());
+  ASSERT_TRUE(session.ExecuteSql(kQuery).ok());
+  EXPECT_TRUE(session.SelectResults({99}).IsOutOfRange());
+  EXPECT_TRUE(session.SelectResultsInRange("a", 1e8, 1e9).IsNotFound());
+  EXPECT_TRUE(session.SelectResultsInRange("nope", 0, 1).IsNotFound());
+  ASSERT_TRUE(session.SelectResults({3}).ok());
+  EXPECT_TRUE(session.SelectInputsWhere("v > 1e12").IsNotFound());
+  EXPECT_TRUE(session.SelectInputsWhere("nosuchcol > 0").IsNotFound());
+  EXPECT_TRUE(session.SetMetric(nullptr).IsInvalidArgument());
+  EXPECT_TRUE(session.SetMetric(TooHigh(0), 5).IsOutOfRange());
+}
+
+TEST(SessionTest, SelectionsDeduplicatedAndSorted) {
+  Session session(MakeDb());
+  ASSERT_TRUE(session.ExecuteSql(kQuery).ok());
+  ASSERT_TRUE(session.SelectResults({4, 3, 4, 3}).ok());
+  EXPECT_EQ(session.selected_groups(), (std::vector<size_t>{3, 4}));
+  ASSERT_TRUE(session.SelectInputs({5, 1, 5}).ok());
+  EXPECT_EQ(session.selected_inputs(), (std::vector<RowId>{1, 5}));
+}
+
+TEST(SessionTest, NewQueryResetsState) {
+  Session session(MakeDb());
+  ASSERT_TRUE(session.ExecuteSql(kQuery).ok());
+  ASSERT_TRUE(session.SelectResults({3}).ok());
+  ASSERT_TRUE(session.ExecuteSql(kQuery).ok());
+  EXPECT_TRUE(session.selected_groups().empty());
+  EXPECT_FALSE(session.has_explanation());
+}
+
+TEST(SessionTest, CleaningAccumulatesAndResets) {
+  Session session(MakeDb());
+  ASSERT_TRUE(session.ExecuteSql(kQuery).ok());
+  const std::string original = session.CurrentSql();
+  ASSERT_TRUE(session
+                  .ApplyPredicateDirect(Predicate(
+                      {Clause::Make("tag", CompareOp::kEq, Value("bad"))}))
+                  .ok());
+  ASSERT_TRUE(session
+                  .ApplyPredicateDirect(Predicate(
+                      {Clause::Make("v", CompareOp::kLt, Value(0.0))}))
+                  .ok());
+  EXPECT_EQ(session.applied_predicates().size(), 2u);
+  // Both predicates appear in the SQL the query form would show.
+  const std::string sql = session.CurrentSql();
+  EXPECT_NE(sql.find("tag = 'bad'"), std::string::npos);
+  EXPECT_NE(sql.find("v < 0"), std::string::npos);
+  ASSERT_TRUE(session.ResetCleaning().ok());
+  EXPECT_EQ(session.CurrentSql(), original);
+  EXPECT_TRUE(session.applied_predicates().empty());
+}
+
+TEST(SessionTest, ApplyEmptyPredicateRejected) {
+  Session session(MakeDb());
+  ASSERT_TRUE(session.ExecuteSql(kQuery).ok());
+  EXPECT_TRUE(
+      session.ApplyPredicateDirect(Predicate::True()).IsInvalidArgument());
+}
+
+TEST(SessionTest, DescribePlanShowsCoarseProvenance) {
+  Session session(MakeDb());
+  ASSERT_TRUE(session.ExecuteSql(kQuery).ok());
+  const std::string plan = *session.DescribePlan();
+  EXPECT_NE(plan.find("Scan"), std::string::npos);
+  EXPECT_NE(plan.find("GroupBy"), std::string::npos);
+  EXPECT_NE(plan.find("Aggregate"), std::string::npos);
+}
+
+TEST(SessionTest, MetricSuggestionsTrackSelectionDirection) {
+  Session session(MakeDb());
+  ASSERT_TRUE(session.ExecuteSql(kQuery).ok());
+  // Selecting the high groups suggests "too high" first...
+  ASSERT_TRUE(session.SelectResultsInRange("a", 20.0, 1e9).ok());
+  EXPECT_EQ((*session.SuggestErrorMetrics())[0].label,
+            "values are too high");
+  // ...and the low groups "too low".
+  ASSERT_TRUE(session.SelectResultsInRange("a", 0.0, 15.0).ok());
+  EXPECT_EQ((*session.SuggestErrorMetrics())[0].label, "values are too low");
+}
+
+TEST(SessionTest, DebugWithExplicitDPrimeImprovesF1) {
+  std::vector<RowId> bad_rows;
+  auto db = MakeDb(&bad_rows);
+  Session session(db);
+  ASSERT_TRUE(session.ExecuteSql(kQuery).ok());
+  ASSERT_TRUE(session.SelectResultsInRange("a", 20.0, 1e9).ok());
+  ASSERT_TRUE(session.SelectInputsWhere("v > 50").ok());
+  ASSERT_TRUE(session.SetMetric(TooHigh(12.0)).ok());
+  Explanation exp = *session.Debug();
+  ASSERT_FALSE(exp.predicates.empty());
+  EXPECT_GT(exp.predicates[0].f1, 0.95);
+  EXPECT_EQ(exp.predicates[0].predicate.ToString(), "tag = 'bad'");
+}
+
+}  // namespace
+}  // namespace dbwipes

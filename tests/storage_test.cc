@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "dbwipes/storage/column.h"
+#include "dbwipes/storage/schema.h"
+#include "dbwipes/storage/table.h"
+#include "dbwipes/storage/value.h"
+
+namespace dbwipes {
+namespace {
+
+// ---------- Value ----------
+
+TEST(ValueTest, NullAndTypes) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_TRUE(Value(int64_t{3}).is_int64());
+  EXPECT_TRUE(Value(3.5).is_double());
+  EXPECT_TRUE(Value("x").is_string());
+  EXPECT_TRUE(Value(int64_t{3}).is_numeric());
+  EXPECT_FALSE(Value("x").is_numeric());
+}
+
+TEST(ValueTest, NumericEqualityAcrossTypes) {
+  EXPECT_EQ(Value(int64_t{2}), Value(2.0));
+  EXPECT_FALSE(Value(int64_t{2}) == Value(2.5));
+  EXPECT_EQ(Value(int64_t{2}).Hash(), Value(2.0).Hash());
+}
+
+TEST(ValueTest, Ordering) {
+  EXPECT_TRUE(Value::Null() < Value(int64_t{0}));
+  EXPECT_TRUE(Value(int64_t{1}) < Value(2.5));
+  EXPECT_TRUE(Value(2.5) < Value("a"));  // numerics < strings
+  EXPECT_TRUE(Value("a") < Value("b"));
+  EXPECT_FALSE(Value::Null() < Value::Null());
+}
+
+TEST(ValueTest, AsDouble) {
+  EXPECT_DOUBLE_EQ(*Value(int64_t{4}).AsDouble(), 4.0);
+  EXPECT_DOUBLE_EQ(*Value(4.5).AsDouble(), 4.5);
+  EXPECT_FALSE(Value("x").AsDouble().ok());
+  EXPECT_FALSE(Value::Null().AsDouble().ok());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value(int64_t{7}).ToString(), "7");
+  EXPECT_EQ(Value(7.5).ToString(), "7.5");
+  EXPECT_EQ(Value("hi").ToString(), "'hi'");
+}
+
+// ---------- Schema ----------
+
+TEST(SchemaTest, LookupByName) {
+  Schema s{{"a", DataType::kInt64}, {"b", DataType::kString}};
+  EXPECT_EQ(s.num_fields(), 2u);
+  EXPECT_EQ(*s.GetIndex("b"), 1u);
+  EXPECT_TRUE(s.Contains("a"));
+  EXPECT_FALSE(s.Contains("c"));
+  EXPECT_TRUE(s.GetIndex("c").status().IsNotFound());
+}
+
+TEST(SchemaTest, ToStringFormat) {
+  Schema s{{"a", DataType::kInt64}, {"b", DataType::kDouble}};
+  EXPECT_EQ(s.ToString(), "a:int64, b:double");
+}
+
+// ---------- Column ----------
+
+TEST(ColumnTest, Int64AppendAndRead) {
+  Column c(DataType::kInt64);
+  c.AppendInt64(5);
+  c.AppendNull();
+  c.AppendInt64(-3);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.null_count(), 1u);
+  EXPECT_EQ(c.GetInt64(0), 5);
+  EXPECT_TRUE(c.IsNull(1));
+  EXPECT_DOUBLE_EQ(c.AsDouble(2), -3.0);
+  EXPECT_TRUE(c.GetValue(1).is_null());
+}
+
+TEST(ColumnTest, StringDictionaryEncoding) {
+  Column c(DataType::kString);
+  c.AppendString("red");
+  c.AppendString("blue");
+  c.AppendString("red");
+  EXPECT_EQ(c.dictionary_size(), 2u);
+  EXPECT_EQ(c.StringCode(0), c.StringCode(2));
+  EXPECT_NE(c.StringCode(0), c.StringCode(1));
+  EXPECT_EQ(c.DictionaryValue(c.StringCode(1)), "blue");
+  EXPECT_EQ(c.FindCode("red"), c.StringCode(0));
+  EXPECT_EQ(c.FindCode("green"), -1);
+}
+
+TEST(ColumnTest, AppendValueTypeChecks) {
+  Column c(DataType::kInt64);
+  EXPECT_TRUE(c.AppendValue(Value(int64_t{1})).ok());
+  EXPECT_TRUE(c.AppendValue(Value::Null()).ok());
+  EXPECT_TRUE(c.AppendValue(Value(1.5)).IsTypeError());
+  EXPECT_TRUE(c.AppendValue(Value("x")).IsTypeError());
+
+  Column d(DataType::kDouble);
+  // int64 promotes into double columns.
+  EXPECT_TRUE(d.AppendValue(Value(int64_t{2})).ok());
+  EXPECT_DOUBLE_EQ(d.GetDouble(0), 2.0);
+}
+
+TEST(ColumnTest, MinMaxNumeric) {
+  Column c(DataType::kDouble);
+  c.AppendDouble(3.0);
+  c.AppendNull();
+  c.AppendDouble(-1.0);
+  c.AppendDouble(9.0);
+  EXPECT_DOUBLE_EQ(*c.MinNumeric(), -1.0);
+  EXPECT_DOUBLE_EQ(*c.MaxNumeric(), 9.0);
+
+  Column empty(DataType::kInt64);
+  EXPECT_TRUE(empty.MinNumeric().status().IsNotFound());
+  Column str(DataType::kString);
+  EXPECT_TRUE(str.MaxNumeric().status().IsTypeError());
+}
+
+// ---------- Table ----------
+
+Table MakeTable() {
+  Table t(Schema{{"id", DataType::kInt64},
+                 {"name", DataType::kString},
+                 {"score", DataType::kDouble}},
+          "people");
+  DBW_CHECK_OK(t.AppendRow({Value(int64_t{1}), Value("ann"), Value(9.5)}));
+  DBW_CHECK_OK(t.AppendRow({Value(int64_t{2}), Value("bob"), Value(7.0)}));
+  DBW_CHECK_OK(t.AppendRow({Value(int64_t{3}), Value::Null(), Value(5.5)}));
+  return t;
+}
+
+TEST(TableTest, AppendAndRead) {
+  Table t = MakeTable();
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.num_columns(), 3u);
+  EXPECT_EQ(t.GetValue(0, 1), Value("ann"));
+  EXPECT_TRUE(t.GetValue(2, 1).is_null());
+  auto row = t.GetRow(1);
+  EXPECT_EQ(row[0], Value(int64_t{2}));
+  EXPECT_EQ(row[2], Value(7.0));
+}
+
+TEST(TableTest, AppendRowValidation) {
+  Table t = MakeTable();
+  // Wrong arity.
+  EXPECT_FALSE(t.AppendRow({Value(int64_t{4})}).ok());
+  // Wrong type in the last column: nothing must be appended.
+  EXPECT_TRUE(
+      t.AppendRow({Value(int64_t{4}), Value("zed"), Value("oops")})
+          .IsTypeError());
+  EXPECT_EQ(t.num_rows(), 3u);
+  for (size_t c = 0; c < t.num_columns(); ++c) {
+    EXPECT_EQ(t.column(c).size(), 3u) << "column " << c << " corrupted";
+  }
+}
+
+TEST(TableTest, SelectRowsInOrder) {
+  Table t = MakeTable();
+  Table s = t.Select({2, 0});
+  EXPECT_EQ(s.num_rows(), 2u);
+  EXPECT_EQ(s.GetValue(0, 0), Value(int64_t{3}));
+  EXPECT_EQ(s.GetValue(1, 1), Value("ann"));
+}
+
+TEST(TableTest, FilterByMask) {
+  Table t = MakeTable();
+  Table f = t.Filter({true, false, true});
+  EXPECT_EQ(f.num_rows(), 2u);
+  EXPECT_EQ(f.GetValue(1, 0), Value(int64_t{3}));
+}
+
+TEST(TableTest, GetColumnByName) {
+  Table t = MakeTable();
+  EXPECT_TRUE(t.GetColumn("score").ok());
+  EXPECT_TRUE(t.GetColumn("nope").status().IsNotFound());
+}
+
+TEST(TableTest, ToStringTruncates) {
+  Table t = MakeTable();
+  const std::string s = t.ToString(2);
+  EXPECT_NE(s.find("ann"), std::string::npos);
+  EXPECT_NE(s.find("1 more rows"), std::string::npos);
+  EXPECT_EQ(s.find("5.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dbwipes

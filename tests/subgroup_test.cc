@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "dbwipes/common/random.h"
+#include "dbwipes/learn/subgroup.h"
+
+namespace dbwipes {
+namespace {
+
+struct Planted {
+  std::shared_ptr<Table> table;
+  std::vector<RowId> rows;
+  std::vector<int> labels;
+};
+
+// Positives concentrate in (cat = 'smoker' AND age > 65) — the paper's
+// subgroup-discovery illustration.
+Planted MakePatients(uint64_t seed, double noise = 0.02) {
+  Rng rng(seed);
+  Planted out;
+  out.table = std::make_shared<Table>(Schema{{"habit", DataType::kString},
+                                             {"age", DataType::kDouble},
+                                             {"weight", DataType::kDouble}},
+                                      "patients");
+  for (int i = 0; i < 800; ++i) {
+    const bool smoker = rng.Bernoulli(0.4);
+    const double age = rng.UniformDouble(20, 90);
+    const double weight = rng.Normal(75, 12);
+    DBW_CHECK_OK(out.table->AppendRow(
+        {Value(smoker ? "smoker" : "nonsmoker"), Value(age), Value(weight)}));
+    out.rows.push_back(static_cast<RowId>(i));
+    bool high_risk = smoker && age > 65;
+    if (rng.Bernoulli(noise)) high_risk = !high_risk;
+    out.labels.push_back(high_risk ? 1 : 0);
+  }
+  return out;
+}
+
+TEST(SubgroupTest, FindsPlantedSubgroup) {
+  Planted p = MakePatients(1);
+  FeatureView v = *FeatureView::Create(*p.table, {"habit", "age", "weight"});
+  auto subgroups = *DiscoverSubgroups(v, p.rows, p.labels, {});
+  ASSERT_FALSE(subgroups.empty());
+  const Subgroup& best = subgroups[0];
+  EXPECT_GT(best.wracc, 0.05);
+  const std::string desc = best.predicate.ToString();
+  EXPECT_NE(desc.find("habit = 'smoker'"), std::string::npos) << desc;
+  EXPECT_NE(desc.find("age >"), std::string::npos) << desc;
+  // Covered set should be mostly positive.
+  EXPECT_GT(static_cast<double>(best.positives) /
+                static_cast<double>(best.coverage),
+            0.8);
+}
+
+TEST(SubgroupTest, WeightedCoveringYieldsDiverseRules) {
+  // Two disjoint positive pockets; covering should surface both.
+  Rng rng(2);
+  auto t = std::make_shared<Table>(
+      Schema{{"c", DataType::kString}, {"x", DataType::kDouble}}, "t");
+  std::vector<RowId> rows;
+  std::vector<int> labels;
+  for (int i = 0; i < 600; ++i) {
+    const size_t kind = rng.UniformInt(3u);
+    const char* c = kind == 0 ? "alpha" : (kind == 1 ? "beta" : "gamma");
+    DBW_CHECK_OK(t->AppendRow({Value(c), Value(rng.UniformDouble(0, 1))}));
+    rows.push_back(static_cast<RowId>(i));
+    labels.push_back(kind != 2 ? 1 : 0);  // alpha and beta both positive
+  }
+  FeatureView v = *FeatureView::Create(*t, {"c", "x"});
+  SubgroupOptions opts;
+  opts.num_rules = 4;
+  opts.max_clauses = 1;
+  auto subgroups = *DiscoverSubgroups(v, rows, labels, {}, opts);
+  ASSERT_GE(subgroups.size(), 2u);
+  std::string all;
+  for (const Subgroup& sg : subgroups) all += sg.predicate.ToString() + ";";
+  EXPECT_NE(all.find("alpha"), std::string::npos) << all;
+  EXPECT_NE(all.find("beta"), std::string::npos) << all;
+}
+
+TEST(SubgroupTest, MaxClausesBoundsDescriptions) {
+  Planted p = MakePatients(3);
+  FeatureView v = *FeatureView::Create(*p.table, {"habit", "age", "weight"});
+  SubgroupOptions opts;
+  opts.max_clauses = 1;
+  auto subgroups = *DiscoverSubgroups(v, p.rows, p.labels, {}, opts);
+  for (const Subgroup& sg : subgroups) {
+    EXPECT_LE(sg.predicate.num_clauses(), 1u);
+  }
+}
+
+TEST(SubgroupTest, InitialWeightsBiasTheSearch) {
+  // Upweight the 'gamma' pocket's examples: it should win round one
+  // even though it is the smaller positive pocket.
+  Rng rng(4);
+  auto t = std::make_shared<Table>(Schema{{"c", DataType::kString}}, "t");
+  std::vector<RowId> rows;
+  std::vector<int> labels;
+  std::vector<double> weights;
+  for (int i = 0; i < 300; ++i) {
+    const bool big_pocket = i % 3 != 0;
+    const char* c = big_pocket ? "alpha" : "gamma";
+    const bool positive = rng.Bernoulli(big_pocket ? 0.9 : 0.9);
+    DBW_CHECK_OK(t->AppendRow({Value(positive ? c : "noise")}));
+    rows.push_back(static_cast<RowId>(i));
+    labels.push_back(positive ? 1 : 0);
+    weights.push_back(big_pocket ? 1.0 : 20.0);
+  }
+  FeatureView v = *FeatureView::Create(*t, {"c"});
+  SubgroupOptions opts;
+  opts.num_rules = 1;
+  opts.max_clauses = 1;
+  auto subgroups = *DiscoverSubgroups(v, rows, labels, weights, opts);
+  ASSERT_FALSE(subgroups.empty());
+  EXPECT_NE(subgroups[0].predicate.ToString().find("gamma"),
+            std::string::npos)
+      << subgroups[0].predicate.ToString();
+}
+
+TEST(SubgroupTest, CoveredIndicesAreConsistent) {
+  Planted p = MakePatients(5);
+  FeatureView v = *FeatureView::Create(*p.table, {"habit", "age", "weight"});
+  auto subgroups = *DiscoverSubgroups(v, p.rows, p.labels, {});
+  for (const Subgroup& sg : subgroups) {
+    EXPECT_EQ(sg.covered.size(), sg.coverage);
+    BoundPredicate bound = *sg.predicate.Bind(*p.table);
+    for (size_t idx : sg.covered) {
+      EXPECT_TRUE(bound.Matches(p.rows[idx]))
+          << sg.predicate.ToString() << " idx " << idx;
+    }
+  }
+}
+
+TEST(SubgroupTest, Validation) {
+  Planted p = MakePatients(6);
+  FeatureView v = *FeatureView::Create(*p.table, {"age"});
+  EXPECT_FALSE(DiscoverSubgroups(v, {}, {}, {}).ok());
+  EXPECT_FALSE(DiscoverSubgroups(v, {0, 1}, {0}, {}).ok());
+  EXPECT_FALSE(DiscoverSubgroups(v, {0, 1}, {0, 0}, {}).ok());  // no positive
+  EXPECT_FALSE(DiscoverSubgroups(v, {0, 1}, {0, 1}, {1.0}).ok());
+}
+
+TEST(SubgroupTest, AllPositiveLabelsFindNothingUseful) {
+  // With every example positive, WRAcc of any rule is ~0; the search
+  // should return empty rather than arbitrary rules.
+  auto t = std::make_shared<Table>(Schema{{"x", DataType::kDouble}}, "t");
+  std::vector<RowId> rows;
+  std::vector<int> labels;
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    DBW_CHECK_OK(t->AppendRow({Value(rng.UniformDouble(0, 1))}));
+    rows.push_back(static_cast<RowId>(i));
+    labels.push_back(1);
+  }
+  FeatureView v = *FeatureView::Create(*t, {"x"});
+  auto subgroups = *DiscoverSubgroups(v, rows, labels, {});
+  EXPECT_TRUE(subgroups.empty());
+}
+
+class SubgroupSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SubgroupSeedSweep, RecoversPlantedRuleAcrossSeeds) {
+  Planted p = MakePatients(GetParam());
+  FeatureView v = *FeatureView::Create(*p.table, {"habit", "age", "weight"});
+  auto subgroups = *DiscoverSubgroups(v, p.rows, p.labels, {});
+  ASSERT_FALSE(subgroups.empty());
+  EXPECT_NE(subgroups[0].predicate.ToString().find("smoker"),
+            std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubgroupSeedSweep,
+                         ::testing::Values(10, 20, 30, 40, 50));
+
+}  // namespace
+}  // namespace dbwipes

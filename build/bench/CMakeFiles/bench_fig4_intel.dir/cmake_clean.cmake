@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_intel.dir/bench_fig4_intel.cc.o"
+  "CMakeFiles/bench_fig4_intel.dir/bench_fig4_intel.cc.o.d"
+  "bench_fig4_intel"
+  "bench_fig4_intel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_intel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

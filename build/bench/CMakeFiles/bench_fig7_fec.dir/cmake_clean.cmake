@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_fec.dir/bench_fig7_fec.cc.o"
+  "CMakeFiles/bench_fig7_fec.dir/bench_fig7_fec.cc.o.d"
+  "bench_fig7_fec"
+  "bench_fig7_fec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_fec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

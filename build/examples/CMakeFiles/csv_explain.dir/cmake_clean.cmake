@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_explain.dir/csv_explain.cpp.o"
+  "CMakeFiles/csv_explain.dir/csv_explain.cpp.o.d"
+  "csv_explain"
+  "csv_explain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_explain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbwipes_repl.dir/dbwipes_repl.cpp.o"
+  "CMakeFiles/dbwipes_repl.dir/dbwipes_repl.cpp.o.d"
+  "dbwipes_repl"
+  "dbwipes_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbwipes_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

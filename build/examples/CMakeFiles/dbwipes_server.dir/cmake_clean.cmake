@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbwipes_server.dir/dbwipes_server.cpp.o"
+  "CMakeFiles/dbwipes_server.dir/dbwipes_server.cpp.o.d"
+  "dbwipes_server"
+  "dbwipes_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbwipes_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

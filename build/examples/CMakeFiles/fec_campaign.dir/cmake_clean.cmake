@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fec_campaign.dir/fec_campaign.cpp.o"
+  "CMakeFiles/fec_campaign.dir/fec_campaign.cpp.o.d"
+  "fec_campaign"
+  "fec_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fec_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

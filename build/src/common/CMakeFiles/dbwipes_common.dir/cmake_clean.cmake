@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbwipes_common.dir/logging.cc.o"
+  "CMakeFiles/dbwipes_common.dir/logging.cc.o.d"
+  "CMakeFiles/dbwipes_common.dir/random.cc.o"
+  "CMakeFiles/dbwipes_common.dir/random.cc.o.d"
+  "CMakeFiles/dbwipes_common.dir/stats.cc.o"
+  "CMakeFiles/dbwipes_common.dir/stats.cc.o.d"
+  "CMakeFiles/dbwipes_common.dir/status.cc.o"
+  "CMakeFiles/dbwipes_common.dir/status.cc.o.d"
+  "CMakeFiles/dbwipes_common.dir/string_util.cc.o"
+  "CMakeFiles/dbwipes_common.dir/string_util.cc.o.d"
+  "libdbwipes_common.a"
+  "libdbwipes_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbwipes_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cc" "src/core/CMakeFiles/dbwipes_core.dir/baselines.cc.o" "gcc" "src/core/CMakeFiles/dbwipes_core.dir/baselines.cc.o.d"
+  "/root/repo/src/core/dataset_enumerator.cc" "src/core/CMakeFiles/dbwipes_core.dir/dataset_enumerator.cc.o" "gcc" "src/core/CMakeFiles/dbwipes_core.dir/dataset_enumerator.cc.o.d"
+  "/root/repo/src/core/dbwipes.cc" "src/core/CMakeFiles/dbwipes_core.dir/dbwipes.cc.o" "gcc" "src/core/CMakeFiles/dbwipes_core.dir/dbwipes.cc.o.d"
+  "/root/repo/src/core/error_metric.cc" "src/core/CMakeFiles/dbwipes_core.dir/error_metric.cc.o" "gcc" "src/core/CMakeFiles/dbwipes_core.dir/error_metric.cc.o.d"
+  "/root/repo/src/core/evaluation.cc" "src/core/CMakeFiles/dbwipes_core.dir/evaluation.cc.o" "gcc" "src/core/CMakeFiles/dbwipes_core.dir/evaluation.cc.o.d"
+  "/root/repo/src/core/export.cc" "src/core/CMakeFiles/dbwipes_core.dir/export.cc.o" "gcc" "src/core/CMakeFiles/dbwipes_core.dir/export.cc.o.d"
+  "/root/repo/src/core/merger.cc" "src/core/CMakeFiles/dbwipes_core.dir/merger.cc.o" "gcc" "src/core/CMakeFiles/dbwipes_core.dir/merger.cc.o.d"
+  "/root/repo/src/core/predicate_enumerator.cc" "src/core/CMakeFiles/dbwipes_core.dir/predicate_enumerator.cc.o" "gcc" "src/core/CMakeFiles/dbwipes_core.dir/predicate_enumerator.cc.o.d"
+  "/root/repo/src/core/predicate_ranker.cc" "src/core/CMakeFiles/dbwipes_core.dir/predicate_ranker.cc.o" "gcc" "src/core/CMakeFiles/dbwipes_core.dir/predicate_ranker.cc.o.d"
+  "/root/repo/src/core/preprocessor.cc" "src/core/CMakeFiles/dbwipes_core.dir/preprocessor.cc.o" "gcc" "src/core/CMakeFiles/dbwipes_core.dir/preprocessor.cc.o.d"
+  "/root/repo/src/core/removal.cc" "src/core/CMakeFiles/dbwipes_core.dir/removal.cc.o" "gcc" "src/core/CMakeFiles/dbwipes_core.dir/removal.cc.o.d"
+  "/root/repo/src/core/service.cc" "src/core/CMakeFiles/dbwipes_core.dir/service.cc.o" "gcc" "src/core/CMakeFiles/dbwipes_core.dir/service.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/core/CMakeFiles/dbwipes_core.dir/session.cc.o" "gcc" "src/core/CMakeFiles/dbwipes_core.dir/session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/provenance/CMakeFiles/dbwipes_provenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/learn/CMakeFiles/dbwipes_learn.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/dbwipes_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/dbwipes_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dbwipes_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dbwipes_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

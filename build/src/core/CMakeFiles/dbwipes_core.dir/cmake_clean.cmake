@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbwipes_core.dir/baselines.cc.o"
+  "CMakeFiles/dbwipes_core.dir/baselines.cc.o.d"
+  "CMakeFiles/dbwipes_core.dir/dataset_enumerator.cc.o"
+  "CMakeFiles/dbwipes_core.dir/dataset_enumerator.cc.o.d"
+  "CMakeFiles/dbwipes_core.dir/dbwipes.cc.o"
+  "CMakeFiles/dbwipes_core.dir/dbwipes.cc.o.d"
+  "CMakeFiles/dbwipes_core.dir/error_metric.cc.o"
+  "CMakeFiles/dbwipes_core.dir/error_metric.cc.o.d"
+  "CMakeFiles/dbwipes_core.dir/evaluation.cc.o"
+  "CMakeFiles/dbwipes_core.dir/evaluation.cc.o.d"
+  "CMakeFiles/dbwipes_core.dir/export.cc.o"
+  "CMakeFiles/dbwipes_core.dir/export.cc.o.d"
+  "CMakeFiles/dbwipes_core.dir/merger.cc.o"
+  "CMakeFiles/dbwipes_core.dir/merger.cc.o.d"
+  "CMakeFiles/dbwipes_core.dir/predicate_enumerator.cc.o"
+  "CMakeFiles/dbwipes_core.dir/predicate_enumerator.cc.o.d"
+  "CMakeFiles/dbwipes_core.dir/predicate_ranker.cc.o"
+  "CMakeFiles/dbwipes_core.dir/predicate_ranker.cc.o.d"
+  "CMakeFiles/dbwipes_core.dir/preprocessor.cc.o"
+  "CMakeFiles/dbwipes_core.dir/preprocessor.cc.o.d"
+  "CMakeFiles/dbwipes_core.dir/removal.cc.o"
+  "CMakeFiles/dbwipes_core.dir/removal.cc.o.d"
+  "CMakeFiles/dbwipes_core.dir/service.cc.o"
+  "CMakeFiles/dbwipes_core.dir/service.cc.o.d"
+  "CMakeFiles/dbwipes_core.dir/session.cc.o"
+  "CMakeFiles/dbwipes_core.dir/session.cc.o.d"
+  "libdbwipes_core.a"
+  "libdbwipes_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbwipes_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/fec_generator.cc" "src/datagen/CMakeFiles/dbwipes_datagen.dir/fec_generator.cc.o" "gcc" "src/datagen/CMakeFiles/dbwipes_datagen.dir/fec_generator.cc.o.d"
+  "/root/repo/src/datagen/intel_generator.cc" "src/datagen/CMakeFiles/dbwipes_datagen.dir/intel_generator.cc.o" "gcc" "src/datagen/CMakeFiles/dbwipes_datagen.dir/intel_generator.cc.o.d"
+  "/root/repo/src/datagen/labeled_dataset.cc" "src/datagen/CMakeFiles/dbwipes_datagen.dir/labeled_dataset.cc.o" "gcc" "src/datagen/CMakeFiles/dbwipes_datagen.dir/labeled_dataset.cc.o.d"
+  "/root/repo/src/datagen/synthetic.cc" "src/datagen/CMakeFiles/dbwipes_datagen.dir/synthetic.cc.o" "gcc" "src/datagen/CMakeFiles/dbwipes_datagen.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expr/CMakeFiles/dbwipes_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dbwipes_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dbwipes_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbwipes_datagen.dir/fec_generator.cc.o"
+  "CMakeFiles/dbwipes_datagen.dir/fec_generator.cc.o.d"
+  "CMakeFiles/dbwipes_datagen.dir/intel_generator.cc.o"
+  "CMakeFiles/dbwipes_datagen.dir/intel_generator.cc.o.d"
+  "CMakeFiles/dbwipes_datagen.dir/labeled_dataset.cc.o"
+  "CMakeFiles/dbwipes_datagen.dir/labeled_dataset.cc.o.d"
+  "CMakeFiles/dbwipes_datagen.dir/synthetic.cc.o"
+  "CMakeFiles/dbwipes_datagen.dir/synthetic.cc.o.d"
+  "libdbwipes_datagen.a"
+  "libdbwipes_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbwipes_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdbwipes_datagen.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/expr/ast.cc" "src/expr/CMakeFiles/dbwipes_expr.dir/ast.cc.o" "gcc" "src/expr/CMakeFiles/dbwipes_expr.dir/ast.cc.o.d"
+  "/root/repo/src/expr/bool_expr.cc" "src/expr/CMakeFiles/dbwipes_expr.dir/bool_expr.cc.o" "gcc" "src/expr/CMakeFiles/dbwipes_expr.dir/bool_expr.cc.o.d"
+  "/root/repo/src/expr/parser.cc" "src/expr/CMakeFiles/dbwipes_expr.dir/parser.cc.o" "gcc" "src/expr/CMakeFiles/dbwipes_expr.dir/parser.cc.o.d"
+  "/root/repo/src/expr/predicate.cc" "src/expr/CMakeFiles/dbwipes_expr.dir/predicate.cc.o" "gcc" "src/expr/CMakeFiles/dbwipes_expr.dir/predicate.cc.o.d"
+  "/root/repo/src/expr/scalar_expr.cc" "src/expr/CMakeFiles/dbwipes_expr.dir/scalar_expr.cc.o" "gcc" "src/expr/CMakeFiles/dbwipes_expr.dir/scalar_expr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/dbwipes_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dbwipes_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbwipes_expr.dir/ast.cc.o"
+  "CMakeFiles/dbwipes_expr.dir/ast.cc.o.d"
+  "CMakeFiles/dbwipes_expr.dir/bool_expr.cc.o"
+  "CMakeFiles/dbwipes_expr.dir/bool_expr.cc.o.d"
+  "CMakeFiles/dbwipes_expr.dir/parser.cc.o"
+  "CMakeFiles/dbwipes_expr.dir/parser.cc.o.d"
+  "CMakeFiles/dbwipes_expr.dir/predicate.cc.o"
+  "CMakeFiles/dbwipes_expr.dir/predicate.cc.o.d"
+  "CMakeFiles/dbwipes_expr.dir/scalar_expr.cc.o"
+  "CMakeFiles/dbwipes_expr.dir/scalar_expr.cc.o.d"
+  "libdbwipes_expr.a"
+  "libdbwipes_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbwipes_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

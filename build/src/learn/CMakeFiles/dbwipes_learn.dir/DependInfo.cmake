@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/learn/decision_tree.cc" "src/learn/CMakeFiles/dbwipes_learn.dir/decision_tree.cc.o" "gcc" "src/learn/CMakeFiles/dbwipes_learn.dir/decision_tree.cc.o.d"
+  "/root/repo/src/learn/feature.cc" "src/learn/CMakeFiles/dbwipes_learn.dir/feature.cc.o" "gcc" "src/learn/CMakeFiles/dbwipes_learn.dir/feature.cc.o.d"
+  "/root/repo/src/learn/kmeans.cc" "src/learn/CMakeFiles/dbwipes_learn.dir/kmeans.cc.o" "gcc" "src/learn/CMakeFiles/dbwipes_learn.dir/kmeans.cc.o.d"
+  "/root/repo/src/learn/naive_bayes.cc" "src/learn/CMakeFiles/dbwipes_learn.dir/naive_bayes.cc.o" "gcc" "src/learn/CMakeFiles/dbwipes_learn.dir/naive_bayes.cc.o.d"
+  "/root/repo/src/learn/pca.cc" "src/learn/CMakeFiles/dbwipes_learn.dir/pca.cc.o" "gcc" "src/learn/CMakeFiles/dbwipes_learn.dir/pca.cc.o.d"
+  "/root/repo/src/learn/subgroup.cc" "src/learn/CMakeFiles/dbwipes_learn.dir/subgroup.cc.o" "gcc" "src/learn/CMakeFiles/dbwipes_learn.dir/subgroup.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expr/CMakeFiles/dbwipes_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dbwipes_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dbwipes_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

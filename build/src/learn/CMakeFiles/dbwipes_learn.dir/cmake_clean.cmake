@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbwipes_learn.dir/decision_tree.cc.o"
+  "CMakeFiles/dbwipes_learn.dir/decision_tree.cc.o.d"
+  "CMakeFiles/dbwipes_learn.dir/feature.cc.o"
+  "CMakeFiles/dbwipes_learn.dir/feature.cc.o.d"
+  "CMakeFiles/dbwipes_learn.dir/kmeans.cc.o"
+  "CMakeFiles/dbwipes_learn.dir/kmeans.cc.o.d"
+  "CMakeFiles/dbwipes_learn.dir/naive_bayes.cc.o"
+  "CMakeFiles/dbwipes_learn.dir/naive_bayes.cc.o.d"
+  "CMakeFiles/dbwipes_learn.dir/pca.cc.o"
+  "CMakeFiles/dbwipes_learn.dir/pca.cc.o.d"
+  "CMakeFiles/dbwipes_learn.dir/subgroup.cc.o"
+  "CMakeFiles/dbwipes_learn.dir/subgroup.cc.o.d"
+  "libdbwipes_learn.a"
+  "libdbwipes_learn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbwipes_learn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbwipes_provenance.dir/influence.cc.o"
+  "CMakeFiles/dbwipes_provenance.dir/influence.cc.o.d"
+  "CMakeFiles/dbwipes_provenance.dir/lineage.cc.o"
+  "CMakeFiles/dbwipes_provenance.dir/lineage.cc.o.d"
+  "libdbwipes_provenance.a"
+  "libdbwipes_provenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbwipes_provenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

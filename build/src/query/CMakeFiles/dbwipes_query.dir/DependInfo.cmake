@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/aggregate.cc" "src/query/CMakeFiles/dbwipes_query.dir/aggregate.cc.o" "gcc" "src/query/CMakeFiles/dbwipes_query.dir/aggregate.cc.o.d"
+  "/root/repo/src/query/database.cc" "src/query/CMakeFiles/dbwipes_query.dir/database.cc.o" "gcc" "src/query/CMakeFiles/dbwipes_query.dir/database.cc.o.d"
+  "/root/repo/src/query/derived.cc" "src/query/CMakeFiles/dbwipes_query.dir/derived.cc.o" "gcc" "src/query/CMakeFiles/dbwipes_query.dir/derived.cc.o.d"
+  "/root/repo/src/query/executor.cc" "src/query/CMakeFiles/dbwipes_query.dir/executor.cc.o" "gcc" "src/query/CMakeFiles/dbwipes_query.dir/executor.cc.o.d"
+  "/root/repo/src/query/incremental.cc" "src/query/CMakeFiles/dbwipes_query.dir/incremental.cc.o" "gcc" "src/query/CMakeFiles/dbwipes_query.dir/incremental.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expr/CMakeFiles/dbwipes_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dbwipes_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dbwipes_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbwipes_query.dir/aggregate.cc.o"
+  "CMakeFiles/dbwipes_query.dir/aggregate.cc.o.d"
+  "CMakeFiles/dbwipes_query.dir/database.cc.o"
+  "CMakeFiles/dbwipes_query.dir/database.cc.o.d"
+  "CMakeFiles/dbwipes_query.dir/derived.cc.o"
+  "CMakeFiles/dbwipes_query.dir/derived.cc.o.d"
+  "CMakeFiles/dbwipes_query.dir/executor.cc.o"
+  "CMakeFiles/dbwipes_query.dir/executor.cc.o.d"
+  "CMakeFiles/dbwipes_query.dir/incremental.cc.o"
+  "CMakeFiles/dbwipes_query.dir/incremental.cc.o.d"
+  "libdbwipes_query.a"
+  "libdbwipes_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbwipes_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

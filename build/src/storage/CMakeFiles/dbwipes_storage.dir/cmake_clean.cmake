@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbwipes_storage.dir/column.cc.o"
+  "CMakeFiles/dbwipes_storage.dir/column.cc.o.d"
+  "CMakeFiles/dbwipes_storage.dir/csv.cc.o"
+  "CMakeFiles/dbwipes_storage.dir/csv.cc.o.d"
+  "CMakeFiles/dbwipes_storage.dir/schema.cc.o"
+  "CMakeFiles/dbwipes_storage.dir/schema.cc.o.d"
+  "CMakeFiles/dbwipes_storage.dir/table.cc.o"
+  "CMakeFiles/dbwipes_storage.dir/table.cc.o.d"
+  "CMakeFiles/dbwipes_storage.dir/value.cc.o"
+  "CMakeFiles/dbwipes_storage.dir/value.cc.o.d"
+  "libdbwipes_storage.a"
+  "libdbwipes_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbwipes_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbwipes_viz.dir/dashboard.cc.o"
+  "CMakeFiles/dbwipes_viz.dir/dashboard.cc.o.d"
+  "CMakeFiles/dbwipes_viz.dir/histogram.cc.o"
+  "CMakeFiles/dbwipes_viz.dir/histogram.cc.o.d"
+  "CMakeFiles/dbwipes_viz.dir/scatterplot.cc.o"
+  "CMakeFiles/dbwipes_viz.dir/scatterplot.cc.o.d"
+  "libdbwipes_viz.a"
+  "libdbwipes_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbwipes_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_metric_test.dir/error_metric_test.cc.o"
+  "CMakeFiles/error_metric_test.dir/error_metric_test.cc.o.d"
+  "error_metric_test"
+  "error_metric_test.pdb"
+  "error_metric_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_metric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

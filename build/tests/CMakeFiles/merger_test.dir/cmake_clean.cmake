@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merger_test.dir/merger_test.cc.o"
+  "CMakeFiles/merger_test.dir/merger_test.cc.o.d"
+  "merger_test"
+  "merger_test.pdb"
+  "merger_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merger_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

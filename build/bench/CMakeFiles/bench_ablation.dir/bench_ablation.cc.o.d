@@ -234,6 +234,7 @@ bench/CMakeFiles/bench_ablation.dir/bench_ablation.cc.o: \
  /root/repo/src/include/dbwipes/common/logging.h \
  /root/repo/src/include/dbwipes/common/status.h \
  /root/repo/src/include/dbwipes/expr/predicate.h \
+ /root/repo/src/include/dbwipes/common/bitmap.h \
  /root/repo/src/include/dbwipes/storage/table.h \
  /root/repo/src/include/dbwipes/storage/column.h \
  /root/repo/src/include/dbwipes/storage/value.h \

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_rank.cc" "bench/CMakeFiles/bench_rank.dir/bench_rank.cc.o" "gcc" "bench/CMakeFiles/bench_rank.dir/bench_rank.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dbwipes_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/dbwipes_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/dbwipes_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/dbwipes_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/provenance/CMakeFiles/dbwipes_provenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/learn/CMakeFiles/dbwipes_learn.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/dbwipes_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dbwipes_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dbwipes_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -234,6 +234,7 @@ bench/CMakeFiles/bench_repair.dir/bench_repair.cc.o: \
  /root/repo/src/include/dbwipes/common/logging.h \
  /root/repo/src/include/dbwipes/common/status.h \
  /root/repo/src/include/dbwipes/expr/predicate.h \
+ /root/repo/src/include/dbwipes/common/bitmap.h \
  /root/repo/src/include/dbwipes/storage/table.h \
  /root/repo/src/include/dbwipes/storage/column.h \
  /root/repo/src/include/dbwipes/storage/value.h \
@@ -257,4 +258,6 @@ bench/CMakeFiles/bench_repair.dir/bench_repair.cc.o: \
  /root/repo/src/include/dbwipes/datagen/fec_generator.h \
  /root/repo/src/include/dbwipes/datagen/intel_generator.h \
  /root/repo/src/include/dbwipes/expr/parser.h \
- /root/repo/src/include/dbwipes/query/incremental.h
+ /root/repo/src/include/dbwipes/query/incremental.h \
+ /root/repo/src/include/dbwipes/query/aggregate.h \
+ /root/repo/src/include/dbwipes/common/stats.h

@@ -227,6 +227,7 @@ examples/CMakeFiles/dbwipes_repl.dir/dbwipes_repl.cpp.o: \
  /root/repo/src/include/dbwipes/expr/ast.h \
  /root/repo/src/include/dbwipes/expr/bool_expr.h \
  /root/repo/src/include/dbwipes/expr/predicate.h \
+ /root/repo/src/include/dbwipes/common/bitmap.h \
  /root/repo/src/include/dbwipes/storage/table.h \
  /root/repo/src/include/dbwipes/storage/column.h \
  /root/repo/src/include/dbwipes/storage/value.h \

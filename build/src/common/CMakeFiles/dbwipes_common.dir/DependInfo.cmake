@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/logging.cc" "src/common/CMakeFiles/dbwipes_common.dir/logging.cc.o" "gcc" "src/common/CMakeFiles/dbwipes_common.dir/logging.cc.o.d"
+  "/root/repo/src/common/parallel.cc" "src/common/CMakeFiles/dbwipes_common.dir/parallel.cc.o" "gcc" "src/common/CMakeFiles/dbwipes_common.dir/parallel.cc.o.d"
   "/root/repo/src/common/random.cc" "src/common/CMakeFiles/dbwipes_common.dir/random.cc.o" "gcc" "src/common/CMakeFiles/dbwipes_common.dir/random.cc.o.d"
   "/root/repo/src/common/stats.cc" "src/common/CMakeFiles/dbwipes_common.dir/stats.cc.o" "gcc" "src/common/CMakeFiles/dbwipes_common.dir/stats.cc.o.d"
   "/root/repo/src/common/status.cc" "src/common/CMakeFiles/dbwipes_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/dbwipes_common.dir/status.cc.o.d"

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/dbwipes_common.dir/logging.cc.o"
   "CMakeFiles/dbwipes_common.dir/logging.cc.o.d"
+  "CMakeFiles/dbwipes_common.dir/parallel.cc.o"
+  "CMakeFiles/dbwipes_common.dir/parallel.cc.o.d"
   "CMakeFiles/dbwipes_common.dir/random.cc.o"
   "CMakeFiles/dbwipes_common.dir/random.cc.o.d"
   "CMakeFiles/dbwipes_common.dir/stats.cc.o"

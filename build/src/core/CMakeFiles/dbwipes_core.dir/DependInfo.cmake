@@ -19,6 +19,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/predicate_ranker.cc" "src/core/CMakeFiles/dbwipes_core.dir/predicate_ranker.cc.o" "gcc" "src/core/CMakeFiles/dbwipes_core.dir/predicate_ranker.cc.o.d"
   "/root/repo/src/core/preprocessor.cc" "src/core/CMakeFiles/dbwipes_core.dir/preprocessor.cc.o" "gcc" "src/core/CMakeFiles/dbwipes_core.dir/preprocessor.cc.o.d"
   "/root/repo/src/core/removal.cc" "src/core/CMakeFiles/dbwipes_core.dir/removal.cc.o" "gcc" "src/core/CMakeFiles/dbwipes_core.dir/removal.cc.o.d"
+  "/root/repo/src/core/removal_scorer.cc" "src/core/CMakeFiles/dbwipes_core.dir/removal_scorer.cc.o" "gcc" "src/core/CMakeFiles/dbwipes_core.dir/removal_scorer.cc.o.d"
   "/root/repo/src/core/service.cc" "src/core/CMakeFiles/dbwipes_core.dir/service.cc.o" "gcc" "src/core/CMakeFiles/dbwipes_core.dir/service.cc.o.d"
   "/root/repo/src/core/session.cc" "src/core/CMakeFiles/dbwipes_core.dir/session.cc.o" "gcc" "src/core/CMakeFiles/dbwipes_core.dir/session.cc.o.d"
   )

@@ -21,6 +21,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/dbwipes_core.dir/preprocessor.cc.o.d"
   "CMakeFiles/dbwipes_core.dir/removal.cc.o"
   "CMakeFiles/dbwipes_core.dir/removal.cc.o.d"
+  "CMakeFiles/dbwipes_core.dir/removal_scorer.cc.o"
+  "CMakeFiles/dbwipes_core.dir/removal_scorer.cc.o.d"
   "CMakeFiles/dbwipes_core.dir/service.cc.o"
   "CMakeFiles/dbwipes_core.dir/service.cc.o.d"
   "CMakeFiles/dbwipes_core.dir/session.cc.o"

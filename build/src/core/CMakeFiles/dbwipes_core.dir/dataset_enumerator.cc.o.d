@@ -227,6 +227,7 @@ src/core/CMakeFiles/dbwipes_core.dir/dataset_enumerator.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/include/dbwipes/common/status.h \
  /root/repo/src/include/dbwipes/expr/predicate.h \
+ /root/repo/src/include/dbwipes/common/bitmap.h \
  /root/repo/src/include/dbwipes/storage/table.h \
  /root/repo/src/include/dbwipes/storage/column.h \
  /root/repo/src/include/dbwipes/storage/value.h \
@@ -266,6 +267,11 @@ src/core/CMakeFiles/dbwipes_core.dir/dataset_enumerator.cc.o: \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/include/dbwipes/common/stats.h \
- /root/repo/src/include/dbwipes/core/removal.h \
+ /root/repo/src/include/dbwipes/core/removal_scorer.h \
+ /root/repo/src/include/dbwipes/query/aggregate.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/include/dbwipes/learn/kmeans.h \
  /root/repo/src/include/dbwipes/learn/naive_bayes.h

@@ -220,6 +220,8 @@ src/core/CMakeFiles/dbwipes_core.dir/error_metric.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/include/dbwipes/common/status.h \
  /root/repo/src/include/dbwipes/expr/predicate.h \
+ /root/repo/src/include/dbwipes/common/bitmap.h \
+ /usr/include/c++/12/cstddef \
  /root/repo/src/include/dbwipes/storage/table.h \
  /root/repo/src/include/dbwipes/storage/column.h \
  /root/repo/src/include/dbwipes/storage/value.h \
@@ -254,5 +256,4 @@ src/core/CMakeFiles/dbwipes_core.dir/error_metric.cc.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/include/dbwipes/common/stats.h \
- /usr/include/c++/12/cstddef \
  /root/repo/src/include/dbwipes/common/string_util.h

@@ -229,6 +229,7 @@ src/core/CMakeFiles/dbwipes_core.dir/predicate_ranker.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/include/dbwipes/common/status.h \
  /root/repo/src/include/dbwipes/expr/predicate.h \
+ /root/repo/src/include/dbwipes/common/bitmap.h \
  /root/repo/src/include/dbwipes/storage/table.h \
  /root/repo/src/include/dbwipes/storage/column.h \
  /root/repo/src/include/dbwipes/storage/value.h \
@@ -267,5 +268,21 @@ src/core/CMakeFiles/dbwipes_core.dir/predicate_ranker.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h
+ /root/repo/src/include/dbwipes/common/parallel.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread \
+ /root/repo/src/include/dbwipes/core/removal_scorer.h \
+ /root/repo/src/include/dbwipes/query/aggregate.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h \
+ /root/repo/src/include/dbwipes/common/stats.h

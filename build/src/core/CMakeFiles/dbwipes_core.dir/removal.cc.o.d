@@ -223,6 +223,8 @@ src/core/CMakeFiles/dbwipes_core.dir/removal.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/include/dbwipes/common/status.h \
  /root/repo/src/include/dbwipes/expr/predicate.h \
+ /root/repo/src/include/dbwipes/common/bitmap.h \
+ /usr/include/c++/12/cstddef \
  /root/repo/src/include/dbwipes/storage/table.h \
  /root/repo/src/include/dbwipes/storage/column.h \
  /root/repo/src/include/dbwipes/storage/value.h \
@@ -239,5 +241,4 @@ src/core/CMakeFiles/dbwipes_core.dir/removal.cc.o: \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
- /root/repo/src/include/dbwipes/common/stats.h \
- /usr/include/c++/12/cstddef
+ /root/repo/src/include/dbwipes/common/stats.h

@@ -210,6 +210,8 @@ src/datagen/CMakeFiles/dbwipes_datagen.dir/fec_generator.cc.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/include/dbwipes/expr/predicate.h \
+ /root/repo/src/include/dbwipes/common/bitmap.h \
+ /usr/include/c++/12/cstddef \
  /root/repo/src/include/dbwipes/storage/table.h \
  /root/repo/src/include/dbwipes/storage/column.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
@@ -250,5 +252,4 @@ src/datagen/CMakeFiles/dbwipes_datagen.dir/fec_generator.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/include/dbwipes/common/random.h \
- /usr/include/c++/12/cstddef
+ /root/repo/src/include/dbwipes/common/random.h

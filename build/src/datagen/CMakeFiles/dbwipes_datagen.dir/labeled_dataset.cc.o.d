@@ -199,6 +199,8 @@ src/datagen/CMakeFiles/dbwipes_datagen.dir/labeled_dataset.cc.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/include/dbwipes/expr/predicate.h \
+ /root/repo/src/include/dbwipes/common/bitmap.h \
+ /usr/include/c++/12/cstddef \
  /root/repo/src/include/dbwipes/common/result.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /usr/include/c++/12/variant \

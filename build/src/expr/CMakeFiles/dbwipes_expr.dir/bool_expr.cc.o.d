@@ -209,6 +209,8 @@ src/expr/CMakeFiles/dbwipes_expr.dir/bool_expr.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/include/dbwipes/common/status.h \
  /root/repo/src/include/dbwipes/expr/predicate.h \
+ /root/repo/src/include/dbwipes/common/bitmap.h \
+ /usr/include/c++/12/cstddef \
  /root/repo/src/include/dbwipes/storage/table.h \
  /root/repo/src/include/dbwipes/storage/column.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \

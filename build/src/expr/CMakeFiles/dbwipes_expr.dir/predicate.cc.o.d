@@ -124,6 +124,8 @@ src/expr/CMakeFiles/dbwipes_expr.dir/predicate.cc.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
+ /root/repo/src/include/dbwipes/common/bitmap.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/cstddef \
  /root/repo/src/include/dbwipes/common/result.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /usr/include/c++/12/variant \
@@ -172,7 +174,7 @@ src/expr/CMakeFiles/dbwipes_expr.dir/predicate.cc.o: \
  /root/repo/src/include/dbwipes/storage/table.h \
  /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
- /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/bits/align.h \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/shared_ptr.h \

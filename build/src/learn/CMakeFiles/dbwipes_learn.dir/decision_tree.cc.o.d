@@ -125,6 +125,8 @@ src/learn/CMakeFiles/dbwipes_learn.dir/decision_tree.cc.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/include/dbwipes/expr/predicate.h \
+ /root/repo/src/include/dbwipes/common/bitmap.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/cstddef \
  /root/repo/src/include/dbwipes/common/result.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /usr/include/c++/12/variant \
@@ -173,7 +175,7 @@ src/learn/CMakeFiles/dbwipes_learn.dir/decision_tree.cc.o: \
  /root/repo/src/include/dbwipes/storage/table.h \
  /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
- /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/bits/align.h \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/shared_ptr.h \

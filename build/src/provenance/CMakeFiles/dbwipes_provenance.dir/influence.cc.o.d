@@ -222,6 +222,8 @@ src/provenance/CMakeFiles/dbwipes_provenance.dir/influence.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/include/dbwipes/common/status.h \
  /root/repo/src/include/dbwipes/expr/predicate.h \
+ /root/repo/src/include/dbwipes/common/bitmap.h \
+ /usr/include/c++/12/cstddef \
  /root/repo/src/include/dbwipes/storage/table.h \
  /root/repo/src/include/dbwipes/storage/column.h \
  /root/repo/src/include/dbwipes/storage/value.h \
@@ -258,5 +260,4 @@ src/provenance/CMakeFiles/dbwipes_provenance.dir/influence.cc.o: \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
- /root/repo/src/include/dbwipes/common/stats.h \
- /usr/include/c++/12/cstddef
+ /root/repo/src/include/dbwipes/common/stats.h

@@ -213,6 +213,8 @@ src/provenance/CMakeFiles/dbwipes_provenance.dir/lineage.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/include/dbwipes/common/status.h \
  /root/repo/src/include/dbwipes/expr/predicate.h \
+ /root/repo/src/include/dbwipes/common/bitmap.h \
+ /usr/include/c++/12/cstddef \
  /root/repo/src/include/dbwipes/storage/table.h \
  /root/repo/src/include/dbwipes/storage/column.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \

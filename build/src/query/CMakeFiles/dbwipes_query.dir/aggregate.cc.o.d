@@ -219,6 +219,7 @@ src/query/CMakeFiles/dbwipes_query.dir/aggregate.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/include/dbwipes/common/status.h \
  /root/repo/src/include/dbwipes/expr/predicate.h \
+ /root/repo/src/include/dbwipes/common/bitmap.h \
  /root/repo/src/include/dbwipes/storage/table.h \
  /root/repo/src/include/dbwipes/storage/column.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \

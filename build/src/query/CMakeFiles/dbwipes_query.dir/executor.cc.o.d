@@ -211,6 +211,8 @@ src/query/CMakeFiles/dbwipes_query.dir/executor.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/include/dbwipes/common/status.h \
  /root/repo/src/include/dbwipes/expr/predicate.h \
+ /root/repo/src/include/dbwipes/common/bitmap.h \
+ /usr/include/c++/12/cstddef \
  /root/repo/src/include/dbwipes/storage/table.h \
  /root/repo/src/include/dbwipes/storage/column.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
@@ -257,5 +259,4 @@ src/query/CMakeFiles/dbwipes_query.dir/executor.cc.o: \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
- /root/repo/src/include/dbwipes/common/stats.h \
- /usr/include/c++/12/cstddef
+ /root/repo/src/include/dbwipes/common/stats.h

@@ -309,6 +309,7 @@ tests/CMakeFiles/baselines_test.dir/baselines_test.cc.o: \
  /root/repo/src/include/dbwipes/common/logging.h \
  /root/repo/src/include/dbwipes/common/status.h \
  /root/repo/src/include/dbwipes/expr/predicate.h \
+ /root/repo/src/include/dbwipes/common/bitmap.h \
  /root/repo/src/include/dbwipes/storage/table.h \
  /root/repo/src/include/dbwipes/storage/column.h \
  /root/repo/src/include/dbwipes/storage/value.h \

@@ -322,6 +322,7 @@ tests/CMakeFiles/error_metric_test.dir/error_metric_test.cc.o: \
  /root/repo/src/include/dbwipes/common/logging.h \
  /root/repo/src/include/dbwipes/common/status.h \
  /root/repo/src/include/dbwipes/expr/predicate.h \
+ /root/repo/src/include/dbwipes/common/bitmap.h \
  /root/repo/src/include/dbwipes/storage/table.h \
  /root/repo/src/include/dbwipes/storage/column.h \
  /root/repo/src/include/dbwipes/storage/value.h \

@@ -296,6 +296,7 @@ tests/CMakeFiles/subgroup_test.dir/subgroup_test.cc.o: \
  /root/repo/src/include/dbwipes/common/random.h \
  /root/repo/src/include/dbwipes/learn/subgroup.h \
  /root/repo/src/include/dbwipes/expr/predicate.h \
+ /root/repo/src/include/dbwipes/common/bitmap.h \
  /root/repo/src/include/dbwipes/common/result.h \
  /root/repo/src/include/dbwipes/common/logging.h \
  /root/repo/src/include/dbwipes/common/status.h \

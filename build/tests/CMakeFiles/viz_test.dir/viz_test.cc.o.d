@@ -301,6 +301,7 @@ tests/CMakeFiles/viz_test.dir/viz_test.cc.o: /root/repo/tests/viz_test.cc \
  /root/repo/src/include/dbwipes/expr/ast.h \
  /root/repo/src/include/dbwipes/expr/bool_expr.h \
  /root/repo/src/include/dbwipes/expr/predicate.h \
+ /root/repo/src/include/dbwipes/common/bitmap.h \
  /root/repo/src/include/dbwipes/storage/table.h \
  /root/repo/src/include/dbwipes/storage/column.h \
  /root/repo/src/include/dbwipes/storage/value.h \

@@ -5,6 +5,7 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_test[1]_include.cmake")
 include("/root/repo/build/tests/storage_test[1]_include.cmake")
 include("/root/repo/build/tests/csv_test[1]_include.cmake")
 include("/root/repo/build/tests/expr_test[1]_include.cmake")

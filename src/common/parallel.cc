@@ -1,0 +1,186 @@
+#include "dbwipes/common/parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace dbwipes {
+
+namespace {
+
+/// True on threads currently executing pool work; a nested ParallelFor
+/// on such a thread must not block on the pool it is running inside.
+thread_local bool t_in_pool_worker = false;
+
+}  // namespace
+
+size_t DefaultParallelism() {
+  static const size_t cached = [] {
+    if (const char* env = std::getenv("DBWIPES_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v >= 1) return static_cast<size_t>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return static_cast<size_t>(hw == 0 ? 1 : hw);
+  }();
+  return cached;
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool(DefaultParallelism());
+  return pool;
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  // The calling thread participates in Run, so N-way parallelism needs
+  // N-1 workers.
+  const size_t workers = num_threads > 1 ? num_threads - 1 : 0;
+  threads_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_pool_worker = true;
+  size_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || (task_ != nullptr && task_epoch_ != seen_epoch &&
+                             next_chunk_ < num_chunks_);
+      });
+      if (shutdown_) return;
+      seen_epoch = task_epoch_;
+    }
+    DrainCurrentTask();
+  }
+}
+
+void ThreadPool::DrainCurrentTask() {
+  for (;;) {
+    size_t chunk;
+    const std::function<void(size_t)>* fn;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (task_ == nullptr || next_chunk_ >= num_chunks_) return;
+      chunk = next_chunk_++;
+      fn = task_;
+    }
+    (*fn)(chunk);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (++chunks_done_ == num_chunks_) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::Run(size_t num_chunks,
+                     const std::function<void(size_t)>& fn) {
+  if (num_chunks == 0) return;
+  if (threads_.empty() || t_in_pool_worker) {
+    // No workers, or called from inside the pool: run inline.
+    for (size_t c = 0; c < num_chunks; ++c) fn(c);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  // One region at a time; a second caller queues here.
+  done_cv_.wait(lock, [&] { return task_ == nullptr; });
+  task_ = &fn;
+  ++task_epoch_;
+  num_chunks_ = num_chunks;
+  next_chunk_ = 0;
+  chunks_done_ = 0;
+  lock.unlock();
+  work_cv_.notify_all();
+
+  // Participate instead of idling.
+  const bool was_worker = t_in_pool_worker;
+  t_in_pool_worker = true;
+  DrainCurrentTask();
+  t_in_pool_worker = was_worker;
+
+  lock.lock();
+  done_cv_.wait(lock, [&] { return chunks_done_ == num_chunks_; });
+  task_ = nullptr;
+  lock.unlock();
+  // Wake any caller queued on task_ == nullptr.
+  done_cv_.notify_all();
+}
+
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t, size_t)>& chunk_fn,
+                 const ParallelOptions& options) {
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  const size_t threads =
+      options.num_threads == 0 ? DefaultParallelism() : options.num_threads;
+  if (threads <= 1 || n < options.min_items_for_threading) {
+    chunk_fn(begin, end);
+    return;
+  }
+  // Several chunks per thread smooths imbalance between cheap and
+  // expensive items; boundaries depend only on n and the chunk size.
+  const size_t target_chunks = threads * 4;
+  const size_t chunk_size = std::max<size_t>(1, (n + target_chunks - 1) /
+                                                    target_chunks);
+  const size_t num_chunks = (n + chunk_size - 1) / chunk_size;
+  ThreadPool::Global().Run(num_chunks, [&](size_t c) {
+    const size_t lo = begin + c * chunk_size;
+    const size_t hi = std::min(end, lo + chunk_size);
+    chunk_fn(lo, hi);
+  });
+}
+
+void ParallelForEach(size_t begin, size_t end,
+                     const std::function<void(size_t)>& fn,
+                     const ParallelOptions& options) {
+  ParallelFor(
+      begin, end,
+      [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) fn(i);
+      },
+      options);
+}
+
+Status ParallelForStatus(size_t n, const std::function<Status(size_t)>& fn,
+                         const ParallelOptions& options) {
+  if (n == 0) return Status::OK();
+  std::mutex mu;
+  size_t first_bad = n;
+  Status first_status = Status::OK();
+  ParallelFor(
+      0, n,
+      [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          {
+            // Cheap early-out once some chunk failed; correctness does
+            // not depend on it.
+            std::lock_guard<std::mutex> lock(mu);
+            if (first_bad < n && i > first_bad) break;
+          }
+          Status st = fn(i);
+          if (!st.ok()) {
+            std::lock_guard<std::mutex> lock(mu);
+            if (i < first_bad) {
+              first_bad = i;
+              first_status = std::move(st);
+            }
+            break;
+          }
+        }
+      },
+      options);
+  return first_status;
+}
+
+}  // namespace dbwipes

@@ -5,7 +5,7 @@
 #include <set>
 #include <unordered_map>
 
-#include "dbwipes/core/removal.h"
+#include "dbwipes/core/removal_scorer.h"
 
 namespace dbwipes {
 
@@ -126,6 +126,13 @@ Result<std::vector<RankedPredicate>> ExhaustivePredicateSearch(
   size_t evaluated = 0;
   std::vector<RankedPredicate> ranked;
 
+  // Snapshot the selected groups' aggregator state once; every
+  // conjunction evaluated below is then scored by Remove() deltas over
+  // its coverage mask instead of a full lineage rebuild.
+  DBW_ASSIGN_OR_RETURN(RemovalScorer scorer,
+                       RemovalScorer::Create(table, result, selected_groups,
+                                             agg_index, suspects));
+
   // Enumerate conjunctions by DFS over increasing atom indices.
   struct Frame {
     std::vector<size_t> atom_ids;
@@ -135,25 +142,22 @@ Result<std::vector<RankedPredicate>> ExhaustivePredicateSearch(
   stack.push_back({{}, std::vector<char>(suspects.size(), 1)});
 
   auto evaluate = [&](const Frame& frame) -> Status {
-    std::vector<RowId> matched;
+    size_t matched = 0;
     for (size_t i = 0; i < suspects.size(); ++i) {
-      if (frame.covered[i]) matched.push_back(suspects[i]);
+      if (frame.covered[i]) ++matched;
     }
-    if (matched.size() < options.min_coverage ||
-        matched.size() == suspects.size()) {
+    if (matched < options.min_coverage || matched == suspects.size()) {
       return Status::OK();
     }
     ++evaluated;
-    DBW_ASSIGN_OR_RETURN(
-        double err_after,
-        ErrorAfterRemoval(table, result, selected_groups, metric, agg_index,
-                          matched));
+    const double err_after =
+        metric.Error(scorer.ValuesAfterRemovalMask(frame.covered));
     RankedPredicate rp;
     std::vector<Clause> clauses;
     for (size_t id : frame.atom_ids) clauses.push_back(atoms[id].clause);
     rp.predicate = Predicate(std::move(clauses)).Simplify();
     rp.error_after = err_after;
-    rp.matched_in_suspects = matched.size();
+    rp.matched_in_suspects = matched;
     rp.error_improvement =
         baseline > 0.0
             ? std::clamp((baseline - err_after) / baseline, 0.0, 1.0)

@@ -6,7 +6,7 @@
 #include <unordered_set>
 
 #include "dbwipes/common/stats.h"
-#include "dbwipes/core/removal.h"
+#include "dbwipes/core/removal_scorer.h"
 #include "dbwipes/learn/kmeans.h"
 #include "dbwipes/learn/naive_bayes.h"
 
@@ -209,7 +209,13 @@ Result<std::vector<CandidateDataset>> DatasetEnumerator::Enumerate(
   }
 
   // 4. Score by error reduction; epsilon controls the extension
-  //    (candidates that do not reduce the error are dropped).
+  //    (candidates that do not reduce the error are dropped). The
+  //    scorer snapshots the selected groups' aggregator state once;
+  //    each candidate then costs Remove() deltas instead of a full
+  //    lineage rebuild.
+  DBW_ASSIGN_OR_RETURN(RemovalScorer scorer,
+                       RemovalScorer::Create(table, result, selected_groups,
+                                             agg_index, suspects));
   std::vector<CandidateDataset> out;
   std::unordered_set<std::string> seen_keys;
   for (RawCandidate& rc : raw) {
@@ -224,10 +230,7 @@ Result<std::vector<CandidateDataset>> DatasetEnumerator::Enumerate(
 
     // Score against the per-group mean error (smooth in partial
     // progress; see PerGroupError).
-    DBW_ASSIGN_OR_RETURN(
-        double err_after,
-        PerGroupErrorAfterRemoval(table, result, selected_groups, metric,
-                                  agg_index, rc.rows));
+    const double err_after = scorer.ErrorsAfterRows(metric, rc.rows).per_group;
     CandidateDataset cd;
     cd.rows = std::move(rc.rows);
     cd.source = std::move(rc.source);

@@ -2,9 +2,78 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_set>
+#include <unordered_map>
+
+#include "dbwipes/common/parallel.h"
+#include "dbwipes/core/removal_scorer.h"
 
 namespace dbwipes {
+
+namespace {
+
+/// Shared scoring arithmetic: fills the score-derived fields of `rp`
+/// from the raw measurements.
+void FinishScore(const RankerOptions& options, bool have_reference,
+                 double w_error, double w_acc, double per_group_baseline,
+                 double per_group_after, size_t tp, size_t reference_size,
+                 RankedPredicate* rp) {
+  if (per_group_baseline > 0.0) {
+    rp->error_improvement = std::clamp(
+        (per_group_baseline - per_group_after) / per_group_baseline, 0.0,
+        1.0);
+  }
+  if (have_reference) {
+    rp->precision = rp->matched_in_suspects == 0
+                        ? 0.0
+                        : static_cast<double>(tp) /
+                              static_cast<double>(rp->matched_in_suspects);
+    rp->recall = static_cast<double>(tp) /
+                 static_cast<double>(reference_size);
+    rp->f1 = (rp->precision + rp->recall) > 0.0
+                 ? 2.0 * rp->precision * rp->recall /
+                       (rp->precision + rp->recall)
+                 : 0.0;
+  }
+  const double complexity =
+      std::min(1.0, static_cast<double>(rp->predicate.num_clauses()) /
+                        static_cast<double>(options.max_clauses));
+  rp->score = w_error * rp->error_improvement + w_acc * rp->f1 -
+              options.w_complexity * complexity;
+}
+
+/// Orders by score (stable: ties keep enumeration order) and collapses
+/// predicates that remove the same tuple set — interchangeable repairs;
+/// only the best-scoring description survives. `set_hash`/`set_equal`
+/// describe the matched tuple sets: hashes bucket, but survival is
+/// decided by real set equality, so two distinct repairs can never be
+/// collapsed by a hash collision.
+std::vector<RankedPredicate> SortAndDedup(
+    std::vector<RankedPredicate>* scored,
+    const std::function<uint64_t(size_t)>& set_hash,
+    const std::function<bool(size_t, size_t)>& set_equal, size_t top_k) {
+  std::vector<size_t> order(scored->size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return (*scored)[a].score > (*scored)[b].score;
+  });
+  std::vector<RankedPredicate> deduped;
+  std::unordered_map<uint64_t, std::vector<size_t>> seen_sets;
+  for (size_t i : order) {
+    if ((*scored)[i].matched_in_suspects > 0) {
+      std::vector<size_t>& bucket = seen_sets[set_hash(i)];
+      const bool duplicate =
+          std::any_of(bucket.begin(), bucket.end(),
+                      [&](size_t j) { return set_equal(i, j); });
+      if (duplicate) continue;
+      bucket.push_back(i);
+    }
+    deduped.push_back(std::move((*scored)[i]));
+    if (deduped.size() == top_k) break;
+  }
+  return deduped;
+}
+
+}  // namespace
 
 Result<std::vector<RankedPredicate>> PredicateRanker::Rank(
     const Table& table, const QueryResult& result,
@@ -15,7 +84,22 @@ Result<std::vector<RankedPredicate>> PredicateRanker::Rank(
   if (predicates.empty()) {
     return Status::InvalidArgument("no predicates to rank");
   }
+  if (options_.engine == RankerOptions::Engine::kReferenceSerial) {
+    return RankReference(table, result, selected_groups, metric, agg_index,
+                         suspects, reference_positive, per_group_baseline,
+                         predicates);
+  }
+  return RankDelta(table, result, selected_groups, metric, agg_index,
+                   suspects, reference_positive, per_group_baseline,
+                   predicates);
+}
 
+Result<std::vector<RankedPredicate>> PredicateRanker::RankDelta(
+    const Table& table, const QueryResult& result,
+    const std::vector<size_t>& selected_groups, const ErrorMetric& metric,
+    size_t agg_index, const std::vector<RowId>& suspects,
+    const std::vector<RowId>& reference_positive, double per_group_baseline,
+    const std::vector<EnumeratedPredicate>& predicates) const {
   const bool have_reference = !reference_positive.empty();
   double w_error = options_.w_error;
   double w_acc = options_.w_accuracy;
@@ -26,24 +110,86 @@ Result<std::vector<RankedPredicate>> PredicateRanker::Rank(
     w_acc = 0.0;
   }
 
-  std::vector<RankedPredicate> out;
-  std::vector<size_t> matched_hash;
-  out.reserve(predicates.size());
+  // One lineage walk for the whole call; scoring below never touches
+  // the lineage or evaluates an expression again.
+  DBW_ASSIGN_OR_RETURN(RemovalScorer scorer,
+                       RemovalScorer::Create(table, result, selected_groups,
+                                             agg_index, suspects));
+
+  // The reference set as a positional bitmap over F: tp of a predicate
+  // is then a popcount of the AND.
+  Bitmap reference_bitmap(suspects.size());
+  if (have_reference) {
+    for (size_t i = 0; i < suspects.size(); ++i) {
+      if (std::binary_search(reference_positive.begin(),
+                             reference_positive.end(), suspects[i])) {
+        reference_bitmap.Set(i);
+      }
+    }
+  }
+
+  const size_t n = predicates.size();
+  std::vector<RankedPredicate> scored(n);
+  std::vector<Bitmap> matched(n);
+  ParallelOptions popts;
+  popts.num_threads = options_.num_threads;
+  DBW_RETURN_NOT_OK(ParallelForStatus(
+      n,
+      [&](size_t i) -> Status {
+        const EnumeratedPredicate& ep = predicates[i];
+        DBW_ASSIGN_OR_RETURN(BoundPredicate bound, ep.predicate.Bind(table));
+        Bitmap bm = bound.MatchBitmap(suspects);
+
+        RankedPredicate& rp = scored[i];
+        rp.predicate = ep.predicate;
+        rp.strategy = ep.strategy;
+        rp.matched_in_suspects = bm.CountOnes();
+
+        const RemovalScorer::Errors errors = scorer.ErrorsAfter(metric, bm);
+        rp.error_after = errors.raw;
+        const size_t tp =
+            have_reference ? bm.CountAnd(reference_bitmap) : 0;
+        FinishScore(options_, have_reference, w_error, w_acc,
+                    per_group_baseline, errors.per_group, tp,
+                    reference_positive.size(), &rp);
+        matched[i] = std::move(bm);
+        return Status::OK();
+      },
+      popts));
+
+  return SortAndDedup(
+      &scored, [&](size_t i) { return matched[i].Hash(); },
+      [&](size_t a, size_t b) { return matched[a] == matched[b]; },
+      options_.top_k);
+}
+
+Result<std::vector<RankedPredicate>> PredicateRanker::RankReference(
+    const Table& table, const QueryResult& result,
+    const std::vector<size_t>& selected_groups, const ErrorMetric& metric,
+    size_t agg_index, const std::vector<RowId>& suspects,
+    const std::vector<RowId>& reference_positive, double per_group_baseline,
+    const std::vector<EnumeratedPredicate>& predicates) const {
+  const bool have_reference = !reference_positive.empty();
+  double w_error = options_.w_error;
+  double w_acc = options_.w_accuracy;
+  if (!have_reference) {
+    w_error += w_acc;
+    w_acc = 0.0;
+  }
+
+  std::vector<RankedPredicate> scored;
+  std::vector<std::vector<RowId>> matched_sets;
+  scored.reserve(predicates.size());
+  matched_sets.reserve(predicates.size());
   for (const EnumeratedPredicate& ep : predicates) {
     DBW_ASSIGN_OR_RETURN(BoundPredicate bound, ep.predicate.Bind(table));
 
     // Tuples of F the predicate matches = the tuples cleaning removes
     // from the selected groups.
     std::vector<RowId> matched;
-    size_t hash = 0x9E3779B97F4A7C15ULL;
     for (RowId r : suspects) {
-      if (bound.Matches(r)) {
-        matched.push_back(r);
-        hash ^= std::hash<RowId>{}(r) + 0x9E3779B9u + (hash << 6) +
-                (hash >> 2);
-      }
+      if (bound.Matches(r)) matched.push_back(r);
     }
-    matched_hash.push_back(hash);
 
     RankedPredicate rp;
     rp.predicate = ep.predicate;
@@ -59,59 +205,33 @@ Result<std::vector<RankedPredicate>> PredicateRanker::Rank(
         const double per_group_after,
         PerGroupErrorAfterRemoval(table, result, selected_groups, metric,
                                   agg_index, matched));
-    if (per_group_baseline > 0.0) {
-      rp.error_improvement = std::clamp(
-          (per_group_baseline - per_group_after) / per_group_baseline, 0.0,
-          1.0);
-    }
-
+    size_t tp = 0;
     if (have_reference) {
-      size_t tp = 0;
       for (RowId r : matched) {
         if (std::binary_search(reference_positive.begin(),
                                reference_positive.end(), r)) {
           ++tp;
         }
       }
-      rp.precision = matched.empty()
-                         ? 0.0
-                         : static_cast<double>(tp) /
-                               static_cast<double>(matched.size());
-      rp.recall = static_cast<double>(tp) /
-                  static_cast<double>(reference_positive.size());
-      rp.f1 = (rp.precision + rp.recall) > 0.0
-                  ? 2.0 * rp.precision * rp.recall /
-                        (rp.precision + rp.recall)
-                  : 0.0;
     }
-
-    const double complexity =
-        std::min(1.0, static_cast<double>(rp.predicate.num_clauses()) /
-                          static_cast<double>(options_.max_clauses));
-    rp.score = w_error * rp.error_improvement + w_acc * rp.f1 -
-               options_.w_complexity * complexity;
-    out.push_back(std::move(rp));
+    FinishScore(options_, have_reference, w_error, w_acc, per_group_baseline,
+                per_group_after, tp, reference_positive.size(), &rp);
+    scored.push_back(std::move(rp));
+    matched_sets.push_back(std::move(matched));
   }
 
-  // Order by score, then collapse predicates that remove the same
-  // tuple set: they are interchangeable repairs, so only the best-
-  // scoring (shortest, by the complexity term) description survives.
-  std::vector<size_t> order(out.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    return out[a].score > out[b].score;
-  });
-  std::vector<RankedPredicate> deduped;
-  std::unordered_set<size_t> seen_sets;
-  for (size_t i : order) {
-    if (out[i].matched_in_suspects > 0 &&
-        !seen_sets.insert(matched_hash[i]).second) {
-      continue;
+  auto hash_of = [&](size_t i) {
+    uint64_t hash = 0x9E3779B97F4A7C15ULL;
+    for (RowId r : matched_sets[i]) {
+      hash ^= std::hash<RowId>{}(r) + 0x9E3779B9u + (hash << 6) +
+              (hash >> 2);
     }
-    deduped.push_back(std::move(out[i]));
-    if (deduped.size() == options_.top_k) break;
-  }
-  return deduped;
+    return hash;
+  };
+  return SortAndDedup(
+      &scored, hash_of,
+      [&](size_t a, size_t b) { return matched_sets[a] == matched_sets[b]; },
+      options_.top_k);
 }
 
 }  // namespace dbwipes

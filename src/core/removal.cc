@@ -13,6 +13,14 @@ Result<std::vector<double>> ValuesAfterRemoval(
   if (agg_index >= result.query.aggregates.size()) {
     return Status::OutOfRange("agg_index out of range");
   }
+  // The binary search below silently skips nothing-or-everything on an
+  // unsorted vector, so an unsorted caller would get wrong values, not
+  // a crash — validate up front. The check is O(|removed|), dwarfed by
+  // the per-lineage argument evaluation this function performs.
+  if (!std::is_sorted(removed_sorted.begin(), removed_sorted.end())) {
+    return Status::InvalidArgument(
+        "ValuesAfterRemoval: removed row ids must be sorted ascending");
+  }
   const AggSpec& spec = result.query.aggregates[agg_index];
 
   std::vector<double> values;

@@ -1,0 +1,125 @@
+#include "dbwipes/core/removal_scorer.h"
+
+#include "dbwipes/core/removal.h"
+
+namespace dbwipes {
+
+Result<RemovalScorer> RemovalScorer::Create(
+    const Table& table, const QueryResult& result,
+    const std::vector<size_t>& selected_groups, size_t agg_index,
+    const std::vector<RowId>& suspects) {
+  if (agg_index >= result.query.aggregates.size()) {
+    return Status::OutOfRange("agg_index out of range");
+  }
+  const AggSpec& spec = result.query.aggregates[agg_index];
+
+  RemovalScorer scorer;
+  scorer.entries_.assign(suspects.size(), Entry{});
+  scorer.suspect_index_.reserve(suspects.size());
+  for (size_t i = 0; i < suspects.size(); ++i) {
+    if (!scorer.suspect_index_.emplace(suspects[i], i).second) {
+      return Status::InvalidArgument("suspect set contains duplicates");
+    }
+  }
+
+  scorer.base_.reserve(selected_groups.size());
+  scorer.base_values_.reserve(selected_groups.size());
+  for (size_t gi = 0; gi < selected_groups.size(); ++gi) {
+    const size_t g = selected_groups[gi];
+    if (g >= result.num_groups()) {
+      return Status::OutOfRange("selected group out of range");
+    }
+    AggregatorPtr agg = MakeAggregator(spec.kind);
+    // Same fold order as the from-scratch path (ValuesAfterRemoval),
+    // so unaffected groups reproduce its values bit for bit.
+    for (RowId r : result.lineage[g]) {
+      double removable_value;
+      if (!spec.argument) {
+        removable_value = 0.0;  // count(*)
+      } else {
+        DBW_ASSIGN_OR_RETURN(Value v, spec.argument->Eval(table, r));
+        if (v.is_null()) continue;  // no contribution; removal is a no-op
+        DBW_ASSIGN_OR_RETURN(removable_value, v.AsDouble());
+      }
+      agg->Add(removable_value);
+      auto it = scorer.suspect_index_.find(r);
+      if (it == scorer.suspect_index_.end()) continue;
+      Entry& e = scorer.entries_[it->second];
+      if (e.group != kNoGroup) {
+        // A base row feeding two selected groups would make per-row
+        // deltas ambiguous; group-by partitions rows, so this cannot
+        // happen with well-formed lineage.
+        return Status::InvalidArgument(
+            "suspect row appears in multiple selected groups' lineage");
+      }
+      e.group = static_cast<uint32_t>(gi);
+      e.value = removable_value;
+    }
+    scorer.base_values_.push_back(agg->Value());
+    scorer.base_.push_back(std::move(agg));
+  }
+  return scorer;
+}
+
+template <typename ForEachMatched>
+std::vector<double> RemovalScorer::ValuesImpl(
+    const ForEachMatched& for_each) const {
+  // Lazily cloned state for affected groups only; untouched groups
+  // read the cached base value.
+  std::vector<AggregatorPtr> scratch(base_.size());
+  for_each([&](size_t suspect_idx) {
+    const Entry& e = entries_[suspect_idx];
+    if (e.group == kNoGroup) return;
+    AggregatorPtr& agg = scratch[e.group];
+    if (!agg) agg = base_[e.group]->Clone();
+    agg->Remove(e.value);
+  });
+  std::vector<double> values(base_.size());
+  for (size_t g = 0; g < base_.size(); ++g) {
+    values[g] = scratch[g] ? scratch[g]->Value() : base_values_[g];
+  }
+  return values;
+}
+
+std::vector<double> RemovalScorer::ValuesAfterRemoval(
+    const Bitmap& matched) const {
+  return ValuesImpl([&](const auto& apply) { matched.ForEachSet(apply); });
+}
+
+std::vector<double> RemovalScorer::ValuesAfterRemovalMask(
+    const std::vector<char>& matched) const {
+  return ValuesImpl([&](const auto& apply) {
+    for (size_t i = 0; i < matched.size(); ++i) {
+      if (matched[i]) apply(i);
+    }
+  });
+}
+
+std::vector<double> RemovalScorer::ValuesAfterRemovalRows(
+    const std::vector<RowId>& rows) const {
+  return ValuesImpl([&](const auto& apply) {
+    for (RowId r : rows) {
+      auto it = suspect_index_.find(r);
+      if (it != suspect_index_.end()) apply(it->second);
+    }
+  });
+}
+
+double RemovalScorer::ErrorAfter(const ErrorMetric& metric,
+                                 const Bitmap& matched) const {
+  return metric.Error(ValuesAfterRemoval(matched));
+}
+
+RemovalScorer::Errors RemovalScorer::ErrorsAfter(const ErrorMetric& metric,
+                                                 const Bitmap& matched) const {
+  const std::vector<double> values = ValuesAfterRemoval(matched);
+  return {metric.Error(values), PerGroupError(metric, values)};
+}
+
+RemovalScorer::Errors RemovalScorer::ErrorsAfterRows(
+    const ErrorMetric& metric, const std::vector<RowId>& rows) const {
+  const std::vector<double> values = ValuesAfterRemovalRows(rows);
+  return {metric.Error(values), PerGroupError(metric, values)};
+}
+
+}  // namespace dbwipes

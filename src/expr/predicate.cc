@@ -321,4 +321,12 @@ std::vector<RowId> BoundPredicate::MatchingRows() const {
   return out;
 }
 
+Bitmap BoundPredicate::MatchBitmap(const std::vector<RowId>& rows) const {
+  Bitmap out(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (Matches(rows[i])) out.Set(i);
+  }
+  return out;
+}
+
 }  // namespace dbwipes

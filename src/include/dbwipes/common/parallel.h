@@ -1,0 +1,100 @@
+#ifndef DBWIPES_COMMON_PARALLEL_H_
+#define DBWIPES_COMMON_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "dbwipes/common/status.h"
+
+namespace dbwipes {
+
+/// Worker-thread count used when a caller asks for "auto" parallelism:
+/// the hardware concurrency, overridable (e.g. for tests or container
+/// limits) via the DBWIPES_THREADS environment variable. Always >= 1.
+size_t DefaultParallelism();
+
+/// \brief A lazily started, process-wide pool of worker threads that
+/// executes chunked index ranges.
+///
+/// The pool exists so that hot ranking paths can fan out hundreds of
+/// independent predicate evaluations without paying thread start-up
+/// cost per call. One parallel region runs at a time (calls are
+/// serialized internally); a ParallelFor issued from inside a worker
+/// runs inline on that worker, so nested use degrades to serial
+/// instead of deadlocking.
+class ThreadPool {
+ public:
+  /// The shared pool, sized to DefaultParallelism() workers on first
+  /// use.
+  static ThreadPool& Global();
+
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Runs fn(chunk) for every chunk in [0, num_chunks), distributing
+  /// chunks dynamically over the workers plus the calling thread, and
+  /// returns when all chunks finished. fn must be safe to call
+  /// concurrently from multiple threads; determinism is the caller's
+  /// job (write only to chunk-owned output slots).
+  void Run(size_t num_chunks, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+  /// Claims and executes chunks of the current task until exhausted.
+  void DrainCurrentTask();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait for a task
+  std::condition_variable done_cv_;  // Run waits for completion
+  const std::function<void(size_t)>* task_ = nullptr;
+  size_t task_epoch_ = 0;
+  size_t num_chunks_ = 0;
+  size_t next_chunk_ = 0;
+  size_t chunks_done_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Tuning knobs for ParallelFor.
+struct ParallelOptions {
+  /// Worker threads to use; 0 = DefaultParallelism(). 1 forces the
+  /// serial path (no pool involvement at all).
+  size_t num_threads = 0;
+  /// Below this many items the loop runs serially: spawning chunks for
+  /// tiny loops costs more than it saves.
+  size_t min_items_for_threading = 64;
+};
+
+/// Runs fn(begin, end) over disjoint subranges covering [begin, end).
+/// Chunk boundaries depend only on the range size and options — never
+/// on thread scheduling — so a body that writes result[i] for
+/// i in [begin, end) produces identical output at every thread count
+/// (including 1).
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t, size_t)>& chunk_fn,
+                 const ParallelOptions& options = {});
+
+/// Per-index convenience wrapper over ParallelFor.
+void ParallelForEach(size_t begin, size_t end,
+                     const std::function<void(size_t)>& fn,
+                     const ParallelOptions& options = {});
+
+/// Status-aware variant: runs fn(i) for every i in [0, n); if any call
+/// fails, the failure of the *lowest* index is returned (deterministic
+/// regardless of which thread observed it first). Indices after a
+/// failing one may or may not have run.
+Status ParallelForStatus(size_t n, const std::function<Status(size_t)>& fn,
+                         const ParallelOptions& options = {});
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_COMMON_PARALLEL_H_

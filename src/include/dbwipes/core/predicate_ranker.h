@@ -42,6 +42,23 @@ struct RankerOptions {
   size_t max_clauses = 5;
   /// Ranked predicates returned.
   size_t top_k = 10;
+
+  /// Which scoring engine Rank uses. Both produce identical orderings
+  /// (a law checked by tests); the delta engine is the fast path.
+  enum class Engine {
+    /// Snapshot + Aggregator::Remove deltas (RemovalScorer), bitmap
+    /// matching, and chunked multi-threaded scoring.
+    kDeltaParallel,
+    /// From-scratch per-predicate recomputation, single-threaded — the
+    /// original implementation, kept as the differential-testing
+    /// reference.
+    kReferenceSerial,
+  };
+  Engine engine = Engine::kDeltaParallel;
+  /// Scoring threads for the delta engine; 0 = DefaultParallelism(),
+  /// 1 = single-threaded delta scoring. Output is identical at every
+  /// thread count.
+  size_t num_threads = 0;
 };
 
 /// \brief Final backend stage: score each enumerated predicate by
@@ -52,10 +69,17 @@ class PredicateRanker {
   explicit PredicateRanker(RankerOptions options = {})
       : options_(options) {}
 
-  /// `reference_positive` is the cleaned D' (accuracy ground truth
-  /// within F); may be empty, in which case accuracy weight shifts to
-  /// error improvement. `per_group_baseline` is
+  /// `suspects` is F (sorted, unique); `reference_positive` is the
+  /// cleaned D' (accuracy ground truth within F, sorted); may be
+  /// empty, in which case accuracy weight shifts to error improvement.
+  /// `per_group_baseline` is
   /// PreprocessResult::per_group_baseline_error.
+  ///
+  /// With the delta engine, predicates are scored concurrently; the
+  /// metric's Error() must therefore be safe to call from multiple
+  /// threads (all built-in metrics are pure). Output order is
+  /// deterministic: by score, ties broken by enumeration order,
+  /// independent of the thread count.
   Result<std::vector<RankedPredicate>> Rank(
       const Table& table, const QueryResult& result,
       const std::vector<size_t>& selected_groups, const ErrorMetric& metric,
@@ -65,6 +89,22 @@ class PredicateRanker {
       const std::vector<EnumeratedPredicate>& predicates) const;
 
  private:
+  Result<std::vector<RankedPredicate>> RankDelta(
+      const Table& table, const QueryResult& result,
+      const std::vector<size_t>& selected_groups, const ErrorMetric& metric,
+      size_t agg_index, const std::vector<RowId>& suspects,
+      const std::vector<RowId>& reference_positive,
+      double per_group_baseline,
+      const std::vector<EnumeratedPredicate>& predicates) const;
+
+  Result<std::vector<RankedPredicate>> RankReference(
+      const Table& table, const QueryResult& result,
+      const std::vector<size_t>& selected_groups, const ErrorMetric& metric,
+      size_t agg_index, const std::vector<RowId>& suspects,
+      const std::vector<RowId>& reference_positive,
+      double per_group_baseline,
+      const std::vector<EnumeratedPredicate>& predicates) const;
+
   RankerOptions options_;
 };
 

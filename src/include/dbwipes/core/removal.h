@@ -10,11 +10,20 @@ namespace dbwipes {
 
 /// Recomputes eps(O(D - removed)) over the selected groups: for each
 /// group in `selected_groups` the aggregate is rebuilt from its
-/// lineage minus the rows in `removed_sorted` (sorted base-table
-/// RowIds), and the metric is applied to the resulting values.
+/// lineage minus the rows in `removed_sorted`, and the metric is
+/// applied to the resulting values.
+///
+/// PRECONDITION: `removed_sorted` must be sorted ascending (it is
+/// binary-searched per lineage tuple). Violations are detected and
+/// returned as InvalidArgument rather than producing silently wrong
+/// values.
 ///
 /// This is the objective every DBWipes stage optimizes — candidate
-/// datasets and predicates are scored by how far they push it toward 0.
+/// datasets and predicates are scored by how far they push it toward
+/// 0. It is the exact but slow path: hot loops (the ranker, the
+/// dataset enumerator, the exhaustive baseline) use RemovalScorer,
+/// which snapshots the aggregator state once and applies
+/// Aggregator::Remove deltas per candidate instead of rebuilding.
 Result<double> ErrorAfterRemoval(const Table& table, const QueryResult& result,
                                  const std::vector<size_t>& selected_groups,
                                  const ErrorMetric& metric, size_t agg_index,

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "dbwipes/common/bitmap.h"
 #include "dbwipes/common/result.h"
 #include "dbwipes/storage/table.h"
 
@@ -125,6 +126,12 @@ class BoundPredicate {
 
   /// Row ids of all matching rows.
   std::vector<RowId> MatchingRows() const;
+
+  /// Evaluates over an arbitrary row subset (e.g. the suspect set F):
+  /// bit i of the result is Matches(rows[i]). The positional bitmap is
+  /// the ranking fast path's currency — intersection popcounts give
+  /// precision/recall, equality gives exact tuple-set dedup.
+  Bitmap MatchBitmap(const std::vector<RowId>& rows) const;
 
   size_t num_clauses() const { return clauses_.size(); }
 

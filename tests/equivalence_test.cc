@@ -1,13 +1,22 @@
 // Differential/property tests: the three predicate-evaluation paths
 // (row-at-a-time Predicate::Matches, compiled BoundPredicate, and the
-// BoolExpr tree) must agree on random tables, and the executor's WHERE
-// handling must match a manual filter-then-aggregate oracle.
+// BoolExpr tree) must agree on random tables, the executor's WHERE
+// handling must match a manual filter-then-aggregate oracle, and the
+// delta-based scoring engine (RemovalScorer, bitmap matching, parallel
+// ranking) must reproduce the serial from-scratch reference.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "dbwipes/common/random.h"
+#include "dbwipes/core/predicate_ranker.h"
+#include "dbwipes/core/removal.h"
+#include "dbwipes/core/removal_scorer.h"
+#include "dbwipes/core/session.h"
+#include "dbwipes/datagen/fec_generator.h"
+#include "dbwipes/datagen/intel_generator.h"
 #include "dbwipes/expr/bool_expr.h"
 #include "dbwipes/expr/parser.h"
 #include "dbwipes/query/executor.h"
@@ -240,6 +249,47 @@ TEST_P(IncrementalCleanLaw, MatchesFullReexecution) {
 INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalCleanLaw,
                          ::testing::Values(41, 82, 123));
 
+// Snapshot-backed IncrementalClean must match both the rebuild path
+// and full re-execution (aggregates within removal-error tolerance,
+// groups/keys/lineage exactly).
+class CleanSnapshotLaw : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CleanSnapshotLaw, SnapshotPathMatchesRebuildPath) {
+  Rng rng(GetParam());
+  Table t = RandomTable(&rng, 500);
+  AggregateQuery base = *ParseQuery(
+      "SELECT i, avg(d) AS a, count(*) AS n, median(d) AS m FROM t "
+      "GROUP BY i");
+  QueryResult original = *ExecuteQuery(base, t);
+  auto snapshot_or = CleanSnapshot::Build(t, original);
+  ASSERT_TRUE(snapshot_or.ok());
+  const CleanSnapshot& snapshot = *snapshot_or;
+  for (int trial = 0; trial < 10; ++trial) {
+    Predicate pred({RandomClause(&rng)});
+    QueryResult delta = *IncrementalClean(t, original, pred, &snapshot);
+    QueryResult rebuild = *IncrementalClean(t, original, pred);
+
+    ASSERT_EQ(delta.num_groups(), rebuild.num_groups()) << pred.ToString();
+    ASSERT_EQ(delta.query.ToSql(), rebuild.query.ToSql());
+    for (size_t g = 0; g < rebuild.num_groups(); ++g) {
+      ASSERT_EQ(delta.GroupKey(g)[0], rebuild.GroupKey(g)[0]);
+      for (size_t a = 0; a < 3; ++a) {
+        const double x = delta.AggValue(g, a);
+        const double y = rebuild.AggValue(g, a);
+        if (std::isnan(x) || std::isnan(y)) {
+          ASSERT_TRUE(std::isnan(x) && std::isnan(y)) << pred.ToString();
+        } else {
+          ASSERT_NEAR(x, y, 1e-9) << pred.ToString();
+        }
+      }
+      ASSERT_EQ(delta.lineage[g], rebuild.lineage[g]) << pred.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CleanSnapshotLaw,
+                         ::testing::Values(51, 102, 153));
+
 TEST(IncrementalCleanTest, Validation) {
   Rng rng(1);
   Table t = RandomTable(&rng, 50);
@@ -252,6 +302,277 @@ TEST(IncrementalCleanTest, Validation) {
   QueryResult bare = *ExecuteQuery(base, t, no_lineage);
   Predicate pred({Clause::Make("d", CompareOp::kGt, Value(0.0))});
   EXPECT_TRUE(IncrementalClean(t, bare, pred).status().IsInvalidArgument());
+}
+
+// ---------- delta scoring engine ----------
+
+// Regression (sortedness hazard): ValuesAfterRemoval binary-searches
+// the removed set, so unsorted input used to return silently wrong
+// values; it must be rejected instead.
+TEST(RemovalSortednessTest, UnsortedRemovedSetRejected) {
+  Rng rng(9);
+  Table t = RandomTable(&rng, 100);
+  AggregateQuery q = *ParseQuery("SELECT i, sum(d) AS s FROM t GROUP BY i");
+  QueryResult result = *ExecuteQuery(q, t);
+  std::vector<size_t> groups(result.num_groups());
+  for (size_t g = 0; g < groups.size(); ++g) groups[g] = g;
+  auto metric = TooHigh(0.0);
+
+  const std::vector<RowId> unsorted = {40, 7, 23};
+  EXPECT_TRUE(ValuesAfterRemoval(t, result, groups, 0, unsorted)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ErrorAfterRemoval(t, result, groups, *metric, 0, unsorted)
+                  .status()
+                  .IsInvalidArgument());
+
+  std::vector<RowId> sorted = unsorted;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(ValuesAfterRemoval(t, result, groups, 0, sorted).ok());
+}
+
+// RemovalScorer must agree with the from-scratch recomputation for
+// every aggregate kind and arbitrary removal subsets — whichever of
+// its three entry points (bitmap, byte mask, row ids) is used.
+class RemovalScorerEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RemovalScorerEquivalence, MatchesFromScratchRecomputation) {
+  Rng rng(GetParam());
+  Table t = RandomTable(&rng, 400);
+  for (const char* agg :
+       {"count(*)", "sum(d)", "avg(d)", "min(d)", "max(d)", "stddev(d)",
+        "var(d)", "median(d)"}) {
+    const std::string sql =
+        "SELECT i, " + std::string(agg) + " AS x FROM t GROUP BY i";
+    QueryResult result = *ExecuteQuery(*ParseQuery(sql), t);
+    ASSERT_GT(result.num_groups(), 2u) << sql;
+    // Select a subset of groups, as the pipeline does.
+    std::vector<size_t> selected;
+    for (size_t g = 0; g < result.num_groups(); g += 2) selected.push_back(g);
+    std::vector<RowId> suspects;
+    for (size_t g : selected) {
+      suspects.insert(suspects.end(), result.lineage[g].begin(),
+                      result.lineage[g].end());
+    }
+    std::sort(suspects.begin(), suspects.end());
+    suspects.erase(std::unique(suspects.begin(), suspects.end()),
+                   suspects.end());
+    if (suspects.empty()) continue;
+
+    auto scorer_or =
+        RemovalScorer::Create(t, result, selected, 0, suspects);
+    ASSERT_TRUE(scorer_or.ok()) << sql;
+    const RemovalScorer& scorer = *scorer_or;
+
+    for (int trial = 0; trial < 15; ++trial) {
+      Bitmap bm(suspects.size());
+      std::vector<char> mask(suspects.size(), 0);
+      std::vector<RowId> removed;
+      const double p = trial < 5 ? 0.1 : (trial < 10 ? 0.5 : 0.95);
+      for (size_t i = 0; i < suspects.size(); ++i) {
+        if (rng.Bernoulli(p)) {
+          bm.Set(i);
+          mask[i] = 1;
+          removed.push_back(suspects[i]);
+        }
+      }
+      const std::vector<double> want =
+          *ValuesAfterRemoval(t, result, selected, 0, removed);
+      const std::vector<double> via_bitmap = scorer.ValuesAfterRemoval(bm);
+      const std::vector<double> via_mask =
+          scorer.ValuesAfterRemovalMask(mask);
+      const std::vector<double> via_rows =
+          scorer.ValuesAfterRemovalRows(removed);
+      ASSERT_EQ(want.size(), via_bitmap.size());
+      for (size_t g = 0; g < want.size(); ++g) {
+        if (std::isnan(want[g])) {
+          ASSERT_TRUE(std::isnan(via_bitmap[g])) << sql << " group " << g;
+          ASSERT_TRUE(std::isnan(via_mask[g])) << sql << " group " << g;
+          ASSERT_TRUE(std::isnan(via_rows[g])) << sql << " group " << g;
+          continue;
+        }
+        const double tol =
+            1e-9 * std::max(1.0, std::abs(want[g]));
+        ASSERT_NEAR(via_bitmap[g], want[g], tol) << sql << " group " << g;
+        ASSERT_NEAR(via_mask[g], want[g], tol) << sql << " group " << g;
+        ASSERT_NEAR(via_rows[g], want[g], tol) << sql << " group " << g;
+      }
+      // Rows outside the suspect set cannot affect selected groups and
+      // must be ignored by the row-based entry point.
+      std::vector<RowId> with_foreign = removed;
+      for (RowId r = 0; r < t.num_rows(); ++r) {
+        if (!std::binary_search(suspects.begin(), suspects.end(), r)) {
+          with_foreign.push_back(r);
+          break;
+        }
+      }
+      const std::vector<double> via_foreign =
+          scorer.ValuesAfterRemovalRows(with_foreign);
+      for (size_t g = 0; g < want.size(); ++g) {
+        if (std::isnan(via_rows[g])) {
+          ASSERT_TRUE(std::isnan(via_foreign[g]));
+        } else {
+          ASSERT_DOUBLE_EQ(via_foreign[g], via_rows[g]);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RemovalScorerEquivalence,
+                         ::testing::Values(61, 122, 183));
+
+// Tuple-set dedup must be exact: predicates removing the same tuples
+// collapse to the best description, predicates removing different
+// tuples never do (a hash alone could collapse them by collision).
+TEST(RankerDedupTest, EqualSetsCollapseDistinctSetsSurvive) {
+  // Columns a and b are identical, so `a <= k` and `b <= k` describe
+  // the same repair; `a <= 1` is a different repair.
+  Table t(Schema{{"g", DataType::kInt64},
+                 {"v", DataType::kDouble},
+                 {"a", DataType::kInt64},
+                 {"b", DataType::kInt64}},
+          "t");
+  for (int i = 0; i < 40; ++i) {
+    const int64_t code = i % 4;
+    DBW_CHECK_OK(t.AppendRow({Value(int64_t{i % 2}),
+                              Value(100.0 + code * 10.0), Value(code),
+                              Value(code)}));
+  }
+  QueryResult result =
+      *ExecuteQuery(*ParseQuery("SELECT g, avg(v) AS x FROM t GROUP BY g"), t);
+  std::vector<size_t> selected = {0, 1};
+  std::vector<RowId> suspects;
+  for (size_t g : selected) {
+    suspects.insert(suspects.end(), result.lineage[g].begin(),
+                    result.lineage[g].end());
+  }
+  std::sort(suspects.begin(), suspects.end());
+
+  auto make = [](Clause c) {
+    EnumeratedPredicate ep;
+    ep.predicate = Predicate({std::move(c)});
+    ep.strategy = "test";
+    return ep;
+  };
+  std::vector<EnumeratedPredicate> predicates;
+  predicates.push_back(make(Clause::Make("a", CompareOp::kLe,
+                                         Value(int64_t{2}))));
+  predicates.push_back(make(Clause::Make("b", CompareOp::kLe,
+                                         Value(int64_t{2}))));
+  predicates.push_back(make(Clause::Make("a", CompareOp::kLe,
+                                         Value(int64_t{1}))));
+
+  auto metric = TooHigh(100.0);
+  for (auto engine : {RankerOptions::Engine::kDeltaParallel,
+                      RankerOptions::Engine::kReferenceSerial}) {
+    RankerOptions opts;
+    opts.engine = engine;
+    PredicateRanker ranker(opts);
+    auto ranked = ranker.Rank(t, result, selected, *metric, 0, suspects,
+                              /*reference_positive=*/{},
+                              /*per_group_baseline=*/20.0, predicates);
+    ASSERT_TRUE(ranked.ok());
+    // The a/b twins collapsed; the tighter predicate survives.
+    ASSERT_EQ(ranked->size(), 2u);
+    EXPECT_NE((*ranked)[0].predicate.CanonicalString(),
+              (*ranked)[1].predicate.CanonicalString());
+  }
+}
+
+// ---------- ranking engine equivalence on the demo scenarios ----------
+
+struct RankSignature {
+  std::vector<std::string> order;  // canonical predicate + strategy
+  std::vector<double> scores;
+  std::vector<size_t> matched;
+};
+
+RankSignature SignatureOf(const Explanation& exp) {
+  RankSignature sig;
+  for (const RankedPredicate& rp : exp.predicates) {
+    sig.order.push_back(rp.predicate.CanonicalString() + " | " + rp.strategy);
+    sig.scores.push_back(rp.score);
+    sig.matched.push_back(rp.matched_in_suspects);
+  }
+  return sig;
+}
+
+/// Runs a full demo-scenario pipeline under the given ranker engine /
+/// thread count and returns the ranked output's signature.
+template <typename SessionSetup>
+RankSignature RunScenario(const LabeledDataset& data,
+                          const SessionSetup& setup,
+                          RankerOptions::Engine engine, size_t threads) {
+  ExplainOptions options;
+  options.ranker.engine = engine;
+  options.ranker.num_threads = threads;
+  auto db = std::make_shared<Database>();
+  db->RegisterTable(data.table);
+  Session session(db, options);
+  setup(&session);
+  auto exp = session.Debug();
+  DBW_CHECK_OK(exp.status());
+  return SignatureOf(*exp);
+}
+
+/// The delta+parallel engine must produce byte-identical orderings to
+/// the serial reference, and identical output at every thread count.
+template <typename SessionSetup>
+void CheckEngineEquivalence(const LabeledDataset& data,
+                            const SessionSetup& setup) {
+  const RankSignature reference = RunScenario(
+      data, setup, RankerOptions::Engine::kReferenceSerial, 1);
+  ASSERT_FALSE(reference.order.empty());
+  for (size_t threads : {1u, 2u, 8u}) {
+    const RankSignature delta = RunScenario(
+        data, setup, RankerOptions::Engine::kDeltaParallel, threads);
+    ASSERT_EQ(delta.order, reference.order) << threads << " threads";
+    ASSERT_EQ(delta.matched, reference.matched);
+    ASSERT_EQ(delta.scores.size(), reference.scores.size());
+    for (size_t i = 0; i < reference.scores.size(); ++i) {
+      // Delta removal may differ from a fresh fold in the last ulps.
+      EXPECT_NEAR(delta.scores[i], reference.scores[i], 1e-9);
+    }
+  }
+  // Determinism across runs at the same thread count.
+  const RankSignature again = RunScenario(
+      data, setup, RankerOptions::Engine::kDeltaParallel, 8);
+  const RankSignature once = RunScenario(
+      data, setup, RankerOptions::Engine::kDeltaParallel, 8);
+  ASSERT_EQ(again.order, once.order);
+  ASSERT_EQ(again.scores, once.scores);  // bitwise: same FP operations
+}
+
+TEST(RankerEngineEquivalence, IntelScenario) {
+  IntelOptions gen;
+  gen.duration_days = 3;
+  gen.reading_interval_minutes = 10.0;
+  gen.faults = {{15, 1 * 1440, 600, 122.0}, {18, 2 * 1440, 600, 110.0}};
+  LabeledDataset data = *GenerateIntelDataset(gen);
+  CheckEngineEquivalence(data, [](Session* session) {
+    DBW_CHECK_OK(session->ExecuteSql(
+        "SELECT window, avg(temp) AS t, stddev(temp) AS sd "
+        "FROM readings GROUP BY window"));
+    DBW_CHECK_OK(session->SelectResultsInRange("sd", 8.0, 1e9));
+    DBW_CHECK_OK(session->SelectInputsWhere("temp > 100"));
+    DBW_CHECK_OK(session->SetMetric(TooHigh(2.0), /*agg_index=*/1));
+  });
+}
+
+TEST(RankerEngineEquivalence, FecScenario) {
+  FecOptions gen;
+  gen.num_donations = 12000;
+  gen.num_reattributions = 120;
+  LabeledDataset data = *GenerateFecDataset(gen);
+  CheckEngineEquivalence(data, [](Session* session) {
+    DBW_CHECK_OK(session->ExecuteSql(
+        "SELECT day, sum(amount) AS total FROM donations "
+        "WHERE candidate = 'MCCAIN' GROUP BY day"));
+    DBW_CHECK_OK(session->SelectResultsInRange("total", -1e15, -1.0));
+    DBW_CHECK_OK(session->SelectInputsWhere("amount < 0"));
+    DBW_CHECK_OK(session->SetMetric(TooLow(0.0)));
+  });
 }
 
 }  // namespace

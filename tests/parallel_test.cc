@@ -1,0 +1,167 @@
+// Tests for the chunked thread pool (common/parallel.h) and the
+// Bitmap substrate of the ranking fast path. The parallel tests are
+// the ones a ThreadSanitizer build (cmake --preset tsan) exercises for
+// data races.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+
+#include "dbwipes/common/bitmap.h"
+#include "dbwipes/common/parallel.h"
+
+namespace dbwipes {
+namespace {
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  const size_t n = 10007;  // prime, to exercise ragged chunk boundaries
+  std::vector<std::atomic<int>> hits(n);
+  ParallelForEach(0, n, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, DeterministicAcrossThreadCounts) {
+  const size_t n = 5000;
+  auto run = [&](size_t threads) {
+    std::vector<double> out(n);
+    ParallelOptions opts;
+    opts.num_threads = threads;
+    opts.min_items_for_threading = 1;
+    ParallelFor(
+        0, n,
+        [&](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) {
+            out[i] = std::sqrt(static_cast<double>(i)) * 3.25;
+          }
+        },
+        opts);
+    return out;
+  };
+  const std::vector<double> serial = run(1);
+  for (size_t threads : {2u, 4u, 8u}) {
+    EXPECT_EQ(run(threads), serial) << threads << " threads";
+  }
+}
+
+TEST(ParallelForTest, EmptyAndTinyRanges) {
+  ParallelForEach(5, 5, [](size_t) { FAIL() << "empty range ran"; });
+  int hits = 0;
+  // Below min_items_for_threading: runs serially on the caller.
+  ParallelForEach(0, 3, [&](size_t) { ++hits; });
+  EXPECT_EQ(hits, 3);
+}
+
+TEST(ParallelForTest, NestedCallsDegradeToSerialNotDeadlock) {
+  const size_t n = 64;
+  std::vector<std::atomic<int>> hits(n * n);
+  ParallelOptions opts;
+  opts.min_items_for_threading = 1;
+  ParallelForEach(
+      0, n,
+      [&](size_t i) {
+        ParallelForEach(
+            0, n, [&](size_t j) { hits[i * n + j].fetch_add(1); }, opts);
+      },
+      opts);
+  for (size_t k = 0; k < n * n; ++k) ASSERT_EQ(hits[k].load(), 1);
+}
+
+TEST(ParallelForTest, PoolIsReusableAcrossManyCalls) {
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<size_t> sum{0};
+    ParallelOptions opts;
+    opts.min_items_for_threading = 1;
+    ParallelForEach(0, 100, [&](size_t i) { sum.fetch_add(i); }, opts);
+    ASSERT_EQ(sum.load(), 4950u);
+  }
+}
+
+TEST(ParallelForStatusTest, ReturnsLowestFailingIndex) {
+  ParallelOptions opts;
+  opts.min_items_for_threading = 1;
+  for (int round = 0; round < 20; ++round) {
+    Status st = ParallelForStatus(
+        10000,
+        [](size_t i) {
+          if (i == 137 || i == 9000) {
+            return Status::InvalidArgument("fail at " + std::to_string(i));
+          }
+          return Status::OK();
+        },
+        opts);
+    ASSERT_FALSE(st.ok());
+    // Deterministic: always the lowest failing index, regardless of
+    // which thread hit its failure first.
+    ASSERT_NE(st.ToString().find("fail at 137"), std::string::npos)
+        << st.ToString();
+  }
+}
+
+TEST(ParallelForStatusTest, AllOkReturnsOk) {
+  EXPECT_TRUE(
+      ParallelForStatus(1000, [](size_t) { return Status::OK(); }).ok());
+  EXPECT_TRUE(ParallelForStatus(0, [](size_t) {
+                return Status::InvalidArgument("never called");
+              }).ok());
+}
+
+TEST(DefaultParallelismTest, AtLeastOne) {
+  EXPECT_GE(DefaultParallelism(), 1u);
+}
+
+TEST(BitmapTest, SetTestCount) {
+  Bitmap bm(130);
+  EXPECT_EQ(bm.num_bits(), 130u);
+  EXPECT_EQ(bm.CountOnes(), 0u);
+  bm.Set(0);
+  bm.Set(63);
+  bm.Set(64);
+  bm.Set(129);
+  EXPECT_TRUE(bm.Test(0));
+  EXPECT_TRUE(bm.Test(63));
+  EXPECT_TRUE(bm.Test(64));
+  EXPECT_TRUE(bm.Test(129));
+  EXPECT_FALSE(bm.Test(1));
+  EXPECT_FALSE(bm.Test(128));
+  EXPECT_EQ(bm.CountOnes(), 4u);
+}
+
+TEST(BitmapTest, CountAnd) {
+  Bitmap a(200), b(200);
+  for (size_t i = 0; i < 200; i += 2) a.Set(i);
+  for (size_t i = 0; i < 200; i += 3) b.Set(i);
+  size_t expect = 0;
+  for (size_t i = 0; i < 200; i += 6) ++expect;
+  EXPECT_EQ(a.CountAnd(b), expect);
+}
+
+TEST(BitmapTest, EqualityAndHash) {
+  Bitmap a(100), b(100), c(101);
+  a.Set(7);
+  a.Set(70);
+  b.Set(7);
+  b.Set(70);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_FALSE(a == c);  // different sizes differ even when all-zero
+  b.Set(71);
+  EXPECT_FALSE(a == b);
+  EXPECT_NE(a.Hash(), b.Hash());  // not guaranteed, but catastrophic if
+                                  // these trivially collide
+}
+
+TEST(BitmapTest, ForEachSetAscending) {
+  Bitmap bm(300);
+  const std::vector<size_t> want = {0, 1, 63, 64, 65, 127, 128, 255, 299};
+  for (size_t i : want) bm.Set(i);
+  std::vector<size_t> got;
+  bm.ForEachSet([&](size_t i) { got.push_back(i); });
+  EXPECT_EQ(got, want);
+}
+
+}  // namespace
+}  // namespace dbwipes

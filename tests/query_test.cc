@@ -354,5 +354,86 @@ TEST(DatabaseTest, RegisterUnderExplicitName) {
   EXPECT_TRUE(db.ExecuteSql("SELECT sum(units) FROM alias").ok());
 }
 
+// ---------- Remove exactness / stability (the delta-scoring
+// primitive) ----------
+
+// Long interleaved Add/Remove sequences must stay close to a
+// from-scratch recomputation over the surviving multiset. This is the
+// contract RemovalScorer and CleanSnapshot rely on: min/max/median and
+// count are exact; sum/avg/stddev/var accumulate only benign
+// floating-point error.
+class AggregatorInterleaveProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AggregatorInterleaveProperty, InterleavedAddRemoveMatchesRecompute) {
+  Rng rng(GetParam());
+  const std::vector<AggKind> kinds = {
+      AggKind::kCount, AggKind::kSum,    AggKind::kAvg,    AggKind::kMin,
+      AggKind::kMax,   AggKind::kStddev, AggKind::kVar,    AggKind::kMedian};
+  for (AggKind kind : kinds) {
+    AggregatorPtr agg = MakeAggregator(kind);
+    std::vector<double> live;  // the multiset currently folded in
+
+    auto recompute = [&]() {
+      AggregatorPtr fresh = MakeAggregator(kind);
+      for (double v : live) fresh->Add(v);
+      return fresh->Value();
+    };
+
+    for (int step = 0; step < 3000; ++step) {
+      // Grow on average, shrink regularly, and occasionally drain to
+      // (near) empty so every count regime is visited.
+      const bool remove = !live.empty() &&
+                          (rng.Bernoulli(0.45) ||
+                           (step % 500 == 499 && rng.Bernoulli(0.9)));
+      if (remove) {
+        const size_t idx = rng.UniformInt(static_cast<uint32_t>(live.size()));
+        agg->Remove(live[idx]);
+        live.erase(live.begin() + static_cast<ptrdiff_t>(idx));
+      } else {
+        // Mixed magnitudes stress cancellation in the running moments.
+        // (Kept within ~3 decades of the bulk: Welford *removal* of a
+        // transient 1e6-scale outlier is inherently ill-conditioned —
+        // the residual moment is the difference of two huge numbers —
+        // so larger spreads test the floating point format, not us.)
+        const double v = rng.Bernoulli(0.1) ? rng.Normal(0.0, 1e3)
+                                            : rng.Normal(10.0, 5.0);
+        agg->Add(v);
+        live.push_back(v);
+      }
+      if (step % 97 != 0) continue;  // spot-check; full check is O(n^2)
+
+      ASSERT_EQ(agg->Count(), live.size());
+      const double got = agg->Value();
+      const double want = recompute();
+      if (std::isnan(want)) {
+        ASSERT_TRUE(std::isnan(got))
+            << "kind " << static_cast<int>(kind) << " step " << step;
+        continue;
+      }
+      // Tolerance scales with the magnitude of what was ever added;
+      // exact kinds (count/min/max/median) pass with any tolerance.
+      const double scale = std::max(1.0, std::abs(want));
+      ASSERT_NEAR(got, want, 1e-6 * scale)
+          << "kind " << static_cast<int>(kind) << " step " << step
+          << " count " << live.size();
+    }
+
+    // Drain completely: the empty state must be recovered exactly.
+    for (double v : live) agg->Remove(v);
+    ASSERT_EQ(agg->Count(), 0u);
+    AggregatorPtr empty = MakeAggregator(kind);
+    const double drained = agg->Value();
+    const double fresh_empty = empty->Value();
+    if (std::isnan(fresh_empty)) {
+      EXPECT_TRUE(std::isnan(drained)) << static_cast<int>(kind);
+    } else {
+      EXPECT_NEAR(drained, fresh_empty, 1e-6) << static_cast<int>(kind);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AggregatorInterleaveProperty,
+                         ::testing::Values(11, 22, 33));
+
 }  // namespace
 }  // namespace dbwipes

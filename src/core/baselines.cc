@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "dbwipes/core/removal_scorer.h"
+#include "dbwipes/expr/match_kernels.h"
 
 namespace dbwipes {
 
@@ -28,18 +29,28 @@ TupleSetExplanation InfluenceTopK(const PreprocessResult& preprocess,
 
 namespace {
 
-/// Atomic condition with coverage over F (index-aligned bitmaps, same
-/// construction as subgroup discovery but without beam pruning).
+/// Atomic condition with coverage over F (position-aligned bitmap,
+/// same thresholds/categories as before; coverage now comes from the
+/// shared clause-bitmap cache, so it is exactly what the emitted
+/// clause matches).
 struct Atom {
   Clause clause;
-  std::vector<char> covered;
+  Bitmap covered;
 };
 
 std::vector<Atom> BuildAtoms(const FeatureView& view,
                              const std::vector<RowId>& rows,
-                             const ExhaustiveSearchOptions& options) {
+                             const ExhaustiveSearchOptions& options,
+                             MatchEngine* engine) {
   std::vector<Atom> atoms;
-  const size_t n = rows.size();
+  auto add_atom = [&](Clause clause) {
+    Atom atom;
+    atom.clause = std::move(clause);
+    auto bits = engine->ClauseBitmap(atom.clause);
+    if (!bits.ok()) return;
+    atom.covered = **bits;  // copy: the cache may reallocate
+    atoms.push_back(std::move(atom));
+  };
   for (size_t f = 0; f < view.num_features(); ++f) {
     const FeatureSpec& spec = view.features()[f];
     if (spec.categorical) {
@@ -54,17 +65,8 @@ std::vector<Atom> BuildAtoms(const FeatureView& view,
         cats.resize(options.max_categories_per_feature);
       }
       for (const auto& [code, count] : cats) {
-        Atom atom;
-        atom.clause = Clause::Make(spec.name, CompareOp::kEq,
-                                   Value(view.CategoryName(f, code)));
-        atom.covered.assign(n, 0);
-        for (size_t i = 0; i < n; ++i) {
-          if (!view.IsNull(rows[i], f) &&
-              static_cast<int32_t>(view.Get(rows[i], f)) == code) {
-            atom.covered[i] = 1;
-          }
-        }
-        atoms.push_back(std::move(atom));
+        add_atom(Clause::Make(spec.name, CompareOp::kEq,
+                              Value(view.CategoryName(f, code))));
       }
     } else {
       std::vector<double> values;
@@ -89,15 +91,7 @@ std::vector<Atom> BuildAtoms(const FeatureView& view,
       }
       for (double t : thresholds) {
         for (CompareOp op : {CompareOp::kLe, CompareOp::kGt}) {
-          Atom atom;
-          atom.clause = Clause::Make(spec.name, op, Value(t));
-          atom.covered.assign(n, 0);
-          for (size_t i = 0; i < n; ++i) {
-            if (view.IsNull(rows[i], f)) continue;
-            const double v = view.Get(rows[i], f);
-            if (op == CompareOp::kLe ? v <= t : v > t) atom.covered[i] = 1;
-          }
-          atoms.push_back(std::move(atom));
+          add_atom(Clause::Make(spec.name, op, Value(t)));
         }
       }
     }
@@ -117,7 +111,11 @@ Result<std::vector<RankedPredicate>> ExhaustivePredicateSearch(
   if (suspects.empty()) {
     return Status::InvalidArgument("no suspect inputs to search over");
   }
-  const std::vector<Atom> atoms = BuildAtoms(view, suspects, options);
+  // One engine over F: every threshold/category atom is kernel-scanned
+  // once, and conjunction coverage below is word-ANDs of cached
+  // bitmaps.
+  MatchEngine engine(table, suspects);
+  const std::vector<Atom> atoms = BuildAtoms(view, suspects, options, &engine);
   if (atoms.empty()) {
     return Status::InvalidArgument("no atomic conditions available");
   }
@@ -136,22 +134,21 @@ Result<std::vector<RankedPredicate>> ExhaustivePredicateSearch(
   // Enumerate conjunctions by DFS over increasing atom indices.
   struct Frame {
     std::vector<size_t> atom_ids;
-    std::vector<char> covered;
+    Bitmap covered;
   };
+  Bitmap all(suspects.size());
+  all.SetAll();
   std::vector<Frame> stack;
-  stack.push_back({{}, std::vector<char>(suspects.size(), 1)});
+  stack.push_back({{}, std::move(all)});
 
   auto evaluate = [&](const Frame& frame) -> Status {
-    size_t matched = 0;
-    for (size_t i = 0; i < suspects.size(); ++i) {
-      if (frame.covered[i]) ++matched;
-    }
+    const size_t matched = frame.covered.CountOnes();
     if (matched < options.min_coverage || matched == suspects.size()) {
       return Status::OK();
     }
     ++evaluated;
     const double err_after =
-        metric.Error(scorer.ValuesAfterRemovalMask(frame.covered));
+        metric.Error(scorer.ValuesAfterRemoval(frame.covered));
     RankedPredicate rp;
     std::vector<Clause> clauses;
     for (size_t id : frame.atom_ids) clauses.push_back(atoms[id].clause);
@@ -181,15 +178,11 @@ Result<std::vector<RankedPredicate>> ExhaustivePredicateSearch(
       Frame next;
       next.atom_ids = frame.atom_ids;
       next.atom_ids.push_back(a);
-      next.covered.assign(suspects.size(), 0);
-      size_t cov = 0;
-      for (size_t i = 0; i < suspects.size(); ++i) {
-        if (frame.covered[i] && atoms[a].covered[i]) {
-          next.covered[i] = 1;
-          ++cov;
-        }
+      next.covered = frame.covered;
+      next.covered.AndWith(atoms[a].covered);
+      if (next.covered.CountOnes() < options.min_coverage) {
+        continue;  // prune the subtree
       }
-      if (cov < options.min_coverage) continue;  // prune the subtree
       stack.push_back(std::move(next));
     }
   }

@@ -6,6 +6,8 @@
 #include <set>
 #include <unordered_set>
 
+#include "dbwipes/expr/match_kernels.h"
+
 namespace dbwipes {
 
 namespace {
@@ -25,6 +27,13 @@ std::optional<Predicate> BoundingDescription(
   const size_t target = 2000;
   const size_t stride = std::max<size_t>(1, table.num_rows() / target);
   for (RowId r = 0; r < table.num_rows(); r += stride) sample.push_back(r);
+
+  // Each clause's sample bitmap is kernel-scanned once and cached; the
+  // per-attribute joint fractions below are then word-ANDs of the same
+  // bitmaps instead of fresh row loops.
+  MatchEngine engine(table, std::move(sample));
+  const double sample_size =
+      std::max<double>(1.0, static_cast<double>(engine.rows().size()));
 
   struct Scored {
     double fraction;  // of the table sample matched
@@ -90,16 +99,10 @@ std::optional<Predicate> BoundingDescription(
     // also drop one-sided halves of a range that exclude nothing.
     std::vector<Clause> selective;
     for (Clause& c : clauses) {
-      size_t matched = 0;
-      Predicate single({c});
-      auto bound = single.Bind(table);
-      if (!bound.ok()) continue;
-      for (RowId r : sample) {
-        if (bound->Matches(r)) ++matched;
-      }
+      auto bm = engine.Match(Predicate({c}));
+      if (!bm.ok()) continue;
       const double fraction =
-          static_cast<double>(matched) /
-          std::max<double>(1.0, static_cast<double>(sample.size()));
+          static_cast<double>(bm->CountOnes()) / sample_size;
       if (fraction <= options.bounding_max_table_fraction) {
         selective.push_back(std::move(c));
       }
@@ -107,17 +110,10 @@ std::optional<Predicate> BoundingDescription(
     if (selective.empty()) continue;
 
     // Joint fraction for ordering.
-    Predicate joint(selective);
-    auto bound = joint.Bind(table);
-    if (!bound.ok()) continue;
-    size_t matched = 0;
-    for (RowId r : sample) {
-      if (bound->Matches(r)) ++matched;
-    }
-    kept.push_back(
-        {static_cast<double>(matched) /
-             std::max<double>(1.0, static_cast<double>(sample.size())),
-         std::move(selective)});
+    auto bm = engine.Match(Predicate(selective));
+    if (!bm.ok()) continue;
+    kept.push_back({static_cast<double>(bm->CountOnes()) / sample_size,
+                    std::move(selective)});
   }
   if (kept.empty()) return std::nullopt;
   std::sort(kept.begin(), kept.end(), [](const Scored& a, const Scored& b) {

@@ -6,6 +6,7 @@
 
 #include "dbwipes/common/parallel.h"
 #include "dbwipes/core/removal_scorer.h"
+#include "dbwipes/expr/match_kernels.h"
 
 namespace dbwipes {
 
@@ -133,12 +134,35 @@ Result<std::vector<RankedPredicate>> PredicateRanker::RankDelta(
   std::vector<Bitmap> matched(n);
   ParallelOptions popts;
   popts.num_threads = options_.num_threads;
+
+  // Vectorized matching: enumerators emit conjunctions that share
+  // single-attribute clauses (threshold families, repeated categorical
+  // equalities), so each distinct clause is scanned ONCE by a typed
+  // kernel — chunked over the same pool — and a predicate's bitmap is
+  // an AND of cached words. MatchPrepared is const, so the scoring
+  // loop below reads the cache concurrently without synchronization.
+  MatchEngine engine(table, suspects);
+  if (options_.use_match_kernels) {
+    std::vector<const Predicate*> preds;
+    preds.reserve(n);
+    for (const EnumeratedPredicate& ep : predicates) {
+      preds.push_back(&ep.predicate);
+    }
+    DBW_RETURN_NOT_OK(engine.Materialize(preds, popts));
+  }
+
   DBW_RETURN_NOT_OK(ParallelForStatus(
       n,
       [&](size_t i) -> Status {
         const EnumeratedPredicate& ep = predicates[i];
-        DBW_ASSIGN_OR_RETURN(BoundPredicate bound, ep.predicate.Bind(table));
-        Bitmap bm = bound.MatchBitmap(suspects);
+        Bitmap bm;
+        if (options_.use_match_kernels) {
+          DBW_ASSIGN_OR_RETURN(bm, engine.MatchPrepared(ep.predicate));
+        } else {
+          DBW_ASSIGN_OR_RETURN(BoundPredicate bound,
+                               ep.predicate.Bind(table));
+          bm = bound.MatchBitmap(suspects);
+        }
 
         RankedPredicate& rp = scored[i];
         rp.predicate = ep.predicate;

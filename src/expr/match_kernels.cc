@@ -1,0 +1,409 @@
+#include "dbwipes/expr/match_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "dbwipes/common/logging.h"
+
+namespace dbwipes {
+
+namespace {
+
+/// Exact cache key for a clause. Clause::CanonicalString renders
+/// doubles at display precision, which can collapse distinct
+/// thresholds into one string; the cache key must never do that, so
+/// doubles are encoded by bit pattern. IN sets are sorted by encoding
+/// (conjunction members are order-independent ORs).
+std::string EncodeValue(const Value& v) {
+  if (v.is_null()) return "n";
+  if (v.is_int64()) return "i" + std::to_string(v.int64());
+  if (v.is_double()) {
+    const double d = v.dbl();
+    uint64_t bits = 0;
+    std::memcpy(&bits, &d, sizeof(bits));
+    return "d" + std::to_string(bits);
+  }
+  return "s" + v.str();
+}
+
+std::string KeyOf(const Clause& c) {
+  std::string key = c.attribute;
+  key += '\x1f';
+  key += std::to_string(static_cast<int>(c.op));
+  if (c.op == CompareOp::kIn) {
+    std::vector<std::string> parts;
+    parts.reserve(c.in_set.size());
+    for (const Value& v : c.in_set) parts.push_back(EncodeValue(v));
+    std::sort(parts.begin(), parts.end());
+    for (const std::string& p : parts) {
+      key += '\x1f';
+      key += p;
+    }
+  } else {
+    key += '\x1f';
+    key += EncodeValue(c.literal);
+  }
+  return key;
+}
+
+/// Emits whole bitmap words: bit b of word wi answers pred(rows[wi*64+b]).
+template <typename Pred>
+void ScanWords(const std::vector<RowId>& rows, size_t word_begin,
+               size_t word_end, const Pred& pred, Bitmap* out) {
+  const size_t n = rows.size();
+  for (size_t wi = word_begin; wi < word_end; ++wi) {
+    const size_t base = wi * 64;
+    const size_t limit = std::min<size_t>(64, n - base);
+    uint64_t w = 0;
+    for (size_t b = 0; b < limit; ++b) {
+      w |= static_cast<uint64_t>(pred(rows[base + b])) << b;
+    }
+    out->set_word(wi, w);
+  }
+}
+
+/// Numeric clause kernels, generic over the raw-storage loader (int64
+/// widens to double, matching Column::AsDouble). Nulls are folded in
+/// with bitwise & — the null slot holds a harmless default, so both
+/// sides evaluate unconditionally and the row loop stays branch-free.
+template <typename Loader>
+void ScanNumeric(const CompiledClause& c, const std::vector<RowId>& rows,
+                 size_t word_begin, size_t word_end, const Loader& load,
+                 Bitmap* out) {
+  const Column& col = *c.column;
+  const double t = c.threshold;
+  auto scan = [&](auto cmp) {
+    if (col.has_nulls()) {
+      ScanWords(
+          rows, word_begin, word_end,
+          [&](RowId r) { return static_cast<bool>(!col.IsNull(r) & cmp(load(r))); },
+          out);
+    } else {
+      ScanWords(rows, word_begin, word_end,
+                [&](RowId r) { return cmp(load(r)); }, out);
+    }
+  };
+  switch (c.op) {
+    case CompareOp::kEq:
+      scan([t](double v) { return v == t; });
+      break;
+    case CompareOp::kNe:
+      scan([t](double v) { return v != t; });
+      break;
+    case CompareOp::kLt:
+      scan([t](double v) { return v < t; });
+      break;
+    case CompareOp::kLe:
+      // Negated strict comparisons, same as Clause::Matches: NaN
+      // satisfies kLe/kGe (neither side of < holds).
+      scan([t](double v) { return !(t < v); });
+      break;
+    case CompareOp::kGt:
+      scan([t](double v) { return t < v; });
+      break;
+    case CompareOp::kGe:
+      scan([t](double v) { return !(v < t); });
+      break;
+    case CompareOp::kIn:
+      scan([&c](double v) {
+        return !std::isnan(v) && std::binary_search(c.in_numbers.begin(),
+                                                    c.in_numbers.end(), v);
+      });
+      break;
+    case CompareOp::kContains:
+      DBW_CHECK(false) << "CONTAINS kernel on numeric column";
+  }
+}
+
+/// String clause kernels over dictionary codes. The null sentinel code
+/// -1 needs no validity lookup: kEq compares against a code >= -2 (or
+/// -2 for absent literals), kNe requires code >= 0, and the kIn /
+/// kContains truth table is shifted by one so index 0 (code -1) is
+/// always false.
+void ScanString(const CompiledClause& c, const std::vector<RowId>& rows,
+                size_t word_begin, size_t word_end, Bitmap* out) {
+  const int32_t* codes = c.column->code_data().data();
+  switch (c.op) {
+    case CompareOp::kEq: {
+      const int32_t key = c.code;
+      ScanWords(rows, word_begin, word_end,
+                [codes, key](RowId r) { return codes[r] == key; }, out);
+      break;
+    }
+    case CompareOp::kNe: {
+      const int32_t key = c.code;
+      ScanWords(
+          rows, word_begin, word_end,
+          [codes, key](RowId r) {
+            return static_cast<bool>((codes[r] >= 0) & (codes[r] != key));
+          },
+          out);
+      break;
+    }
+    case CompareOp::kIn:
+    case CompareOp::kContains: {
+      const uint8_t* table = c.code_table.data();
+      ScanWords(rows, word_begin, word_end,
+                [codes, table](RowId r) {
+                  return table[codes[r] + 1] != 0;
+                },
+                out);
+      break;
+    }
+    default:
+      DBW_CHECK(false) << "ordered kernel on string column";
+  }
+}
+
+}  // namespace
+
+Result<CompiledClause> CompileClause(const Clause& clause,
+                                     const Table& table) {
+  DBW_ASSIGN_OR_RETURN(size_t idx, table.schema().GetIndex(clause.attribute));
+  const Column& col = table.column(idx);
+  CompiledClause out;
+  out.column = &col;
+  out.op = clause.op;
+  out.is_string = col.type() == DataType::kString;
+
+  // Literal translation mirrors Predicate::Bind clause for clause —
+  // including the error messages — so engine users see unchanged
+  // failure behavior on ill-typed predicates.
+  switch (clause.op) {
+    case CompareOp::kEq:
+    case CompareOp::kNe:
+      if (out.is_string) {
+        if (!clause.literal.is_string()) {
+          return Status::TypeError("comparing string column '" +
+                                   clause.attribute + "' to " +
+                                   clause.literal.ToString());
+        }
+        // Normalize FindCode's -1 (absent literal) to -2: -1 is the
+        // null sentinel in code_data(), and a null row must not
+        // compare equal to an absent literal.
+        out.code = col.FindCode(clause.literal.str());
+        if (out.code < 0) out.code = -2;
+      } else {
+        DBW_ASSIGN_OR_RETURN(out.threshold, clause.literal.AsDouble());
+      }
+      break;
+    case CompareOp::kLt:
+    case CompareOp::kLe:
+    case CompareOp::kGt:
+    case CompareOp::kGe: {
+      if (out.is_string) {
+        return Status::TypeError("ordered comparison on string column '" +
+                                 clause.attribute + "'");
+      }
+      DBW_ASSIGN_OR_RETURN(out.threshold, clause.literal.AsDouble());
+      break;
+    }
+    case CompareOp::kIn:
+      if (out.is_string) {
+        out.code_table.assign(col.dictionary_size() + 1, 0);
+        for (const Value& v : clause.in_set) {
+          if (!v.is_string()) {
+            return Status::TypeError("IN set for string column '" +
+                                     clause.attribute + "' contains " +
+                                     v.ToString());
+          }
+          const int32_t code = col.FindCode(v.str());
+          if (code >= 0) out.code_table[code + 1] = 1;
+        }
+      } else {
+        for (const Value& v : clause.in_set) {
+          DBW_ASSIGN_OR_RETURN(double d, v.AsDouble());
+          // NaN is IN nothing under Value equality; it would also
+          // break binary_search's ordering.
+          if (!std::isnan(d)) out.in_numbers.push_back(d);
+        }
+        std::sort(out.in_numbers.begin(), out.in_numbers.end());
+      }
+      break;
+    case CompareOp::kContains: {
+      if (!out.is_string) {
+        return Status::TypeError("CONTAINS on non-string column '" +
+                                 clause.attribute + "'");
+      }
+      if (!clause.literal.is_string()) {
+        return Status::TypeError("CONTAINS needs a string literal");
+      }
+      // One substring search per distinct string, not per row.
+      const std::string& sub = clause.literal.str();
+      out.code_table.assign(col.dictionary_size() + 1, 0);
+      for (size_t code = 0; code < col.dictionary_size(); ++code) {
+        if (col.DictionaryValue(static_cast<int32_t>(code)).find(sub) !=
+            std::string::npos) {
+          out.code_table[code + 1] = 1;
+        }
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+void MatchClauseWords(const CompiledClause& clause,
+                      const std::vector<RowId>& rows, size_t word_begin,
+                      size_t word_end, Bitmap* out) {
+  if (clause.is_string) {
+    ScanString(clause, rows, word_begin, word_end, out);
+  } else if (clause.column->type() == DataType::kInt64) {
+    const int64_t* data = clause.column->int64_data().data();
+    ScanNumeric(clause, rows, word_begin, word_end,
+                [data](RowId r) { return static_cast<double>(data[r]); },
+                out);
+  } else {
+    const double* data = clause.column->double_data().data();
+    ScanNumeric(clause, rows, word_begin, word_end,
+                [data](RowId r) { return data[r]; }, out);
+  }
+}
+
+MatchEngine::MatchEngine(const Table& table, std::vector<RowId> rows)
+    : table_(&table),
+      rows_(std::move(rows)),
+      built_num_rows_(table.num_rows()) {}
+
+Status MatchEngine::CheckFresh() const {
+  if (table_->num_rows() != built_num_rows_) {
+    return Status::InvalidArgument(
+        "MatchEngine cache is stale: table '" + table_->name() + "' grew " +
+        std::to_string(built_num_rows_) + " -> " +
+        std::to_string(table_->num_rows()) +
+        " rows since the engine was built; rebuild the engine");
+  }
+  return Status::OK();
+}
+
+MatchEngine::ClauseEntry* MatchEngine::EnsureClause(const Clause& clause,
+                                                    const std::string& key) {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    ++cache_hits_;
+    return &entries_[it->second];
+  }
+  ++cache_misses_;
+  ClauseEntry entry;
+  Result<CompiledClause> compiled = CompileClause(clause, *table_);
+  if (compiled.ok()) {
+    entry.supported = true;
+    entry.bits = Bitmap(rows_.size());
+    MatchClauseWords(*compiled, rows_, 0, entry.bits.num_words(),
+                     &entry.bits);
+  }
+  // Clauses the kernels cannot translate stay cached as unsupported;
+  // predicates touching them fall back to the boxed path, where Bind
+  // reports the same failure (or handles the shape).
+  const size_t slot = entries_.size();
+  index_.emplace(key, slot);
+  entries_.push_back(std::move(entry));
+  return &entries_[slot];
+}
+
+Status MatchEngine::Materialize(
+    const std::vector<const Predicate*>& predicates,
+    const ParallelOptions& options) {
+  DBW_RETURN_NOT_OK(CheckFresh());
+  // Serial pass: canonicalize, dedupe, and compile the distinct new
+  // clauses; the scans themselves are the parallel part.
+  std::vector<size_t> fresh;            // entry slots awaiting a scan
+  std::vector<CompiledClause> programs;  // index-aligned with `fresh`
+  for (const Predicate* p : predicates) {
+    for (const Clause& c : p->clauses()) {
+      const std::string key = KeyOf(c);
+      auto it = index_.find(key);
+      if (it != index_.end()) {
+        ++cache_hits_;
+        continue;
+      }
+      ++cache_misses_;
+      ClauseEntry entry;
+      Result<CompiledClause> compiled = CompileClause(c, *table_);
+      if (compiled.ok()) {
+        entry.supported = true;
+        entry.bits = Bitmap(rows_.size());
+        fresh.push_back(entries_.size());
+        programs.push_back(*std::move(compiled));
+      }
+      index_.emplace(key, entries_.size());
+      entries_.push_back(std::move(entry));
+    }
+  }
+  if (fresh.empty()) return Status::OK();
+
+  // One flat work list of (clause, word-chunk) items; every item owns
+  // whole words of one bitmap, so chunk boundaries (and therefore the
+  // output) are deterministic at any thread count.
+  constexpr size_t kWordsPerChunk = 256;  // 16k rows per kernel call
+  const size_t num_words = (rows_.size() + 63) / 64;
+  const size_t chunks_per_clause =
+      std::max<size_t>(1, (num_words + kWordsPerChunk - 1) / kWordsPerChunk);
+  ParallelForEach(
+      0, fresh.size() * chunks_per_clause,
+      [&](size_t item) {
+        const size_t j = item / chunks_per_clause;
+        const size_t k = item % chunks_per_clause;
+        const size_t word_begin = k * kWordsPerChunk;
+        const size_t word_end =
+            std::min(num_words, word_begin + kWordsPerChunk);
+        if (word_begin < word_end) {
+          MatchClauseWords(programs[j], rows_, word_begin, word_end,
+                           &entries_[fresh[j]].bits);
+        }
+      },
+      options);
+  return Status::OK();
+}
+
+Result<Bitmap> MatchEngine::MatchPrepared(const Predicate& predicate) const {
+  DBW_RETURN_NOT_OK(CheckFresh());
+  Bitmap out;
+  bool first = true;
+  for (const Clause& c : predicate.clauses()) {
+    auto it = index_.find(KeyOf(c));
+    if (it == index_.end()) {
+      return Status::InvalidArgument(
+          "MatchPrepared: clause was not materialized: " + c.ToString());
+    }
+    const ClauseEntry& entry = entries_[it->second];
+    if (!entry.supported) return MatchBoxed(predicate);
+    if (first) {
+      out = entry.bits;
+      first = false;
+    } else {
+      out.AndWith(entry.bits);
+    }
+  }
+  if (first) {
+    out = Bitmap(rows_.size());
+    out.SetAll();  // the empty conjunction matches every row
+  }
+  return out;
+}
+
+Result<Bitmap> MatchEngine::Match(const Predicate& predicate) {
+  DBW_RETURN_NOT_OK(CheckFresh());
+  for (const Clause& c : predicate.clauses()) {
+    EnsureClause(c, KeyOf(c));
+  }
+  return MatchPrepared(predicate);
+}
+
+Result<const Bitmap*> MatchEngine::ClauseBitmap(const Clause& clause) {
+  DBW_RETURN_NOT_OK(CheckFresh());
+  ClauseEntry* entry = EnsureClause(clause, KeyOf(clause));
+  if (!entry->supported) {
+    return Status::NotImplemented("no match kernel for clause: " +
+                                  clause.ToString());
+  }
+  return &entry->bits;
+}
+
+Result<Bitmap> MatchEngine::MatchBoxed(const Predicate& predicate) const {
+  DBW_ASSIGN_OR_RETURN(BoundPredicate bound, predicate.Bind(*table_));
+  return bound.MatchBitmap(rows_);
+}
+
+}  // namespace dbwipes

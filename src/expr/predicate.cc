@@ -1,6 +1,7 @@
 #include "dbwipes/expr/predicate.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 
 #include "dbwipes/common/string_util.h"
@@ -60,11 +61,15 @@ bool Clause::Matches(const Value& v) const {
     case CompareOp::kLt:
       return v < literal;
     case CompareOp::kLe:
-      return v < literal || v == literal;
+      // Single comparison; under Value's total order `v <= l` is
+      // exactly `!(l < v)`. (For NaN operands neither < holds, so a
+      // NaN satisfies kLe/kGe but not kLt/kGt — the match kernels and
+      // BoundPredicate implement the same convention.)
+      return !(literal < v);
     case CompareOp::kGt:
       return literal < v;
     case CompareOp::kGe:
-      return literal < v || v == literal;
+      return !(v < literal);
     case CompareOp::kIn:
       for (const Value& x : in_set) {
         if (v == x) return true;
@@ -228,7 +233,9 @@ Result<BoundPredicate> Predicate::Bind(const Table& table) const {
             }
           } else {
             DBW_ASSIGN_OR_RETURN(double d, v.AsDouble());
-            bc.in_numbers.push_back(d);
+            // NaN is IN nothing (Value equality), and sorting it
+            // breaks binary_search's ordering contract; drop it here.
+            if (!std::isnan(d)) bc.in_numbers.push_back(d);
           }
         }
         std::sort(bc.in_codes.begin(), bc.in_codes.end());
@@ -280,18 +287,27 @@ bool BoundPredicate::ClauseMatches(const BoundClause& c, RowId row) {
     case CompareOp::kLt:
       return col.AsDouble(row) < c.threshold;
     case CompareOp::kLe:
-      return col.AsDouble(row) <= c.threshold;
+      // Negated form, not `<=`: keeps NaN handling identical to
+      // Clause::Matches (neither side of < holds for NaN).
+      return !(c.threshold < col.AsDouble(row));
     case CompareOp::kGt:
       return col.AsDouble(row) > c.threshold;
     case CompareOp::kGe:
-      return col.AsDouble(row) >= c.threshold;
+      return !(col.AsDouble(row) < c.threshold);
     case CompareOp::kIn:
       if (c.is_string_column) {
         return std::binary_search(c.in_codes.begin(), c.in_codes.end(),
                                   col.StringCode(row));
       }
-      return std::binary_search(c.in_numbers.begin(), c.in_numbers.end(),
-                                col.AsDouble(row));
+      {
+        // A NaN probe compares unordered against everything, which
+        // binary_search would report as "found"; Clause::Matches uses
+        // Value equality, under which NaN is IN nothing.
+        const double v = col.AsDouble(row);
+        if (std::isnan(v)) return false;
+        return std::binary_search(c.in_numbers.begin(), c.in_numbers.end(),
+                                  v);
+      }
     case CompareOp::kContains:
       return col.GetString(row).find(c.substring) != std::string::npos;
   }

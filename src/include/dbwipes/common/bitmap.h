@@ -22,10 +22,31 @@ class Bitmap {
       : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
 
   size_t num_bits() const { return num_bits_; }
+  size_t num_words() const { return words_.size(); }
 
   void Set(size_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
   bool Test(size_t i) const {
     return (words_[i >> 6] >> (i & 63)) & uint64_t{1};
+  }
+
+  /// Whole-word access for batch writers (the match kernels build one
+  /// word at a time so parallel chunks own disjoint words). Callers
+  /// must keep padding bits past num_bits() zero — Hash() and
+  /// operator== compare whole words.
+  uint64_t word(size_t wi) const { return words_[wi]; }
+  void set_word(size_t wi, uint64_t w) { words_[wi] = w; }
+
+  /// this &= other; the bitmaps must be the same size.
+  void AndWith(const Bitmap& other) {
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  }
+
+  /// Sets every bit in [0, num_bits()).
+  void SetAll() {
+    if (words_.empty()) return;
+    for (uint64_t& w : words_) w = ~uint64_t{0};
+    const size_t tail = num_bits_ & 63;
+    if (tail != 0) words_.back() = (uint64_t{1} << tail) - 1;
   }
 
   /// Number of set bits.

@@ -59,6 +59,13 @@ struct RankerOptions {
   /// 1 = single-threaded delta scoring. Output is identical at every
   /// thread count.
   size_t num_threads = 0;
+  /// Delta engine only: match predicates through the vectorized
+  /// MatchEngine (typed clause kernels + shared clause-bitmap cache,
+  /// see dbwipes/expr/match_kernels.h) instead of per-row
+  /// BoundPredicate evaluation. Bitmaps — and therefore orderings —
+  /// are identical either way; off is the differential-testing /
+  /// ablation path.
+  bool use_match_kernels = true;
 };
 
 /// \brief Final backend stage: score each enumerated predicate by

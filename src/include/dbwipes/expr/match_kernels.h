@@ -1,0 +1,141 @@
+#ifndef DBWIPES_EXPR_MATCH_KERNELS_H_
+#define DBWIPES_EXPR_MATCH_KERNELS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dbwipes/common/bitmap.h"
+#include "dbwipes/common/parallel.h"
+#include "dbwipes/common/result.h"
+#include "dbwipes/expr/predicate.h"
+#include "dbwipes/storage/table.h"
+
+namespace dbwipes {
+
+/// \brief A clause translated once into a typed batch-kernel program.
+///
+/// Numeric clauses become a double comparison against the column's
+/// flat int64/double storage (int64 widens to double exactly like
+/// Column::AsDouble). String clauses are translated to dictionary-code
+/// comparisons: kEq/kNe compare a single code, kIn/kContains gather
+/// through a per-code truth table built once from the dictionary (so a
+/// CONTAINS scan costs one substring search per *distinct string*, not
+/// per row). Null rows never match; string kernels exploit the code -1
+/// null sentinel, numeric kernels fold the validity vector in without
+/// per-row branching on boxed values.
+///
+/// Match semantics are identical to Clause::Matches (the boxed
+/// row-at-a-time path): kLe/kGe are the negated strict comparisons, so
+/// NaN cells satisfy kLe/kGe/kNe and nothing else; a NaN probe is IN
+/// nothing; a string literal absent from the dictionary (FindCode ==
+/// -1) makes kEq match nothing and kNe match every non-null row.
+struct CompiledClause {
+  const Column* column = nullptr;
+  CompareOp op = CompareOp::kEq;
+  bool is_string = false;
+  /// Numeric binary comparisons.
+  double threshold = 0.0;
+  /// String kEq/kNe dictionary code; -2 = literal absent.
+  int32_t code = -2;
+  /// kIn over numerics: sorted, NaN-free.
+  std::vector<double> in_numbers;
+  /// String kIn/kContains: truth per dictionary code, shifted by one so
+  /// index 0 answers the null sentinel code -1 (always false).
+  std::vector<uint8_t> code_table;
+};
+
+/// Translates `clause` against `table`. Returns exactly the errors
+/// Predicate::Bind would (ordered comparison on a string column,
+/// string/numeric literal mismatches, ...), so engine users see
+/// unchanged failure behavior.
+Result<CompiledClause> CompileClause(const Clause& clause, const Table& table);
+
+/// Evaluates `clause` over positions [64*word_begin, 64*word_end) of
+/// `rows` (clamped to rows.size()), writing one whole bitmap word per
+/// 64 positions: bit i of `out` = clause matches rows[i]. Chunks that
+/// own disjoint word ranges may run concurrently on the same bitmap.
+void MatchClauseWords(const CompiledClause& clause,
+                      const std::vector<RowId>& rows, size_t word_begin,
+                      size_t word_end, Bitmap* out);
+
+/// \brief Vectorized conjunction matching with a shared clause-bitmap
+/// cache.
+///
+/// Bound to one table and one row universe (e.g. the suspect set F, a
+/// selectivity sample, or the union of a result's lineage). Enumerators
+/// emit many conjunctions sharing single-attribute clauses — threshold
+/// families on one column, repeated categorical equalities — so the
+/// engine canonicalizes each clause to a key, materializes its bitmap
+/// ONCE via the typed kernels, and matches a conjunction by ANDing
+/// cached words. Clauses the kernels cannot translate (in ways Bind
+/// also rejects) fall back to the boxed BoundPredicate path per
+/// predicate, preserving error behavior exactly.
+///
+/// The engine is a snapshot: it caches bitmaps against the table size
+/// at construction, and every Match checks that the table has not
+/// grown since (append invalidates; rebuild the engine). See DESIGN.md
+/// §5d.
+///
+/// Thread safety: Materialize() mutates the cache (its own scans run
+/// chunked on the PR-1 ParallelFor; output is deterministic at any
+/// thread count because chunk boundaries depend only on sizes).
+/// MatchPrepared() is const and touches only cached state, so any
+/// number of threads may call it concurrently after Materialize().
+class MatchEngine {
+ public:
+  MatchEngine(const Table& table, std::vector<RowId> rows);
+
+  const std::vector<RowId>& rows() const { return rows_; }
+
+  /// Compiles and materializes every distinct clause of `predicates`
+  /// that is not cached yet, scanning in word-aligned chunks on the
+  /// shared pool. Compile *errors* are returned only when the boxed
+  /// fallback would fail too — i.e. exactly when Bind fails.
+  Status Materialize(const std::vector<const Predicate*>& predicates,
+                     const ParallelOptions& options = {});
+
+  /// Bitmap of one predicate over the universe (bit i = matches
+  /// rows[i]; empty predicate = all ones). Requires every clause to
+  /// have been seen by Materialize(); const, safe for concurrent use.
+  Result<Bitmap> MatchPrepared(const Predicate& predicate) const;
+
+  /// Serial convenience: Materialize({&predicate}) + MatchPrepared.
+  Result<Bitmap> Match(const Predicate& predicate);
+
+  /// Bitmap of a single materialized-on-demand clause (serial).
+  Result<const Bitmap*> ClauseBitmap(const Clause& clause);
+
+  // Cache introspection (for tests/benches).
+  size_t num_cached_clauses() const { return entries_.size(); }
+  size_t cache_hits() const { return cache_hits_; }
+  size_t cache_misses() const { return cache_misses_; }
+
+ private:
+  struct ClauseEntry {
+    /// Kernels cover the clause; `bits` is valid once materialized.
+    bool supported = false;
+    Bitmap bits;
+  };
+
+  /// Cache entry for `key`, creating (and, for supported clauses,
+  /// materializing serially) on miss. Valid until the next insertion.
+  ClauseEntry* EnsureClause(const Clause& clause, const std::string& key);
+  Status CheckFresh() const;
+
+  /// Boxed fallback for predicates with unsupported clauses.
+  Result<Bitmap> MatchBoxed(const Predicate& predicate) const;
+
+  const Table* table_;
+  std::vector<RowId> rows_;
+  size_t built_num_rows_;  // table size the cache snapshot is valid for
+  std::unordered_map<std::string, size_t> index_;  // canonical key -> entry
+  std::vector<ClauseEntry> entries_;
+  size_t cache_hits_ = 0;
+  size_t cache_misses_ = 0;
+};
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_EXPR_MATCH_KERNELS_H_

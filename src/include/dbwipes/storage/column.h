@@ -64,6 +64,16 @@ class Column {
   /// Code for `s` if it appears in the dictionary, else -1.
   int32_t FindCode(const std::string& s) const;
 
+  // Batch accessors: the raw flat storage, for vectorized kernels
+  // (see dbwipes/expr/match_kernels.h). Null rows hold the type's
+  // default slot value (0 / 0.0 / code -1); consumers mask them via
+  // IsNull or, for codes, the -1 sentinel. Only valid for the matching
+  // type (DBW_DCHECK-enforced).
+  const std::vector<int64_t>& int64_data() const;
+  const std::vector<double>& double_data() const;
+  const std::vector<int32_t>& code_data() const;
+  bool has_nulls() const { return null_count_ != 0; }
+
   /// Appends row `row` of `src` (same type) to this column.
   void AppendFrom(const Column& src, RowId row);
 

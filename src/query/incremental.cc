@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "dbwipes/expr/match_kernels.h"
+
 namespace dbwipes {
 
 namespace {
@@ -79,7 +81,24 @@ Result<QueryResult> IncrementalClean(const Table& table,
         "result was executed without lineage capture");
   }
 
-  DBW_ASSIGN_OR_RETURN(BoundPredicate bound, predicate.Bind(table));
+  // Kernel-match the cleaning predicate once over the concatenation of
+  // every group's lineage: each clause is scanned by a typed batch
+  // kernel (chunked over the shared pool for large results), and a
+  // group's matches are then bit tests against its slice. Predicates
+  // the kernels cannot translate fall back to the boxed path inside
+  // the engine with identical errors.
+  std::vector<RowId> universe;
+  std::vector<size_t> group_offset(result.num_groups(), 0);
+  for (size_t g = 0; g < result.num_groups(); ++g) {
+    group_offset[g] = universe.size();
+    universe.insert(universe.end(), result.lineage[g].begin(),
+                    result.lineage[g].end());
+  }
+  MatchEngine engine(table, std::move(universe));
+  DBW_RETURN_NOT_OK(engine.Materialize({&predicate}, ParallelOptions{}));
+  DBW_ASSIGN_OR_RETURN(const Bitmap matched_bits,
+                       engine.MatchPrepared(predicate));
+
   const AggregateQuery& query = result.query;
   const size_t num_keys = query.group_by.size();
   const size_t num_aggs = query.aggregates.size();
@@ -92,11 +111,12 @@ Result<QueryResult> IncrementalClean(const Table& table,
   std::vector<size_t> matched_positions;
   for (size_t g = 0; g < result.num_groups(); ++g) {
     const std::vector<RowId>& lineage = result.lineage[g];
+    const size_t base = group_offset[g];
     std::vector<RowId> survivors;
     survivors.reserve(lineage.size());
     matched_positions.clear();
     for (size_t p = 0; p < lineage.size(); ++p) {
-      if (bound.Matches(lineage[p])) {
+      if (matched_bits.Test(base + p)) {
         matched_positions.push_back(p);
       } else {
         survivors.push_back(lineage[p]);

@@ -138,6 +138,21 @@ int32_t Column::FindCode(const std::string& s) const {
   return it == dictionary_index_.end() ? -1 : it->second;
 }
 
+const std::vector<int64_t>& Column::int64_data() const {
+  DBW_DCHECK(type_ == DataType::kInt64);
+  return ints_;
+}
+
+const std::vector<double>& Column::double_data() const {
+  DBW_DCHECK(type_ == DataType::kDouble);
+  return doubles_;
+}
+
+const std::vector<int32_t>& Column::code_data() const {
+  DBW_DCHECK(type_ == DataType::kString);
+  return codes_;
+}
+
 void Column::AppendFrom(const Column& src, RowId row) {
   DBW_CHECK(src.type_ == type_);
   if (src.IsNull(row)) {

@@ -1,0 +1,239 @@
+// Property tests for the vectorized match kernels: on randomized
+// tables (nulls, NaN doubles, int64 columns probed with double
+// literals, string literals absent from the dictionary) the kernel
+// path (CompileClause/MatchEngine) must agree bit-for-bit with the
+// boxed paths (Clause::Matches and BoundPredicate::MatchBitmap), at
+// every thread count, and must fail with exactly the errors Bind
+// produces for clauses the kernels cannot translate.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "dbwipes/common/random.h"
+#include "dbwipes/expr/match_kernels.h"
+#include "dbwipes/expr/predicate.h"
+
+namespace dbwipes {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// int64 (10% null), double (10% null, 10% NaN among non-nulls),
+/// string from a small dictionary (10% null).
+Table RandomTable(Rng* rng, size_t rows) {
+  Table t(Schema{{"i", DataType::kInt64},
+                 {"d", DataType::kDouble},
+                 {"s", DataType::kString}},
+          "t");
+  const char* cats[] = {"red", "green", "blue", "red-ish"};
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<Value> row(3);
+    row[0] = rng->Bernoulli(0.1) ? Value::Null()
+                                 : Value(rng->UniformInt(-5, 5));
+    if (rng->Bernoulli(0.1)) {
+      row[1] = Value::Null();
+    } else {
+      row[1] = Value(rng->Bernoulli(0.1) ? kNaN : rng->Normal(0, 2));
+    }
+    row[2] = rng->Bernoulli(0.1)
+                 ? Value::Null()
+                 : Value(std::string(cats[rng->UniformInt(4u)]));
+    DBW_CHECK_OK(t.AppendRow(row));
+  }
+  return t;
+}
+
+/// Every CompareOp appears: the six binary comparisons on both numeric
+/// columns (the int64 column is probed with both int64 and double
+/// literals to exercise the widening path), string eq/ne with literals
+/// both present in and absent from the dictionary, IN over numbers and
+/// strings (with an absent member), and CONTAINS.
+Clause RandomClause(Rng* rng) {
+  static const CompareOp kBinaryOps[] = {CompareOp::kEq, CompareOp::kNe,
+                                         CompareOp::kLt, CompareOp::kLe,
+                                         CompareOp::kGt, CompareOp::kGe};
+  switch (rng->UniformInt(7u)) {
+    case 0:
+      return Clause::Make("i", kBinaryOps[rng->UniformInt(6u)],
+                          Value(rng->UniformInt(-5, 5)));
+    case 1:  // double literal against the int64 column
+      return Clause::Make("i", kBinaryOps[rng->UniformInt(6u)],
+                          Value(rng->UniformDouble(-5.5, 5.5)));
+    case 2:
+      return Clause::Make("d", kBinaryOps[rng->UniformInt(6u)],
+                          Value(rng->Normal(0, 2)));
+    case 3:
+      return Clause::Make("s", rng->Bernoulli(0.5) ? CompareOp::kEq
+                                                   : CompareOp::kNe,
+                          Value(rng->Bernoulli(0.7) ? "red" : "missing"));
+    case 4:
+      return Clause::In("s", {Value("green"), Value("blue"),
+                              Value("missing")});
+    case 5:
+      return Clause::In("i", {Value(int64_t{0}), Value(2.0),
+                              Value(int64_t{-3})});
+    default:
+      return Clause::Make("s", CompareOp::kContains,
+                          Value(rng->Bernoulli(0.5) ? "red" : "ee"));
+  }
+}
+
+/// Random strict subset of the table's rows (sorted, may repeat across
+/// trials); sometimes the full table.
+std::vector<RowId> RandomUniverse(Rng* rng, size_t num_rows) {
+  std::vector<RowId> rows;
+  if (rng->Bernoulli(0.3)) {
+    for (RowId r = 0; r < num_rows; ++r) rows.push_back(r);
+    return rows;
+  }
+  for (RowId r = 0; r < num_rows; ++r) {
+    if (rng->Bernoulli(0.6)) rows.push_back(r);
+  }
+  return rows;
+}
+
+class KernelBoxedEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KernelBoxedEquivalence, AgreesWithBoxedPaths) {
+  Rng rng(GetParam());
+  Table t = RandomTable(&rng, 500);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<Clause> clauses;
+    const size_t n = 1 + rng.UniformInt(3u);
+    for (size_t i = 0; i < n; ++i) clauses.push_back(RandomClause(&rng));
+    Predicate pred(clauses);
+    std::vector<RowId> rows = RandomUniverse(&rng, t.num_rows());
+
+    MatchEngine engine(t, rows);
+    auto kernel = engine.Match(pred);
+    ASSERT_TRUE(kernel.ok()) << pred.ToString() << ": "
+                             << kernel.status().ToString();
+
+    BoundPredicate bound = *pred.Bind(t);
+    const Bitmap boxed = bound.MatchBitmap(rows);
+    ASSERT_TRUE(*kernel == boxed) << pred.ToString();
+
+    // Spot-check against the slowest oracle too.
+    for (size_t i = 0; i < rows.size(); ++i) {
+      ASSERT_EQ(kernel->Test(i), *pred.Matches(t, rows[i]))
+          << pred.ToString() << " row " << rows[i];
+    }
+  }
+}
+
+TEST_P(KernelBoxedEquivalence, DeterministicAtAnyThreadCount) {
+  Rng rng(GetParam() ^ 0xABCDEF);
+  Table t = RandomTable(&rng, 2000);
+  std::vector<const Predicate*> preds;
+  std::vector<Predicate> storage;
+  for (int i = 0; i < 10; ++i) {
+    storage.push_back(Predicate({RandomClause(&rng), RandomClause(&rng)}));
+  }
+  for (const Predicate& p : storage) preds.push_back(&p);
+
+  std::vector<RowId> rows;
+  for (RowId r = 0; r < t.num_rows(); ++r) rows.push_back(r);
+
+  ParallelOptions serial;
+  serial.num_threads = 1;
+  ParallelOptions parallel;
+  parallel.num_threads = 4;
+  parallel.min_items_for_threading = 1;
+
+  MatchEngine e1(t, rows);
+  MatchEngine e4(t, rows);
+  DBW_CHECK_OK(e1.Materialize(preds, serial));
+  DBW_CHECK_OK(e4.Materialize(preds, parallel));
+  for (const Predicate* p : preds) {
+    ASSERT_TRUE(*e1.MatchPrepared(*p) == *e4.MatchPrepared(*p))
+        << p->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelBoxedEquivalence,
+                         ::testing::Values(7u, 41u, 1234u));
+
+TEST(MatchEngine, AbsentStringLiteralNeverMatchesNulls) {
+  Table t(Schema{{"s", DataType::kString}}, "t");
+  DBW_CHECK_OK(t.AppendRow({Value("red")}));
+  DBW_CHECK_OK(t.AppendRow({Value::Null()}));
+  DBW_CHECK_OK(t.AppendRow({Value("blue")}));
+  MatchEngine engine(t, {0, 1, 2});
+
+  auto eq = engine.Match(
+      Predicate({Clause::Make("s", CompareOp::kEq, Value("missing"))}));
+  ASSERT_TRUE(eq.ok());
+  EXPECT_EQ(eq->CountOnes(), 0u);  // not the null row either
+
+  auto ne = engine.Match(
+      Predicate({Clause::Make("s", CompareOp::kNe, Value("missing"))}));
+  ASSERT_TRUE(ne.ok());
+  EXPECT_TRUE(ne->Test(0));
+  EXPECT_FALSE(ne->Test(1));  // NULL never matches
+  EXPECT_TRUE(ne->Test(2));
+}
+
+TEST(MatchEngine, SharedClausesAreCachedOnce) {
+  Rng rng(99);
+  Table t = RandomTable(&rng, 200);
+  std::vector<RowId> rows;
+  for (RowId r = 0; r < t.num_rows(); ++r) rows.push_back(r);
+
+  const Clause shared = Clause::Make("i", CompareOp::kLe, Value(int64_t{2}));
+  Predicate p1({shared, Clause::Make("d", CompareOp::kGt, Value(0.0))});
+  Predicate p2({shared, Clause::Make("s", CompareOp::kEq, Value("red"))});
+
+  MatchEngine engine(t, rows);
+  DBW_CHECK_OK(engine.Materialize({&p1, &p2}));
+  EXPECT_EQ(engine.num_cached_clauses(), 3u);  // shared counted once
+  EXPECT_GE(engine.cache_hits(), 1u);
+
+  // Re-materializing is all hits.
+  const size_t misses = engine.cache_misses();
+  DBW_CHECK_OK(engine.Materialize({&p1, &p2}));
+  EXPECT_EQ(engine.cache_misses(), misses);
+}
+
+TEST(MatchEngine, UnsupportedClauseFailsExactlyLikeBind) {
+  Rng rng(7);
+  Table t = RandomTable(&rng, 50);
+  // Ordered comparison on a string column: Bind rejects it, so the
+  // engine must surface the same error instead of a bitmap.
+  Predicate bad({Clause::Make("s", CompareOp::kLt, Value("red"))});
+  auto bound = bad.Bind(t);
+  ASSERT_FALSE(bound.ok());
+
+  MatchEngine engine(t, {0, 1, 2});
+  auto bm = engine.Match(bad);
+  ASSERT_FALSE(bm.ok());
+  EXPECT_EQ(bm.status().ToString(), bound.status().ToString());
+}
+
+TEST(MatchEngine, RejectsMatchAfterTableAppend) {
+  Table t(Schema{{"i", DataType::kInt64}}, "t");
+  DBW_CHECK_OK(t.AppendRow({Value(int64_t{1})}));
+  MatchEngine engine(t, {0});
+  Predicate pred({Clause::Make("i", CompareOp::kEq, Value(int64_t{1}))});
+  ASSERT_TRUE(engine.Match(pred).ok());
+
+  DBW_CHECK_OK(t.AppendRow({Value(int64_t{2})}));
+  auto stale = engine.Match(pred);
+  ASSERT_FALSE(stale.ok());  // snapshot invalidated by append
+}
+
+TEST(MatchEngine, EmptyPredicateMatchesEverything) {
+  Rng rng(3);
+  Table t = RandomTable(&rng, 130);  // not a multiple of 64: tail word
+  std::vector<RowId> rows;
+  for (RowId r = 0; r < t.num_rows(); ++r) rows.push_back(r);
+  MatchEngine engine(t, rows);
+  auto bm = engine.Match(Predicate::True());
+  ASSERT_TRUE(bm.ok());
+  EXPECT_EQ(bm->CountOnes(), rows.size());
+}
+
+}  // namespace
+}  // namespace dbwipes

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Pre-merge gate: tier-1 tests, the asan smoke subset, and the anytime
+# fault matrix. Run from the repo root:
+#
+#   scripts/check.sh            # all three stages
+#   scripts/check.sh tier1      # just the default-preset test suite
+#   scripts/check.sh asan       # just the asan smoke subset
+#   scripts/check.sh faults     # just the faults-labelled tests (asan)
+#
+# Each stage configures/builds its preset only when needed, so repeat
+# runs are incremental.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+tier1() {
+  echo "=== tier-1: default preset, full test suite ==="
+  cmake --preset default >/dev/null
+  cmake --build --preset default -j "$jobs"
+  ctest --preset default -j "$jobs"
+}
+
+asan_smoke() {
+  echo "=== asan: smoke-labelled subset ==="
+  cmake --preset asan >/dev/null
+  cmake --build --preset asan -j "$jobs"
+  ctest --preset asan-smoke -j "$jobs"
+}
+
+faults() {
+  echo "=== faults: anytime/fault-injection matrix (asan) ==="
+  cmake --preset asan >/dev/null
+  cmake --build --preset asan -j "$jobs"
+  ctest --preset asan-faults -j "$jobs"
+}
+
+case "${1:-all}" in
+  tier1)  tier1 ;;
+  asan)   asan_smoke ;;
+  faults) faults ;;
+  all)    tier1; asan_smoke; faults ;;
+  *) echo "usage: $0 [tier1|asan|faults|all]" >&2; exit 2 ;;
+esac
+echo "=== check.sh: all requested stages passed ==="

@@ -1,0 +1,117 @@
+#include "dbwipes/common/exec_context.h"
+
+#include <thread>
+
+namespace dbwipes {
+
+std::string CancellationToken::reason() const {
+  if (!IsCancelled()) return "";
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->reason;
+}
+
+void CancellationSource::Cancel(std::string reason) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->cancelled.load(std::memory_order_relaxed)) return;
+    state_->reason = std::move(reason);
+  }
+  state_->cancelled.store(true, std::memory_order_release);
+}
+
+Status ResourceBudget::Charge(std::atomic<size_t>* used, size_t n,
+                              size_t limit, std::atomic<bool>* exhausted,
+                              const char* what) {
+  if (limit == 0) {
+    used->fetch_add(n, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  const size_t before = used->fetch_add(n, std::memory_order_relaxed);
+  if (before + n > limit) {
+    exhausted->store(true, std::memory_order_release);
+    return Status::ResourceExhausted(
+        std::string(what) + " exhausted (" + std::to_string(before + n) +
+        " > " + std::to_string(limit) + ")");
+  }
+  return Status::OK();
+}
+
+void FaultInjector::Arm(const std::string& site, Fault fault) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_[site] = std::move(fault);
+}
+
+void FaultInjector::ArmError(const std::string& site, Status status) {
+  Fault f;
+  f.status = std::move(status);
+  Arm(site, std::move(f));
+}
+
+void FaultInjector::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.erase(site);
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.clear();
+}
+
+size_t FaultInjector::hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hits_.find(site);
+  return it == hits_.end() ? 0 : it->second;
+}
+
+Status FaultInjector::Hit(const std::string& site) {
+  Fault fault;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = armed_.find(site);
+    if (it == armed_.end()) return Status::OK();
+    ++hits_[site];
+    fault = it->second;
+    if (it->second.count > 0 && --it->second.count == 0) armed_.erase(it);
+  }
+  // Apply outside the lock: latency must not serialize other sites.
+  if (fault.latency_ms > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(fault.latency_ms));
+  }
+  if (fault.trip != nullptr) {
+    fault.trip->Cancel("fault injector tripped at " + site);
+  }
+  return fault.status;
+}
+
+const std::vector<std::string>& AllFaultSites() {
+  static const std::vector<std::string> sites = {
+      "scorer/create",        // RemovalScorer::Create entry
+      "match/materialize",    // MatchEngine::Materialize entry
+      "enumerate/datasets",   // DatasetEnumerator::Enumerate entry
+      "enumerate/clean",      // DatasetEnumerator::CleanDPrime entry
+      "enumerate/predicates", // PredicateEnumerator::Enumerate entry
+      "ranker/rank",          // PredicateRanker::RankAnytime entry
+      "ranker/score",         // per scoring block, before scoring it
+      "pipeline/explain",     // DBWipes::Explain entry
+  };
+  return sites;
+}
+
+Status ExecContext::CheckContinue() const {
+  if (token.IsCancelled()) {
+    std::string reason = token.reason();
+    return Status::Cancelled(reason.empty() ? "cancelled" : reason);
+  }
+  if (deadline.expired()) {
+    return Status::DeadlineExceeded("deadline expired");
+  }
+  return Status::OK();
+}
+
+const ExecContext& ExecContext::None() {
+  static const ExecContext none;
+  return none;
+}
+
+}  // namespace dbwipes

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "dbwipes/common/exec_context.h"
+
 namespace dbwipes {
 
 namespace {
@@ -73,12 +75,29 @@ void ThreadPool::DrainCurrentTask() {
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (task_ == nullptr || next_chunk_ >= num_chunks_) return;
+      if (task_error_) {
+        // A chunk already failed: retire the unclaimed remainder so
+        // Run's completion condition is reached without running them.
+        chunks_done_ += num_chunks_ - next_chunk_;
+        next_chunk_ = num_chunks_;
+        if (chunks_done_ == num_chunks_) done_cv_.notify_all();
+        return;
+      }
       chunk = next_chunk_++;
       fn = task_;
     }
-    (*fn)(chunk);
+    std::exception_ptr error;
+    try {
+      (*fn)(chunk);
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (error && (!task_error_ || chunk < task_error_chunk_)) {
+        task_error_ = error;
+        task_error_chunk_ = chunk;
+      }
       if (++chunks_done_ == num_chunks_) done_cv_.notify_all();
     }
   }
@@ -100,6 +119,8 @@ void ThreadPool::Run(size_t num_chunks,
   num_chunks_ = num_chunks;
   next_chunk_ = 0;
   chunks_done_ = 0;
+  task_error_ = nullptr;
+  task_error_chunk_ = 0;
   lock.unlock();
   work_cv_.notify_all();
 
@@ -112,20 +133,37 @@ void ThreadPool::Run(size_t num_chunks,
   lock.lock();
   done_cv_.wait(lock, [&] { return chunks_done_ == num_chunks_; });
   task_ = nullptr;
+  std::exception_ptr error = task_error_;
+  task_error_ = nullptr;
   lock.unlock();
   // Wake any caller queued on task_ == nullptr.
   done_cv_.notify_all();
+  // Propagate the first (lowest-chunk) failure to the caller, exactly
+  // as the serial path would have.
+  if (error) std::rethrow_exception(error);
 }
 
 void ParallelFor(size_t begin, size_t end,
                  const std::function<void(size_t, size_t)>& chunk_fn,
                  const ParallelOptions& options) {
   if (begin >= end) return;
+  if (options.ctx != nullptr && options.ctx->StopRequested()) return;
   const size_t n = end - begin;
   const size_t threads =
       options.num_threads == 0 ? DefaultParallelism() : options.num_threads;
   if (threads <= 1 || n < options.min_items_for_threading) {
-    chunk_fn(begin, end);
+    if (options.ctx == nullptr) {
+      chunk_fn(begin, end);
+      return;
+    }
+    // Serial anytime path: same several-chunks-per-thread split (with
+    // one thread), so a cancel or deadline still winds the loop down
+    // within one chunk instead of only being checked at entry.
+    const size_t chunk = std::max<size_t>(1, (n + 3) / 4);
+    for (size_t lo = begin; lo < end; lo += chunk) {
+      if (options.ctx->StopRequested()) return;
+      chunk_fn(lo, std::min(end, lo + chunk));
+    }
     return;
   }
   // Several chunks per thread smooths imbalance between cheap and
@@ -135,6 +173,9 @@ void ParallelFor(size_t begin, size_t end,
                                                     target_chunks);
   const size_t num_chunks = (n + chunk_size - 1) / chunk_size;
   ThreadPool::Global().Run(num_chunks, [&](size_t c) {
+    // Cooperative stop: skip chunks not yet started once the context
+    // asks to wind down (the chunk in flight on each worker finishes).
+    if (options.ctx != nullptr && options.ctx->StopRequested()) return;
     const size_t lo = begin + c * chunk_size;
     const size_t hi = std::min(end, lo + chunk_size);
     chunk_fn(lo, hi);
@@ -158,28 +199,40 @@ Status ParallelForStatus(size_t n, const std::function<Status(size_t)>& fn,
   std::mutex mu;
   size_t first_bad = n;
   Status first_status = Status::OK();
-  ParallelFor(
-      0, n,
-      [&](size_t lo, size_t hi) {
-        for (size_t i = lo; i < hi; ++i) {
-          {
-            // Cheap early-out once some chunk failed; correctness does
-            // not depend on it.
-            std::lock_guard<std::mutex> lock(mu);
-            if (first_bad < n && i > first_bad) break;
-          }
-          Status st = fn(i);
-          if (!st.ok()) {
-            std::lock_guard<std::mutex> lock(mu);
-            if (i < first_bad) {
-              first_bad = i;
-              first_status = std::move(st);
+  try {
+    ParallelFor(
+        0, n,
+        [&](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) {
+            {
+              // Cheap early-out once some chunk failed; correctness does
+              // not depend on it.
+              std::lock_guard<std::mutex> lock(mu);
+              if (first_bad < n && i > first_bad) break;
             }
-            break;
+            if (options.ctx != nullptr && options.ctx->StopRequested()) {
+              break;
+            }
+            Status st = fn(i);
+            if (!st.ok()) {
+              std::lock_guard<std::mutex> lock(mu);
+              if (i < first_bad) {
+                first_bad = i;
+                first_status = std::move(st);
+              }
+              break;
+            }
           }
-        }
-      },
-      options);
+        },
+        options);
+  } catch (const std::exception& e) {
+    return Status::RuntimeError(std::string("parallel task failed: ") +
+                                e.what());
+  } catch (...) {
+    return Status::RuntimeError("parallel task failed: unknown exception");
+  }
+  if (!first_status.ok()) return first_status;
+  if (options.ctx != nullptr) return options.ctx->CheckContinue();
   return first_status;
 }
 

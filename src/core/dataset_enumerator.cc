@@ -35,7 +35,9 @@ Result<std::vector<RowId>> DatasetEnumerator::CleanDPrime(
     const Table& /*table*/, const std::vector<RowId>& dprime,
     const std::vector<RowId>& suspect_inputs,
     const std::vector<TupleInfluence>& influences,
-    const FeatureView& view) const {
+    const FeatureView& view, const ExecContext& ctx) const {
+  DBW_FAULT(ctx, "enumerate/clean");
+  DBW_RETURN_NOT_OK(ctx.CheckContinue());
   std::vector<RowId> sorted = SortedUnique(dprime);
   if (sorted.size() < 4 || options_.clean_method == CleanMethod::kNone) {
     // Too few examples to judge consistency; trust the user.
@@ -124,7 +126,8 @@ Result<std::vector<CandidateDataset>> DatasetEnumerator::Enumerate(
     const std::vector<size_t>& selected_groups,
     const PreprocessResult& preprocess, const std::vector<RowId>& dprime,
     const FeatureView& view, const ErrorMetric& metric,
-    size_t agg_index) const {
+    size_t agg_index, const ExecContext& ctx) const {
+  DBW_FAULT(ctx, "enumerate/datasets");
   const std::vector<RowId>& suspects = preprocess.suspect_inputs;
   if (suspects.empty()) {
     return Status::InvalidArgument(
@@ -134,7 +137,7 @@ Result<std::vector<CandidateDataset>> DatasetEnumerator::Enumerate(
   // 1. Clean D'.
   DBW_ASSIGN_OR_RETURN(
       std::vector<RowId> cleaned,
-      CleanDPrime(table, dprime, suspects, preprocess.influences, view));
+      CleanDPrime(table, dprime, suspects, preprocess.influences, view, ctx));
 
   // 2. Positive labels for the extension step: cleaned D' plus the
   //    top-influence quantile of F.
@@ -175,7 +178,10 @@ Result<std::vector<CandidateDataset>> DatasetEnumerator::Enumerate(
     raw.push_back({top_influence, "top-influence"});
   }
 
-  // 3. Extend via subgroup discovery over F.
+  // 3. Extend via subgroup discovery over F. Discovery is the
+  //    expensive step, so it is skipped entirely once a stop is
+  //    requested (the cheap candidates above still get scored).
+  DBW_RETURN_NOT_OK(ctx.CheckContinue());
   if (options_.extend_with_subgroups && !positives.empty()) {
     std::vector<int> labels;
     labels.reserve(suspects.size());
@@ -215,10 +221,11 @@ Result<std::vector<CandidateDataset>> DatasetEnumerator::Enumerate(
   //    lineage rebuild.
   DBW_ASSIGN_OR_RETURN(RemovalScorer scorer,
                        RemovalScorer::Create(table, result, selected_groups,
-                                             agg_index, suspects));
+                                             agg_index, suspects, ctx));
   std::vector<CandidateDataset> out;
   std::unordered_set<std::string> seen_keys;
   for (RawCandidate& rc : raw) {
+    DBW_RETURN_NOT_OK(ctx.CheckContinue());
     if (rc.rows.empty()) continue;
     std::string key;
     key.reserve(rc.rows.size() * 4);

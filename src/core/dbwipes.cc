@@ -35,7 +35,9 @@ std::vector<std::string> DefaultExplainColumns(const Table& table,
 }
 
 Result<Explanation> DBWipes::Explain(const QueryResult& result,
-                                     const ExplanationRequest& request) const {
+                                     const ExplanationRequest& request,
+                                     const ExecContext& ctx) const {
+  DBW_FAULT(ctx, "pipeline/explain");
   if (!request.metric) {
     return Status::InvalidArgument("no error metric supplied");
   }
@@ -50,8 +52,20 @@ Result<Explanation> DBWipes::Explain(const QueryResult& result,
 
   Explanation out;
 
+  // A stage interrupted by the context degrades the run instead of
+  // failing it: everything completed so far ships, flagged partial.
+  auto degrade = [&out](const Status& why) {
+    out.partial = true;
+    if (out.partial_reason.empty()) out.partial_reason = why.ToString();
+  };
+
   // Stage 1: Preprocessor.
   auto t0 = std::chrono::steady_clock::now();
+  Status cont = ctx.CheckContinue();
+  if (!cont.ok()) {
+    degrade(cont);
+    return out;
+  }
   DBW_ASSIGN_OR_RETURN(
       out.preprocess,
       Preprocessor::Run(*table, result, request.selected_groups,
@@ -62,25 +76,52 @@ Result<Explanation> DBWipes::Explain(const QueryResult& result,
   // Stage 2: Dataset Enumerator.
   t0 = std::chrono::steady_clock::now();
   DatasetEnumerator enumerator(options_.enumerator);
-  DBW_ASSIGN_OR_RETURN(
-      out.cleaned_dprime,
-      enumerator.CleanDPrime(*table, request.suspicious_inputs,
-                             out.preprocess.suspect_inputs,
-                             out.preprocess.influences, view));
-  DBW_ASSIGN_OR_RETURN(
-      out.candidates,
-      enumerator.Enumerate(*table, result, request.selected_groups,
-                           out.preprocess, request.suspicious_inputs, view,
-                           *request.metric, request.agg_index));
+  {
+    auto cleaned =
+        enumerator.CleanDPrime(*table, request.suspicious_inputs,
+                               out.preprocess.suspect_inputs,
+                               out.preprocess.influences, view, ctx);
+    if (!cleaned.ok()) {
+      if (cleaned.status().IsInterrupt()) {
+        degrade(cleaned.status());
+        return out;
+      }
+      return cleaned.status();
+    }
+    out.cleaned_dprime = *std::move(cleaned);
+  }
+  {
+    auto candidates =
+        enumerator.Enumerate(*table, result, request.selected_groups,
+                             out.preprocess, request.suspicious_inputs, view,
+                             *request.metric, request.agg_index, ctx);
+    if (!candidates.ok()) {
+      if (candidates.status().IsInterrupt()) {
+        degrade(candidates.status());
+        return out;
+      }
+      return candidates.status();
+    }
+    out.candidates = *std::move(candidates);
+  }
   out.enumerate_ms = MillisSince(t0);
 
   // Stage 3: Predicate Enumerator.
   t0 = std::chrono::steady_clock::now();
   PredicateEnumerator predicate_enumerator(options_.predicates);
-  DBW_ASSIGN_OR_RETURN(
-      std::vector<EnumeratedPredicate> enumerated,
-      predicate_enumerator.Enumerate(view, out.preprocess.suspect_inputs,
-                                     out.candidates));
+  std::vector<EnumeratedPredicate> enumerated;
+  {
+    auto r = predicate_enumerator.Enumerate(
+        view, out.preprocess.suspect_inputs, out.candidates, ctx);
+    if (!r.ok()) {
+      if (r.status().IsInterrupt()) {
+        degrade(r.status());
+        return out;
+      }
+      return r.status();
+    }
+    enumerated = *std::move(r);
+  }
   out.predicates_ms = MillisSince(t0);
 
   // Stage 4: Predicate Ranker. When the user supplied no examples,
@@ -107,11 +148,26 @@ Result<Explanation> DBWipes::Explain(const QueryResult& result,
   }
   PredicateRanker ranker(options_.ranker);
   DBW_ASSIGN_OR_RETURN(
-      out.predicates,
-      ranker.Rank(*table, result, request.selected_groups, *request.metric,
-                  request.agg_index, out.preprocess.suspect_inputs, reference,
-                  out.preprocess.per_group_baseline_error, enumerated));
-  if (options_.merge_predicates) {
+      RankOutcome outcome,
+      ranker.RankAnytime(*table, result, request.selected_groups,
+                         *request.metric, request.agg_index,
+                         out.preprocess.suspect_inputs, reference,
+                         out.preprocess.per_group_baseline_error, enumerated,
+                         ctx));
+  out.predicates = std::move(outcome.predicates);
+  out.ranked_considered = outcome.scored_prefix;
+  out.total_enumerated = outcome.total_candidates;
+  if (outcome.partial) {
+    degrade(Status(StatusCode::kDeadlineExceeded, outcome.reason));
+  }
+  // A truncated candidate list is degraded coverage even when ranking
+  // itself completed.
+  if (ctx.budget != nullptr && ctx.budget->predicates_exhausted()) {
+    degrade(Status::ResourceExhausted("candidate-predicate budget"));
+  }
+  // Merging re-scores pairwise combinations — pure bonus work; skip it
+  // once the run is already degraded or the clock has run out.
+  if (options_.merge_predicates && !out.partial && !ctx.StopRequested()) {
     DBW_ASSIGN_OR_RETURN(
         out.predicates,
         MergeAndRerank(*table, result, request.selected_groups,

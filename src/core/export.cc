@@ -157,6 +157,17 @@ std::string ExplanationToJson(const Explanation& explanation, bool pretty) {
   w.Key("num_cleaned_dprime");
   w.Number(explanation.cleaned_dprime.size());
 
+  w.Key("partial");
+  w.Bool(explanation.partial);
+  if (explanation.partial) {
+    w.Key("partial_reason");
+    w.String(explanation.partial_reason);
+  }
+  w.Key("ranked_considered");
+  w.Number(explanation.ranked_considered);
+  w.Key("total_enumerated");
+  w.Number(explanation.total_enumerated);
+
   w.Key("timings_ms");
   w.BeginObject();
   w.Key("preprocess");

@@ -159,7 +159,9 @@ PredicateEnumeratorOptions PredicateEnumeratorOptions::Defaults() {
 
 Result<std::vector<EnumeratedPredicate>> PredicateEnumerator::Enumerate(
     const FeatureView& view, const std::vector<RowId>& suspects,
-    const std::vector<CandidateDataset>& candidates) const {
+    const std::vector<CandidateDataset>& candidates,
+    const ExecContext& ctx) const {
+  DBW_FAULT(ctx, "enumerate/predicates");
   if (candidates.empty()) {
     return Status::InvalidArgument("no candidate datasets");
   }
@@ -169,13 +171,26 @@ Result<std::vector<EnumeratedPredicate>> PredicateEnumerator::Enumerate(
 
   std::vector<EnumeratedPredicate> out;
   std::unordered_set<std::string> seen;
+  // Budget gate: enumeration is serial, so stopping at the cap keeps
+  // the emitted list a deterministic prefix of the unbounded run.
+  bool budget_hit = false;
+  auto emit_allowed = [&]() -> bool {
+    if (ctx.budget == nullptr) return true;
+    if (!ctx.budget->ChargePredicates(1).ok()) {
+      budget_hit = true;
+      return false;
+    }
+    return true;
+  };
 
-  for (size_t ci = 0; ci < candidates.size(); ++ci) {
+  for (size_t ci = 0; ci < candidates.size() && !budget_hit; ++ci) {
+    DBW_RETURN_NOT_OK(ctx.CheckContinue());
     const CandidateDataset& cand = candidates[ci];
 
     if (options_.add_bounding_predicates) {
       auto bounding = BoundingDescription(view, cand.rows, options_);
       if (bounding && seen.insert(bounding->CanonicalString()).second) {
+        if (!emit_allowed()) break;
         EnumeratedPredicate ep;
         ep.predicate = std::move(*bounding);
         ep.candidate_index = ci;
@@ -198,6 +213,8 @@ Result<std::vector<EnumeratedPredicate>> PredicateEnumerator::Enumerate(
     if (num_pos == 0 || num_pos == suspects.size()) continue;
 
     for (const DecisionTreeOptions& strategy : options_.strategies) {
+      if (budget_hit) break;
+      DBW_RETURN_NOT_OK(ctx.CheckContinue());
       auto tree = DecisionTree::Fit(view, suspects, labels, /*weights=*/{},
                                     strategy);
       if (!tree.ok()) continue;
@@ -209,6 +226,7 @@ Result<std::vector<EnumeratedPredicate>> PredicateEnumerator::Enumerate(
                view, options_.min_precision, options_.min_positive_weight)) {
         const std::string key = p.CanonicalString();
         if (!seen.insert(key).second) continue;
+        if (!emit_allowed()) break;
         EnumeratedPredicate ep;
         ep.predicate = std::move(p);
         ep.candidate_index = ci;
@@ -218,6 +236,10 @@ Result<std::vector<EnumeratedPredicate>> PredicateEnumerator::Enumerate(
     }
   }
 
+  if (out.empty() && budget_hit) {
+    return Status::ResourceExhausted(
+        "candidate-predicate budget admits no predicates");
+  }
   if (out.empty()) {
     return Status::NotFound(
         "no tree produced a predicate separating any candidate dataset");

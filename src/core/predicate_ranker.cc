@@ -1,6 +1,7 @@
 #include "dbwipes/core/predicate_ranker.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <unordered_map>
 
@@ -74,6 +75,29 @@ std::vector<RankedPredicate> SortAndDedup(
   return deduped;
 }
 
+/// Why an anytime run wound down, as a human-readable reason. Explicit
+/// cancellation wins over the deadline, which wins over the budget, so
+/// a user-initiated stop is never misreported as a timeout.
+std::string StopReason(const ExecContext& ctx, bool budget_stopped) {
+  const Status why = ctx.CheckContinue();
+  if (!why.ok()) return why.ToString();
+  if (budget_stopped) return "Resource exhausted: scored-removal budget";
+  return "interrupted";
+}
+
+/// Fills the outcome for a run cut at `prefix` input predicates.
+RankOutcome MakeOutcome(std::vector<RankedPredicate> ranked, size_t prefix,
+                        size_t total, const ExecContext& ctx,
+                        bool budget_stopped) {
+  RankOutcome out;
+  out.predicates = std::move(ranked);
+  out.scored_prefix = prefix;
+  out.total_candidates = total;
+  out.partial = prefix < total;
+  if (out.partial) out.reason = StopReason(ctx, budget_stopped);
+  return out;
+}
+
 }  // namespace
 
 Result<std::vector<RankedPredicate>> PredicateRanker::Rank(
@@ -82,25 +106,44 @@ Result<std::vector<RankedPredicate>> PredicateRanker::Rank(
     size_t agg_index, const std::vector<RowId>& suspects,
     const std::vector<RowId>& reference_positive, double per_group_baseline,
     const std::vector<EnumeratedPredicate>& predicates) const {
-  if (predicates.empty()) {
-    return Status::InvalidArgument("no predicates to rank");
-  }
-  if (options_.engine == RankerOptions::Engine::kReferenceSerial) {
-    return RankReference(table, result, selected_groups, metric, agg_index,
-                         suspects, reference_positive, per_group_baseline,
-                         predicates);
-  }
-  return RankDelta(table, result, selected_groups, metric, agg_index,
-                   suspects, reference_positive, per_group_baseline,
-                   predicates);
+  DBW_ASSIGN_OR_RETURN(
+      RankOutcome outcome,
+      RankAnytime(table, result, selected_groups, metric, agg_index, suspects,
+                  reference_positive, per_group_baseline, predicates,
+                  ExecContext::None()));
+  // The null context never interrupts, so the outcome is complete.
+  return std::move(outcome.predicates);
 }
 
-Result<std::vector<RankedPredicate>> PredicateRanker::RankDelta(
+Result<RankOutcome> PredicateRanker::RankAnytime(
     const Table& table, const QueryResult& result,
     const std::vector<size_t>& selected_groups, const ErrorMetric& metric,
     size_t agg_index, const std::vector<RowId>& suspects,
     const std::vector<RowId>& reference_positive, double per_group_baseline,
-    const std::vector<EnumeratedPredicate>& predicates) const {
+    const std::vector<EnumeratedPredicate>& predicates,
+    const ExecContext& ctx) const {
+  if (predicates.empty()) {
+    return Status::InvalidArgument("no predicates to rank");
+  }
+  DBW_FAULT(ctx, "ranker/rank");
+  if (options_.engine == RankerOptions::Engine::kReferenceSerial) {
+    return RankReference(table, result, selected_groups, metric, agg_index,
+                         suspects, reference_positive, per_group_baseline,
+                         predicates, ctx);
+  }
+  return RankDelta(table, result, selected_groups, metric, agg_index,
+                   suspects, reference_positive, per_group_baseline,
+                   predicates, ctx);
+}
+
+Result<RankOutcome> PredicateRanker::RankDelta(
+    const Table& table, const QueryResult& result,
+    const std::vector<size_t>& selected_groups, const ErrorMetric& metric,
+    size_t agg_index, const std::vector<RowId>& suspects,
+    const std::vector<RowId>& reference_positive, double per_group_baseline,
+    const std::vector<EnumeratedPredicate>& predicates,
+    const ExecContext& ctx) const {
+  const size_t n = predicates.size();
   const bool have_reference = !reference_positive.empty();
   double w_error = options_.w_error;
   double w_acc = options_.w_accuracy;
@@ -112,10 +155,18 @@ Result<std::vector<RankedPredicate>> PredicateRanker::RankDelta(
   }
 
   // One lineage walk for the whole call; scoring below never touches
-  // the lineage or evaluates an expression again.
-  DBW_ASSIGN_OR_RETURN(RemovalScorer scorer,
-                       RemovalScorer::Create(table, result, selected_groups,
-                                             agg_index, suspects));
+  // the lineage or evaluates an expression again. An interrupt this
+  // early means nothing was scored: empty partial result.
+  Result<RemovalScorer> scorer_r = RemovalScorer::Create(
+      table, result, selected_groups, agg_index, suspects, ctx);
+  if (!scorer_r.ok()) {
+    if (scorer_r.status().IsInterrupt()) {
+      return MakeOutcome({}, 0, n, ctx, /*budget_stopped=*/
+                         scorer_r.status().IsResourceExhausted());
+    }
+    return scorer_r.status();
+  }
+  const RemovalScorer& scorer = scorer_r.ValueUnsafe();
 
   // The reference set as a positional bitmap over F: tp of a predicate
   // is then a popcount of the AND.
@@ -129,11 +180,11 @@ Result<std::vector<RankedPredicate>> PredicateRanker::RankDelta(
     }
   }
 
-  const size_t n = predicates.size();
   std::vector<RankedPredicate> scored(n);
   std::vector<Bitmap> matched(n);
   ParallelOptions popts;
   popts.num_threads = options_.num_threads;
+  popts.ctx = &ctx;
 
   // Vectorized matching: enumerators emit conjunctions that share
   // single-attribute clauses (threshold families, repeated categorical
@@ -142,57 +193,107 @@ Result<std::vector<RankedPredicate>> PredicateRanker::RankDelta(
   // an AND of cached words. MatchPrepared is const, so the scoring
   // loop below reads the cache concurrently without synchronization.
   MatchEngine engine(table, suspects);
-  if (options_.use_match_kernels) {
+  bool use_kernels = options_.use_match_kernels;
+  if (use_kernels) {
     std::vector<const Predicate*> preds;
     preds.reserve(n);
     for (const EnumeratedPredicate& ep : predicates) {
       preds.push_back(&ep.predicate);
     }
-    DBW_RETURN_NOT_OK(engine.Materialize(preds, popts));
+    Status materialized = engine.Materialize(preds, popts);
+    if (!materialized.ok()) {
+      if (materialized.IsResourceExhausted()) {
+        // Bitmap budget cannot hold the clause cache: degrade to boxed
+        // per-predicate matching, which allocates one bitmap at a time.
+        use_kernels = false;
+      } else if (materialized.IsInterrupt()) {
+        return MakeOutcome({}, 0, n, ctx, false);
+      } else {
+        return materialized;
+      }
+    }
   }
 
-  DBW_RETURN_NOT_OK(ParallelForStatus(
-      n,
-      [&](size_t i) -> Status {
-        const EnumeratedPredicate& ep = predicates[i];
-        Bitmap bm;
-        if (options_.use_match_kernels) {
-          DBW_ASSIGN_OR_RETURN(bm, engine.MatchPrepared(ep.predicate));
-        } else {
-          DBW_ASSIGN_OR_RETURN(BoundPredicate bound,
-                               ep.predicate.Bind(table));
-          bm = bound.MatchBitmap(suspects);
+  // Anytime scoring: predicates are processed in fixed-size blocks and
+  // a block marks itself done only after scoring every member. On an
+  // interrupt the run keeps the longest done-prefix of blocks — a cut
+  // that is prefix-consistent with the full run at any thread count.
+  const size_t num_blocks = (n + kScoreBlock - 1) / kScoreBlock;
+  std::vector<unsigned char> block_done(num_blocks, 0);
+  std::atomic<bool> budget_stop{false};
+
+  Status scan = ParallelForStatus(
+      num_blocks,
+      [&](size_t b) -> Status {
+        if (budget_stop.load(std::memory_order_acquire)) return Status::OK();
+        if (ctx.StopRequested()) return Status::OK();
+        DBW_FAULT(ctx, "ranker/score");
+        const size_t lo = b * kScoreBlock;
+        const size_t hi = std::min(n, lo + kScoreBlock);
+        if (ctx.budget != nullptr) {
+          Status charged = ctx.budget->ChargeScoredRemovals(hi - lo);
+          if (!charged.ok()) {
+            budget_stop.store(true, std::memory_order_release);
+            return Status::OK();  // wind down; block stays incomplete
+          }
         }
+        for (size_t i = lo; i < hi; ++i) {
+          // Per-predicate stop check: one steady-clock read against a
+          // full removal-set scoring — the block is abandoned (not
+          // marked done), bounding overrun to a single predicate.
+          if (ctx.StopRequested()) return Status::OK();
+          const EnumeratedPredicate& ep = predicates[i];
+          Bitmap bm;
+          if (use_kernels) {
+            DBW_ASSIGN_OR_RETURN(bm, engine.MatchPrepared(ep.predicate));
+          } else {
+            DBW_ASSIGN_OR_RETURN(BoundPredicate bound,
+                                 ep.predicate.Bind(table));
+            bm = bound.MatchBitmap(suspects);
+          }
 
-        RankedPredicate& rp = scored[i];
-        rp.predicate = ep.predicate;
-        rp.strategy = ep.strategy;
-        rp.matched_in_suspects = bm.CountOnes();
+          RankedPredicate& rp = scored[i];
+          rp.predicate = ep.predicate;
+          rp.strategy = ep.strategy;
+          rp.matched_in_suspects = bm.CountOnes();
 
-        const RemovalScorer::Errors errors = scorer.ErrorsAfter(metric, bm);
-        rp.error_after = errors.raw;
-        const size_t tp =
-            have_reference ? bm.CountAnd(reference_bitmap) : 0;
-        FinishScore(options_, have_reference, w_error, w_acc,
-                    per_group_baseline, errors.per_group, tp,
-                    reference_positive.size(), &rp);
-        matched[i] = std::move(bm);
+          const RemovalScorer::Errors errors = scorer.ErrorsAfter(metric, bm);
+          rp.error_after = errors.raw;
+          const size_t tp =
+              have_reference ? bm.CountAnd(reference_bitmap) : 0;
+          FinishScore(options_, have_reference, w_error, w_acc,
+                      per_group_baseline, errors.per_group, tp,
+                      reference_positive.size(), &rp);
+          matched[i] = std::move(bm);
+        }
+        block_done[b] = 1;
         return Status::OK();
       },
-      popts));
+      popts);
+  if (!scan.ok() && !scan.IsInterrupt()) return scan;
 
-  return SortAndDedup(
+  // The deterministic cut: contiguous completed blocks from the front.
+  size_t done_blocks = 0;
+  while (done_blocks < num_blocks && block_done[done_blocks]) ++done_blocks;
+  const size_t prefix = std::min(n, done_blocks * kScoreBlock);
+  scored.resize(prefix);
+  matched.resize(prefix);
+  std::vector<RankedPredicate> ranked = SortAndDedup(
       &scored, [&](size_t i) { return matched[i].Hash(); },
       [&](size_t a, size_t b) { return matched[a] == matched[b]; },
       options_.top_k);
+  return MakeOutcome(std::move(ranked), prefix, n, ctx,
+                     budget_stop.load(std::memory_order_acquire));
 }
 
-Result<std::vector<RankedPredicate>> PredicateRanker::RankReference(
+Result<RankOutcome> PredicateRanker::RankReference(
     const Table& table, const QueryResult& result,
     const std::vector<size_t>& selected_groups, const ErrorMetric& metric,
     size_t agg_index, const std::vector<RowId>& suspects,
     const std::vector<RowId>& reference_positive, double per_group_baseline,
-    const std::vector<EnumeratedPredicate>& predicates) const {
+    const std::vector<EnumeratedPredicate>& predicates,
+    const ExecContext& ctx) const {
+  const size_t n = predicates.size();
   const bool have_reference = !reference_positive.empty();
   double w_error = options_.w_error;
   double w_acc = options_.w_accuracy;
@@ -201,11 +302,27 @@ Result<std::vector<RankedPredicate>> PredicateRanker::RankReference(
     w_acc = 0.0;
   }
 
+  bool budget_stop = false;
   std::vector<RankedPredicate> scored;
   std::vector<std::vector<RowId>> matched_sets;
-  scored.reserve(predicates.size());
-  matched_sets.reserve(predicates.size());
+  scored.reserve(n);
+  matched_sets.reserve(n);
+  // Serial loop; the anytime cut is simply how far it got, rounded
+  // down to a whole block so both engines report identical prefixes.
   for (const EnumeratedPredicate& ep : predicates) {
+    if (ctx.StopRequested()) break;
+    if (scored.size() % kScoreBlock == 0) {
+      DBW_FAULT(ctx, "ranker/score");
+      if (ctx.budget != nullptr) {
+        const size_t block =
+            std::min(kScoreBlock, n - scored.size());
+        Status charged = ctx.budget->ChargeScoredRemovals(block);
+        if (!charged.ok()) {
+          budget_stop = true;
+          break;
+        }
+      }
+    }
     DBW_ASSIGN_OR_RETURN(BoundPredicate bound, ep.predicate.Bind(table));
 
     // Tuples of F the predicate matches = the tuples cleaning removes
@@ -244,6 +361,14 @@ Result<std::vector<RankedPredicate>> PredicateRanker::RankReference(
     matched_sets.push_back(std::move(matched));
   }
 
+  size_t prefix = scored.size();
+  if (prefix < n) {
+    prefix -= prefix % kScoreBlock;  // whole blocks only, like the
+                                     // parallel engine's cut
+    scored.resize(prefix);
+    matched_sets.resize(prefix);
+  }
+
   auto hash_of = [&](size_t i) {
     uint64_t hash = 0x9E3779B97F4A7C15ULL;
     for (RowId r : matched_sets[i]) {
@@ -252,10 +377,11 @@ Result<std::vector<RankedPredicate>> PredicateRanker::RankReference(
     }
     return hash;
   };
-  return SortAndDedup(
+  std::vector<RankedPredicate> ranked = SortAndDedup(
       &scored, hash_of,
       [&](size_t a, size_t b) { return matched_sets[a] == matched_sets[b]; },
       options_.top_k);
+  return MakeOutcome(std::move(ranked), prefix, n, ctx, budget_stop);
 }
 
 }  // namespace dbwipes

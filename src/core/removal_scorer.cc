@@ -7,7 +7,8 @@ namespace dbwipes {
 Result<RemovalScorer> RemovalScorer::Create(
     const Table& table, const QueryResult& result,
     const std::vector<size_t>& selected_groups, size_t agg_index,
-    const std::vector<RowId>& suspects) {
+    const std::vector<RowId>& suspects, const ExecContext& ctx) {
+  DBW_FAULT(ctx, "scorer/create");
   if (agg_index >= result.query.aggregates.size()) {
     return Status::OutOfRange("agg_index out of range");
   }
@@ -25,6 +26,7 @@ Result<RemovalScorer> RemovalScorer::Create(
   scorer.base_.reserve(selected_groups.size());
   scorer.base_values_.reserve(selected_groups.size());
   for (size_t gi = 0; gi < selected_groups.size(); ++gi) {
+    DBW_RETURN_NOT_OK(ctx.CheckContinue());
     const size_t g = selected_groups[gi];
     if (g >= result.num_groups()) {
       return Status::OutOfRange("selected group out of range");

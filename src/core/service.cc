@@ -125,9 +125,27 @@ std::string Service::Execute(const std::string& line) {
   }
 
   if (cmd == "debug") {
-    auto exp = session_.Debug();
-    if (!exp.ok()) return Error(exp.status());
-    return OkWith("explanation", ExplanationToJson(*exp, /*pretty=*/false));
+    return RunDebug();
+  }
+
+  if (cmd == "set_deadline") {
+    double ms = 0.0;
+    if (!(in >> ms)) return Error("usage: set_deadline <ms>");
+    deadline_ms_ = ms;
+    if (ms <= 0.0) {
+      return OkWith("deadline_ms", "null");
+    }
+    return OkWith("deadline_ms", FormatDouble(ms, 17));
+  }
+
+  if (cmd == "cancel") {
+    std::lock_guard<std::mutex> lock(cancel_mu_);
+    if (active_cancel_ != nullptr) {
+      active_cancel_->Cancel("cancelled by client");
+      return OkWith("cancelled", "\"in-flight\"");
+    }
+    pending_cancel_ = true;
+    return OkWith("cancelled", "\"pending\"");
   }
 
   if (cmd == "clean") {
@@ -182,6 +200,39 @@ std::string Service::Execute(const std::string& line) {
   }
 
   return Error("unknown command '" + cmd + "'");
+}
+
+std::string Service::RunDebug() {
+  auto source = std::make_shared<CancellationSource>();
+  {
+    std::lock_guard<std::mutex> lock(cancel_mu_);
+    if (pending_cancel_) {
+      pending_cancel_ = false;
+      source->Cancel("cancelled before start");
+    }
+    active_cancel_ = source;
+  }
+
+  ExecContext ctx;
+  ctx.token = source->token();
+  if (deadline_ms_ > 0.0) ctx.deadline = Deadline::After(deadline_ms_);
+  ctx.faults = faults_;
+  ctx.budget = budget_;
+  auto exp = session_.Debug(ctx);
+
+  {
+    std::lock_guard<std::mutex> lock(cancel_mu_);
+    if (active_cancel_ == source) active_cancel_.reset();
+  }
+
+  if (!exp.ok()) return Error(exp.status());
+  if (exp->partial) {
+    return "{\"ok\": true, \"partial\": true, \"reason\": \"" +
+           JsonEscape(exp->partial_reason) +
+           "\", \"explanation\": " +
+           ExplanationToJson(*exp, /*pretty=*/false) + "}";
+  }
+  return OkWith("explanation", ExplanationToJson(*exp, /*pretty=*/false));
 }
 
 }  // namespace dbwipes

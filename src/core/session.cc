@@ -179,7 +179,9 @@ Status Session::SetMetric(ErrorMetricPtr metric, size_t agg_index) {
   return Status::OK();
 }
 
-Result<Explanation> Session::Debug() {
+Result<Explanation> Session::Debug() { return Debug(ExecContext::None()); }
+
+Result<Explanation> Session::Debug(const ExecContext& ctx) {
   if (!result_) return Status::InvalidArgument("execute a query first");
   if (selected_groups_.empty()) {
     return Status::InvalidArgument("select suspicious results first");
@@ -191,7 +193,8 @@ Result<Explanation> Session::Debug() {
   request.suspicious_inputs = selected_inputs_;
   request.metric = metric_;
   request.agg_index = agg_index_;
-  DBW_ASSIGN_OR_RETURN(Explanation exp, engine_.Explain(*result_, request));
+  DBW_ASSIGN_OR_RETURN(Explanation exp,
+                       engine_.Explain(*result_, request, ctx));
   explanation_ = exp;
   return exp;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "dbwipes/common/exec_context.h"
 #include "dbwipes/common/logging.h"
 
 namespace dbwipes {
@@ -306,10 +307,30 @@ Status MatchEngine::Materialize(
     const std::vector<const Predicate*>& predicates,
     const ParallelOptions& options) {
   DBW_RETURN_NOT_OK(CheckFresh());
+  const ExecContext& ctx =
+      options.ctx != nullptr ? *options.ctx : ExecContext::None();
+  DBW_FAULT(ctx, "match/materialize");
+
+  // Entries added by this call live at the tail of entries_; on an
+  // interrupt or failure they are rolled back wholesale so the cache
+  // never holds a partially scanned (i.e. wrong) bitmap.
+  const size_t entries_base = entries_.size();
+  auto rollback = [&] {
+    for (auto it = index_.begin(); it != index_.end();) {
+      if (it->second >= entries_base) {
+        it = index_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    entries_.resize(entries_base);
+  };
+
   // Serial pass: canonicalize, dedupe, and compile the distinct new
   // clauses; the scans themselves are the parallel part.
   std::vector<size_t> fresh;            // entry slots awaiting a scan
   std::vector<CompiledClause> programs;  // index-aligned with `fresh`
+  const size_t bitmap_bytes = ((rows_.size() + 63) / 64) * sizeof(uint64_t);
   for (const Predicate* p : predicates) {
     for (const Clause& c : p->clauses()) {
       const std::string key = KeyOf(c);
@@ -322,6 +343,13 @@ Status MatchEngine::Materialize(
       ClauseEntry entry;
       Result<CompiledClause> compiled = CompileClause(c, *table_);
       if (compiled.ok()) {
+        if (ctx.budget != nullptr) {
+          Status charged = ctx.budget->ChargeBitmapBytes(bitmap_bytes);
+          if (!charged.ok()) {
+            rollback();
+            return charged;
+          }
+        }
         entry.supported = true;
         entry.bits = Bitmap(rows_.size());
         fresh.push_back(entries_.size());
@@ -331,7 +359,7 @@ Status MatchEngine::Materialize(
       entries_.push_back(std::move(entry));
     }
   }
-  if (fresh.empty()) return Status::OK();
+  if (fresh.empty()) return ctx.CheckContinue();
 
   // One flat work list of (clause, word-chunk) items; every item owns
   // whole words of one bitmap, so chunk boundaries (and therefore the
@@ -340,21 +368,31 @@ Status MatchEngine::Materialize(
   const size_t num_words = (rows_.size() + 63) / 64;
   const size_t chunks_per_clause =
       std::max<size_t>(1, (num_words + kWordsPerChunk - 1) / kWordsPerChunk);
-  ParallelForEach(
-      0, fresh.size() * chunks_per_clause,
-      [&](size_t item) {
-        const size_t j = item / chunks_per_clause;
-        const size_t k = item % chunks_per_clause;
-        const size_t word_begin = k * kWordsPerChunk;
-        const size_t word_end =
-            std::min(num_words, word_begin + kWordsPerChunk);
-        if (word_begin < word_end) {
-          MatchClauseWords(programs[j], rows_, word_begin, word_end,
-                           &entries_[fresh[j]].bits);
-        }
-      },
-      options);
-  return Status::OK();
+  try {
+    ParallelForEach(
+        0, fresh.size() * chunks_per_clause,
+        [&](size_t item) {
+          const size_t j = item / chunks_per_clause;
+          const size_t k = item % chunks_per_clause;
+          const size_t word_begin = k * kWordsPerChunk;
+          const size_t word_end =
+              std::min(num_words, word_begin + kWordsPerChunk);
+          if (word_begin < word_end) {
+            MatchClauseWords(programs[j], rows_, word_begin, word_end,
+                             &entries_[fresh[j]].bits);
+          }
+        },
+        options);
+  } catch (const std::exception& e) {
+    rollback();
+    return Status::RuntimeError(std::string("materialize scan failed: ") +
+                                e.what());
+  }
+  // A cooperative stop skips scan chunks, leaving fresh bitmaps
+  // incomplete; drop them so a later retry rescans from scratch.
+  Status cont = ctx.CheckContinue();
+  if (!cont.ok()) rollback();
+  return cont;
 }
 
 Result<Bitmap> MatchEngine::MatchPrepared(const Predicate& predicate) const {

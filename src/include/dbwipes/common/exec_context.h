@@ -1,0 +1,279 @@
+#ifndef DBWIPES_COMMON_EXEC_CONTEXT_H_
+#define DBWIPES_COMMON_EXEC_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dbwipes/common/status.h"
+
+namespace dbwipes {
+
+// ---------------------------------------------------------------------------
+// Cancellation
+// ---------------------------------------------------------------------------
+
+class CancellationSource;
+
+/// \brief Read side of a cooperative cancellation flag.
+///
+/// A default-constructed token is the null token: it can never become
+/// cancelled and costs one pointer compare per check. Tokens are cheap
+/// to copy (shared_ptr) and safe to read from any thread while the
+/// owning CancellationSource may cancel concurrently.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  bool IsCancelled() const {
+    return state_ != nullptr &&
+           state_->cancelled.load(std::memory_order_acquire);
+  }
+
+  /// The reason passed to Cancel(), or "" while not cancelled.
+  std::string reason() const;
+
+ private:
+  friend class CancellationSource;
+  struct State {
+    std::atomic<bool> cancelled{false};
+    mutable std::mutex mu;
+    std::string reason;  // written once, before `cancelled` is set
+  };
+  explicit CancellationToken(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+/// \brief Write side: owns the flag, hands out tokens, trips them.
+///
+/// Copyable (copies share the same flag) so a Service can keep a
+/// handle to the in-flight request's source while the request thread
+/// holds another.
+class CancellationSource {
+ public:
+  CancellationSource() : state_(std::make_shared<CancellationToken::State>()) {}
+
+  /// Idempotent; the first call's reason wins.
+  void Cancel(std::string reason = "cancelled");
+
+  bool cancelled() const {
+    return state_->cancelled.load(std::memory_order_acquire);
+  }
+
+  CancellationToken token() const { return CancellationToken(state_); }
+
+ private:
+  std::shared_ptr<CancellationToken::State> state_;
+};
+
+// ---------------------------------------------------------------------------
+// Deadline
+// ---------------------------------------------------------------------------
+
+/// \brief A steady-clock expiry point. Default-constructed = infinite
+/// (never expires, one branch per check). Composes with tokens via
+/// ExecContext::StopRequested().
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Infinite deadline.
+  Deadline() = default;
+
+  static Deadline After(double ms) {
+    Deadline d;
+    d.infinite_ = false;
+    d.at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double, std::milli>(ms));
+    return d;
+  }
+  static Deadline Infinite() { return Deadline(); }
+
+  bool infinite() const { return infinite_; }
+  bool expired() const { return !infinite_ && Clock::now() >= at_; }
+
+  /// Milliseconds until expiry (negative once past), +inf if infinite.
+  double remaining_ms() const {
+    if (infinite_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double, std::milli>(at_ - Clock::now())
+        .count();
+  }
+
+ private:
+  bool infinite_ = true;
+  Clock::time_point at_{};
+};
+
+// ---------------------------------------------------------------------------
+// Resource budget
+// ---------------------------------------------------------------------------
+
+/// \brief Caps on the explanation pipeline's dominant allocations.
+/// A limit of 0 means unlimited. Charging is atomic, so concurrent
+/// scoring threads may share one budget; the first charge that would
+/// cross a limit fails with kResourceExhausted (and latches the
+/// corresponding exhausted flag for pipeline-level reporting).
+class ResourceBudget {
+ public:
+  ResourceBudget() = default;
+  ResourceBudget(size_t max_candidate_predicates, size_t max_bitmap_bytes,
+                 size_t max_scored_removals)
+      : max_candidate_predicates(max_candidate_predicates),
+        max_bitmap_bytes(max_bitmap_bytes),
+        max_scored_removals(max_scored_removals) {}
+
+  // Non-copyable: shared by pointer from ExecContext.
+  ResourceBudget(const ResourceBudget&) = delete;
+  ResourceBudget& operator=(const ResourceBudget&) = delete;
+
+  /// Candidate predicates the enumerator may emit.
+  size_t max_candidate_predicates = 0;
+  /// Bytes of clause bitmaps the MatchEngine may cache.
+  size_t max_bitmap_bytes = 0;
+  /// Removal sets the ranker may score.
+  size_t max_scored_removals = 0;
+
+  Status ChargePredicates(size_t n) {
+    return Charge(&used_predicates_, n, max_candidate_predicates,
+                  &predicates_exhausted_, "candidate-predicate budget");
+  }
+  Status ChargeBitmapBytes(size_t n) {
+    return Charge(&used_bitmap_bytes_, n, max_bitmap_bytes,
+                  &bitmap_exhausted_, "bitmap-byte budget");
+  }
+  Status ChargeScoredRemovals(size_t n) {
+    return Charge(&used_scored_removals_, n, max_scored_removals,
+                  &removals_exhausted_, "scored-removal budget");
+  }
+
+  size_t used_predicates() const { return used_predicates_.load(); }
+  size_t used_bitmap_bytes() const { return used_bitmap_bytes_.load(); }
+  size_t used_scored_removals() const { return used_scored_removals_.load(); }
+
+  bool predicates_exhausted() const { return predicates_exhausted_.load(); }
+  bool bitmap_exhausted() const { return bitmap_exhausted_.load(); }
+  bool removals_exhausted() const { return removals_exhausted_.load(); }
+  bool any_exhausted() const {
+    return predicates_exhausted() || bitmap_exhausted() ||
+           removals_exhausted();
+  }
+
+ private:
+  static Status Charge(std::atomic<size_t>* used, size_t n, size_t limit,
+                       std::atomic<bool>* exhausted, const char* what);
+
+  std::atomic<size_t> used_predicates_{0};
+  std::atomic<size_t> used_bitmap_bytes_{0};
+  std::atomic<size_t> used_scored_removals_{0};
+  std::atomic<bool> predicates_exhausted_{false};
+  std::atomic<bool> bitmap_exhausted_{false};
+  std::atomic<bool> removals_exhausted_{false};
+};
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+/// \brief Test-armable failure registry behind the DBW_FAULT sites.
+///
+/// Production code never allocates one: ExecContext::faults stays
+/// nullptr and a fault site is a single pointer compare. Tests arm a
+/// site by name to return an error Status, inject latency, or trip a
+/// CancellationSource; each armed fault fires `count` times (default:
+/// every hit). Thread-safe.
+class FaultInjector {
+ public:
+  struct Fault {
+    /// Returned from the site when non-OK (kError behavior).
+    Status status = Status::OK();
+    /// Sleep this long at the site before continuing (latency fault).
+    double latency_ms = 0.0;
+    /// Trip this source at the site (cancellation fault).
+    std::shared_ptr<CancellationSource> trip;
+    /// Hits before the fault disarms itself; 0 = fire forever.
+    size_t count = 0;
+  };
+
+  /// Arms (or re-arms) `site`.
+  void Arm(const std::string& site, Fault fault);
+  /// Shorthand: arm `site` to return `status` on every hit.
+  void ArmError(const std::string& site, Status status);
+  void Disarm(const std::string& site);
+  void DisarmAll();
+
+  /// Times `site` was hit while armed.
+  size_t hits(const std::string& site) const;
+
+  /// Called by DBW_FAULT when an injector is installed. Applies the
+  /// armed behavior for `site` (latency, then trip, then status);
+  /// unarmed sites return OK.
+  Status Hit(const std::string& site);
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Fault> armed_;
+  std::unordered_map<std::string, size_t> hits_;
+};
+
+/// The canonical list of fault-site names compiled into the pipeline.
+/// Naming convention: "<stage>/<step>" with stages matching the source
+/// layout (scorer, match, ranker, enumerate, pipeline). Tests iterate
+/// this list to prove every site degrades cleanly; keep it in sync
+/// when adding a DBW_FAULT.
+const std::vector<std::string>& AllFaultSites();
+
+// ---------------------------------------------------------------------------
+// ExecContext
+// ---------------------------------------------------------------------------
+
+/// \brief Everything a pipeline stage needs to stop early: the
+/// cancellation token, the deadline, the resource budget, and the
+/// fault registry. Default-constructed = run to completion (all checks
+/// reduce to a couple of branches). Passed by const reference down the
+/// query -> enumerate -> match -> score -> rank pipeline; cheap to
+/// copy.
+class ExecContext {
+ public:
+  ExecContext() = default;
+
+  CancellationToken token;
+  Deadline deadline;
+  ResourceBudget* budget = nullptr;  // not owned; may be null
+  FaultInjector* faults = nullptr;   // not owned; null in production
+
+  /// True once the work should wind down (cancelled or past deadline).
+  bool StopRequested() const {
+    return token.IsCancelled() || deadline.expired();
+  }
+
+  /// OK while the work may continue; otherwise the interrupt Status
+  /// that explains why (kCancelled before kDeadlineExceeded when both
+  /// hold, so an explicit cancel is never misreported as a timeout).
+  Status CheckContinue() const;
+
+  /// Shared run-to-completion context for default arguments.
+  static const ExecContext& None();
+};
+
+}  // namespace dbwipes
+
+/// Named fault site: no-op (one pointer compare) unless a test has
+/// installed a FaultInjector on the context. Must appear in
+/// AllFaultSites(). Usable in functions returning Status or Result<T>.
+#define DBW_FAULT(ctx, site)                          \
+  do {                                                \
+    if ((ctx).faults != nullptr) {                    \
+      ::dbwipes::Status _fault_st = (ctx).faults->Hit(site); \
+      if (!_fault_st.ok()) return _fault_st;          \
+    }                                                 \
+  } while (false)
+
+#endif  // DBWIPES_COMMON_EXEC_CONTEXT_H_

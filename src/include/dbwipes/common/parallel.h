@@ -3,12 +3,17 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "dbwipes/common/status.h"
+
+namespace dbwipes {
+class ExecContext;
+}
 
 namespace dbwipes {
 
@@ -45,6 +50,12 @@ class ThreadPool {
   /// returns when all chunks finished. fn must be safe to call
   /// concurrently from multiple threads; determinism is the caller's
   /// job (write only to chunk-owned output slots).
+  ///
+  /// Task failure has a defined path: if a chunk throws, the exception
+  /// with the lowest chunk index is captured, chunks not yet claimed
+  /// are skipped (in-flight chunks finish), and the exception is
+  /// rethrown on the calling thread after the region drains — a worker
+  /// never terminates the process. The pool stays usable afterwards.
   void Run(size_t num_chunks, const std::function<void(size_t)>& fn);
 
  private:
@@ -60,6 +71,9 @@ class ThreadPool {
   size_t num_chunks_ = 0;
   size_t next_chunk_ = 0;
   size_t chunks_done_ = 0;
+  /// First (lowest-chunk-index) exception thrown by the current task.
+  std::exception_ptr task_error_;
+  size_t task_error_chunk_ = 0;
   bool shutdown_ = false;
   std::vector<std::thread> threads_;
 };
@@ -72,6 +86,14 @@ struct ParallelOptions {
   /// Below this many items the loop runs serially: spawning chunks for
   /// tiny loops costs more than it saves.
   size_t min_items_for_threading = 64;
+  /// Cooperative-stop context (not owned; may be null). When set,
+  /// every chunk checks StopRequested() before running: once the token
+  /// trips or the deadline expires, remaining chunks are skipped, so a
+  /// parallel region winds down within one chunk's latency. Which
+  /// chunks ran is then timing-dependent — anytime callers that need a
+  /// deterministic cut must track per-chunk completion themselves (the
+  /// ranker does).
+  const ExecContext* ctx = nullptr;
 };
 
 /// Runs fn(begin, end) over disjoint subranges covering [begin, end).
@@ -91,7 +113,10 @@ void ParallelForEach(size_t begin, size_t end,
 /// Status-aware variant: runs fn(i) for every i in [0, n); if any call
 /// fails, the failure of the *lowest* index is returned (deterministic
 /// regardless of which thread observed it first). Indices after a
-/// failing one may or may not have run.
+/// failing one may or may not have run. A chunk that throws is
+/// surfaced as StatusCode::kRuntimeError instead of propagating the
+/// exception; options.ctx interruption is reported via its
+/// CheckContinue() status.
 Status ParallelForStatus(size_t n, const std::function<Status(size_t)>& fn,
                          const ParallelOptions& options = {});
 

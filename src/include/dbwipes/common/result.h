@@ -16,7 +16,7 @@ namespace dbwipes {
 /// non-OK Status. Access with ValueOrDie() in tests/examples (aborts on
 /// error) or via DBW_ASSIGN_OR_RETURN in library code.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Wraps a successfully produced value.
   Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -19,6 +19,12 @@ enum class StatusCode {
   kTypeError,
   kNotImplemented,
   kRuntimeError,
+  // Interrupt codes (see IsInterrupt): the operation stopped early on
+  // purpose — by a CancellationToken, an expired Deadline, or an
+  // exhausted ResourceBudget — rather than failing.
+  kCancelled,
+  kDeadlineExceeded,
+  kResourceExhausted,
 };
 
 /// \brief Returns a human-readable name for a StatusCode ("OK",
@@ -29,9 +35,10 @@ const char* StatusCodeToString(StatusCode code);
 ///
 /// Functions that can fail return Status (or Result<T> when they also
 /// produce a value). The OK state carries no allocation. Statuses are
-/// cheap to copy and move; an ignored failure is a programming error
-/// caught by tests, not by the type system.
-class Status {
+/// cheap to copy and move; [[nodiscard]] makes the compiler reject a
+/// call site that drops a failure on the floor (use IgnoreError() for
+/// the rare deliberate discard).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -71,6 +78,15 @@ class Status {
   static Status RuntimeError(std::string msg) {
     return Status(StatusCode::kRuntimeError, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -84,6 +100,26 @@ class Status {
   bool IsIoError() const { return code_ == StatusCode::kIoError; }
   bool IsParseError() const { return code_ == StatusCode::kParseError; }
   bool IsTypeError() const { return code_ == StatusCode::kTypeError; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+
+  /// True for the interrupt family: cancellation, deadline expiry, or
+  /// budget exhaustion. The anytime pipeline turns these into partial
+  /// results instead of errors.
+  bool IsInterrupt() const {
+    return code_ == StatusCode::kCancelled ||
+           code_ == StatusCode::kDeadlineExceeded ||
+           code_ == StatusCode::kResourceExhausted;
+  }
+
+  /// Explicitly discards a possibly-failed Status (satisfies
+  /// [[nodiscard]] at call sites where failure is genuinely benign).
+  void IgnoreError() const {}
 
   /// Returns "OK" or "<code name>: <message>".
   std::string ToString() const;

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "dbwipes/common/exec_context.h"
 #include "dbwipes/common/random.h"
 #include "dbwipes/core/preprocessor.h"
 #include "dbwipes/learn/feature.h"
@@ -57,21 +58,27 @@ class DatasetEnumerator {
   /// holds the user's example suspicious inputs (base-table RowIds,
   /// may be empty — then influence alone drives the search);
   /// `preprocess` supplies F, the influence ranking, and the baseline
-  /// error; `metric`/`agg_index` evaluate candidates.
+  /// error; `metric`/`agg_index` evaluate candidates. `ctx` is checked
+  /// between candidates, so an expired deadline or tripped token stops
+  /// the enumeration with an interrupt Status (fault site
+  /// "enumerate/datasets").
   Result<std::vector<CandidateDataset>> Enumerate(
       const Table& table, const QueryResult& result,
       const std::vector<size_t>& selected_groups,
       const PreprocessResult& preprocess, const std::vector<RowId>& dprime,
       const FeatureView& view, const ErrorMetric& metric,
-      size_t agg_index = 0) const;
+      size_t agg_index = 0,
+      const ExecContext& ctx = ExecContext::None()) const;
 
   /// The D'-cleaning step alone (exposed for tests and ablations):
-  /// returns the subset of `dprime` judged self-consistent.
+  /// returns the subset of `dprime` judged self-consistent. Fault
+  /// site "enumerate/clean".
   Result<std::vector<RowId>> CleanDPrime(
       const Table& table, const std::vector<RowId>& dprime,
       const std::vector<RowId>& suspect_inputs,
       const std::vector<TupleInfluence>& influences,
-      const FeatureView& view) const;
+      const FeatureView& view,
+      const ExecContext& ctx = ExecContext::None()) const;
 
  private:
   DatasetEnumeratorOptions options_;

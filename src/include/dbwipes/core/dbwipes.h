@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "dbwipes/common/exec_context.h"
 #include "dbwipes/core/dataset_enumerator.h"
 #include "dbwipes/core/merger.h"
 #include "dbwipes/core/predicate_enumerator.h"
@@ -47,6 +48,18 @@ struct ExplainOptions {
 struct Explanation {
   /// Ranked predicates, best first (Figure 6's list).
   std::vector<RankedPredicate> predicates;
+  /// Anytime outcome: true when the run was wound down early by a
+  /// deadline, cancellation, or resource budget. The predicates are
+  /// then the best ranking over a deterministic prefix of the
+  /// candidate list (possibly empty when the stop landed before the
+  /// ranking stage) — degraded, never wrong.
+  bool partial = false;
+  /// Why the run stopped early ("" when complete).
+  std::string partial_reason;
+  /// Candidate predicates the ranker considered / was given. Equal
+  /// when the ranking stage ran to completion.
+  size_t ranked_considered = 0;
+  size_t total_enumerated = 0;
   /// Stage artifacts for inspection/ablation.
   PreprocessResult preprocess;
   std::vector<CandidateDataset> candidates;
@@ -79,8 +92,15 @@ class DBWipes {
 
   /// Runs the four backend stages (Preprocessor, Dataset Enumerator,
   /// Predicate Enumerator, Predicate Ranker) on a query result.
-  Result<Explanation> Explain(const QueryResult& result,
-                              const ExplanationRequest& request) const;
+  ///
+  /// `ctx` makes the run anytime: on cancellation, deadline expiry, or
+  /// budget exhaustion the pipeline stops cooperatively and returns a
+  /// *partial* Explanation (partial=true + reason) holding whatever
+  /// completed deterministically, instead of an error. Real failures
+  /// (bad requests, injected faults) still surface as error Status.
+  Result<Explanation> Explain(
+      const QueryResult& result, const ExplanationRequest& request,
+      const ExecContext& ctx = ExecContext::None()) const;
 
   /// The cleaning interaction: re-executes `result.query` with
   /// `AND NOT predicate` appended to its filter.

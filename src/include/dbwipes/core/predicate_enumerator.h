@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "dbwipes/common/exec_context.h"
 #include "dbwipes/core/dataset_enumerator.h"
 #include "dbwipes/learn/decision_tree.h"
 
@@ -63,10 +64,15 @@ class PredicateEnumerator {
       : options_(std::move(options)) {}
 
   /// `suspects` is F; `candidates` the Dataset Enumerator's output.
-  /// Returned predicates are deduplicated semantically.
+  /// Returned predicates are deduplicated semantically. `ctx` is
+  /// checked between tree fits (fault site "enumerate/predicates");
+  /// when ctx.budget caps candidate predicates, enumeration stops at
+  /// the cap and returns the (deterministic) prefix emitted so far,
+  /// latching the budget's exhausted flag for upstream reporting.
   Result<std::vector<EnumeratedPredicate>> Enumerate(
       const FeatureView& view, const std::vector<RowId>& suspects,
-      const std::vector<CandidateDataset>& candidates) const;
+      const std::vector<CandidateDataset>& candidates,
+      const ExecContext& ctx = ExecContext::None()) const;
 
  private:
   PredicateEnumeratorOptions options_;

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "dbwipes/common/exec_context.h"
 #include "dbwipes/core/predicate_enumerator.h"
 #include "dbwipes/core/removal.h"
 
@@ -68,6 +69,27 @@ struct RankerOptions {
   bool use_match_kernels = true;
 };
 
+/// \brief Result of an anytime ranking run.
+///
+/// A complete run has partial == false and scored_prefix ==
+/// total_candidates. When the ExecContext interrupts the run
+/// (cancellation, deadline, or budget), the ranker returns the best
+/// ranking over a *deterministic* cut: the longest prefix of the input
+/// predicate list whose fixed-size scoring blocks all completed.
+/// Because the cut is a prefix of enumeration order, the partial
+/// ranking equals a full run restricted to predicates[0,
+/// scored_prefix) at any thread count — degraded, never wrong.
+struct RankOutcome {
+  std::vector<RankedPredicate> predicates;
+  bool partial = false;
+  /// Why the run stopped early ("" when complete), e.g. "Cancelled:
+  /// user hit stop" or "Deadline exceeded: deadline expired".
+  std::string reason;
+  /// Input predicates the ranking considered (prefix length).
+  size_t scored_prefix = 0;
+  size_t total_candidates = 0;
+};
+
 /// \brief Final backend stage: score each enumerated predicate by
 /// error-metric improvement, accuracy at matching the user's examples,
 /// and description complexity (paper §2.1, sub-problem 3).
@@ -95,22 +117,44 @@ class PredicateRanker {
       double per_group_baseline,
       const std::vector<EnumeratedPredicate>& predicates) const;
 
- private:
-  Result<std::vector<RankedPredicate>> RankDelta(
+  /// Anytime entry point: like Rank, but wound down cooperatively by
+  /// `ctx` (token/deadline checked per predicate, budget charged per
+  /// scoring block). Interrupts yield a partial RankOutcome instead of
+  /// an error; real failures (bad predicates, injected faults) are
+  /// still returned as error Status. Fault sites: "ranker/rank" at
+  /// entry, "ranker/score" per scoring block.
+  Result<RankOutcome> RankAnytime(
       const Table& table, const QueryResult& result,
       const std::vector<size_t>& selected_groups, const ErrorMetric& metric,
       size_t agg_index, const std::vector<RowId>& suspects,
       const std::vector<RowId>& reference_positive,
       double per_group_baseline,
-      const std::vector<EnumeratedPredicate>& predicates) const;
+      const std::vector<EnumeratedPredicate>& predicates,
+      const ExecContext& ctx) const;
 
-  Result<std::vector<RankedPredicate>> RankReference(
+  /// Predicates per scoring block — the anytime cut's granularity.
+  /// Fixed (never derived from the thread count) so partial prefixes
+  /// are comparable across machines.
+  static constexpr size_t kScoreBlock = 32;
+
+ private:
+  Result<RankOutcome> RankDelta(
       const Table& table, const QueryResult& result,
       const std::vector<size_t>& selected_groups, const ErrorMetric& metric,
       size_t agg_index, const std::vector<RowId>& suspects,
       const std::vector<RowId>& reference_positive,
       double per_group_baseline,
-      const std::vector<EnumeratedPredicate>& predicates) const;
+      const std::vector<EnumeratedPredicate>& predicates,
+      const ExecContext& ctx) const;
+
+  Result<RankOutcome> RankReference(
+      const Table& table, const QueryResult& result,
+      const std::vector<size_t>& selected_groups, const ErrorMetric& metric,
+      size_t agg_index, const std::vector<RowId>& suspects,
+      const std::vector<RowId>& reference_positive,
+      double per_group_baseline,
+      const std::vector<EnumeratedPredicate>& predicates,
+      const ExecContext& ctx) const;
 
   RankerOptions options_;
 };

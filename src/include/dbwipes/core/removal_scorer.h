@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "dbwipes/common/bitmap.h"
+#include "dbwipes/common/exec_context.h"
 #include "dbwipes/core/error_metric.h"
 #include "dbwipes/query/aggregate.h"
 #include "dbwipes/query/executor.h"
@@ -43,11 +44,14 @@ class RemovalScorer {
   /// caches the per-suspect contributions. `suspects` must be the
   /// sorted union of the selected groups' lineage (F); tuples outside
   /// it cannot affect the selected groups and are ignored by the
-  /// row-based scoring entry points.
+  /// row-based scoring entry points. `ctx` lets the lineage walk stop
+  /// cooperatively (checked per selected group); fault site
+  /// "scorer/create".
   static Result<RemovalScorer> Create(
       const Table& table, const QueryResult& result,
       const std::vector<size_t>& selected_groups, size_t agg_index,
-      const std::vector<RowId>& suspects);
+      const std::vector<RowId>& suspects,
+      const ExecContext& ctx = ExecContext::None());
 
   size_t num_suspects() const { return entries_.size(); }
   size_t num_groups() const { return base_.size(); }

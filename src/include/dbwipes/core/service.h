@@ -2,6 +2,7 @@
 #define DBWIPES_CORE_SERVICE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "dbwipes/core/session.h"
@@ -29,6 +30,11 @@ namespace dbwipes {
 ///                                total_below}
 ///   debug                        run the backend, return ranked
 ///                                predicates (JSON)
+///   set_deadline <ms>            cap each debug run's wall clock;
+///                                0 or negative clears the deadline
+///   cancel                       cancel the in-flight debug (from
+///                                another thread), or arm a pending
+///                                cancel for the next one
 ///   clean <i>                    apply ranked predicate i
 ///   clean_where <predicate>      apply an explicit predicate
 ///   undo                         remove the last cleaning predicate
@@ -36,7 +42,12 @@ namespace dbwipes {
 ///   state                        session status summary
 ///
 /// Every response is a JSON object: {"ok": true, ...} on success or
-/// {"ok": false, "error": "..."} on failure — errors never throw.
+/// {"ok": false, "error": "..."} on failure — errors never throw. A
+/// debug run wound down early by a deadline, cancel, or budget
+/// responds {"ok": true, "partial": true, "reason": "...", ...}.
+///
+/// Threading: commands are serial except `cancel`, which may be issued
+/// from another thread to interrupt an in-flight `debug`.
 class Service {
  public:
   explicit Service(std::shared_ptr<Database> db, ExplainOptions options = {})
@@ -48,8 +59,24 @@ class Service {
   /// The wrapped session (for tests and embedding).
   Session& session() { return session_; }
 
+  /// Debug runs hit these (not owned; may be null). Test seams for the
+  /// fault matrix and budget-exhaustion paths.
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+  void set_budget(ResourceBudget* budget) { budget_ = budget; }
+
  private:
+  std::string RunDebug();
+
   Session session_;
+  /// Per-debug wall-clock cap in ms; <= 0 means none.
+  double deadline_ms_ = 0.0;
+  FaultInjector* faults_ = nullptr;
+  ResourceBudget* budget_ = nullptr;
+  /// Guards the in-flight debug's cancellation source and the
+  /// armed-for-next-run flag (the one cross-thread seam).
+  std::mutex cancel_mu_;
+  std::shared_ptr<CancellationSource> active_cancel_;
+  bool pending_cancel_ = false;
 };
 
 }  // namespace dbwipes

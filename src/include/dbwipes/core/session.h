@@ -82,8 +82,11 @@ class Session {
   // --- Step 6: debug ---
 
   /// Runs the ranked-provenance backend. Requires a result, a
-  /// non-empty S, and a metric.
+  /// non-empty S, and a metric. The `ctx` overload makes the run
+  /// anytime: under a deadline/cancellation/budget the explanation
+  /// comes back flagged partial instead of blocking or erroring.
   Result<Explanation> Debug();
+  Result<Explanation> Debug(const ExecContext& ctx);
 
   bool has_explanation() const { return explanation_.has_value(); }
   const Explanation& explanation() const;

@@ -6,10 +6,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 
 #include "dbwipes/common/bitmap.h"
+#include "dbwipes/common/exec_context.h"
 #include "dbwipes/common/parallel.h"
 
 namespace dbwipes {
@@ -111,6 +115,132 @@ TEST(ParallelForStatusTest, AllOkReturnsOk) {
 
 TEST(DefaultParallelismTest, AtLeastOne) {
   EXPECT_GE(DefaultParallelism(), 1u);
+}
+
+// ---------- task failure ----------
+
+TEST(ThreadPoolFailureTest, ThrowingChunkRethrowsOnCallerAndSkipsRest) {
+  ThreadPool pool(4);
+  std::atomic<size_t> executed{0};
+  const size_t num_chunks = 1000;
+  try {
+    pool.Run(num_chunks, [&](size_t chunk) {
+      if (chunk == 0) throw std::runtime_error("chunk 0 exploded");
+      executed.fetch_add(1);
+      // Slow the survivors so unclaimed chunks still exist when the
+      // failure lands; sleeping (not spinning) yields the core so the
+      // chunk-0 thread gets scheduled promptly even on one CPU.
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    });
+    FAIL() << "Run swallowed the task exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk 0 exploded");
+  }
+  // The failure cancelled unclaimed chunks: nowhere near all of them
+  // ran (in-flight ones were allowed to finish).
+  EXPECT_LT(executed.load(), num_chunks - 1);
+}
+
+TEST(ThreadPoolFailureTest, LowestChunkExceptionWins) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 10; ++round) {
+    try {
+      pool.Run(100, [](size_t chunk) {
+        if (chunk == 7 || chunk == 50) {
+          throw std::runtime_error("chunk " + std::to_string(chunk));
+        }
+      });
+      FAIL() << "no exception";
+    } catch (const std::runtime_error& e) {
+      // 50 may be skipped once 7 fails, but never the other way round:
+      // the surfaced error is the lowest-index one that actually threw.
+      EXPECT_STREQ(e.what(), "chunk 7");
+    }
+  }
+}
+
+TEST(ThreadPoolFailureTest, PoolStaysUsableAfterFailure) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 5; ++round) {
+    EXPECT_THROW(
+        pool.Run(64, [](size_t chunk) {
+          if (chunk % 2 == 0) throw std::runtime_error("boom");
+        }),
+        std::runtime_error);
+    std::atomic<size_t> sum{0};
+    pool.Run(100, [&](size_t chunk) { sum.fetch_add(chunk); });
+    EXPECT_EQ(sum.load(), 4950u);
+  }
+}
+
+TEST(ParallelForStatusTest, ThrowingBodySurfacesAsRuntimeError) {
+  ParallelOptions opts;
+  opts.min_items_for_threading = 1;
+  Status st = ParallelForStatus(
+      500,
+      [](size_t i) -> Status {
+        if (i == 250) throw std::runtime_error("scoring blew up");
+        return Status::OK();
+      },
+      opts);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kRuntimeError);
+  EXPECT_NE(st.ToString().find("scoring blew up"), std::string::npos)
+      << st.ToString();
+}
+
+// ---------- cooperative stop ----------
+
+TEST(ParallelForTest, CancelledContextSkipsRemainingChunks) {
+  CancellationSource source;
+  ExecContext ctx;
+  ctx.token = source.token();
+  ParallelOptions opts;
+  opts.min_items_for_threading = 1;
+  opts.ctx = &ctx;
+  std::atomic<size_t> ran{0};
+  ParallelForEach(
+      0, 2000,
+      [&](size_t i) {
+        if (i == 0) source.Cancel("stop");
+        ran.fetch_add(1);
+        // Outlast the cancel's propagation so chunks that start after
+        // it reliably observe the trip (in-flight chunks finish).
+        std::this_thread::sleep_for(std::chrono::microseconds(20));
+      },
+      opts);
+  // Wound down within a chunk or two of the cancel, instead of
+  // visiting all 2000 items.
+  EXPECT_LT(ran.load(), 2000u);
+}
+
+TEST(ParallelForTest, PreCancelledContextRunsNothing) {
+  CancellationSource source;
+  source.Cancel("already dead");
+  ExecContext ctx;
+  ctx.token = source.token();
+  ParallelOptions opts;
+  opts.min_items_for_threading = 1;
+  opts.ctx = &ctx;
+  ParallelForEach(0, 100, [](size_t) { FAIL() << "chunk ran"; }, opts);
+}
+
+TEST(ParallelForStatusTest, ReportsContextInterrupt) {
+  CancellationSource source;
+  ExecContext ctx;
+  ctx.token = source.token();
+  ParallelOptions opts;
+  opts.min_items_for_threading = 1;
+  opts.ctx = &ctx;
+  Status st = ParallelForStatus(
+      10000,
+      [&](size_t) {
+        source.Cancel("mid-run");
+        return Status::OK();
+      },
+      opts);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsCancelled()) << st.ToString();
 }
 
 TEST(BitmapTest, SetTestCount) {

@@ -1,0 +1,245 @@
+// Adversarial-input tests for Service::Execute: malformed commands,
+// truncated arguments, non-numeric indices, unterminated quotes,
+// multi-megabyte lines, and out-of-order interaction commands must all
+// come back as well-formed JSON — never a crash, never garbage output.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dbwipes/common/random.h"
+#include "dbwipes/core/service.h"
+
+namespace dbwipes {
+namespace {
+
+std::shared_ptr<Database> MakeDb() {
+  Rng rng(41);
+  auto t = std::make_shared<Table>(Schema{{"g", DataType::kInt64},
+                                          {"tag", DataType::kString},
+                                          {"v", DataType::kDouble}},
+                                   "w");
+  for (int g = 0; g < 4; ++g) {
+    for (int i = 0; i < 40; ++i) {
+      const bool bad = g >= 2 && i < 8;
+      DBW_CHECK_OK(t->AppendRow({Value(static_cast<int64_t>(g)),
+                                 Value(bad ? "bad" : "fine"),
+                                 Value(bad ? rng.Normal(100, 2)
+                                           : rng.Normal(10, 2))}));
+    }
+  }
+  auto db = std::make_shared<Database>();
+  db->RegisterTable(t);
+  return db;
+}
+
+/// Minimal JSON validity check: one object, every string terminated,
+/// braces/brackets balanced outside strings, nothing trailing.
+bool IsWellFormedJsonObject(const std::string& s) {
+  size_t i = 0;
+  const size_t n = s.size();
+  if (n == 0 || s[0] != '{') return false;
+  std::vector<char> stack;
+  bool in_string = false;
+  for (; i < n; ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\') {
+        if (i + 1 >= n) return false;
+        ++i;  // skip the escaped character
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      stack.push_back(c);
+    } else if (c == '}' || c == ']') {
+      if (stack.empty()) return false;
+      const char open = stack.back();
+      stack.pop_back();
+      if ((c == '}') != (open == '{')) return false;
+      if (stack.empty()) break;  // top-level object closed
+    }
+  }
+  if (in_string || !stack.empty() || i >= n) return false;
+  // Nothing but the one object on the line.
+  return s.find_first_not_of(" \t\r\n", i + 1) == std::string::npos;
+}
+
+void ExpectCleanFailure(Service& service, const std::string& line) {
+  const std::string out = service.Execute(line);
+  EXPECT_TRUE(IsWellFormedJsonObject(out))
+      << "malformed response to <" << line.substr(0, 60) << ">: " << out;
+  EXPECT_NE(out.find("\"ok\": false"), std::string::npos)
+      << "<" << line.substr(0, 60) << "> did not fail: " << out;
+  EXPECT_NE(out.find("\"error\""), std::string::npos) << out;
+}
+
+TEST(ServiceRobustnessTest, MalformedAndTruncatedCommands) {
+  Service service(MakeDb());
+  for (const char* bad : {
+           "",
+           "   ",
+           "\t\t",
+           "bogus",
+           "debugg",
+           "sql",
+           "sql    ",
+           "sql SELECT",
+           "sql SELECT FROM nothing",
+           "select_range",
+           "select_range a",
+           "select_range a 1",
+           "select_groups",
+           "inputs_where",
+           "metric",
+           "metric too_high",
+           "metric nope 1",
+           "clean",
+           "clean_where",
+           "set_deadline",
+           "set_deadline soon",
+       }) {
+    ExpectCleanFailure(service, bad);
+  }
+}
+
+TEST(ServiceRobustnessTest, NonNumericArguments) {
+  Service service(MakeDb());
+  ASSERT_NE(service.Execute("sql SELECT g, avg(v) AS a FROM w GROUP BY g")
+                .find("\"ok\": true"),
+            std::string::npos);
+  for (const char* bad : {
+           "select_range a lo hi",
+           "select_range a 1 hi",
+           "select_groups x y",
+           "select_groups -1",
+           "select_groups e99x",
+           "metric too_high twelve",
+           "clean zero",
+           "clean -3",
+           "clean 999999999999999999999999",
+       }) {
+    ExpectCleanFailure(service, bad);
+  }
+}
+
+TEST(ServiceRobustnessTest, UnterminatedQuotesAndParserGarbage) {
+  Service service(MakeDb());
+  ASSERT_NE(service.Execute("sql SELECT g, avg(v) AS a FROM w GROUP BY g")
+                .find("\"ok\": true"),
+            std::string::npos);
+  ASSERT_NE(service.Execute("select_groups 2 3").find("\"ok\": true"),
+            std::string::npos);
+  for (const char* bad : {
+           "sql SELECT g, avg(v) AS a FROM w WHERE tag = 'oops GROUP BY g",
+           "inputs_where tag = 'unterminated",
+           "inputs_where tag = \"mismatched'",
+           "inputs_where ((v > 0",
+           "inputs_where v >",
+           "inputs_where 'lonely string'",
+           "clean_where tag = 'open",
+           "clean_where AND AND AND",
+           "clean_where =",
+       }) {
+    ExpectCleanFailure(service, bad);
+  }
+}
+
+TEST(ServiceRobustnessTest, HugeLinesDoNotCrash) {
+  Service service(MakeDb());
+  // 10 MB of a single token, of repeated clauses, and of quote noise.
+  const std::string big_token(10 * 1024 * 1024, 'x');
+  ExpectCleanFailure(service, big_token);
+  ExpectCleanFailure(service, "sql " + big_token);
+
+  std::string huge_filter = "inputs_where v > 0";
+  while (huge_filter.size() < 10 * 1024 * 1024) {
+    huge_filter += " AND v > 0";
+  }
+  // Valid syntax but no query/selection yet — must fail cleanly, fast.
+  const std::string out = service.Execute(huge_filter);
+  EXPECT_TRUE(IsWellFormedJsonObject(out)) << out.substr(0, 200);
+  EXPECT_NE(out.find("\"ok\": false"), std::string::npos);
+
+  std::string quote_noise = "clean_where ";
+  quote_noise.append(10 * 1024 * 1024, '\'');
+  ExpectCleanFailure(service, quote_noise);
+}
+
+TEST(ServiceRobustnessTest, ControlCharactersAreEscapedInResponses) {
+  Service service(MakeDb());
+  // The parse error echoes the input; embedded newlines/quotes must
+  // come back JSON-escaped, not raw.
+  const std::string out =
+      service.Execute("sql SELECT \"\n\t\x01 FROM w");
+  EXPECT_TRUE(IsWellFormedJsonObject(out)) << out;
+  EXPECT_EQ(out.find('\n'), std::string::npos) << out;
+  EXPECT_EQ(out.find('\x01'), std::string::npos) << out;
+}
+
+TEST(ServiceRobustnessTest, UndoResetOnEmptyStacksInterleaved) {
+  Service service(MakeDb());
+  // Before any query: undo/reset have nothing to operate on.
+  ExpectCleanFailure(service, "undo");
+  ExpectCleanFailure(service, "reset");
+
+  ASSERT_NE(service.Execute("sql SELECT g, avg(v) AS a FROM w GROUP BY g")
+                .find("\"ok\": true"),
+            std::string::npos);
+  // With a query but an empty cleaning stack: undo fails, reset is a
+  // harmless no-op re-execution.
+  ExpectCleanFailure(service, "undo");
+  EXPECT_NE(service.Execute("reset").find("\"ok\": true"), std::string::npos);
+
+  // Push one predicate, then drain it twice over.
+  ASSERT_NE(service.Execute("clean_where tag = 'bad'").find("\"ok\": true"),
+            std::string::npos);
+  EXPECT_NE(service.Execute("undo").find("\"ok\": true"), std::string::npos);
+  ExpectCleanFailure(service, "undo");
+  EXPECT_NE(service.Execute("reset").find("\"ok\": true"), std::string::npos);
+  ExpectCleanFailure(service, "undo");
+
+  // The session survives the abuse: a full flow still works.
+  ASSERT_NE(service.Execute("select_range a 20 1e9").find("\"ok\": true"),
+            std::string::npos);
+  ASSERT_NE(service.Execute("metric too_high 12").find("\"ok\": true"),
+            std::string::npos);
+  const std::string debug = service.Execute("debug");
+  EXPECT_NE(debug.find("\"ok\": true"), std::string::npos) << debug;
+  EXPECT_TRUE(IsWellFormedJsonObject(debug));
+}
+
+TEST(ServiceRobustnessTest, EverySuccessResponseIsWellFormedToo) {
+  Service service(MakeDb());
+  for (const char* cmd : {
+           "sql SELECT g, avg(v) AS a FROM w GROUP BY g",
+           "result",
+           "select_range a 20 1e9",
+           "inputs_where v > 50",
+           "metrics",
+           "metric too_high 12",
+           "set_deadline 60000",
+           "debug",
+           "set_deadline 0",
+           "clean 0",
+           "state",
+           "undo",
+           "reset",
+           "cancel",
+       }) {
+    const std::string out = service.Execute(cmd);
+    EXPECT_TRUE(IsWellFormedJsonObject(out))
+        << cmd << " -> " << out.substr(0, 200);
+    EXPECT_NE(out.find("\"ok\": true"), std::string::npos)
+        << cmd << " -> " << out;
+  }
+}
+
+}  // namespace
+}  // namespace dbwipes

@@ -1,0 +1,272 @@
+// Observability overhead: the ranking workload (the BENCH_rank
+// scenario, scaled down) with tracing disabled vs enabled, plus the
+// tracer's raw span throughput. The disabled numbers guard the PR's
+// budget — instrumentation must stay within noise of the untraced
+// build — and the enabled ones price a trace capture.
+//
+// Emits machine-readable BENCH_trace.json (working directory).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "dbwipes/common/parallel.h"
+#include "dbwipes/common/trace.h"
+#include "dbwipes/core/predicate_ranker.h"
+#include "dbwipes/core/preprocessor.h"
+#include "dbwipes/datagen/synthetic.h"
+#include "dbwipes/expr/parser.h"
+
+namespace dbwipes {
+namespace {
+
+using bench::Fmt;
+using bench::TablePrinter;
+
+struct RankProblem {
+  LabeledDataset data;
+  QueryResult result;
+  std::vector<size_t> selected_groups;
+  ErrorMetricPtr metric;
+  std::vector<RowId> suspects;
+  std::vector<RowId> reference;
+  double per_group_baseline = 0.0;
+  std::vector<EnumeratedPredicate> predicates;
+};
+
+/// Same candidate shape as BENCH_rank: threshold sweeps, categorical
+/// equalities, and two-clause conjunctions over 8 attributes.
+std::vector<EnumeratedPredicate> MakeCandidates(const SyntheticOptions& gen) {
+  std::vector<EnumeratedPredicate> out;
+  auto add = [&out](Predicate p) {
+    EnumeratedPredicate ep;
+    ep.predicate = std::move(p);
+    ep.strategy = "bench";
+    out.push_back(std::move(ep));
+  };
+  std::vector<Clause> numeric, categorical;
+  for (size_t a = 0; a < gen.num_numeric_attrs; ++a) {
+    const std::string col = "a" + std::to_string(a);
+    for (int t = -12; t <= 12; ++t) {
+      const double cut = t / 6.0;
+      numeric.push_back(Clause::Make(col, CompareOp::kGe, Value(cut)));
+      numeric.push_back(Clause::Make(col, CompareOp::kLe, Value(cut)));
+    }
+  }
+  for (size_t c = 0; c < gen.num_categorical_attrs; ++c) {
+    const std::string col = "c" + std::to_string(c);
+    for (size_t k = 0; k < gen.categorical_cardinality; ++k) {
+      categorical.push_back(Clause::Make(
+          col, CompareOp::kEq, Value("cat_" + std::to_string(k))));
+    }
+  }
+  for (const Clause& c : numeric) add(Predicate({c}));
+  for (const Clause& c : categorical) add(Predicate({c}));
+  for (size_t i = 0; i < categorical.size(); ++i) {
+    for (size_t j = i % 7; j < numeric.size(); j += 7) {
+      add(Predicate({categorical[i], numeric[j]}));
+    }
+  }
+  return out;
+}
+
+RankProblem BuildProblem(size_t rows) {
+  SyntheticOptions gen;
+  gen.num_rows = rows;
+  gen.num_numeric_attrs = 4;
+  gen.num_categorical_attrs = 4;
+  gen.anomaly_selectivity = 0.03;
+
+  RankProblem p;
+  p.data = *GenerateSyntheticDataset(gen);
+  AggregateQuery query =
+      *ParseQuery("SELECT g, avg(v) AS a FROM synthetic GROUP BY g");
+  p.result = *ExecuteQuery(query, *p.data.table);
+  for (size_t g = 0; g < p.result.num_groups(); ++g) {
+    if (p.result.AggValue(g, 0) >= 50.8) p.selected_groups.push_back(g);
+  }
+  p.metric = TooHigh(50.0);
+  PreprocessResult pre = *Preprocessor::Run(*p.data.table, p.result,
+                                            p.selected_groups, *p.metric);
+  p.suspects = pre.suspect_inputs;
+  p.per_group_baseline = pre.per_group_baseline_error;
+  std::vector<const TupleInfluence*> positive;
+  for (const TupleInfluence& ti : pre.influences) {
+    if (ti.influence > 0.0) positive.push_back(&ti);
+  }
+  for (size_t i = 0; i < positive.size() / 4; ++i) {
+    p.reference.push_back(positive[i]->row);
+  }
+  std::sort(p.reference.begin(), p.reference.end());
+  p.predicates = MakeCandidates(gen);
+  return p;
+}
+
+void RunRank(const RankProblem& p) {
+  RankerOptions opts;
+  PredicateRanker ranker(opts);
+  auto ranked =
+      ranker.Rank(*p.data.table, p.result, p.selected_groups, *p.metric,
+                  /*agg_index=*/0, p.suspects, p.reference,
+                  p.per_group_baseline, p.predicates);
+  DBW_CHECK_OK(ranked.status());
+}
+
+double MedianMs(const std::function<void()>& fn, int reps) {
+  std::vector<double> ms;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    ms.push_back(std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count());
+  }
+  std::sort(ms.begin(), ms.end());
+  return ms[ms.size() / 2];
+}
+
+/// Full traced Explain on the 100k-row dataset: runs the whole
+/// frontend/backend loop with tracing enabled and writes the Chrome
+/// trace to BENCH_trace_events.json (the acceptance artifact — loads
+/// in chrome://tracing/Perfetto with a span per pipeline stage).
+size_t TraceFullExplain() {
+  SyntheticOptions gen;
+  gen.num_rows = 100000;
+  gen.num_numeric_attrs = 4;
+  gen.num_categorical_attrs = 4;
+  gen.anomaly_selectivity = 0.03;
+  LabeledDataset data = *GenerateSyntheticDataset(gen);
+
+  bench::Scenario s;
+  s.sql = "SELECT g, avg(v) AS a FROM synthetic GROUP BY g";
+  s.select_agg = "a";
+  s.select_lo = 50.8;
+  s.select_hi = 1e18;
+  s.dprime_filter = "v > 75";
+  s.metric = TooHigh(50.0);
+
+  Tracer& tracer = Tracer::Global();
+  tracer.SetEnabled(true);
+  tracer.Clear();
+  bench::ScenarioOutcome out = bench::RunScenario(data, s);
+  tracer.SetEnabled(false);
+  DBW_CHECK(out.ok) << out.error;
+  const size_t events = tracer.num_events();
+  DBW_CHECK_OK(tracer.WriteJson("BENCH_trace_events.json"));
+  tracer.Clear();
+  return events;
+}
+
+/// Raw tracer throughput: tight span open/close loop on one thread.
+double SpansPerSec(size_t spans) {
+  Tracer& tracer = Tracer::Global();
+  tracer.SetEnabled(true);
+  tracer.Clear();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < spans; ++i) {
+    DBW_TRACE_SPAN("bench/span");
+  }
+  const double sec = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+  tracer.SetEnabled(false);
+  tracer.Clear();
+  return static_cast<double>(spans) / sec;
+}
+
+void PrintReportAndJson() {
+  std::printf("=== tracing overhead on the ranking workload ===\n\n");
+  Tracer& tracer = Tracer::Global();
+  tracer.SetEnabled(false);
+  tracer.Clear();
+
+  RankProblem p = BuildProblem(50000);
+  std::printf("rows=%zu  |F|=%zu  predicates=%zu  threads=%zu\n\n",
+              p.data.table->num_rows(), p.suspects.size(),
+              p.predicates.size(), DefaultParallelism());
+
+  const int reps = 5;
+  const double disabled_ms = MedianMs([&] { RunRank(p); }, reps);
+
+  tracer.SetEnabled(true);
+  tracer.Clear();
+  const double enabled_ms = MedianMs([&] { RunRank(p); }, reps);
+  const size_t events = tracer.num_events();
+  tracer.SetEnabled(false);
+  tracer.Clear();
+
+  const double overhead_pct =
+      disabled_ms > 0.0 ? (enabled_ms - disabled_ms) / disabled_ms * 100.0
+                        : 0.0;
+  const double spans_per_sec = SpansPerSec(1000000);
+  const size_t explain_events = TraceFullExplain();
+
+  TablePrinter table({"mode", "median_ms", "overhead_pct"});
+  table.AddRow({"tracing_disabled", Fmt(disabled_ms, 1), "0.0"});
+  table.AddRow({"tracing_enabled", Fmt(enabled_ms, 1),
+                Fmt(overhead_pct, 2)});
+  table.Print();
+  std::printf("\nraw span throughput: %.0f spans/sec\n", spans_per_sec);
+  std::printf("events captured over %d traced runs: %zu\n", reps, events);
+  std::printf("full 100k-row Explain trace: %zu events -> "
+              "BENCH_trace_events.json\n\n",
+              explain_events);
+
+  FILE* f = std::fopen("BENCH_trace.json", "w");
+  if (f != nullptr) {
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"scenario\": {\"rows\": %zu, \"predicates\": %zu, "
+        "\"threads\": %zu},\n"
+        "  \"disabled\": {\"median_ms\": %.3f},\n"
+        "  \"enabled\": {\"median_ms\": %.3f, \"events\": %zu},\n"
+        "  \"overhead_pct\": %.3f,\n"
+        "  \"spans_per_sec\": %.0f,\n"
+        "  \"full_explain\": {\"rows\": 100000, \"events\": %zu, "
+        "\"trace_file\": \"BENCH_trace_events.json\"}\n"
+        "}\n",
+        p.data.table->num_rows(), p.predicates.size(), DefaultParallelism(),
+        disabled_ms, enabled_ms, events, overhead_pct, spans_per_sec,
+        explain_events);
+    std::fclose(f);
+    std::printf("wrote BENCH_trace.json\n\n");
+  }
+}
+
+void BM_SpanDisabled(benchmark::State& state) {
+  Tracer::Global().SetEnabled(false);
+  for (auto _ : state) {
+    DBW_TRACE_SPAN("bench/span");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanDisabled);
+
+void BM_SpanEnabled(benchmark::State& state) {
+  Tracer::Global().SetEnabled(true);
+  for (auto _ : state) {
+    DBW_TRACE_SPAN("bench/span");
+  }
+  Tracer::Global().SetEnabled(false);
+  Tracer::Global().Clear();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanEnabled);
+
+}  // namespace
+}  // namespace dbwipes
+
+int main(int argc, char** argv) {
+  dbwipes::PrintReportAndJson();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -53,6 +53,8 @@ void PrintHelp() {
       "  pca                         PC1-vs-PC2 plot of a multi-attribute\n"
       "                              group-by\n"
       "  json                        dump the last explanation as JSON\n"
+      "  profile                     per-stage latency breakdown of the\n"
+      "                              last debug run\n"
       "  plan                        show coarse-grained provenance\n"
       "  state                       render the whole dashboard\n"
       "  quit\n");
@@ -250,6 +252,8 @@ int main() {
       } else {
         std::printf("run debug first\n");
       }
+    } else if (cmd == "profile") {
+      std::printf("%s", dashboard.RenderProfile().c_str());
     } else if (cmd == "plan") {
       auto plan = session.DescribePlan();
       if (plan.ok()) {

@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
-# Pre-merge gate: tier-1 tests, the asan smoke subset, and the anytime
-# fault matrix. Run from the repo root:
+# Pre-merge gate: tier-1 tests, the asan smoke subset, the anytime
+# fault matrix, the tsan smoke subset (tracer/metrics buffers must be
+# race-free), and the tracing-overhead benchmark. Run from the repo
+# root:
 #
-#   scripts/check.sh            # all three stages
+#   scripts/check.sh            # all five stages
 #   scripts/check.sh tier1      # just the default-preset test suite
 #   scripts/check.sh asan       # just the asan smoke subset
 #   scripts/check.sh faults     # just the faults-labelled tests (asan)
+#   scripts/check.sh tsan       # just the tsan smoke subset
+#   scripts/check.sh trace      # just bench_trace (BENCH_trace.json)
 #
 # Each stage configures/builds its preset only when needed, so repeat
 # runs are incremental.
@@ -35,11 +39,28 @@ faults() {
   ctest --preset asan-faults -j "$jobs"
 }
 
+tsan_smoke() {
+  echo "=== tsan: smoke-labelled subset (tracer/metrics concurrency) ==="
+  cmake --preset tsan >/dev/null
+  cmake --build --preset tsan -j "$jobs"
+  ctest --preset tsan-smoke -j "$jobs"
+}
+
+trace_bench() {
+  echo "=== trace: observability overhead benchmark ==="
+  cmake --preset default >/dev/null
+  cmake --build --preset default -j "$jobs" --target bench_trace
+  (cd build && ./bench/bench_trace --benchmark_min_time=0.05)
+  echo "wrote build/BENCH_trace.json"
+}
+
 case "${1:-all}" in
   tier1)  tier1 ;;
   asan)   asan_smoke ;;
   faults) faults ;;
-  all)    tier1; asan_smoke; faults ;;
-  *) echo "usage: $0 [tier1|asan|faults|all]" >&2; exit 2 ;;
+  tsan)   tsan_smoke ;;
+  trace)  trace_bench ;;
+  all)    tier1; asan_smoke; faults; tsan_smoke; trace_bench ;;
+  *) echo "usage: $0 [tier1|asan|faults|tsan|trace|all]" >&2; exit 2 ;;
 esac
 echo "=== check.sh: all requested stages passed ==="

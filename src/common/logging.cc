@@ -1,14 +1,33 @@
 #include "dbwipes/common/logging.h"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
+
+#include "dbwipes/common/string_util.h"
+#include "dbwipes/common/trace.h"
 
 namespace dbwipes {
 
 namespace {
 
-std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
+/// Startup level: DBWIPES_LOG_LEVEL names a level ("debug", "info",
+/// "warning"/"warn", "error", "fatal") or its numeric value; anything
+/// unrecognized keeps the kInfo default.
+LogLevel InitialLogLevel() {
+  const char* env = std::getenv("DBWIPES_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kInfo;
+  const std::string v = ToLower(env);
+  if (v == "debug" || v == "0") return LogLevel::kDebug;
+  if (v == "info" || v == "1") return LogLevel::kInfo;
+  if (v == "warning" || v == "warn" || v == "2") return LogLevel::kWarning;
+  if (v == "error" || v == "3") return LogLevel::kError;
+  if (v == "fatal" || v == "4") return LogLevel::kFatal;
+  return LogLevel::kInfo;
+}
+
+std::atomic<LogLevel> g_log_level{InitialLogLevel()};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -40,7 +59,13 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
     for (const char* p = file; *p; ++p) {
       if (*p == '/') base = p + 1;
     }
-    stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+    // Thread id + monotonic ms share the tracer's clock and id space,
+    // so a log line can be placed inside the trace-span timeline.
+    char prefix[48];
+    std::snprintf(prefix, sizeof(prefix), "[t%zu %.3f ", CurrentThreadId(),
+                  MonotonicMillis());
+    stream_ << prefix << LevelName(level) << " " << base << ":" << line
+            << "] ";
   }
 }
 

@@ -1,0 +1,137 @@
+#include "dbwipes/common/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "dbwipes/common/string_util.h"
+
+namespace dbwipes {
+
+constexpr double MetricHistogram::kBoundsMs[];
+
+void MetricHistogram::Observe(double ms) {
+  if (ms < 0.0) ms = 0.0;
+  size_t i = 0;
+  while (i < kNumBounds && ms > kBoundsMs[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(static_cast<uint64_t>(ms * 1e6),
+                    std::memory_order_relaxed);
+}
+
+void MetricHistogram::ResetForTest() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+namespace {
+
+/// Registry lookup shared by the three metric kinds: linear scan is
+/// fine — registration is cold, and hot code caches the pointer.
+template <typename T>
+T* FindOrCreate(
+    std::vector<std::pair<std::string, std::unique_ptr<T>>>* entries,
+    const std::string& name) {
+  for (auto& e : *entries) {
+    if (e.first == name) return e.second.get();
+  }
+  entries->emplace_back(name, std::make_unique<T>());
+  return entries->back().second.get();
+}
+
+}  // namespace
+
+MetricCounter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreate(&counters_, name);
+}
+
+MetricGauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreate(&gauges_, name);
+}
+
+MetricHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreate(&histograms_, name);
+}
+
+std::string MetricsRegistry::SnapshotJson(bool pretty) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const char* nl = pretty ? "\n" : "";
+  const char* ind = pretty ? "  " : "";
+
+  auto sorted_names = [](const auto& entries) {
+    std::vector<size_t> order(entries.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return entries[a].first < entries[b].first;
+    });
+    return order;
+  };
+
+  std::string out = "{";
+  out += nl;
+  out += ind;
+  out += "\"counters\":{";
+  bool first = true;
+  for (size_t i : sorted_names(counters_)) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + counters_[i].first +
+           "\":" + std::to_string(counters_[i].second->value());
+  }
+  out += "},";
+  out += nl;
+  out += ind;
+  out += "\"gauges\":{";
+  first = true;
+  for (size_t i : sorted_names(gauges_)) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + gauges_[i].first +
+           "\":" + std::to_string(gauges_[i].second->value());
+  }
+  out += "},";
+  out += nl;
+  out += ind;
+  out += "\"histograms\":{";
+  first = true;
+  for (size_t i : sorted_names(histograms_)) {
+    const MetricHistogram& h = *histograms_[i].second;
+    if (!first) out += ',';
+    first = false;
+    out += '"' + histograms_[i].first + "\":{\"count\":" +
+           std::to_string(h.count()) +
+           ",\"sum_ms\":" + FormatDouble(h.sum_ms(), 9) + ",\"bounds_ms\":[";
+    for (size_t b = 0; b < MetricHistogram::kNumBounds; ++b) {
+      if (b > 0) out += ',';
+      out += FormatDouble(MetricHistogram::kBoundsMs[b], 9);
+    }
+    out += "],\"buckets\":[";
+    for (size_t b = 0; b < MetricHistogram::kNumBuckets; ++b) {
+      if (b > 0) out += ',';
+      out += std::to_string(h.bucket(b));
+    }
+    out += "]}";
+  }
+  out += "}";
+  out += nl;
+  out += "}";
+  return out;
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& e : counters_) e.second->ResetForTest();
+  for (auto& e : gauges_) e.second->ResetForTest();
+  for (auto& e : histograms_) e.second->ResetForTest();
+}
+
+}  // namespace dbwipes

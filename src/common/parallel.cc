@@ -1,6 +1,7 @@
 #include "dbwipes/common/parallel.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 
 #include "dbwipes/common/exec_context.h"
@@ -87,11 +88,21 @@ void ThreadPool::DrainCurrentTask() {
       fn = task_;
     }
     std::exception_ptr error;
+    const auto t0 = std::chrono::steady_clock::now();
     try {
       (*fn)(chunk);
     } catch (...) {
       error = std::current_exception();
     }
+    // Per-chunk utilization bookkeeping: two clock reads and two
+    // relaxed adds against a chunk body that scans thousands of rows.
+    stat_busy_ns_.fetch_add(
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()),
+        std::memory_order_relaxed);
+    stat_chunks_.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (error && (!task_error_ || chunk < task_error_chunk_)) {
@@ -106,9 +117,25 @@ void ThreadPool::DrainCurrentTask() {
 void ThreadPool::Run(size_t num_chunks,
                      const std::function<void(size_t)>& fn) {
   if (num_chunks == 0) return;
+  stat_regions_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t peak = stat_peak_queue_.load(std::memory_order_relaxed);
+  while (num_chunks > peak &&
+         !stat_peak_queue_.compare_exchange_weak(
+             peak, num_chunks, std::memory_order_relaxed)) {
+  }
   if (threads_.empty() || t_in_pool_worker) {
     // No workers, or called from inside the pool: run inline.
-    for (size_t c = 0; c < num_chunks; ++c) fn(c);
+    for (size_t c = 0; c < num_chunks; ++c) {
+      const auto t0 = std::chrono::steady_clock::now();
+      fn(c);
+      stat_busy_ns_.fetch_add(
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count()),
+          std::memory_order_relaxed);
+      stat_chunks_.fetch_add(1, std::memory_order_relaxed);
+    }
     return;
   }
   std::unique_lock<std::mutex> lock(mu_);
@@ -141,6 +168,17 @@ void ThreadPool::Run(size_t num_chunks,
   // Propagate the first (lowest-chunk) failure to the caller, exactly
   // as the serial path would have.
   if (error) std::rethrow_exception(error);
+}
+
+ThreadPool::StatsSnapshot ThreadPool::stats() const {
+  StatsSnapshot s;
+  s.regions = stat_regions_.load(std::memory_order_relaxed);
+  s.chunks = stat_chunks_.load(std::memory_order_relaxed);
+  s.busy_ms = static_cast<double>(
+                  stat_busy_ns_.load(std::memory_order_relaxed)) /
+              1e6;
+  s.peak_queue_depth = stat_peak_queue_.load(std::memory_order_relaxed);
+  return s;
 }
 
 void ParallelFor(size_t begin, size_t end,

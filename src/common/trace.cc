@@ -1,0 +1,239 @@
+#include "dbwipes/common/trace.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "dbwipes/common/string_util.h"
+
+namespace dbwipes {
+
+namespace {
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+std::atomic<size_t> g_next_thread_id{0};
+
+/// Minimal JSON string escaping for event args (names are static
+/// strings under our control, but annotation values are arbitrary).
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+size_t CurrentThreadId() {
+  thread_local const size_t id =
+      g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+double MonotonicMillis() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - TraceEpoch())
+      .count();
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();  // leaked: outlives exiting threads
+  // Pin the epoch before the first event so ts_us is never negative.
+  TraceEpoch();
+  return *tracer;
+}
+
+Tracer::Buffer* Tracer::LocalBuffer() {
+  thread_local Buffer* local = nullptr;
+  if (local == nullptr) {
+    auto buffer = std::make_shared<Buffer>();
+    buffer->tid = CurrentThreadId();
+    local = buffer.get();
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(std::move(buffer));
+  }
+  return local;
+}
+
+void Tracer::Record(Event e) {
+  Buffer* buf = LocalBuffer();
+  e.tid = buf->tid;
+  const size_t idx = buf->count.load(std::memory_order_relaxed);
+  const size_t chunk = idx / kChunkEvents;
+  if (chunk == buf->chunks.size()) {
+    // Cold path: one allocation per kChunkEvents spans. The lock only
+    // excludes readers walking the chunk list, never other writers
+    // (the buffer is thread-owned).
+    std::lock_guard<std::mutex> lock(buf->grow_mu);
+    buf->chunks.push_back(std::make_unique<Chunk>());
+  }
+  buf->chunks[chunk]->events[idx % kChunkEvents] = std::move(e);
+  buf->count.store(idx + 1, std::memory_order_release);
+}
+
+void Tracer::RecordInstant(const char* name, std::string args) {
+  if (!enabled()) return;
+  Event e;
+  e.name = name;
+  e.ts_us = MonotonicMillis() * 1000.0;
+  e.dur_us = -1.0;
+  e.args = std::move(args);
+  Record(std::move(e));
+}
+
+size_t Tracer::num_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& buf : buffers_) {
+    n += buf->count.load(std::memory_order_acquire);
+  }
+  return n;
+}
+
+std::string Tracer::ExportJson() const {
+  // Snapshot the buffer list, then each buffer's published prefix.
+  std::vector<std::shared_ptr<Buffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char num[64];
+  for (const auto& buf : buffers) {
+    const size_t n = buf->count.load(std::memory_order_acquire);
+    // Chunk pointers are stable; the lock pins the vector against a
+    // concurrent push_back while we copy it.
+    std::vector<Chunk*> chunks;
+    {
+      std::lock_guard<std::mutex> lock(buf->grow_mu);
+      chunks.reserve(buf->chunks.size());
+      for (const auto& c : buf->chunks) chunks.push_back(c.get());
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const Event& e = chunks[i / kChunkEvents]->events[i % kChunkEvents];
+      if (!first) out += ',';
+      first = false;
+      out += "{\"name\":\"";
+      out += EscapeJson(e.name);
+      out += "\",\"cat\":\"dbwipes\",\"ph\":\"";
+      out += e.dur_us < 0.0 ? 'i' : 'X';
+      out += "\",\"ts\":";
+      std::snprintf(num, sizeof(num), "%.3f", e.ts_us);
+      out += num;
+      if (e.dur_us >= 0.0) {
+        out += ",\"dur\":";
+        std::snprintf(num, sizeof(num), "%.3f", e.dur_us);
+        out += num;
+      } else {
+        out += ",\"s\":\"t\"";  // instant event, thread scope
+      }
+      out += ",\"pid\":1,\"tid\":";
+      out += std::to_string(e.tid);
+      out += ",\"args\":{";
+      out += e.args;
+      out += "}}";
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+Status Tracer::WriteJson(const std::string& path) const {
+  const std::string json = ExportJson();
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open trace file '" + path + "'");
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int closed = std::fclose(f);
+  if (written != json.size() || closed != 0) {
+    return Status::RuntimeError("short write to trace file '" + path + "'");
+  }
+  return Status::OK();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> grow(buf->grow_mu);
+    buf->count.store(0, std::memory_order_release);
+    buf->chunks.clear();
+  }
+}
+
+void TraceSpan::Start(const char* name) {
+  active_ = true;
+  name_ = name;
+  start_us_ = MonotonicMillis() * 1000.0;
+}
+
+void TraceSpan::Finish() {
+  Tracer::Event e;
+  e.name = name_;
+  e.ts_us = start_us_;
+  e.dur_us = MonotonicMillis() * 1000.0 - start_us_;
+  if (e.dur_us < 0.0) e.dur_us = 0.0;
+  e.args = std::move(args_);
+  Tracer::Global().Record(std::move(e));
+}
+
+void TraceSpan::Annotate(const char* key, const std::string& value) {
+  if (!active_) return;
+  if (!args_.empty()) args_ += ',';
+  args_ += '"';
+  args_ += key;
+  args_ += "\":\"";
+  args_ += EscapeJson(value);
+  args_ += '"';
+}
+
+void TraceSpan::Annotate(const char* key, double value) {
+  if (!active_) return;
+  if (!args_.empty()) args_ += ',';
+  args_ += '"';
+  args_ += key;
+  args_ += "\":";
+  args_ += FormatDouble(value, 17);
+}
+
+void TraceSpan::Annotate(const char* key, size_t value) {
+  if (!active_) return;
+  if (!args_.empty()) args_ += ',';
+  args_ += '"';
+  args_ += key;
+  args_ += "\":";
+  args_ += std::to_string(value);
+}
+
+}  // namespace dbwipes

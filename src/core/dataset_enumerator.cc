@@ -5,7 +5,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "dbwipes/common/metrics.h"
 #include "dbwipes/common/stats.h"
+#include "dbwipes/common/trace.h"
 #include "dbwipes/core/removal_scorer.h"
 #include "dbwipes/learn/kmeans.h"
 #include "dbwipes/learn/naive_bayes.h"
@@ -37,6 +39,7 @@ Result<std::vector<RowId>> DatasetEnumerator::CleanDPrime(
     const std::vector<TupleInfluence>& influences,
     const FeatureView& view, const ExecContext& ctx) const {
   DBW_FAULT(ctx, "enumerate/clean");
+  DBW_TRACE_SPAN("enumerate/clean");
   DBW_RETURN_NOT_OK(ctx.CheckContinue());
   std::vector<RowId> sorted = SortedUnique(dprime);
   if (sorted.size() < 4 || options_.clean_method == CleanMethod::kNone) {
@@ -128,6 +131,7 @@ Result<std::vector<CandidateDataset>> DatasetEnumerator::Enumerate(
     const FeatureView& view, const ErrorMetric& metric,
     size_t agg_index, const ExecContext& ctx) const {
   DBW_FAULT(ctx, "enumerate/datasets");
+  DBW_TRACE_SPAN("enumerate/datasets");
   const std::vector<RowId>& suspects = preprocess.suspect_inputs;
   if (suspects.empty()) {
     return Status::InvalidArgument(
@@ -261,6 +265,9 @@ Result<std::vector<CandidateDataset>> DatasetEnumerator::Enumerate(
         "no candidate dataset reduces the error metric; try a different "
         "metric or selection");
   }
+  static MetricCounter* const emitted =
+      MetricsRegistry::Global().GetCounter("enumerate.datasets");
+  emitted->Increment(out.size());
   return out;
 }
 

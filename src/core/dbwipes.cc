@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <chrono>
 
+#include "dbwipes/common/metrics.h"
+#include "dbwipes/common/parallel.h"
 #include "dbwipes/common/stats.h"
+#include "dbwipes/common/trace.h"
 
 namespace dbwipes {
 
@@ -13,6 +16,28 @@ double MillisSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - start)
       .count();
+}
+
+/// Pipeline-level counters, incremented once per Explain.
+struct ExplainMetrics {
+  MetricCounter* runs;
+  MetricCounter* partial;
+  MetricCounter* cancellations;
+  MetricCounter* deadline_expiries;
+  MetricCounter* budget_exhaustions;
+  MetricHistogram* total_ms;
+};
+
+const ExplainMetrics& Metrics() {
+  static const ExplainMetrics m = {
+      MetricsRegistry::Global().GetCounter("explain.runs"),
+      MetricsRegistry::Global().GetCounter("explain.partial"),
+      MetricsRegistry::Global().GetCounter("exec.cancellations"),
+      MetricsRegistry::Global().GetCounter("exec.deadline_expiries"),
+      MetricsRegistry::Global().GetCounter("exec.budget_exhaustions"),
+      MetricsRegistry::Global().GetHistogram("explain.total_ms"),
+  };
+  return m;
 }
 
 }  // namespace
@@ -41,6 +66,11 @@ Result<Explanation> DBWipes::Explain(const QueryResult& result,
   if (!request.metric) {
     return Status::InvalidArgument("no error metric supplied");
   }
+  DBW_TRACE_SPAN("pipeline/explain");
+  Metrics().runs->Increment();
+  const auto t_start = std::chrono::steady_clock::now();
+  const ThreadPool::StatsSnapshot pool_before = ThreadPool::Global().stats();
+
   DBW_ASSIGN_OR_RETURN(std::shared_ptr<const Table> table,
                        db_->GetTable(result.query.table_name));
 
@@ -56,7 +86,65 @@ Result<Explanation> DBWipes::Explain(const QueryResult& result,
   // failing it: everything completed so far ships, flagged partial.
   auto degrade = [&out](const Status& why) {
     out.partial = true;
-    if (out.partial_reason.empty()) out.partial_reason = why.ToString();
+    if (out.partial_reason.empty()) {
+      out.partial_reason = why.ToString();
+      Tracer::Global().RecordInstant(
+          "pipeline/degraded",
+          "\"reason\":\"" + why.ToString() + "\"");
+    }
+  };
+
+  // Final bookkeeping, run on every exit (complete or degraded): the
+  // profile mirrors the stage clocks, adds the pool's share of the run
+  // and the anytime events, and the run-level metrics are flushed.
+  auto finish = [&]() {
+    ExplainProfile& p = out.profile;
+    p.preprocess_ms = out.preprocess_ms;
+    p.enumerate_ms = out.enumerate_ms;
+    p.predicates_ms = out.predicates_ms;
+    p.rank_ms = out.rank_ms;
+    p.total_ms = MillisSince(t_start);
+    p.table_rows = table->num_rows();
+    p.suspect_rows = out.preprocess.suspect_inputs.size();
+    p.candidate_datasets = out.candidates.size();
+    p.predicates_enumerated = out.total_enumerated;
+    p.predicates_scored = out.ranked_considered;
+
+    const ThreadPool::StatsSnapshot after = ThreadPool::Global().stats();
+    p.pool_threads = ThreadPool::Global().num_threads() + 1;
+    p.pool_regions = after.regions - pool_before.regions;
+    p.pool_chunks = after.chunks - pool_before.chunks;
+    p.pool_busy_ms = after.busy_ms - pool_before.busy_ms;
+    p.pool_peak_queue_depth = after.peak_queue_depth;
+    if (p.total_ms > 0.0 && p.pool_threads > 0) {
+      p.pool_utilization = std::clamp(
+          p.pool_busy_ms / (p.total_ms * static_cast<double>(p.pool_threads)),
+          0.0, 1.0);
+    }
+
+    p.partial = out.partial;
+    p.partial_reason = out.partial_reason;
+    p.cancelled = ctx.token.IsCancelled();
+    p.deadline_expired = ctx.deadline.expired();
+    p.has_deadline = !ctx.deadline.infinite();
+    if (p.has_deadline) p.deadline_remaining_ms = ctx.deadline.remaining_ms();
+    if (ctx.budget != nullptr) {
+      p.has_budget = true;
+      p.budget_used_predicates = ctx.budget->used_predicates();
+      p.budget_used_bitmap_bytes = ctx.budget->used_bitmap_bytes();
+      p.budget_used_scored_removals = ctx.budget->used_scored_removals();
+      p.budget_predicates_exhausted = ctx.budget->predicates_exhausted();
+      p.budget_bitmap_exhausted = ctx.budget->bitmap_exhausted();
+      p.budget_removals_exhausted = ctx.budget->removals_exhausted();
+    }
+
+    if (out.partial) Metrics().partial->Increment();
+    if (p.cancelled) Metrics().cancellations->Increment();
+    if (p.deadline_expired) Metrics().deadline_expiries->Increment();
+    if (ctx.budget != nullptr && ctx.budget->any_exhausted()) {
+      Metrics().budget_exhaustions->Increment();
+    }
+    Metrics().total_ms->Observe(p.total_ms);
   };
 
   // Stage 1: Preprocessor.
@@ -64,19 +152,24 @@ Result<Explanation> DBWipes::Explain(const QueryResult& result,
   Status cont = ctx.CheckContinue();
   if (!cont.ok()) {
     degrade(cont);
+    finish();
     return out;
   }
-  DBW_ASSIGN_OR_RETURN(
-      out.preprocess,
-      Preprocessor::Run(*table, result, request.selected_groups,
-                        *request.metric, request.agg_index,
-                        options_.per_group_influence));
+  {
+    DBW_TRACE_SPAN("pipeline/preprocess");
+    DBW_ASSIGN_OR_RETURN(
+        out.preprocess,
+        Preprocessor::Run(*table, result, request.selected_groups,
+                          *request.metric, request.agg_index,
+                          options_.per_group_influence));
+  }
   out.preprocess_ms = MillisSince(t0);
 
   // Stage 2: Dataset Enumerator.
   t0 = std::chrono::steady_clock::now();
   DatasetEnumerator enumerator(options_.enumerator);
   {
+    DBW_TRACE_SPAN("pipeline/enumerate");
     auto cleaned =
         enumerator.CleanDPrime(*table, request.suspicious_inputs,
                                out.preprocess.suspect_inputs,
@@ -84,13 +177,12 @@ Result<Explanation> DBWipes::Explain(const QueryResult& result,
     if (!cleaned.ok()) {
       if (cleaned.status().IsInterrupt()) {
         degrade(cleaned.status());
+        finish();
         return out;
       }
       return cleaned.status();
     }
     out.cleaned_dprime = *std::move(cleaned);
-  }
-  {
     auto candidates =
         enumerator.Enumerate(*table, result, request.selected_groups,
                              out.preprocess, request.suspicious_inputs, view,
@@ -98,6 +190,7 @@ Result<Explanation> DBWipes::Explain(const QueryResult& result,
     if (!candidates.ok()) {
       if (candidates.status().IsInterrupt()) {
         degrade(candidates.status());
+        finish();
         return out;
       }
       return candidates.status();
@@ -111,11 +204,13 @@ Result<Explanation> DBWipes::Explain(const QueryResult& result,
   PredicateEnumerator predicate_enumerator(options_.predicates);
   std::vector<EnumeratedPredicate> enumerated;
   {
+    DBW_TRACE_SPAN("pipeline/predicates");
     auto r = predicate_enumerator.Enumerate(
         view, out.preprocess.suspect_inputs, out.candidates, ctx);
     if (!r.ok()) {
       if (r.status().IsInterrupt()) {
         degrade(r.status());
+        finish();
         return out;
       }
       return r.status();
@@ -123,6 +218,7 @@ Result<Explanation> DBWipes::Explain(const QueryResult& result,
     enumerated = *std::move(r);
   }
   out.predicates_ms = MillisSince(t0);
+  out.total_enumerated = enumerated.size();
 
   // Stage 4: Predicate Ranker. When the user supplied no examples,
   // the positive-influence tuples stand in as the accuracy reference,
@@ -147,16 +243,36 @@ Result<Explanation> DBWipes::Explain(const QueryResult& result,
     std::sort(reference.begin(), reference.end());
   }
   PredicateRanker ranker(options_.ranker);
-  DBW_ASSIGN_OR_RETURN(
-      RankOutcome outcome,
-      ranker.RankAnytime(*table, result, request.selected_groups,
-                         *request.metric, request.agg_index,
-                         out.preprocess.suspect_inputs, reference,
-                         out.preprocess.per_group_baseline_error, enumerated,
-                         ctx));
+  RankOutcome outcome;
+  {
+    DBW_TRACE_SPAN("pipeline/rank");
+    DBW_ASSIGN_OR_RETURN(
+        outcome,
+        ranker.RankAnytime(*table, result, request.selected_groups,
+                           *request.metric, request.agg_index,
+                           out.preprocess.suspect_inputs, reference,
+                           out.preprocess.per_group_baseline_error, enumerated,
+                           ctx));
+  }
   out.predicates = std::move(outcome.predicates);
   out.ranked_considered = outcome.scored_prefix;
   out.total_enumerated = outcome.total_candidates;
+  // Ranking telemetry flows straight into the profile.
+  {
+    ExplainProfile& p = out.profile;
+    const RankStats& rs = outcome.stats;
+    p.materialize_ms = rs.materialize_ms;
+    p.score_ms = rs.score_ms;
+    p.scoring_blocks_total = rs.blocks_total;
+    p.scoring_blocks_done = rs.blocks_done;
+    p.block_ms = rs.block_ms;
+    p.used_match_kernels = rs.used_kernels;
+    p.clause_lookups = rs.clause_lookups;
+    p.cache_hits = rs.cache_hits;
+    p.cache_misses = rs.cache_misses;
+    p.bitmaps_materialized = rs.bitmaps_materialized;
+    p.boxed_fallbacks = rs.boxed_fallbacks;
+  }
   if (outcome.partial) {
     degrade(Status(StatusCode::kDeadlineExceeded, outcome.reason));
   }
@@ -168,6 +284,7 @@ Result<Explanation> DBWipes::Explain(const QueryResult& result,
   // Merging re-scores pairwise combinations — pure bonus work; skip it
   // once the run is already degraded or the clock has run out.
   if (options_.merge_predicates && !out.partial && !ctx.StopRequested()) {
+    DBW_TRACE_SPAN("pipeline/merge");
     DBW_ASSIGN_OR_RETURN(
         out.predicates,
         MergeAndRerank(*table, result, request.selected_groups,
@@ -177,6 +294,7 @@ Result<Explanation> DBWipes::Explain(const QueryResult& result,
                        out.predicates, options_.ranker, options_.merger));
   }
   out.rank_ms = MillisSince(t0);
+  finish();
   return out;
 }
 

@@ -103,6 +103,123 @@ class JsonWriter {
   bool just_wrote_key_ = false;
 };
 
+void WriteProfile(JsonWriter* w, const ExplainProfile& p) {
+  w->BeginObject();
+
+  w->Key("stage_ms");
+  w->BeginObject();
+  w->Key("preprocess");
+  w->Number(p.preprocess_ms);
+  w->Key("enumerate");
+  w->Number(p.enumerate_ms);
+  w->Key("predicates");
+  w->Number(p.predicates_ms);
+  w->Key("materialize");
+  w->Number(p.materialize_ms);
+  w->Key("score");
+  w->Number(p.score_ms);
+  w->Key("rank");
+  w->Number(p.rank_ms);
+  w->Key("total");
+  w->Number(p.total_ms);
+  w->EndObject();
+
+  w->Key("work");
+  w->BeginObject();
+  w->Key("table_rows");
+  w->Number(p.table_rows);
+  w->Key("suspect_rows");
+  w->Number(p.suspect_rows);
+  w->Key("candidate_datasets");
+  w->Number(p.candidate_datasets);
+  w->Key("predicates_enumerated");
+  w->Number(p.predicates_enumerated);
+  w->Key("predicates_scored");
+  w->Number(p.predicates_scored);
+  w->EndObject();
+
+  w->Key("scoring_blocks");
+  w->BeginObject();
+  w->Key("total");
+  w->Number(p.scoring_blocks_total);
+  w->Key("done");
+  w->Number(p.scoring_blocks_done);
+  w->Key("block_ms");
+  w->BeginArray();
+  for (double ms : p.block_ms) w->Number(ms);
+  w->EndArray();
+  w->EndObject();
+
+  w->Key("match_engine");
+  w->BeginObject();
+  w->Key("used_kernels");
+  w->Bool(p.used_match_kernels);
+  w->Key("clause_lookups");
+  w->Number(p.clause_lookups);
+  w->Key("cache_hits");
+  w->Number(p.cache_hits);
+  w->Key("cache_misses");
+  w->Number(p.cache_misses);
+  w->Key("bitmaps_materialized");
+  w->Number(p.bitmaps_materialized);
+  w->Key("boxed_fallbacks");
+  w->Number(p.boxed_fallbacks);
+  w->EndObject();
+
+  w->Key("thread_pool");
+  w->BeginObject();
+  w->Key("threads");
+  w->Number(p.pool_threads);
+  w->Key("regions");
+  w->Number(static_cast<size_t>(p.pool_regions));
+  w->Key("chunks");
+  w->Number(static_cast<size_t>(p.pool_chunks));
+  w->Key("busy_ms");
+  w->Number(p.pool_busy_ms);
+  w->Key("peak_queue_depth");
+  w->Number(static_cast<size_t>(p.pool_peak_queue_depth));
+  w->Key("utilization");
+  w->Number(p.pool_utilization);
+  w->EndObject();
+
+  w->Key("anytime");
+  w->BeginObject();
+  w->Key("partial");
+  w->Bool(p.partial);
+  if (p.partial) {
+    w->Key("reason");
+    w->String(p.partial_reason);
+  }
+  w->Key("cancelled");
+  w->Bool(p.cancelled);
+  w->Key("deadline_expired");
+  w->Bool(p.deadline_expired);
+  if (p.has_deadline) {
+    w->Key("deadline_remaining_ms");
+    w->Number(p.deadline_remaining_ms);
+  }
+  if (p.has_budget) {
+    w->Key("budget");
+    w->BeginObject();
+    w->Key("used_predicates");
+    w->Number(p.budget_used_predicates);
+    w->Key("used_bitmap_bytes");
+    w->Number(p.budget_used_bitmap_bytes);
+    w->Key("used_scored_removals");
+    w->Number(p.budget_used_scored_removals);
+    w->Key("predicates_exhausted");
+    w->Bool(p.budget_predicates_exhausted);
+    w->Key("bitmap_exhausted");
+    w->Bool(p.budget_bitmap_exhausted);
+    w->Key("removals_exhausted");
+    w->Bool(p.budget_removals_exhausted);
+    w->EndObject();
+  }
+  w->EndObject();
+
+  w->EndObject();
+}
+
 }  // namespace
 
 std::string JsonEscape(const std::string& s) {
@@ -182,6 +299,9 @@ std::string ExplanationToJson(const Explanation& explanation, bool pretty) {
   w.Number(explanation.total_ms());
   w.EndObject();
 
+  w.Key("profile");
+  WriteProfile(&w, explanation.profile);
+
   w.Key("candidates");
   w.BeginArray();
   for (const CandidateDataset& c : explanation.candidates) {
@@ -227,6 +347,14 @@ std::string ExplanationToJson(const Explanation& explanation, bool pretty) {
   w.EndArray();
 
   w.EndObject();
+  std::string out = w.Take();
+  if (pretty) out += '\n';
+  return out;
+}
+
+std::string ExplainProfileToJson(const ExplainProfile& profile, bool pretty) {
+  JsonWriter w(pretty);
+  WriteProfile(&w, profile);
   std::string out = w.Take();
   if (pretty) out += '\n';
   return out;

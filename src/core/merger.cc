@@ -4,6 +4,8 @@
 #include <map>
 #include <set>
 
+#include "dbwipes/common/trace.h"
+
 namespace dbwipes {
 
 namespace {
@@ -168,6 +170,7 @@ Result<std::vector<RankedPredicate>> MergeAndRerank(
     const std::vector<RankedPredicate>& ranked,
     const RankerOptions& ranker_options, const MergerOptions& options) {
   if (ranked.empty()) return ranked;
+  DBW_TRACE_SPAN("merge/rerank");
 
   const size_t n = std::min(options.max_inputs, ranked.size());
   std::vector<EnumeratedPredicate> pool;

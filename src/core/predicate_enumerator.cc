@@ -6,6 +6,8 @@
 #include <set>
 #include <unordered_set>
 
+#include "dbwipes/common/metrics.h"
+#include "dbwipes/common/trace.h"
 #include "dbwipes/expr/match_kernels.h"
 
 namespace dbwipes {
@@ -162,6 +164,7 @@ Result<std::vector<EnumeratedPredicate>> PredicateEnumerator::Enumerate(
     const std::vector<CandidateDataset>& candidates,
     const ExecContext& ctx) const {
   DBW_FAULT(ctx, "enumerate/predicates");
+  DBW_TRACE_SPAN("enumerate/predicates");
   if (candidates.empty()) {
     return Status::InvalidArgument("no candidate datasets");
   }
@@ -244,6 +247,9 @@ Result<std::vector<EnumeratedPredicate>> PredicateEnumerator::Enumerate(
     return Status::NotFound(
         "no tree produced a predicate separating any candidate dataset");
   }
+  static MetricCounter* const emitted =
+      MetricsRegistry::Global().GetCounter("enumerate.predicates");
+  emitted->Increment(out.size());
   return out;
 }
 

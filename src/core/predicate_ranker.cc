@@ -2,16 +2,43 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <unordered_map>
 
+#include "dbwipes/common/metrics.h"
 #include "dbwipes/common/parallel.h"
+#include "dbwipes/common/trace.h"
 #include "dbwipes/core/removal_scorer.h"
 #include "dbwipes/expr/match_kernels.h"
 
 namespace dbwipes {
 
 namespace {
+
+double MillisBetween(std::chrono::steady_clock::time_point a,
+                     std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// Global ranking counters; incremented once per run / per block, so
+/// the write path never lands inside the per-predicate loop.
+struct RankerMetrics {
+  MetricCounter* runs;
+  MetricCounter* partial_runs;
+  MetricCounter* blocks_scored;
+  MetricCounter* predicates_scored;
+};
+
+const RankerMetrics& Metrics() {
+  static const RankerMetrics m = {
+      MetricsRegistry::Global().GetCounter("ranker.runs"),
+      MetricsRegistry::Global().GetCounter("ranker.partial_runs"),
+      MetricsRegistry::Global().GetCounter("ranker.blocks_scored"),
+      MetricsRegistry::Global().GetCounter("ranker.predicates_scored"),
+  };
+  return m;
+}
 
 /// Shared scoring arithmetic: fills the score-derived fields of `rp`
 /// from the raw measurements.
@@ -126,6 +153,8 @@ Result<RankOutcome> PredicateRanker::RankAnytime(
     return Status::InvalidArgument("no predicates to rank");
   }
   DBW_FAULT(ctx, "ranker/rank");
+  DBW_TRACE_SPAN("ranker/rank");
+  Metrics().runs->Increment();
   if (options_.engine == RankerOptions::Engine::kReferenceSerial) {
     return RankReference(table, result, selected_groups, metric, agg_index,
                          suspects, reference_positive, per_group_baseline,
@@ -194,13 +223,17 @@ Result<RankOutcome> PredicateRanker::RankDelta(
   // loop below reads the cache concurrently without synchronization.
   MatchEngine engine(table, suspects);
   bool use_kernels = options_.use_match_kernels;
+  RankStats stats;
   if (use_kernels) {
     std::vector<const Predicate*> preds;
     preds.reserve(n);
     for (const EnumeratedPredicate& ep : predicates) {
       preds.push_back(&ep.predicate);
     }
+    const auto t_mat = std::chrono::steady_clock::now();
     Status materialized = engine.Materialize(preds, popts);
+    stats.materialize_ms =
+        MillisBetween(t_mat, std::chrono::steady_clock::now());
     if (!materialized.ok()) {
       if (materialized.IsResourceExhausted()) {
         // Bitmap budget cannot hold the clause cache: degrade to boxed
@@ -220,7 +253,11 @@ Result<RankOutcome> PredicateRanker::RankDelta(
   // that is prefix-consistent with the full run at any thread count.
   const size_t num_blocks = (n + kScoreBlock - 1) / kScoreBlock;
   std::vector<unsigned char> block_done(num_blocks, 0);
+  // Slot-per-block wall times: each block writes only its own slot, so
+  // the vector needs no synchronization beyond the pool's own joins.
+  std::vector<double> block_ms(num_blocks, 0.0);
   std::atomic<bool> budget_stop{false};
+  const auto t_score = std::chrono::steady_clock::now();
 
   Status scan = ParallelForStatus(
       num_blocks,
@@ -228,6 +265,7 @@ Result<RankOutcome> PredicateRanker::RankDelta(
         if (budget_stop.load(std::memory_order_acquire)) return Status::OK();
         if (ctx.StopRequested()) return Status::OK();
         DBW_FAULT(ctx, "ranker/score");
+        const auto t_block = std::chrono::steady_clock::now();
         const size_t lo = b * kScoreBlock;
         const size_t hi = std::min(n, lo + kScoreBlock);
         if (ctx.budget != nullptr) {
@@ -266,10 +304,12 @@ Result<RankOutcome> PredicateRanker::RankDelta(
                       reference_positive.size(), &rp);
           matched[i] = std::move(bm);
         }
+        block_ms[b] = MillisBetween(t_block, std::chrono::steady_clock::now());
         block_done[b] = 1;
         return Status::OK();
       },
       popts);
+  stats.score_ms = MillisBetween(t_score, std::chrono::steady_clock::now());
   if (!scan.ok() && !scan.IsInterrupt()) return scan;
 
   // The deterministic cut: contiguous completed blocks from the front.
@@ -282,8 +322,24 @@ Result<RankOutcome> PredicateRanker::RankDelta(
       &scored, [&](size_t i) { return matched[i].Hash(); },
       [&](size_t a, size_t b) { return matched[a] == matched[b]; },
       options_.top_k);
-  return MakeOutcome(std::move(ranked), prefix, n, ctx,
-                     budget_stop.load(std::memory_order_acquire));
+
+  stats.blocks_total = num_blocks;
+  stats.blocks_done = done_blocks;
+  stats.block_ms = std::move(block_ms);
+  stats.used_kernels = use_kernels;
+  stats.clause_lookups = engine.clause_lookups();
+  stats.cache_hits = engine.cache_hits();
+  stats.cache_misses = engine.cache_misses();
+  stats.bitmaps_materialized = engine.bitmaps_materialized();
+  stats.boxed_fallbacks = engine.boxed_fallbacks();
+  Metrics().blocks_scored->Increment(done_blocks);
+  Metrics().predicates_scored->Increment(prefix);
+
+  RankOutcome out = MakeOutcome(std::move(ranked), prefix, n, ctx,
+                                budget_stop.load(std::memory_order_acquire));
+  if (out.partial) Metrics().partial_runs->Increment();
+  out.stats = std::move(stats);
+  return out;
 }
 
 Result<RankOutcome> PredicateRanker::RankReference(
@@ -307,11 +363,22 @@ Result<RankOutcome> PredicateRanker::RankReference(
   std::vector<std::vector<RowId>> matched_sets;
   scored.reserve(n);
   matched_sets.reserve(n);
+  RankStats stats;
+  stats.blocks_total = (n + kScoreBlock - 1) / kScoreBlock;
+  stats.block_ms.assign(stats.blocks_total, 0.0);
+  const auto t_score = std::chrono::steady_clock::now();
+  auto t_block = t_score;
   // Serial loop; the anytime cut is simply how far it got, rounded
   // down to a whole block so both engines report identical prefixes.
   for (const EnumeratedPredicate& ep : predicates) {
     if (ctx.StopRequested()) break;
     if (scored.size() % kScoreBlock == 0) {
+      const auto now = std::chrono::steady_clock::now();
+      if (!scored.empty()) {
+        stats.block_ms[scored.size() / kScoreBlock - 1] =
+            MillisBetween(t_block, now);
+      }
+      t_block = now;
       DBW_FAULT(ctx, "ranker/score");
       if (ctx.budget != nullptr) {
         const size_t block =
@@ -361,6 +428,14 @@ Result<RankOutcome> PredicateRanker::RankReference(
     matched_sets.push_back(std::move(matched));
   }
 
+  stats.score_ms = MillisBetween(t_score, std::chrono::steady_clock::now());
+  // Close the final block's slot if the loop finished it.
+  if (!scored.empty() &&
+      (scored.size() == n || scored.size() % kScoreBlock == 0)) {
+    stats.block_ms[(scored.size() - 1) / kScoreBlock] =
+        MillisBetween(t_block, std::chrono::steady_clock::now());
+  }
+
   size_t prefix = scored.size();
   if (prefix < n) {
     prefix -= prefix % kScoreBlock;  // whole blocks only, like the
@@ -368,6 +443,9 @@ Result<RankOutcome> PredicateRanker::RankReference(
     scored.resize(prefix);
     matched_sets.resize(prefix);
   }
+  stats.blocks_done = (prefix + kScoreBlock - 1) / kScoreBlock;
+  Metrics().blocks_scored->Increment(stats.blocks_done);
+  Metrics().predicates_scored->Increment(prefix);
 
   auto hash_of = [&](size_t i) {
     uint64_t hash = 0x9E3779B97F4A7C15ULL;
@@ -381,7 +459,10 @@ Result<RankOutcome> PredicateRanker::RankReference(
       &scored, hash_of,
       [&](size_t a, size_t b) { return matched_sets[a] == matched_sets[b]; },
       options_.top_k);
-  return MakeOutcome(std::move(ranked), prefix, n, ctx, budget_stop);
+  RankOutcome out = MakeOutcome(std::move(ranked), prefix, n, ctx, budget_stop);
+  if (out.partial) Metrics().partial_runs->Increment();
+  out.stats = std::move(stats);
+  return out;
 }
 
 }  // namespace dbwipes

@@ -1,5 +1,6 @@
 #include "dbwipes/core/removal_scorer.h"
 
+#include "dbwipes/common/trace.h"
 #include "dbwipes/core/removal.h"
 
 namespace dbwipes {
@@ -9,6 +10,7 @@ Result<RemovalScorer> RemovalScorer::Create(
     const std::vector<size_t>& selected_groups, size_t agg_index,
     const std::vector<RowId>& suspects, const ExecContext& ctx) {
   DBW_FAULT(ctx, "scorer/create");
+  DBW_TRACE_SPAN("scorer/create");
   if (agg_index >= result.query.aggregates.size()) {
     return Status::OutOfRange("agg_index out of range");
   }

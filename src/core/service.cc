@@ -2,7 +2,9 @@
 
 #include <sstream>
 
+#include "dbwipes/common/metrics.h"
 #include "dbwipes/common/string_util.h"
+#include "dbwipes/common/trace.h"
 #include "dbwipes/core/export.h"
 #include "dbwipes/expr/parser.h"
 
@@ -35,6 +37,19 @@ Result<ErrorMetricPtr> MakeMetric(const std::string& kind, double expected) {
 }  // namespace
 
 std::string Service::Execute(const std::string& line) {
+  static MetricCounter* const commands =
+      MetricsRegistry::Global().GetCounter("service.commands");
+  static MetricCounter* const errors =
+      MetricsRegistry::Global().GetCounter("service.errors");
+  commands->Increment();
+  std::string response = ExecuteCommand(line);
+  // Every failure path funnels through Error(), whose responses start
+  // with this exact prefix.
+  if (response.compare(0, 12, "{\"ok\": false") == 0) errors->Increment();
+  return response;
+}
+
+std::string Service::ExecuteCommand(const std::string& line) {
   std::istringstream in(line);
   std::string cmd;
   in >> cmd;
@@ -199,10 +214,48 @@ std::string Service::Execute(const std::string& line) {
     return out;
   }
 
+  if (cmd == "stats") {
+    return OkWith("stats",
+                  MetricsRegistry::Global().SnapshotJson(/*pretty=*/false));
+  }
+
+  if (cmd == "profile") {
+    std::string sub;
+    if (!(in >> sub)) return Error("usage: profile on|off");
+    if (sub == "on") {
+      profile_enabled_ = true;
+      return OkWith("profile", "true");
+    }
+    if (sub == "off") {
+      profile_enabled_ = false;
+      return OkWith("profile", "false");
+    }
+    return Error("unknown profile subcommand '" + sub + "'");
+  }
+
+  if (cmd == "trace") {
+    std::string sub;
+    if (!(in >> sub)) return Error("usage: trace on|off|<path>");
+    if (sub == "on") {
+      Tracer::Global().SetEnabled(true);
+      return OkWith("trace", "true");
+    }
+    if (sub == "off") {
+      Tracer::Global().SetEnabled(false);
+      return OkWith("trace", "false");
+    }
+    // Anything else is a dump path.
+    Status st = Tracer::Global().WriteJson(sub);
+    if (!st.ok()) return Error(st);
+    return OkWith("trace_events",
+                  std::to_string(Tracer::Global().num_events()));
+  }
+
   return Error("unknown command '" + cmd + "'");
 }
 
 std::string Service::RunDebug() {
+  DBW_TRACE_SPAN("service/debug");
   auto source = std::make_shared<CancellationSource>();
   {
     std::lock_guard<std::mutex> lock(cancel_mu_);
@@ -226,13 +279,20 @@ std::string Service::RunDebug() {
   }
 
   if (!exp.ok()) return Error(exp.status());
+  std::string profile_field;
+  if (profile_enabled_) {
+    profile_field =
+        ", \"profile\": " + ExplainProfileToJson(exp->profile,
+                                                 /*pretty=*/false);
+  }
   if (exp->partial) {
     return "{\"ok\": true, \"partial\": true, \"reason\": \"" +
            JsonEscape(exp->partial_reason) +
            "\", \"explanation\": " +
-           ExplanationToJson(*exp, /*pretty=*/false) + "}";
+           ExplanationToJson(*exp, /*pretty=*/false) + profile_field + "}";
   }
-  return OkWith("explanation", ExplanationToJson(*exp, /*pretty=*/false));
+  return "{\"ok\": true, \"explanation\": " +
+         ExplanationToJson(*exp, /*pretty=*/false) + profile_field + "}";
 }
 
 }  // namespace dbwipes

@@ -3,13 +3,19 @@
 #include <algorithm>
 #include <cmath>
 
+#include "dbwipes/common/trace.h"
 #include "dbwipes/expr/parser.h"
 #include "dbwipes/provenance/lineage.h"
 
 namespace dbwipes {
 
 Status Session::ExecuteSql(const std::string& sql) {
-  DBW_ASSIGN_OR_RETURN(AggregateQuery query, ParseQuery(sql));
+  // Same span as Database::ExecuteSql — the session parses directly.
+  Result<AggregateQuery> parsed = [&]() -> Result<AggregateQuery> {
+    DBW_TRACE_SPAN("sql/parse");
+    return ParseQuery(sql);
+  }();
+  DBW_ASSIGN_OR_RETURN(AggregateQuery query, std::move(parsed));
   original_query_ = query;
   applied_predicates_.clear();
   return Reexecute();
@@ -182,6 +188,7 @@ Status Session::SetMetric(ErrorMetricPtr metric, size_t agg_index) {
 Result<Explanation> Session::Debug() { return Debug(ExecContext::None()); }
 
 Result<Explanation> Session::Debug(const ExecContext& ctx) {
+  DBW_TRACE_SPAN("session/debug");
   if (!result_) return Status::InvalidArgument("execute a query first");
   if (selected_groups_.empty()) {
     return Status::InvalidArgument("select suspicious results first");

@@ -6,10 +6,38 @@
 
 #include "dbwipes/common/exec_context.h"
 #include "dbwipes/common/logging.h"
+#include "dbwipes/common/metrics.h"
+#include "dbwipes/common/trace.h"
 
 namespace dbwipes {
 
 namespace {
+
+/// Process-wide counters, mirrored from the per-engine members so the
+/// Service `stats` snapshot can report matching behavior across every
+/// engine instance. Pointers are resolved once; increments are relaxed
+/// atomics on cold-ish paths (per clause lookup / per materialize
+/// call), never per row.
+struct MatchMetrics {
+  MetricCounter* materialize_calls;
+  MetricCounter* clause_lookups;
+  MetricCounter* cache_hits;
+  MetricCounter* cache_misses;
+  MetricCounter* bitmaps_materialized;
+  MetricCounter* boxed_fallbacks;
+};
+
+const MatchMetrics& Metrics() {
+  static const MatchMetrics m = {
+      MetricsRegistry::Global().GetCounter("match.materialize_calls"),
+      MetricsRegistry::Global().GetCounter("match.clause_lookups"),
+      MetricsRegistry::Global().GetCounter("match.cache_hits"),
+      MetricsRegistry::Global().GetCounter("match.cache_misses"),
+      MetricsRegistry::Global().GetCounter("match.bitmaps_materialized"),
+      MetricsRegistry::Global().GetCounter("match.boxed_fallbacks"),
+  };
+  return m;
+}
 
 /// Exact cache key for a clause. Clause::CanonicalString renders
 /// doubles at display precision, which can collapse distinct
@@ -283,9 +311,13 @@ MatchEngine::ClauseEntry* MatchEngine::EnsureClause(const Clause& clause,
   auto it = index_.find(key);
   if (it != index_.end()) {
     ++cache_hits_;
+    Metrics().clause_lookups->Increment();
+    Metrics().cache_hits->Increment();
     return &entries_[it->second];
   }
   ++cache_misses_;
+  Metrics().clause_lookups->Increment();
+  Metrics().cache_misses->Increment();
   ClauseEntry entry;
   Result<CompiledClause> compiled = CompileClause(clause, *table_);
   if (compiled.ok()) {
@@ -293,6 +325,8 @@ MatchEngine::ClauseEntry* MatchEngine::EnsureClause(const Clause& clause,
     entry.bits = Bitmap(rows_.size());
     MatchClauseWords(*compiled, rows_, 0, entry.bits.num_words(),
                      &entry.bits);
+    ++bitmaps_materialized_;
+    Metrics().bitmaps_materialized->Increment();
   }
   // Clauses the kernels cannot translate stay cached as unsupported;
   // predicates touching them fall back to the boxed path, where Bind
@@ -310,6 +344,8 @@ Status MatchEngine::Materialize(
   const ExecContext& ctx =
       options.ctx != nullptr ? *options.ctx : ExecContext::None();
   DBW_FAULT(ctx, "match/materialize");
+  DBW_TRACE_SPAN("match/materialize");
+  Metrics().materialize_calls->Increment();
 
   // Entries added by this call live at the tail of entries_; on an
   // interrupt or failure they are rolled back wholesale so the cache
@@ -337,9 +373,13 @@ Status MatchEngine::Materialize(
       auto it = index_.find(key);
       if (it != index_.end()) {
         ++cache_hits_;
+        Metrics().clause_lookups->Increment();
+        Metrics().cache_hits->Increment();
         continue;
       }
       ++cache_misses_;
+      Metrics().clause_lookups->Increment();
+      Metrics().cache_misses->Increment();
       ClauseEntry entry;
       Result<CompiledClause> compiled = CompileClause(c, *table_);
       if (compiled.ok()) {
@@ -391,7 +431,14 @@ Status MatchEngine::Materialize(
   // A cooperative stop skips scan chunks, leaving fresh bitmaps
   // incomplete; drop them so a later retry rescans from scratch.
   Status cont = ctx.CheckContinue();
-  if (!cont.ok()) rollback();
+  if (!cont.ok()) {
+    rollback();
+    return cont;
+  }
+  // Only fully scanned bitmaps count as materialized (rolled-back
+  // partial scans never reach here).
+  bitmaps_materialized_ += fresh.size();
+  Metrics().bitmaps_materialized->Increment(fresh.size());
   return cont;
 }
 
@@ -440,6 +487,8 @@ Result<const Bitmap*> MatchEngine::ClauseBitmap(const Clause& clause) {
 }
 
 Result<Bitmap> MatchEngine::MatchBoxed(const Predicate& predicate) const {
+  boxed_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().boxed_fallbacks->Increment();
   DBW_ASSIGN_OR_RETURN(BoundPredicate bound, predicate.Bind(*table_));
   return bound.MatchBitmap(rows_);
 }

@@ -1,0 +1,108 @@
+#ifndef DBWIPES_COMMON_METRICS_H_
+#define DBWIPES_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dbwipes {
+
+/// \brief Monotonic event count. Write path is one relaxed fetch_add.
+class MetricCounter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void ResetForTest() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Point-in-time level (queue depth, thread count).
+class MetricGauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void ResetForTest() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief Fixed-bucket latency histogram (milliseconds). Bounds are
+/// compiled in — identical across every histogram, so snapshots are
+/// comparable — and the write path is two relaxed fetch_adds (bucket
+/// count + sum in nanoseconds), no locks. Buckets are cumulative-free:
+/// bucket i counts observations <= bounds[i], the last bucket is the
+/// overflow.
+class MetricHistogram {
+ public:
+  /// Upper bounds in ms; observations above the last bound land in the
+  /// overflow bucket.
+  static constexpr double kBoundsMs[] = {0.1,  0.25, 0.5,  1.0,   2.5,
+                                         5.0,  10.0, 25.0, 50.0,  100.0,
+                                         250.0, 500.0, 1000.0, 2500.0,
+                                         5000.0, 10000.0};
+  static constexpr size_t kNumBounds = sizeof(kBoundsMs) / sizeof(double);
+  static constexpr size_t kNumBuckets = kNumBounds + 1;  // + overflow
+
+  void Observe(double ms);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum_ms() const {
+    return static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) /
+           1e6;
+  }
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void ResetForTest();
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_ns_{0};
+};
+
+/// \brief Process-wide registry of named counters, gauges, and
+/// histograms.
+///
+/// Get*() registers on first use (mutex-protected, cold) and returns a
+/// pointer that stays valid for the process lifetime — hot code caches
+/// it in a function-local static, so the steady-state write path is
+/// atomics only. SnapshotJson() serializes every metric; ResetForTest()
+/// zeroes values without invalidating cached pointers.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  MetricCounter* GetCounter(const std::string& name);
+  MetricGauge* GetGauge(const std::string& name);
+  MetricHistogram* GetHistogram(const std::string& name);
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} with
+  /// names sorted for deterministic output.
+  std::string SnapshotJson(bool pretty = false) const;
+
+  /// Zeroes every registered metric (pointers stay valid).
+  void ResetForTest();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, std::unique_ptr<MetricCounter>>>
+      counters_;
+  std::vector<std::pair<std::string, std::unique_ptr<MetricGauge>>> gauges_;
+  std::vector<std::pair<std::string, std::unique_ptr<MetricHistogram>>>
+      histograms_;
+};
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_COMMON_METRICS_H_

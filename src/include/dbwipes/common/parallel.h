@@ -1,8 +1,10 @@
 #ifndef DBWIPES_COMMON_PARALLEL_H_
 #define DBWIPES_COMMON_PARALLEL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -45,6 +47,23 @@ class ThreadPool {
 
   size_t num_threads() const { return threads_.size(); }
 
+  /// \brief Monotonic utilization counters, readable at any time.
+  ///
+  /// `busy_ms` sums wall time spent inside chunk bodies across every
+  /// thread, so per-chunk utilization over an interval is
+  /// delta(busy_ms) / (interval_ms * (num_threads + 1)). `peak_queue_
+  /// depth` is the largest number of chunks ever queued by one region
+  /// (the pool drains regions one at a time, so this is the high-water
+  /// queue depth). Snapshots are relaxed-atomic reads; deltas between
+  /// two snapshots around a pipeline run give that run's share.
+  struct StatsSnapshot {
+    uint64_t regions = 0;        // Run() invocations with work
+    uint64_t chunks = 0;         // chunk bodies executed
+    double busy_ms = 0.0;        // wall time inside chunk bodies
+    uint64_t peak_queue_depth = 0;
+  };
+  StatsSnapshot stats() const;
+
   /// Runs fn(chunk) for every chunk in [0, num_chunks), distributing
   /// chunks dynamically over the workers plus the calling thread, and
   /// returns when all chunks finished. fn must be safe to call
@@ -76,6 +95,11 @@ class ThreadPool {
   size_t task_error_chunk_ = 0;
   bool shutdown_ = false;
   std::vector<std::thread> threads_;
+  // Utilization counters (relaxed; see StatsSnapshot).
+  std::atomic<uint64_t> stat_regions_{0};
+  std::atomic<uint64_t> stat_chunks_{0};
+  std::atomic<uint64_t> stat_busy_ns_{0};
+  std::atomic<uint64_t> stat_peak_queue_{0};
 };
 
 /// Tuning knobs for ParallelFor.

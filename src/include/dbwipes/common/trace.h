@@ -1,0 +1,149 @@
+#ifndef DBWIPES_COMMON_TRACE_H_
+#define DBWIPES_COMMON_TRACE_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dbwipes/common/status.h"
+
+namespace dbwipes {
+
+/// Small dense id for the calling thread (0 for the first thread that
+/// asks, 1 for the next, ...). Stable for the thread's lifetime; used
+/// to correlate log lines with trace spans.
+size_t CurrentThreadId();
+
+/// Milliseconds since the process-wide steady-clock epoch (the first
+/// call wins the epoch). Monotonic; shared by the tracer and the log
+/// prefix so the two timelines line up.
+double MonotonicMillis();
+
+/// \brief Process-wide span recorder with per-thread buffers and a
+/// Chrome trace_event exporter.
+///
+/// Discipline mirrors the PR 3 FaultInjector: production pays a single
+/// relaxed-load branch per DBW_TRACE_SPAN while disabled, and nothing
+/// else. When enabled, each thread appends completed spans to its own
+/// chunked buffer — the hot path is one relaxed load, an in-place
+/// event write, and one release store; the only lock is taken when a
+/// buffer grows by a whole chunk (every kChunkEvents spans). Readers
+/// (ExportJson) acquire each buffer's published count and walk the
+/// stable heap chunks, so concurrent export during tracing is safe and
+/// tsan-clean. Clear() requires no concurrent writers (quiesce first).
+///
+/// ExportJson emits Chrome trace_event JSON — an object with a
+/// "traceEvents" array of complete ("X") and instant ("i") events —
+/// loadable directly in chrome://tracing or Perfetto. Spans recorded
+/// via the RAII TraceSpan are strictly nested per thread by
+/// construction (stack discipline), which those viewers require.
+class Tracer {
+ public:
+  /// One recorded event. `dur_us < 0` marks an instant event.
+  struct Event {
+    const char* name = "";  // static-storage string (span/site name)
+    double ts_us = 0.0;     // steady-clock microseconds since epoch
+    double dur_us = -1.0;
+    size_t tid = 0;
+    /// Pre-rendered inner JSON for the Chrome "args" object, e.g.
+    /// "\"rows\":123,\"stage\":\"rank\"". Empty = no args.
+    std::string args;
+  };
+
+  static Tracer& Global();
+
+  void SetEnabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Appends `e` (tid is overwritten with the caller's) to the calling
+  /// thread's buffer. Callers normally use TraceSpan / RecordInstant.
+  void Record(Event e);
+
+  /// Instant event ("i" phase, thread scope) at now.
+  void RecordInstant(const char* name, std::string args = "");
+
+  /// All recorded events across threads as Chrome trace_event JSON.
+  std::string ExportJson() const;
+
+  /// ExportJson written to `path` (overwrites).
+  Status WriteJson(const std::string& path) const;
+
+  /// Total events currently recorded.
+  size_t num_events() const;
+
+  /// Drops every recorded event. Callers must ensure no thread is
+  /// concurrently recording (disable + drain in-flight work first).
+  void Clear();
+
+  static constexpr size_t kChunkEvents = 1024;
+
+ private:
+  struct Chunk {
+    std::array<Event, kChunkEvents> events;
+  };
+  struct Buffer {
+    size_t tid = 0;
+    /// Events [0, count) are fully written (release/acquire pairing).
+    std::atomic<size_t> count{0};
+    /// Guards growth of `chunks` only; chunk storage never moves.
+    mutable std::mutex grow_mu;
+    std::vector<std::unique_ptr<Chunk>> chunks;
+  };
+
+  Buffer* LocalBuffer();
+
+  mutable std::mutex mu_;  // guards buffers_ registration
+  std::vector<std::shared_ptr<Buffer>> buffers_;
+  std::atomic<bool> enabled_{false};
+};
+
+/// \brief RAII span: captures the start on construction (when tracing
+/// is enabled) and records a complete event on destruction. Scope
+/// nesting gives strict per-thread span nesting in the export.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (Tracer::Global().enabled()) Start(name);
+  }
+  ~TraceSpan() {
+    if (active_) Finish();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  bool active() const { return active_; }
+
+  /// Attaches a key/value to the span's Chrome "args" object. No-op
+  /// while inactive, so annotation sites cost one branch when disabled.
+  void Annotate(const char* key, const std::string& value);
+  void Annotate(const char* key, double value);
+  void Annotate(const char* key, size_t value);
+
+ private:
+  void Start(const char* name);
+  void Finish();
+
+  bool active_ = false;
+  const char* name_ = "";
+  double start_us_ = 0.0;
+  std::string args_;
+};
+
+}  // namespace dbwipes
+
+#define DBW_TRACE_CONCAT_INNER(a, b) a##b
+#define DBW_TRACE_CONCAT(a, b) DBW_TRACE_CONCAT_INNER(a, b)
+
+/// Scoped pipeline span: one relaxed atomic load when tracing is off.
+#define DBW_TRACE_SPAN(name) \
+  ::dbwipes::TraceSpan DBW_TRACE_CONCAT(_dbw_trace_span_, __LINE__)(name)
+
+#endif  // DBWIPES_COMMON_TRACE_H_

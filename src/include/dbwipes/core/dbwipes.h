@@ -10,6 +10,7 @@
 #include "dbwipes/core/merger.h"
 #include "dbwipes/core/predicate_enumerator.h"
 #include "dbwipes/core/predicate_ranker.h"
+#include "dbwipes/core/profile.h"
 #include "dbwipes/query/database.h"
 
 namespace dbwipes {
@@ -69,6 +70,11 @@ struct Explanation {
   double enumerate_ms = 0.0;
   double predicates_ms = 0.0;
   double rank_ms = 0.0;
+
+  /// Telemetry summary (always collected; see profile.h). The stage
+  /// clocks above are mirrored into it together with work counts,
+  /// MatchEngine cache behavior, pool utilization, and anytime events.
+  ExplainProfile profile;
 
   double total_ms() const {
     return preprocess_ms + enumerate_ms + predicates_ms + rank_ms;

@@ -20,6 +20,13 @@ std::string ExplanationToJson(const Explanation& explanation,
 /// for the visualization component.
 std::string QueryResultToJson(const QueryResult& result, bool pretty = true);
 
+/// Serializes an ExplainProfile (per-stage wall time, work counts,
+/// MatchEngine cache behavior, pool utilization, anytime events) —
+/// also embedded in ExplanationToJson under "profile", and attached to
+/// Service debug responses when `profile on` is set.
+std::string ExplainProfileToJson(const ExplainProfile& profile,
+                                 bool pretty = true);
+
 /// JSON string escaping helper (exposed for tests).
 std::string JsonEscape(const std::string& s);
 

@@ -79,6 +79,27 @@ struct RankerOptions {
 /// Because the cut is a prefix of enumeration order, the partial
 /// ranking equals a full run restricted to predicates[0,
 /// scored_prefix) at any thread count — degraded, never wrong.
+/// \brief Telemetry one ranking run produces for the ExplainProfile:
+/// phase wall times, per-block timings, and MatchEngine cache totals.
+struct RankStats {
+  /// MatchEngine::Materialize wall time (0 when kernels are off).
+  double materialize_ms = 0.0;
+  /// Wall time of the scoring phase (all blocks).
+  double score_ms = 0.0;
+  size_t blocks_total = 0;
+  /// Contiguous done-prefix of blocks (the anytime cut).
+  size_t blocks_done = 0;
+  /// Wall ms per block, slot-per-block; blocks that never completed
+  /// keep 0, so a partial run shows where the deadline cut.
+  std::vector<double> block_ms;
+  bool used_kernels = false;
+  size_t clause_lookups = 0;
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+  size_t bitmaps_materialized = 0;
+  size_t boxed_fallbacks = 0;
+};
+
 struct RankOutcome {
   std::vector<RankedPredicate> predicates;
   bool partial = false;
@@ -88,6 +109,7 @@ struct RankOutcome {
   /// Input predicates the ranking considered (prefix length).
   size_t scored_prefix = 0;
   size_t total_candidates = 0;
+  RankStats stats;
 };
 
 /// \brief Final backend stage: score each enumerated predicate by

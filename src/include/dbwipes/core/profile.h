@@ -1,0 +1,87 @@
+#ifndef DBWIPES_CORE_PROFILE_H_
+#define DBWIPES_CORE_PROFILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dbwipes {
+
+/// \brief Per-Explain telemetry summary, attached to every
+/// Explanation.
+///
+/// Where the Tracer answers "what happened when" across the process,
+/// the profile answers "where did THIS request's budget go": per-stage
+/// wall time, work counts per stage, MatchEngine cache behavior,
+/// ThreadPool utilization over the run, and the anytime events
+/// (cancellation / deadline / budget) that cut it short. Collection is
+/// always on — the fields are filled from measurements the pipeline
+/// already takes (stage clocks, engine counters, pool counter deltas),
+/// so there is no separate profiling mode to forget to enable.
+/// Serialized by ExplainProfileToJson (export.h) and surfaced by the
+/// Service's `profile on` mode.
+struct ExplainProfile {
+  // --- Stage wall clock (ms) ---
+  double preprocess_ms = 0.0;
+  double enumerate_ms = 0.0;    // dataset enumeration incl. D' cleaning
+  double predicates_ms = 0.0;   // predicate enumeration
+  double materialize_ms = 0.0;  // MatchEngine::Materialize inside ranking
+  double score_ms = 0.0;        // scoring blocks inside ranking
+  double rank_ms = 0.0;         // whole ranking stage (incl. merge)
+  double total_ms = 0.0;
+
+  // --- Work processed ---
+  size_t table_rows = 0;
+  size_t suspect_rows = 0;
+  size_t candidate_datasets = 0;
+  size_t predicates_enumerated = 0;
+  size_t predicates_scored = 0;
+
+  // --- Scoring blocks (the anytime cut's granularity) ---
+  size_t scoring_blocks_total = 0;
+  size_t scoring_blocks_done = 0;
+  /// Wall ms per scoring block, index-aligned with the candidate
+  /// prefix; blocks past the anytime cut stay 0, so a partial ranking
+  /// shows exactly where the deadline landed.
+  std::vector<double> block_ms;
+
+  // --- MatchEngine (vectorized matching) ---
+  bool used_match_kernels = false;
+  size_t clause_lookups = 0;  // == cache_hits + cache_misses
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+  size_t bitmaps_materialized = 0;
+  size_t boxed_fallbacks = 0;
+
+  // --- ThreadPool utilization (delta over this Explain) ---
+  size_t pool_threads = 0;  // workers + the calling thread
+  uint64_t pool_regions = 0;
+  uint64_t pool_chunks = 0;
+  double pool_busy_ms = 0.0;
+  uint64_t pool_peak_queue_depth = 0;
+  /// pool_busy_ms / (total_ms * pool_threads), clamped to [0, 1]:
+  /// the fraction of available thread-time spent inside chunk bodies.
+  double pool_utilization = 0.0;
+
+  // --- Anytime events (ExecContext) ---
+  bool partial = false;
+  std::string partial_reason;
+  bool cancelled = false;
+  bool deadline_expired = false;
+  bool has_deadline = false;
+  /// ms left on the deadline when the run returned (negative once
+  /// past); meaningless unless has_deadline.
+  double deadline_remaining_ms = 0.0;
+  bool has_budget = false;
+  size_t budget_used_predicates = 0;
+  size_t budget_used_bitmap_bytes = 0;
+  size_t budget_used_scored_removals = 0;
+  bool budget_predicates_exhausted = false;
+  bool budget_bitmap_exhausted = false;
+  bool budget_removals_exhausted = false;
+};
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_CORE_PROFILE_H_

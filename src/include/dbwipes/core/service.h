@@ -40,11 +40,19 @@ namespace dbwipes {
 ///   undo                         remove the last cleaning predicate
 ///   reset                        drop all cleaning predicates
 ///   state                        session status summary
+///   stats                        process-wide metrics snapshot (JSON)
+///   profile on|off               attach the per-Explain profile to
+///                                debug responses
+///   trace on|off                 enable/disable the pipeline tracer
+///   trace <path>                 write recorded spans to <path> as
+///                                Chrome trace_event JSON
 ///
 /// Every response is a JSON object: {"ok": true, ...} on success or
-/// {"ok": false, "error": "..."} on failure — errors never throw. A
-/// debug run wound down early by a deadline, cancel, or budget
-/// responds {"ok": true, "partial": true, "reason": "...", ...}.
+/// {"ok": false, "error": "..."} on failure — errors never throw; an
+/// unknown subcommand of a multi-word command (e.g. `profile bogus`)
+/// fails with the offending token in the error. A debug run wound
+/// down early by a deadline, cancel, or budget responds {"ok": true,
+/// "partial": true, "reason": "...", ...}.
 ///
 /// Threading: commands are serial except `cancel`, which may be issued
 /// from another thread to interrupt an in-flight `debug`.
@@ -65,11 +73,15 @@ class Service {
   void set_budget(ResourceBudget* budget) { budget_ = budget; }
 
  private:
+  /// Execute minus the command/error accounting.
+  std::string ExecuteCommand(const std::string& line);
   std::string RunDebug();
 
   Session session_;
   /// Per-debug wall-clock cap in ms; <= 0 means none.
   double deadline_ms_ = 0.0;
+  /// `profile on`: debug responses carry the Explain's profile.
+  bool profile_enabled_ = false;
   FaultInjector* faults_ = nullptr;
   ResourceBudget* budget_ = nullptr;
   /// Guards the in-flight debug's cancellation source and the

@@ -1,6 +1,7 @@
 #ifndef DBWIPES_EXPR_MATCH_KERNELS_H_
 #define DBWIPES_EXPR_MATCH_KERNELS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -87,6 +88,34 @@ class MatchEngine {
  public:
   MatchEngine(const Table& table, std::vector<RowId> rows);
 
+  // Movable (the atomic fallback counter is carried over by value; no
+  // concurrent use may straddle a move).
+  MatchEngine(MatchEngine&& other) noexcept
+      : table_(other.table_),
+        rows_(std::move(other.rows_)),
+        built_num_rows_(other.built_num_rows_),
+        index_(std::move(other.index_)),
+        entries_(std::move(other.entries_)),
+        cache_hits_(other.cache_hits_),
+        cache_misses_(other.cache_misses_),
+        bitmaps_materialized_(other.bitmaps_materialized_),
+        boxed_fallbacks_(
+            other.boxed_fallbacks_.load(std::memory_order_relaxed)) {}
+  MatchEngine& operator=(MatchEngine&& other) noexcept {
+    table_ = other.table_;
+    rows_ = std::move(other.rows_);
+    built_num_rows_ = other.built_num_rows_;
+    index_ = std::move(other.index_);
+    entries_ = std::move(other.entries_);
+    cache_hits_ = other.cache_hits_;
+    cache_misses_ = other.cache_misses_;
+    bitmaps_materialized_ = other.bitmaps_materialized_;
+    boxed_fallbacks_.store(
+        other.boxed_fallbacks_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    return *this;
+  }
+
   const std::vector<RowId>& rows() const { return rows_; }
 
   /// Compiles and materializes every distinct clause of `predicates`
@@ -107,10 +136,20 @@ class MatchEngine {
   /// Bitmap of a single materialized-on-demand clause (serial).
   Result<const Bitmap*> ClauseBitmap(const Clause& clause);
 
-  // Cache introspection (for tests/benches).
+  // Cache introspection (for tests/benches/profiles). Hits + misses
+  // always equals clause lookups: every canonical-key probe counts
+  // exactly one of the two (a law the observability test checks
+  // against the global metric counters).
   size_t num_cached_clauses() const { return entries_.size(); }
   size_t cache_hits() const { return cache_hits_; }
   size_t cache_misses() const { return cache_misses_; }
+  size_t clause_lookups() const { return cache_hits_ + cache_misses_; }
+  /// Clause bitmaps actually scanned (supported cache misses).
+  size_t bitmaps_materialized() const { return bitmaps_materialized_; }
+  /// Predicates routed through the boxed row-at-a-time fallback.
+  size_t boxed_fallbacks() const {
+    return boxed_fallbacks_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct ClauseEntry {
@@ -134,6 +173,10 @@ class MatchEngine {
   std::vector<ClauseEntry> entries_;
   size_t cache_hits_ = 0;
   size_t cache_misses_ = 0;
+  size_t bitmaps_materialized_ = 0;
+  /// Atomic: MatchPrepared is const and called concurrently by the
+  /// scoring threads; the fallback path is the only one that counts.
+  mutable std::atomic<size_t> boxed_fallbacks_{0};
 };
 
 }  // namespace dbwipes

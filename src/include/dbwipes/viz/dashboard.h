@@ -36,6 +36,11 @@ class Dashboard {
   /// and the effect of clicking each.
   std::string RenderRankedPredicates() const;
 
+  /// Observability panel: per-stage latency bars from the last
+  /// explanation's profile, plus MatchEngine cache and thread-pool
+  /// utilization lines. Width is the bar span of the slowest stage.
+  std::string RenderProfile(size_t width = 40) const;
+
   /// All four components stacked.
   Result<std::string> RenderAll() const;
 

@@ -1,10 +1,33 @@
 #include "dbwipes/query/database.h"
 
 #include <algorithm>
+#include <chrono>
 
+#include "dbwipes/common/metrics.h"
+#include "dbwipes/common/trace.h"
 #include "dbwipes/expr/parser.h"
 
 namespace dbwipes {
+
+namespace {
+
+/// SQL front-door counters; one increment / observe per statement.
+struct SqlMetrics {
+  MetricCounter* queries;
+  MetricCounter* parse_errors;
+  MetricHistogram* execute_ms;
+};
+
+const SqlMetrics& Metrics() {
+  static const SqlMetrics m = {
+      MetricsRegistry::Global().GetCounter("sql.queries"),
+      MetricsRegistry::Global().GetCounter("sql.parse_errors"),
+      MetricsRegistry::Global().GetHistogram("sql.execute_ms"),
+  };
+  return m;
+}
+
+}  // namespace
 
 void Database::RegisterTable(std::shared_ptr<const Table> table) {
   DBW_CHECK(table != nullptr);
@@ -37,15 +60,30 @@ std::vector<std::string> Database::TableNames() const {
 
 Result<QueryResult> Database::ExecuteSql(const std::string& sql,
                                          const ExecOptions& options) const {
-  DBW_ASSIGN_OR_RETURN(AggregateQuery query, ParseQuery(sql));
-  return Execute(query, options);
+  Result<AggregateQuery> query = [&]() -> Result<AggregateQuery> {
+    DBW_TRACE_SPAN("sql/parse");
+    return ParseQuery(sql);
+  }();
+  if (!query.ok()) {
+    Metrics().parse_errors->Increment();
+    return query.status();
+  }
+  return Execute(*query, options);
 }
 
 Result<QueryResult> Database::Execute(const AggregateQuery& query,
                                       const ExecOptions& options) const {
+  DBW_TRACE_SPAN("sql/execute");
+  Metrics().queries->Increment();
+  const auto t0 = std::chrono::steady_clock::now();
   DBW_ASSIGN_OR_RETURN(std::shared_ptr<const Table> table,
                        GetTable(query.table_name));
-  return ExecuteQuery(query, *table, options);
+  Result<QueryResult> r = ExecuteQuery(query, *table, options);
+  Metrics().execute_ms->Observe(
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  return r;
 }
 
 }  // namespace dbwipes

@@ -76,6 +76,57 @@ std::string Dashboard::RenderRankedPredicates() const {
   return out;
 }
 
+std::string Dashboard::RenderProfile(size_t width) const {
+  std::string out = "=== Profile ===\n";
+  if (!session_->has_explanation()) {
+    out += "(click debug! first)\n";
+    return out;
+  }
+  const ExplainProfile& p = session_->explanation().profile;
+  if (width == 0) width = 1;
+
+  struct Stage {
+    const char* name;
+    double ms;
+  };
+  const Stage stages[] = {
+      {"preprocess", p.preprocess_ms}, {"enumerate", p.enumerate_ms},
+      {"predicates", p.predicates_ms}, {"materialize", p.materialize_ms},
+      {"score", p.score_ms},           {"rank", p.rank_ms},
+  };
+  double max_ms = 0.0;
+  for (const Stage& s : stages) max_ms = std::max(max_ms, s.ms);
+
+  for (const Stage& s : stages) {
+    const size_t bar =
+        max_ms > 0.0
+            ? static_cast<size_t>(s.ms / max_ms * static_cast<double>(width))
+            : 0;
+    std::string line = "  ";
+    line += s.name;
+    line.resize(14, ' ');
+    line += std::string(bar, '#');
+    line += " " + FormatDouble(s.ms, 2) + " ms\n";
+    out += line;
+  }
+  out += "  total        " + FormatDouble(p.total_ms, 2) + " ms\n";
+
+  if (p.used_match_kernels) {
+    out += "  match cache: " + std::to_string(p.cache_hits) + " hits / " +
+           std::to_string(p.cache_misses) + " misses (" +
+           std::to_string(p.bitmaps_materialized) + " bitmaps)\n";
+  }
+  out += "  pool: " + std::to_string(p.pool_threads) + " threads, " +
+         std::to_string(p.pool_chunks) + " chunks, utilization " +
+         FormatDouble(p.pool_utilization * 100.0, 1) + "%\n";
+  if (p.partial) {
+    out += "  PARTIAL: " + p.partial_reason + " (" +
+           std::to_string(p.scoring_blocks_done) + "/" +
+           std::to_string(p.scoring_blocks_total) + " scoring blocks)\n";
+  }
+  return out;
+}
+
 Result<std::string> Dashboard::RenderAll() const {
   std::string out = RenderQueryForm();
   DBW_ASSIGN_OR_RETURN(std::string viz, RenderVisualization());
@@ -85,6 +136,7 @@ Result<std::string> Dashboard::RenderAll() const {
     out += forms;
   }
   out += RenderRankedPredicates();
+  if (session_->has_explanation()) out += RenderProfile();
   return out;
 }
 

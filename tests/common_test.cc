@@ -230,6 +230,39 @@ TEST_P(OnlineStatsRemoveProperty, RandomRemovalMatchesRecompute) {
 INSTANTIATE_TEST_SUITE_P(Seeds, OnlineStatsRemoveProperty,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
+class OnlineStatsInterleaveProperty
+    : public ::testing::TestWithParam<uint64_t> {};
+
+/// Random Add/Remove interleavings (not add-all-then-remove) checked
+/// against a recompute-from-scratch accumulator at every step. This is
+/// the exact access pattern the delta scorer drives, where Remove may
+/// immediately follow Add on a half-built window.
+TEST_P(OnlineStatsInterleaveProperty, InterleavedAddRemoveMatchesRecompute) {
+  Rng rng(GetParam());
+  std::vector<double> live;
+  OnlineStats s;
+  for (int step = 0; step < 400; ++step) {
+    if (!live.empty() && rng.UniformDouble() < 0.4) {
+      const size_t i = rng.UniformInt(live.size());
+      s.Remove(live[i]);
+      live[i] = live.back();
+      live.pop_back();
+    } else {
+      const double x = rng.UniformDouble() * 2.0 - 1.0;
+      live.push_back(x);
+      s.Add(x);
+    }
+    OnlineStats fresh;
+    for (double x : live) fresh.Add(x);
+    ASSERT_EQ(s.count(), fresh.count()) << "step " << step;
+    ASSERT_NEAR(s.mean(), fresh.mean(), 1e-9) << "step " << step;
+    ASSERT_NEAR(s.variance(), fresh.variance(), 1e-9) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OnlineStatsInterleaveProperty,
+                         ::testing::Values(11, 12, 13, 14, 15, 16, 17, 18));
+
 // ---------- batch stats ----------
 
 TEST(StatsTest, QuantileAndMedian) {

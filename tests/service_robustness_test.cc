@@ -104,9 +104,19 @@ TEST(ServiceRobustnessTest, MalformedAndTruncatedCommands) {
            "clean_where",
            "set_deadline",
            "set_deadline soon",
+           "profile",
+           "trace",
        }) {
     ExpectCleanFailure(service, bad);
   }
+}
+
+TEST(ServiceRobustnessTest, UnknownSubcommandNamesOffendingToken) {
+  Service service(MakeDb());
+  const std::string resp = service.Execute("profile sometimes");
+  EXPECT_TRUE(IsWellFormedJsonObject(resp)) << resp;
+  EXPECT_NE(resp.find("\"ok\": false"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("sometimes"), std::string::npos) << resp;
 }
 
 TEST(ServiceRobustnessTest, NonNumericArguments) {

@@ -167,6 +167,27 @@ TEST(DashboardTest, RankedPredicatesRenderAfterDebug) {
   EXPECT_NE(list.find("err_improvement="), std::string::npos);
 }
 
+TEST(DashboardTest, ProfilePanelRendersAfterDebug) {
+  Session session(MakeDb());
+  ASSERT_TRUE(
+      session.ExecuteSql("SELECT g, avg(v) AS a FROM w GROUP BY g").ok());
+  Dashboard dash(&session);
+  EXPECT_NE(dash.RenderProfile().find("click debug! first"),
+            std::string::npos);
+  ASSERT_TRUE(session.SelectResultsInRange("a", 20.0, 100.0).ok());
+  ASSERT_TRUE(session.SetMetric(TooHigh(12.0)).ok());
+  ASSERT_TRUE(session.Debug().ok());
+  const std::string panel = dash.RenderProfile();
+  EXPECT_NE(panel.find("=== Profile ==="), std::string::npos);
+  for (const char* stage : {"preprocess", "enumerate", "predicates",
+                            "materialize", "score", "rank", "total"}) {
+    EXPECT_NE(panel.find(stage), std::string::npos) << stage;
+  }
+  EXPECT_NE(panel.find("pool:"), std::string::npos);
+  // A complete run never renders the PARTIAL marker.
+  EXPECT_EQ(panel.find("PARTIAL"), std::string::npos);
+}
+
 TEST(DashboardTest, RenderAllComposes) {
   Session session(MakeDb());
   ASSERT_TRUE(

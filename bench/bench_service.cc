@@ -1,0 +1,245 @@
+// Service admission-control benchmark: one queued service driven at
+// offered loads of 1x, 4x, and 16x its queue capacity, plus an
+// unloaded sequential baseline. Reports throughput of accepted
+// requests, accepted-latency p50/p99, and the shed rate at each load
+// level — the numbers that size `queue_capacity` and `num_workers`
+// for a deployment (see DESIGN.md section 5g).
+//
+// Emits machine-readable BENCH_service.json (working directory).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "dbwipes/common/parallel.h"
+#include "dbwipes/common/random.h"
+#include "dbwipes/core/service.h"
+
+namespace dbwipes {
+namespace {
+
+using bench::Fmt;
+using bench::TablePrinter;
+using Clock = std::chrono::steady_clock;
+
+constexpr size_t kQueueCapacity = 32;
+constexpr size_t kNumWorkers = 4;
+constexpr size_t kNumSessions = 8;
+constexpr int kRepeatsPerLoad = 6;
+
+double MsSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const size_t idx = static_cast<size_t>(p * static_cast<double>(v.size()));
+  return v[std::min(idx, v.size() - 1)];
+}
+
+/// 8 groups x 750 rows; groups 4..7 carry an injected anomaly tagged
+/// by `tag` and elevated `v`, so each session's `debug` does real
+/// ranking work while staying a few milliseconds per call.
+std::shared_ptr<Database> MakeDb() {
+  Rng rng(7);
+  auto t = std::make_shared<Table>(Schema{{"g", DataType::kInt64},
+                                          {"tag", DataType::kString},
+                                          {"x", DataType::kDouble},
+                                          {"v", DataType::kDouble}},
+                                   "w");
+  for (int g = 0; g < 8; ++g) {
+    for (int i = 0; i < 750; ++i) {
+      const bool bad = g >= 4 && i < 150;
+      if (!t->AppendRow({Value(static_cast<int64_t>(g)),
+                         Value(bad ? "bad" : "fine"), Value(rng.Normal(0, 1)),
+                         Value(bad ? rng.Normal(100, 2)
+                                   : rng.Normal(10, 2))})
+               .ok()) {
+        std::exit(1);
+      }
+    }
+  }
+  auto db = std::make_shared<Database>();
+  db->RegisterTable(t);
+  return db;
+}
+
+/// Brings session `@sN` to the debuggable state: query run, suspect
+/// groups selected, metric set. The benchmark then replays `debug`.
+void PrepareSessions(Service& service) {
+  for (size_t s = 0; s < kNumSessions; ++s) {
+    const std::string at = "@s" + std::to_string(s) + " ";
+    for (const std::string& cmd :
+         {at + "sql SELECT g, avg(v) AS a FROM w GROUP BY g",
+          at + "select_range a 20 1e9", at + "metric too_high 12"}) {
+      const std::string out = service.Execute(cmd);
+      if (out.find("\"ok\": true") == std::string::npos) {
+        std::fprintf(stderr, "setup failed: %s -> %s\n", cmd.c_str(),
+                     out.substr(0, 200).c_str());
+        std::exit(1);
+      }
+    }
+  }
+}
+
+std::string DebugCmd(size_t i) {
+  return "@s" + std::to_string(i % kNumSessions) + " debug";
+}
+
+struct LoadResult {
+  size_t offered = 0;
+  size_t accepted = 0;
+  size_t shed = 0;
+  double wall_ms = 0.0;
+  double accepted_p50_ms = 0.0;
+  double accepted_p99_ms = 0.0;
+  double throughput_rps = 0.0;  // accepted requests / wall second
+  double shed_rate = 0.0;
+};
+
+/// Sequential closed-loop baseline: one client, no queue pressure.
+LoadResult RunUnloaded(Service& service, size_t requests) {
+  LoadResult r;
+  r.offered = requests;
+  std::vector<double> lat;
+  const auto start = Clock::now();
+  for (size_t i = 0; i < requests; ++i) {
+    const auto t0 = Clock::now();
+    const std::string out = service.Execute(DebugCmd(i));
+    lat.push_back(MsSince(t0));
+    if (out.find("\"ok\": true") != std::string::npos) ++r.accepted;
+  }
+  r.wall_ms = MsSince(start);
+  r.accepted_p50_ms = Percentile(lat, 0.5);
+  r.accepted_p99_ms = Percentile(lat, 0.99);
+  r.throughput_rps =
+      r.wall_ms > 0.0 ? static_cast<double>(r.accepted) / (r.wall_ms / 1e3)
+                      : 0.0;
+  return r;
+}
+
+/// Open-loop burst at `multiplier` times the queue capacity, repeated
+/// kRepeatsPerLoad times (latencies pooled across repeats). Futures
+/// are collected in submission order; the admission queue is FIFO, so
+/// observed resolution order tracks completion order closely.
+LoadResult RunBurst(Service& service, size_t multiplier) {
+  LoadResult r;
+  std::vector<double> lat;
+  double wall_ms = 0.0;
+  for (int rep = 0; rep < kRepeatsPerLoad; ++rep) {
+    const size_t n = multiplier * kQueueCapacity;
+    std::vector<std::future<std::string>> futures;
+    std::vector<Clock::time_point> enqueued;
+    futures.reserve(n);
+    enqueued.reserve(n);
+    const auto start = Clock::now();
+    for (size_t i = 0; i < n; ++i) {
+      enqueued.push_back(Clock::now());
+      futures.push_back(service.Submit(DebugCmd(i)));
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const std::string out = futures[i].get();
+      if (out.find("\"ok\": true") != std::string::npos) {
+        ++r.accepted;
+        lat.push_back(MsSince(enqueued[i]));
+      } else {
+        ++r.shed;
+      }
+    }
+    wall_ms += MsSince(start);
+    r.offered += n;
+  }
+  r.wall_ms = wall_ms;
+  r.accepted_p50_ms = Percentile(lat, 0.5);
+  r.accepted_p99_ms = Percentile(lat, 0.99);
+  r.throughput_rps =
+      wall_ms > 0.0 ? static_cast<double>(r.accepted) / (wall_ms / 1e3) : 0.0;
+  r.shed_rate = r.offered > 0
+                    ? static_cast<double>(r.shed) / static_cast<double>(r.offered)
+                    : 0.0;
+  return r;
+}
+
+void AppendJson(std::string& out, const std::string& name,
+                const LoadResult& r) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "  \"%s\": {\"offered\": %zu, \"accepted\": %zu, "
+                "\"shed\": %zu, \"shed_rate\": %.4f, "
+                "\"throughput_rps\": %.1f, \"p50_ms\": %.3f, "
+                "\"p99_ms\": %.3f}",
+                name.c_str(), r.offered, r.accepted, r.shed, r.shed_rate,
+                r.throughput_rps, r.accepted_p50_ms, r.accepted_p99_ms);
+  if (!out.empty()) out += ",\n";
+  out += buf;
+}
+
+void Run() {
+  ServiceOptions options;
+  options.num_workers = kNumWorkers;
+  options.queue_capacity = kQueueCapacity;
+  Service service(MakeDb(), options);
+  PrepareSessions(service);
+  if (!service.Start().ok()) {
+    std::fprintf(stderr, "service failed to start\n");
+    std::exit(1);
+  }
+  // Warm every session's debug path (fills the clause-bitmap caches).
+  for (size_t s = 0; s < kNumSessions; ++s) (void)service.Execute(DebugCmd(s));
+
+  const LoadResult unloaded = RunUnloaded(service, 2 * kQueueCapacity);
+  const LoadResult x1 = RunBurst(service, 1);
+  const LoadResult x4 = RunBurst(service, 4);
+  const LoadResult x16 = RunBurst(service, 16);
+  service.Stop();
+
+  TablePrinter table({"load", "offered", "accepted", "shed_rate",
+                      "throughput_rps", "p50_ms", "p99_ms"});
+  auto row = [&table](const char* name, const LoadResult& r) {
+    table.AddRow({name, std::to_string(r.offered), std::to_string(r.accepted),
+                  Fmt(r.shed_rate * 100.0, 1) + "%", Fmt(r.throughput_rps, 1),
+                  Fmt(r.accepted_p50_ms, 2), Fmt(r.accepted_p99_ms, 2)});
+  };
+  row("unloaded", unloaded);
+  row("1x_capacity", x1);
+  row("4x_capacity", x4);
+  row("16x_capacity", x16);
+  table.Print();
+  std::printf("\naccepted p99 at 16x vs unloaded p99: %.1fx\n",
+              unloaded.accepted_p99_ms > 0.0
+                  ? x16.accepted_p99_ms / unloaded.accepted_p99_ms
+                  : 0.0);
+
+  std::string body;
+  AppendJson(body, "unloaded", unloaded);
+  AppendJson(body, "x1", x1);
+  AppendJson(body, "x4", x4);
+  AppendJson(body, "x16", x16);
+  FILE* f = std::fopen("BENCH_service.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"config\": {\"workers\": %zu, \"queue_capacity\": %zu, "
+                 "\"sessions\": %zu, \"repeats\": %d, \"threads\": %zu},\n"
+                 "%s\n"
+                 "}\n",
+                 kNumWorkers, kQueueCapacity, kNumSessions, kRepeatsPerLoad,
+                 DefaultParallelism(), body.c_str());
+    std::fclose(f);
+    std::printf("wrote BENCH_service.json\n");
+  }
+}
+
+}  // namespace
+}  // namespace dbwipes
+
+int main() {
+  dbwipes::Run();
+  return 0;
+}

@@ -8,7 +8,15 @@
 //           total -1e18 -1\ninputs_where amount < 0\nmetric too_low
 //           0\ndebug\n' | ./dbwipes_server
 
+// Prefix commands with `@name ` to use independent named sessions,
+// and run with `--workers N` to execute through the admission-
+// controlled worker pool (requests may then be shed under overload
+// with {"ok": false, "reason": "overloaded", ...}; stdin stays
+// strictly ordered either way because responses print in read order).
+
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 
@@ -18,7 +26,12 @@
 
 using namespace dbwipes;  // NOLINT — example brevity
 
-int main() {
+int main(int argc, char** argv) {
+  size_t workers = 0;
+  if (argc == 3 && std::strcmp(argv[1], "--workers") == 0) {
+    workers = static_cast<size_t>(std::atoi(argv[2]));
+  }
+
   auto db = std::make_shared<Database>();
   {
     IntelOptions intel;
@@ -27,13 +40,22 @@ int main() {
     db->RegisterTable(GenerateIntelDataset(intel).ValueOrDie().table);
     db->RegisterTable(GenerateFecDataset().ValueOrDie().table);
   }
-  Service service(db);
+  ServiceOptions options;
+  options.num_workers = workers;
+  Service service(db, options);
+  if (workers > 0 && !service.Start().ok()) {
+    std::fprintf(stderr, "failed to start worker pool\n");
+    return 1;
+  }
 
   std::string line;
   while (std::getline(std::cin, line)) {
     if (line == "quit" || line == "exit") break;
-    std::printf("%s\n", service.Execute(line).c_str());
+    const std::string out =
+        workers > 0 ? service.Submit(line).get() : service.Execute(line);
+    std::printf("%s\n", out.c_str());
     std::fflush(stdout);
   }
+  if (workers > 0) service.Stop();
   return 0;
 }

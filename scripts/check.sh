@@ -1,14 +1,15 @@
 #!/usr/bin/env bash
 # Pre-merge gate: tier-1 tests, the asan smoke subset, the anytime
 # fault matrix, the tsan smoke subset (tracer/metrics buffers must be
-# race-free), and the tracing-overhead benchmark. Run from the repo
-# root:
+# race-free), the stress-labelled concurrent service suites under
+# tsan, and the tracing-overhead benchmark. Run from the repo root:
 #
-#   scripts/check.sh            # all five stages
+#   scripts/check.sh            # all six stages
 #   scripts/check.sh tier1      # just the default-preset test suite
 #   scripts/check.sh asan       # just the asan smoke subset
 #   scripts/check.sh faults     # just the faults-labelled tests (asan)
 #   scripts/check.sh tsan       # just the tsan smoke subset
+#   scripts/check.sh stress     # concurrent service suites under tsan
 #   scripts/check.sh trace      # just bench_trace (BENCH_trace.json)
 #
 # Each stage configures/builds its preset only when needed, so repeat
@@ -46,6 +47,13 @@ tsan_smoke() {
   ctest --preset tsan-smoke -j "$jobs"
 }
 
+stress() {
+  echo "=== stress: concurrent service suites (tsan) ==="
+  cmake --preset tsan >/dev/null
+  cmake --build --preset tsan -j "$jobs"
+  ctest --preset tsan-stress -j "$jobs"
+}
+
 trace_bench() {
   echo "=== trace: observability overhead benchmark ==="
   cmake --preset default >/dev/null
@@ -59,8 +67,9 @@ case "${1:-all}" in
   asan)   asan_smoke ;;
   faults) faults ;;
   tsan)   tsan_smoke ;;
+  stress) stress ;;
   trace)  trace_bench ;;
-  all)    tier1; asan_smoke; faults; tsan_smoke; trace_bench ;;
-  *) echo "usage: $0 [tier1|asan|faults|tsan|trace|all]" >&2; exit 2 ;;
+  all)    tier1; asan_smoke; faults; tsan_smoke; stress; trace_bench ;;
+  *) echo "usage: $0 [tier1|asan|faults|tsan|stress|trace|all]" >&2; exit 2 ;;
 esac
 echo "=== check.sh: all requested stages passed ==="

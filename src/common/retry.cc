@@ -1,0 +1,60 @@
+#include "dbwipes/common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace dbwipes {
+
+ErrorClass ClassifyStatus(const Status& status) {
+  switch (status.code()) {
+    // The environment may recover: I/O hiccups, internal runtime
+    // failures (the injected-fault family), missed deadlines, and
+    // exhausted resources (budgets, load shedding).
+    case StatusCode::kIoError:
+    case StatusCode::kRuntimeError:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kResourceExhausted:
+      return ErrorClass::kTransient;
+    // The request itself is wrong, the answer cannot change, or the
+    // client explicitly asked the work to stop (kCancelled).
+    case StatusCode::kOk:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kAlreadyExists:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kParseError:
+    case StatusCode::kTypeError:
+    case StatusCode::kNotImplemented:
+    case StatusCode::kCancelled:
+      return ErrorClass::kPermanent;
+  }
+  return ErrorClass::kPermanent;
+}
+
+const char* ErrorClassToString(ErrorClass c) {
+  return c == ErrorClass::kTransient ? "transient" : "permanent";
+}
+
+double RetryPolicy::BackoffMs(size_t attempt) const {
+  if (attempt == 0) attempt = 1;
+  double backoff = initial_backoff_ms;
+  for (size_t i = 1; i < attempt; ++i) {
+    backoff *= backoff_multiplier;
+    if (backoff >= max_backoff_ms) break;
+  }
+  return std::min(std::max(backoff, 0.0), max_backoff_ms);
+}
+
+void RetryPolicy::Backoff(size_t attempt) const {
+  const double ms = BackoffMs(attempt);
+  if (sleep_fn) {
+    sleep_fn(ms);
+    return;
+  }
+  if (ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+  }
+}
+
+}  // namespace dbwipes

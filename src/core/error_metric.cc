@@ -139,4 +139,14 @@ std::vector<MetricSuggestion> SuggestMetrics(
   return out;
 }
 
+Result<ErrorMetricPtr> MetricFromKind(const std::string& kind,
+                                      double expected) {
+  if (kind == "too_high") return TooHigh(expected);
+  if (kind == "too_low") return TooLow(expected);
+  if (kind == "not_equal") return NotEqual(expected);
+  if (kind == "total_above") return TotalAbove(expected);
+  if (kind == "total_below") return TotalBelow(expected);
+  return Status::InvalidArgument("unknown metric kind '" + kind + "'");
+}
+
 }  // namespace dbwipes

@@ -124,6 +124,9 @@ void WriteProfile(JsonWriter* w, const ExplainProfile& p) {
   w->Number(p.total_ms);
   w->EndObject();
 
+  w->Key("attempts");
+  w->Number(p.attempts);
+
   w->Key("work");
   w->BeginObject();
   w->Key("table_rows");

@@ -1,11 +1,15 @@
 #include "dbwipes/core/service.h"
 
+#include <chrono>
 #include <sstream>
+#include <thread>
+#include <utility>
 
 #include "dbwipes/common/metrics.h"
 #include "dbwipes/common/string_util.h"
 #include "dbwipes/common/trace.h"
 #include "dbwipes/core/export.h"
+#include "dbwipes/core/snapshot.h"
 #include "dbwipes/expr/parser.h"
 
 namespace dbwipes {
@@ -16,7 +20,13 @@ std::string Error(const std::string& message) {
   return "{\"ok\": false, \"error\": \"" + JsonEscape(message) + "\"}";
 }
 
-std::string Error(const Status& status) { return Error(status.ToString()); }
+std::string Error(const Status& status) {
+  if (IsTransient(status)) {
+    return "{\"ok\": false, \"error\": \"" + JsonEscape(status.ToString()) +
+           "\", \"retryable\": true}";
+  }
+  return Error(status.ToString());
+}
 
 std::string Ok() { return "{\"ok\": true}"; }
 
@@ -24,17 +34,78 @@ std::string OkWith(const std::string& key, const std::string& json_value) {
   return "{\"ok\": true, \"" + key + "\": " + json_value + "}";
 }
 
-/// Builds a metric from its wire name.
-Result<ErrorMetricPtr> MakeMetric(const std::string& kind, double expected) {
-  if (kind == "too_high") return TooHigh(expected);
-  if (kind == "too_low") return TooLow(expected);
-  if (kind == "not_equal") return NotEqual(expected);
-  if (kind == "total_above") return TotalAbove(expected);
-  if (kind == "total_below") return TotalBelow(expected);
-  return Status::InvalidArgument("unknown metric kind '" + kind + "'");
+std::string ShedResponse(double retry_after_ms) {
+  return "{\"ok\": false, \"error\": \"overloaded: request queue is full\", "
+         "\"retryable\": true, \"reason\": \"overloaded\", "
+         "\"retry_after_ms\": " +
+         FormatDouble(retry_after_ms) + "}";
+}
+
+std::string NotRunningResponse() {
+  return "{\"ok\": false, \"error\": \"service is not running\", "
+         "\"reason\": \"not_running\"}";
+}
+
+ServiceOptions WithExplain(ExplainOptions explain) {
+  ServiceOptions options;
+  options.explain = std::move(explain);
+  return options;
+}
+
+/// Rebuilds a fresh session's state from its replay record. Anything
+/// that no longer applies cleanly (e.g. a metric whose agg_index fell
+/// out of range) is skipped rather than failing the whole restore;
+/// structural failures (missing table, bad predicate) abort.
+Status ReplaySessionState(ManagedSession& ms, const SessionReplay& replay) {
+  ms.replay = replay;
+  if (replay.original_sql.empty()) return Status::OK();
+
+  Session& s = ms.session;
+  DBW_RETURN_NOT_OK(s.ExecuteSql(replay.original_sql));
+  for (const Predicate& pred : replay.applied_predicates) {
+    DBW_RETURN_NOT_OK(s.ApplyPredicateDirect(pred));
+  }
+  if (!replay.selected_groups.empty()) {
+    DBW_RETURN_NOT_OK(s.SelectResults(replay.selected_groups));
+    if (!replay.selected_inputs.empty()) {
+      DBW_RETURN_NOT_OK(s.SelectInputs(replay.selected_inputs));
+    }
+  }
+  if (replay.has_metric) {
+    auto metric = MetricFromKind(replay.metric_kind, replay.metric_expected);
+    if (!metric.ok()) return metric.status();
+    Status st = s.SetMetric(*metric, replay.agg_index);
+    // A stale agg_index (the snapshot outlived a query change) makes
+    // the metric meaningless but the session itself is fine — restore
+    // it metric-less instead of refusing the whole snapshot.
+    if (!st.ok()) ms.replay.has_metric = false;
+  }
+  return Status::OK();
 }
 
 }  // namespace
+
+Service::Service(std::shared_ptr<Database> db, ExplainOptions options)
+    : Service(std::move(db), WithExplain(std::move(options))) {}
+
+Service::Service(std::shared_ptr<Database> db, ServiceOptions options)
+    : options_(std::move(options)),
+      db_(std::move(db)),
+      retry_max_attempts_(options_.retry.max_attempts),
+      retry_backoff_ms_(options_.retry.initial_backoff_ms) {
+  if (options_.sessions.max_sessions == 0) options_.sessions.max_sessions = 1;
+  manager_ =
+      std::make_unique<SessionManager>(db_, options_.explain, options_.sessions);
+  // Cannot fail: the manager is empty and max_sessions >= 1.
+  default_session_ = *manager_->GetOrCreate("main");
+}
+
+Service::~Service() { Stop(); }
+
+Session& Service::session() {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  return default_session_->session;
+}
 
 std::string Service::Execute(const std::string& line) {
   static MetricCounter* const commands =
@@ -55,182 +126,33 @@ std::string Service::ExecuteCommand(const std::string& line) {
   in >> cmd;
   if (cmd.empty()) return Error("empty command");
 
-  auto rest = [&in]() {
-    std::string tail;
-    std::getline(in, tail);
-    return std::string(Trim(tail));
-  };
-
-  if (cmd == "sql") {
-    const std::string sql = rest();
-    if (sql.empty()) return Error("usage: sql <query>");
-    Status st = session_.ExecuteSql(sql);
+  // `@name` routes the command to a named session; bare commands run
+  // on the implicit session "main".
+  std::string session_name = "main";
+  if (cmd[0] == '@') {
+    session_name = cmd.substr(1);
+    Status st = SessionManager::ValidateName(session_name);
     if (!st.ok()) return Error(st);
-    return OkWith("num_groups",
-                  std::to_string(session_.result().num_groups()));
+    cmd.clear();
+    if (!(in >> cmd)) return Error("usage: @<session> <command ...>");
   }
 
-  if (cmd == "result") {
-    if (!session_.has_result()) return Error("no query executed");
-    return OkWith("result",
-                  QueryResultToJson(session_.result(), /*pretty=*/false));
-  }
+  // --- Process-wide commands (no session involved) ---
 
-  if (cmd == "select_range") {
-    std::string agg;
-    double lo = 0.0, hi = 0.0;
-    if (!(in >> agg >> lo >> hi)) {
-      return Error("usage: select_range <agg> <lo> <hi>");
-    }
-    Status st = session_.SelectResultsInRange(agg, lo, hi);
-    if (!st.ok()) return Error(st);
-    return OkWith("num_selected",
-                  std::to_string(session_.selected_groups().size()));
-  }
-
-  if (cmd == "select_groups") {
-    std::vector<size_t> groups;
-    size_t g;
-    while (in >> g) groups.push_back(g);
-    if (groups.empty()) return Error("usage: select_groups <i> [j ...]");
-    Status st = session_.SelectResults(groups);
-    if (!st.ok()) return Error(st);
-    return OkWith("num_selected",
-                  std::to_string(session_.selected_groups().size()));
-  }
-
-  if (cmd == "inputs_where") {
-    const std::string filter = rest();
-    if (filter.empty()) return Error("usage: inputs_where <filter>");
-    Status st = session_.SelectInputsWhere(filter);
-    if (!st.ok()) return Error(st);
-    return OkWith("num_inputs",
-                  std::to_string(session_.selected_inputs().size()));
-  }
-
-  if (cmd == "metrics") {
-    size_t agg_index = 0;
-    in >> agg_index;
-    auto suggestions = session_.SuggestErrorMetrics(agg_index);
-    if (!suggestions.ok()) return Error(suggestions.status());
-    std::string arr = "[";
-    for (size_t i = 0; i < suggestions->size(); ++i) {
-      if (i > 0) arr += ", ";
-      arr += "{\"label\": \"" + JsonEscape((*suggestions)[i].label) +
-             "\", \"default_expected\": " +
-             FormatDouble((*suggestions)[i].default_expected, 17) + "}";
-    }
-    arr += "]";
-    return OkWith("metrics", arr);
-  }
-
-  if (cmd == "metric") {
-    std::string kind;
-    double expected = 0.0;
-    if (!(in >> kind >> expected)) {
-      return Error("usage: metric <kind> <expected> [agg_index]");
-    }
-    size_t agg_index = 0;
-    in >> agg_index;
-    auto metric = MakeMetric(kind, expected);
-    if (!metric.ok()) return Error(metric.status());
-    Status st = session_.SetMetric(*metric, agg_index);
-    if (!st.ok()) return Error(st);
-    return Ok();
-  }
-
-  if (cmd == "debug") {
-    return RunDebug();
-  }
-
-  if (cmd == "set_deadline") {
+  if (cmd == "ping") {
     double ms = 0.0;
-    if (!(in >> ms)) return Error("usage: set_deadline <ms>");
-    deadline_ms_ = ms;
-    if (ms <= 0.0) {
-      return OkWith("deadline_ms", "null");
+    if (in >> ms && ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(ms));
     }
-    return OkWith("deadline_ms", FormatDouble(ms, 17));
+    return OkWith("pong", "true");
   }
 
-  if (cmd == "cancel") {
-    std::lock_guard<std::mutex> lock(cancel_mu_);
-    if (active_cancel_ != nullptr) {
-      active_cancel_->Cancel("cancelled by client");
-      return OkWith("cancelled", "\"in-flight\"");
-    }
-    pending_cancel_ = true;
-    return OkWith("cancelled", "\"pending\"");
-  }
-
-  if (cmd == "clean") {
-    size_t index = 0;
-    if (!(in >> index)) return Error("usage: clean <i>");
-    Status st = session_.ApplyPredicate(index);
-    if (!st.ok()) return Error(st);
-    return OkWith("sql", "\"" + JsonEscape(session_.CurrentSql()) + "\"");
-  }
-
-  if (cmd == "clean_where") {
-    const std::string text = rest();
-    if (text.empty()) return Error("usage: clean_where <predicate>");
-    auto pred = ParsePredicate(text);
-    if (!pred.ok()) return Error(pred.status());
-    Status st = session_.ApplyPredicateDirect(*pred);
-    if (!st.ok()) return Error(st);
-    return OkWith("sql", "\"" + JsonEscape(session_.CurrentSql()) + "\"");
-  }
-
-  if (cmd == "undo") {
-    Status st = session_.UndoLastPredicate();
-    if (!st.ok()) return Error(st);
-    return OkWith("sql", "\"" + JsonEscape(session_.CurrentSql()) + "\"");
-  }
-
-  if (cmd == "reset") {
-    Status st = session_.ResetCleaning();
-    if (!st.ok()) return Error(st);
-    return Ok();
-  }
-
-  if (cmd == "state") {
-    std::string out = "{\"ok\": true";
-    out += ", \"has_result\": ";
-    out += session_.has_result() ? "true" : "false";
-    if (session_.has_result()) {
-      out += ", \"sql\": \"" + JsonEscape(session_.CurrentSql()) + "\"";
-      out += ", \"num_groups\": " +
-             std::to_string(session_.result().num_groups());
-    }
-    out += ", \"num_selected_groups\": " +
-           std::to_string(session_.selected_groups().size());
-    out += ", \"num_selected_inputs\": " +
-           std::to_string(session_.selected_inputs().size());
-    out += ", \"num_applied_predicates\": " +
-           std::to_string(session_.applied_predicates().size());
-    out += ", \"has_explanation\": ";
-    out += session_.has_explanation() ? "true" : "false";
-    out += "}";
-    return out;
-  }
+  if (cmd == "retry") return HandleRetry(in);
 
   if (cmd == "stats") {
     return OkWith("stats",
                   MetricsRegistry::Global().SnapshotJson(/*pretty=*/false));
-  }
-
-  if (cmd == "profile") {
-    std::string sub;
-    if (!(in >> sub)) return Error("usage: profile on|off");
-    if (sub == "on") {
-      profile_enabled_ = true;
-      return OkWith("profile", "true");
-    }
-    if (sub == "off") {
-      profile_enabled_ = false;
-      return OkWith("profile", "false");
-    }
-    return Error("unknown profile subcommand '" + sub + "'");
   }
 
   if (cmd == "trace") {
@@ -251,48 +173,553 @@ std::string Service::ExecuteCommand(const std::string& line) {
                   std::to_string(Tracer::Global().num_events()));
   }
 
+  if (cmd == "session") return HandleSession(in);
+
+  if (cmd == "snapshot") return HandleSnapshot(in);
+
+  // --- Session commands ---
+
+  std::shared_ptr<ManagedSession> ms;
+  {
+    // Hold the state lock only long enough to resolve the session:
+    // command execution must not block a snapshot load's world swap
+    // (in-flight commands finish against the old world, which the
+    // shared_ptr keeps alive).
+    std::shared_lock<std::shared_mutex> lock(state_mu_);
+    auto resolved = manager_->GetOrCreate(session_name);
+    if (!resolved.ok()) return Error(resolved.status());
+    ms = std::move(*resolved);
+  }
+
+  if (cmd == "cancel") {
+    // Deliberately does NOT take the session mutex: the whole point is
+    // to reach a debug currently holding it.
+    std::lock_guard<std::mutex> lock(ms->cancel_mu);
+    if (ms->active_cancel != nullptr) {
+      ms->active_cancel->Cancel("cancelled by client");
+      return OkWith("cancelled", "\"in-flight\"");
+    }
+    ms->pending_cancel = true;
+    return OkWith("cancelled", "\"pending\"");
+  }
+
+  std::lock_guard<std::mutex> session_lock(ms->mu);
+  return ExecuteSessionCommand(*ms, cmd, in);
+}
+
+std::string Service::ExecuteSessionCommand(ManagedSession& ms,
+                                           const std::string& cmd,
+                                           std::istream& in) {
+  Session& session = ms.session;
+
+  auto rest = [&in]() {
+    std::string tail;
+    std::getline(in, tail);
+    return std::string(Trim(tail));
+  };
+
+  // Mirrors the session's selection/cleaning state into the replay
+  // record so a snapshot taken at any point restores to exactly here.
+  auto sync_replay = [&ms, &session]() {
+    ms.replay.applied_predicates = session.applied_predicates();
+    ms.replay.selected_groups = session.selected_groups();
+    ms.replay.selected_inputs = session.selected_inputs();
+  };
+
+  if (cmd == "sql") {
+    const std::string sql = rest();
+    if (sql.empty()) return Error("usage: sql <query>");
+    Status st = session.ExecuteSql(sql);
+    if (!st.ok()) return Error(st);
+    ms.replay.original_sql = sql;
+    sync_replay();
+    return OkWith("num_groups", std::to_string(session.result().num_groups()));
+  }
+
+  if (cmd == "result") {
+    if (!session.has_result()) return Error("no query executed");
+    return OkWith("result",
+                  QueryResultToJson(session.result(), /*pretty=*/false));
+  }
+
+  if (cmd == "select_range") {
+    std::string agg;
+    double lo = 0.0, hi = 0.0;
+    if (!(in >> agg >> lo >> hi)) {
+      return Error("usage: select_range <agg> <lo> <hi>");
+    }
+    Status st = session.SelectResultsInRange(agg, lo, hi);
+    if (!st.ok()) return Error(st);
+    sync_replay();
+    return OkWith("num_selected",
+                  std::to_string(session.selected_groups().size()));
+  }
+
+  if (cmd == "select_groups") {
+    std::vector<size_t> groups;
+    size_t g;
+    while (in >> g) groups.push_back(g);
+    if (groups.empty()) return Error("usage: select_groups <i> [j ...]");
+    Status st = session.SelectResults(groups);
+    if (!st.ok()) return Error(st);
+    sync_replay();
+    return OkWith("num_selected",
+                  std::to_string(session.selected_groups().size()));
+  }
+
+  if (cmd == "inputs_where") {
+    const std::string filter = rest();
+    if (filter.empty()) return Error("usage: inputs_where <filter>");
+    Status st = session.SelectInputsWhere(filter);
+    if (!st.ok()) return Error(st);
+    sync_replay();
+    return OkWith("num_inputs",
+                  std::to_string(session.selected_inputs().size()));
+  }
+
+  if (cmd == "metrics") {
+    size_t agg_index = 0;
+    in >> agg_index;
+    auto suggestions = session.SuggestErrorMetrics(agg_index);
+    if (!suggestions.ok()) return Error(suggestions.status());
+    std::string arr = "[";
+    for (size_t i = 0; i < suggestions->size(); ++i) {
+      if (i > 0) arr += ", ";
+      arr += "{\"label\": \"" + JsonEscape((*suggestions)[i].label) +
+             "\", \"default_expected\": " +
+             FormatDouble((*suggestions)[i].default_expected, 17) + "}";
+    }
+    arr += "]";
+    return OkWith("metrics", arr);
+  }
+
+  if (cmd == "metric") {
+    std::string kind;
+    double expected = 0.0;
+    if (!(in >> kind >> expected)) {
+      return Error("usage: metric <kind> <expected> [agg_index]");
+    }
+    size_t agg_index = 0;
+    in >> agg_index;
+    auto metric = MetricFromKind(kind, expected);
+    if (!metric.ok()) return Error(metric.status());
+    Status st = session.SetMetric(*metric, agg_index);
+    if (!st.ok()) return Error(st);
+    ms.replay.has_metric = true;
+    ms.replay.metric_kind = kind;
+    ms.replay.metric_expected = expected;
+    ms.replay.agg_index = agg_index;
+    return Ok();
+  }
+
+  if (cmd == "debug") {
+    return RunDebug(ms);
+  }
+
+  if (cmd == "set_deadline") {
+    double ms_value = 0.0;
+    if (!(in >> ms_value)) return Error("usage: set_deadline <ms>");
+    ms.settings.deadline_ms = ms_value;
+    if (ms_value <= 0.0) {
+      return OkWith("deadline_ms", "null");
+    }
+    return OkWith("deadline_ms", FormatDouble(ms_value, 17));
+  }
+
+  if (cmd == "profile") {
+    std::string sub;
+    if (!(in >> sub)) return Error("usage: profile on|off");
+    if (sub == "on") {
+      ms.settings.profile_enabled = true;
+      return OkWith("profile", "true");
+    }
+    if (sub == "off") {
+      ms.settings.profile_enabled = false;
+      return OkWith("profile", "false");
+    }
+    return Error("unknown profile subcommand '" + sub + "'");
+  }
+
+  if (cmd == "clean") {
+    size_t index = 0;
+    if (!(in >> index)) return Error("usage: clean <i>");
+    Status st = session.ApplyPredicate(index);
+    if (!st.ok()) return Error(st);
+    sync_replay();
+    return OkWith("sql", "\"" + JsonEscape(session.CurrentSql()) + "\"");
+  }
+
+  if (cmd == "clean_where") {
+    const std::string text = rest();
+    if (text.empty()) return Error("usage: clean_where <predicate>");
+    auto pred = ParsePredicate(text);
+    if (!pred.ok()) return Error(pred.status());
+    Status st = session.ApplyPredicateDirect(*pred);
+    if (!st.ok()) return Error(st);
+    sync_replay();
+    return OkWith("sql", "\"" + JsonEscape(session.CurrentSql()) + "\"");
+  }
+
+  if (cmd == "undo") {
+    Status st = session.UndoLastPredicate();
+    if (!st.ok()) return Error(st);
+    sync_replay();
+    return OkWith("sql", "\"" + JsonEscape(session.CurrentSql()) + "\"");
+  }
+
+  if (cmd == "reset") {
+    Status st = session.ResetCleaning();
+    if (!st.ok()) return Error(st);
+    sync_replay();
+    return Ok();
+  }
+
+  if (cmd == "state") {
+    std::string out = "{\"ok\": true";
+    out += ", \"has_result\": ";
+    out += session.has_result() ? "true" : "false";
+    if (session.has_result()) {
+      out += ", \"sql\": \"" + JsonEscape(session.CurrentSql()) + "\"";
+      out +=
+          ", \"num_groups\": " + std::to_string(session.result().num_groups());
+    }
+    out += ", \"num_selected_groups\": " +
+           std::to_string(session.selected_groups().size());
+    out += ", \"num_selected_inputs\": " +
+           std::to_string(session.selected_inputs().size());
+    out += ", \"num_applied_predicates\": " +
+           std::to_string(session.applied_predicates().size());
+    out += ", \"has_explanation\": ";
+    out += session.has_explanation() ? "true" : "false";
+    out += "}";
+    return out;
+  }
+
   return Error("unknown command '" + cmd + "'");
 }
 
-std::string Service::RunDebug() {
+RetryPolicy Service::CurrentRetryPolicy() const {
+  RetryPolicy policy = options_.retry;
+  policy.max_attempts = retry_max_attempts_.load(std::memory_order_relaxed);
+  policy.initial_backoff_ms =
+      retry_backoff_ms_.load(std::memory_order_relaxed);
+  return policy;
+}
+
+std::string Service::HandleRetry(std::istream& in) {
+  std::string first;
+  if (!(in >> first)) {
+    return Error("usage: retry <max_attempts> [initial_backoff_ms] | retry off");
+  }
+  if (first == "off") {
+    retry_max_attempts_.store(1, std::memory_order_relaxed);
+    return OkWith("retry", "{\"max_attempts\": 1}");
+  }
+  std::istringstream num(first);
+  long long max_attempts = 0;
+  if (!(num >> max_attempts) || max_attempts < 1) {
+    return Error("retry: max_attempts must be a positive integer, got '" +
+                 first + "'");
+  }
+  double backoff_ms = retry_backoff_ms_.load(std::memory_order_relaxed);
+  if (in >> backoff_ms && backoff_ms < 0.0) {
+    return Error("retry: initial_backoff_ms must be >= 0");
+  }
+  retry_max_attempts_.store(static_cast<size_t>(max_attempts),
+                            std::memory_order_relaxed);
+  retry_backoff_ms_.store(backoff_ms, std::memory_order_relaxed);
+  return OkWith("retry",
+                "{\"max_attempts\": " + std::to_string(max_attempts) +
+                    ", \"initial_backoff_ms\": " + FormatDouble(backoff_ms) +
+                    "}");
+}
+
+std::string Service::HandleSession(std::istream& in) {
+  std::string sub;
+  if (!(in >> sub)) return Error("usage: session list|drop|evict");
+
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+
+  if (sub == "list") {
+    std::string arr = "[";
+    bool first = true;
+    for (const std::string& name : manager_->Names()) {
+      if (!first) arr += ", ";
+      first = false;
+      arr += "{\"name\": \"" + JsonEscape(name) +
+             "\", \"idle_ms\": " + FormatDouble(manager_->IdleMs(name)) + "}";
+    }
+    arr += "]";
+    return OkWith("sessions", arr);
+  }
+
+  if (sub == "drop") {
+    std::string name;
+    if (!(in >> name)) return Error("usage: session drop <name>");
+    if (name == "main") return Error("cannot drop the default session 'main'");
+    Status st = manager_->Drop(name);
+    if (!st.ok()) return Error(st);
+    return OkWith("dropped", "\"" + JsonEscape(name) + "\"");
+  }
+
+  if (sub == "evict") {
+    double idle_ms = manager_->options().idle_timeout_ms;
+    in >> idle_ms;
+    if (idle_ms <= 0.0) {
+      return Error("session evict: idle_ms must be > 0 (or configure "
+                   "an idle timeout)");
+    }
+    // Holding main's mutex marks it busy, so eviction skips it and the
+    // default session handle can never dangle.
+    std::lock_guard<std::mutex> keep_main(default_session_->mu);
+    const size_t evicted = manager_->EvictIdleOlderThan(idle_ms);
+    return OkWith("evicted", std::to_string(evicted));
+  }
+
+  return Error("unknown session subcommand '" + sub + "'");
+}
+
+std::string Service::HandleSnapshot(std::istream& in) {
+  static MetricCounter* const saves =
+      MetricsRegistry::Global().GetCounter("service.snapshot_saves");
+  static MetricCounter* const loads =
+      MetricsRegistry::Global().GetCounter("service.snapshot_loads");
+
+  std::string sub;
+  std::string path;
+  if (!(in >> sub >> path)) return Error("usage: snapshot save|load <path>");
+
+  if (sub == "save") {
+    ServiceSnapshot snapshot;
+    std::shared_ptr<Database> db;
+    std::vector<std::pair<std::string, std::shared_ptr<ManagedSession>>> live;
+    {
+      std::shared_lock<std::shared_mutex> lock(state_mu_);
+      db = db_;
+      for (const std::string& name : manager_->Names()) {
+        auto ms = manager_->Find(name);
+        if (ms != nullptr) live.emplace_back(name, std::move(ms));
+      }
+    }
+    for (const std::string& name : db->TableNames()) {
+      auto table = db->GetTable(name);
+      if (table.ok()) snapshot.tables.emplace_back(name, *table);
+    }
+    for (auto& [name, ms] : live) {
+      // Per-session lock: each session is serialized mid-command-free
+      // into the snapshot (sessions are independent, so cross-session
+      // interleaving cannot produce a torn state).
+      std::lock_guard<std::mutex> lock(ms->mu);
+      snapshot.sessions.push_back({name, ms->settings, ms->replay});
+    }
+    Status st = WriteSnapshot(path, snapshot);
+    if (!st.ok()) return Error(st);
+    saves->Increment();
+    return "{\"ok\": true, \"path\": \"" + JsonEscape(path) +
+           "\", \"tables\": " + std::to_string(snapshot.tables.size()) +
+           ", \"sessions\": " + std::to_string(snapshot.sessions.size()) + "}";
+  }
+
+  if (sub == "load") {
+    // Validate and rebuild the whole world off to the side; the live
+    // service is untouched until the final swap, so any failure —
+    // corrupt file, missing table, unreplayable state — leaves the
+    // prior state exactly as it was.
+    auto snapshot = ReadSnapshot(path);
+    if (!snapshot.ok()) return Error(snapshot.status());
+
+    auto db = std::make_shared<Database>();
+    for (const auto& [name, table] : snapshot->tables) {
+      db->RegisterTable(name, table);
+    }
+    auto manager = std::make_unique<SessionManager>(db, options_.explain,
+                                                    options_.sessions);
+    for (const auto& state : snapshot->sessions) {
+      auto ms = manager->GetOrCreate(state.name);
+      if (!ms.ok()) {
+        return Error("snapshot load: cannot recreate session '" + state.name +
+                     "': " + ms.status().ToString());
+      }
+      (*ms)->settings = state.settings;
+      Status st = ReplaySessionState(**ms, state.replay);
+      if (!st.ok()) {
+        return Error("snapshot load: replay failed for session '" +
+                     state.name + "': " + st.ToString());
+      }
+    }
+    auto main = manager->GetOrCreate("main");
+    if (!main.ok()) return Error(main.status());
+
+    {
+      std::unique_lock<std::shared_mutex> lock(state_mu_);
+      db_ = std::move(db);
+      manager_ = std::move(manager);
+      default_session_ = std::move(*main);
+    }
+    loads->Increment();
+    return "{\"ok\": true, \"tables\": " +
+           std::to_string(snapshot->tables.size()) +
+           ", \"sessions\": " + std::to_string(snapshot->sessions.size()) + "}";
+  }
+
+  return Error("unknown snapshot subcommand '" + sub + "'");
+}
+
+std::string Service::RunDebug(ManagedSession& ms) {
   DBW_TRACE_SPAN("service/debug");
+  static MetricCounter* const retries =
+      MetricsRegistry::Global().GetCounter("service.retries");
+
   auto source = std::make_shared<CancellationSource>();
   {
-    std::lock_guard<std::mutex> lock(cancel_mu_);
-    if (pending_cancel_) {
-      pending_cancel_ = false;
+    std::lock_guard<std::mutex> lock(ms.cancel_mu);
+    if (ms.pending_cancel) {
+      ms.pending_cancel = false;
       source->Cancel("cancelled before start");
     }
-    active_cancel_ = source;
+    ms.active_cancel = source;
   }
 
-  ExecContext ctx;
-  ctx.token = source->token();
-  if (deadline_ms_ > 0.0) ctx.deadline = Deadline::After(deadline_ms_);
-  ctx.faults = faults_;
-  ctx.budget = budget_;
-  auto exp = session_.Debug(ctx);
+  const RetryPolicy policy = CurrentRetryPolicy();
+  size_t attempts = 1;
+  auto exp = RetryTransient(
+      policy,
+      [&]() -> Result<Explanation> {
+        ExecContext ctx;
+        ctx.token = source->token();
+        if (ms.settings.deadline_ms > 0.0) {
+          // Fresh deadline per attempt: the budget is per-run, not
+          // per-request, so a retried run gets its full allowance.
+          ctx.deadline = Deadline::After(ms.settings.deadline_ms);
+        }
+        ctx.faults = faults_;
+        ctx.budget = budget_;
+        return ms.session.Debug(ctx);
+      },
+      &attempts);
 
   {
-    std::lock_guard<std::mutex> lock(cancel_mu_);
-    if (active_cancel_ == source) active_cancel_.reset();
+    std::lock_guard<std::mutex> lock(ms.cancel_mu);
+    if (ms.active_cancel == source) ms.active_cancel.reset();
   }
 
+  if (attempts > 1) retries->Increment(attempts - 1);
   if (!exp.ok()) return Error(exp.status());
+  exp->profile.attempts = attempts;
+
   std::string profile_field;
-  if (profile_enabled_) {
-    profile_field =
-        ", \"profile\": " + ExplainProfileToJson(exp->profile,
-                                                 /*pretty=*/false);
+  if (ms.settings.profile_enabled) {
+    profile_field = ", \"profile\": " +
+                    ExplainProfileToJson(exp->profile, /*pretty=*/false);
   }
   if (exp->partial) {
     return "{\"ok\": true, \"partial\": true, \"reason\": \"" +
-           JsonEscape(exp->partial_reason) +
-           "\", \"explanation\": " +
+           JsonEscape(exp->partial_reason) + "\", \"explanation\": " +
            ExplanationToJson(*exp, /*pretty=*/false) + profile_field + "}";
   }
   return "{\"ok\": true, \"explanation\": " +
          ExplanationToJson(*exp, /*pretty=*/false) + profile_field + "}";
+}
+
+// --- Admission queue ---
+
+Status Service::Start() {
+  if (options_.num_workers == 0) {
+    return Status::InvalidArgument(
+        "Start(): ServiceOptions.num_workers is 0 (synchronous mode)");
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (running_.load(std::memory_order_acquire)) return Status::OK();
+    stopping_ = false;
+    running_.store(true, std::memory_order_release);
+  }
+  workers_.reserve(options_.num_workers);
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back(&Service::WorkerLoop, this);
+  }
+  return Status::OK();
+}
+
+void Service::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (!running_.load(std::memory_order_acquire) && workers_.empty()) return;
+    stopping_ = true;
+    running_.store(false, std::memory_order_release);
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  stopping_ = false;
+}
+
+std::future<std::string> Service::Submit(std::string line) {
+  static MetricCounter* const submitted =
+      MetricsRegistry::Global().GetCounter("service.submitted");
+  static MetricCounter* const shed =
+      MetricsRegistry::Global().GetCounter("service.shed");
+  static MetricGauge* const depth =
+      MetricsRegistry::Global().GetGauge("service.queue_depth");
+
+  submitted->Increment();
+  std::promise<std::string> promise;
+  std::future<std::string> future = promise.get_future();
+
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  if (!running_.load(std::memory_order_acquire) || stopping_) {
+    promise.set_value(NotRunningResponse());
+    return future;
+  }
+  if (queue_.size() >= options_.queue_capacity ||
+      queued_bytes_ + line.size() > options_.queue_memory_watermark_bytes) {
+    // Load shedding: reject fast and explicitly instead of queueing
+    // unboundedly — the client gets a well-formed retryable error in
+    // microseconds, not a timeout in seconds.
+    shed->Increment();
+    promise.set_value(ShedResponse(options_.shed_retry_after_ms));
+    return future;
+  }
+  queued_bytes_ += line.size();
+  queue_.push_back(QueuedRequest{std::move(line), std::move(promise),
+                                 std::chrono::steady_clock::now()});
+  depth->Set(static_cast<int64_t>(queue_.size()));
+  queue_cv_.notify_one();
+  return future;
+}
+
+void Service::WorkerLoop() {
+  static MetricGauge* const depth =
+      MetricsRegistry::Global().GetGauge("service.queue_depth");
+  static MetricHistogram* const request_ms =
+      MetricsRegistry::Global().GetHistogram("service.request_ms");
+
+  while (true) {
+    QueuedRequest request;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // stopping_ && empty: the queue has fully drained — every
+        // accepted request got a response before shutdown.
+        return;
+      }
+      request = std::move(queue_.front());
+      queue_.pop_front();
+      queued_bytes_ -= request.line.size();
+      depth->Set(static_cast<int64_t>(queue_.size()));
+    }
+    std::string response = Execute(request.line);
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - request.enqueued)
+            .count();
+    request_ms->Observe(elapsed_ms);
+    request.promise.set_value(std::move(response));
+  }
 }
 
 }  // namespace dbwipes

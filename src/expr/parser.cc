@@ -149,9 +149,16 @@ class Lexer {
 };
 
 /// Recursive-descent parser over the token stream.
+///
+/// Nesting depth is bounded (kMaxDepth): pathological inputs like a
+/// hundred thousand '(' or NOTs fail with kParseError instead of
+/// overflowing the C++ call stack. The bound is far above anything a
+/// human (or the dashboard) writes.
 class Parser {
  public:
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  static constexpr size_t kMaxDepth = 200;
 
   Result<AggregateQuery> ParseQuery() {
     AggregateQuery q;
@@ -204,6 +211,26 @@ class Parser {
   }
 
  private:
+  /// Counts live recursion frames for the duration of a scope. Every
+  /// mutually recursive production (ParseNot / ParseUnary /
+  /// ParsePrimary — the three entry points of the grammar's cycles)
+  /// opens one and bails out past kMaxDepth.
+  class DepthGuard {
+   public:
+    explicit DepthGuard(size_t* depth) : depth_(depth) { ++*depth_; }
+    ~DepthGuard() { --*depth_; }
+    bool exceeded() const { return *depth_ > kMaxDepth; }
+
+   private:
+    size_t* depth_;
+  };
+
+  Status DepthError() const {
+    return Status::ParseError(
+        "expression nested deeper than " + std::to_string(kMaxDepth) +
+        " levels at offset " + std::to_string(Peek().pos));
+  }
+
   const Token& Peek() const { return tokens_[idx_]; }
   const Token& Advance() { return tokens_[idx_++]; }
 
@@ -332,6 +359,8 @@ class Parser {
   }
 
   Result<ScalarExprPtr> ParseUnary() {
+    const DepthGuard guard(&depth_);
+    if (guard.exceeded()) return DepthError();
     if (AcceptSymbol("-")) {
       DBW_ASSIGN_OR_RETURN(ScalarExprPtr inner, ParseUnary());
       return Sub(Lit(Value(static_cast<int64_t>(0))), std::move(inner));
@@ -340,6 +369,8 @@ class Parser {
   }
 
   Result<ScalarExprPtr> ParsePrimary() {
+    const DepthGuard guard(&depth_);
+    if (guard.exceeded()) return DepthError();
     if (Peek().type == TokenType::kNumber) {
       return Lit(Advance().number);
     }
@@ -378,6 +409,8 @@ class Parser {
   }
 
   Result<BoolExprPtr> ParseNot() {
+    const DepthGuard guard(&depth_);
+    if (guard.exceeded()) return DepthError();
     if (AcceptKeyword("NOT")) {
       DBW_ASSIGN_OR_RETURN(BoolExprPtr inner, ParseNot());
       return MakeNot(std::move(inner));
@@ -467,27 +500,40 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t idx_ = 0;
+  size_t depth_ = 0;
 };
 
 // Flattens an AND-only BoolExpr into clauses; error on OR/NOT.
-Status FlattenConjunction(const BoolExpr& e, std::vector<Clause>* out) {
-  switch (e.kind()) {
-    case BoolExpr::Kind::kTrue:
-      return Status::OK();
-    case BoolExpr::Kind::kComparison:
-      out->push_back(static_cast<const ComparisonExpr&>(e).clause());
-      return Status::OK();
-    case BoolExpr::Kind::kAnd: {
-      const auto& a = static_cast<const AndExpr&>(e);
-      DBW_RETURN_NOT_OK(FlattenConjunction(*a.left(), out));
-      return FlattenConjunction(*a.right(), out);
+// Iterative with an explicit stack: an AND chain is as deep as it is
+// long, so recursing here would overflow on predicates the parser
+// itself accepts happily (AND chains don't nest, see Parser::kMaxDepth).
+Status FlattenConjunction(const BoolExpr& root, std::vector<Clause>* out) {
+  std::vector<const BoolExpr*> pending{&root};
+  while (!pending.empty()) {
+    const BoolExpr& e = *pending.back();
+    pending.pop_back();
+    switch (e.kind()) {
+      case BoolExpr::Kind::kTrue:
+        continue;
+      case BoolExpr::Kind::kComparison:
+        out->push_back(static_cast<const ComparisonExpr&>(e).clause());
+        continue;
+      case BoolExpr::Kind::kAnd: {
+        const auto& a = static_cast<const AndExpr&>(e);
+        // Right below left so the left subtree's clauses pop first,
+        // preserving the written clause order.
+        pending.push_back(a.right().get());
+        pending.push_back(a.left().get());
+        continue;
+      }
+      case BoolExpr::Kind::kOr:
+      case BoolExpr::Kind::kNot:
+        return Status::InvalidArgument(
+            "predicate must be a conjunction of comparisons");
     }
-    case BoolExpr::Kind::kOr:
-    case BoolExpr::Kind::kNot:
-      return Status::InvalidArgument(
-          "predicate must be a conjunction of comparisons");
+    return Status::InvalidArgument("unknown expression kind");
   }
-  return Status::InvalidArgument("unknown expression kind");
+  return Status::OK();
 }
 
 }  // namespace

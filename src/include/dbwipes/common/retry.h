@@ -1,0 +1,95 @@
+#ifndef DBWIPES_COMMON_RETRY_H_
+#define DBWIPES_COMMON_RETRY_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "dbwipes/common/result.h"
+#include "dbwipes/common/status.h"
+
+namespace dbwipes {
+
+/// \brief Retry taxonomy: is an error worth trying again?
+///
+/// `kTransient` errors describe a condition that may clear on its own
+/// — an I/O hiccup, an internal runtime failure (the injected-fault
+/// family), a missed deadline, or exhausted resources (including the
+/// service's load shedding). `kPermanent` errors describe the request
+/// itself — bad arguments, parse errors, missing tables — and no
+/// number of retries will change the answer. Cancellation is
+/// deliberately permanent: the client asked the work to stop, so
+/// retrying would override user intent.
+enum class ErrorClass { kPermanent, kTransient };
+
+/// Classifies a Status. OK classifies as permanent (nothing to retry).
+ErrorClass ClassifyStatus(const Status& status);
+
+/// True when retrying could plausibly succeed.
+inline bool IsTransient(const Status& status) {
+  return ClassifyStatus(status) == ErrorClass::kTransient;
+}
+
+/// "permanent" / "transient" — used in error payloads and docs.
+const char* ErrorClassToString(ErrorClass c);
+
+/// \brief Deterministic exponential backoff.
+///
+/// The backoff schedule is a pure function of the attempt number
+/// (initial * multiplier^(attempt-1), capped at max) — no jitter, so
+/// tests can assert the exact sleep sequence. The `sleep_fn` seam lets
+/// tests capture backoffs instead of sleeping; when unset the policy
+/// really sleeps.
+struct RetryPolicy {
+  /// Total attempts including the first; 1 disables retries.
+  size_t max_attempts = 3;
+  double initial_backoff_ms = 10.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 1000.0;
+  /// Test seam: called with the backoff instead of sleeping. Null =
+  /// std::this_thread::sleep_for.
+  std::function<void(double ms)> sleep_fn;
+
+  /// Backoff applied after failed attempt `attempt` (1-based).
+  double BackoffMs(size_t attempt) const;
+
+  /// Sleeps (or calls sleep_fn with) BackoffMs(attempt).
+  void Backoff(size_t attempt) const;
+};
+
+namespace retry_internal {
+inline Status StatusOf(const Status& s) { return s; }
+template <typename T>
+Status StatusOf(const Result<T>& r) {
+  return r.status();
+}
+}  // namespace retry_internal
+
+/// Runs `fn` until it succeeds, fails permanently, or exhausts
+/// `policy.max_attempts`; only transient failures are retried, with
+/// the policy's backoff between attempts. Returns the last outcome.
+/// `attempts_out` (optional) receives the number of attempts made —
+/// K transient failures before a success yield K+1.
+///
+/// `fn` may return Status or Result<T>; the call returns the same
+/// type.
+template <typename Fn>
+auto RetryTransient(const RetryPolicy& policy, Fn&& fn,
+                    size_t* attempts_out = nullptr) -> decltype(fn()) {
+  const size_t max_attempts = policy.max_attempts == 0 ? 1 : policy.max_attempts;
+  size_t attempt = 0;
+  while (true) {
+    ++attempt;
+    auto outcome = fn();
+    if (attempts_out != nullptr) *attempts_out = attempt;
+    if (outcome.ok()) return outcome;
+    const Status st = retry_internal::StatusOf(outcome);
+    if (!IsTransient(st) || attempt >= max_attempts) return outcome;
+    policy.Backoff(attempt);
+  }
+}
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_COMMON_RETRY_H_

@@ -56,6 +56,12 @@ ErrorMetricPtr TotalBelow(double expected);
 ErrorMetricPtr Custom(std::string description,
                       std::function<double(const std::vector<double>&)> fn);
 
+/// Builds a metric from its wire name — "too_high", "too_low",
+/// "not_equal", "total_above", or "total_below". This is the spelling
+/// the Service's `metric` command accepts and snapshots persist.
+Result<ErrorMetricPtr> MetricFromKind(const std::string& kind,
+                                      double expected);
+
 /// \brief A metric choice the dashboard offers (Figure 5's dynamically
 /// generated error forms).
 struct MetricSuggestion {

@@ -22,6 +22,11 @@ namespace dbwipes {
 /// Serialized by ExplainProfileToJson (export.h) and surfaced by the
 /// Service's `profile on` mode.
 struct ExplainProfile {
+  /// Attempts the Service made to produce this explanation: 1 plus the
+  /// number of transient failures its retry policy recovered from.
+  /// Always 1 outside the Service (the pipeline itself never retries).
+  size_t attempts = 1;
+
   // --- Stage wall clock (ms) ---
   double preprocess_ms = 0.0;
   double enumerate_ms = 0.0;    // dataset enumeration incl. D' cleaning

@@ -1,23 +1,59 @@
 #ifndef DBWIPES_CORE_SERVICE_H_
 #define DBWIPES_CORE_SERVICE_H_
 
+#include <atomic>
+#include <condition_variable>
+#include <chrono>
+#include <deque>
+#include <future>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
-#include "dbwipes/core/session.h"
+#include "dbwipes/common/retry.h"
+#include "dbwipes/core/session_manager.h"
 
 namespace dbwipes {
 
-/// \brief Machine-facing façade over a Session: a line-oriented
-/// command protocol with JSON responses.
+/// \brief Configuration for the resilient service layer.
+struct ServiceOptions {
+  ExplainOptions explain;
+  SessionManager::Options sessions;
+
+  /// Worker threads draining the admission queue. 0 keeps the service
+  /// purely synchronous: Execute() works, Submit() fails cleanly.
+  size_t num_workers = 0;
+  /// Bounded request queue: Submit() beyond this sheds immediately.
+  size_t queue_capacity = 64;
+  /// Shed when the bytes of queued request lines would exceed this
+  /// watermark (guards against a few giant requests exhausting memory
+  /// long before the queue is full by count).
+  size_t queue_memory_watermark_bytes = 64u << 20;
+  /// retry_after_ms hint attached to shed responses.
+  double shed_retry_after_ms = 25.0;
+
+  /// Applied to transient `debug` failures; the attempt count lands in
+  /// the Explain profile. max_attempts = 1 disables retries. The
+  /// policy's sleep_fn seam is honored (tests capture backoffs).
+  RetryPolicy retry;
+};
+
+/// \brief Machine-facing façade over named sessions: a line-oriented
+/// command protocol with JSON responses, admission control, and
+/// crash-consistent snapshots.
 ///
 /// This is the seam where the paper's web frontend attaches — every
 /// dashboard gesture maps to one command, and every response is a JSON
 /// document the visualization can render. The REPL example is the
 /// human sibling of this interface.
 ///
-/// Commands (one per line; single-quoted SQL-style strings):
+/// Commands (one per line; single-quoted SQL-style strings). Any
+/// command may be prefixed with `@<session>` to route it to a named
+/// session (created on first use); without the prefix it runs on the
+/// implicit session "main":
 ///   sql <query>                  run an aggregate query
 ///   result                       current result rows
 ///   select_range <agg> <lo> <hi> brush result groups by value range
@@ -29,7 +65,10 @@ namespace dbwipes {
 ///                                too_low, not_equal, total_above,
 ///                                total_below}
 ///   debug                        run the backend, return ranked
-///                                predicates (JSON)
+///                                predicates (JSON); transient
+///                                failures are retried per the retry
+///                                policy (attempts recorded in the
+///                                profile)
 ///   set_deadline <ms>            cap each debug run's wall clock;
 ///                                0 or negative clears the deadline
 ///   cancel                       cancel the in-flight debug (from
@@ -40,9 +79,19 @@ namespace dbwipes {
 ///   undo                         remove the last cleaning predicate
 ///   reset                        drop all cleaning predicates
 ///   state                        session status summary
+///   session list                 live sessions with idle times
+///   session drop <name>          remove a session
+///   session evict [idle_ms]      evict sessions idle > idle_ms
+///   snapshot save <path>         checksummed crash-consistent dump of
+///                                all sessions + loaded tables
+///   snapshot load <path>         validate and restore a snapshot
+///                                (all-or-nothing)
+///   retry <max_attempts> [initial_backoff_ms] | retry off
+///                                configure the transient-retry policy
+///   ping [ms]                    liveness probe (optionally sleeps)
 ///   stats                        process-wide metrics snapshot (JSON)
 ///   profile on|off               attach the per-Explain profile to
-///                                debug responses
+///                                debug responses (per session)
 ///   trace on|off                 enable/disable the pipeline tracer
 ///   trace <path>                 write recorded spans to <path> as
 ///                                Chrome trace_event JSON
@@ -50,22 +99,50 @@ namespace dbwipes {
 /// Every response is a JSON object: {"ok": true, ...} on success or
 /// {"ok": false, "error": "..."} on failure — errors never throw; an
 /// unknown subcommand of a multi-word command (e.g. `profile bogus`)
-/// fails with the offending token in the error. A debug run wound
-/// down early by a deadline, cancel, or budget responds {"ok": true,
-/// "partial": true, "reason": "...", ...}.
+/// fails with the offending token in the error. Failures that may
+/// clear on their own (overload, session-limit, I/O) additionally
+/// carry "retryable": true. A debug run wound down early by a
+/// deadline, cancel, or budget responds {"ok": true, "partial": true,
+/// "reason": "...", ...}.
 ///
-/// Threading: commands are serial except `cancel`, which may be issued
-/// from another thread to interrupt an in-flight `debug`.
+/// Threading: Execute() is fully thread-safe — commands on the same
+/// session serialize on that session's mutex while commands on
+/// different sessions run concurrently; `cancel` reaches an in-flight
+/// `debug` without blocking behind it. Start() spins up the worker
+/// pool behind Submit(), the queued entry point with admission
+/// control: when the queue is full (or the memory watermark is
+/// crossed) requests are rejected immediately with
+/// {"ok": false, "retryable": true, "reason": "overloaded",
+///  "retry_after_ms": ...} instead of queueing unboundedly. Stop()
+/// drains the queue — accepted requests are never silently dropped.
 class Service {
  public:
-  explicit Service(std::shared_ptr<Database> db, ExplainOptions options = {})
-      : session_(std::move(db), std::move(options)) {}
+  explicit Service(std::shared_ptr<Database> db, ExplainOptions options = {});
+  Service(std::shared_ptr<Database> db, ServiceOptions options);
+  ~Service();
 
-  /// Executes one command line, returning the JSON response.
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Executes one command line synchronously, returning the JSON
+  /// response. Thread-safe (see class comment).
   std::string Execute(const std::string& line);
 
-  /// The wrapped session (for tests and embedding).
-  Session& session() { return session_; }
+  /// Starts the worker pool (requires options.num_workers > 0).
+  Status Start();
+  /// Drains the queue and joins the workers. Idempotent.
+  void Stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Queued entry point with admission control. The future always
+  /// resolves: with the command's response, or immediately with an
+  /// overloaded/not-running rejection.
+  std::future<std::string> Submit(std::string line);
+
+  /// The implicit "main" session (for tests and embedding). State
+  /// changes made directly on it bypass the snapshot replay record.
+  Session& session();
+  SessionManager& sessions() { return *manager_; }
 
   /// Debug runs hit these (not owned; may be null). Test seams for the
   /// fault matrix and budget-exhaustion paths.
@@ -73,22 +150,54 @@ class Service {
   void set_budget(ResourceBudget* budget) { budget_ = budget; }
 
  private:
+  struct QueuedRequest {
+    std::string line;
+    std::promise<std::string> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   /// Execute minus the command/error accounting.
   std::string ExecuteCommand(const std::string& line);
-  std::string RunDebug();
+  /// The per-session command dispatch (caller holds the session mutex).
+  std::string ExecuteSessionCommand(ManagedSession& ms,
+                                    const std::string& cmd,
+                                    std::istream& in);
+  std::string RunDebug(ManagedSession& ms);
+  std::string HandleSession(std::istream& in);
+  std::string HandleSnapshot(std::istream& in);
+  std::string HandleRetry(std::istream& in);
+  RetryPolicy CurrentRetryPolicy() const;
+  void WorkerLoop();
 
-  Session session_;
-  /// Per-debug wall-clock cap in ms; <= 0 means none.
-  double deadline_ms_ = 0.0;
-  /// `profile on`: debug responses carry the Explain's profile.
-  bool profile_enabled_ = false;
+  ServiceOptions options_;
+
+  /// Guards the db_/manager_/default_session_ trio as a unit. Commands
+  /// hold it shared just long enough to resolve their session; snapshot
+  /// load builds the restored world off to the side and swaps the trio
+  /// under a brief exclusive hold, so new commands atomically see the
+  /// new world while in-flight ones finish against the old (kept alive
+  /// by shared_ptr). No path ever blocks on this lock while holding a
+  /// session mutex, so `cancel` always gets through.
+  std::shared_mutex state_mu_;
+  std::shared_ptr<Database> db_;
+  std::unique_ptr<SessionManager> manager_;
+  std::shared_ptr<ManagedSession> default_session_;
+
   FaultInjector* faults_ = nullptr;
   ResourceBudget* budget_ = nullptr;
-  /// Guards the in-flight debug's cancellation source and the
-  /// armed-for-next-run flag (the one cross-thread seam).
-  std::mutex cancel_mu_;
-  std::shared_ptr<CancellationSource> active_cancel_;
-  bool pending_cancel_ = false;
+
+  /// Retry knobs adjustable at runtime via the `retry` command.
+  std::atomic<size_t> retry_max_attempts_;
+  std::atomic<double> retry_backoff_ms_;
+
+  // --- Admission queue ---
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<QueuedRequest> queue_;
+  size_t queued_bytes_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> running_{false};
 };
 
 }  // namespace dbwipes

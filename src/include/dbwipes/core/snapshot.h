@@ -1,0 +1,58 @@
+#ifndef DBWIPES_CORE_SNAPSHOT_H_
+#define DBWIPES_CORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dbwipes/core/session_manager.h"
+#include "dbwipes/storage/table.h"
+
+namespace dbwipes {
+
+/// \brief Everything needed to rebuild a service after a crash: the
+/// loaded tables (by registration name) and, per session, the client
+/// settings plus the replayable interaction record.
+///
+/// Explanations are deliberately not persisted — they are recomputable
+/// (and the restore oracle is exactly that: re-running `debug` on a
+/// restored session reproduces the pre-crash ranking byte for byte).
+struct ServiceSnapshot {
+  struct SessionState {
+    std::string name;
+    SessionSettings settings;
+    SessionReplay replay;
+  };
+
+  /// registration name -> table.
+  std::vector<std::pair<std::string, TablePtr>> tables;
+  std::vector<SessionState> sessions;
+};
+
+/// On-disk format version this build writes and the only one it reads.
+constexpr uint32_t kSnapshotFormatVersion = 1;
+
+/// Writes `snapshot` to `path` crash-consistently: the bytes go to a
+/// temporary sibling file which is atomically renamed over `path`, so
+/// a crash mid-save leaves either the old snapshot or the new one,
+/// never a torn mix. The payload is FNV-1a-64 checksummed and carries
+/// a magic + format version header.
+Status WriteSnapshot(const std::string& path, const ServiceSnapshot& snapshot);
+
+/// Reads and fully validates a snapshot: magic, format version,
+/// declared payload length, checksum, and every field bound are
+/// checked before anything is returned, so a truncated, bit-flipped,
+/// or foreign-version file fails with a precise error and can never be
+/// partially applied.
+Result<ServiceSnapshot> ReadSnapshot(const std::string& path);
+
+/// Serializes/parses the snapshot payload without the file envelope
+/// (exposed for tests; Write/ReadSnapshot add the header + checksum).
+std::string SerializeSnapshotPayload(const ServiceSnapshot& snapshot);
+Result<ServiceSnapshot> ParseSnapshotPayload(const std::string& payload);
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_CORE_SNAPSHOT_H_

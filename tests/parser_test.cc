@@ -154,6 +154,43 @@ TEST(ParserTest, CleaningRewriteParsesBack) {
   EXPECT_TRUE(ParseQuery(cleaned.ToSql()).ok());
 }
 
+TEST(ParserTest, DeepButReasonableNestingParses) {
+  // Well under the recursion limit: 50 levels of parentheses and a
+  // 50-deep NOT chain both parse fine.
+  std::string filter = std::string(50, '(') + "x = 1" + std::string(50, ')');
+  EXPECT_TRUE(ParseFilter(filter).ok()) << filter.substr(0, 80);
+
+  std::string nots;
+  for (int i = 0; i < 50; ++i) nots += "NOT ";
+  EXPECT_TRUE(ParseFilter(nots + "x = 1").ok());
+}
+
+TEST(ParserTest, PathologicalNestingIsRefusedNotOverflowed) {
+  // A hostile client can send 100k opening parens in one line; the
+  // recursive-descent parser must refuse with kParseError at its depth
+  // limit instead of exhausting the stack.
+  const std::string parens(100000, '(');
+  auto r = ParseFilter(parens + "x = 1");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsParseError()) << r.status().ToString();
+  EXPECT_NE(r.status().message().find("nested"), std::string::npos)
+      << r.status().message();
+
+  std::string nots;
+  for (int i = 0; i < 100000; ++i) nots += "NOT ";
+  auto rn = ParseFilter(nots + "x = 1");
+  ASSERT_FALSE(rn.ok());
+  EXPECT_TRUE(rn.status().IsParseError());
+
+  // The same guard protects full-query parsing through the WHERE
+  // clause, and the parser is reusable after refusing.
+  EXPECT_TRUE(
+      ParseQuery("SELECT avg(x) FROM t WHERE " + parens + "x = 1 GROUP BY g")
+          .status()
+          .IsParseError());
+  EXPECT_TRUE(ParseFilter("(x = 1)").ok());
+}
+
 TEST(ParserTest, AggKindNames) {
   for (const char* name :
        {"count", "sum", "avg", "min", "max", "stddev", "var", "median"}) {

@@ -1,0 +1,303 @@
+// Error taxonomy + retry policy tests: every StatusCode classifies as
+// exactly one of transient/permanent, the backoff schedule is
+// deterministic, RetryTransient recovers from injected transient
+// faults with the attempt count observable, and permanent errors are
+// never retried. The service-level tests drive the same machinery
+// through the `debug` command against armed DBW_FAULT sites.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dbwipes/common/exec_context.h"
+#include "dbwipes/common/random.h"
+#include "dbwipes/common/retry.h"
+#include "dbwipes/core/service.h"
+
+namespace dbwipes {
+namespace {
+
+TEST(ErrorClassTest, TransientCodes) {
+  EXPECT_TRUE(IsTransient(Status::IoError("disk hiccup")));
+  EXPECT_TRUE(IsTransient(Status::RuntimeError("injected")));
+  EXPECT_TRUE(IsTransient(Status::DeadlineExceeded("too slow")));
+  EXPECT_TRUE(IsTransient(Status::ResourceExhausted("queue full")));
+}
+
+TEST(ErrorClassTest, PermanentCodes) {
+  EXPECT_FALSE(IsTransient(Status::OK()));
+  EXPECT_FALSE(IsTransient(Status::InvalidArgument("bad")));
+  EXPECT_FALSE(IsTransient(Status::NotFound("missing")));
+  EXPECT_FALSE(IsTransient(Status::AlreadyExists("dup")));
+  EXPECT_FALSE(IsTransient(Status::OutOfRange("index")));
+  EXPECT_FALSE(IsTransient(Status::ParseError("syntax")));
+  EXPECT_FALSE(IsTransient(Status::TypeError("types")));
+  EXPECT_FALSE(IsTransient(Status::NotImplemented("todo")));
+  // Cancellation is user intent: retrying would override it.
+  EXPECT_FALSE(IsTransient(Status::Cancelled("stop")));
+}
+
+TEST(ErrorClassTest, ToString) {
+  EXPECT_STREQ(ErrorClassToString(ErrorClass::kTransient), "transient");
+  EXPECT_STREQ(ErrorClassToString(ErrorClass::kPermanent), "permanent");
+}
+
+TEST(RetryPolicyTest, BackoffScheduleIsDeterministic) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 10.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_ms = 55.0;
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(1), 10.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(2), 20.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(3), 40.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(4), 55.0);  // capped
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(9), 55.0);
+}
+
+TEST(RetryPolicyTest, SleepSeamCapturesInsteadOfSleeping) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff_ms = 1.0;
+  policy.backoff_multiplier = 3.0;
+  std::vector<double> slept;
+  policy.sleep_fn = [&slept](double ms) { slept.push_back(ms); };
+
+  size_t attempts = 0;
+  Status st = RetryTransient(
+      policy, [] { return Status::IoError("always down"); }, &attempts);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(attempts, 4u);
+  // One backoff between each pair of attempts, exact exponential.
+  ASSERT_EQ(slept.size(), 3u);
+  EXPECT_DOUBLE_EQ(slept[0], 1.0);
+  EXPECT_DOUBLE_EQ(slept[1], 3.0);
+  EXPECT_DOUBLE_EQ(slept[2], 9.0);
+}
+
+TEST(RetryTransientTest, RecoversAfterKTransientFailures) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.sleep_fn = [](double) {};
+  size_t calls = 0;
+  size_t attempts = 0;
+  Status st = RetryTransient(
+      policy,
+      [&calls]() -> Status {
+        if (++calls <= 2) return Status::RuntimeError("flaky");
+        return Status::OK();
+      },
+      &attempts);
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 3u);
+  EXPECT_EQ(attempts, 3u);
+}
+
+TEST(RetryTransientTest, PermanentErrorIsNeverRetried) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.sleep_fn = [](double) { FAIL() << "must not back off"; };
+  size_t calls = 0;
+  size_t attempts = 0;
+  Status st = RetryTransient(
+      policy,
+      [&calls]() -> Status {
+        ++calls;
+        return Status::InvalidArgument("wrong request");
+      },
+      &attempts);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(attempts, 1u);
+}
+
+TEST(RetryTransientTest, ExhaustionReturnsLastTransientError) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.sleep_fn = [](double) {};
+  size_t attempts = 0;
+  Status st = RetryTransient(
+      policy, [] { return Status::IoError("still down"); }, &attempts);
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_EQ(attempts, 3u);
+}
+
+TEST(RetryTransientTest, WorksOverResultValues) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.sleep_fn = [](double) {};
+  size_t calls = 0;
+  auto r = RetryTransient(policy, [&calls]() -> Result<int> {
+    if (++calls < 3) return Status::ResourceExhausted("busy");
+    return 42;
+  });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(calls, 3u);
+}
+
+TEST(RetryTransientTest, MaxAttemptsZeroBehavesAsOne) {
+  RetryPolicy policy;
+  policy.max_attempts = 0;
+  policy.sleep_fn = [](double) {};
+  size_t attempts = 0;
+  Status st = RetryTransient(
+      policy, [] { return Status::IoError("down"); }, &attempts);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(attempts, 1u);
+}
+
+// --- Service-level retry against armed fault sites ---
+
+std::shared_ptr<Database> MakeDb() {
+  Rng rng(43);
+  auto t = std::make_shared<Table>(Schema{{"g", DataType::kInt64},
+                                          {"tag", DataType::kString},
+                                          {"v", DataType::kDouble}},
+                                   "w");
+  for (int g = 0; g < 4; ++g) {
+    for (int i = 0; i < 40; ++i) {
+      const bool bad = g >= 2 && i < 8;
+      DBW_CHECK_OK(t->AppendRow({Value(static_cast<int64_t>(g)),
+                                 Value(bad ? "bad" : "fine"),
+                                 Value(bad ? rng.Normal(100, 2)
+                                           : rng.Normal(10, 2))}));
+    }
+  }
+  auto db = std::make_shared<Database>();
+  db->RegisterTable(t);
+  return db;
+}
+
+void PrepareDebuggableSession(Service& service) {
+  ASSERT_NE(service.Execute("sql SELECT g, avg(v) AS a FROM w GROUP BY g")
+                .find("\"ok\": true"),
+            std::string::npos);
+  ASSERT_NE(service.Execute("select_range a 20 1e9").find("\"ok\": true"),
+            std::string::npos);
+  ASSERT_NE(service.Execute("metric too_high 12").find("\"ok\": true"),
+            std::string::npos);
+}
+
+ServiceOptions RetryingOptions(size_t max_attempts) {
+  ServiceOptions options;
+  options.retry.max_attempts = max_attempts;
+  options.retry.sleep_fn = [](double) {};  // no real sleeping in tests
+  return options;
+}
+
+TEST(ServiceRetryTest, DebugRecoversFromInjectedFaultWithAttemptCount) {
+  Service service(MakeDb(), RetryingOptions(4));
+  PrepareDebuggableSession(service);
+  ASSERT_NE(service.Execute("profile on").find("\"ok\": true"),
+            std::string::npos);
+
+  // Fail the first two runs at the pipeline entry, then recover.
+  FaultInjector faults;
+  FaultInjector::Fault fault;
+  fault.status = Status::RuntimeError("injected: pipeline entry");
+  fault.count = 2;
+  faults.Arm("pipeline/explain", fault);
+  service.set_fault_injector(&faults);
+
+  const std::string out = service.Execute("debug");
+  EXPECT_NE(out.find("\"ok\": true"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"attempts\":3"), std::string::npos) << out;
+  // hits() counts trips while armed: the two injected failures. The
+  // third (successful) attempt finds the site disarmed.
+  EXPECT_EQ(faults.hits("pipeline/explain"), 2u);
+}
+
+TEST(ServiceRetryTest, EverySiteRecoversUnderRetry) {
+  for (const std::string& site : AllFaultSites()) {
+    Service service(MakeDb(), RetryingOptions(3));
+    PrepareDebuggableSession(service);
+
+    FaultInjector faults;
+    FaultInjector::Fault fault;
+    fault.status = Status::RuntimeError("injected: " + site);
+    fault.count = 1;
+    faults.Arm(site, fault);
+    service.set_fault_injector(&faults);
+
+    const std::string out = service.Execute("debug");
+    EXPECT_NE(out.find("\"ok\": true"), std::string::npos)
+        << site << " -> " << out.substr(0, 200);
+  }
+}
+
+TEST(ServiceRetryTest, ExhaustedRetriesReportRetryableError) {
+  Service service(MakeDb(), RetryingOptions(2));
+  PrepareDebuggableSession(service);
+
+  FaultInjector faults;
+  FaultInjector::Fault fault;
+  fault.status = Status::RuntimeError("injected: permanent outage");
+  fault.count = 0;  // fire forever
+  faults.Arm("pipeline/explain", fault);
+  service.set_fault_injector(&faults);
+
+  const std::string out = service.Execute("debug");
+  EXPECT_NE(out.find("\"ok\": false"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"retryable\": true"), std::string::npos) << out;
+  EXPECT_EQ(faults.hits("pipeline/explain"), 2u);
+}
+
+TEST(ServiceRetryTest, PermanentErrorGetsExactlyOneAttempt) {
+  Service service(MakeDb(), RetryingOptions(5));
+  // No query/selection/metric: debug fails with kInvalidArgument.
+  FaultInjector faults;  // nothing armed; counts pipeline hits only
+  service.set_fault_injector(&faults);
+  const std::string out = service.Execute("debug");
+  EXPECT_NE(out.find("\"ok\": false"), std::string::npos) << out;
+  EXPECT_EQ(out.find("\"retryable\""), std::string::npos) << out;
+}
+
+TEST(ServiceRetryTest, RetryCommandAdjustsPolicyAtRuntime) {
+  Service service(MakeDb(), RetryingOptions(1));
+  PrepareDebuggableSession(service);
+  ASSERT_NE(service.Execute("profile on").find("\"ok\": true"),
+            std::string::npos);
+
+  FaultInjector faults;
+  FaultInjector::Fault fault;
+  fault.status = Status::RuntimeError("injected");
+  fault.count = 1;
+  faults.Arm("pipeline/explain", fault);
+  service.set_fault_injector(&faults);
+
+  // With retries off (max_attempts=1) the single failure surfaces.
+  std::string out = service.Execute("debug");
+  EXPECT_NE(out.find("\"ok\": false"), std::string::npos) << out;
+
+  // Turn retries on at runtime; a re-armed fault is now absorbed.
+  EXPECT_NE(service.Execute("retry 3 0").find("\"ok\": true"),
+            std::string::npos);
+  faults.Arm("pipeline/explain", fault);
+  out = service.Execute("debug");
+  EXPECT_NE(out.find("\"ok\": true"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"attempts\":2"), std::string::npos) << out;
+
+  // And `retry off` restores fail-fast.
+  EXPECT_NE(service.Execute("retry off").find("\"ok\": true"),
+            std::string::npos);
+  faults.Arm("pipeline/explain", fault);
+  out = service.Execute("debug");
+  EXPECT_NE(out.find("\"ok\": false"), std::string::npos) << out;
+}
+
+TEST(ServiceRetryTest, RetryCommandValidatesArguments) {
+  Service service(MakeDb());
+  EXPECT_NE(service.Execute("retry").find("\"ok\": false"), std::string::npos);
+  EXPECT_NE(service.Execute("retry zero").find("\"ok\": false"),
+            std::string::npos);
+  EXPECT_NE(service.Execute("retry 0").find("\"ok\": false"),
+            std::string::npos);
+  EXPECT_NE(service.Execute("retry 3 -1").find("\"ok\": false"),
+            std::string::npos);
+  EXPECT_NE(service.Execute("retry 3 5").find("\"ok\": true"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace dbwipes

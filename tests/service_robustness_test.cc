@@ -5,8 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstddef>
+#include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "dbwipes/common/random.h"
@@ -249,6 +253,100 @@ TEST(ServiceRobustnessTest, EverySuccessResponseIsWellFormedToo) {
     EXPECT_NE(out.find("\"ok\": true"), std::string::npos)
         << cmd << " -> " << out;
   }
+}
+
+// --- Concurrent fuzz pass ---
+//
+// N threads hurl hostile input at one queued service: random bytes,
+// embedded NULs, truncated command prefixes, broken JSON, and
+// multi-megabyte lines, interleaved with valid commands on private
+// sessions. Every submission must resolve to one well-formed JSON
+// object and the server must answer correctly afterwards. Carries the
+// `stress` label so scripts/check.sh repeats it under ThreadSanitizer.
+
+std::string FuzzLine(Rng& rng, int thread_id, int iter) {
+  static const char* kCommands[] = {
+      "sql SELECT g, avg(v) AS a FROM w GROUP BY g",
+      "select_range a 20 1e9", "select_groups 2 3", "inputs_where v > 50",
+      "metric too_high 12", "debug", "clean_where tag = 'bad'", "undo",
+      "reset", "state", "stats", "session list", "retry 2 0",
+      "snapshot save /nonexistent-dir/x/y/z.snap", "snapshot load",
+  };
+  constexpr size_t kNumCommands = sizeof(kCommands) / sizeof(kCommands[0]);
+  switch (rng.UniformInt(6u)) {
+    case 0: {  // pure random bytes, NULs included
+      std::string s(rng.UniformInt(1u, 256u), '\0');
+      for (char& c : s) c = static_cast<char>(rng.UniformInt(256u));
+      return s;
+    }
+    case 1: {  // a valid command truncated mid-token
+      const std::string cmd = kCommands[rng.UniformInt(kNumCommands)];
+      return cmd.substr(0, rng.UniformInt(cmd.size() + 1));
+    }
+    case 2: {  // broken JSON-ish garbage
+      static const char* kJunk[] = {
+          "{\"cmd\": \"debug", "{]}", "sql {\"nested\": [1,2,",
+          "metric \"too_high", "{\"ok\": false}", "[[[[[[[",
+      };
+      return kJunk[rng.UniformInt(6u)];
+    }
+    case 3: {  // oversized line: command + megabytes of trailing junk
+      const size_t len =
+          (thread_id == 0 && iter == 0) ? (10u << 20) : (64u << 10);
+      std::string s = "sql SELECT ";
+      s.append(len, 'g');
+      return s;
+    }
+    case 4: {  // valid command with hostile session routing
+      std::string s = "@";
+      s.append(rng.UniformInt(0u, 80u), 'f');
+      return s + " " + kCommands[rng.UniformInt(kNumCommands)];
+    }
+    default:  // valid command on this thread's own session
+      return "@fuzz" + std::to_string(thread_id) + " " +
+             kCommands[rng.UniformInt(kNumCommands)];
+  }
+}
+
+TEST(ServiceFuzzTest, ConcurrentHostileInputNeverBreaksTheServer) {
+  ServiceOptions options;
+  options.num_workers = 4;
+  options.queue_capacity = 64;
+  Service service(MakeDb(), options);
+  ASSERT_TRUE(service.Start().ok());
+
+  constexpr int kThreads = 6;
+  constexpr int kIters = 120;
+  std::atomic<int> malformed{0};
+  std::atomic<int> unresolved{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&service, &malformed, &unresolved, t] {
+      Rng rng(1000u + static_cast<uint64_t>(t));
+      for (int i = 0; i < kIters; ++i) {
+        std::future<std::string> fut = service.Submit(FuzzLine(rng, t, i));
+        if (fut.wait_for(std::chrono::seconds(60)) !=
+            std::future_status::ready) {
+          ++unresolved;  // a silent drop or a hang — both are bugs
+          continue;
+        }
+        if (!IsWellFormedJsonObject(fut.get())) ++malformed;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(unresolved.load(), 0);
+  EXPECT_EQ(malformed.load(), 0);
+
+  // The server survived: a full pipeline still works end to end.
+  for (const char* cmd : {"@after sql SELECT g, avg(v) AS a FROM w GROUP BY g",
+                          "@after select_range a 20 1e9",
+                          "@after metric too_high 12", "@after debug"}) {
+    const std::string out = service.Submit(cmd).get();
+    EXPECT_NE(out.find("\"ok\": true"), std::string::npos)
+        << cmd << " -> " << out.substr(0, 200);
+  }
+  service.Stop();
 }
 
 }  // namespace

@@ -1,0 +1,220 @@
+// SessionManager tests: name validation, creation/reuse, the session
+// cap with ResourceExhausted (retryable) refusal, idle eviction that
+// skips busy sessions, and genuinely concurrent cross-session use. The
+// concurrency tests carry the `stress` label and run under tsan in
+// scripts/check.sh's stress stage.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dbwipes/common/random.h"
+#include "dbwipes/common/retry.h"
+#include "dbwipes/core/session_manager.h"
+
+namespace dbwipes {
+namespace {
+
+std::shared_ptr<Database> MakeDb() {
+  Rng rng(47);
+  auto t = std::make_shared<Table>(Schema{{"g", DataType::kInt64},
+                                          {"v", DataType::kDouble}},
+                                   "w");
+  for (int g = 0; g < 4; ++g) {
+    for (int i = 0; i < 30; ++i) {
+      const bool bad = g >= 2 && i < 6;
+      DBW_CHECK_OK(t->AppendRow({Value(static_cast<int64_t>(g)),
+                                 Value(bad ? rng.Normal(100, 2)
+                                           : rng.Normal(10, 2))}));
+    }
+  }
+  auto db = std::make_shared<Database>();
+  db->RegisterTable(t);
+  return db;
+}
+
+TEST(SessionManagerTest, ValidatesNames) {
+  EXPECT_TRUE(SessionManager::ValidateName("main").ok());
+  EXPECT_TRUE(SessionManager::ValidateName("user-7.alpha_2").ok());
+  EXPECT_FALSE(SessionManager::ValidateName("").ok());
+  EXPECT_FALSE(SessionManager::ValidateName("has space").ok());
+  EXPECT_FALSE(SessionManager::ValidateName("semi;colon").ok());
+  EXPECT_FALSE(SessionManager::ValidateName("@at").ok());
+  EXPECT_FALSE(SessionManager::ValidateName(std::string(65, 'x')).ok());
+  EXPECT_TRUE(SessionManager::ValidateName(std::string(64, 'x')).ok());
+}
+
+TEST(SessionManagerTest, GetOrCreateReusesTheSameSession) {
+  SessionManager manager(MakeDb(), ExplainOptions{});
+  auto a = manager.GetOrCreate("alice");
+  ASSERT_TRUE(a.ok());
+  auto b = manager.GetOrCreate("alice");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->get(), b->get());
+  EXPECT_EQ(manager.size(), 1u);
+
+  auto c = manager.GetOrCreate("bob");
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->get(), c->get());
+  EXPECT_EQ(manager.size(), 2u);
+
+  std::vector<std::string> names = manager.Names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alice");  // sorted
+  EXPECT_EQ(names[1], "bob");
+}
+
+TEST(SessionManagerTest, FindDoesNotCreate) {
+  SessionManager manager(MakeDb(), ExplainOptions{});
+  EXPECT_EQ(manager.Find("ghost"), nullptr);
+  EXPECT_EQ(manager.size(), 0u);
+  ASSERT_TRUE(manager.GetOrCreate("real").ok());
+  EXPECT_NE(manager.Find("real"), nullptr);
+}
+
+TEST(SessionManagerTest, CapRefusesWithRetryableResourceExhausted) {
+  SessionManager::Options options;
+  options.max_sessions = 2;
+  SessionManager manager(MakeDb(), ExplainOptions{}, options);
+  ASSERT_TRUE(manager.GetOrCreate("a").ok());
+  ASSERT_TRUE(manager.GetOrCreate("b").ok());
+
+  auto refused = manager.GetOrCreate("c");
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+  // The session cap is load, not a malformed request: clients may
+  // retry after dropping/evicting.
+  EXPECT_TRUE(IsTransient(refused.status()));
+
+  // Existing sessions are still reachable at the cap.
+  EXPECT_TRUE(manager.GetOrCreate("a").ok());
+
+  // Dropping one frees a slot.
+  ASSERT_TRUE(manager.Drop("b").ok());
+  EXPECT_TRUE(manager.GetOrCreate("c").ok());
+}
+
+TEST(SessionManagerTest, DropRemovesButInFlightHoldersSurvive) {
+  SessionManager manager(MakeDb(), ExplainOptions{});
+  auto held = manager.GetOrCreate("victim");
+  ASSERT_TRUE(held.ok());
+  std::shared_ptr<ManagedSession> alive = *held;
+
+  ASSERT_TRUE(manager.Drop("victim").ok());
+  EXPECT_EQ(manager.Find("victim"), nullptr);
+  EXPECT_FALSE(manager.Drop("victim").ok());  // already gone
+
+  // The dropped session object is still usable by its holder.
+  EXPECT_TRUE(alive->session.ExecuteSql(
+      "SELECT g, avg(v) AS a FROM w GROUP BY g").ok());
+}
+
+TEST(SessionManagerTest, EvictionRemovesIdleSkipsBusy) {
+  SessionManager manager(MakeDb(), ExplainOptions{});
+  auto idle = manager.GetOrCreate("idle");
+  auto busy = manager.GetOrCreate("busy");
+  ASSERT_TRUE(idle.ok());
+  ASSERT_TRUE(busy.ok());
+
+  // A session whose mutex is held is mid-command: never evicted, no
+  // matter how stale its last-used time.
+  std::lock_guard<std::mutex> in_flight((*busy)->mu);
+  EXPECT_EQ(manager.EvictIdleOlderThan(0.0), 1u);
+  EXPECT_EQ(manager.Find("idle"), nullptr);
+  EXPECT_NE(manager.Find("busy"), nullptr);
+}
+
+TEST(SessionManagerTest, EvictIdleNoOpWithoutTimeout) {
+  SessionManager manager(MakeDb(), ExplainOptions{});
+  ASSERT_TRUE(manager.GetOrCreate("a").ok());
+  EXPECT_EQ(manager.EvictIdle(), 0u);  // idle_timeout_ms unset
+  EXPECT_EQ(manager.size(), 1u);
+}
+
+TEST(SessionManagerTest, IdleMsGrowsAndResetsOnUse) {
+  SessionManager manager(MakeDb(), ExplainOptions{});
+  ASSERT_TRUE(manager.GetOrCreate("a").ok());
+  EXPECT_GE(manager.IdleMs("a"), 0.0);
+  EXPECT_LT(manager.IdleMs("missing"), 0.0);
+}
+
+TEST(SessionManagerTest, ConcurrentCrossSessionExecution) {
+  SessionManager manager(MakeDb(), ExplainOptions{});
+  constexpr int kThreads = 8;
+  constexpr int kIters = 25;
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&manager, &failures, t] {
+      const std::string name = "worker-" + std::to_string(t);
+      for (int i = 0; i < kIters; ++i) {
+        auto ms = manager.GetOrCreate(name);
+        if (!ms.ok()) {
+          ++failures;
+          continue;
+        }
+        std::lock_guard<std::mutex> lock((*ms)->mu);
+        Session& s = (*ms)->session;
+        if (!s.ExecuteSql("SELECT g, avg(v) AS a FROM w GROUP BY g").ok() ||
+            !s.SelectResults({2, 3}).ok() ||
+            !s.SetMetric(TooHigh(12.0)).ok() || !s.Debug().ok()) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(manager.size(), static_cast<size_t>(kThreads));
+}
+
+TEST(SessionManagerTest, ConcurrentCreateOfTheSameNameYieldsOneSession) {
+  SessionManager manager(MakeDb(), ExplainOptions{});
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<ManagedSession>> seen(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&manager, &seen, t] {
+      auto ms = manager.GetOrCreate("contested");
+      if (ms.ok()) seen[static_cast<size_t>(t)] = *ms;
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_NE(seen[0], nullptr);
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[static_cast<size_t>(t)].get(), seen[0].get());
+  }
+  EXPECT_EQ(manager.size(), 1u);
+}
+
+TEST(SessionManagerTest, ConcurrentDropAndUse) {
+  SessionManager manager(MakeDb(), ExplainOptions{});
+  constexpr int kIters = 50;
+  std::atomic<bool> stop{false};
+
+  std::thread user([&manager, &stop] {
+    while (!stop.load()) {
+      auto ms = manager.GetOrCreate("churn");
+      if (!ms.ok()) continue;
+      std::lock_guard<std::mutex> lock((*ms)->mu);
+      (void)(*ms)->session.ExecuteSql(
+          "SELECT g, avg(v) AS a FROM w GROUP BY g");
+    }
+  });
+  for (int i = 0; i < kIters; ++i) {
+    (void)manager.Drop("churn");
+    std::this_thread::yield();
+  }
+  stop.store(true);
+  user.join();
+  // No crash, no tsan report: shared_ptr ownership kept every
+  // in-flight session alive across the drops.
+}
+
+}  // namespace
+}  // namespace dbwipes

@@ -1,0 +1,345 @@
+// Crash-consistent snapshot tests: payload round-trip, the service
+// restore oracle (a restored session's `debug` reproduces the
+// pre-snapshot ranking byte for byte), and the torn-file matrix —
+// truncation at every header byte and sampled payload offsets, a bit
+// flip at every byte of the file, and a foreign format version must
+// all fail cleanly with the prior service state untouched. Runs under
+// the asan-smoke preset (SMOKE label), so the corruption matrix also
+// proves the parser never reads out of bounds.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "dbwipes/common/random.h"
+#include "dbwipes/core/service.h"
+#include "dbwipes/core/snapshot.h"
+
+namespace dbwipes {
+namespace {
+
+std::shared_ptr<Database> MakeDb() {
+  Rng rng(53);
+  auto t = std::make_shared<Table>(Schema{{"g", DataType::kInt64},
+                                          {"tag", DataType::kString},
+                                          {"v", DataType::kDouble}},
+                                   "w");
+  for (int g = 0; g < 4; ++g) {
+    for (int i = 0; i < 40; ++i) {
+      const bool bad = g >= 2 && i < 8;
+      DBW_CHECK_OK(t->AppendRow({Value(static_cast<int64_t>(g)),
+                                 Value(bad ? "bad" : "fine"),
+                                 Value(bad ? rng.Normal(100, 2)
+                                           : rng.Normal(10, 2))}));
+    }
+  }
+  auto db = std::make_shared<Database>();
+  db->RegisterTable(t);
+  return db;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// The deterministic tail of a debug response: the ranked-predicate
+/// array (predicate text, scores, precision/recall). Excludes the
+/// wall-clock timings and profile, which legitimately differ run to
+/// run.
+std::string RankedPredicates(const std::string& debug_response) {
+  const size_t at = debug_response.find("\"predicates\":[");
+  EXPECT_NE(at, std::string::npos) << debug_response.substr(0, 200);
+  return debug_response.substr(at);
+}
+
+void DriveFullFlow(Service& service) {
+  for (const char* cmd : {
+           "sql SELECT g, avg(v) AS a FROM w GROUP BY g",
+           "clean_where v > 200",
+           "select_range a 20 1e9",
+           "inputs_where v > 50",
+           "metric too_high 12",
+           "set_deadline 60000",
+           "@side sql SELECT g, sum(v) AS s FROM w GROUP BY g",
+           "@side select_groups 2 3",
+           "@side metric total_above 500 0",
+       }) {
+    ASSERT_NE(service.Execute(cmd).find("\"ok\": true"), std::string::npos)
+        << cmd;
+  }
+}
+
+TEST(SnapshotPayloadTest, RoundTripsTablesAndSessions) {
+  auto db = MakeDb();
+  ServiceSnapshot snap;
+  snap.tables.emplace_back("w", db->GetTable("w").ValueOrDie());
+
+  ServiceSnapshot::SessionState s;
+  s.name = "main";
+  s.settings.deadline_ms = 1500.0;
+  s.settings.profile_enabled = true;
+  s.replay.original_sql = "SELECT g, avg(v) AS a FROM w GROUP BY g";
+  s.replay.applied_predicates.push_back(Predicate(
+      {Clause::Make("tag", CompareOp::kEq, Value(std::string("bad")))}));
+  s.replay.selected_groups = {2, 3};
+  s.replay.selected_inputs = {81, 95, 120};
+  s.replay.has_metric = true;
+  s.replay.metric_kind = "too_high";
+  s.replay.metric_expected = 12.0;
+  s.replay.agg_index = 0;
+  snap.sessions.push_back(s);
+
+  const std::string payload = SerializeSnapshotPayload(snap);
+  auto parsed = ParseSnapshotPayload(payload);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  ASSERT_EQ(parsed->tables.size(), 1u);
+  EXPECT_EQ(parsed->tables[0].first, "w");
+  const Table& t = *parsed->tables[0].second;
+  const Table& orig = *snap.tables[0].second;
+  ASSERT_EQ(t.num_rows(), orig.num_rows());
+  ASSERT_EQ(t.schema().num_fields(), orig.schema().num_fields());
+  for (RowId r = 0; r < t.num_rows(); ++r) {
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      EXPECT_EQ(t.column(c).GetValue(r), orig.column(c).GetValue(r))
+          << "cell (" << r << ", " << c << ")";
+    }
+  }
+
+  ASSERT_EQ(parsed->sessions.size(), 1u);
+  const ServiceSnapshot::SessionState& p = parsed->sessions[0];
+  EXPECT_EQ(p.name, "main");
+  EXPECT_DOUBLE_EQ(p.settings.deadline_ms, 1500.0);
+  EXPECT_TRUE(p.settings.profile_enabled);
+  EXPECT_EQ(p.replay.original_sql, s.replay.original_sql);
+  ASSERT_EQ(p.replay.applied_predicates.size(), 1u);
+  EXPECT_EQ(p.replay.applied_predicates[0].ToString(),
+            s.replay.applied_predicates[0].ToString());
+  EXPECT_EQ(p.replay.selected_groups, s.replay.selected_groups);
+  EXPECT_EQ(p.replay.selected_inputs, s.replay.selected_inputs);
+  EXPECT_TRUE(p.replay.has_metric);
+  EXPECT_EQ(p.replay.metric_kind, "too_high");
+  EXPECT_DOUBLE_EQ(p.replay.metric_expected, 12.0);
+  EXPECT_EQ(p.replay.agg_index, 0u);
+}
+
+TEST(SnapshotFileTest, WriteLeavesNoTempFileBehind) {
+  const std::string path = TempPath("clean_write.dbwsnap");
+  ServiceSnapshot snap;
+  ASSERT_TRUE(WriteSnapshot(path, snap).ok());
+  EXPECT_FALSE(ReadFile(path).empty());
+  // The temp sibling was renamed away.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotFileTest, MissingFileFailsCleanly) {
+  auto r = ReadSnapshot(TempPath("never_written.dbwsnap"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+// --- The restore oracle ---
+
+TEST(SnapshotServiceTest, RestoredSessionReproducesExplainByteForByte) {
+  const std::string path = TempPath("oracle.dbwsnap");
+  std::string expected_main, expected_side;
+  {
+    Service service(MakeDb());
+    DriveFullFlow(service);
+    const std::string main_debug = service.Execute("debug");
+    ASSERT_NE(main_debug.find("\"ok\": true"), std::string::npos)
+        << main_debug;
+    expected_main = RankedPredicates(main_debug);
+    const std::string side_debug = service.Execute("@side debug");
+    ASSERT_NE(side_debug.find("\"ok\": true"), std::string::npos)
+        << side_debug;
+    expected_side = RankedPredicates(side_debug);
+    ASSERT_NE(service.Execute("snapshot save " + path).find("\"ok\": true"),
+              std::string::npos);
+  }
+
+  // A brand-new process: empty database, nothing but the snapshot.
+  Service restored(std::make_shared<Database>());
+  const std::string load = restored.Execute("snapshot load " + path);
+  ASSERT_NE(load.find("\"ok\": true"), std::string::npos) << load;
+  EXPECT_NE(load.find("\"tables\": 1"), std::string::npos) << load;
+  EXPECT_NE(load.find("\"sessions\": 2"), std::string::npos) << load;
+
+  const std::string main_debug = restored.Execute("debug");
+  ASSERT_NE(main_debug.find("\"ok\": true"), std::string::npos) << main_debug;
+  EXPECT_EQ(RankedPredicates(main_debug), expected_main);
+
+  const std::string side_debug = restored.Execute("@side debug");
+  ASSERT_NE(side_debug.find("\"ok\": true"), std::string::npos) << side_debug;
+  EXPECT_EQ(RankedPredicates(side_debug), expected_side);
+
+  // Settings survived too: main's deadline and the cleaning predicate.
+  auto main_session = restored.sessions().Find("main");
+  ASSERT_NE(main_session, nullptr);
+  EXPECT_DOUBLE_EQ(main_session->settings.deadline_ms, 60000.0);
+  const std::string state = restored.Execute("state");
+  EXPECT_NE(state.find("\"num_applied_predicates\": 1"), std::string::npos)
+      << state;
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotServiceTest, SaveLoadOnPartialSessionStates) {
+  // Sessions in every intermediate stage of the loop survive a
+  // round-trip: no query, query only, query + selection (no metric).
+  const std::string path = TempPath("partial.dbwsnap");
+  {
+    Service service(MakeDb());
+    ASSERT_NE(service.Execute("@empty state").find("\"ok\": true"),
+              std::string::npos);
+    ASSERT_NE(service
+                  .Execute("@queried sql SELECT g, avg(v) AS a FROM w "
+                           "GROUP BY g")
+                  .find("\"ok\": true"),
+              std::string::npos);
+    ASSERT_NE(service.Execute("@selected sql SELECT g, avg(v) AS a FROM w "
+                              "GROUP BY g")
+                  .find("\"ok\": true"),
+              std::string::npos);
+    ASSERT_NE(service.Execute("@selected select_groups 2").find("\"ok\": true"),
+              std::string::npos);
+    ASSERT_NE(service.Execute("snapshot save " + path).find("\"ok\": true"),
+              std::string::npos);
+  }
+  Service restored(std::make_shared<Database>());
+  ASSERT_NE(restored.Execute("snapshot load " + path).find("\"ok\": true"),
+            std::string::npos);
+  EXPECT_NE(restored.Execute("@empty state").find("\"has_result\": false"),
+            std::string::npos);
+  EXPECT_NE(restored.Execute("@queried state").find("\"has_result\": true"),
+            std::string::npos);
+  EXPECT_NE(
+      restored.Execute("@selected state").find("\"num_selected_groups\": 1"),
+      std::string::npos);
+  std::remove(path.c_str());
+}
+
+// --- The torn-snapshot matrix ---
+
+class SnapshotCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = TempPath("corruption.dbwsnap");
+    Service service(MakeDb());
+    DriveFullFlow(service);
+    ASSERT_NE(service.Execute("snapshot save " + path_).find("\"ok\": true"),
+              std::string::npos);
+    bytes_ = ReadFile(path_);
+    ASSERT_GT(bytes_.size(), 28u);  // header + payload
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  /// Writes `mutated` over the snapshot and expects a clean, precise
+  /// load failure.
+  void ExpectRejected(const std::string& mutated, const std::string& what) {
+    WriteFile(path_, mutated);
+    auto r = ReadSnapshot(path_);
+    ASSERT_FALSE(r.ok()) << what << ": corrupt snapshot was accepted";
+    EXPECT_FALSE(r.status().ToString().empty());
+  }
+
+  std::string path_;
+  std::string bytes_;
+};
+
+TEST_F(SnapshotCorruptionTest, TruncationAtEveryHeaderByte) {
+  // Every prefix of the 28-byte header, including the empty file.
+  for (size_t n = 0; n < 28; ++n) {
+    ExpectRejected(bytes_.substr(0, n),
+                   "truncated to " + std::to_string(n) + " bytes");
+  }
+}
+
+TEST_F(SnapshotCorruptionTest, TruncationThroughoutThePayload) {
+  // Header intact, payload cut at every boundary in a stride sweep
+  // plus the exact end-1 (one missing byte must be caught).
+  for (size_t n = 28; n < bytes_.size(); n += 7) {
+    ExpectRejected(bytes_.substr(0, n),
+                   "payload truncated to " + std::to_string(n) + " bytes");
+  }
+  ExpectRejected(bytes_.substr(0, bytes_.size() - 1), "one byte short");
+}
+
+TEST_F(SnapshotCorruptionTest, BitFlipAtEveryByte) {
+  // A single flipped bit anywhere in the file — magic, version,
+  // declared size, checksum, or payload — must be detected.
+  for (size_t i = 0; i < bytes_.size(); ++i) {
+    std::string mutated = bytes_;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0x01);
+    ExpectRejected(mutated, "bit flip at byte " + std::to_string(i));
+  }
+}
+
+TEST_F(SnapshotCorruptionTest, TrailingGarbageIsRejected) {
+  ExpectRejected(bytes_ + std::string(16, '\0'), "trailing bytes");
+}
+
+TEST_F(SnapshotCorruptionTest, ForeignVersionIsRefusedByName) {
+  std::string mutated = bytes_;
+  mutated[8] = static_cast<char>(kSnapshotFormatVersion + 1);
+  WriteFile(path_, mutated);
+  auto r = ReadSnapshot(path_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("version"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST_F(SnapshotCorruptionTest, ForeignFileIsRefusedAsNotASnapshot) {
+  WriteFile(path_, "{\"this\": \"is json, not a snapshot\"}");
+  auto r = ReadSnapshot(path_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("magic"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST_F(SnapshotCorruptionTest, FailedLoadLeavesPriorStateUntouchedAndSaveable) {
+  Service service(MakeDb());
+  DriveFullFlow(service);
+  const std::string before = service.Execute("state");
+
+  // Corrupt the file, then try (and fail) to load it.
+  std::string mutated = bytes_;
+  mutated[mutated.size() / 2] = static_cast<char>(
+      mutated[mutated.size() / 2] ^ 0xFF);
+  WriteFile(path_, mutated);
+  const std::string load = service.Execute("snapshot load " + path_);
+  EXPECT_NE(load.find("\"ok\": false"), std::string::npos) << load;
+  // I/O-class failures are flagged retryable (the file may be
+  // re-uploaded), and the error is precise, not generic.
+  EXPECT_NE(load.find("\"retryable\": true"), std::string::npos) << load;
+
+  // Prior state is byte-identical and the session still works.
+  EXPECT_EQ(service.Execute("state"), before);
+  const std::string debug = service.Execute("debug");
+  EXPECT_NE(debug.find("\"ok\": true"), std::string::npos) << debug;
+
+  // And a fresh save over the corrupt file succeeds.
+  const std::string save = service.Execute("snapshot save " + path_);
+  EXPECT_NE(save.find("\"ok\": true"), std::string::npos) << save;
+  auto reread = ReadSnapshot(path_);
+  EXPECT_TRUE(reread.ok()) << reread.status().ToString();
+}
+
+}  // namespace
+}  // namespace dbwipes

@@ -4,13 +4,14 @@
 # race-free), the stress-labelled concurrent service suites under
 # tsan, and the tracing-overhead benchmark. Run from the repo root:
 #
-#   scripts/check.sh            # all six stages
+#   scripts/check.sh            # all seven stages
 #   scripts/check.sh tier1      # just the default-preset test suite
 #   scripts/check.sh asan       # just the asan smoke subset
 #   scripts/check.sh faults     # just the faults-labelled tests (asan)
 #   scripts/check.sh tsan       # just the tsan smoke subset
 #   scripts/check.sh stress     # concurrent service suites under tsan
 #   scripts/check.sh trace      # just bench_trace (BENCH_trace.json)
+#   scripts/check.sh shard      # bench_shard (BENCH_shard.json)
 #
 # Each stage configures/builds its preset only when needed, so repeat
 # runs are incremental.
@@ -62,6 +63,14 @@ trace_bench() {
   echo "wrote build/BENCH_trace.json"
 }
 
+shard_bench() {
+  echo "=== shard: streaming append + re-rank throughput benchmark ==="
+  cmake --preset default >/dev/null
+  cmake --build --preset default -j "$jobs" --target bench_shard
+  (cd build/bench && ./bench_shard --benchmark_min_time=0.05)
+  echo "wrote build/bench/BENCH_shard.json"
+}
+
 case "${1:-all}" in
   tier1)  tier1 ;;
   asan)   asan_smoke ;;
@@ -69,7 +78,8 @@ case "${1:-all}" in
   tsan)   tsan_smoke ;;
   stress) stress ;;
   trace)  trace_bench ;;
-  all)    tier1; asan_smoke; faults; tsan_smoke; stress; trace_bench ;;
-  *) echo "usage: $0 [tier1|asan|faults|tsan|stress|trace|all]" >&2; exit 2 ;;
+  shard)  shard_bench ;;
+  all)    tier1; asan_smoke; faults; tsan_smoke; stress; trace_bench; shard_bench ;;
+  *) echo "usage: $0 [tier1|asan|faults|tsan|stress|trace|shard|all]" >&2; exit 2 ;;
 esac
 echo "=== check.sh: all requested stages passed ==="

@@ -93,6 +93,7 @@ const std::vector<std::string>& AllFaultSites() {
       "enumerate/predicates", // PredicateEnumerator::Enumerate entry
       "ranker/rank",          // PredicateRanker::RankAnytime entry
       "ranker/score",         // per scoring block, before scoring it
+      "ranker/shard",         // per shard, before materializing its slice
       "pipeline/explain",     // DBWipes::Explain entry
   };
   return sites;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <shared_mutex>
 
 #include "dbwipes/common/metrics.h"
 #include "dbwipes/common/parallel.h"
@@ -26,6 +27,8 @@ struct ExplainMetrics {
   MetricCounter* deadline_expiries;
   MetricCounter* budget_exhaustions;
   MetricHistogram* total_ms;
+  MetricCounter* sharded_runs;
+  MetricHistogram* shard_skew;
 };
 
 const ExplainMetrics& Metrics() {
@@ -36,6 +39,8 @@ const ExplainMetrics& Metrics() {
       MetricsRegistry::Global().GetCounter("exec.deadline_expiries"),
       MetricsRegistry::Global().GetCounter("exec.budget_exhaustions"),
       MetricsRegistry::Global().GetHistogram("explain.total_ms"),
+      MetricsRegistry::Global().GetCounter("explain.sharded_runs"),
+      MetricsRegistry::Global().GetHistogram("explain.shard_skew"),
   };
   return m;
 }
@@ -73,6 +78,15 @@ Result<Explanation> DBWipes::Explain(const QueryResult& result,
 
   DBW_ASSIGN_OR_RETURN(std::shared_ptr<const Table> table,
                        db_->GetTable(result.query.table_name));
+
+  // Sharded target: the whole pipeline (feature view, preprocess,
+  // enumeration, ranking, merge) runs under ONE read lease, so a
+  // concurrent Append cannot grow any shard — or the fused view —
+  // mid-run. The lease is shared: concurrent explains proceed freely.
+  std::shared_ptr<ShardSet> shard_set =
+      db_->GetShardSet(result.query.table_name);
+  std::shared_lock<std::shared_mutex> lease;
+  if (shard_set != nullptr) lease = shard_set->ReadLease();
 
   std::vector<std::string> columns = request.explain_columns;
   if (columns.empty()) {
@@ -165,6 +179,15 @@ Result<Explanation> DBWipes::Explain(const QueryResult& result,
   }
   out.preprocess_ms = MillisSince(t0);
 
+  // The suspect universe is fixed from here on: partition it by the
+  // shard boundaries once, for every downstream stage.
+  ShardPlan shard_plan;
+  const ShardPlan* plan = nullptr;
+  if (shard_set != nullptr) {
+    shard_plan = ShardPlan::Build(*shard_set, out.preprocess.suspect_inputs);
+    plan = &shard_plan;
+  }
+
   // Stage 2: Dataset Enumerator.
   t0 = std::chrono::steady_clock::now();
   DatasetEnumerator enumerator(options_.enumerator);
@@ -206,7 +229,7 @@ Result<Explanation> DBWipes::Explain(const QueryResult& result,
   {
     DBW_TRACE_SPAN("pipeline/predicates");
     auto r = predicate_enumerator.Enumerate(
-        view, out.preprocess.suspect_inputs, out.candidates, ctx);
+        view, out.preprocess.suspect_inputs, out.candidates, ctx, plan);
     if (!r.ok()) {
       if (r.status().IsInterrupt()) {
         degrade(r.status());
@@ -252,7 +275,7 @@ Result<Explanation> DBWipes::Explain(const QueryResult& result,
                            *request.metric, request.agg_index,
                            out.preprocess.suspect_inputs, reference,
                            out.preprocess.per_group_baseline_error, enumerated,
-                           ctx));
+                           ctx, plan));
   }
   out.predicates = std::move(outcome.predicates);
   out.ranked_considered = outcome.scored_prefix;
@@ -272,6 +295,39 @@ Result<Explanation> DBWipes::Explain(const QueryResult& result,
     p.cache_misses = rs.cache_misses;
     p.bitmaps_materialized = rs.bitmaps_materialized;
     p.boxed_fallbacks = rs.boxed_fallbacks;
+    if (shard_set != nullptr) {
+      p.num_shards = shard_set->num_shards();
+      p.shards.reserve(rs.shard_stats.size());
+      for (const ShardRankStats& ss : rs.shard_stats) {
+        ExplainProfile::ShardLane lane;
+        lane.shard_index = ss.shard_index;
+        lane.rows = ss.rows;
+        lane.suspects = ss.suspects;
+        lane.engine_reused = ss.engine_reused;
+        lane.materialize_ms = ss.materialize_ms;
+        lane.clause_lookups = ss.clause_lookups;
+        lane.cache_hits = ss.cache_hits;
+        lane.cache_misses = ss.cache_misses;
+        lane.bitmaps_materialized = ss.bitmaps_materialized;
+        lane.cached_clauses = ss.cached_clauses;
+        if (ss.engine_reused) ++p.shard_engines_reused;
+        p.shards.push_back(lane);
+      }
+      // Skew from the plan (valid even when ranking degraded to the
+      // boxed path): max shard suspect share over the even share.
+      const size_t total = out.preprocess.suspect_inputs.size();
+      if (total > 0 && !shard_plan.slices.empty()) {
+        size_t biggest = 0;
+        for (const ShardSlice& s : shard_plan.slices) {
+          biggest = std::max(biggest, s.local_rows.size());
+        }
+        const double mean = static_cast<double>(total) /
+                            static_cast<double>(shard_plan.slices.size());
+        p.shard_skew = static_cast<double>(biggest) / mean;
+        Metrics().shard_skew->Observe(p.shard_skew);
+      }
+      Metrics().sharded_runs->Increment();
+    }
   }
   if (outcome.partial) {
     degrade(Status(StatusCode::kDeadlineExceeded, outcome.reason));
@@ -291,7 +347,8 @@ Result<Explanation> DBWipes::Explain(const QueryResult& result,
                        *request.metric, request.agg_index,
                        out.preprocess.suspect_inputs, reference,
                        out.preprocess.per_group_baseline_error,
-                       out.predicates, options_.ranker, options_.merger));
+                       out.predicates, options_.ranker, options_.merger,
+                       plan));
   }
   out.rank_ms = MillisSince(t0);
   finish();

@@ -169,6 +169,45 @@ void WriteProfile(JsonWriter* w, const ExplainProfile& p) {
   w->Number(p.boxed_fallbacks);
   w->EndObject();
 
+  if (p.num_shards > 0) {
+    w->Key("shards");
+    w->BeginObject();
+    w->Key("count");
+    w->Number(p.num_shards);
+    w->Key("engines_reused");
+    w->Number(p.shard_engines_reused);
+    w->Key("skew");
+    w->Number(p.shard_skew);
+    w->Key("lanes");
+    w->BeginArray();
+    for (const ExplainProfile::ShardLane& lane : p.shards) {
+      w->BeginObject();
+      w->Key("shard");
+      w->Number(lane.shard_index);
+      w->Key("rows");
+      w->Number(lane.rows);
+      w->Key("suspects");
+      w->Number(lane.suspects);
+      w->Key("engine_reused");
+      w->Bool(lane.engine_reused);
+      w->Key("materialize_ms");
+      w->Number(lane.materialize_ms);
+      w->Key("clause_lookups");
+      w->Number(lane.clause_lookups);
+      w->Key("cache_hits");
+      w->Number(lane.cache_hits);
+      w->Key("cache_misses");
+      w->Number(lane.cache_misses);
+      w->Key("bitmaps_materialized");
+      w->Number(lane.bitmaps_materialized);
+      w->Key("cached_clauses");
+      w->Number(lane.cached_clauses);
+      w->EndObject();
+    }
+    w->EndArray();
+    w->EndObject();
+  }
+
   w->Key("thread_pool");
   w->BeginObject();
   w->Key("threads");

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <unordered_map>
 
 #include "dbwipes/common/trace.h"
 
@@ -103,6 +104,32 @@ void AppendConstraint(const std::string& attr, const AttrConstraint& a,
 
 }  // namespace
 
+std::vector<RankedPredicate> CombinePartialRankings(
+    std::vector<RankedPredicate>* scored,
+    const std::function<uint64_t(size_t)>& set_hash,
+    const std::function<bool(size_t, size_t)>& set_equal, size_t top_k) {
+  std::vector<size_t> order(scored->size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return (*scored)[a].score > (*scored)[b].score;
+  });
+  std::vector<RankedPredicate> deduped;
+  std::unordered_map<uint64_t, std::vector<size_t>> seen_sets;
+  for (size_t i : order) {
+    if ((*scored)[i].matched_in_suspects > 0) {
+      std::vector<size_t>& bucket = seen_sets[set_hash(i)];
+      const bool duplicate =
+          std::any_of(bucket.begin(), bucket.end(),
+                      [&](size_t j) { return set_equal(i, j); });
+      if (duplicate) continue;
+      bucket.push_back(i);
+    }
+    deduped.push_back(std::move((*scored)[i]));
+    if (deduped.size() == top_k) break;
+  }
+  return deduped;
+}
+
 std::optional<Predicate> MergePredicates(const Predicate& a,
                                          const Predicate& b) {
   if (a.empty() || b.empty()) return std::nullopt;
@@ -168,7 +195,8 @@ Result<std::vector<RankedPredicate>> MergeAndRerank(
     size_t agg_index, const std::vector<RowId>& suspects,
     const std::vector<RowId>& reference_positive, double per_group_baseline,
     const std::vector<RankedPredicate>& ranked,
-    const RankerOptions& ranker_options, const MergerOptions& options) {
+    const RankerOptions& ranker_options, const MergerOptions& options,
+    const ShardPlan* shards) {
   if (ranked.empty()) return ranked;
   DBW_TRACE_SPAN("merge/rerank");
 
@@ -209,7 +237,7 @@ Result<std::vector<RankedPredicate>> MergeAndRerank(
   DBW_ASSIGN_OR_RETURN(
       std::vector<RankedPredicate> reranked,
       ranker.Rank(table, result, selected_groups, metric, agg_index, suspects,
-                  reference_positive, per_group_baseline, pool));
+                  reference_positive, per_group_baseline, pool, shards));
 
   // Drop merges that lost noticeably to their parents.
   std::vector<RankedPredicate> out;

@@ -14,28 +14,67 @@ namespace dbwipes {
 
 namespace {
 
+/// Selectivity sampler for bounding descriptions: one MatchEngine per
+/// shard slice (or a single fused engine when unsharded). Counts are
+/// per-row clause evaluations summed across slices, so the fraction a
+/// predicate gets is a pure function of the sampled rows' content —
+/// identical at every shard count.
+class SampleCounter {
+ public:
+  SampleCounter(const Table& table, const ShardPlan* shards) {
+    // Stride sample of the table for selectivity estimation.
+    std::vector<RowId> sample;
+    const size_t target = 2000;
+    const size_t stride = std::max<size_t>(1, table.num_rows() / target);
+    for (RowId r = 0; r < table.num_rows(); r += stride) sample.push_back(r);
+    size_ = sample.size();
+    // Each clause's sample bitmap is kernel-scanned once and cached
+    // per engine; the per-attribute joint fractions are then word-ANDs
+    // of the same bitmaps instead of fresh row loops. Engines are
+    // ephemeral (the sample universe differs from the ranker's suspect
+    // universe, so the per-set engine cache would never hit).
+    if (shards != nullptr && shards->set != nullptr) {
+      const ShardPlan sampled = ShardPlan::Build(*shards->set, sample);
+      for (const ShardSlice& slice : sampled.slices) {
+        engines_.emplace_back(*slice.table, slice.local_rows);
+      }
+    } else {
+      engines_.emplace_back(table, std::move(sample));
+    }
+  }
+
+  /// Sampled rows matching `pred`, summed over slices; nullopt when
+  /// any slice's match fails (all slices fail alike — match errors are
+  /// schema-shaped, not content-shaped).
+  std::optional<size_t> Count(const Predicate& pred) {
+    size_t total = 0;
+    for (MatchEngine& engine : engines_) {
+      auto bm = engine.Match(pred);
+      if (!bm.ok()) return std::nullopt;
+      total += bm->CountOnes();
+    }
+    return total;
+  }
+
+  double size() const { return std::max<double>(1.0, size_); }
+
+ private:
+  std::vector<MatchEngine> engines_;
+  size_t size_ = 0;
+};
+
 /// Builds the bounding description of a candidate row set: per
 /// attribute, the candidate's value span (numeric min/max or the set
 /// of categories), kept only when selective against a sample of the
 /// whole table, most selective clauses first.
 std::optional<Predicate> BoundingDescription(
     const FeatureView& view, const std::vector<RowId>& candidate_rows,
-    const PredicateEnumeratorOptions& options) {
+    const PredicateEnumeratorOptions& options, const ShardPlan* shards) {
   if (candidate_rows.empty()) return std::nullopt;
   const Table& table = view.table();
 
-  // Stride sample of the table for selectivity estimation.
-  std::vector<RowId> sample;
-  const size_t target = 2000;
-  const size_t stride = std::max<size_t>(1, table.num_rows() / target);
-  for (RowId r = 0; r < table.num_rows(); r += stride) sample.push_back(r);
-
-  // Each clause's sample bitmap is kernel-scanned once and cached; the
-  // per-attribute joint fractions below are then word-ANDs of the same
-  // bitmaps instead of fresh row loops.
-  MatchEngine engine(table, std::move(sample));
-  const double sample_size =
-      std::max<double>(1.0, static_cast<double>(engine.rows().size()));
+  SampleCounter counter(table, shards);
+  const double sample_size = counter.size();
 
   struct Scored {
     double fraction;  // of the table sample matched
@@ -101,10 +140,9 @@ std::optional<Predicate> BoundingDescription(
     // also drop one-sided halves of a range that exclude nothing.
     std::vector<Clause> selective;
     for (Clause& c : clauses) {
-      auto bm = engine.Match(Predicate({c}));
-      if (!bm.ok()) continue;
-      const double fraction =
-          static_cast<double>(bm->CountOnes()) / sample_size;
+      auto count = counter.Count(Predicate({c}));
+      if (!count) continue;
+      const double fraction = static_cast<double>(*count) / sample_size;
       if (fraction <= options.bounding_max_table_fraction) {
         selective.push_back(std::move(c));
       }
@@ -112,9 +150,9 @@ std::optional<Predicate> BoundingDescription(
     if (selective.empty()) continue;
 
     // Joint fraction for ordering.
-    auto bm = engine.Match(Predicate(selective));
-    if (!bm.ok()) continue;
-    kept.push_back({static_cast<double>(bm->CountOnes()) / sample_size,
+    auto count = counter.Count(Predicate(selective));
+    if (!count) continue;
+    kept.push_back({static_cast<double>(*count) / sample_size,
                     std::move(selective)});
   }
   if (kept.empty()) return std::nullopt;
@@ -162,7 +200,7 @@ PredicateEnumeratorOptions PredicateEnumeratorOptions::Defaults() {
 Result<std::vector<EnumeratedPredicate>> PredicateEnumerator::Enumerate(
     const FeatureView& view, const std::vector<RowId>& suspects,
     const std::vector<CandidateDataset>& candidates,
-    const ExecContext& ctx) const {
+    const ExecContext& ctx, const ShardPlan* shards) const {
   DBW_FAULT(ctx, "enumerate/predicates");
   DBW_TRACE_SPAN("enumerate/predicates");
   if (candidates.empty()) {
@@ -191,7 +229,7 @@ Result<std::vector<EnumeratedPredicate>> PredicateEnumerator::Enumerate(
     const CandidateDataset& cand = candidates[ci];
 
     if (options_.add_bounding_predicates) {
-      auto bounding = BoundingDescription(view, cand.rows, options_);
+      auto bounding = BoundingDescription(view, cand.rows, options_, shards);
       if (bounding && seen.insert(bounding->CanonicalString()).second) {
         if (!emit_allowed()) break;
         EnumeratedPredicate ep;

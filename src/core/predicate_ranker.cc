@@ -9,8 +9,10 @@
 #include "dbwipes/common/metrics.h"
 #include "dbwipes/common/parallel.h"
 #include "dbwipes/common/trace.h"
+#include "dbwipes/core/merger.h"
 #include "dbwipes/core/removal_scorer.h"
 #include "dbwipes/expr/match_kernels.h"
+#include "dbwipes/expr/shard_cache.h"
 
 namespace dbwipes {
 
@@ -70,36 +72,16 @@ void FinishScore(const RankerOptions& options, bool have_reference,
               options.w_complexity * complexity;
 }
 
-/// Orders by score (stable: ties keep enumeration order) and collapses
-/// predicates that remove the same tuple set — interchangeable repairs;
-/// only the best-scoring description survives. `set_hash`/`set_equal`
-/// describe the matched tuple sets: hashes bucket, but survival is
-/// decided by real set equality, so two distinct repairs can never be
-/// collapsed by a hash collision.
-std::vector<RankedPredicate> SortAndDedup(
-    std::vector<RankedPredicate>* scored,
-    const std::function<uint64_t(size_t)>& set_hash,
-    const std::function<bool(size_t, size_t)>& set_equal, size_t top_k) {
-  std::vector<size_t> order(scored->size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    return (*scored)[a].score > (*scored)[b].score;
-  });
-  std::vector<RankedPredicate> deduped;
-  std::unordered_map<uint64_t, std::vector<size_t>> seen_sets;
-  for (size_t i : order) {
-    if ((*scored)[i].matched_in_suspects > 0) {
-      std::vector<size_t>& bucket = seen_sets[set_hash(i)];
-      const bool duplicate =
-          std::any_of(bucket.begin(), bucket.end(),
-                      [&](size_t j) { return set_equal(i, j); });
-      if (duplicate) continue;
-      bucket.push_back(i);
-    }
-    deduped.push_back(std::move((*scored)[i]));
-    if (deduped.size() == top_k) break;
+/// FNV-1a fold of per-shard bitmap part hashes: with a fixed shard
+/// plan every predicate's parts have identical shapes, so part-vector
+/// equality is global-bitmap equality.
+uint64_t HashParts(const std::vector<Bitmap>& parts) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const Bitmap& b : parts) {
+    h ^= b.Hash();
+    h *= 1099511628211ULL;
   }
-  return deduped;
+  return h;
 }
 
 /// Why an anytime run wound down, as a human-readable reason. Explicit
@@ -132,12 +114,13 @@ Result<std::vector<RankedPredicate>> PredicateRanker::Rank(
     const std::vector<size_t>& selected_groups, const ErrorMetric& metric,
     size_t agg_index, const std::vector<RowId>& suspects,
     const std::vector<RowId>& reference_positive, double per_group_baseline,
-    const std::vector<EnumeratedPredicate>& predicates) const {
+    const std::vector<EnumeratedPredicate>& predicates,
+    const ShardPlan* shards) const {
   DBW_ASSIGN_OR_RETURN(
       RankOutcome outcome,
       RankAnytime(table, result, selected_groups, metric, agg_index, suspects,
                   reference_positive, per_group_baseline, predicates,
-                  ExecContext::None()));
+                  ExecContext::None(), shards));
   // The null context never interrupts, so the outcome is complete.
   return std::move(outcome.predicates);
 }
@@ -148,7 +131,7 @@ Result<RankOutcome> PredicateRanker::RankAnytime(
     size_t agg_index, const std::vector<RowId>& suspects,
     const std::vector<RowId>& reference_positive, double per_group_baseline,
     const std::vector<EnumeratedPredicate>& predicates,
-    const ExecContext& ctx) const {
+    const ExecContext& ctx, const ShardPlan* shards) const {
   if (predicates.empty()) {
     return Status::InvalidArgument("no predicates to rank");
   }
@@ -156,13 +139,16 @@ Result<RankOutcome> PredicateRanker::RankAnytime(
   DBW_TRACE_SPAN("ranker/rank");
   Metrics().runs->Increment();
   if (options_.engine == RankerOptions::Engine::kReferenceSerial) {
+    // The reference engine always scores the fused view; it exists to
+    // differential-test the fast paths (sharded included) against one
+    // canonical serial fold.
     return RankReference(table, result, selected_groups, metric, agg_index,
                          suspects, reference_positive, per_group_baseline,
                          predicates, ctx);
   }
   return RankDelta(table, result, selected_groups, metric, agg_index,
                    suspects, reference_positive, per_group_baseline,
-                   predicates, ctx);
+                   predicates, ctx, shards);
 }
 
 Result<RankOutcome> PredicateRanker::RankDelta(
@@ -171,7 +157,7 @@ Result<RankOutcome> PredicateRanker::RankDelta(
     size_t agg_index, const std::vector<RowId>& suspects,
     const std::vector<RowId>& reference_positive, double per_group_baseline,
     const std::vector<EnumeratedPredicate>& predicates,
-    const ExecContext& ctx) const {
+    const ExecContext& ctx, const ShardPlan* shards) const {
   const size_t n = predicates.size();
   const bool have_reference = !reference_positive.empty();
   double w_error = options_.w_error;
@@ -224,12 +210,109 @@ Result<RankOutcome> PredicateRanker::RankDelta(
   MatchEngine engine(table, suspects);
   bool use_kernels = options_.use_match_kernels;
   RankStats stats;
+
+  // Sharded kernel path: one cached engine per shard, each matching
+  // over that shard's slice of the suspect universe in shard-local
+  // coordinates. The per-set cache is what survives between explains —
+  // an append grows only the tail shard's table, so every other
+  // shard's engine passes the freshness check and returns warm.
+  bool shard_scoring = use_kernels && shards != nullptr &&
+                       shards->set != nullptr && !shards->slices.empty();
+  const size_t num_slices = shard_scoring ? shards->slices.size() : 0;
+  std::shared_ptr<ShardEngineCache> cache;
+  std::vector<std::unique_ptr<MatchEngine>> shard_engines(num_slices);
+  std::vector<Bitmap> ref_parts(num_slices);
+  std::vector<size_t> offsets(num_slices, 0);
+  // Reused engines carry cumulative counters across explains; per-run
+  // stats are deltas from these checkout-time snapshots.
+  struct CounterBase {
+    size_t lookups = 0, hits = 0, misses = 0, mats = 0, boxed = 0;
+  };
+  std::vector<CounterBase> bases(num_slices);
+  // Fills per-shard stat lanes from the counter deltas and returns
+  // every engine to the cache warm; safe to call at most once.
+  auto finish_shards = [&]() {
+    for (size_t s = 0; s < shard_engines.size(); ++s) {
+      if (shard_engines[s] == nullptr) continue;
+      ShardRankStats& ss = stats.shard_stats[s];
+      const MatchEngine& se = *shard_engines[s];
+      ss.clause_lookups = se.clause_lookups() - bases[s].lookups;
+      ss.cache_hits = se.cache_hits() - bases[s].hits;
+      ss.cache_misses = se.cache_misses() - bases[s].misses;
+      ss.bitmaps_materialized = se.bitmaps_materialized() - bases[s].mats;
+      ss.cached_clauses = se.num_cached_clauses();
+      stats.clause_lookups += ss.clause_lookups;
+      stats.cache_hits += ss.cache_hits;
+      stats.cache_misses += ss.cache_misses;
+      stats.bitmaps_materialized += ss.bitmaps_materialized;
+      stats.boxed_fallbacks += se.boxed_fallbacks() - bases[s].boxed;
+      cache->Checkin(ss.shard_index, std::move(shard_engines[s]));
+    }
+  };
+
+  std::vector<const Predicate*> preds;
   if (use_kernels) {
-    std::vector<const Predicate*> preds;
     preds.reserve(n);
     for (const EnumeratedPredicate& ep : predicates) {
       preds.push_back(&ep.predicate);
     }
+  }
+  if (shard_scoring) {
+    cache = ShardEngineCache::For(*shards->set);
+    stats.shard_stats.resize(num_slices);
+    const auto t_mat = std::chrono::steady_clock::now();
+    Status materialized = Status::OK();
+    // Shards materialize serially (each internally chunked over the
+    // pool), so per-shard wall times are honest and the budget charge
+    // order is deterministic.
+    for (size_t s = 0; s < num_slices && materialized.ok(); ++s) {
+      const ShardSlice& slice = shards->slices[s];
+      offsets[s] = slice.offset;
+      ShardRankStats& ss = stats.shard_stats[s];
+      ss.shard_index = slice.shard_index;
+      ss.rows = slice.table->num_rows();
+      ss.suspects = slice.local_rows.size();
+      materialized = [&]() -> Status {
+        DBW_FAULT(ctx, "ranker/shard");
+        return Status::OK();
+      }();
+      if (!materialized.ok()) break;
+      ShardEngineCache::Checkout co = cache->CheckoutEngine(
+          slice.shard_index, *slice.table, slice.local_rows);
+      ss.engine_reused = co.reused;
+      bases[s] = {co.engine->clause_lookups(), co.engine->cache_hits(),
+                  co.engine->cache_misses(),
+                  co.engine->bitmaps_materialized(),
+                  co.engine->boxed_fallbacks()};
+      shard_engines[s] = std::move(co.engine);
+      const auto t_shard = std::chrono::steady_clock::now();
+      materialized = shard_engines[s]->Materialize(preds, popts);
+      ss.materialize_ms =
+          MillisBetween(t_shard, std::chrono::steady_clock::now());
+      ref_parts[s] = Bitmap(slice.local_rows.size());
+      if (have_reference) {
+        for (size_t i = 0; i < slice.local_rows.size(); ++i) {
+          if (reference_bitmap.Test(slice.offset + i)) ref_parts[s].Set(i);
+        }
+      }
+    }
+    stats.materialize_ms =
+        MillisBetween(t_mat, std::chrono::steady_clock::now());
+    if (!materialized.ok()) {
+      // An interrupted shard rolled its fresh entries back; completed
+      // shards stay warm for the next run either way.
+      finish_shards();
+      stats.shard_stats.clear();
+      if (materialized.IsResourceExhausted()) {
+        use_kernels = false;  // degrade to the fused boxed path below
+        shard_scoring = false;
+      } else if (materialized.IsInterrupt()) {
+        return MakeOutcome({}, 0, n, ctx, false);
+      } else {
+        return materialized;
+      }
+    }
+  } else if (use_kernels) {
     const auto t_mat = std::chrono::steady_clock::now();
     Status materialized = engine.Materialize(preds, popts);
     stats.materialize_ms =
@@ -246,6 +329,7 @@ Result<RankOutcome> PredicateRanker::RankDelta(
       }
     }
   }
+  std::vector<std::vector<Bitmap>> matched_parts(shard_scoring ? n : 0);
 
   // Anytime scoring: predicates are processed in fixed-size blocks and
   // a block marks itself done only after scoring every member. On an
@@ -281,28 +365,44 @@ Result<RankOutcome> PredicateRanker::RankDelta(
           // marked done), bounding overrun to a single predicate.
           if (ctx.StopRequested()) return Status::OK();
           const EnumeratedPredicate& ep = predicates[i];
-          Bitmap bm;
-          if (use_kernels) {
-            DBW_ASSIGN_OR_RETURN(bm, engine.MatchPrepared(ep.predicate));
-          } else {
-            DBW_ASSIGN_OR_RETURN(BoundPredicate bound,
-                                 ep.predicate.Bind(table));
-            bm = bound.MatchBitmap(suspects);
-          }
-
           RankedPredicate& rp = scored[i];
           rp.predicate = ep.predicate;
           rp.strategy = ep.strategy;
-          rp.matched_in_suspects = bm.CountOnes();
-
-          const RemovalScorer::Errors errors = scorer.ErrorsAfter(metric, bm);
+          RemovalScorer::Errors errors;
+          size_t tp = 0;
+          if (shard_scoring) {
+            // Per-shard bitmaps, folded in slice order: offsets ascend,
+            // so removals apply in ascending global suspect order and
+            // every sum visits the same operands as the fused path.
+            std::vector<Bitmap> parts(num_slices);
+            size_t count = 0;
+            for (size_t s = 0; s < num_slices; ++s) {
+              DBW_ASSIGN_OR_RETURN(
+                  parts[s], shard_engines[s]->MatchPrepared(ep.predicate));
+              count += parts[s].CountOnes();
+              if (have_reference) tp += parts[s].CountAnd(ref_parts[s]);
+            }
+            rp.matched_in_suspects = count;
+            errors = scorer.ErrorsAfterParts(metric, parts, offsets);
+            matched_parts[i] = std::move(parts);
+          } else {
+            Bitmap bm;
+            if (use_kernels) {
+              DBW_ASSIGN_OR_RETURN(bm, engine.MatchPrepared(ep.predicate));
+            } else {
+              DBW_ASSIGN_OR_RETURN(BoundPredicate bound,
+                                   ep.predicate.Bind(table));
+              bm = bound.MatchBitmap(suspects);
+            }
+            rp.matched_in_suspects = bm.CountOnes();
+            errors = scorer.ErrorsAfter(metric, bm);
+            if (have_reference) tp = bm.CountAnd(reference_bitmap);
+            matched[i] = std::move(bm);
+          }
           rp.error_after = errors.raw;
-          const size_t tp =
-              have_reference ? bm.CountAnd(reference_bitmap) : 0;
           FinishScore(options_, have_reference, w_error, w_acc,
                       per_group_baseline, errors.per_group, tp,
                       reference_positive.size(), &rp);
-          matched[i] = std::move(bm);
         }
         block_ms[b] = MillisBetween(t_block, std::chrono::steady_clock::now());
         block_done[b] = 1;
@@ -310,7 +410,10 @@ Result<RankOutcome> PredicateRanker::RankDelta(
       },
       popts);
   stats.score_ms = MillisBetween(t_score, std::chrono::steady_clock::now());
-  if (!scan.ok() && !scan.IsInterrupt()) return scan;
+  if (!scan.ok() && !scan.IsInterrupt()) {
+    if (shard_scoring) finish_shards();  // hand engines back warm
+    return scan;
+  }
 
   // The deterministic cut: contiguous completed blocks from the front.
   size_t done_blocks = 0;
@@ -318,20 +421,33 @@ Result<RankOutcome> PredicateRanker::RankDelta(
   const size_t prefix = std::min(n, done_blocks * kScoreBlock);
   scored.resize(prefix);
   matched.resize(prefix);
-  std::vector<RankedPredicate> ranked = SortAndDedup(
-      &scored, [&](size_t i) { return matched[i].Hash(); },
-      [&](size_t a, size_t b) { return matched[a] == matched[b]; },
-      options_.top_k);
+  if (shard_scoring) matched_parts.resize(prefix);
+  std::vector<RankedPredicate> ranked =
+      shard_scoring
+          ? CombinePartialRankings(
+                &scored, [&](size_t i) { return HashParts(matched_parts[i]); },
+                [&](size_t a, size_t b) {
+                  return matched_parts[a] == matched_parts[b];
+                },
+                options_.top_k)
+          : CombinePartialRankings(
+                &scored, [&](size_t i) { return matched[i].Hash(); },
+                [&](size_t a, size_t b) { return matched[a] == matched[b]; },
+                options_.top_k);
 
   stats.blocks_total = num_blocks;
   stats.blocks_done = done_blocks;
   stats.block_ms = std::move(block_ms);
   stats.used_kernels = use_kernels;
-  stats.clause_lookups = engine.clause_lookups();
-  stats.cache_hits = engine.cache_hits();
-  stats.cache_misses = engine.cache_misses();
-  stats.bitmaps_materialized = engine.bitmaps_materialized();
-  stats.boxed_fallbacks = engine.boxed_fallbacks();
+  if (shard_scoring) {
+    finish_shards();  // top-level counters become the lane sums
+  } else {
+    stats.clause_lookups = engine.clause_lookups();
+    stats.cache_hits = engine.cache_hits();
+    stats.cache_misses = engine.cache_misses();
+    stats.bitmaps_materialized = engine.bitmaps_materialized();
+    stats.boxed_fallbacks = engine.boxed_fallbacks();
+  }
   Metrics().blocks_scored->Increment(done_blocks);
   Metrics().predicates_scored->Increment(prefix);
 
@@ -455,7 +571,7 @@ Result<RankOutcome> PredicateRanker::RankReference(
     }
     return hash;
   };
-  std::vector<RankedPredicate> ranked = SortAndDedup(
+  std::vector<RankedPredicate> ranked = CombinePartialRankings(
       &scored, hash_of,
       [&](size_t a, size_t b) { return matched_sets[a] == matched_sets[b]; },
       options_.top_k);

@@ -120,6 +120,19 @@ RemovalScorer::Errors RemovalScorer::ErrorsAfter(const ErrorMetric& metric,
   return {metric.Error(values), PerGroupError(metric, values)};
 }
 
+RemovalScorer::Errors RemovalScorer::ErrorsAfterParts(
+    const ErrorMetric& metric, const std::vector<Bitmap>& parts,
+    const std::vector<size_t>& offsets) const {
+  DBW_DCHECK(parts.size() == offsets.size());
+  const std::vector<double> values = ValuesImpl([&](const auto& apply) {
+    for (size_t p = 0; p < parts.size(); ++p) {
+      const size_t offset = offsets[p];
+      parts[p].ForEachSet([&](size_t i) { apply(offset + i); });
+    }
+  });
+  return {metric.Error(values), PerGroupError(metric, values)};
+}
+
 RemovalScorer::Errors RemovalScorer::ErrorsAfterRows(
     const ErrorMetric& metric, const std::vector<RowId>& rows) const {
   const std::vector<double> values = ValuesAfterRemovalRows(rows);

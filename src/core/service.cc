@@ -11,6 +11,8 @@
 #include "dbwipes/core/export.h"
 #include "dbwipes/core/snapshot.h"
 #include "dbwipes/expr/parser.h"
+#include "dbwipes/expr/shard_cache.h"
+#include "dbwipes/storage/shard.h"
 
 namespace dbwipes {
 
@@ -150,10 +152,7 @@ std::string Service::ExecuteCommand(const std::string& line) {
 
   if (cmd == "retry") return HandleRetry(in);
 
-  if (cmd == "stats") {
-    return OkWith("stats",
-                  MetricsRegistry::Global().SnapshotJson(/*pretty=*/false));
-  }
+  if (cmd == "stats") return HandleStats();
 
   if (cmd == "trace") {
     std::string sub;
@@ -176,6 +175,10 @@ std::string Service::ExecuteCommand(const std::string& line) {
   if (cmd == "session") return HandleSession(in);
 
   if (cmd == "snapshot") return HandleSnapshot(in);
+
+  if (cmd == "shards") return HandleShards(in);
+
+  if (cmd == "append") return HandleAppend(in);
 
   // --- Session commands ---
 
@@ -479,6 +482,163 @@ std::string Service::HandleSession(std::istream& in) {
   return Error("unknown session subcommand '" + sub + "'");
 }
 
+std::string Service::HandleStats() {
+  std::shared_ptr<Database> db;
+  {
+    std::shared_lock<std::shared_mutex> lock(state_mu_);
+    db = db_;
+  }
+  // Per-table shard telemetry rides along with the metrics snapshot so
+  // a dashboard sees layout, occupancy, and cache warmth in one call.
+  std::string shards = "{";
+  bool first_table = true;
+  for (const std::string& name : db->ShardedNames()) {
+    auto set = db->GetShardSet(name);
+    if (set == nullptr) continue;
+    auto lease = set->ReadLease();
+    if (!first_table) shards += ", ";
+    first_table = false;
+    shards += "\"" + JsonEscape(name) +
+              "\": {\"count\": " + std::to_string(set->num_shards()) +
+              ", \"rows\": [";
+    bool first = true;
+    for (size_t rows : set->ShardRowCounts()) {
+      if (!first) shards += ", ";
+      first = false;
+      shards += std::to_string(rows);
+    }
+    shards += "], \"cached_clauses\": [";
+    first = true;
+    for (size_t clauses : ShardEngineCache::For(*set)->CachedClausesPerShard()) {
+      if (!first) shards += ", ";
+      first = false;
+      shards += std::to_string(clauses);
+    }
+    shards += "], \"appends\": " + std::to_string(set->appends()) + "}";
+  }
+  shards += "}";
+  return "{\"ok\": true, \"stats\": " +
+         MetricsRegistry::Global().SnapshotJson(/*pretty=*/false) +
+         ", \"shards\": " + shards + "}";
+}
+
+std::string Service::HandleShards(std::istream& in) {
+  static MetricCounter* const reshards =
+      MetricsRegistry::Global().GetCounter("service.reshards");
+
+  std::string table_name;
+  std::string count_text;
+  if (!(in >> table_name >> count_text)) {
+    return Error("usage: shards <table> <count>");
+  }
+  // A malformed count must come back as a well-formed JSON error, not
+  // a zero-shard layout: parse strictly (no trailing junk, no signs
+  // smuggled through istream's size_t wraparound).
+  std::istringstream num(count_text);
+  long long count = 0;
+  char trailing = '\0';
+  if (!(num >> count) || num >> trailing || count < 1 ||
+      static_cast<unsigned long long>(count) > ShardSet::kMaxShards) {
+    return Error("shards: count must be an integer in [1, " +
+                 std::to_string(ShardSet::kMaxShards) + "], got '" +
+                 count_text + "'");
+  }
+
+  std::shared_ptr<Database> db;
+  {
+    std::shared_lock<std::shared_mutex> lock(state_mu_);
+    db = db_;
+  }
+  auto table = db->GetTable(table_name);
+  if (!table.ok()) return Error(table.status());
+  auto set = ShardSet::Create(**table, static_cast<size_t>(count));
+  if (!set.ok()) return Error(set.status());
+  db->RegisterShardSet(table_name, *set);
+  reshards->Increment();
+
+  std::string rows = "[";
+  bool first = true;
+  for (size_t r : (*set)->ShardRowCounts()) {
+    if (!first) rows += ", ";
+    first = false;
+    rows += std::to_string(r);
+  }
+  rows += "]";
+  return "{\"ok\": true, \"table\": \"" + JsonEscape(table_name) +
+         "\", \"shards\": " + std::to_string(count) + ", \"rows\": " + rows +
+         "}";
+}
+
+std::string Service::HandleAppend(std::istream& in) {
+  std::string table_name;
+  if (!(in >> table_name)) {
+    return Error("usage: append <table> <v1> [v2 ...] (`null` for NULL)");
+  }
+  std::shared_ptr<Database> db;
+  {
+    std::shared_lock<std::shared_mutex> lock(state_mu_);
+    db = db_;
+  }
+  auto set = db->GetShardSet(table_name);
+  if (set == nullptr) {
+    // Plain tables are immutable by design; only a ShardSet has a tail
+    // shard to route the row to.
+    auto table = db->GetTable(table_name);
+    if (!table.ok()) return Error(table.status());
+    return Error("append: table '" + table_name +
+                 "' is not sharded; run `shards " + table_name +
+                 " <count>` first");
+  }
+
+  const Schema& schema = set->schema();
+  std::vector<Value> values;
+  values.reserve(schema.num_fields());
+  for (const Field& field : schema.fields()) {
+    std::string token;
+    if (!(in >> token)) {
+      return Error("append: expected " + std::to_string(schema.num_fields()) +
+                   " values (" + schema.ToString() + "), got " +
+                   std::to_string(values.size()));
+    }
+    if (token == "null") {
+      values.emplace_back();
+      continue;
+    }
+    if (field.type == DataType::kString) {
+      values.emplace_back(std::move(token));
+      continue;
+    }
+    std::istringstream num(token);
+    char trailing = '\0';
+    if (field.type == DataType::kInt64) {
+      int64_t v = 0;
+      if (!(num >> v) || num >> trailing) {
+        return Error("append: column '" + field.name + "' expects int64, got '" +
+                     token + "'");
+      }
+      values.emplace_back(v);
+    } else {
+      double v = 0.0;
+      if (!(num >> v) || num >> trailing) {
+        return Error("append: column '" + field.name +
+                     "' expects double, got '" + token + "'");
+      }
+      values.emplace_back(v);
+    }
+  }
+  std::string extra;
+  if (in >> extra) {
+    return Error("append: too many values (schema is " + schema.ToString() +
+                 ")");
+  }
+
+  Status st = set->Append(values);
+  if (!st.ok()) return Error(st);
+  auto lease = set->ReadLease();  // concurrent appenders may still be running
+  return "{\"ok\": true, \"rows\": " + std::to_string(set->num_rows()) +
+         ", \"shard\": " + std::to_string(set->num_shards() - 1) + "}";
+}
+
 std::string Service::HandleSnapshot(std::istream& in) {
   static MetricCounter* const saves =
       MetricsRegistry::Global().GetCounter("service.snapshot_saves");
@@ -501,22 +661,44 @@ std::string Service::HandleSnapshot(std::istream& in) {
         if (ms != nullptr) live.emplace_back(name, std::move(ms));
       }
     }
-    for (const std::string& name : db->TableNames()) {
-      auto table = db->GetTable(name);
-      if (table.ok()) snapshot.tables.emplace_back(name, *table);
-    }
     for (auto& [name, ms] : live) {
       // Per-session lock: each session is serialized mid-command-free
       // into the snapshot (sessions are independent, so cross-session
-      // interleaving cannot produce a torn state).
+      // interleaving cannot produce a torn state). Sessions come
+      // BEFORE the shard leases below: a session command holds its
+      // mutex while taking a shard read lease, so acquiring in the
+      // opposite order here would be a lock-order inversion.
       std::lock_guard<std::mutex> lock(ms->mu);
       snapshot.sessions.push_back({name, ms->settings, ms->replay});
+    }
+    // Read-lease every sharded table BEFORE serializing so an append
+    // cannot tear a fused table mid-save; the leases stay held through
+    // WriteSnapshot. Only the boundaries are persisted — the restore
+    // rebuilds shard contents (and dictionaries) from the fused rows.
+    std::vector<std::shared_ptr<ShardSet>> sets;
+    std::vector<std::shared_lock<std::shared_mutex>> leases;
+    for (const std::string& name : db->ShardedNames()) {
+      auto set = db->GetShardSet(name);
+      if (set == nullptr) continue;
+      leases.push_back(set->ReadLease());
+      ServiceSnapshot::ShardLayout layout;
+      layout.table = name;
+      for (size_t rows : set->ShardRowCounts()) {
+        layout.shard_rows.push_back(rows);
+      }
+      snapshot.shard_layouts.push_back(std::move(layout));
+      sets.push_back(std::move(set));
+    }
+    for (const std::string& name : db->TableNames()) {
+      auto table = db->GetTable(name);
+      if (table.ok()) snapshot.tables.emplace_back(name, *table);
     }
     Status st = WriteSnapshot(path, snapshot);
     if (!st.ok()) return Error(st);
     saves->Increment();
     return "{\"ok\": true, \"path\": \"" + JsonEscape(path) +
            "\", \"tables\": " + std::to_string(snapshot.tables.size()) +
+           ", \"sharded\": " + std::to_string(snapshot.shard_layouts.size()) +
            ", \"sessions\": " + std::to_string(snapshot.sessions.size()) + "}";
   }
 
@@ -531,6 +713,25 @@ std::string Service::HandleSnapshot(std::istream& in) {
     auto db = std::make_shared<Database>();
     for (const auto& [name, table] : snapshot->tables) {
       db->RegisterTable(name, table);
+    }
+    // Re-shard after ALL tables are registered (RegisterTable clears
+    // any shard layout for its name). CreateWithRows re-derives every
+    // shard — contents, dictionaries, codes — from the fused rows, so
+    // the restored clause bitmaps match the pre-crash ones bit for bit.
+    for (const ServiceSnapshot::ShardLayout& layout : snapshot->shard_layouts) {
+      auto table = db->GetTable(layout.table);
+      if (!table.ok()) {
+        return Error("snapshot load: shard layout references unknown table '" +
+                     layout.table + "'");
+      }
+      std::vector<size_t> shard_rows(layout.shard_rows.begin(),
+                                     layout.shard_rows.end());
+      auto set = ShardSet::CreateWithRows(**table, shard_rows);
+      if (!set.ok()) {
+        return Error("snapshot load: cannot rebuild shards for table '" +
+                     layout.table + "': " + set.status().ToString());
+      }
+      db->RegisterShardSet(layout.table, *set);
     }
     auto manager = std::make_unique<SessionManager>(db, options_.explain,
                                                     options_.sessions);
@@ -559,6 +760,7 @@ std::string Service::HandleSnapshot(std::istream& in) {
     loads->Increment();
     return "{\"ok\": true, \"tables\": " +
            std::to_string(snapshot->tables.size()) +
+           ", \"sharded\": " + std::to_string(snapshot->shard_layouts.size()) +
            ", \"sessions\": " + std::to_string(snapshot->sessions.size()) + "}";
   }
 

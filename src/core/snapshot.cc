@@ -407,10 +407,18 @@ std::string SerializeSnapshotPayload(const ServiceSnapshot& snapshot) {
   for (const ServiceSnapshot::SessionState& s : snapshot.sessions) {
     WriteSession(&w, s);
   }
+  // v2: shard layouts (boundaries only; shard contents are derivable).
+  w.U32(static_cast<uint32_t>(snapshot.shard_layouts.size()));
+  for (const ServiceSnapshot::ShardLayout& layout : snapshot.shard_layouts) {
+    w.Str(layout.table);
+    w.U32(static_cast<uint32_t>(layout.shard_rows.size()));
+    for (uint64_t rows : layout.shard_rows) w.U64(rows);
+  }
   return w.Take();
 }
 
-Result<ServiceSnapshot> ParseSnapshotPayload(const std::string& payload) {
+Result<ServiceSnapshot> ParseSnapshotPayload(const std::string& payload,
+                                             uint32_t version) {
   PayloadReader r(payload);
   ServiceSnapshot snap;
   uint32_t num_tables = 0;
@@ -424,6 +432,23 @@ Result<ServiceSnapshot> ParseSnapshotPayload(const std::string& payload) {
   for (uint32_t i = 0; i < num_sessions; ++i) {
     DBW_ASSIGN_OR_RETURN(ServiceSnapshot::SessionState s, ReadSession(&r));
     snap.sessions.push_back(std::move(s));
+  }
+  if (version >= 2) {
+    uint32_t num_layouts = 0;
+    DBW_RETURN_NOT_OK(r.U32(&num_layouts, "shard-layout count"));
+    for (uint32_t i = 0; i < num_layouts; ++i) {
+      ServiceSnapshot::ShardLayout layout;
+      DBW_RETURN_NOT_OK(r.Str(&layout.table, "shard-layout table name"));
+      uint32_t num_shards = 0;
+      DBW_RETURN_NOT_OK(r.U32(&num_shards, "shard count"));
+      layout.shard_rows.reserve(num_shards);
+      for (uint32_t s = 0; s < num_shards; ++s) {
+        uint64_t rows = 0;
+        DBW_RETURN_NOT_OK(r.U64(&rows, "shard row count"));
+        layout.shard_rows.push_back(rows);
+      }
+      snap.shard_layouts.push_back(std::move(layout));
+    }
   }
   DBW_RETURN_NOT_OK(r.ExpectExhausted());
   return snap;
@@ -497,11 +522,16 @@ Result<ServiceSnapshot> ReadSnapshot(const std::string& path) {
   std::memcpy(&version, file.data() + 8, sizeof(version));
   std::memcpy(&payload_size, file.data() + 12, sizeof(payload_size));
   std::memcpy(&checksum, file.data() + 20, sizeof(checksum));
-  if (version != kSnapshotFormatVersion) {
+  if (version == 0 || version > kSnapshotFormatVersion) {
+    // A newer (or nonsense) version must be a precise refusal, never a
+    // parse attempt: the payload layout is unknown to this build.
     return Status::IoError(
         "snapshot '" + path + "' has format version " +
-        std::to_string(version) + "; this build reads only version " +
-        std::to_string(kSnapshotFormatVersion));
+        std::to_string(version) + "; this build reads versions 1.." +
+        std::to_string(kSnapshotFormatVersion) +
+        (version > kSnapshotFormatVersion
+             ? " (file was written by a newer build)"
+             : ""));
   }
   if (file.size() - kHeaderSize != payload_size) {
     return Status::IoError(
@@ -514,7 +544,7 @@ Result<ServiceSnapshot> ReadSnapshot(const std::string& path) {
     return Status::IoError("snapshot '" + path +
                            "' failed its checksum (corrupt payload)");
   }
-  return ParseSnapshotPayload(file.substr(kHeaderSize));
+  return ParseSnapshotPayload(file.substr(kHeaderSize), version);
 }
 
 }  // namespace dbwipes

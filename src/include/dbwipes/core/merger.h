@@ -1,6 +1,8 @@
 #ifndef DBWIPES_CORE_MERGER_H_
 #define DBWIPES_CORE_MERGER_H_
 
+#include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -30,16 +32,42 @@ struct MergerOptions {
 std::optional<Predicate> MergePredicates(const Predicate& a,
                                          const Predicate& b);
 
+/// Combines partial rankings into one final ranking: stable-sorts by
+/// score (ties keep input order), collapses entries whose removal sets
+/// are equal — interchangeable repairs; only the best-scoring
+/// description survives — and caps the result at `top_k`.
+/// `set_hash`/`set_equal` describe entry i's matched tuple set in
+/// whatever representation the caller scored with (a fused bitmap, a
+/// vector of per-shard bitmap parts, a RowId list): hashes bucket, but
+/// survival is decided by real set equality, so two distinct repairs
+/// can never be collapsed by a hash collision.
+///
+/// This is the shard-merge contract's combiner: per-shard partial
+/// scores arrive already folded into each entry, input order is
+/// enumeration order, and the sort is stable — so the output is a
+/// deterministic function of (scores, enumeration order) alone,
+/// independent of shard count and thread count. Under an anytime cut
+/// the caller passes the done-prefix only, and the combined ranking
+/// equals a full run restricted to that prefix.
+std::vector<RankedPredicate> CombinePartialRankings(
+    std::vector<RankedPredicate>* scored,
+    const std::function<uint64_t(size_t)>& set_hash,
+    const std::function<bool(size_t, size_t)>& set_equal, size_t top_k);
+
 /// Post-ranking pass: tries all pairs among the top ranked predicates,
 /// scores every successful merge with the same ranker, and returns the
-/// re-ranked union of originals and worthwhile merges.
+/// re-ranked union of originals and worthwhile merges. `shards` (may
+/// be null) is forwarded to the re-ranking Rank call, so a sharded
+/// explain's merge stage scores through the same warm per-shard
+/// engines as the main ranking.
 Result<std::vector<RankedPredicate>> MergeAndRerank(
     const Table& table, const QueryResult& result,
     const std::vector<size_t>& selected_groups, const ErrorMetric& metric,
     size_t agg_index, const std::vector<RowId>& suspects,
     const std::vector<RowId>& reference_positive, double per_group_baseline,
     const std::vector<RankedPredicate>& ranked,
-    const RankerOptions& ranker_options, const MergerOptions& options = {});
+    const RankerOptions& ranker_options, const MergerOptions& options = {},
+    const ShardPlan* shards = nullptr);
 
 }  // namespace dbwipes
 

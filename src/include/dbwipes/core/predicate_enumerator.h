@@ -7,6 +7,7 @@
 #include "dbwipes/common/exec_context.h"
 #include "dbwipes/core/dataset_enumerator.h"
 #include "dbwipes/learn/decision_tree.h"
+#include "dbwipes/storage/shard.h"
 
 namespace dbwipes {
 
@@ -69,10 +70,17 @@ class PredicateEnumerator {
   /// when ctx.budget caps candidate predicates, enumeration stops at
   /// the cap and returns the (deterministic) prefix emitted so far,
   /// latching the budget's exhausted flag for upstream reporting.
+  ///
+  /// `shards` (optional, caller holds the set's ReadLease): bounding-
+  /// description selectivity sampling runs against per-shard engines
+  /// over the shards' own tables instead of one fused scan; fractions
+  /// are sums of per-shard counts, so emitted predicates are identical
+  /// at every shard count.
   Result<std::vector<EnumeratedPredicate>> Enumerate(
       const FeatureView& view, const std::vector<RowId>& suspects,
       const std::vector<CandidateDataset>& candidates,
-      const ExecContext& ctx = ExecContext::None()) const;
+      const ExecContext& ctx = ExecContext::None(),
+      const ShardPlan* shards = nullptr) const;
 
  private:
   PredicateEnumeratorOptions options_;

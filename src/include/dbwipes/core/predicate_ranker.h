@@ -7,6 +7,7 @@
 #include "dbwipes/common/exec_context.h"
 #include "dbwipes/core/predicate_enumerator.h"
 #include "dbwipes/core/removal.h"
+#include "dbwipes/storage/shard.h"
 
 namespace dbwipes {
 
@@ -79,6 +80,30 @@ struct RankerOptions {
 /// Because the cut is a prefix of enumeration order, the partial
 /// ranking equals a full run restricted to predicates[0,
 /// scored_prefix) at any thread count — degraded, never wrong.
+/// \brief One shard's lane of a sharded ranking run. Counter fields
+/// are per-run deltas (a reused engine's counters are cumulative
+/// across explains, so each run snapshots them at checkout), which is
+/// what makes the warm-cache law checkable: a shard untouched by
+/// appends re-ranks with cache_misses == 0 and cache_hits ==
+/// clause_lookups.
+struct ShardRankStats {
+  size_t shard_index = 0;
+  /// Shard table rows at ranking time.
+  size_t rows = 0;
+  /// Suspect-universe members this shard owns.
+  size_t suspects = 0;
+  /// Engine came out of the per-set cache with bitmaps warm.
+  bool engine_reused = false;
+  /// This shard's slice of the Materialize wall time.
+  double materialize_ms = 0.0;
+  size_t clause_lookups = 0;
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+  size_t bitmaps_materialized = 0;
+  /// Clause bitmaps cached in the shard's engine after the run.
+  size_t cached_clauses = 0;
+};
+
 /// \brief Telemetry one ranking run produces for the ExplainProfile:
 /// phase wall times, per-block timings, and MatchEngine cache totals.
 struct RankStats {
@@ -98,6 +123,10 @@ struct RankStats {
   size_t cache_misses = 0;
   size_t bitmaps_materialized = 0;
   size_t boxed_fallbacks = 0;
+  /// Sharded runs only: one lane per shard, in shard order (empty for
+  /// fused runs). The top-level counters above are the lane sums, so
+  /// the hits + misses == lookups law holds unchanged.
+  std::vector<ShardRankStats> shard_stats;
 };
 
 struct RankOutcome {
@@ -131,13 +160,24 @@ class PredicateRanker {
   /// threads (all built-in metrics are pure). Output order is
   /// deterministic: by score, ties broken by enumeration order,
   /// independent of the thread count.
+  ///
+  /// `shards` (optional) partitions the suspect universe by a
+  /// ShardSet's boundaries: matching and materialization then run
+  /// per shard against cached per-shard MatchEngines (warm bitmaps
+  /// survive appends to other shards), per-shard partial scores are
+  /// folded in ascending-offset order, and the final ranking is
+  /// combined by the merger's CombinePartialRankings. Results are
+  /// bit-identical to the fused path at every shard count — a law the
+  /// equivalence suite checks. The caller must hold the set's
+  /// ReadLease() across the call.
   Result<std::vector<RankedPredicate>> Rank(
       const Table& table, const QueryResult& result,
       const std::vector<size_t>& selected_groups, const ErrorMetric& metric,
       size_t agg_index, const std::vector<RowId>& suspects,
       const std::vector<RowId>& reference_positive,
       double per_group_baseline,
-      const std::vector<EnumeratedPredicate>& predicates) const;
+      const std::vector<EnumeratedPredicate>& predicates,
+      const ShardPlan* shards = nullptr) const;
 
   /// Anytime entry point: like Rank, but wound down cooperatively by
   /// `ctx` (token/deadline checked per predicate, budget charged per
@@ -152,7 +192,7 @@ class PredicateRanker {
       const std::vector<RowId>& reference_positive,
       double per_group_baseline,
       const std::vector<EnumeratedPredicate>& predicates,
-      const ExecContext& ctx) const;
+      const ExecContext& ctx, const ShardPlan* shards = nullptr) const;
 
   /// Predicates per scoring block — the anytime cut's granularity.
   /// Fixed (never derived from the thread count) so partial prefixes
@@ -167,7 +207,7 @@ class PredicateRanker {
       const std::vector<RowId>& reference_positive,
       double per_group_baseline,
       const std::vector<EnumeratedPredicate>& predicates,
-      const ExecContext& ctx) const;
+      const ExecContext& ctx, const ShardPlan* shards) const;
 
   Result<RankOutcome> RankReference(
       const Table& table, const QueryResult& result,

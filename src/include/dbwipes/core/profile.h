@@ -59,6 +59,32 @@ struct ExplainProfile {
   size_t bitmaps_materialized = 0;
   size_t boxed_fallbacks = 0;
 
+  // --- Shards (sharded tables only; num_shards == 0 otherwise) ---
+  /// One lane per shard of the target ShardSet, in shard order.
+  /// Counter fields are per-run deltas (reused engines accumulate
+  /// across explains), so the hits + misses == lookups law holds per
+  /// lane as well as for the totals above (which are the lane sums).
+  struct ShardLane {
+    size_t shard_index = 0;
+    size_t rows = 0;      // shard table rows at ranking time
+    size_t suspects = 0;  // suspect-universe members the shard owns
+    bool engine_reused = false;
+    double materialize_ms = 0.0;
+    size_t clause_lookups = 0;
+    size_t cache_hits = 0;
+    size_t cache_misses = 0;
+    size_t bitmaps_materialized = 0;
+    size_t cached_clauses = 0;  // clause bitmaps retained after the run
+  };
+  size_t num_shards = 0;
+  std::vector<ShardLane> shards;
+  /// Engines that came back warm from the per-set cache this run.
+  size_t shard_engines_reused = 0;
+  /// Suspect-distribution skew: max over shards of (shard suspects /
+  /// mean suspects per shard); 1.0 = perfectly even, meaningless when
+  /// num_shards == 0.
+  double shard_skew = 0.0;
+
   // --- ThreadPool utilization (delta over this Explain) ---
   size_t pool_threads = 0;  // workers + the calling thread
   uint64_t pool_regions = 0;

@@ -85,6 +85,17 @@ class RemovalScorer {
   Errors ErrorsAfterRows(const ErrorMetric& metric,
                          const std::vector<RowId>& rows) const;
 
+  /// ErrorsAfter over a partitioned coverage: parts[p] bit i marks
+  /// suspect index offsets[p] + i. Parts must be disjoint slices of
+  /// the suspect universe with ascending offsets (the sharded ranker's
+  /// per-shard bitmaps), so walking them in order applies removals in
+  /// exactly the ascending-suspect-index order ErrorsAfter uses —
+  /// keeping the fold, and hence every last-ulp of the result,
+  /// identical to the fused path.
+  Errors ErrorsAfterParts(const ErrorMetric& metric,
+                          const std::vector<Bitmap>& parts,
+                          const std::vector<size_t>& offsets) const;
+
  private:
   /// One suspect tuple's cached contribution.
   struct Entry {

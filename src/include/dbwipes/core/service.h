@@ -83,13 +83,25 @@ struct ServiceOptions {
 ///   session drop <name>          remove a session
 ///   session evict [idle_ms]      evict sessions idle > idle_ms
 ///   snapshot save <path>         checksummed crash-consistent dump of
-///                                all sessions + loaded tables
+///                                all sessions + loaded tables + shard
+///                                layouts
 ///   snapshot load <path>         validate and restore a snapshot
 ///                                (all-or-nothing)
 ///   retry <max_attempts> [initial_backoff_ms] | retry off
 ///                                configure the transient-retry policy
 ///   ping [ms]                    liveness probe (optionally sleeps)
+///   shards <table> <count>       partition a loaded table into
+///                                <count> contiguous range shards
+///                                (count in [1, 256]); later appends
+///                                route to the tail shard and explains
+///                                run shard-parallel
+///   append <table> <v1> ...      append one row to a sharded table's
+///                                tail shard (one value per schema
+///                                column; `null` for NULL)
 ///   stats                        process-wide metrics snapshot (JSON)
+///                                plus per-table shard layout: shard
+///                                count, per-shard row counts, cached
+///                                clause bitmaps per shard
 ///   profile on|off               attach the per-Explain profile to
 ///                                debug responses (per session)
 ///   trace on|off                 enable/disable the pipeline tracer
@@ -166,6 +178,9 @@ class Service {
   std::string HandleSession(std::istream& in);
   std::string HandleSnapshot(std::istream& in);
   std::string HandleRetry(std::istream& in);
+  std::string HandleStats();
+  std::string HandleShards(std::istream& in);
+  std::string HandleAppend(std::istream& in);
   RetryPolicy CurrentRetryPolicy() const;
   void WorkerLoop();
 

@@ -26,13 +26,28 @@ struct ServiceSnapshot {
     SessionReplay replay;
   };
 
-  /// registration name -> table.
+  /// A sharded table's partition boundaries. Only the per-shard row
+  /// counts are persisted — shard contents, dictionaries, and codes
+  /// are all reproducible from the fused table plus the boundaries
+  /// (codes are first-appearance within each shard), so a restore
+  /// rebuilds every shard byte for byte via ShardSet::CreateWithRows.
+  struct ShardLayout {
+    std::string table;  // registration name in `tables`
+    std::vector<uint64_t> shard_rows;
+  };
+
+  /// registration name -> table (a sharded table's fused view).
   std::vector<std::pair<std::string, TablePtr>> tables;
   std::vector<SessionState> sessions;
+  std::vector<ShardLayout> shard_layouts;  // format v2+; empty in v1
 };
 
-/// On-disk format version this build writes and the only one it reads.
-constexpr uint32_t kSnapshotFormatVersion = 1;
+/// On-disk format version this build writes. Version history:
+///   1 — tables + sessions (PR 5).
+///   2 — adds shard layouts after the session section.
+/// This build reads versions 1..2 (a v1 file simply has no shard
+/// layouts) and refuses anything newer with a precise error.
+constexpr uint32_t kSnapshotFormatVersion = 2;
 
 /// Writes `snapshot` to `path` crash-consistently: the bytes go to a
 /// temporary sibling file which is atomically renamed over `path`, so
@@ -50,8 +65,11 @@ Result<ServiceSnapshot> ReadSnapshot(const std::string& path);
 
 /// Serializes/parses the snapshot payload without the file envelope
 /// (exposed for tests; Write/ReadSnapshot add the header + checksum).
+/// `version` selects the section set to expect — pass the envelope's
+/// version when parsing an older file.
 std::string SerializeSnapshotPayload(const ServiceSnapshot& snapshot);
-Result<ServiceSnapshot> ParseSnapshotPayload(const std::string& payload);
+Result<ServiceSnapshot> ParseSnapshotPayload(
+    const std::string& payload, uint32_t version = kSnapshotFormatVersion);
 
 }  // namespace dbwipes
 

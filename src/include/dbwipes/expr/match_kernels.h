@@ -141,6 +141,9 @@ class MatchEngine {
   // exactly one of the two (a law the observability test checks
   // against the global metric counters).
   size_t num_cached_clauses() const { return entries_.size(); }
+  /// Table size the cache snapshot was built against; a cached engine
+  /// is reusable only while its table still has exactly this many rows.
+  size_t built_table_rows() const { return built_num_rows_; }
   size_t cache_hits() const { return cache_hits_; }
   size_t cache_misses() const { return cache_misses_; }
   size_t clause_lookups() const { return cache_hits_ + cache_misses_; }

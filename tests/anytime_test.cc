@@ -17,6 +17,7 @@
 #include "dbwipes/datagen/synthetic.h"
 #include "dbwipes/expr/parser.h"
 #include "dbwipes/query/executor.h"
+#include "dbwipes/storage/shard.h"
 
 namespace dbwipes {
 namespace {
@@ -42,6 +43,12 @@ std::shared_ptr<Database> MakeSmallDb() {
   }
   auto db = std::make_shared<Database>();
   db->RegisterTable(t);
+  // Shard the world: the fault matrix and the deadline/cancel tests
+  // then exercise the shard-parallel ranking path (which is where the
+  // "ranker/shard" site lives) on top of everything they already cover
+  // — the sharded pipeline is bit-identical to the fused one, so no
+  // expectation changes.
+  db->RegisterShardSet("w", *ShardSet::Create(*t, 3));
   return db;
 }
 

@@ -349,5 +349,90 @@ TEST(ServiceFuzzTest, ConcurrentHostileInputNeverBreaksTheServer) {
   service.Stop();
 }
 
+// ---------- shard commands ----------
+
+TEST(ServiceShardRobustnessTest, MalformedShardCountsFailCleanly) {
+  Service service(MakeDb());
+  for (const char* bad : {
+           "shards",                // no table
+           "shards w",              // no count
+           "shards w 0",            // below range
+           "shards w -3",           // negative (size_t wraparound trap)
+           "shards w 2x",           // trailing junk
+           "shards w 1e3",          // scientific notation is not an integer
+           "shards w 4.0",          // float is not an integer
+           "shards w 999999",       // above kMaxShards
+           "shards w 18446744073709551615",  // u64 max
+           "shards nosuch 2",       // unknown table
+       }) {
+    ExpectCleanFailure(service, bad);
+  }
+  // The failures left no broken layout behind: sharding still works.
+  EXPECT_NE(service.Execute("shards w 4").find("\"ok\": true"),
+            std::string::npos);
+}
+
+TEST(ServiceShardRobustnessTest, AppendValidatesTableArityAndTypes) {
+  Service service(MakeDb());
+  // Appending to an unsharded table is refused with a hint, and to a
+  // missing table with a clean error.
+  ExpectCleanFailure(service, "append w 1 fine 10.5");
+  EXPECT_NE(service.Execute("append w 1 fine 10.5").find("not sharded"),
+            std::string::npos);
+  ExpectCleanFailure(service, "append nosuch 1 fine 10.5");
+  ExpectCleanFailure(service, "append");
+
+  ASSERT_NE(service.Execute("shards w 2").find("\"ok\": true"),
+            std::string::npos);
+  for (const char* bad : {
+           "append w",                  // no values at all
+           "append w 1",                // too few values
+           "append w 1 fine",           // still too few
+           "append w 1 fine 10.5 extra",  // too many
+           "append w abc fine 10.5",    // int64 column gets a string
+           "append w 1.5 fine 10.5",    // int64 column gets a float
+           "append w 1 fine 10.5.3",    // double column gets junk
+       }) {
+    ExpectCleanFailure(service, bad);
+  }
+  // Schema is {g:int64, tag:string, v:double}; `null` works anywhere.
+  const std::string ok = service.Execute("append w 3 null null");
+  EXPECT_NE(ok.find("\"ok\": true"), std::string::npos) << ok;
+  EXPECT_NE(ok.find("\"shard\": 1"), std::string::npos) << ok;
+}
+
+TEST(ServiceShardRobustnessTest, StatsReportsShardLayoutAndCacheSizes) {
+  Service service(MakeDb());
+  // No sharded tables yet: stats still well-formed, shards object empty.
+  std::string out = service.Execute("stats");
+  EXPECT_TRUE(IsWellFormedJsonObject(out)) << out;
+  EXPECT_NE(out.find("\"shards\": {}"), std::string::npos) << out;
+
+  ASSERT_NE(service.Execute("shards w 4").find("\"ok\": true"),
+            std::string::npos);
+  ASSERT_NE(service.Execute("append w 1 fine 10.5").find("\"ok\": true"),
+            std::string::npos);
+  out = service.Execute("stats");
+  EXPECT_TRUE(IsWellFormedJsonObject(out)) << out;
+  // 160 rows split 4 ways, plus one append routed to the tail shard.
+  EXPECT_NE(out.find("\"w\": {\"count\": 4, \"rows\": [40, 40, 40, 41]"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("\"cached_clauses\": [0, 0, 0, 0]"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("\"appends\": 1"), std::string::npos) << out;
+
+  // A debug run warms the per-shard engines; stats shows the warmth.
+  for (const char* cmd : {"sql SELECT g, avg(v) AS a FROM w GROUP BY g",
+                          "select_groups 2 3", "metric too_high 15", "debug"}) {
+    ASSERT_NE(service.Execute(cmd).find("\"ok\": true"), std::string::npos)
+        << cmd;
+  }
+  out = service.Execute("stats");
+  EXPECT_TRUE(IsWellFormedJsonObject(out)) << out;
+  EXPECT_EQ(out.find("\"cached_clauses\": [0, 0, 0, 0]"), std::string::npos)
+      << "debug did not warm any shard cache: " << out;
+}
+
 }  // namespace
 }  // namespace dbwipes

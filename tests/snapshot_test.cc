@@ -8,6 +8,7 @@
 // proves the parser never reads out of bounds.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <fstream>
@@ -42,7 +43,9 @@ std::shared_ptr<Database> MakeDb() {
 }
 
 std::string TempPath(const std::string& name) {
-  return ::testing::TempDir() + "/" + name;
+  // PID-qualified so concurrently running test binaries (e.g. two
+  // sanitizer presets of this same suite) never share a file.
+  return ::testing::TempDir() + "/" + std::to_string(::getpid()) + "_" + name;
 }
 
 std::string ReadFile(const std::string& path) {
@@ -231,6 +234,65 @@ TEST(SnapshotServiceTest, SaveLoadOnPartialSessionStates) {
   EXPECT_NE(
       restored.Execute("@selected state").find("\"num_selected_groups\": 1"),
       std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotPayloadTest, V1PayloadGatesTheShardSection) {
+  auto db = MakeDb();
+  ServiceSnapshot snap;
+  snap.tables.emplace_back("w", db->GetTable("w").ValueOrDie());
+
+  // A v1 payload is the same bytes minus the trailing shard section —
+  // here empty, so just its U32 layout count.
+  const std::string v2 = SerializeSnapshotPayload(snap);
+  ASSERT_GE(v2.size(), 4u);
+  const std::string v1 = v2.substr(0, v2.size() - 4);
+
+  // Old files still load; each version's parse is exact — no shard
+  // section expected in v1, one required in v2, nothing trailing.
+  EXPECT_TRUE(ParseSnapshotPayload(v1, 1).ok());
+  EXPECT_TRUE(ParseSnapshotPayload(v2, 2).ok());
+  EXPECT_FALSE(ParseSnapshotPayload(v1, 2).ok());
+  EXPECT_FALSE(ParseSnapshotPayload(v2, 1).ok());
+}
+
+TEST(SnapshotServiceTest, ShardLayoutSurvivesSaveAndLoad) {
+  const std::string path = TempPath("sharded.dbwsnap");
+  std::string expected;
+  {
+    Service service(MakeDb());
+    ASSERT_NE(service.Execute("shards w 3").find("\"ok\": true"),
+              std::string::npos);
+    // Appends skew the tail shard: the restored layout must reproduce
+    // the UNEVEN boundaries, not just the shard count.
+    for (const char* cmd : {"append w 1 fine 10.5", "append w 2 bad 95"}) {
+      ASSERT_NE(service.Execute(cmd).find("\"ok\": true"), std::string::npos)
+          << cmd;
+    }
+    DriveFullFlow(service);
+    const std::string save = service.Execute("snapshot save " + path);
+    EXPECT_NE(save.find("\"ok\": true"), std::string::npos) << save;
+    EXPECT_NE(save.find("\"sharded\": 1"), std::string::npos) << save;
+    expected = RankedPredicates(service.Execute("debug"));
+  }
+
+  Service restored(MakeDb());
+  const std::string load = restored.Execute("snapshot load " + path);
+  EXPECT_NE(load.find("\"ok\": true"), std::string::npos) << load;
+  EXPECT_NE(load.find("\"sharded\": 1"), std::string::npos) << load;
+
+  // 160 rows split 3 ways is {54, 53, 53}; both appends rode the tail.
+  const std::string stats = restored.Execute("stats");
+  EXPECT_NE(stats.find("\"w\": {\"count\": 3, \"rows\": [54, 53, 55]"),
+            std::string::npos)
+      << stats;
+
+  // The restored debug runs sharded (profile says so) and reproduces
+  // the pre-snapshot ranking byte for byte.
+  const std::string debug = restored.Execute("debug");
+  EXPECT_NE(debug.find("\"shards\":{\"count\":3"), std::string::npos)
+      << debug.substr(0, 400);
+  EXPECT_EQ(RankedPredicates(debug), expected);
   std::remove(path.c_str());
 }
 

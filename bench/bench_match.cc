@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
@@ -176,6 +177,35 @@ double MedianMs(const std::function<void()>& fn, int reps) {
   return ms[ms.size() / 2];
 }
 
+/// Times two variants in alternating order within each round so that
+/// clock-speed drift across the run biases neither side (timing them
+/// in separate back-to-back blocks systematically penalizes whichever
+/// runs second).
+std::pair<double, double> InterleavedMedianMs(const std::function<void()>& a,
+                                              const std::function<void()>& b,
+                                              int reps) {
+  std::vector<double> ams, bms;
+  const auto time_one = [](const std::function<void()>& fn) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+  for (int r = 0; r < reps; ++r) {
+    if (r % 2 == 0) {
+      ams.push_back(time_one(a));
+      bms.push_back(time_one(b));
+    } else {
+      bms.push_back(time_one(b));
+      ams.push_back(time_one(a));
+    }
+  }
+  std::sort(ams.begin(), ams.end());
+  std::sort(bms.begin(), bms.end());
+  return {ams[ams.size() / 2], bms[bms.size() / 2]};
+}
+
 bool SameOrder(const std::vector<RankedPredicate>& a,
                const std::vector<RankedPredicate>& b) {
   if (a.size() != b.size()) return false;
@@ -199,9 +229,9 @@ void PrintReportAndJson() {
 
   MatchEngine probe(*p.data.table, {});
   const std::vector<Bitmap> kernel1 = MatchKernels(p, 1, &probe);
-  const double kernel1_ms = MedianMs([&] { MatchKernels(p, 1); }, reps);
   const std::vector<Bitmap> kernelN = MatchKernels(p, 0);
-  const double kernelN_ms = MedianMs([&] { MatchKernels(p, 0); }, reps);
+  const auto [kernel1_ms, kernelN_ms] = InterleavedMedianMs(
+      [&] { MatchKernels(p, 1); }, [&] { MatchKernels(p, 0); }, reps);
 
   bool bitmaps_equal =
       boxed.size() == kernel1.size() && boxed.size() == kernelN.size();

@@ -12,6 +12,8 @@
 #   scripts/check.sh stress     # concurrent service suites under tsan
 #   scripts/check.sh trace      # just bench_trace (BENCH_trace.json)
 #   scripts/check.sh shard      # bench_shard (BENCH_shard.json)
+#   scripts/check.sh fused      # bench_fused (BENCH_fused.json) +
+#                               # forced-scalar fused tests under asan
 #
 # Each stage configures/builds its preset only when needed, so repeat
 # runs are incremental.
@@ -71,6 +73,20 @@ shard_bench() {
   echo "wrote build/bench/BENCH_shard.json"
 }
 
+fused_bench() {
+  echo "=== fused: one-pass conjunction benchmark + scalar-tier asan pass ==="
+  cmake --preset default >/dev/null
+  cmake --build --preset default -j "$jobs" --target bench_fused
+  (cd build/bench && ./bench_fused --benchmark_min_time=0.05)
+  echo "wrote build/bench/BENCH_fused.json"
+  # The equivalence suite again, with the SIMD dispatcher pinned to the
+  # portable tier, under asan: scalar and vector bodies must be
+  # bit-identical and memory-clean.
+  cmake --preset asan >/dev/null
+  cmake --build --preset asan -j "$jobs" --target fused_kernels_test
+  DBWIPES_SIMD=off ./build-asan/tests/fused_kernels_test
+}
+
 case "${1:-all}" in
   tier1)  tier1 ;;
   asan)   asan_smoke ;;
@@ -79,7 +95,8 @@ case "${1:-all}" in
   stress) stress ;;
   trace)  trace_bench ;;
   shard)  shard_bench ;;
-  all)    tier1; asan_smoke; faults; tsan_smoke; stress; trace_bench; shard_bench ;;
-  *) echo "usage: $0 [tier1|asan|faults|tsan|stress|trace|shard|all]" >&2; exit 2 ;;
+  fused)  fused_bench ;;
+  all)    tier1; asan_smoke; faults; tsan_smoke; stress; trace_bench; shard_bench; fused_bench ;;
+  *) echo "usage: $0 [tier1|asan|faults|tsan|stress|trace|shard|fused|all]" >&2; exit 2 ;;
 esac
 echo "=== check.sh: all requested stages passed ==="

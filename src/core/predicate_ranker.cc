@@ -227,6 +227,9 @@ Result<RankOutcome> PredicateRanker::RankDelta(
   // stats are deltas from these checkout-time snapshots.
   struct CounterBase {
     size_t lookups = 0, hits = 0, misses = 0, mats = 0, boxed = 0;
+    size_t f_lookups = 0, f_hits = 0, f_compiles = 0, f_fallbacks = 0;
+    size_t f_evals = 0;
+    double f_compile_ms = 0.0;
   };
   std::vector<CounterBase> bases(num_slices);
   // Fills per-shard stat lanes from the counter deltas and returns
@@ -241,11 +244,26 @@ Result<RankOutcome> PredicateRanker::RankDelta(
       ss.cache_misses = se.cache_misses() - bases[s].misses;
       ss.bitmaps_materialized = se.bitmaps_materialized() - bases[s].mats;
       ss.cached_clauses = se.num_cached_clauses();
+      ss.fused_lookups = se.fused_lookups() - bases[s].f_lookups;
+      ss.fused_hits = se.fused_hits() - bases[s].f_hits;
+      ss.fused_compiles = se.fused_compiles() - bases[s].f_compiles;
+      ss.fused_fallbacks = se.fused_fallbacks() - bases[s].f_fallbacks;
+      ss.fused_evals = se.fused_evals() - bases[s].f_evals;
+      ss.cached_programs = se.num_fused_programs();
       stats.clause_lookups += ss.clause_lookups;
       stats.cache_hits += ss.cache_hits;
       stats.cache_misses += ss.cache_misses;
       stats.bitmaps_materialized += ss.bitmaps_materialized;
       stats.boxed_fallbacks += se.boxed_fallbacks() - bases[s].boxed;
+      stats.fused_lookups += ss.fused_lookups;
+      stats.fused_hits += ss.fused_hits;
+      stats.fused_compiles += ss.fused_compiles;
+      stats.fused_fallbacks += ss.fused_fallbacks;
+      stats.fused_evals += ss.fused_evals;
+      stats.fused_programs += ss.cached_programs;
+      stats.fused_compile_ms +=
+          se.fused_compile_ms() - bases[s].f_compile_ms;
+      if (stats.simd_tier.empty()) stats.simd_tier = SimdTierName(se.simd_tier());
       cache->Checkin(ss.shard_index, std::move(shard_engines[s]));
     }
   };
@@ -280,10 +298,17 @@ Result<RankOutcome> PredicateRanker::RankDelta(
       ShardEngineCache::Checkout co = cache->CheckoutEngine(
           slice.shard_index, *slice.table, slice.local_rows);
       ss.engine_reused = co.reused;
-      bases[s] = {co.engine->clause_lookups(), co.engine->cache_hits(),
+      bases[s] = {co.engine->clause_lookups(),
+                  co.engine->cache_hits(),
                   co.engine->cache_misses(),
                   co.engine->bitmaps_materialized(),
-                  co.engine->boxed_fallbacks()};
+                  co.engine->boxed_fallbacks(),
+                  co.engine->fused_lookups(),
+                  co.engine->fused_hits(),
+                  co.engine->fused_compiles(),
+                  co.engine->fused_fallbacks(),
+                  co.engine->fused_evals(),
+                  co.engine->fused_compile_ms()};
       shard_engines[s] = std::move(co.engine);
       const auto t_shard = std::chrono::steady_clock::now();
       materialized = shard_engines[s]->Materialize(preds, popts);
@@ -378,7 +403,8 @@ Result<RankOutcome> PredicateRanker::RankDelta(
             size_t count = 0;
             for (size_t s = 0; s < num_slices; ++s) {
               DBW_ASSIGN_OR_RETURN(
-                  parts[s], shard_engines[s]->MatchPrepared(ep.predicate));
+                  parts[s],
+                  shard_engines[s]->MatchPrepared(ep.predicate, ctx));
               count += parts[s].CountOnes();
               if (have_reference) tp += parts[s].CountAnd(ref_parts[s]);
             }
@@ -388,7 +414,8 @@ Result<RankOutcome> PredicateRanker::RankDelta(
           } else {
             Bitmap bm;
             if (use_kernels) {
-              DBW_ASSIGN_OR_RETURN(bm, engine.MatchPrepared(ep.predicate));
+              DBW_ASSIGN_OR_RETURN(bm,
+                                   engine.MatchPrepared(ep.predicate, ctx));
             } else {
               DBW_ASSIGN_OR_RETURN(BoundPredicate bound,
                                    ep.predicate.Bind(table));
@@ -447,6 +474,14 @@ Result<RankOutcome> PredicateRanker::RankDelta(
     stats.cache_misses = engine.cache_misses();
     stats.bitmaps_materialized = engine.bitmaps_materialized();
     stats.boxed_fallbacks = engine.boxed_fallbacks();
+    stats.fused_lookups = engine.fused_lookups();
+    stats.fused_hits = engine.fused_hits();
+    stats.fused_compiles = engine.fused_compiles();
+    stats.fused_fallbacks = engine.fused_fallbacks();
+    stats.fused_evals = engine.fused_evals();
+    stats.fused_programs = engine.num_fused_programs();
+    stats.fused_compile_ms = engine.fused_compile_ms();
+    if (use_kernels) stats.simd_tier = SimdTierName(engine.simd_tier());
   }
   Metrics().blocks_scored->Increment(done_blocks);
   Metrics().predicates_scored->Increment(prefix);

@@ -514,6 +514,14 @@ std::string Service::HandleStats() {
       first = false;
       shards += std::to_string(clauses);
     }
+    shards += "], \"cached_programs\": [";
+    first = true;
+    for (size_t programs :
+         ShardEngineCache::For(*set)->CachedProgramsPerShard()) {
+      if (!first) shards += ", ";
+      first = false;
+      shards += std::to_string(programs);
+    }
     shards += "], \"appends\": " + std::to_string(set->appends()) + "}";
   }
   shards += "}";

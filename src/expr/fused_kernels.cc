@@ -1,0 +1,430 @@
+#include "dbwipes/expr/fused_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "dbwipes/common/logging.h"
+#include "dbwipes/expr/match_kernels.h"
+
+#if defined(__x86_64__) || defined(__amd64__)
+#define DBWIPES_HAVE_AVX2_TIER 1
+#include <immintrin.h>
+#else
+#define DBWIPES_HAVE_AVX2_TIER 0
+#endif
+
+namespace dbwipes {
+
+namespace {
+
+bool EnvDisablesSimd() {
+  const char* env = std::getenv("DBWIPES_SIMD");
+  if (env == nullptr) return false;
+  return std::strcmp(env, "off") == 0 || std::strcmp(env, "scalar") == 0 ||
+         std::strcmp(env, "0") == 0;
+}
+
+bool CpuHasAvx2() {
+#if DBWIPES_HAVE_AVX2_TIER
+  // One cpuid probe per process; the env override above stays dynamic.
+  static const bool has = __builtin_cpu_supports("avx2");
+  return has;
+#else
+  return false;
+#endif
+}
+
+inline uint64_t TailMask(size_t limit) {
+  return limit >= 64 ? ~uint64_t{0} : ((uint64_t{1} << limit) - 1);
+}
+
+// ---------------------------------------------------------------------
+// Scalar tier: 64 rows per word through the same comparison expressions
+// as the per-clause kernels (match_kernels.cc), so the fused result is
+// bit-identical to materialize+AND by construction.
+// ---------------------------------------------------------------------
+
+template <typename Fn>
+inline uint64_t PackWord(const RowId* rows, size_t base, size_t limit,
+                         const Fn& fn) {
+  uint64_t w = 0;
+  for (size_t b = 0; b < limit; ++b) {
+    w |= static_cast<uint64_t>(fn(rows[base + b])) << b;
+  }
+  return w;
+}
+
+template <typename Load>
+uint64_t ScalarNumericWord(const FusedOp& op, const RowId* rows, size_t base,
+                           size_t limit, const Load& load) {
+  const double t = op.threshold;
+  switch (op.op) {
+    case CompareOp::kEq:
+      return PackWord(rows, base, limit,
+                      [&](RowId r) { return load(r) == t; });
+    case CompareOp::kNe:
+      return PackWord(rows, base, limit,
+                      [&](RowId r) { return load(r) != t; });
+    case CompareOp::kLt:
+      return PackWord(rows, base, limit,
+                      [&](RowId r) { return load(r) < t; });
+    case CompareOp::kLe:
+      // Negated strict comparisons, same as Clause::Matches: NaN
+      // satisfies kLe/kGe (neither side of < holds).
+      return PackWord(rows, base, limit,
+                      [&](RowId r) { return !(t < load(r)); });
+    case CompareOp::kGt:
+      return PackWord(rows, base, limit,
+                      [&](RowId r) { return t < load(r); });
+    case CompareOp::kGe:
+      return PackWord(rows, base, limit,
+                      [&](RowId r) { return !(load(r) < t); });
+    case CompareOp::kIn:
+      return PackWord(rows, base, limit, [&](RowId r) {
+        const double v = load(r);
+        return !std::isnan(v) &&
+               std::binary_search(op.in_data, op.in_data + op.in_size, v);
+      });
+    case CompareOp::kContains:
+      break;
+  }
+  DBW_CHECK(false) << "CONTAINS body on numeric fused op";
+  return 0;
+}
+
+uint64_t ScalarOpWord(const FusedOp& op, const RowId* rows, size_t base,
+                      size_t limit) {
+  switch (op.body) {
+    case FusedOp::Body::kDoubleCmp:
+    case FusedOp::Body::kNumericIn: {
+      const double* data = op.dbl;
+      return ScalarNumericWord(op, rows, base, limit,
+                               [data](RowId r) { return data[r]; });
+    }
+    case FusedOp::Body::kInt64Cmp: {
+      const int64_t* data = op.i64;
+      return ScalarNumericWord(
+          op, rows, base, limit,
+          [data](RowId r) { return static_cast<double>(data[r]); });
+    }
+    case FusedOp::Body::kCodeEq: {
+      const int32_t* codes = op.codes;
+      const int32_t key = op.code;
+      return PackWord(rows, base, limit,
+                      [codes, key](RowId r) { return codes[r] == key; });
+    }
+    case FusedOp::Body::kCodeNe: {
+      const int32_t* codes = op.codes;
+      const int32_t key = op.code;
+      return PackWord(rows, base, limit, [codes, key](RowId r) {
+        return static_cast<bool>((codes[r] >= 0) & (codes[r] != key));
+      });
+    }
+    case FusedOp::Body::kCodeTable: {
+      const int32_t* codes = op.codes;
+      const uint32_t* table = op.table;
+      return PackWord(rows, base, limit, [codes, table](RowId r) {
+        return table[codes[r] + 1] != 0;
+      });
+    }
+    case FusedOp::Body::kBitmapRef:
+      break;
+  }
+  DBW_CHECK(false) << "kBitmapRef resolved outside the op dispatch";
+  return 0;
+}
+
+// ---------------------------------------------------------------------
+// AVX2 tier. Each function carries target("avx2") so the file compiles
+// without a global -mavx2; calls are guarded by the runtime tier. The
+// comparison immediates mirror the scalar expressions exactly:
+//   kEq  v == t        _CMP_EQ_OQ   (ordered,   NaN -> false)
+//   kNe  v != t        _CMP_NEQ_UQ  (unordered, NaN -> true)
+//   kLt  v <  t        _CMP_LT_OQ
+//   kLe  !(t < v)      _CMP_NGT_UQ  (unordered, NaN -> true)
+//   kGt  t <  v        _CMP_GT_OQ
+//   kGe  !(v < t)      _CMP_NLT_UQ  (unordered, NaN -> true)
+// ---------------------------------------------------------------------
+#if DBWIPES_HAVE_AVX2_TIER
+
+#define DBW_AVX2 __attribute__((target("avx2")))
+
+// Full-range int64 -> double (Mysticial's magic-constant trick): exact
+// round-to-nearest for every int64, matching static_cast<double>.
+DBW_AVX2 inline __m256d I64ToPd(__m256i v) {
+  const __m256i magic_lo = _mm256_set1_epi64x(0x4330000000000000LL);
+  const __m256i magic_hi = _mm256_set1_epi64x(0x4530000080000000LL);
+  const __m256i magic_all = _mm256_set1_epi64x(0x4530000080100000LL);
+  const __m256i v_lo = _mm256_blend_epi32(magic_lo, v, 0x55);
+  __m256i v_hi = _mm256_srli_epi64(v, 32);
+  v_hi = _mm256_xor_si256(v_hi, magic_hi);
+  const __m256d hi =
+      _mm256_sub_pd(_mm256_castsi256_pd(v_hi), _mm256_castsi256_pd(magic_all));
+  return _mm256_add_pd(hi, _mm256_castsi256_pd(v_lo));
+}
+
+DBW_AVX2 inline __m128i LoadIdx4(const RowId* rows) {
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(rows));
+}
+
+// One 64-row block: 16 groups of 4 doubles -> 4-bit movemask nibbles.
+#define DBW_CMP_LOOP(LOADV, IMM)                                         \
+  for (int k = 0; k < 16; ++k) {                                         \
+    const __m256d v = (LOADV);                                           \
+    w |= static_cast<uint64_t>(static_cast<uint32_t>(                    \
+             _mm256_movemask_pd(_mm256_cmp_pd(v, vt, (IMM)))))           \
+         << (4 * k);                                                     \
+  }
+
+#define DBW_CMP_SWITCH(LOADV)                                  \
+  switch (op) {                                                \
+    case CompareOp::kEq: DBW_CMP_LOOP(LOADV, _CMP_EQ_OQ) break;  \
+    case CompareOp::kNe: DBW_CMP_LOOP(LOADV, _CMP_NEQ_UQ) break; \
+    case CompareOp::kLt: DBW_CMP_LOOP(LOADV, _CMP_LT_OQ) break;  \
+    case CompareOp::kLe: DBW_CMP_LOOP(LOADV, _CMP_NGT_UQ) break; \
+    case CompareOp::kGt: DBW_CMP_LOOP(LOADV, _CMP_GT_OQ) break;  \
+    case CompareOp::kGe: DBW_CMP_LOOP(LOADV, _CMP_NLT_UQ) break; \
+    default: DBW_CHECK(false) << "bad fused cmp op";           \
+  }
+
+DBW_AVX2 uint64_t Avx2DoubleCmpLoad(const double* p, double t, CompareOp op) {
+  const __m256d vt = _mm256_set1_pd(t);
+  uint64_t w = 0;
+  DBW_CMP_SWITCH(_mm256_loadu_pd(p + 4 * k))
+  return w;
+}
+
+DBW_AVX2 uint64_t Avx2DoubleCmpGather(const double* data, const RowId* rows,
+                                      double t, CompareOp op) {
+  const __m256d vt = _mm256_set1_pd(t);
+  uint64_t w = 0;
+  DBW_CMP_SWITCH(_mm256_i32gather_pd(data, LoadIdx4(rows + 4 * k), 8))
+  return w;
+}
+
+DBW_AVX2 uint64_t Avx2Int64CmpLoad(const int64_t* p, double t, CompareOp op) {
+  const __m256d vt = _mm256_set1_pd(t);
+  uint64_t w = 0;
+  DBW_CMP_SWITCH(I64ToPd(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + 4 * k))))
+  return w;
+}
+
+DBW_AVX2 uint64_t Avx2Int64CmpGather(const int64_t* data, const RowId* rows,
+                                     double t, CompareOp op) {
+  const __m256d vt = _mm256_set1_pd(t);
+  uint64_t w = 0;
+  DBW_CMP_SWITCH(I64ToPd(_mm256_i32gather_epi64(
+      reinterpret_cast<const long long*>(data), LoadIdx4(rows + 4 * k), 8)))
+  return w;
+}
+
+#undef DBW_CMP_SWITCH
+#undef DBW_CMP_LOOP
+
+// One 64-row block of dictionary codes: 8 groups of 8 epi32 lanes ->
+// 8-bit movemask bytes. MASK sees the codes vector as `cv`.
+#define DBW_CODE_LOOP(LOADC, MASK)                                       \
+  for (int k = 0; k < 8; ++k) {                                          \
+    const __m256i cv = (LOADC);                                          \
+    w |= static_cast<uint64_t>(static_cast<uint32_t>(MASK) & 0xffu)      \
+         << (8 * k);                                                     \
+  }
+
+DBW_AVX2 uint64_t Avx2CodeWord(const FusedOp& op, const RowId* rows,
+                               const int32_t* contig) {
+  uint64_t w = 0;
+  // `contig` is the pre-offset base pointer when the universe is
+  // contiguous, null when codes must be gathered through `rows`.
+#define DBW_CODE_DISPATCH(MASK)                                          \
+  if (contig != nullptr) {                                               \
+    DBW_CODE_LOOP(_mm256_loadu_si256(                                    \
+                      reinterpret_cast<const __m256i*>(contig + 8 * k)), \
+                  MASK)                                                  \
+  } else {                                                               \
+    DBW_CODE_LOOP(                                                       \
+        _mm256_i32gather_epi32(                                          \
+            reinterpret_cast<const int*>(op.codes),                      \
+            _mm256_loadu_si256(                                          \
+                reinterpret_cast<const __m256i*>(rows + 8 * k)),         \
+            4),                                                          \
+        MASK)                                                            \
+  }
+  switch (op.body) {
+    case FusedOp::Body::kCodeEq: {
+      const __m256i key = _mm256_set1_epi32(op.code);
+      DBW_CODE_DISPATCH(_mm256_movemask_ps(
+          _mm256_castsi256_ps(_mm256_cmpeq_epi32(cv, key))))
+      break;
+    }
+    case FusedOp::Body::kCodeNe: {
+      const __m256i key = _mm256_set1_epi32(op.code);
+      const __m256i minus1 = _mm256_set1_epi32(-1);
+      DBW_CODE_DISPATCH(_mm256_movemask_ps(_mm256_castsi256_ps(
+          _mm256_andnot_si256(_mm256_cmpeq_epi32(cv, key),
+                              _mm256_cmpgt_epi32(cv, minus1)))))
+      break;
+    }
+    case FusedOp::Body::kCodeTable: {
+      const __m256i one = _mm256_set1_epi32(1);
+      const __m256i zero = _mm256_setzero_si256();
+      DBW_CODE_DISPATCH(
+          ~_mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(
+              _mm256_i32gather_epi32(reinterpret_cast<const int*>(op.table),
+                                     _mm256_add_epi32(cv, one), 4),
+              zero))))
+      break;
+    }
+    default:
+      DBW_CHECK(false) << "non-code body in Avx2CodeWord";
+  }
+#undef DBW_CODE_DISPATCH
+  return w;
+}
+
+DBW_AVX2 uint64_t Avx2OpWord(const FusedOp& op, const RowId* rows,
+                             bool contiguous, size_t base) {
+  switch (op.body) {
+    case FusedOp::Body::kDoubleCmp:
+      return contiguous
+                 ? Avx2DoubleCmpLoad(op.dbl + rows[0] + base, op.threshold,
+                                     op.op)
+                 : Avx2DoubleCmpGather(op.dbl, rows + base, op.threshold,
+                                       op.op);
+    case FusedOp::Body::kInt64Cmp:
+      return contiguous
+                 ? Avx2Int64CmpLoad(op.i64 + rows[0] + base, op.threshold,
+                                    op.op)
+                 : Avx2Int64CmpGather(op.i64, rows + base, op.threshold,
+                                      op.op);
+    case FusedOp::Body::kCodeEq:
+    case FusedOp::Body::kCodeNe:
+    case FusedOp::Body::kCodeTable:
+      return Avx2CodeWord(op, rows + base,
+                          contiguous ? op.codes + rows[0] + base : nullptr);
+    default:
+      DBW_CHECK(false) << "scalar-only body in Avx2OpWord";
+  }
+  return 0;
+}
+
+#undef DBW_CODE_LOOP
+#undef DBW_AVX2
+
+#endif  // DBWIPES_HAVE_AVX2_TIER
+
+}  // namespace
+
+SimdTier ResolveSimdTier() {
+  if (EnvDisablesSimd()) return SimdTier::kScalar;
+  return CpuHasAvx2() ? SimdTier::kAvx2 : SimdTier::kScalar;
+}
+
+const char* SimdTierName(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar: return "scalar";
+    case SimdTier::kAvx2: return "avx2";
+  }
+  return "unknown";
+}
+
+void AppendClauseOp(const CompiledClause& cc, const Bitmap* valid,
+                    FusedProgram* prog) {
+  FusedOp op;
+  op.op = cc.op;
+  op.valid = valid;
+  if (cc.is_string) {
+    op.codes = cc.column->code_data().data();
+    switch (cc.op) {
+      case CompareOp::kEq:
+        op.body = FusedOp::Body::kCodeEq;
+        op.code = cc.code;
+        break;
+      case CompareOp::kNe:
+        op.body = FusedOp::Body::kCodeNe;
+        op.code = cc.code;
+        break;
+      case CompareOp::kIn:
+      case CompareOp::kContains: {
+        op.body = FusedOp::Body::kCodeTable;
+        prog->table_pool.emplace_back(cc.code_table.begin(),
+                                      cc.code_table.end());
+        op.table = prog->table_pool.back().data();
+        break;
+      }
+      default:
+        DBW_CHECK(false) << "ordered fused op on string column";
+    }
+  } else {
+    const bool is_int64 = cc.column->type() == DataType::kInt64;
+    if (is_int64) {
+      op.i64 = cc.column->int64_data().data();
+    } else {
+      op.dbl = cc.column->double_data().data();
+    }
+    if (cc.op == CompareOp::kIn) {
+      // Numeric IN stays scalar at every tier (a binary search per
+      // row); the body picks the storage loader, op.op == kIn picks
+      // the comparison.
+      op.body = is_int64 ? FusedOp::Body::kInt64Cmp : FusedOp::Body::kNumericIn;
+      prog->in_pool.push_back(cc.in_numbers);
+      op.in_data = prog->in_pool.back().data();
+      op.in_size = prog->in_pool.back().size();
+    } else {
+      op.body = is_int64 ? FusedOp::Body::kInt64Cmp : FusedOp::Body::kDoubleCmp;
+      op.threshold = cc.threshold;
+    }
+  }
+  prog->ops.push_back(op);
+}
+
+void AppendBitmapRef(uint32_t ref_slot, FusedProgram* prog) {
+  FusedOp op;
+  op.body = FusedOp::Body::kBitmapRef;
+  op.ref_slot = ref_slot;
+  prog->ops.push_back(op);
+}
+
+bool ClauseOpHasSimdBody(const CompiledClause& cc) {
+  return !(!cc.is_string && cc.op == CompareOp::kIn);
+}
+
+void EvalFusedWords(const FusedProgram& prog, SimdTier tier,
+                    const RowId* rows, size_t num_rows, bool contiguous,
+                    const Bitmap* const* refs, size_t word_begin,
+                    size_t word_end, Bitmap* out) {
+#if !DBWIPES_HAVE_AVX2_TIER
+  tier = SimdTier::kScalar;
+#endif
+  for (size_t wi = word_begin; wi < word_end; ++wi) {
+    const size_t base = wi * 64;
+    const size_t limit = std::min<size_t>(64, num_rows - base);
+    uint64_t acc = TailMask(limit);
+    for (const FusedOp& op : prog.ops) {
+      uint64_t w;
+      if (op.body == FusedOp::Body::kBitmapRef) {
+        // Cached clause bitmaps already fold validity in.
+        w = refs[op.ref_slot]->word(wi);
+      } else {
+#if DBWIPES_HAVE_AVX2_TIER
+        const bool in_body = op.body == FusedOp::Body::kNumericIn ||
+                             (op.in_data != nullptr);
+        if (tier == SimdTier::kAvx2 && limit == 64 && !in_body) {
+          w = Avx2OpWord(op, rows, contiguous, base);
+        } else
+#endif
+        {
+          w = ScalarOpWord(op, rows, base, limit);
+        }
+        if (op.valid != nullptr) w &= op.valid->word(wi);
+      }
+      acc &= w;
+      if (acc == 0) break;  // early exit; the stored word is final
+    }
+    out->set_word(wi, acc);
+  }
+}
+
+}  // namespace dbwipes

@@ -1,8 +1,11 @@
 #include "dbwipes/expr/match_kernels.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
+#include <unordered_set>
 
 #include "dbwipes/common/exec_context.h"
 #include "dbwipes/common/logging.h"
@@ -25,6 +28,11 @@ struct MatchMetrics {
   MetricCounter* cache_misses;
   MetricCounter* bitmaps_materialized;
   MetricCounter* boxed_fallbacks;
+  MetricCounter* fused_lookups;
+  MetricCounter* fused_hits;
+  MetricCounter* fused_compiles;
+  MetricCounter* fused_fallbacks;
+  MetricCounter* fused_evals;
 };
 
 const MatchMetrics& Metrics() {
@@ -35,8 +43,25 @@ const MatchMetrics& Metrics() {
       MetricsRegistry::Global().GetCounter("match.cache_misses"),
       MetricsRegistry::Global().GetCounter("match.bitmaps_materialized"),
       MetricsRegistry::Global().GetCounter("match.boxed_fallbacks"),
+      MetricsRegistry::Global().GetCounter("match.fused_lookups"),
+      MetricsRegistry::Global().GetCounter("match.fused_hits"),
+      MetricsRegistry::Global().GetCounter("match.fused_compiles"),
+      MetricsRegistry::Global().GetCounter("match.fused_fallbacks"),
+      MetricsRegistry::Global().GetCounter("match.fused_evals"),
   };
   return m;
+}
+
+bool FusedEnabledFromEnv() {
+  const char* env = std::getenv("DBWIPES_FUSED");
+  if (env == nullptr) return true;
+  return !(std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0);
+}
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
 }
 
 /// Exact cache key for a clause. Clause::CanonicalString renders
@@ -74,6 +99,20 @@ std::string KeyOf(const Clause& c) {
     key += EncodeValue(c.literal);
   }
   return key;
+}
+
+/// Canonical fused-program key: the predicate's clause keys, sorted
+/// (conjunctions are order-independent) and joined on a separator one
+/// level above KeyOf's field separator. Two predicates with the same
+/// clause set share one compiled program.
+std::string PredicateKey(std::vector<std::string> clause_keys) {
+  std::sort(clause_keys.begin(), clause_keys.end());
+  std::string out;
+  for (const std::string& k : clause_keys) {
+    if (!out.empty()) out += '\x1e';
+    out += k;
+  }
+  return out;
 }
 
 /// Emits whole bitmap words: bit b of word wi answers pred(rows[wi*64+b]).
@@ -293,7 +332,19 @@ void MatchClauseWords(const CompiledClause& clause,
 MatchEngine::MatchEngine(const Table& table, std::vector<RowId> rows)
     : table_(&table),
       rows_(std::move(rows)),
-      built_num_rows_(table.num_rows()) {}
+      built_num_rows_(table.num_rows()),
+      tier_(ResolveSimdTier()),
+      fused_enabled_(FusedEnabledFromEnv()) {
+  // A contiguous universe (the common full-table / dense-suspect case)
+  // lets the SIMD tier use plain loads instead of gathers.
+  rows_contiguous_ = true;
+  for (size_t i = 1; i < rows_.size(); ++i) {
+    if (rows_[i] != rows_[0] + i) {
+      rows_contiguous_ = false;
+      break;
+    }
+  }
+}
 
 Status MatchEngine::CheckFresh() const {
   if (table_->num_rows() != built_num_rows_) {
@@ -344,13 +395,22 @@ Status MatchEngine::Materialize(
   const ExecContext& ctx =
       options.ctx != nullptr ? *options.ctx : ExecContext::None();
   DBW_FAULT(ctx, "match/materialize");
+  if (fused_enabled_) {
+    // Fused-conjunction planning is part of every materialize batch, so
+    // the site trips whenever fused compilation is on (nothing has been
+    // mutated yet; an injected error needs no rollback).
+    DBW_FAULT(ctx, "match/fused");
+  }
   DBW_TRACE_SPAN("match/materialize");
   Metrics().materialize_calls->Increment();
 
-  // Entries added by this call live at the tail of entries_; on an
-  // interrupt or failure they are rolled back wholesale so the cache
-  // never holds a partially scanned (i.e. wrong) bitmap.
+  // State added by this call lives at the tail of entries_ /
+  // fused_entries_; on an interrupt or failure it is rolled back
+  // wholesale so the cache never holds a partially scanned (i.e.
+  // wrong) bitmap or a program referencing one.
   const size_t entries_base = entries_.size();
+  const size_t fused_base = fused_entries_.size();
+  std::vector<const Column*> validity_added;
   auto rollback = [&] {
     for (auto it = index_.begin(); it != index_.end();) {
       if (it->second >= entries_base) {
@@ -360,76 +420,254 @@ Status MatchEngine::Materialize(
       }
     }
     entries_.resize(entries_base);
+    for (auto it = fused_index_.begin(); it != fused_index_.end();) {
+      if (it->second >= fused_base) {
+        it = fused_index_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    fused_entries_.resize(fused_base);
+    for (const Column* col : validity_added) validity_.erase(col);
   };
 
-  // Serial pass: canonicalize, dedupe, and compile the distinct new
-  // clauses; the scans themselves are the parallel part.
-  std::vector<size_t> fresh;            // entry slots awaiting a scan
-  std::vector<CompiledClause> programs;  // index-aligned with `fresh`
-  const size_t bitmap_bytes = ((rows_.size() + 63) / 64) * sizeof(uint64_t);
-  for (const Predicate* p : predicates) {
-    for (const Clause& c : p->clauses()) {
-      const std::string key = KeyOf(c);
-      auto it = index_.find(key);
-      if (it != index_.end()) {
-        ++cache_hits_;
-        Metrics().clause_lookups->Increment();
-        Metrics().cache_hits->Increment();
-        continue;
-      }
-      ++cache_misses_;
-      Metrics().clause_lookups->Increment();
-      Metrics().cache_misses->Increment();
-      ClauseEntry entry;
-      Result<CompiledClause> compiled = CompileClause(c, *table_);
-      if (compiled.ok()) {
-        if (ctx.budget != nullptr) {
-          Status charged = ctx.budget->ChargeBitmapBytes(bitmap_bytes);
-          if (!charged.ok()) {
-            rollback();
-            return charged;
-          }
-        }
-        entry.supported = true;
-        entry.bits = Bitmap(rows_.size());
-        fresh.push_back(entries_.size());
-        programs.push_back(*std::move(compiled));
-      }
-      index_.emplace(key, entries_.size());
-      entries_.push_back(std::move(entry));
+  // Pass 0 (serial): canonicalize every clause once and count each
+  // key's frequency within the batch. Frequency drives the fusion
+  // policy: a clause shared by several predicates (threshold families,
+  // repeated equalities) is cheaper materialized once and word-ANDed —
+  // fusing it would re-scan its column per predicate.
+  std::vector<std::vector<std::string>> pred_keys(predicates.size());
+  std::unordered_map<std::string, size_t> key_freq;
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    const auto& clauses = predicates[i]->clauses();
+    pred_keys[i].reserve(clauses.size());
+    for (const Clause& c : clauses) {
+      pred_keys[i].push_back(KeyOf(c));
+      ++key_freq[pred_keys[i].back()];
     }
   }
-  if (fresh.empty()) return ctx.CheckContinue();
 
-  // One flat work list of (clause, word-chunk) items; every item owns
-  // whole words of one bitmap, so chunk boundaries (and therefore the
-  // output) are deterministic at any thread count.
-  constexpr size_t kWordsPerChunk = 256;  // 16k rows per kernel call
-  const size_t num_words = (rows_.size() + 63) / 64;
-  const size_t chunks_per_clause =
-      std::max<size_t>(1, (num_words + kWordsPerChunk - 1) / kWordsPerChunk);
-  try {
-    ParallelForEach(
-        0, fresh.size() * chunks_per_clause,
-        [&](size_t item) {
-          const size_t j = item / chunks_per_clause;
-          const size_t k = item % chunks_per_clause;
-          const size_t word_begin = k * kWordsPerChunk;
-          const size_t word_end =
-              std::min(num_words, word_begin + kWordsPerChunk);
-          if (word_begin < word_end) {
-            MatchClauseWords(programs[j], rows_, word_begin, word_end,
-                             &entries_[fresh[j]].bits);
+  // Batch-local compile cache shared by the fused planner and the
+  // clause materializer, so no clause compiles twice per batch.
+  // unordered_map values are pointer-stable across inserts.
+  std::unordered_map<std::string, CompiledClause> compiled_ok;
+  std::unordered_set<std::string> compile_failed;
+  auto compile_key = [&](const Clause& c,
+                         const std::string& key) -> const CompiledClause* {
+    auto it = compiled_ok.find(key);
+    if (it != compiled_ok.end()) return &it->second;
+    if (compile_failed.count(key) != 0) return nullptr;
+    Result<CompiledClause> r = CompileClause(c, *table_);
+    if (!r.ok()) {
+      compile_failed.insert(key);
+      return nullptr;
+    }
+    return &compiled_ok.emplace(key, *std::move(r)).first->second;
+  };
+
+  // Pass 1 (serial): plan fused programs for multi-clause predicates.
+  // A clause goes inline iff it is unique within the batch AND not
+  // already cached (a cached bitmap is pure word-AND traffic); shared
+  // or cached clauses enter the program as bitmap references. When no
+  // clause would go inline, fusion buys nothing over word-AND and the
+  // predicate falls back. Every eligible predicate counts exactly one
+  // of hit / compile / fallback (the fused counter law).
+  struct PlannedOp {
+    const std::string* key;          // owned by pred_keys
+    const Clause* clause;
+    bool inline_op;
+  };
+  struct PlannedProgram {
+    std::string pred_key;
+    std::vector<PlannedOp> ops;
+  };
+  std::vector<PlannedProgram> planned;
+  std::unordered_set<std::string> planned_keys;  // batch-local dedupe
+  // handled[i]: 0 = word-AND path, 1 = program planned or cached.
+  std::vector<uint8_t> handled(predicates.size(), 0);
+  if (fused_enabled_) {
+    const auto plan_t0 = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < predicates.size(); ++i) {
+      if (pred_keys[i].size() < 2) continue;  // nothing to fuse
+      ++fused_lookups_;
+      Metrics().fused_lookups->Increment();
+      std::string pred_key = PredicateKey(pred_keys[i]);
+      if (fused_index_.count(pred_key) != 0 ||
+          planned_keys.count(pred_key) != 0) {
+        ++fused_hits_;
+        Metrics().fused_hits->Increment();
+        handled[i] = 1;
+        continue;
+      }
+      PlannedProgram plan;
+      plan.pred_key = std::move(pred_key);
+      const auto& clauses = predicates[i]->clauses();
+      bool fusible = true;
+      size_t inline_count = 0;
+      for (size_t j = 0; j < clauses.size(); ++j) {
+        PlannedOp op{&pred_keys[i][j], &clauses[j], false};
+        auto cached = index_.find(*op.key);
+        if (cached != index_.end()) {
+          // An unsupported cached clause has no bitmap to reference;
+          // the predicate must keep boxing via the word-AND path.
+          if (!entries_[cached->second].supported) {
+            fusible = false;
+            break;
           }
-        },
-        options);
-  } catch (const std::exception& e) {
-    rollback();
-    return Status::RuntimeError(std::string("materialize scan failed: ") +
-                                e.what());
+        } else {
+          const CompiledClause* cc = compile_key(clauses[j], *op.key);
+          if (cc == nullptr) {
+            fusible = false;
+            break;
+          }
+          op.inline_op = key_freq[*op.key] == 1;
+          inline_count += op.inline_op ? 1 : 0;
+        }
+        plan.ops.push_back(op);
+      }
+      if (!fusible || inline_count == 0) {
+        ++fused_fallbacks_;
+        Metrics().fused_fallbacks->Increment();
+        continue;
+      }
+      ++fused_compiles_;
+      Metrics().fused_compiles->Increment();
+      handled[i] = 1;
+      planned_keys.insert(plan.pred_key);
+      planned.push_back(std::move(plan));
+    }
+    fused_compile_ms_ += MsSince(plan_t0);
+  }
+
+  // Pass 2 (serial): dedupe and compile the distinct new clauses that
+  // still need cached bitmaps — every clause of word-AND predicates,
+  // but only the bitmap-reference clauses of planned programs (inline
+  // clauses are the fusion win: no intermediate bitmap exists).
+  std::vector<size_t> fresh;  // entry slots awaiting a scan
+  std::vector<const CompiledClause*> programs;  // index-aligned w/ fresh
+  const size_t bitmap_bytes = ((rows_.size() + 63) / 64) * sizeof(uint64_t);
+  auto ensure_entry = [&](const Clause& c, const std::string& key) -> Status {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      ++cache_hits_;
+      Metrics().clause_lookups->Increment();
+      Metrics().cache_hits->Increment();
+      return Status::OK();
+    }
+    ++cache_misses_;
+    Metrics().clause_lookups->Increment();
+    Metrics().cache_misses->Increment();
+    ClauseEntry entry;
+    const CompiledClause* compiled = compile_key(c, key);
+    if (compiled != nullptr) {
+      if (ctx.budget != nullptr) {
+        DBW_RETURN_NOT_OK(ctx.budget->ChargeBitmapBytes(bitmap_bytes));
+      }
+      entry.supported = true;
+      entry.bits = Bitmap(rows_.size());
+      fresh.push_back(entries_.size());
+      programs.push_back(compiled);
+    }
+    index_.emplace(key, entries_.size());
+    entries_.push_back(std::move(entry));
+    return Status::OK();
+  };
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    Status st = Status::OK();
+    if (handled[i] != 0) {
+      // Planned programs need entries only for their references; fused
+      // cache hits are fully covered by the existing program.
+      continue;
+    }
+    const auto& clauses = predicates[i]->clauses();
+    for (size_t j = 0; j < clauses.size() && st.ok(); ++j) {
+      st = ensure_entry(clauses[j], pred_keys[i][j]);
+    }
+    if (!st.ok()) {
+      rollback();
+      return st;
+    }
+  }
+  for (const PlannedProgram& plan : planned) {
+    for (const PlannedOp& op : plan.ops) {
+      if (op.inline_op) continue;
+      Status st = ensure_entry(*op.clause, *op.key);
+      if (!st.ok()) {
+        rollback();
+        return st;
+      }
+    }
+  }
+
+  // Pass 3 (serial): lower the planned programs. Reference slots store
+  // entries_ indices (resolved to bitmap pointers per eval, so the
+  // vector may relocate); inline numeric ops over nullable columns get
+  // the shared universe validity bitmap.
+  if (!planned.empty()) {
+    const auto lower_t0 = std::chrono::steady_clock::now();
+    for (PlannedProgram& plan : planned) {
+      FusedEntry fe;
+      for (const PlannedOp& op : plan.ops) {
+        if (op.inline_op) {
+          const CompiledClause& cc = compiled_ok.at(*op.key);
+          const Bitmap* valid = nullptr;
+          if (!cc.is_string && cc.column->has_nulls()) {
+            valid = EnsureValidity(*cc.column, &validity_added);
+          }
+          AppendClauseOp(cc, valid, &fe.program);
+        } else {
+          AppendBitmapRef(static_cast<uint32_t>(fe.ref_entries.size()),
+                          &fe.program);
+          fe.ref_entries.push_back(index_.at(*op.key));
+        }
+      }
+      fused_index_.emplace(std::move(plan.pred_key), fused_entries_.size());
+      fused_entries_.push_back(std::move(fe));
+    }
+    fused_compile_ms_ += MsSince(lower_t0);
+  }
+
+  // Pass 4: scan the fresh clause bitmaps.
+  const size_t num_words = (rows_.size() + 63) / 64;
+  constexpr size_t kWordsPerChunk = 256;  // 16k rows per kernel call
+  if (!fresh.empty() &&
+      fresh.size() * rows_.size() < (size_t{1} << 16)) {
+    // Small batch: chunking + pool dispatch overhead beats any
+    // parallel win; scan serially with a stop check per clause.
+    for (size_t j = 0; j < fresh.size() && !ctx.StopRequested(); ++j) {
+      MatchClauseWords(*programs[j], rows_, 0, num_words,
+                       &entries_[fresh[j]].bits);
+    }
+  } else if (!fresh.empty()) {
+    // One flat work list of (clause, word-chunk) items; every item owns
+    // whole words of one bitmap, so chunk boundaries (and therefore the
+    // output) are deterministic at any thread count.
+    const size_t chunks_per_clause =
+        std::max<size_t>(1, (num_words + kWordsPerChunk - 1) / kWordsPerChunk);
+    try {
+      ParallelForEach(
+          0, fresh.size() * chunks_per_clause,
+          [&](size_t item) {
+            const size_t j = item / chunks_per_clause;
+            const size_t k = item % chunks_per_clause;
+            const size_t word_begin = k * kWordsPerChunk;
+            const size_t word_end =
+                std::min(num_words, word_begin + kWordsPerChunk);
+            if (word_begin < word_end) {
+              MatchClauseWords(*programs[j], rows_, word_begin, word_end,
+                               &entries_[fresh[j]].bits);
+            }
+          },
+          options);
+    } catch (const std::exception& e) {
+      rollback();
+      return Status::RuntimeError(std::string("materialize scan failed: ") +
+                                  e.what());
+    }
   }
   // A cooperative stop skips scan chunks, leaving fresh bitmaps
-  // incomplete; drop them so a later retry rescans from scratch.
+  // incomplete; drop them — and the programs referencing them — so a
+  // later retry rebuilds from scratch.
   Status cont = ctx.CheckContinue();
   if (!cont.ok()) {
     rollback();
@@ -442,8 +680,68 @@ Status MatchEngine::Materialize(
   return cont;
 }
 
+const Bitmap* MatchEngine::EnsureValidity(const Column& col,
+                                          std::vector<const Column*>* added) {
+  auto it = validity_.find(&col);
+  if (it != validity_.end()) return it->second.get();
+  // Universe-positional: bit i answers !IsNull(rows_[i]). Heap-owned so
+  // op pointers survive map rehashes and engine moves.
+  auto bits = std::make_unique<Bitmap>(rows_.size());
+  Bitmap* raw = bits.get();
+  const size_t num_words = raw->num_words();
+  for (size_t wi = 0; wi < num_words; ++wi) {
+    const size_t base = wi * 64;
+    const size_t limit = std::min<size_t>(64, rows_.size() - base);
+    uint64_t w = 0;
+    for (size_t b = 0; b < limit; ++b) {
+      w |= static_cast<uint64_t>(!col.IsNull(rows_[base + b])) << b;
+    }
+    raw->set_word(wi, w);
+  }
+  validity_.emplace(&col, std::move(bits));
+  if (added != nullptr) added->push_back(&col);
+  return raw;
+}
+
+Result<Bitmap> MatchEngine::EvalFused(const FusedEntry& fe,
+                                      const ExecContext& ctx) const {
+  // Resolve reference slots to bitmap pointers now — entries_ may have
+  // relocated since the program was installed.
+  std::vector<const Bitmap*> refs;
+  refs.reserve(fe.ref_entries.size());
+  for (size_t slot : fe.ref_entries) refs.push_back(&entries_[slot].bits);
+  Bitmap out(rows_.size());
+  const size_t num_words = out.num_words();
+  // Anytime at block granularity: check the context between word
+  // blocks, never per row; an interrupt discards the partial bitmap.
+  constexpr size_t kCheckWords = 512;  // 32k rows per check
+  for (size_t wb = 0; wb < num_words; wb += kCheckWords) {
+    DBW_RETURN_NOT_OK(ctx.CheckContinue());
+    const size_t we = std::min(num_words, wb + kCheckWords);
+    EvalFusedWords(fe.program, tier_, rows_.data(), rows_.size(),
+                   rows_contiguous_, refs.data(), wb, we, &out);
+  }
+  return out;
+}
+
 Result<Bitmap> MatchEngine::MatchPrepared(const Predicate& predicate) const {
+  return MatchPrepared(predicate, ExecContext::None());
+}
+
+Result<Bitmap> MatchEngine::MatchPrepared(const Predicate& predicate,
+                                          const ExecContext& ctx) const {
   DBW_RETURN_NOT_OK(CheckFresh());
+  if (fused_enabled_ && predicate.num_clauses() >= 2) {
+    std::vector<std::string> keys;
+    keys.reserve(predicate.num_clauses());
+    for (const Clause& c : predicate.clauses()) keys.push_back(KeyOf(c));
+    auto it = fused_index_.find(PredicateKey(std::move(keys)));
+    if (it != fused_index_.end()) {
+      fused_evals_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().fused_evals->Increment();
+      return EvalFused(fused_entries_[it->second], ctx);
+    }
+  }
   Bitmap out;
   bool first = true;
   for (const Clause& c : predicate.clauses()) {

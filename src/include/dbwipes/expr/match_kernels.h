@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "dbwipes/common/bitmap.h"
 #include "dbwipes/common/parallel.h"
 #include "dbwipes/common/result.h"
+#include "dbwipes/expr/fused_kernels.h"
 #include "dbwipes/expr/predicate.h"
 #include "dbwipes/storage/table.h"
 
@@ -79,6 +81,19 @@ void MatchClauseWords(const CompiledClause& clause,
 /// grown since (append invalidates; rebuild the engine). See DESIGN.md
 /// §5d.
 ///
+/// Fused conjunctions (DESIGN.md §5i): Materialize additionally lowers
+/// multi-clause predicates whose clauses are unique within the batch
+/// into one-pass FusedPrograms — per 64-row block every clause becomes
+/// a register word ANDed in place, with no intermediate per-clause
+/// bitmaps — dispatched to a cpuid-selected SIMD tier (DBWIPES_SIMD=off
+/// forces the bit-identical scalar tier). Clauses shared across the
+/// batch (threshold families, repeated equalities) stay on the
+/// materialize-once + word-AND path and enter fused programs as cached
+/// bitmap references. Programs are cached keyed by the sorted canonical
+/// clause-key set, so shard engines reuse compilations across
+/// re-explains. Disable wholesale with DBWIPES_FUSED=off (read at
+/// engine construction).
+///
 /// Thread safety: Materialize() mutates the cache (its own scans run
 /// chunked on the PR-1 ParallelFor; output is deterministic at any
 /// thread count because chunk boundaries depend only on sizes).
@@ -88,31 +103,58 @@ class MatchEngine {
  public:
   MatchEngine(const Table& table, std::vector<RowId> rows);
 
-  // Movable (the atomic fallback counter is carried over by value; no
-  // concurrent use may straddle a move).
+  // Movable (the atomic counters are carried over by value; no
+  // concurrent use may straddle a move). Fused-program op pointers
+  // into the pools and validity bitmaps survive the move: the pointed
+  // heap buffers do not relocate.
   MatchEngine(MatchEngine&& other) noexcept
       : table_(other.table_),
         rows_(std::move(other.rows_)),
         built_num_rows_(other.built_num_rows_),
+        rows_contiguous_(other.rows_contiguous_),
+        tier_(other.tier_),
+        fused_enabled_(other.fused_enabled_),
         index_(std::move(other.index_)),
         entries_(std::move(other.entries_)),
+        fused_index_(std::move(other.fused_index_)),
+        fused_entries_(std::move(other.fused_entries_)),
+        validity_(std::move(other.validity_)),
         cache_hits_(other.cache_hits_),
         cache_misses_(other.cache_misses_),
         bitmaps_materialized_(other.bitmaps_materialized_),
+        fused_lookups_(other.fused_lookups_),
+        fused_hits_(other.fused_hits_),
+        fused_compiles_(other.fused_compiles_),
+        fused_fallbacks_(other.fused_fallbacks_),
+        fused_compile_ms_(other.fused_compile_ms_),
         boxed_fallbacks_(
-            other.boxed_fallbacks_.load(std::memory_order_relaxed)) {}
+            other.boxed_fallbacks_.load(std::memory_order_relaxed)),
+        fused_evals_(other.fused_evals_.load(std::memory_order_relaxed)) {}
   MatchEngine& operator=(MatchEngine&& other) noexcept {
     table_ = other.table_;
     rows_ = std::move(other.rows_);
     built_num_rows_ = other.built_num_rows_;
+    rows_contiguous_ = other.rows_contiguous_;
+    tier_ = other.tier_;
+    fused_enabled_ = other.fused_enabled_;
     index_ = std::move(other.index_);
     entries_ = std::move(other.entries_);
+    fused_index_ = std::move(other.fused_index_);
+    fused_entries_ = std::move(other.fused_entries_);
+    validity_ = std::move(other.validity_);
     cache_hits_ = other.cache_hits_;
     cache_misses_ = other.cache_misses_;
     bitmaps_materialized_ = other.bitmaps_materialized_;
+    fused_lookups_ = other.fused_lookups_;
+    fused_hits_ = other.fused_hits_;
+    fused_compiles_ = other.fused_compiles_;
+    fused_fallbacks_ = other.fused_fallbacks_;
+    fused_compile_ms_ = other.fused_compile_ms_;
     boxed_fallbacks_.store(
         other.boxed_fallbacks_.load(std::memory_order_relaxed),
         std::memory_order_relaxed);
+    fused_evals_.store(other.fused_evals_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
     return *this;
   }
 
@@ -128,7 +170,18 @@ class MatchEngine {
   /// Bitmap of one predicate over the universe (bit i = matches
   /// rows[i]; empty predicate = all ones). Requires every clause to
   /// have been seen by Materialize(); const, safe for concurrent use.
+  /// Predicates Materialize compiled into a fused program evaluate in
+  /// one pass over the columns; everything else takes the word-AND of
+  /// cached clause bitmaps (or the boxed fallback). All three paths
+  /// produce bit-identical bitmaps.
   Result<Bitmap> MatchPrepared(const Predicate& predicate) const;
+
+  /// Anytime variant: fused evaluation checks `ctx` every few hundred
+  /// words, so a cancellation or deadline inside a long scan returns
+  /// the interrupt status instead of finishing the pass (the partial
+  /// bitmap is discarded — clean rollback).
+  Result<Bitmap> MatchPrepared(const Predicate& predicate,
+                               const ExecContext& ctx) const;
 
   /// Serial convenience: Materialize({&predicate}) + MatchPrepared.
   Result<Bitmap> Match(const Predicate& predicate);
@@ -154,6 +207,27 @@ class MatchEngine {
     return boxed_fallbacks_.load(std::memory_order_relaxed);
   }
 
+  // Fused-conjunction introspection. Every multi-clause predicate a
+  // Materialize batch examines counts exactly one of hit (program
+  // already cached), compile (newly lowered), or fallback (unfusible
+  // or all clauses shared ⇒ word-AND/boxed) — so fused_lookups ==
+  // fused_hits + fused_compiles + fused_fallbacks, the law the
+  // observability test checks against the global metrics.
+  size_t fused_lookups() const { return fused_lookups_; }
+  size_t fused_hits() const { return fused_hits_; }
+  size_t fused_compiles() const { return fused_compiles_; }
+  size_t fused_fallbacks() const { return fused_fallbacks_; }
+  /// MatchPrepared calls answered by a fused one-pass evaluation.
+  size_t fused_evals() const {
+    return fused_evals_.load(std::memory_order_relaxed);
+  }
+  /// Compiled predicate programs retained in the cache.
+  size_t num_fused_programs() const { return fused_entries_.size(); }
+  /// Wall time spent planning + lowering fused programs (cumulative).
+  double fused_compile_ms() const { return fused_compile_ms_; }
+  SimdTier simd_tier() const { return tier_; }
+  bool fused_enabled() const { return fused_enabled_; }
+
  private:
   struct ClauseEntry {
     /// Kernels cover the clause; `bits` is valid once materialized.
@@ -161,10 +235,28 @@ class MatchEngine {
     Bitmap bits;
   };
 
+  /// A compiled conjunction: the one-pass program plus the entry slots
+  /// its kBitmapRef ops read (resolved to Bitmap pointers per eval, so
+  /// entries_ may relocate between calls).
+  struct FusedEntry {
+    FusedProgram program;
+    std::vector<size_t> ref_entries;  // ref_slot -> entries_ index
+  };
+
   /// Cache entry for `key`, creating (and, for supported clauses,
   /// materializing serially) on miss. Valid until the next insertion.
   ClauseEntry* EnsureClause(const Clause& clause, const std::string& key);
   Status CheckFresh() const;
+
+  /// Universe-positional validity bitmap for a numeric column with
+  /// nulls, built once per column (heap-allocated: op pointers stay
+  /// valid across rehashes and engine moves). Newly built columns are
+  /// recorded in `added` for rollback.
+  const Bitmap* EnsureValidity(const Column& col,
+                               std::vector<const Column*>* added);
+
+  /// One-pass evaluation of a cached fused program.
+  Result<Bitmap> EvalFused(const FusedEntry& fe, const ExecContext& ctx) const;
 
   /// Boxed fallback for predicates with unsupported clauses.
   Result<Bitmap> MatchBoxed(const Predicate& predicate) const;
@@ -172,14 +264,29 @@ class MatchEngine {
   const Table* table_;
   std::vector<RowId> rows_;
   size_t built_num_rows_;  // table size the cache snapshot is valid for
+  bool rows_contiguous_ = false;  // rows_[i] == rows_[0] + i
+  SimdTier tier_ = SimdTier::kScalar;
+  bool fused_enabled_ = true;
   std::unordered_map<std::string, size_t> index_;  // canonical key -> entry
   std::vector<ClauseEntry> entries_;
+  /// Sorted clause-key set -> fused_entries_ slot.
+  std::unordered_map<std::string, size_t> fused_index_;
+  std::vector<FusedEntry> fused_entries_;
+  /// Column -> universe validity bitmap (shared by every fused op and
+  /// SIMD clause scan over that column).
+  std::unordered_map<const Column*, std::unique_ptr<Bitmap>> validity_;
   size_t cache_hits_ = 0;
   size_t cache_misses_ = 0;
   size_t bitmaps_materialized_ = 0;
+  size_t fused_lookups_ = 0;
+  size_t fused_hits_ = 0;
+  size_t fused_compiles_ = 0;
+  size_t fused_fallbacks_ = 0;
+  double fused_compile_ms_ = 0.0;
   /// Atomic: MatchPrepared is const and called concurrently by the
-  /// scoring threads; the fallback path is the only one that counts.
+  /// scoring threads; these are the only counters it touches.
   mutable std::atomic<size_t> boxed_fallbacks_{0};
+  mutable std::atomic<size_t> fused_evals_{0};
 };
 
 }  // namespace dbwipes

@@ -1,0 +1,411 @@
+// Property tests for the fused-conjunction engine: on randomized
+// tables (nulls, NaN doubles, absent string literals) a fused one-pass
+// program must agree bit-for-bit with the per-clause word-AND path
+// (DBWIPES_FUSED=off) and the boxed oracle, across shard slicings
+// S ∈ {1, 2, 3, 7} and at both SIMD tiers (DBWIPES_SIMD=off must be
+// bit-identical to the dispatched tier). Fault-matrix cases cover the
+// "match/fused" injection site, budget-exhaustion rollback, and
+// interrupt during fused evaluation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dbwipes/common/exec_context.h"
+#include "dbwipes/common/random.h"
+#include "dbwipes/expr/fused_kernels.h"
+#include "dbwipes/expr/match_kernels.h"
+#include "dbwipes/expr/predicate.h"
+
+namespace dbwipes {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// int64 (10% null), double (10% null, 10% NaN among non-nulls),
+/// string from a small dictionary (10% null).
+Table RandomTable(Rng* rng, size_t rows) {
+  Table t(Schema{{"i", DataType::kInt64},
+                 {"d", DataType::kDouble},
+                 {"s", DataType::kString}},
+          "t");
+  const char* cats[] = {"red", "green", "blue", "red-ish"};
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<Value> row(3);
+    row[0] = rng->Bernoulli(0.1) ? Value::Null()
+                                 : Value(rng->UniformInt(-5, 5));
+    if (rng->Bernoulli(0.1)) {
+      row[1] = Value::Null();
+    } else {
+      row[1] = Value(rng->Bernoulli(0.1) ? kNaN : rng->Normal(0, 2));
+    }
+    row[2] = rng->Bernoulli(0.1)
+                 ? Value::Null()
+                 : Value(std::string(cats[rng->UniformInt(4u)]));
+    DBW_CHECK_OK(t.AppendRow(row));
+  }
+  return t;
+}
+
+/// Clause mix that exercises every fused body: int64/double compares
+/// (including NaN-literal probes, where kLe/kGe/kNe accept NaN),
+/// dictionary eq/ne with literals present in and absent from the
+/// dictionary, IN over codes and numerics, and CONTAINS.
+Clause RandomClause(Rng* rng) {
+  static const CompareOp kBinaryOps[] = {CompareOp::kEq, CompareOp::kNe,
+                                         CompareOp::kLt, CompareOp::kLe,
+                                         CompareOp::kGt, CompareOp::kGe};
+  switch (rng->UniformInt(8u)) {
+    case 0:
+      return Clause::Make("i", kBinaryOps[rng->UniformInt(6u)],
+                          Value(rng->UniformInt(-5, 5)));
+    case 1:  // double literal against the int64 column (widening path)
+      return Clause::Make("i", kBinaryOps[rng->UniformInt(6u)],
+                          Value(rng->UniformDouble(-5.5, 5.5)));
+    case 2:
+      return Clause::Make("d", kBinaryOps[rng->UniformInt(6u)],
+                          Value(rng->Normal(0, 2)));
+    case 3:  // NaN literal: kLe/kGe/kNe are NaN-tolerant by design
+      return Clause::Make("d", kBinaryOps[rng->UniformInt(6u)], Value(kNaN));
+    case 4:
+      return Clause::Make("s", rng->Bernoulli(0.5) ? CompareOp::kEq
+                                                   : CompareOp::kNe,
+                          Value(rng->Bernoulli(0.7) ? "red" : "missing"));
+    case 5:
+      return Clause::In("s", {Value("green"), Value("blue"),
+                              Value("missing")});
+    case 6:
+      return Clause::In("i", {Value(int64_t{0}), Value(2.0),
+                              Value(int64_t{-3})});
+    default:
+      return Clause::Make("s", CompareOp::kContains,
+                          Value(rng->Bernoulli(0.5) ? "red" : "ee"));
+  }
+}
+
+std::vector<RowId> FullUniverse(const Table& t) {
+  std::vector<RowId> rows;
+  for (RowId r = 0; r < t.num_rows(); ++r) rows.push_back(r);
+  return rows;
+}
+
+/// Engine with fused compilation disabled regardless of environment.
+std::unique_ptr<MatchEngine> PlainEngine(const Table& t,
+                                         std::vector<RowId> rows) {
+  setenv("DBWIPES_FUSED", "off", 1);
+  auto e = std::make_unique<MatchEngine>(t, std::move(rows));
+  unsetenv("DBWIPES_FUSED");
+  return e;
+}
+
+/// Engine forced to the portable scalar tier regardless of the CPU.
+std::unique_ptr<MatchEngine> ScalarEngine(const Table& t,
+                                          std::vector<RowId> rows) {
+  setenv("DBWIPES_SIMD", "off", 1);
+  auto e = std::make_unique<MatchEngine>(t, std::move(rows));
+  unsetenv("DBWIPES_SIMD");
+  return e;
+}
+
+class FusedEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+// Random conjunctions, one at a time: fused == word-AND == boxed.
+TEST_P(FusedEquivalence, AgreesWithWordAndAndBoxedPaths) {
+  Rng rng(GetParam());
+  Table t = RandomTable(&rng, 500);
+  std::vector<RowId> rows = FullUniverse(t);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<Clause> clauses;
+    const size_t n = 2 + rng.UniformInt(3u);  // K in {2, 3, 4}
+    for (size_t i = 0; i < n; ++i) clauses.push_back(RandomClause(&rng));
+    Predicate pred(clauses);
+
+    MatchEngine fused(t, rows);
+    ASSERT_TRUE(fused.fused_enabled());
+    DBW_CHECK_OK(fused.Materialize({&pred}));
+    auto fb = fused.MatchPrepared(pred);
+    ASSERT_TRUE(fb.ok()) << pred.ToString() << ": " << fb.status().ToString();
+
+    auto plain = PlainEngine(t, rows);
+    DBW_CHECK_OK(plain->Materialize({&pred}));
+    auto wb = plain->MatchPrepared(pred);
+    ASSERT_TRUE(wb.ok()) << pred.ToString();
+    ASSERT_TRUE(*fb == *wb) << pred.ToString();
+
+    BoundPredicate bound = *pred.Bind(t);
+    ASSERT_TRUE(*fb == bound.MatchBitmap(rows)) << pred.ToString();
+  }
+}
+
+// A batch sharing clauses across predicates: exercises the bitmap-ref
+// lowering (shared clauses stay in the clause cache, unique clauses go
+// inline) and verifies the counter law over a mixed workload.
+TEST_P(FusedEquivalence, SharedClauseBatchesAgreeAndObeyCounterLaw) {
+  Rng rng(GetParam() ^ 0x5EEDu);
+  Table t = RandomTable(&rng, 700);
+  std::vector<RowId> rows = FullUniverse(t);
+
+  std::vector<Clause> pool;
+  for (int i = 0; i < 10; ++i) pool.push_back(RandomClause(&rng));
+  std::vector<Predicate> storage;
+  for (int i = 0; i < 30; ++i) {
+    std::vector<Clause> cs;
+    const size_t n = 1 + rng.UniformInt(3u);  // K in {1, 2, 3}
+    for (size_t j = 0; j < n; ++j) {
+      cs.push_back(rng.Bernoulli(0.5) ? pool[rng.UniformInt(10u)]
+                                      : RandomClause(&rng));
+    }
+    storage.push_back(Predicate(cs));
+  }
+  std::vector<const Predicate*> preds;
+  size_t multi = 0;
+  for (const Predicate& p : storage) {
+    preds.push_back(&p);
+    if (p.num_clauses() >= 2) ++multi;
+  }
+
+  MatchEngine fused(t, rows);
+  auto plain = PlainEngine(t, rows);
+  DBW_CHECK_OK(fused.Materialize(preds));
+  DBW_CHECK_OK(plain->Materialize(preds));
+
+  // One fused-cache decision per multi-clause predicate, each resolved
+  // exactly one way. Single-clause predicates never consult the cache.
+  EXPECT_EQ(fused.fused_lookups(), multi);
+  EXPECT_EQ(fused.fused_hits() + fused.fused_compiles() +
+                fused.fused_fallbacks(),
+            fused.fused_lookups());
+  EXPECT_GT(fused.fused_compiles(), 0u);
+  EXPECT_EQ(plain.get()->fused_lookups(), 0u);
+
+  for (const Predicate* p : preds) {
+    auto fb = fused.MatchPrepared(*p);
+    auto wb = plain->MatchPrepared(*p);
+    ASSERT_TRUE(fb.ok() && wb.ok()) << p->ToString();
+    ASSERT_TRUE(*fb == *wb) << p->ToString();
+    BoundPredicate bound = *p->Bind(t);
+    ASSERT_TRUE(*fb == bound.MatchBitmap(rows)) << p->ToString();
+  }
+
+  // Re-materializing the same batch is pure hits: no new programs.
+  const size_t programs = fused.num_fused_programs();
+  const size_t compiles = fused.fused_compiles();
+  DBW_CHECK_OK(fused.Materialize(preds));
+  EXPECT_EQ(fused.num_fused_programs(), programs);
+  EXPECT_EQ(fused.fused_compiles(), compiles);
+  EXPECT_GT(fused.fused_hits(), 0u);
+}
+
+// Slicing the universe into S contiguous shard slices and evaluating
+// each slice with its own fused engine must reproduce the global
+// bitmap bit-for-bit, at every shard count.
+TEST_P(FusedEquivalence, ShardSlicesConcatenateToGlobalBitmap) {
+  Rng rng(GetParam() ^ 0x51A6u);
+  Table t = RandomTable(&rng, 777);  // not a multiple of 64: tail words
+  std::vector<RowId> rows = FullUniverse(t);
+
+  std::vector<Predicate> storage;
+  for (int i = 0; i < 12; ++i) {
+    storage.push_back(Predicate({RandomClause(&rng), RandomClause(&rng),
+                                 RandomClause(&rng)}));
+  }
+  std::vector<const Predicate*> preds;
+  for (const Predicate& p : storage) preds.push_back(&p);
+
+  MatchEngine global(t, rows);
+  DBW_CHECK_OK(global.Materialize(preds));
+
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{3}, size_t{7}}) {
+    std::vector<std::unique_ptr<MatchEngine>> slices;
+    std::vector<size_t> offsets;
+    const size_t per = (rows.size() + shards - 1) / shards;
+    for (size_t s = 0; s < shards; ++s) {
+      const size_t lo = std::min(rows.size(), s * per);
+      const size_t hi = std::min(rows.size(), lo + per);
+      offsets.push_back(lo);
+      slices.push_back(std::make_unique<MatchEngine>(
+          t, std::vector<RowId>(rows.begin() + lo, rows.begin() + hi)));
+      ASSERT_TRUE(slices.back()->fused_enabled());
+      DBW_CHECK_OK(slices.back()->Materialize(preds));
+    }
+    for (const Predicate* p : preds) {
+      auto gb = global.MatchPrepared(*p);
+      ASSERT_TRUE(gb.ok()) << p->ToString();
+      for (size_t s = 0; s < shards; ++s) {
+        auto sb = slices[s]->MatchPrepared(*p);
+        ASSERT_TRUE(sb.ok()) << p->ToString();
+        for (size_t j = 0; j < sb->num_bits(); ++j) {
+          ASSERT_EQ(sb->Test(j), gb->Test(offsets[s] + j))
+              << p->ToString() << " shards=" << shards << " slice=" << s
+              << " local=" << j;
+        }
+      }
+    }
+  }
+}
+
+// The forced-scalar tier must be bit-identical to whatever tier the
+// dispatcher picked (AVX2 on this container) — same bitmaps, word for
+// word, on the same random workload.
+TEST_P(FusedEquivalence, ForcedScalarTierIsBitIdenticalToDispatchedTier) {
+  Rng rng(GetParam() ^ 0xC0DEu);
+  Table t = RandomTable(&rng, 900);
+  std::vector<RowId> rows = FullUniverse(t);
+
+  std::vector<Predicate> storage;
+  for (int i = 0; i < 20; ++i) {
+    std::vector<Clause> cs;
+    const size_t n = 2 + rng.UniformInt(2u);
+    for (size_t j = 0; j < n; ++j) cs.push_back(RandomClause(&rng));
+    storage.push_back(Predicate(cs));
+  }
+  std::vector<const Predicate*> preds;
+  for (const Predicate& p : storage) preds.push_back(&p);
+
+  MatchEngine dispatched(t, rows);
+  auto scalar = ScalarEngine(t, rows);
+  EXPECT_EQ(scalar->simd_tier(), SimdTier::kScalar);
+  DBW_CHECK_OK(dispatched.Materialize(preds));
+  DBW_CHECK_OK(scalar->Materialize(preds));
+  for (const Predicate* p : preds) {
+    auto db = dispatched.MatchPrepared(*p);
+    auto sb = scalar->MatchPrepared(*p);
+    ASSERT_TRUE(db.ok() && sb.ok()) << p->ToString();
+    ASSERT_TRUE(*db == *sb)
+        << p->ToString() << " dispatched tier "
+        << SimdTierName(dispatched.simd_tier());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FusedEquivalence,
+                         ::testing::Values(11u, 47u, 4242u));
+
+// ---------- fault matrix: the "match/fused" injection site ----------
+
+TEST(FusedFaults, FusedSiteFailsMaterializeWithoutMutatingCaches) {
+  Rng rng(21);
+  Table t = RandomTable(&rng, 300);
+  std::vector<RowId> rows = FullUniverse(t);
+  Predicate pred({Clause::Make("i", CompareOp::kGe, Value(int64_t{0})),
+                  Clause::Make("d", CompareOp::kLt, Value(1.0))});
+
+  MatchEngine engine(t, rows);
+  ASSERT_TRUE(engine.fused_enabled());
+  FaultInjector faults;
+  faults.ArmError("match/fused", Status::IoError("injected at match/fused"));
+  ExecContext ctx;
+  ctx.faults = &faults;
+  ParallelOptions popts;
+  popts.ctx = &ctx;
+
+  Status st = engine.Materialize({&pred}, popts);
+  ASSERT_TRUE(st.IsIoError()) << st.ToString();
+  EXPECT_GE(faults.hits("match/fused"), 1u);
+  // The site fires before any planning: no clause bitmaps, no fused
+  // programs, no counters consumed.
+  EXPECT_EQ(engine.num_cached_clauses(), 0u);
+  EXPECT_EQ(engine.num_fused_programs(), 0u);
+  EXPECT_EQ(engine.fused_lookups(), 0u);
+
+  // Disarmed, the same engine recovers cleanly.
+  faults.Disarm("match/fused");
+  DBW_CHECK_OK(engine.Materialize({&pred}, popts));
+  EXPECT_EQ(engine.num_fused_programs(), 1u);
+  ASSERT_TRUE(engine.MatchPrepared(pred).ok());
+}
+
+TEST(FusedFaults, FusedSiteIsUnreachableWhenFusionIsDisabled) {
+  Rng rng(22);
+  Table t = RandomTable(&rng, 100);
+  std::vector<RowId> rows = FullUniverse(t);
+  Predicate pred({Clause::Make("i", CompareOp::kGe, Value(int64_t{0})),
+                  Clause::Make("d", CompareOp::kLt, Value(1.0))});
+
+  auto plain = PlainEngine(t, rows);
+  FaultInjector faults;
+  faults.ArmError("match/fused", Status::IoError("injected at match/fused"));
+  ExecContext ctx;
+  ctx.faults = &faults;
+  ParallelOptions popts;
+  popts.ctx = &ctx;
+  DBW_CHECK_OK(plain->Materialize({&pred}, popts));
+  EXPECT_EQ(faults.hits("match/fused"), 0u);
+}
+
+// ---------- budgets and interrupts ----------
+
+TEST(FusedAnytime, BitmapBudgetExhaustionRollsBackFusedPrograms) {
+  Rng rng(23);
+  Table t = RandomTable(&rng, 400);
+  std::vector<RowId> rows = FullUniverse(t);
+  // A shared clause forces a materialized bitmap (the fused programs
+  // reference it), which is what the budget meters.
+  const Clause shared = Clause::Make("i", CompareOp::kLe, Value(int64_t{2}));
+  Predicate p1({shared, Clause::Make("d", CompareOp::kGt, Value(0.0))});
+  Predicate p2({shared, Clause::Make("s", CompareOp::kEq, Value("red"))});
+
+  ResourceBudget budget(0, 1, 0);  // one byte of bitmap budget
+  ExecContext ctx;
+  ctx.budget = &budget;
+  ParallelOptions popts;
+  popts.ctx = &ctx;
+
+  MatchEngine engine(t, rows);
+  Status st = engine.Materialize({&p1, &p2}, popts);
+  ASSERT_TRUE(st.IsResourceExhausted()) << st.ToString();
+  EXPECT_EQ(engine.num_cached_clauses(), 0u);
+  EXPECT_EQ(engine.num_fused_programs(), 0u);
+
+  // Without the budget the identical batch succeeds on the same
+  // engine: the rollback left no poisoned state behind.
+  DBW_CHECK_OK(engine.Materialize({&p1, &p2}));
+  EXPECT_EQ(engine.num_fused_programs(), 2u);
+}
+
+TEST(FusedAnytime, CancelledContextInterruptsFusedEvaluation) {
+  Rng rng(24);
+  Table t = RandomTable(&rng, 300);
+  std::vector<RowId> rows = FullUniverse(t);
+  Predicate pred({Clause::Make("i", CompareOp::kGe, Value(int64_t{-1})),
+                  Clause::Make("d", CompareOp::kLe, Value(0.5))});
+
+  MatchEngine engine(t, rows);
+  DBW_CHECK_OK(engine.Materialize({&pred}));
+  ASSERT_EQ(engine.num_fused_programs(), 1u);
+
+  CancellationSource source;
+  source.Cancel("query interrupted");
+  ExecContext ctx;
+  ctx.token = source.token();
+  auto bm = engine.MatchPrepared(pred, ctx);
+  ASSERT_FALSE(bm.ok());
+  EXPECT_TRUE(bm.status().IsCancelled()) << bm.status().ToString();
+  EXPECT_TRUE(bm.status().IsInterrupt());
+
+  // The cached program is untouched: a fresh context evaluates fine.
+  auto ok = engine.MatchPrepared(pred, ExecContext::None());
+  ASSERT_TRUE(ok.ok());
+}
+
+TEST(FusedAnytime, StalenessIsDetectedBeforeFusedEvaluation) {
+  Table t(Schema{{"i", DataType::kInt64}, {"d", DataType::kDouble}}, "t");
+  DBW_CHECK_OK(t.AppendRow({Value(int64_t{1}), Value(0.5)}));
+  DBW_CHECK_OK(t.AppendRow({Value(int64_t{2}), Value(1.5)}));
+  MatchEngine engine(t, {0, 1});
+  Predicate pred({Clause::Make("i", CompareOp::kGe, Value(int64_t{1})),
+                  Clause::Make("d", CompareOp::kLt, Value(1.0))});
+  DBW_CHECK_OK(engine.Materialize({&pred}));
+  ASSERT_TRUE(engine.MatchPrepared(pred).ok());
+
+  DBW_CHECK_OK(t.AppendRow({Value(int64_t{3}), Value(2.5)}));
+  auto stale = engine.MatchPrepared(pred);
+  ASSERT_FALSE(stale.ok());  // snapshot invalidated, program not run
+}
+
+}  // namespace
+}  // namespace dbwipes

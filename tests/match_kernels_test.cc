@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <vector>
 
@@ -188,13 +189,31 @@ TEST(MatchEngine, SharedClausesAreCachedOnce) {
 
   MatchEngine engine(t, rows);
   DBW_CHECK_OK(engine.Materialize({&p1, &p2}));
-  EXPECT_EQ(engine.num_cached_clauses(), 3u);  // shared counted once
-  EXPECT_GE(engine.cache_hits(), 1u);
+  // Fused planning: the shared clause is the only materialized bitmap
+  // (counted once); each predicate's unique clause went inline into
+  // its one-pass program instead of the clause cache.
+  EXPECT_EQ(engine.num_cached_clauses(), 1u);
+  EXPECT_EQ(engine.num_fused_programs(), 2u);
+  EXPECT_EQ(engine.fused_compiles(), 2u);
+  EXPECT_GE(engine.cache_hits(), 1u);  // shared ref probed twice
 
-  // Re-materializing is all hits.
+  // Re-materializing is all hits, in both caches.
   const size_t misses = engine.cache_misses();
   DBW_CHECK_OK(engine.Materialize({&p1, &p2}));
   EXPECT_EQ(engine.cache_misses(), misses);
+  EXPECT_EQ(engine.fused_hits(), 2u);
+  EXPECT_EQ(engine.num_fused_programs(), 2u);
+
+  // With fused compilation off, the original per-clause law holds:
+  // three distinct clause bitmaps, the shared one counted once.
+  setenv("DBWIPES_FUSED", "off", 1);
+  MatchEngine plain(t, rows);
+  unsetenv("DBWIPES_FUSED");
+  ASSERT_FALSE(plain.fused_enabled());
+  DBW_CHECK_OK(plain.Materialize({&p1, &p2}));
+  EXPECT_EQ(plain.num_cached_clauses(), 3u);  // shared counted once
+  EXPECT_EQ(plain.num_fused_programs(), 0u);
+  EXPECT_EQ(plain.fused_lookups(), 0u);
 }
 
 TEST(MatchEngine, UnsupportedClauseFailsExactlyLikeBind) {

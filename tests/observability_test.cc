@@ -178,6 +178,19 @@ TEST(ObservabilityTest, StatsCountersConsistentWithRun) {
   EXPECT_EQ(hits + misses, lookups);
   EXPECT_GT(lookups, 0);
 
+  // The fused-conjunction cache obeys the same shape of law: every
+  // eligible multi-clause predicate counts exactly one of hit /
+  // compile / fallback per materialize batch.
+  const int64_t f_lookups = JsonInt(stats, "match.fused_lookups");
+  const int64_t f_hits = JsonInt(stats, "match.fused_hits");
+  const int64_t f_compiles = JsonInt(stats, "match.fused_compiles");
+  const int64_t f_fallbacks = JsonInt(stats, "match.fused_fallbacks");
+  ASSERT_GE(f_lookups, 0) << stats;
+  EXPECT_EQ(f_hits + f_compiles + f_fallbacks, f_lookups);
+  EXPECT_GT(f_lookups, 0);
+  EXPECT_GT(f_compiles, 0);  // the debug run lowered real programs
+  EXPECT_GT(JsonInt(stats, "match.fused_evals"), 0);
+
   EXPECT_EQ(JsonInt(stats, "explain.runs"), 1);
   // The merge stage re-ranks with its own PredicateRanker, so one
   // debug yields the main ranking run plus the merger's.
@@ -214,6 +227,12 @@ TEST(ObservabilityTest, ProfileAttachedAndInternallyConsistent) {
   EXPECT_TRUE(p.used_match_kernels);
   EXPECT_EQ(p.cache_hits + p.cache_misses, p.clause_lookups);
   EXPECT_GT(p.clause_lookups, 0u);
+  // Fused law at profile scope, plus the tier the run dispatched to.
+  EXPECT_EQ(p.fused_hits + p.fused_compiles + p.fused_fallbacks,
+            p.fused_lookups);
+  EXPECT_GT(p.fused_lookups, 0u);
+  EXPECT_TRUE(p.simd_tier == "avx2" || p.simd_tier == "scalar")
+      << p.simd_tier;
   // Stage clocks mirror the explanation's.
   EXPECT_DOUBLE_EQ(p.preprocess_ms, exp.preprocess_ms);
   EXPECT_DOUBLE_EQ(p.rank_ms, exp.rank_ms);

@@ -229,20 +229,32 @@ void CheckLaneLaws(const ExplainProfile& p, size_t num_shards) {
   ASSERT_EQ(p.num_shards, num_shards);
   ASSERT_EQ(p.shards.size(), num_shards);
   size_t lookups = 0, hits = 0, misses = 0, mats = 0;
+  size_t f_lookups = 0, f_hits = 0, f_compiles = 0, f_fallbacks = 0;
   for (const ExplainProfile::ShardLane& lane : p.shards) {
     EXPECT_EQ(lane.cache_hits + lane.cache_misses, lane.clause_lookups)
+        << "lane " << lane.shard_index;
+    EXPECT_EQ(lane.fused_hits + lane.fused_compiles + lane.fused_fallbacks,
+              lane.fused_lookups)
         << "lane " << lane.shard_index;
     EXPECT_GT(lane.suspects, 0u) << "lane " << lane.shard_index;
     lookups += lane.clause_lookups;
     hits += lane.cache_hits;
     misses += lane.cache_misses;
     mats += lane.bitmaps_materialized;
+    f_lookups += lane.fused_lookups;
+    f_hits += lane.fused_hits;
+    f_compiles += lane.fused_compiles;
+    f_fallbacks += lane.fused_fallbacks;
   }
   // Top-level engine counters are the lane sums.
   EXPECT_EQ(p.clause_lookups, lookups);
   EXPECT_EQ(p.cache_hits, hits);
   EXPECT_EQ(p.cache_misses, misses);
   EXPECT_EQ(p.bitmaps_materialized, mats);
+  EXPECT_EQ(p.fused_lookups, f_lookups);
+  EXPECT_EQ(p.fused_hits, f_hits);
+  EXPECT_EQ(p.fused_compiles, f_compiles);
+  EXPECT_EQ(p.fused_fallbacks, f_fallbacks);
 }
 
 TEST(ShardWarmCacheTest, AppendInvalidatesOnlyTheTailShard) {
@@ -271,8 +283,18 @@ TEST(ShardWarmCacheTest, AppendInvalidatesOnlyTheTailShard) {
     EXPECT_TRUE(lane.engine_reused) << "lane " << lane.shard_index;
     EXPECT_EQ(lane.cache_misses, 0u) << "lane " << lane.shard_index;
     EXPECT_EQ(lane.bitmaps_materialized, 0u) << "lane " << lane.shard_index;
-    EXPECT_GT(lane.clause_lookups, 0u) << "lane " << lane.shard_index;
     EXPECT_EQ(lane.cache_hits, lane.clause_lookups)
+        << "lane " << lane.shard_index;
+    // The lane did work — through the clause cache, the fused program
+    // cache, or both (fused predicates skip per-clause lookups).
+    EXPECT_GT(lane.clause_lookups + lane.fused_lookups, 0u)
+        << "lane " << lane.shard_index;
+    // The fused face of the warm-cache law: every program lookup was
+    // answered from the retained compilation, nothing re-lowered.
+    EXPECT_EQ(lane.fused_compiles, 0u) << "lane " << lane.shard_index;
+    EXPECT_EQ(lane.fused_hits, lane.fused_lookups)
+        << "lane " << lane.shard_index;
+    EXPECT_GT(lane.cached_programs + lane.cached_clauses, 0u)
         << "lane " << lane.shard_index;
   }
   EXPECT_EQ(second.profile.shard_engines_reused, kShards);
@@ -294,8 +316,12 @@ TEST(ShardWarmCacheTest, AppendInvalidatesOnlyTheTailShard) {
       // Everyone else: warm. This is the (S-1)/S retention claim.
       EXPECT_TRUE(lane.engine_reused) << "lane " << lane.shard_index;
       EXPECT_EQ(lane.cache_misses, 0u) << "lane " << lane.shard_index;
-      EXPECT_GT(lane.clause_lookups, 0u) << "lane " << lane.shard_index;
       EXPECT_EQ(lane.cache_hits, lane.clause_lookups)
+          << "lane " << lane.shard_index;
+      EXPECT_GT(lane.clause_lookups + lane.fused_lookups, 0u)
+          << "lane " << lane.shard_index;
+      EXPECT_EQ(lane.fused_compiles, 0u) << "lane " << lane.shard_index;
+      EXPECT_EQ(lane.fused_hits, lane.fused_lookups)
           << "lane " << lane.shard_index;
     }
   }

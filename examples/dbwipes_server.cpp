@@ -13,6 +13,10 @@
 // controlled worker pool (requests may then be shed under overload
 // with {"ok": false, "reason": "overloaded", ...}; stdin stays
 // strictly ordered either way because responses print in read order).
+// Run with `--wal DIR` to make every state-mutating command durable:
+// on startup the service recovers DIR's latest checkpoint snapshot,
+// replays the log's tail, and resumes exactly where the last process
+// (crashed or not) left off.
 
 #include <cstdio>
 #include <cstdlib>
@@ -28,8 +32,16 @@ using namespace dbwipes;  // NOLINT — example brevity
 
 int main(int argc, char** argv) {
   size_t workers = 0;
-  if (argc == 3 && std::strcmp(argv[1], "--workers") == 0) {
-    workers = static_cast<size_t>(std::atoi(argv[2]));
+  std::string wal_dir;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--workers") == 0) {
+      workers = static_cast<size_t>(std::atoi(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--wal") == 0) {
+      wal_dir = argv[i + 1];
+    } else {
+      std::fprintf(stderr, "usage: %s [--workers N] [--wal DIR]\n", argv[0]);
+      return 2;
+    }
   }
 
   auto db = std::make_shared<Database>();
@@ -42,7 +54,11 @@ int main(int argc, char** argv) {
   }
   ServiceOptions options;
   options.num_workers = workers;
+  options.wal.dir = wal_dir;
   Service service(db, options);
+  if (!wal_dir.empty()) {
+    std::fprintf(stderr, "%s\n", service.Execute("wal status").c_str());
+  }
   if (workers > 0 && !service.Start().ok()) {
     std::fprintf(stderr, "failed to start worker pool\n");
     return 1;

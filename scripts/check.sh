@@ -4,7 +4,7 @@
 # race-free), the stress-labelled concurrent service suites under
 # tsan, and the tracing-overhead benchmark. Run from the repo root:
 #
-#   scripts/check.sh            # all seven stages
+#   scripts/check.sh            # every stage
 #   scripts/check.sh tier1      # just the default-preset test suite
 #   scripts/check.sh asan       # just the asan smoke subset
 #   scripts/check.sh faults     # just the faults-labelled tests (asan)
@@ -14,6 +14,9 @@
 #   scripts/check.sh shard      # bench_shard (BENCH_shard.json)
 #   scripts/check.sh fused      # bench_fused (BENCH_fused.json) +
 #                               # forced-scalar fused tests under asan
+#   scripts/check.sh crash      # kill-point crash-recovery matrix under
+#                               # asan AND tsan (DBWIPES_CRASH_RUNS=200+)
+#   scripts/check.sh wal        # bench_wal (BENCH_wal.json)
 #
 # Each stage configures/builds its preset only when needed, so repeat
 # runs are incremental.
@@ -87,6 +90,28 @@ fused_bench() {
   DBWIPES_SIMD=off ./build-asan/tests/fused_kernels_test
 }
 
+crash() {
+  echo "=== crash: randomized kill-point recovery matrix (asan + tsan) ==="
+  # >=200 fork/kill points across the I/O fault sites; every run must
+  # recover exactly the acknowledged prefix. asan proves the recovery
+  # scan stays in bounds; tsan proves the group-commit handoff is
+  # race-free while crashes land mid-batch.
+  cmake --preset asan >/dev/null
+  cmake --build --preset asan -j "$jobs"
+  DBWIPES_CRASH_RUNS=210 ctest --preset asan-crash -j "$jobs"
+  cmake --preset tsan >/dev/null
+  cmake --build --preset tsan -j "$jobs"
+  DBWIPES_CRASH_RUNS=210 ctest --preset tsan-crash -j "$jobs"
+}
+
+wal_bench() {
+  echo "=== wal: durability overhead benchmark ==="
+  cmake --preset default >/dev/null
+  cmake --build --preset default -j "$jobs" --target bench_wal
+  (cd build/bench && ./bench_wal --benchmark_min_time=0.05)
+  echo "wrote build/bench/BENCH_wal.json"
+}
+
 case "${1:-all}" in
   tier1)  tier1 ;;
   asan)   asan_smoke ;;
@@ -96,7 +121,9 @@ case "${1:-all}" in
   trace)  trace_bench ;;
   shard)  shard_bench ;;
   fused)  fused_bench ;;
-  all)    tier1; asan_smoke; faults; tsan_smoke; stress; trace_bench; shard_bench; fused_bench ;;
-  *) echo "usage: $0 [tier1|asan|faults|tsan|stress|trace|shard|fused|all]" >&2; exit 2 ;;
+  crash)  crash ;;
+  wal)    wal_bench ;;
+  all)    tier1; asan_smoke; faults; tsan_smoke; stress; trace_bench; shard_bench; fused_bench; crash; wal_bench ;;
+  *) echo "usage: $0 [tier1|asan|faults|tsan|stress|trace|shard|fused|crash|wal|all]" >&2; exit 2 ;;
 esac
 echo "=== check.sh: all requested stages passed ==="

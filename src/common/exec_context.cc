@@ -1,5 +1,7 @@
 #include "dbwipes/common/exec_context.h"
 
+#include <unistd.h>
+
 #include <thread>
 
 namespace dbwipes {
@@ -47,6 +49,14 @@ void FaultInjector::ArmError(const std::string& site, Status status) {
   Arm(site, std::move(f));
 }
 
+void FaultInjector::ArmCrash(const std::string& site, size_t skip) {
+  Fault f;
+  f.crash = true;
+  f.skip = skip;
+  f.count = 1;
+  Arm(site, std::move(f));
+}
+
 void FaultInjector::Disarm(const std::string& site) {
   std::lock_guard<std::mutex> lock(mu_);
   armed_.erase(site);
@@ -63,16 +73,23 @@ size_t FaultInjector::hits(const std::string& site) const {
   return it == hits_.end() ? 0 : it->second;
 }
 
+bool FaultInjector::Consume(const std::string& site, Fault* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = armed_.find(site);
+  if (it == armed_.end()) return false;
+  ++hits_[site];
+  if (it->second.skip > 0) {
+    --it->second.skip;
+    return false;
+  }
+  *out = it->second;
+  if (it->second.count > 0 && --it->second.count == 0) armed_.erase(it);
+  return true;
+}
+
 Status FaultInjector::Hit(const std::string& site) {
   Fault fault;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = armed_.find(site);
-    if (it == armed_.end()) return Status::OK();
-    ++hits_[site];
-    fault = it->second;
-    if (it->second.count > 0 && --it->second.count == 0) armed_.erase(it);
-  }
+  if (!Consume(site, &fault)) return Status::OK();
   // Apply outside the lock: latency must not serialize other sites.
   if (fault.latency_ms > 0.0) {
     std::this_thread::sleep_for(
@@ -81,7 +98,20 @@ Status FaultInjector::Hit(const std::string& site) {
   if (fault.trip != nullptr) {
     fault.trip->Cancel("fault injector tripped at " + site);
   }
+  if (fault.crash) ::_exit(kFaultCrashExit);
   return fault.status;
+}
+
+bool FaultInjector::HitIo(const std::string& site, Fault* fired) {
+  if (!Consume(site, fired)) return false;
+  if (fired->latency_ms > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(fired->latency_ms));
+  }
+  if (fired->trip != nullptr) {
+    fired->trip->Cancel("fault injector tripped at " + site);
+  }
+  return true;
 }
 
 const std::vector<std::string>& AllFaultSites() {
@@ -96,6 +126,26 @@ const std::vector<std::string>& AllFaultSites() {
       "ranker/score",         // per scoring block, before scoring it
       "ranker/shard",         // per shard, before materializing its slice
       "pipeline/explain",     // DBWipes::Explain entry
+  };
+  return sites;
+}
+
+const std::vector<std::string>& AllIoFaultSites() {
+  static const std::vector<std::string> sites = {
+      "wal/open",            // segment scan/open during WriteAheadLog::Open
+      "wal/record",          // per record, before it joins the commit batch
+      "wal/write",           // the batch write syscall (short-write capable)
+      "wal/fsync",           // before fsync of the active segment
+      "wal/ack",             // after fsync, before the append acknowledges
+      "wal/rotate",          // before creating the next segment
+      "wal/truncate",        // before unlinking checkpointed segments
+      "snapshot/open",       // opening the snapshot temp file
+      "snapshot/write",      // the snapshot body write (short-write capable)
+      "snapshot/fsync",      // before fsync of the temp file
+      "snapshot/rename",     // before the atomic rename into place
+      "snapshot/dirsync",    // before fsync of the parent directory
+      "checkpoint/begin",    // checkpoint entry, before collecting state
+      "checkpoint/truncate", // after the snapshot, before WAL truncation
   };
   return sites;
 }

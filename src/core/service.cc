@@ -1,5 +1,7 @@
 #include "dbwipes/core/service.h"
 
+#include <unistd.h>
+
 #include <chrono>
 #include <sstream>
 #include <thread>
@@ -34,6 +36,32 @@ std::string Ok() { return "{\"ok\": true}"; }
 
 std::string OkWith(const std::string& key, const std::string& json_value) {
   return "{\"ok\": true, \"" + key + "\": " + json_value + "}";
+}
+
+bool IsOkResponse(const std::string& response) {
+  return response.compare(0, 11, "{\"ok\": true") == 0;
+}
+
+/// Session-scope commands the WAL records: everything that mutates the
+/// session's durable state (query, selections, metric, cleaning,
+/// settings). Reads (result/state/metrics), `debug` (recomputable),
+/// and `cancel` are not logged.
+bool IsLoggedSessionCommand(const std::string& cmd) {
+  return cmd == "sql" || cmd == "select_range" || cmd == "select_groups" ||
+         cmd == "inputs_where" || cmd == "metric" || cmd == "clean" ||
+         cmd == "clean_where" || cmd == "undo" || cmd == "reset" ||
+         cmd == "set_deadline" || cmd == "profile";
+}
+
+/// Reads the next token without consuming it (for commands whose
+/// subcommand decides gating/logging before the handler parses it).
+std::string PeekToken(std::istream& in) {
+  const std::streampos pos = in.tellg();
+  std::string token;
+  in >> token;
+  in.clear();
+  in.seekg(pos);
+  return token;
 }
 
 std::string ShedResponse(double retry_after_ms) {
@@ -100,6 +128,18 @@ Service::Service(std::shared_ptr<Database> db, ServiceOptions options)
       std::make_unique<SessionManager>(db_, options_.explain, options_.sessions);
   // Cannot fail: the manager is empty and max_sessions >= 1.
   default_session_ = *manager_->GetOrCreate("main");
+
+  if (!options_.wal.dir.empty()) {
+    // Recovery happens here, before the first command can arrive:
+    // latest valid snapshot (if any) + WAL replay. The constructor
+    // cannot fail, so an unrecoverable log surfaces through
+    // `wal status` (last_error) with the WAL left off.
+    std::unique_lock<std::shared_mutex> gate(wal_gate_);
+    gate_owner_.store(std::this_thread::get_id(), std::memory_order_release);
+    Status st = EnableWalLocked(options_.wal.dir);
+    gate_owner_.store(std::thread::id(), std::memory_order_release);
+    if (!st.ok()) wal_last_error_ = "wal enable failed: " + st.ToString();
+  }
 }
 
 Service::~Service() { Stop(); }
@@ -119,6 +159,7 @@ std::string Service::Execute(const std::string& line) {
   // Every failure path funnels through Error(), whose responses start
   // with this exact prefix.
   if (response.compare(0, 12, "{\"ok\": false") == 0) errors->Increment();
+  MaybeAutoCheckpoint();
   return response;
 }
 
@@ -150,9 +191,9 @@ std::string Service::ExecuteCommand(const std::string& line) {
     return OkWith("pong", "true");
   }
 
-  if (cmd == "retry") return HandleRetry(in);
-
   if (cmd == "stats") return HandleStats();
+
+  if (cmd == "wal") return HandleWal(in);
 
   if (cmd == "trace") {
     std::string sub;
@@ -172,13 +213,53 @@ std::string Service::ExecuteCommand(const std::string& line) {
                   std::to_string(Tracer::Global().num_events()));
   }
 
-  if (cmd == "session") return HandleSession(in);
+  if (cmd == "snapshot") {
+    // `snapshot load` swaps the world, which must not interleave with
+    // logged mutations or a checkpoint — exclusive gate; with the WAL
+    // on the load is followed by a checkpoint so the log base matches
+    // the new world. `snapshot save` stays gate-free: its per-session
+    // locks + shard leases already give a prefix-consistent capture,
+    // and serializing it behind the gate would stall live traffic.
+    if (PeekToken(in) != "load" || ReplayingOnThisThread()) {
+      return HandleSnapshot(in);
+    }
+    std::unique_lock<std::shared_mutex> gate(wal_gate_);
+    std::string response = HandleSnapshot(in);
+    if (IsOkResponse(response) && wal_ != nullptr) {
+      Status st = CheckpointLocked();
+      if (!st.ok()) wal_last_error_ = st.ToString();
+    }
+    return response;
+  }
 
-  if (cmd == "snapshot") return HandleSnapshot(in);
+  const bool replaying = ReplayingOnThisThread();
+  std::shared_lock<std::shared_mutex> gate;
 
-  if (cmd == "shards") return HandleShards(in);
+  // --- Process-wide mutating commands ---
+  // Gate (shared) so a checkpoint never observes a half-applied
+  // mutation, then append_wal_mu_ so WAL order == apply order even
+  // across concurrent clients.
 
-  if (cmd == "append") return HandleAppend(in);
+  if (cmd == "retry" || cmd == "session" || cmd == "shards" ||
+      cmd == "append") {
+    const bool logged = cmd == "session" ? PeekToken(in) == "drop" : true;
+    if (!replaying) gate = std::shared_lock<std::shared_mutex>(wal_gate_);
+    std::unique_lock<std::mutex> order(append_wal_mu_);
+    std::string response;
+    if (cmd == "retry") {
+      response = HandleRetry(in);
+    } else if (cmd == "session") {
+      response = HandleSession(in);
+    } else if (cmd == "shards") {
+      response = HandleShards(in);
+    } else {
+      response = HandleAppend(in);
+    }
+    if (logged && !replaying && IsOkResponse(response)) {
+      ApplyWalLog(line, &response, &order);
+    }
+    return response;
+  }
 
   // --- Session commands ---
 
@@ -196,7 +277,8 @@ std::string Service::ExecuteCommand(const std::string& line) {
 
   if (cmd == "cancel") {
     // Deliberately does NOT take the session mutex: the whole point is
-    // to reach a debug currently holding it.
+    // to reach a debug currently holding it. (Nor the gate: a cancel
+    // must land even while a checkpoint drains.)
     std::lock_guard<std::mutex> lock(ms->cancel_mu);
     if (ms->active_cancel != nullptr) {
       ms->active_cancel->Cancel("cancelled by client");
@@ -206,8 +288,24 @@ std::string Service::ExecuteCommand(const std::string& line) {
     return OkWith("cancelled", "\"pending\"");
   }
 
+  const bool logged = IsLoggedSessionCommand(cmd);
+  if (logged && !replaying) {
+    gate = std::shared_lock<std::shared_mutex>(wal_gate_);
+  }
   std::lock_guard<std::mutex> session_lock(ms->mu);
-  return ExecuteSessionCommand(*ms, cmd, in);
+  std::string response = ExecuteSessionCommand(*ms, cmd, in);
+  if (logged && !replaying && IsOkResponse(response)) {
+    std::string logged_line = line;
+    if (cmd == "clean" && !ms->session.applied_predicates().empty()) {
+      // `clean <i>` names a rank in the last debug's explanation, which
+      // recovery does not replay — log the RESOLVED predicate instead
+      // so the record applies without re-explaining.
+      logged_line = "@" + session_name + " clean_where " +
+                    ms->session.applied_predicates().back().ToString();
+    }
+    ApplyWalLog(logged_line, &response);
+  }
+  return response;
 }
 
 std::string Service::ExecuteSessionCommand(ManagedSession& ms,
@@ -701,6 +799,10 @@ std::string Service::HandleSnapshot(std::istream& in) {
       auto table = db->GetTable(name);
       if (table.ok()) snapshot.tables.emplace_back(name, *table);
     }
+    snapshot.retry_max_attempts = static_cast<uint32_t>(
+        retry_max_attempts_.load(std::memory_order_relaxed));
+    snapshot.retry_backoff_ms =
+        retry_backoff_ms_.load(std::memory_order_relaxed);
     Status st = WriteSnapshot(path, snapshot);
     if (!st.ok()) return Error(st);
     saves->Increment();
@@ -711,60 +813,10 @@ std::string Service::HandleSnapshot(std::istream& in) {
   }
 
   if (sub == "load") {
-    // Validate and rebuild the whole world off to the side; the live
-    // service is untouched until the final swap, so any failure —
-    // corrupt file, missing table, unreplayable state — leaves the
-    // prior state exactly as it was.
     auto snapshot = ReadSnapshot(path);
     if (!snapshot.ok()) return Error(snapshot.status());
-
-    auto db = std::make_shared<Database>();
-    for (const auto& [name, table] : snapshot->tables) {
-      db->RegisterTable(name, table);
-    }
-    // Re-shard after ALL tables are registered (RegisterTable clears
-    // any shard layout for its name). CreateWithRows re-derives every
-    // shard — contents, dictionaries, codes — from the fused rows, so
-    // the restored clause bitmaps match the pre-crash ones bit for bit.
-    for (const ServiceSnapshot::ShardLayout& layout : snapshot->shard_layouts) {
-      auto table = db->GetTable(layout.table);
-      if (!table.ok()) {
-        return Error("snapshot load: shard layout references unknown table '" +
-                     layout.table + "'");
-      }
-      std::vector<size_t> shard_rows(layout.shard_rows.begin(),
-                                     layout.shard_rows.end());
-      auto set = ShardSet::CreateWithRows(**table, shard_rows);
-      if (!set.ok()) {
-        return Error("snapshot load: cannot rebuild shards for table '" +
-                     layout.table + "': " + set.status().ToString());
-      }
-      db->RegisterShardSet(layout.table, *set);
-    }
-    auto manager = std::make_unique<SessionManager>(db, options_.explain,
-                                                    options_.sessions);
-    for (const auto& state : snapshot->sessions) {
-      auto ms = manager->GetOrCreate(state.name);
-      if (!ms.ok()) {
-        return Error("snapshot load: cannot recreate session '" + state.name +
-                     "': " + ms.status().ToString());
-      }
-      (*ms)->settings = state.settings;
-      Status st = ReplaySessionState(**ms, state.replay);
-      if (!st.ok()) {
-        return Error("snapshot load: replay failed for session '" +
-                     state.name + "': " + st.ToString());
-      }
-    }
-    auto main = manager->GetOrCreate("main");
-    if (!main.ok()) return Error(main.status());
-
-    {
-      std::unique_lock<std::shared_mutex> lock(state_mu_);
-      db_ = std::move(db);
-      manager_ = std::move(manager);
-      default_session_ = std::move(*main);
-    }
+    Status st = LoadWorld(*snapshot);
+    if (!st.ok()) return Error(st);
     loads->Increment();
     return "{\"ok\": true, \"tables\": " +
            std::to_string(snapshot->tables.size()) +
@@ -773,6 +825,322 @@ std::string Service::HandleSnapshot(std::istream& in) {
   }
 
   return Error("unknown snapshot subcommand '" + sub + "'");
+}
+
+Status Service::LoadWorld(const ServiceSnapshot& snapshot) {
+  // Validate and rebuild the whole world off to the side; the live
+  // service is untouched until the final swap, so any failure —
+  // corrupt file, missing table, unreplayable state — leaves the
+  // prior state exactly as it was.
+  auto db = std::make_shared<Database>();
+  for (const auto& [name, table] : snapshot.tables) {
+    db->RegisterTable(name, table);
+  }
+  // Re-shard after ALL tables are registered (RegisterTable clears
+  // any shard layout for its name). CreateWithRows re-derives every
+  // shard — contents, dictionaries, codes — from the fused rows, so
+  // the restored clause bitmaps match the pre-crash ones bit for bit.
+  for (const ServiceSnapshot::ShardLayout& layout : snapshot.shard_layouts) {
+    auto table = db->GetTable(layout.table);
+    if (!table.ok()) {
+      return Status::InvalidArgument(
+          "snapshot load: shard layout references unknown table '" +
+          layout.table + "'");
+    }
+    std::vector<size_t> shard_rows(layout.shard_rows.begin(),
+                                   layout.shard_rows.end());
+    auto set = ShardSet::CreateWithRows(**table, shard_rows);
+    if (!set.ok()) {
+      return Status::InvalidArgument(
+          "snapshot load: cannot rebuild shards for table '" + layout.table +
+          "': " + set.status().ToString());
+    }
+    db->RegisterShardSet(layout.table, *set);
+  }
+  auto manager = std::make_unique<SessionManager>(db, options_.explain,
+                                                  options_.sessions);
+  for (const auto& state : snapshot.sessions) {
+    auto ms = manager->GetOrCreate(state.name);
+    if (!ms.ok()) {
+      return Status::InvalidArgument("snapshot load: cannot recreate session '" +
+                                     state.name +
+                                     "': " + ms.status().ToString());
+    }
+    (*ms)->settings = state.settings;
+    Status st = ReplaySessionState(**ms, state.replay);
+    if (!st.ok()) {
+      return Status::InvalidArgument("snapshot load: replay failed for session '" +
+                                     state.name + "': " + st.ToString());
+    }
+  }
+  auto main = manager->GetOrCreate("main");
+  if (!main.ok()) return main.status();
+
+  if (snapshot.retry_max_attempts > 0) {
+    retry_max_attempts_.store(snapshot.retry_max_attempts,
+                              std::memory_order_relaxed);
+    retry_backoff_ms_.store(snapshot.retry_backoff_ms,
+                            std::memory_order_relaxed);
+  }
+  {
+    std::unique_lock<std::shared_mutex> lock(state_mu_);
+    db_ = std::move(db);
+    manager_ = std::move(manager);
+    default_session_ = std::move(*main);
+  }
+  return Status::OK();
+}
+
+void Service::CollectSnapshot(ServiceSnapshot* snapshot) {
+  // Only ever called with wal_gate_ held exclusively, which excludes
+  // every logged mutation — so unlike the gate-free `snapshot save`
+  // path, the shard leases here do not need to outlive this function:
+  // nothing can append to a fused table until the gate drops.
+  std::shared_ptr<Database> db;
+  std::vector<std::pair<std::string, std::shared_ptr<ManagedSession>>> live;
+  {
+    std::shared_lock<std::shared_mutex> lock(state_mu_);
+    db = db_;
+    for (const std::string& name : manager_->Names()) {
+      auto ms = manager_->Find(name);
+      if (ms != nullptr) live.emplace_back(name, std::move(ms));
+    }
+  }
+  for (auto& [name, ms] : live) {
+    // Unlogged commands (debug, reads) may still hold a session mutex;
+    // wait them out so each session lands mid-command-free.
+    std::lock_guard<std::mutex> lock(ms->mu);
+    snapshot->sessions.push_back({name, ms->settings, ms->replay});
+  }
+  for (const std::string& name : db->ShardedNames()) {
+    auto set = db->GetShardSet(name);
+    if (set == nullptr) continue;
+    auto lease = set->ReadLease();
+    ServiceSnapshot::ShardLayout layout;
+    layout.table = name;
+    for (size_t rows : set->ShardRowCounts()) {
+      layout.shard_rows.push_back(rows);
+    }
+    snapshot->shard_layouts.push_back(std::move(layout));
+  }
+  for (const std::string& name : db->TableNames()) {
+    auto table = db->GetTable(name);
+    if (table.ok()) snapshot->tables.emplace_back(name, *table);
+  }
+  snapshot->retry_max_attempts = static_cast<uint32_t>(
+      retry_max_attempts_.load(std::memory_order_relaxed));
+  snapshot->retry_backoff_ms =
+      retry_backoff_ms_.load(std::memory_order_relaxed);
+}
+
+Status Service::CheckpointLocked() {
+  if (wal_ == nullptr) return Status::InvalidArgument("wal is off");
+  if (wal_faults_ != nullptr) {
+    DBW_RETURN_NOT_OK(wal_faults_->Hit("checkpoint/begin"));
+  }
+  ServiceSnapshot snapshot;
+  CollectSnapshot(&snapshot);
+  snapshot.wal_lsn = wal_->durable_lsn();
+  // The write is tmp + fsync + atomic rename + dir fsync, so a crash
+  // anywhere in here leaves the PREVIOUS snapshot intact and the log
+  // untruncated — recovery just replays more.
+  DBW_RETURN_NOT_OK(
+      WriteSnapshot(wal_->dir() + "/snapshot.dbw", snapshot, wal_faults_));
+  wal_snapshot_lsn_ = snapshot.wal_lsn;
+  // Truncation only ever drops CLOSED segments, so rotate first: after
+  // a quiet period the whole backlog is in the (now closed) last
+  // segment and would otherwise never be reclaimed.
+  DBW_RETURN_NOT_OK(wal_->Rotate());
+  if (wal_faults_ != nullptr) {
+    DBW_RETURN_NOT_OK(wal_faults_->Hit("checkpoint/truncate"));
+  }
+  DBW_RETURN_NOT_OK(wal_->TruncateThrough(snapshot.wal_lsn));
+  ++wal_checkpoints_;
+  MetricsRegistry::Global().GetCounter("wal.checkpoints")->Increment();
+  wal_last_error_.clear();
+  return Status::OK();
+}
+
+void Service::MaybeAutoCheckpoint() {
+  if (!wal_enabled_.load(std::memory_order_acquire)) return;
+  if (ReplayingOnThisThread()) return;
+  const size_t threshold = options_.wal.checkpoint_bytes;
+  if (threshold == 0) return;  // auto-checkpointing disabled
+  {
+    // Cheap probe under the shared gate; try_to_lock so this never
+    // stalls behind a checkpoint already in progress.
+    std::shared_lock<std::shared_mutex> gate(wal_gate_, std::try_to_lock);
+    if (!gate.owns_lock() || wal_ == nullptr) return;
+    if (wal_->total_bytes() < threshold) return;
+  }
+  std::unique_lock<std::shared_mutex> gate(wal_gate_, std::try_to_lock);
+  if (!gate.owns_lock()) return;  // someone else will get there
+  // Re-check: another thread may have checkpointed between the probe
+  // and the exclusive acquisition.
+  if (wal_ == nullptr || wal_->total_bytes() < threshold) return;
+  Status st = CheckpointLocked();
+  if (!st.ok()) wal_last_error_ = st.ToString();
+}
+
+void Service::ApplyWalLog(const std::string& logged_line,
+                          std::string* response,
+                          std::unique_lock<std::mutex>* order) {
+  WriteAheadLog* wal = wal_.get();  // stable: caller holds the shared gate
+  if (wal == nullptr) return;
+  // Stage while the ordering lock is still held (so the log's LSN
+  // order matches apply order), then drop it for the commit wait: the
+  // next client can apply + stage while our fsync is in flight, and
+  // the group-commit leader acknowledges both with one fsync.
+  auto ticket = wal->StageCommand(logged_line);
+  Status st = ticket.ok() ? Status::OK() : ticket.status();
+  if (st.ok()) {
+    if (order != nullptr && order->owns_lock()) order->unlock();
+    st = wal->WaitDurable(*ticket);
+  }
+  if (!st.ok()) {
+    // The gray zone: the command IS applied in memory but is NOT
+    // durable — a crash now silently loses it. Deliberately not
+    // "retryable": re-running the command would double-apply it.
+    *response = "{\"ok\": false, \"error\": \"" +
+                JsonEscape("wal append failed: " + st.ToString()) +
+                "\", \"durability\": \"lost\", \"applied\": true}";
+  }
+}
+
+Status Service::EnableWalLocked(const std::string& dir) {
+  if (wal_ != nullptr) {
+    return Status::InvalidArgument("wal is already on (dir '" + wal_->dir() +
+                                   "')");
+  }
+  const auto start = std::chrono::steady_clock::now();
+  WalOptions wal_options = options_.wal;
+  wal_options.dir = dir;
+  wal_faults_ = wal_options.faults != nullptr ? wal_options.faults : faults_;
+  wal_options.faults = wal_faults_;
+  DBW_ASSIGN_OR_RETURN(auto wal, WriteAheadLog::Open(std::move(wal_options)));
+
+  wal_snapshot_lsn_ = 0;
+  wal_replayed_ = 0;
+  wal_replay_errors_ = 0;
+
+  // Recovery = latest valid snapshot + replay of every logged command
+  // after its LSN. The snapshot read fully validates before anything
+  // is applied, so a corrupt snapshot aborts with the live (fresh)
+  // world untouched.
+  const std::string snapshot_path = dir + "/snapshot.dbw";
+  const bool have_snapshot = ::access(snapshot_path.c_str(), F_OK) == 0;
+  if (have_snapshot) {
+    auto snapshot = ReadSnapshot(snapshot_path);
+    if (!snapshot.ok()) return snapshot.status();
+    DBW_RETURN_NOT_OK(LoadWorld(*snapshot));
+    wal_snapshot_lsn_ = snapshot->wal_lsn;
+  }
+  size_t replayed = 0;
+  size_t errors = 0;
+  DBW_RETURN_NOT_OK(wal->Replay(
+      wal_snapshot_lsn_,
+      [&](uint64_t /*lsn*/, uint8_t type, const std::string& body) -> Status {
+        if (type != WriteAheadLog::kRecordCommand) {
+          return Status::IoError("wal replay: unknown record type " +
+                                 std::to_string(type));
+        }
+        ++replayed;
+        // Through the normal dispatch — this thread owns the gate, so
+        // gating and re-logging are skipped (wal_ is also still null).
+        // Only ok responses were logged, so a failure here means the
+        // record no longer applies; count it rather than abort, since
+        // later records may be independent of it.
+        if (!IsOkResponse(ExecuteCommand(body))) ++errors;
+        return Status::OK();
+      }));
+  wal_replayed_ = replayed;
+  wal_replay_errors_ = errors;
+  wal_ = std::move(wal);
+  wal_enabled_.store(true, std::memory_order_release);
+
+  // Anchor the recovered world: a fresh dir gets its initial snapshot,
+  // a replayed one compacts the log so the next recovery is O(new
+  // work). Failure is non-fatal — the log still holds everything, the
+  // atomic snapshot write left the old file valid.
+  if (replayed > 0 || !have_snapshot) {
+    Status st = CheckpointLocked();
+    if (!st.ok()) wal_last_error_ = st.ToString();
+  }
+  wal_recovery_ms_ = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  MetricsRegistry::Global().GetCounter("wal.replayed")->Increment(replayed);
+  MetricsRegistry::Global()
+      .GetHistogram("wal.recovery_ms")
+      ->Observe(wal_recovery_ms_);
+  return Status::OK();
+}
+
+std::string Service::HandleWal(std::istream& in) {
+  std::string sub;
+  if (!(in >> sub)) return Error("usage: wal on <dir>|off|status|checkpoint");
+
+  if (sub == "on") {
+    std::string dir;
+    if (!(in >> dir)) return Error("usage: wal on <dir>");
+    std::unique_lock<std::shared_mutex> gate(wal_gate_);
+    gate_owner_.store(std::this_thread::get_id(), std::memory_order_release);
+    Status st = EnableWalLocked(dir);
+    gate_owner_.store(std::thread::id(), std::memory_order_release);
+    if (!st.ok()) return Error(st);
+    return "{\"ok\": true, \"wal\": \"on\", \"dir\": \"" + JsonEscape(dir) +
+           "\", \"replayed\": " + std::to_string(wal_replayed_) +
+           ", \"replay_errors\": " + std::to_string(wal_replay_errors_) +
+           ", \"recovery_ms\": " + FormatDouble(wal_recovery_ms_) + "}";
+  }
+
+  if (sub == "off") {
+    std::unique_lock<std::shared_mutex> gate(wal_gate_);
+    if (wal_ == nullptr) return Error("wal is off");
+    // Seal the current state into the snapshot before dropping the
+    // log; if that fails, stay on — turning off would lose the tail.
+    Status st = CheckpointLocked();
+    if (!st.ok()) return Error(st);
+    wal_enabled_.store(false, std::memory_order_release);
+    wal_.reset();
+    return OkWith("wal", "\"off\"");
+  }
+
+  if (sub == "checkpoint") {
+    std::unique_lock<std::shared_mutex> gate(wal_gate_);
+    if (wal_ == nullptr) return Error("wal is off");
+    Status st = CheckpointLocked();
+    if (!st.ok()) return Error(st);
+    return "{\"ok\": true, \"checkpoint_lsn\": " +
+           std::to_string(wal_snapshot_lsn_) +
+           ", \"segments\": " + std::to_string(wal_->num_segments()) + "}";
+  }
+
+  if (sub == "status") {
+    std::shared_lock<std::shared_mutex> gate(wal_gate_);
+    if (wal_ == nullptr) {
+      return "{\"ok\": true, \"enabled\": false, \"last_error\": \"" +
+             JsonEscape(wal_last_error_) + "\"}";
+    }
+    const WalStats s = wal_->stats();
+    return "{\"ok\": true, \"enabled\": true, \"dir\": \"" +
+           JsonEscape(wal_->dir()) +
+           "\", \"next_lsn\": " + std::to_string(s.next_lsn) +
+           ", \"durable_lsn\": " + std::to_string(s.durable_lsn) +
+           ", \"segments\": " + std::to_string(s.segments) +
+           ", \"wal_bytes\": " + std::to_string(s.total_bytes) +
+           ", \"appends\": " + std::to_string(s.appends) +
+           ", \"fsyncs\": " + std::to_string(s.fsyncs) +
+           ", \"poisoned\": " + (s.poisoned ? "true" : "false") +
+           ", \"snapshot_lsn\": " + std::to_string(wal_snapshot_lsn_) +
+           ", \"checkpoints\": " + std::to_string(wal_checkpoints_) +
+           ", \"replayed\": " + std::to_string(wal_replayed_) +
+           ", \"replay_errors\": " + std::to_string(wal_replay_errors_) +
+           ", \"recovery_ms\": " + FormatDouble(wal_recovery_ms_) +
+           ", \"last_error\": \"" + JsonEscape(wal_last_error_) + "\"}";
+  }
+
+  return Error("unknown wal subcommand '" + sub + "'");
 }
 
 std::string Service::RunDebug(ManagedSession& ms) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "dbwipes/common/retry.h"
+
 namespace dbwipes {
 
 namespace {
@@ -65,9 +67,11 @@ Result<std::shared_ptr<ManagedSession>> SessionManager::GetOrCreate(
     return it->second.session;
   }
   if (entries_.size() >= options_.max_sessions) {
-    return Status::ResourceExhausted(
-        "session limit reached (" + std::to_string(options_.max_sessions) +
-        " live sessions); drop or evict one first");
+    return WithRetryAfterHint(
+        Status::ResourceExhausted(
+            "session limit reached (" + std::to_string(options_.max_sessions) +
+            " live sessions); drop or evict one first"),
+        options_.retry_after_hint_ms);
   }
   Entry entry;
   entry.session = std::make_shared<ManagedSession>(db_, explain_options_);

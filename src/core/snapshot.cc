@@ -1,5 +1,10 @@
 #include "dbwipes/core/snapshot.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 
@@ -414,6 +419,11 @@ std::string SerializeSnapshotPayload(const ServiceSnapshot& snapshot) {
     w.U32(static_cast<uint32_t>(layout.shard_rows.size()));
     for (uint64_t rows : layout.shard_rows) w.U64(rows);
   }
+  // v3: the WAL LSN this snapshot is consistent through, plus the
+  // process-level retry knobs (their logged records may be truncated).
+  w.U64(snapshot.wal_lsn);
+  w.U32(snapshot.retry_max_attempts);
+  w.F64(snapshot.retry_backoff_ms);
   return w.Take();
 }
 
@@ -450,12 +460,59 @@ Result<ServiceSnapshot> ParseSnapshotPayload(const std::string& payload,
       snap.shard_layouts.push_back(std::move(layout));
     }
   }
+  if (version >= 3) {
+    DBW_RETURN_NOT_OK(r.U64(&snap.wal_lsn, "wal checkpoint lsn"));
+    DBW_RETURN_NOT_OK(r.U32(&snap.retry_max_attempts, "retry max attempts"));
+    DBW_RETURN_NOT_OK(r.F64(&snap.retry_backoff_ms, "retry backoff ms"));
+  }
   DBW_RETURN_NOT_OK(r.ExpectExhausted());
   return snap;
 }
 
-Status WriteSnapshot(const std::string& path,
-                     const ServiceSnapshot& snapshot) {
+namespace {
+
+/// write(2) until done, honoring an injected short-write/error fault
+/// (at most `fault->short_write_limit` bytes land before the fault's
+/// crash/status applies).
+Status WriteAllFd(int fd, const char* data, size_t n, const std::string& path,
+                  const FaultInjector::Fault* fault) {
+  size_t allowed = n;
+  if (fault != nullptr && fault->short_write_limit > 0) {
+    allowed = allowed < fault->short_write_limit ? allowed
+                                                 : fault->short_write_limit;
+  }
+  size_t written = 0;
+  while (written < allowed) {
+    ssize_t r = ::write(fd, data + written, allowed - written);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("write failed for '" + path + "': " +
+                             std::strerror(errno));
+    }
+    written += static_cast<size_t>(r);
+  }
+  if (fault != nullptr) {
+    if (fault->crash) ::_exit(kFaultCrashExit);
+    if (!fault->status.ok()) return fault->status;
+    if (allowed < n) {
+      return Status::IoError("short write injected at '" + path + "'");
+    }
+  }
+  return Status::OK();
+}
+
+Status HitSite(FaultInjector* faults, const char* site) {
+  if (faults == nullptr) return Status::OK();
+  FaultInjector::Fault fault;
+  if (!faults->HitIo(site, &fault)) return Status::OK();
+  if (fault.crash) ::_exit(kFaultCrashExit);
+  return fault.status;
+}
+
+}  // namespace
+
+Status WriteSnapshot(const std::string& path, const ServiceSnapshot& snapshot,
+                     FaultInjector* faults) {
   const std::string payload = SerializeSnapshotPayload(snapshot);
   const uint64_t checksum = Fnv1a64(payload.data(), payload.size());
   const uint32_t version = kSnapshotFormatVersion;
@@ -470,24 +527,58 @@ Status WriteSnapshot(const std::string& path,
   file.append(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
   file.append(payload);
 
-  // Write the bytes to a temp sibling, then atomically rename into
-  // place: readers (and a post-crash restart) see the old file or the
-  // new one, never a prefix.
+  // Write the bytes to a temp sibling, fsync it, atomically rename into
+  // place, then fsync the parent directory. The rename gives atomicity
+  // (readers and a post-crash restart see the old file or the new one,
+  // never a prefix); the two fsyncs give durability — without the file
+  // fsync the rename can land before the data, and without the
+  // directory fsync the rename itself can evaporate in a power cut.
   const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::IoError("cannot open '" + tmp + "' for writing");
+  Status st = HitSite(faults, "snapshot/open");
+  int fd = -1;
+  if (st.ok()) {
+    fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+    if (fd < 0) {
+      st = Status::IoError("cannot open '" + tmp + "' for writing: " +
+                           std::strerror(errno));
+    }
   }
-  const size_t written = std::fwrite(file.data(), 1, file.size(), f);
-  const bool flushed = std::fflush(f) == 0;
-  const bool closed = std::fclose(f) == 0;
-  if (written != file.size() || !flushed || !closed) {
-    std::remove(tmp.c_str());
-    return Status::IoError("short write to '" + tmp + "'");
+  if (st.ok()) {
+    FaultInjector::Fault fault;
+    const FaultInjector::Fault* fault_ptr = nullptr;
+    if (faults != nullptr && faults->HitIo("snapshot/write", &fault)) {
+      fault_ptr = &fault;
+    }
+    st = WriteAllFd(fd, file.data(), file.size(), tmp, fault_ptr);
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+  if (st.ok()) st = HitSite(faults, "snapshot/fsync");
+  if (st.ok() && ::fsync(fd) != 0) {
+    st = Status::IoError("fsync failed for '" + tmp + "': " +
+                         std::strerror(errno));
+  }
+  if (fd >= 0) ::close(fd);
+  if (st.ok()) st = HitSite(faults, "snapshot/rename");
+  if (st.ok() && std::rename(tmp.c_str(), path.c_str()) != 0) {
+    st = Status::IoError("cannot rename '" + tmp + "' to '" + path + "'");
+  }
+  if (!st.ok()) {
     std::remove(tmp.c_str());
-    return Status::IoError("cannot rename '" + tmp + "' to '" + path + "'");
+    return st;
+  }
+  DBW_RETURN_NOT_OK(HitSite(faults, "snapshot/dirsync"));
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? std::string(".")
+                                                     : path.substr(0, slash);
+  int dfd = ::open(dir.c_str(), O_RDONLY);
+  if (dfd < 0) {
+    return Status::IoError("cannot open directory '" + dir +
+                           "' for fsync: " + std::strerror(errno));
+  }
+  const bool dir_synced = ::fsync(dfd) == 0;
+  ::close(dfd);
+  if (!dir_synced) {
+    return Status::IoError("directory fsync failed for '" + dir + "': " +
+                           std::strerror(errno));
   }
   return Status::OK();
 }

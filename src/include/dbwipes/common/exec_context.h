@@ -182,13 +182,23 @@ class ResourceBudget {
 // Fault injection
 // ---------------------------------------------------------------------------
 
+/// Exit code a crash fault terminates the process with (via _exit, so
+/// no destructors, atexit hooks, or buffered-I/O flushes run — the
+/// closest in-process stand-in for a power cut). The crash-recovery
+/// harness asserts on this code to tell an injected kill apart from a
+/// sanitizer abort or a genuine crash.
+constexpr int kFaultCrashExit = 61;
+
 /// \brief Test-armable failure registry behind the DBW_FAULT sites.
 ///
 /// Production code never allocates one: ExecContext::faults stays
 /// nullptr and a fault site is a single pointer compare. Tests arm a
-/// site by name to return an error Status, inject latency, or trip a
-/// CancellationSource; each armed fault fires `count` times (default:
-/// every hit). Thread-safe.
+/// site by name to return an error Status, inject latency, trip a
+/// CancellationSource, hard-crash the process (`crash`), or shape I/O
+/// (`short_write_limit`); each armed fault fires `count` times
+/// (default: every hit), optionally after `skip` pass-through hits —
+/// the seam the crash harness uses to kill a child at "the Nth append"
+/// rather than the first. Thread-safe.
 class FaultInjector {
  public:
   struct Fault {
@@ -200,24 +210,48 @@ class FaultInjector {
     std::shared_ptr<CancellationSource> trip;
     /// Hits before the fault disarms itself; 0 = fire forever.
     size_t count = 0;
+    /// Pass-through hits before the fault starts firing (armable "crash
+    /// at the Nth hit" points for the kill matrix).
+    size_t skip = 0;
+    /// _exit(kFaultCrashExit) when the fault fires. Hit() crashes at
+    /// the site; HitIo() leaves the crash to the caller so a torn
+    /// partial write can land first.
+    bool crash = false;
+    /// >0: an I/O site consuming this fault may write at most this many
+    /// bytes before failing — a short write (ENOSPC/EIO mid-record),
+    /// the generator for torn WAL tails.
+    size_t short_write_limit = 0;
   };
 
   /// Arms (or re-arms) `site`.
   void Arm(const std::string& site, Fault fault);
   /// Shorthand: arm `site` to return `status` on every hit.
   void ArmError(const std::string& site, Status status);
+  /// Shorthand: arm `site` to _exit(kFaultCrashExit) on its
+  /// `skip+1`-th hit.
+  void ArmCrash(const std::string& site, size_t skip = 0);
   void Disarm(const std::string& site);
   void DisarmAll();
 
-  /// Times `site` was hit while armed.
+  /// Times `site` was hit while armed (including skipped hits).
   size_t hits(const std::string& site) const;
 
   /// Called by DBW_FAULT when an injector is installed. Applies the
-  /// armed behavior for `site` (latency, then trip, then status);
-  /// unarmed sites return OK.
+  /// armed behavior for `site` (latency, then trip, then crash, then
+  /// status); unarmed or still-skipping sites return OK.
   Status Hit(const std::string& site);
 
+  /// I/O-site variant: applies latency and trip, then hands the fired
+  /// fault back instead of acting on crash/status, so the caller can
+  /// interleave them with real I/O (write `short_write_limit` bytes,
+  /// THEN crash or fail). Returns false when nothing fired.
+  bool HitIo(const std::string& site, Fault* fired);
+
  private:
+  /// Consumes one hit: skip/count bookkeeping under the lock; true when
+  /// the fault fires, with a copy in *out.
+  bool Consume(const std::string& site, Fault* out);
+
   mutable std::mutex mu_;
   std::unordered_map<std::string, Fault> armed_;
   std::unordered_map<std::string, size_t> hits_;
@@ -229,6 +263,14 @@ class FaultInjector {
 /// this list to prove every site degrades cleanly; keep it in sync
 /// when adding a DBW_FAULT.
 const std::vector<std::string>& AllFaultSites();
+
+/// The I/O fault sites compiled into the durability paths (WAL append/
+/// fsync/rotate, snapshot write/rename/dirsync, checkpoint begin/
+/// truncate). These sit on the storage side rather than the explain
+/// pipeline, so they are hit through FaultInjector::Hit/HitIo directly
+/// (no ExecContext flows there). The crash harness iterates this list
+/// as its kill-point menu; keep it in sync when adding a site.
+const std::vector<std::string>& AllIoFaultSites();
 
 // ---------------------------------------------------------------------------
 // ExecContext

@@ -34,29 +34,82 @@ inline bool IsTransient(const Status& status) {
 /// "permanent" / "transient" — used in error payloads and docs.
 const char* ErrorClassToString(ErrorClass c);
 
-/// \brief Deterministic exponential backoff.
+/// \brief Exponential backoff, deterministic by default, with opt-in
+/// decorrelated jitter.
 ///
-/// The backoff schedule is a pure function of the attempt number
-/// (initial * multiplier^(attempt-1), capped at max) — no jitter, so
-/// tests can assert the exact sleep sequence. The `sleep_fn` seam lets
-/// tests capture backoffs instead of sleeping; when unset the policy
-/// really sleeps.
+/// With `jitter` off the schedule is a pure function of the attempt
+/// number (initial * multiplier^(attempt-1), capped at max), so tests
+/// can assert the exact sleep sequence. With `jitter` on, each sleep
+/// is drawn uniformly from [initial, prev*3] (capped at max) — the
+/// "decorrelated jitter" scheme — so a thundering herd of clients that
+/// failed together does NOT retry together: synchronized retries
+/// against an overloaded server stay desynchronized across rounds.
+/// The `sleep_fn` seam lets tests capture backoffs instead of
+/// sleeping; `rand_fn` stubs the jitter draw.
 struct RetryPolicy {
   /// Total attempts including the first; 1 disables retries.
   size_t max_attempts = 3;
   double initial_backoff_ms = 10.0;
   double backoff_multiplier = 2.0;
   double max_backoff_ms = 1000.0;
+  /// Decorrelated jitter. Off by default: existing callers (and tests
+  /// asserting exact schedules) keep the deterministic ladder.
+  bool jitter = false;
   /// Test seam: called with the backoff instead of sleeping. Null =
   /// std::this_thread::sleep_for.
   std::function<void(double ms)> sleep_fn;
+  /// Test seam: uniform draw from [0,1) for the jitter. Null = a
+  /// thread-local PRNG.
+  std::function<double()> rand_fn;
 
-  /// Backoff applied after failed attempt `attempt` (1-based).
+  /// Deterministic backoff after failed attempt `attempt` (1-based);
+  /// ignores `jitter` (use BackoffSequence for the jittered walk).
   double BackoffMs(size_t attempt) const;
 
   /// Sleeps (or calls sleep_fn with) BackoffMs(attempt).
   void Backoff(size_t attempt) const;
 };
+
+/// \brief The stateful backoff walk for one retry loop.
+///
+/// Yields the policy's deterministic ladder, or the decorrelated
+/// jitter walk when `policy.jitter` is set. A server-supplied
+/// retry-after hint (ObserveRetryAfterMs) floors the next sleep: the
+/// server knows when capacity returns better than any client-side
+/// curve, but jitter on top still spreads the stampede.
+class BackoffSequence {
+ public:
+  explicit BackoffSequence(const RetryPolicy& policy);
+
+  /// The next sleep duration, advancing the walk.
+  double NextMs();
+
+  /// Sleeps (or calls policy.sleep_fn with) NextMs().
+  void Backoff();
+
+  /// Records a server-supplied "come back in N ms" hint; the next
+  /// sleep will be at least N (one-shot, then the walk resumes).
+  void ObserveRetryAfterMs(double ms);
+
+ private:
+  const RetryPolicy& policy_;
+  size_t attempt_ = 0;
+  double prev_ms_ = 0.0;        // last jittered sleep
+  double retry_after_ms_ = 0.0; // pending server hint
+};
+
+/// Extracts a server-supplied retry-after hint from a Status message
+/// (the "[retry_after_ms=N]" tag a shedding server attaches), or 0
+/// when absent/malformed.
+double RetryAfterHintMs(const Status& status);
+
+/// Appends the "[retry_after_ms=N]" tag RetryAfterHintMs parses.
+Status WithRetryAfterHint(Status status, double retry_after_ms);
+
+/// True when a service JSON response says "ok": false with
+/// "retryable": true; fills *retry_after_ms with the response's hint
+/// (0 when absent). A well-formed ok response returns false.
+bool ResponseRetryable(const std::string& response, double* retry_after_ms);
 
 namespace retry_internal {
 inline Status StatusOf(const Status& s) { return s; }
@@ -68,9 +121,11 @@ Status StatusOf(const Result<T>& r) {
 
 /// Runs `fn` until it succeeds, fails permanently, or exhausts
 /// `policy.max_attempts`; only transient failures are retried, with
-/// the policy's backoff between attempts. Returns the last outcome.
-/// `attempts_out` (optional) receives the number of attempts made —
-/// K transient failures before a success yield K+1.
+/// the policy's backoff (jittered when `policy.jitter`) between
+/// attempts. A "[retry_after_ms=N]" hint in a failure's message floors
+/// the following sleep. Returns the last outcome. `attempts_out`
+/// (optional) receives the number of attempts made — K transient
+/// failures before a success yield K+1.
 ///
 /// `fn` may return Status or Result<T>; the call returns the same
 /// type.
@@ -78,6 +133,7 @@ template <typename Fn>
 auto RetryTransient(const RetryPolicy& policy, Fn&& fn,
                     size_t* attempts_out = nullptr) -> decltype(fn()) {
   const size_t max_attempts = policy.max_attempts == 0 ? 1 : policy.max_attempts;
+  BackoffSequence backoff(policy);
   size_t attempt = 0;
   while (true) {
     ++attempt;
@@ -86,7 +142,32 @@ auto RetryTransient(const RetryPolicy& policy, Fn&& fn,
     if (outcome.ok()) return outcome;
     const Status st = retry_internal::StatusOf(outcome);
     if (!IsTransient(st) || attempt >= max_attempts) return outcome;
-    policy.Backoff(attempt);
+    backoff.ObserveRetryAfterMs(RetryAfterHintMs(st));
+    backoff.Backoff();
+  }
+}
+
+/// Client-side retry over the Service JSON line protocol: runs
+/// `execute` (a fn returning the response string) until the response
+/// is not retryable or attempts run out, honoring the response's
+/// "retry_after_ms" hint between attempts. Returns the last response.
+template <typename Fn>
+std::string RetryExecute(const RetryPolicy& policy, Fn&& execute,
+                         size_t* attempts_out = nullptr) {
+  const size_t max_attempts = policy.max_attempts == 0 ? 1 : policy.max_attempts;
+  BackoffSequence backoff(policy);
+  size_t attempt = 0;
+  while (true) {
+    ++attempt;
+    std::string response = execute();
+    if (attempts_out != nullptr) *attempts_out = attempt;
+    double retry_after_ms = 0.0;
+    if (!ResponseRetryable(response, &retry_after_ms) ||
+        attempt >= max_attempts) {
+      return response;
+    }
+    backoff.ObserveRetryAfterMs(retry_after_ms);
+    backoff.Backoff();
   }
 }
 

@@ -15,13 +15,22 @@
 
 #include "dbwipes/common/retry.h"
 #include "dbwipes/core/session_manager.h"
+#include "dbwipes/storage/wal.h"
 
 namespace dbwipes {
+
+struct ServiceSnapshot;  // core/snapshot.h
 
 /// \brief Configuration for the resilient service layer.
 struct ServiceOptions {
   ExplainOptions explain;
   SessionManager::Options sessions;
+
+  /// Durability. When `wal.dir` is non-empty the constructor enables
+  /// the write-ahead log there — recovering any existing snapshot +
+  /// log first — exactly as `wal on <dir>` would. `wal.checkpoint_bytes`
+  /// sets the auto-checkpoint threshold.
+  WalOptions wal;
 
   /// Worker threads draining the admission queue. 0 keeps the service
   /// purely synchronous: Execute() works, Submit() fails cleanly.
@@ -102,6 +111,16 @@ struct ServiceOptions {
 ///                                plus per-table shard layout: shard
 ///                                count, per-shard row counts, cached
 ///                                clause bitmaps per shard
+///   wal on <dir>                 enable the write-ahead log in <dir>,
+///                                first recovering any snapshot + log
+///                                already there (latest valid snapshot
+///                                + replay of newer records)
+///   wal off                      checkpoint, then disable the log
+///   wal checkpoint               snapshot the world + truncate the
+///                                log's retired segments
+///   wal status                   durability status JSON: lsns,
+///                                segments, bytes, replay/recovery
+///                                stats, last checkpoint error
 ///   profile on|off               attach the per-Explain profile to
 ///                                debug responses (per session)
 ///   trace on|off                 enable/disable the pipeline tracer
@@ -116,6 +135,18 @@ struct ServiceOptions {
 /// carry "retryable": true. A debug run wound down early by a
 /// deadline, cancel, or budget responds {"ok": true, "partial": true,
 /// "reason": "...", ...}.
+///
+/// Durability: with the WAL on, every acknowledged state-mutating
+/// command (sql/selection/metric/clean/undo/reset/settings, append,
+/// shards, retry, session drop) is logged — and group-commit fsynced —
+/// BEFORE its ok response returns, so a crash after the ack never
+/// loses it: recovery = latest valid snapshot + replay of newer log
+/// records. Should the log append itself fail after the in-memory
+/// apply, the response reports {"ok": false, "durability": "lost",
+/// "applied": true} — the operation took effect but is not crash-safe
+/// (deliberately NOT marked retryable: re-running it would double-
+/// apply). Reads (debug/result/state/stats) and `cancel` are never
+/// logged and never wait on the checkpoint gate.
 ///
 /// Threading: Execute() is fully thread-safe — commands on the same
 /// session serialize on that session's mutex while commands on
@@ -181,8 +212,45 @@ class Service {
   std::string HandleStats();
   std::string HandleShards(std::istream& in);
   std::string HandleAppend(std::istream& in);
+  std::string HandleWal(std::istream& in);
   RetryPolicy CurrentRetryPolicy() const;
   void WorkerLoop();
+
+  // --- Durability (see the class comment) ---
+
+  /// Serializes the whole live world — every session (under its mutex)
+  /// then every shard layout (under its read lease) then the tables —
+  /// into `snapshot`. The same collection the `snapshot save` command
+  /// performs; prefix-consistent against concurrent appends.
+  void CollectSnapshot(ServiceSnapshot* snapshot);
+  /// Validates and rebuilds a world from `snapshot` off to the side,
+  /// then swaps it in under a brief exclusive state_mu_ hold (the
+  /// `snapshot load` body). Any failure leaves the live state intact.
+  Status LoadWorld(const ServiceSnapshot& snapshot);
+  /// Opens/recovers the WAL in `dir`: loads `dir`/snapshot.dbw when
+  /// present, replays newer records by re-executing their command
+  /// lines, then checkpoints. Caller holds wal_gate_ exclusively with
+  /// gate_owner_ set (replayed commands re-enter ExecuteCommand).
+  Status EnableWalLocked(const std::string& dir);
+  /// snapshot + rotate + truncate. Caller holds wal_gate_ exclusively.
+  Status CheckpointLocked();
+  /// Auto-checkpoint probe run after every command (outside all locks).
+  void MaybeAutoCheckpoint();
+  /// Appends `logged_line` to the WAL (no-op when off); on failure
+  /// rewrites *response into the durability-lost error. Caller holds
+  /// the gate shared (or is the gate owner) plus the order-defining
+  /// lock (session mutex / append_wal_mu_).
+  /// Stages `logged_line` into the WAL, releases `order` (when given),
+  /// then blocks for durability — staging under the caller's ordering
+  /// lock keeps log order == apply order, while waiting outside it
+  /// lets concurrent clients share one group-commit fsync. On failure
+  /// rewrites `*response` to the durability-lost form.
+  void ApplyWalLog(const std::string& logged_line, std::string* response,
+                   std::unique_lock<std::mutex>* order = nullptr);
+  bool ReplayingOnThisThread() const {
+    return gate_owner_.load(std::memory_order_acquire) ==
+           std::this_thread::get_id();
+  }
 
   ServiceOptions options_;
 
@@ -200,6 +268,36 @@ class Service {
 
   FaultInjector* faults_ = nullptr;
   ResourceBudget* budget_ = nullptr;
+
+  /// The checkpoint gate. State-mutating commands hold it SHARED for
+  /// the duration of apply+log; checkpoint, `wal on|off`, and
+  /// `snapshot load` hold it EXCLUSIVE, so a checkpoint observes a
+  /// world where every logged command is either fully applied+logged
+  /// or not started — the invariant that makes snapshot.wal_lsn exact.
+  /// Reads and `cancel` never touch it. Lock order: gate, then the
+  /// session mutex / append_wal_mu_, then shard leases / the WAL's
+  /// internal mutex.
+  std::shared_mutex wal_gate_;
+  /// Thread currently holding the gate exclusively for recovery; its
+  /// re-entrant ExecuteCommand calls (replay) skip gate acquisition
+  /// and logging.
+  std::atomic<std::thread::id> gate_owner_{};
+  /// Serializes apply+log for process-wide mutations (append/shards/
+  /// retry/session drop) so WAL order matches apply order; per-session
+  /// commands get the same guarantee from the session mutex.
+  std::mutex append_wal_mu_;
+  /// Non-null while the WAL is on. Written under the exclusive gate,
+  /// read under the shared gate (or by the gate owner).
+  std::unique_ptr<WriteAheadLog> wal_;
+  FaultInjector* wal_faults_ = nullptr;  // resolved at enable time
+  // Recovery/checkpoint bookkeeping, guarded by wal_gate_.
+  uint64_t wal_snapshot_lsn_ = 0;   // lsn the last checkpoint covered
+  size_t wal_replayed_ = 0;         // records replayed at last enable
+  size_t wal_replay_errors_ = 0;    // replayed commands answering not-ok
+  double wal_recovery_ms_ = 0.0;
+  size_t wal_checkpoints_ = 0;
+  std::string wal_last_error_;      // last async checkpoint failure
+  std::atomic<bool> wal_enabled_{false};  // cheap probe for the hot path
 
   /// Retry knobs adjustable at runtime via the `retry` command.
   std::atomic<size_t> retry_max_attempts_;

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "dbwipes/common/exec_context.h"
 #include "dbwipes/core/session_manager.h"
 #include "dbwipes/storage/table.h"
 
@@ -40,21 +41,37 @@ struct ServiceSnapshot {
   std::vector<std::pair<std::string, TablePtr>> tables;
   std::vector<SessionState> sessions;
   std::vector<ShardLayout> shard_layouts;  // format v2+; empty in v1
+  /// The WAL LSN this snapshot is consistent through: recovery replays
+  /// only records with lsn > wal_lsn. 0 in v1/v2 files and in snapshots
+  /// saved with the WAL off (replay everything / nothing to replay).
+  uint64_t wal_lsn = 0;  // format v3+
+  /// Process-level runtime settings (v3+): the `retry` command's knobs.
+  /// Logged `retry` records older than the checkpoint are truncated
+  /// away, so the checkpoint itself must carry the current values.
+  /// max_attempts 0 = not recorded (v1/v2 files); restore keeps the
+  /// configured default.
+  uint32_t retry_max_attempts = 0;
+  double retry_backoff_ms = 0.0;
 };
 
 /// On-disk format version this build writes. Version history:
 ///   1 — tables + sessions (PR 5).
 ///   2 — adds shard layouts after the session section.
-/// This build reads versions 1..2 (a v1 file simply has no shard
-/// layouts) and refuses anything newer with a precise error.
-constexpr uint32_t kSnapshotFormatVersion = 2;
+///   3 — adds the WAL checkpoint LSN after the shard layouts.
+/// This build reads versions 1..3 (older files simply lack the later
+/// sections) and refuses anything newer with a precise error.
+constexpr uint32_t kSnapshotFormatVersion = 3;
 
-/// Writes `snapshot` to `path` crash-consistently: the bytes go to a
-/// temporary sibling file which is atomically renamed over `path`, so
-/// a crash mid-save leaves either the old snapshot or the new one,
-/// never a torn mix. The payload is FNV-1a-64 checksummed and carries
-/// a magic + format version header.
-Status WriteSnapshot(const std::string& path, const ServiceSnapshot& snapshot);
+/// Writes `snapshot` to `path` crash-consistently AND durably: the
+/// bytes go to a temporary sibling file which is fsynced, atomically
+/// renamed over `path`, and sealed with an fsync of the parent
+/// directory — so a crash (or power cut) mid-save leaves either the
+/// old snapshot or the new one, never a torn mix, and a completed save
+/// actually survives the cut. The payload is FNV-1a-64 checksummed and
+/// carries a magic + format version header. `faults` (test-only) hits
+/// the "snapshot/*" I/O sites.
+Status WriteSnapshot(const std::string& path, const ServiceSnapshot& snapshot,
+                     FaultInjector* faults = nullptr);
 
 /// Reads and fully validates a snapshot: magic, format version,
 /// declared payload length, checksum, and every field bound are

@@ -299,5 +299,163 @@ TEST(ServiceRetryTest, RetryCommandValidatesArguments) {
             std::string::npos);
 }
 
+// --- Decorrelated jitter + retry-after hints ---
+
+TEST(BackoffSequenceTest, JitterStaysInDecorrelatedBounds) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 10.0;
+  policy.max_backoff_ms = 500.0;
+  policy.jitter = true;
+  BackoffSequence seq(policy);
+  // Decorrelated jitter: each sleep is uniform in [initial, prev*3],
+  // capped at max — so the window widens with the PREVIOUS draw, not
+  // the attempt number.
+  double prev = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    const double ms = seq.NextMs();
+    EXPECT_GE(ms, policy.initial_backoff_ms);
+    const double hi =
+        std::min(std::max(prev * 3.0, policy.initial_backoff_ms),
+                 policy.max_backoff_ms);
+    if (i > 0) {
+      EXPECT_LE(ms, hi) << "draw " << i;
+    }
+    EXPECT_LE(ms, policy.max_backoff_ms);
+    prev = ms;
+  }
+}
+
+TEST(BackoffSequenceTest, StubbedRandSourceIsExact) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 10.0;
+  policy.max_backoff_ms = 1000.0;
+  policy.jitter = true;
+  policy.rand_fn = [] { return 0.5; };  // deterministic "coin"
+  BackoffSequence seq(policy);
+  // First draw: window [10, 10] (prev=0 → hi clamps to lo) → 10.
+  EXPECT_DOUBLE_EQ(seq.NextMs(), 10.0);
+  // Second: [10, 30], midpoint 20. Third: [10, 60], midpoint 35.
+  EXPECT_DOUBLE_EQ(seq.NextMs(), 20.0);
+  EXPECT_DOUBLE_EQ(seq.NextMs(), 35.0);
+}
+
+TEST(BackoffSequenceTest, JitterOffReproducesTheExponentialSchedule) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 10.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_ms = 55.0;
+  BackoffSequence seq(policy);
+  EXPECT_DOUBLE_EQ(seq.NextMs(), 10.0);
+  EXPECT_DOUBLE_EQ(seq.NextMs(), 20.0);
+  EXPECT_DOUBLE_EQ(seq.NextMs(), 40.0);
+  EXPECT_DOUBLE_EQ(seq.NextMs(), 55.0);  // capped
+}
+
+TEST(BackoffSequenceTest, RetryAfterHintFloorsTheNextSleepOnce) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 1.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_ms = 500.0;
+  BackoffSequence seq(policy);
+  seq.ObserveRetryAfterMs(120.0);
+  EXPECT_DOUBLE_EQ(seq.NextMs(), 120.0);  // hint dominates the schedule
+  EXPECT_LT(seq.NextMs(), 120.0);         // one-shot: walk resumes
+}
+
+TEST(RetryAfterHintTest, TagRoundTripsThroughStatus) {
+  Status tagged =
+      WithRetryAfterHint(Status::ResourceExhausted("session limit"), 25.0);
+  EXPECT_FALSE(tagged.ok());
+  EXPECT_DOUBLE_EQ(RetryAfterHintMs(tagged), 25.0);
+  EXPECT_DOUBLE_EQ(RetryAfterHintMs(Status::IoError("no tag")), 0.0);
+  EXPECT_DOUBLE_EQ(
+      RetryAfterHintMs(Status::IoError("[retry_after_ms=oops]")), 0.0);
+  EXPECT_DOUBLE_EQ(RetryAfterHintMs(Status::IoError("[retry_after_ms=7")),
+                   0.0);  // unterminated tag
+}
+
+TEST(RetryTransientTest, HonorsServerRetryAfterHint) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_ms = 1.0;
+  std::vector<double> slept;
+  policy.sleep_fn = [&slept](double ms) { slept.push_back(ms); };
+
+  int calls = 0;
+  Status st = RetryTransient(policy, [&calls]() -> Status {
+    ++calls;
+    if (calls < 3) {
+      return WithRetryAfterHint(Status::ResourceExhausted("full"), 40.0);
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok());
+  ASSERT_EQ(slept.size(), 2u);
+  // Both sleeps were floored by the server's 40ms hint, not the 1ms
+  // exponential schedule.
+  EXPECT_GE(slept[0], 40.0);
+  EXPECT_GE(slept[1], 40.0);
+}
+
+TEST(ResponseRetryableTest, ParsesServiceJson) {
+  double hint = -1.0;
+  EXPECT_FALSE(ResponseRetryable("{\"ok\": true}", &hint));
+  EXPECT_FALSE(ResponseRetryable(
+      "{\"ok\": false, \"error\": \"bad input\"}", &hint));
+  EXPECT_TRUE(ResponseRetryable(
+      "{\"ok\": false, \"error\": \"x\", \"retryable\": true}", &hint));
+  EXPECT_DOUBLE_EQ(hint, 0.0);
+  EXPECT_TRUE(ResponseRetryable(
+      "{\"ok\": false, \"retryable\": true, \"retry_after_ms\": 12.5}",
+      &hint));
+  EXPECT_DOUBLE_EQ(hint, 12.5);
+}
+
+TEST(RetryExecuteTest, RetriesRetryableResponsesAndHonorsHints) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff_ms = 1.0;
+  std::vector<double> slept;
+  policy.sleep_fn = [&slept](double ms) { slept.push_back(ms); };
+
+  int calls = 0;
+  size_t attempts = 0;
+  const std::string out = RetryExecute(
+      policy,
+      [&calls]() -> std::string {
+        ++calls;
+        if (calls < 3) {
+          return "{\"ok\": false, \"retryable\": true, "
+                 "\"retry_after_ms\": 30}";
+        }
+        return "{\"ok\": true}";
+      },
+      &attempts);
+  EXPECT_EQ(out, "{\"ok\": true}");
+  EXPECT_EQ(attempts, 3u);
+  ASSERT_EQ(slept.size(), 2u);
+  EXPECT_GE(slept[0], 30.0);
+
+  // Non-retryable responses come back immediately.
+  calls = 0;
+  const std::string err = RetryExecute(
+      policy, [&calls]() -> std::string {
+        ++calls;
+        return "{\"ok\": false, \"error\": \"permanent\"}";
+      });
+  EXPECT_EQ(calls, 1);
+  EXPECT_NE(err.find("permanent"), std::string::npos);
+}
+
+TEST(ServiceRetryTest, SessionLimitErrorCarriesRetryAfterHint) {
+  ServiceOptions options;
+  options.sessions.max_sessions = 1;  // "main" takes the only slot
+  Service service(MakeDb(), options);
+  const std::string out = service.Execute("@other sql SELECT 1");
+  EXPECT_NE(out.find("\"ok\": false"), std::string::npos) << out;
+  // The shed response tells clients when to come back.
+  EXPECT_NE(out.find("retry_after_ms="), std::string::npos) << out;
+}
+
 }  // namespace
 }  // namespace dbwipes

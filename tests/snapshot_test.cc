@@ -242,18 +242,25 @@ TEST(SnapshotPayloadTest, V1PayloadGatesTheShardSection) {
   ServiceSnapshot snap;
   snap.tables.emplace_back("w", db->GetTable("w").ValueOrDie());
 
-  // A v1 payload is the same bytes minus the trailing shard section —
-  // here empty, so just its U32 layout count.
-  const std::string v2 = SerializeSnapshotPayload(snap);
-  ASSERT_GE(v2.size(), 4u);
+  // Older payloads are the same bytes minus the trailing sections: v2
+  // lacks the v3 block (u64 wal_lsn + u32 retry attempts + f64 retry
+  // backoff = 20 bytes), v1 additionally lacks the shard section (here
+  // empty, so just its U32 layout count).
+  const std::string v3 = SerializeSnapshotPayload(snap);
+  ASSERT_GE(v3.size(), 24u);
+  const std::string v2 = v3.substr(0, v3.size() - 20);
   const std::string v1 = v2.substr(0, v2.size() - 4);
 
   // Old files still load; each version's parse is exact — no shard
-  // section expected in v1, one required in v2, nothing trailing.
+  // section expected in v1, one required in v2, a wal_lsn required in
+  // v3, nothing trailing.
   EXPECT_TRUE(ParseSnapshotPayload(v1, 1).ok());
   EXPECT_TRUE(ParseSnapshotPayload(v2, 2).ok());
+  EXPECT_TRUE(ParseSnapshotPayload(v3, 3).ok());
   EXPECT_FALSE(ParseSnapshotPayload(v1, 2).ok());
   EXPECT_FALSE(ParseSnapshotPayload(v2, 1).ok());
+  EXPECT_FALSE(ParseSnapshotPayload(v2, 3).ok());
+  EXPECT_FALSE(ParseSnapshotPayload(v3, 2).ok());
 }
 
 TEST(SnapshotServiceTest, ShardLayoutSurvivesSaveAndLoad) {
@@ -401,6 +408,59 @@ TEST_F(SnapshotCorruptionTest, FailedLoadLeavesPriorStateUntouchedAndSaveable) {
   EXPECT_NE(save.find("\"ok\": true"), std::string::npos) << save;
   auto reread = ReadSnapshot(path_);
   EXPECT_TRUE(reread.ok()) << reread.status().ToString();
+}
+
+// An injected failure at EVERY I/O step of the durable save — opening
+// the temp file, writing it (including a short write), fsyncing it,
+// the atomic rename, the parent-directory fsync — must surface an
+// error, leave no temp litter, and leave `path` holding a VALID
+// snapshot: the previous one for failures before the rename, either
+// one for the dirsync step after it.
+TEST(SnapshotDurabilityTest, EveryIoFaultSiteFailsCleanly) {
+  const std::string path = TempPath("fault_matrix.dbwsnap");
+  ServiceSnapshot old_snapshot;
+  old_snapshot.wal_lsn = 7;
+  ASSERT_TRUE(WriteSnapshot(path, old_snapshot).ok());
+
+  ServiceSnapshot new_snapshot;
+  new_snapshot.wal_lsn = 99;
+
+  const char* pre_rename_sites[] = {"snapshot/open", "snapshot/write",
+                                    "snapshot/fsync", "snapshot/rename"};
+  for (const char* site : pre_rename_sites) {
+    FaultInjector faults;
+    FaultInjector::Fault fault;
+    fault.status = Status::IoError(std::string("injected at ") + site);
+    fault.count = 1;
+    if (std::string(site) == "snapshot/write") fault.short_write_limit = 5;
+    faults.Arm(site, fault);
+
+    Status st = WriteSnapshot(path, new_snapshot, &faults);
+    EXPECT_FALSE(st.ok()) << site;
+    EXPECT_NE(::access((path + ".tmp").c_str(), F_OK), 0)
+        << site << ": temp file left behind";
+    auto read = ReadSnapshot(path);
+    ASSERT_TRUE(read.ok()) << site << ": " << read.status().ToString();
+    EXPECT_EQ(read->wal_lsn, 7u) << site << ": prior snapshot clobbered";
+  }
+
+  {
+    // dirsync fails AFTER the atomic rename: the save reports failure
+    // (not yet durable against power loss) but the file is the new,
+    // fully valid snapshot — never a torn mix.
+    FaultInjector faults;
+    faults.ArmError("snapshot/dirsync", Status::IoError("injected dirsync"));
+    Status st = WriteSnapshot(path, new_snapshot, &faults);
+    EXPECT_FALSE(st.ok());
+    EXPECT_NE(::access((path + ".tmp").c_str(), F_OK), 0);
+    auto read = ReadSnapshot(path);
+    ASSERT_TRUE(read.ok()) << read.status().ToString();
+    EXPECT_EQ(read->wal_lsn, 99u);
+  }
+
+  // Unarmed, the save goes through.
+  EXPECT_TRUE(WriteSnapshot(path, new_snapshot).ok());
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,197 @@
+// Observability-cost benchmark (DESIGN.md §5k): what does end-to-end
+// request telemetry cost the hot path?
+//
+//   1. Telemetry overhead — identical debug workloads through a
+//      service with telemetry fully on (10 Hz history sampler,
+//      watchdog, slow-log arming) vs fully off (the defaults), rounds
+//      interleaved to cancel thermal/cache drift. Acceptance: the
+//      median-throughput delta stays within 3%.
+//   2. Scrape cost — PrometheusText() latency over a populated
+//      registry, and the duty cycle that implies at a 10 Hz scrape.
+//   3. History memory ceiling — resident bytes of a fully-wound
+//      TelemetryHistory ring at the default 600 points/series.
+//
+// Emits machine-readable BENCH_obs.json (working directory).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "dbwipes/common/metrics.h"
+#include "dbwipes/common/random.h"
+#include "dbwipes/common/telemetry.h"
+#include "dbwipes/core/service.h"
+
+namespace dbwipes {
+namespace {
+
+using bench::Fmt;
+using bench::TablePrinter;
+using Clock = std::chrono::steady_clock;
+
+constexpr int kRounds = 7;          // interleaved on/off rounds (median)
+constexpr int kDebugsPerRound = 60;
+constexpr int kScrapes = 400;
+constexpr double kMaxOverheadPct = 3.0;
+
+double MsSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+double Median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const size_t idx = static_cast<size_t>(p * static_cast<double>(v.size()));
+  return v[std::min(idx, v.size() - 1)];
+}
+
+std::shared_ptr<Database> MakeDb() {
+  Rng rng(7);
+  auto t = std::make_shared<Table>(Schema{{"g", DataType::kInt64},
+                                          {"tag", DataType::kString},
+                                          {"x", DataType::kDouble},
+                                          {"v", DataType::kDouble}},
+                                   "w");
+  for (int g = 0; g < 8; ++g) {
+    for (int i = 0; i < 400; ++i) {
+      const bool bad = g >= 4 && i < 80;
+      if (!t->AppendRow({Value(static_cast<int64_t>(g)),
+                         Value(bad ? "bad" : "fine"), Value(rng.Normal(0, 1)),
+                         Value(bad ? rng.Normal(100, 2)
+                                   : rng.Normal(10, 2))})
+               .ok()) {
+        std::exit(1);
+      }
+    }
+  }
+  auto db = std::make_shared<Database>();
+  db->RegisterTable(t);
+  return db;
+}
+
+void Prepare(Service& service) {
+  for (const char* cmd : {"sql SELECT g, avg(v) AS a FROM w GROUP BY g",
+                          "select_range a 20 1e9", "metric too_high 12"}) {
+    if (service.Execute(cmd).find("\"ok\": true") == std::string::npos) {
+      std::fprintf(stderr, "prepare failed: %s\n", cmd);
+      std::exit(1);
+    }
+  }
+  // Warm the clause/program caches so rounds measure steady state.
+  (void)service.Execute("debug");
+}
+
+/// One timed round: kDebugsPerRound sequential debugs -> requests/s.
+double DebugThroughput(Service& service) {
+  const auto t0 = Clock::now();
+  for (int i = 0; i < kDebugsPerRound; ++i) (void)service.Execute("debug");
+  const double ms = MsSince(t0);
+  return ms > 0.0 ? 1000.0 * kDebugsPerRound / ms : 0.0;
+}
+
+void Run() {
+  // --- 1. Telemetry overhead (interleaved rounds, median) ---
+  ServiceOptions off;  // defaults: no sampler, no watchdog, no slow log
+  Service service_off(MakeDb(), off);
+  Prepare(service_off);
+
+  ServiceOptions on;
+  on.telemetry.history_enabled = true;
+  on.telemetry.sample_interval_ms = 100.0;  // 10 Hz
+  on.telemetry.watchdog_enabled = true;
+  on.telemetry.watchdog_interval_ms = 100.0;
+  on.telemetry.slow_ms = 1e9;  // armed (threshold checked) but not firing
+  Service service_on(MakeDb(), on);
+  Prepare(service_on);
+
+  std::vector<double> thr_off, thr_on;
+  for (int round = 0; round < kRounds; ++round) {
+    thr_off.push_back(DebugThroughput(service_off));
+    thr_on.push_back(DebugThroughput(service_on));
+  }
+  const double off_rps = Median(thr_off);
+  const double on_rps = Median(thr_on);
+  const double overhead_pct =
+      off_rps > 0.0 ? 100.0 * (off_rps - on_rps) / off_rps : 0.0;
+  const bool overhead_ok = overhead_pct <= kMaxOverheadPct;
+
+  // --- 2. Scrape cost at 10 Hz ---
+  std::vector<double> scrape_ms;
+  scrape_ms.reserve(kScrapes);
+  size_t exposition_bytes = 0;
+  for (int i = 0; i < kScrapes; ++i) {
+    const auto t0 = Clock::now();
+    const std::string text = MetricsRegistry::Global().PrometheusText();
+    scrape_ms.push_back(MsSince(t0));
+    exposition_bytes = text.size();
+  }
+  const double scrape_p50 = Percentile(scrape_ms, 0.5);
+  const double scrape_p99 = Percentile(scrape_ms, 0.99);
+  // Fraction of one core a 10 Hz scraper consumes.
+  const double duty_pct_10hz = scrape_p50 * 10.0 / 1000.0 * 100.0;
+
+  // --- 3. History memory ceiling ---
+  TelemetryHistory history(/*points_per_series=*/600);
+  const auto samples = MetricsRegistry::Global().SampleValues();
+  for (int tick = 0; tick < 700; ++tick) {  // wind every ring past full
+    for (const auto& sample : samples) {
+      history.Record(sample.first, static_cast<double>(tick), sample.second);
+    }
+  }
+  const size_t history_bytes = history.MemoryBytes();
+
+  TablePrinter table({"measure", "value"});
+  table.AddRow({"debug rps (telemetry off)", Fmt(off_rps, 1)});
+  table.AddRow({"debug rps (telemetry on)", Fmt(on_rps, 1)});
+  table.AddRow({"overhead", Fmt(overhead_pct, 2) + "%"});
+  table.AddRow({"scrape p50", Fmt(scrape_p50, 3) + " ms"});
+  table.AddRow({"scrape p99", Fmt(scrape_p99, 3) + " ms"});
+  table.AddRow({"10Hz scrape duty", Fmt(duty_pct_10hz, 3) + "%"});
+  table.AddRow({"exposition size", std::to_string(exposition_bytes) + " B"});
+  table.AddRow({"history ceiling (" + std::to_string(samples.size()) +
+                    " series x 600)",
+                std::to_string(history_bytes) + " B"});
+  table.Print();
+  std::printf("\ntelemetry overhead %.2f%% (budget %.1f%%): %s\n",
+              overhead_pct, kMaxOverheadPct, overhead_ok ? "PASS" : "FAIL");
+
+  FILE* f = std::fopen("BENCH_obs.json", "w");
+  if (f != nullptr) {
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"config\": {\"rounds\": %d, \"debugs_per_round\": %d, "
+        "\"scrapes\": %d},\n"
+        "  \"overhead\": {\"off_rps\": %.2f, \"on_rps\": %.2f, "
+        "\"overhead_pct\": %.3f},\n"
+        "  \"scrape\": {\"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+        "\"duty_pct_10hz\": %.4f, \"exposition_bytes\": %zu},\n"
+        "  \"history\": {\"series\": %zu, \"points_per_series\": 600, "
+        "\"memory_bytes\": %zu},\n"
+        "  \"acceptance\": {\"max_overhead_pct\": %.1f, \"pass\": %s}\n"
+        "}\n",
+        kRounds, kDebugsPerRound, kScrapes, off_rps, on_rps, overhead_pct,
+        scrape_p50, scrape_p99, duty_pct_10hz, exposition_bytes,
+        samples.size(), history_bytes, kMaxOverheadPct,
+        overhead_ok ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote BENCH_obs.json\n");
+  }
+}
+
+}  // namespace
+}  // namespace dbwipes
+
+int main() {
+  dbwipes::Run();
+  return 0;
+}

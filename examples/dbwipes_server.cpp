@@ -17,6 +17,12 @@
 // on startup the service recovers DIR's latest checkpoint snapshot,
 // replays the log's tail, and resumes exactly where the last process
 // (crashed or not) left off.
+// Run with `--metrics-port P` to serve Prometheus text exposition at
+// http://localhost:P/metrics (plus /healthz and /readyz); this also
+// turns on the background metric sampler (the `history` command) and
+// the self-watchdog. Port 0 binds an ephemeral port (printed on
+// stderr). Slow requests are logged to stderr as one-line JSON when
+// DBWIPES_SLOW_MS is set (see README "Monitoring").
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +30,7 @@
 #include <iostream>
 #include <string>
 
+#include "dbwipes/common/http_listener.h"
 #include "dbwipes/core/service.h"
 #include "dbwipes/datagen/fec_generator.h"
 #include "dbwipes/datagen/intel_generator.h"
@@ -33,13 +40,18 @@ using namespace dbwipes;  // NOLINT — example brevity
 int main(int argc, char** argv) {
   size_t workers = 0;
   std::string wal_dir;
+  int metrics_port = -1;
   for (int i = 1; i + 1 < argc; i += 2) {
     if (std::strcmp(argv[i], "--workers") == 0) {
       workers = static_cast<size_t>(std::atoi(argv[i + 1]));
     } else if (std::strcmp(argv[i], "--wal") == 0) {
       wal_dir = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--metrics-port") == 0) {
+      metrics_port = std::atoi(argv[i + 1]);
     } else {
-      std::fprintf(stderr, "usage: %s [--workers N] [--wal DIR]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--workers N] [--wal DIR] [--metrics-port P]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -55,6 +67,12 @@ int main(int argc, char** argv) {
   ServiceOptions options;
   options.num_workers = workers;
   options.wal.dir = wal_dir;
+  if (metrics_port >= 0) {
+    // A scrape endpoint implies a long-running deployment: turn on the
+    // SLO history sampler and the self-watchdog alongside it.
+    options.telemetry.history_enabled = true;
+    options.telemetry.watchdog_enabled = true;
+  }
   Service service(db, options);
   if (!wal_dir.empty()) {
     std::fprintf(stderr, "%s\n", service.Execute("wal status").c_str());
@@ -62,6 +80,19 @@ int main(int argc, char** argv) {
   if (workers > 0 && !service.Start().ok()) {
     std::fprintf(stderr, "failed to start worker pool\n");
     return 1;
+  }
+
+  HttpListener listener;
+  if (metrics_port >= 0) {
+    Status st = listener.Start(static_cast<uint16_t>(metrics_port),
+                               MakeObservabilityHandler([] { return true; }));
+    if (!st.ok()) {
+      std::fprintf(stderr, "metrics listener failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "metrics: http://localhost:%u/metrics\n",
+                 static_cast<unsigned>(listener.port()));
   }
 
   std::string line;
@@ -73,5 +104,6 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
   }
   if (workers > 0) service.Stop();
+  listener.Stop();
   return 0;
 }

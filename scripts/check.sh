@@ -17,6 +17,8 @@
 #   scripts/check.sh crash      # kill-point crash-recovery matrix under
 #                               # asan AND tsan (DBWIPES_CRASH_RUNS=200+)
 #   scripts/check.sh wal        # bench_wal (BENCH_wal.json)
+#   scripts/check.sh obs        # telemetry suite under tsan +
+#                               # bench_obs (BENCH_obs.json)
 #
 # Each stage configures/builds its preset only when needed, so repeat
 # runs are incremental.
@@ -112,6 +114,24 @@ wal_bench() {
   echo "wrote build/bench/BENCH_wal.json"
 }
 
+obs() {
+  echo "=== obs: request-telemetry suite (tsan) + overhead benchmark ==="
+  # Concurrent scrape + explain + append must be race-free: the whole
+  # telemetry suite (rid plumbing, history ring, watchdog, torn-read
+  # regression) under tsan.
+  cmake --preset tsan >/dev/null
+  cmake --build --preset tsan -j "$jobs" --target telemetry_test
+  DBWIPES_THREADS=4 TSAN_OPTIONS=halt_on_error=1 \
+      ./build-tsan/tests/telemetry_test
+  # Overhead budget: sampler+watchdog+slow-log must stay within 3% of
+  # the telemetry-off service throughput; 10 Hz scrape cost + history
+  # memory ceiling ride along in BENCH_obs.json.
+  cmake --preset default >/dev/null
+  cmake --build --preset default -j "$jobs" --target bench_obs
+  (cd build/bench && ./bench_obs)
+  echo "wrote build/bench/BENCH_obs.json"
+}
+
 case "${1:-all}" in
   tier1)  tier1 ;;
   asan)   asan_smoke ;;
@@ -123,7 +143,8 @@ case "${1:-all}" in
   fused)  fused_bench ;;
   crash)  crash ;;
   wal)    wal_bench ;;
-  all)    tier1; asan_smoke; faults; tsan_smoke; stress; trace_bench; shard_bench; fused_bench; crash; wal_bench ;;
-  *) echo "usage: $0 [tier1|asan|faults|tsan|stress|trace|shard|fused|crash|wal|all]" >&2; exit 2 ;;
+  obs)    obs ;;
+  all)    tier1; asan_smoke; faults; tsan_smoke; stress; trace_bench; shard_bench; fused_bench; crash; wal_bench; obs ;;
+  *) echo "usage: $0 [tier1|asan|faults|tsan|stress|trace|shard|fused|crash|wal|obs|all]" >&2; exit 2 ;;
 esac
 echo "=== check.sh: all requested stages passed ==="

@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "dbwipes/common/string_util.h"
+#include "dbwipes/common/telemetry.h"
 #include "dbwipes/common/trace.h"
 
 namespace dbwipes {
@@ -60,10 +61,19 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
       if (*p == '/') base = p + 1;
     }
     // Thread id + monotonic ms share the tracer's clock and id space,
-    // so a log line can be placed inside the trace-span timeline.
-    char prefix[48];
-    std::snprintf(prefix, sizeof(prefix), "[t%zu %.3f ", CurrentThreadId(),
-                  MonotonicMillis());
+    // so a log line can be placed inside the trace-span timeline; the
+    // request id (when one is in scope) joins the line to the span
+    // tree, the profile, and the WAL frame of the same request.
+    char prefix[80];
+    const uint64_t rid = CurrentRequestId();
+    if (rid != 0) {
+      std::snprintf(prefix, sizeof(prefix), "[t%zu %.3f rid=%llu ",
+                    CurrentThreadId(), MonotonicMillis(),
+                    static_cast<unsigned long long>(rid));
+    } else {
+      std::snprintf(prefix, sizeof(prefix), "[t%zu %.3f ", CurrentThreadId(),
+                    MonotonicMillis());
+    }
     stream_ << prefix << LevelName(level) << " " << base << ":" << line
             << "] ";
   }

@@ -14,14 +14,57 @@ void MetricHistogram::Observe(double ms) {
   size_t i = 0;
   while (i < kNumBounds && ms > kBoundsMs[i]) ++i;
   buckets_[i].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
   sum_ns_.fetch_add(static_cast<uint64_t>(ms * 1e6),
                     std::memory_order_relaxed);
 }
 
+uint64_t MetricHistogram::count() const {
+  uint64_t n = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) n += bucket(i);
+  return n;
+}
+
+MetricHistogram::Snapshot MetricHistogram::Snap() const {
+  Snapshot snap;
+  // Read the buckets exactly once and derive the count from that read:
+  // a concurrent Observe can only make the snapshot a request shorter
+  // or longer, never internally inconsistent (the old separate count_
+  // atomic could be read torn against the buckets).
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    snap.buckets[i] = bucket(i);
+    snap.count += snap.buckets[i];
+  }
+  snap.overflow = snap.buckets[kNumBounds];
+  snap.sum_ms =
+      static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) / 1e6;
+  return snap;
+}
+
+double MetricHistogram::EstimateQuantile(const Snapshot& snap, double q) {
+  if (snap.count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(snap.count);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (snap.buckets[i] == 0) continue;
+    const uint64_t next = seen + snap.buckets[i];
+    if (static_cast<double>(next) >= target) {
+      if (i == kNumBounds) return kBoundsMs[kNumBounds - 1];  // overflow
+      const double lo = i == 0 ? 0.0 : kBoundsMs[i - 1];
+      const double hi = kBoundsMs[i];
+      const double frac =
+          (target - static_cast<double>(seen)) /
+          static_cast<double>(snap.buckets[i]);
+      return lo + (hi - lo) * frac;
+    }
+    seen = next;
+  }
+  return kBoundsMs[kNumBounds - 1];
+}
+
 void MetricHistogram::ResetForTest() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
-  count_.store(0, std::memory_order_relaxed);
   sum_ns_.store(0, std::memory_order_relaxed);
 }
 
@@ -104,12 +147,16 @@ std::string MetricsRegistry::SnapshotJson(bool pretty) const {
   out += "\"histograms\":{";
   first = true;
   for (size_t i : sorted_names(histograms_)) {
-    const MetricHistogram& h = *histograms_[i].second;
+    // One consistent read per histogram: count derives from these
+    // buckets, so `count == sum(buckets)` holds in every snapshot.
+    const MetricHistogram::Snapshot snap = histograms_[i].second->Snap();
     if (!first) out += ',';
     first = false;
     out += '"' + histograms_[i].first + "\":{\"count\":" +
-           std::to_string(h.count()) +
-           ",\"sum_ms\":" + FormatDouble(h.sum_ms(), 9) + ",\"bounds_ms\":[";
+           std::to_string(snap.count) +
+           ",\"sum_ms\":" + FormatDouble(snap.sum_ms, 9) +
+           ",\"overflow\":" + std::to_string(snap.overflow) +
+           ",\"bounds_ms\":[";
     for (size_t b = 0; b < MetricHistogram::kNumBounds; ++b) {
       if (b > 0) out += ',';
       out += FormatDouble(MetricHistogram::kBoundsMs[b], 9);
@@ -117,13 +164,101 @@ std::string MetricsRegistry::SnapshotJson(bool pretty) const {
     out += "],\"buckets\":[";
     for (size_t b = 0; b < MetricHistogram::kNumBuckets; ++b) {
       if (b > 0) out += ',';
-      out += std::to_string(h.bucket(b));
+      out += std::to_string(snap.buckets[b]);
     }
     out += "]}";
   }
   out += "}";
   out += nl;
   out += "}";
+  return out;
+}
+
+namespace {
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. Our registry
+/// names use dots (service.request_ms); map anything outside the
+/// charset to '_' and prefix the namespace.
+std::string PrometheusName(const std::string& name) {
+  std::string out = "dbwipes_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// Prometheus floats: plain decimal is fine; reuse FormatDouble's
+/// trailing-zero trimming.
+std::string PrometheusValue(double v) { return FormatDouble(v, 9); }
+
+}  // namespace
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+
+  auto sorted_names = [](const auto& entries) {
+    std::vector<size_t> order(entries.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return entries[a].first < entries[b].first;
+    });
+    return order;
+  };
+
+  std::string out;
+  for (size_t i : sorted_names(counters_)) {
+    const std::string name = PrometheusName(counters_[i].first) + "_total";
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(counters_[i].second->value()) + "\n";
+  }
+  for (size_t i : sorted_names(gauges_)) {
+    const std::string name = PrometheusName(gauges_[i].first);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + std::to_string(gauges_[i].second->value()) + "\n";
+  }
+  for (size_t i : sorted_names(histograms_)) {
+    const std::string name = PrometheusName(histograms_[i].first);
+    const MetricHistogram::Snapshot snap = histograms_[i].second->Snap();
+    out += "# TYPE " + name + " histogram\n";
+    // Prometheus buckets are CUMULATIVE (observations <= le), ending
+    // with the mandatory le="+Inf" == _count.
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < MetricHistogram::kNumBounds; ++b) {
+      cumulative += snap.buckets[b];
+      out += name + "_bucket{le=\"" +
+             PrometheusValue(MetricHistogram::kBoundsMs[b]) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(snap.count) + "\n";
+    out += name + "_sum " + PrometheusValue(snap.sum_ms) + "\n";
+    out += name + "_count " + std::to_string(snap.count) + "\n";
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::SampleValues()
+    const {
+  std::vector<std::pair<std::string, double>> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(counters_.size() + gauges_.size() + 3 * histograms_.size());
+  for (const auto& e : counters_) {
+    out.emplace_back(e.first, static_cast<double>(e.second->value()));
+  }
+  for (const auto& e : gauges_) {
+    out.emplace_back(e.first, static_cast<double>(e.second->value()));
+  }
+  for (const auto& e : histograms_) {
+    const MetricHistogram::Snapshot snap = e.second->Snap();
+    out.emplace_back(e.first + ".count", static_cast<double>(snap.count));
+    out.emplace_back(e.first + ".p50_ms",
+                     MetricHistogram::EstimateQuantile(snap, 0.5));
+    out.emplace_back(e.first + ".p99_ms",
+                     MetricHistogram::EstimateQuantile(snap, 0.99));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   return out;
 }
 

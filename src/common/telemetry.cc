@@ -1,0 +1,131 @@
+#include "dbwipes/common/telemetry.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace dbwipes {
+
+namespace {
+
+std::atomic<uint64_t> g_next_rid{0};
+thread_local uint64_t tl_rid = 0;
+
+/// Bit pattern of the fsync-entry timestamp (doubles are not atomic).
+std::atomic<uint64_t> g_fsync_since_bits{0};
+
+uint64_t BitsOf(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  __builtin_memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double DoubleOf(uint64_t bits) {
+  double v;
+  __builtin_memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+uint64_t NextRequestId() {
+  return g_next_rid.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+uint64_t CurrentRequestId() { return tl_rid; }
+
+RequestScope::RequestScope(uint64_t rid) : prev_(tl_rid) { tl_rid = rid; }
+
+RequestScope::~RequestScope() { tl_rid = prev_; }
+
+TelemetryHistory::TelemetryHistory(size_t points_per_series)
+    : capacity_(points_per_series == 0 ? 1 : points_per_series) {}
+
+TelemetryHistory::Ring* TelemetryHistory::FindOrCreateLocked(
+    const std::string& series) {
+  for (auto& e : series_) {
+    if (e.first == series) return e.second.get();
+  }
+  auto ring = std::make_unique<Ring>();
+  ring->points.resize(capacity_);
+  series_.emplace_back(series, std::move(ring));
+  return series_.back().second.get();
+}
+
+void TelemetryHistory::RecordLocked(const std::string& series, double t_ms,
+                                    double value) {
+  Ring* ring = FindOrCreateLocked(series);
+  ring->points[ring->next] = Point{t_ms, value};
+  ring->next = (ring->next + 1) % capacity_;
+  if (ring->size < capacity_) ++ring->size;
+}
+
+void TelemetryHistory::Record(const std::string& series, double t_ms,
+                              double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RecordLocked(series, t_ms, value);
+}
+
+void TelemetryHistory::RecordBatch(
+    double t_ms, const std::vector<std::pair<std::string, double>>& samples) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& sample : samples) {
+    RecordLocked(sample.first, t_ms, sample.second);
+  }
+}
+
+std::vector<std::string> TelemetryHistory::Names() const {
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    names.reserve(series_.size());
+    for (const auto& e : series_) names.push_back(e.first);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::vector<TelemetryHistory::Point> TelemetryHistory::Query(
+    const std::string& series, double window_ms, double now_ms) const {
+  std::vector<Point> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& e : series_) {
+    if (e.first != series) continue;
+    const Ring& ring = *e.second;
+    const double cutoff = window_ms > 0.0 ? now_ms - window_ms : -1.0;
+    // Oldest-first: the ring's oldest sample sits at `next` once full,
+    // at 0 before that.
+    const size_t start = ring.size == capacity_ ? ring.next : 0;
+    out.reserve(ring.size);
+    for (size_t i = 0; i < ring.size; ++i) {
+      const Point& p = ring.points[(start + i) % capacity_];
+      if (p.t_ms >= cutoff) out.push_back(p);
+    }
+    break;
+  }
+  return out;
+}
+
+size_t TelemetryHistory::MemoryBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t bytes = 0;
+  for (const auto& e : series_) {
+    bytes += e.first.capacity() + capacity_ * sizeof(Point) + sizeof(Ring);
+  }
+  return bytes;
+}
+
+void SetFsyncInFlight(double start_ms) {
+  g_fsync_since_bits.store(BitsOf(start_ms), std::memory_order_release);
+}
+
+void ClearFsyncInFlight() {
+  g_fsync_since_bits.store(0, std::memory_order_release);
+}
+
+double FsyncInFlightSinceMs() {
+  const uint64_t bits = g_fsync_since_bits.load(std::memory_order_acquire);
+  return bits == 0 ? 0.0 : DoubleOf(bits);
+}
+
+}  // namespace dbwipes

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "dbwipes/common/string_util.h"
+#include "dbwipes/common/telemetry.h"
 
 namespace dbwipes {
 
@@ -108,6 +109,14 @@ void Tracer::RecordInstant(const char* name, std::string args) {
   e.ts_us = MonotonicMillis() * 1000.0;
   e.dur_us = -1.0;
   e.args = std::move(args);
+  // Same correlation key as spans: an instant fired inside a request
+  // (watchdog alerts excepted — those run on their own thread) carries
+  // the request's id.
+  const uint64_t rid = CurrentRequestId();
+  if (rid != 0) {
+    if (!e.args.empty()) e.args += ',';
+    e.args += "\"rid\":" + std::to_string(rid);
+  }
   Record(std::move(e));
 }
 
@@ -196,6 +205,11 @@ void TraceSpan::Start(const char* name) {
   active_ = true;
   name_ = name;
   start_us_ = MonotonicMillis() * 1000.0;
+  // Request correlation: every span opened while a request id is bound
+  // to this thread carries it, so `grep '"rid":N'` over an exported
+  // trace yields the request's full span tree.
+  const uint64_t rid = CurrentRequestId();
+  if (rid != 0) args_ = "\"rid\":" + std::to_string(rid);
 }
 
 void TraceSpan::Finish() {

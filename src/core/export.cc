@@ -106,6 +106,9 @@ class JsonWriter {
 void WriteProfile(JsonWriter* w, const ExplainProfile& p) {
   w->BeginObject();
 
+  w->Key("rid");
+  w->Number(p.rid);
+
   w->Key("stage_ms");
   w->BeginObject();
   w->Key("preprocess");

@@ -3,6 +3,8 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <thread>
 #include <utility>
@@ -41,6 +43,45 @@ std::string OkWith(const std::string& key, const std::string& json_value) {
 bool IsOkResponse(const std::string& response) {
   return response.compare(0, 11, "{\"ok\": true") == 0;
 }
+
+/// Inserts `, "rid": N` right after the `{"ok": true` / `{"ok": false`
+/// prefix, so every response carries its request id while the prefix
+/// checks clients rely on (IsOkResponse, bench MustOk) keep matching.
+void StampRid(std::string* response, uint64_t rid) {
+  if (rid == 0) return;
+  size_t offset = 0;
+  if (response->compare(0, 11, "{\"ok\": true") == 0) {
+    offset = 11;
+  } else if (response->compare(0, 12, "{\"ok\": false") == 0) {
+    offset = 12;
+  } else {
+    return;  // not a JSON response envelope; leave it alone
+  }
+  response->insert(offset, ", \"rid\": " + std::to_string(rid));
+}
+
+/// The command name a human would grep for: the first token, plus the
+/// routed command when the first token is an `@session` route.
+std::string CommandLabel(const std::string& line) {
+  std::istringstream in(line);
+  std::string cmd;
+  in >> cmd;
+  if (!cmd.empty() && cmd[0] == '@') {
+    std::string routed;
+    if (in >> routed) cmd += " " + routed;
+  }
+  return cmd;
+}
+
+/// Per-thread summary of the last RunDebug, consumed by the slow-log
+/// writer so a slow `debug` logs its stage breakdown and cache hits
+/// without re-threading the profile through every return path.
+struct LastDebugSummary {
+  uint64_t rid = 0;
+  std::string stages_json;
+  uint64_t cache_hits = 0;
+};
+thread_local LastDebugSummary tl_last_debug;
 
 /// Session-scope commands the WAL records: everything that mutates the
 /// session's durable state (query, selections, metric, cleaning,
@@ -122,12 +163,24 @@ Service::Service(std::shared_ptr<Database> db, ServiceOptions options)
     : options_(std::move(options)),
       db_(std::move(db)),
       retry_max_attempts_(options_.retry.max_attempts),
-      retry_backoff_ms_(options_.retry.initial_backoff_ms) {
+      retry_backoff_ms_(options_.retry.initial_backoff_ms),
+      history_(options_.telemetry.history_points) {
   if (options_.sessions.max_sessions == 0) options_.sessions.max_sessions = 1;
   manager_ =
       std::make_unique<SessionManager>(db_, options_.explain, options_.sessions);
   // Cannot fail: the manager is empty and max_sessions >= 1.
   default_session_ = *manager_->GetOrCreate("main");
+
+  // Slow-log threshold: an explicit option wins; otherwise the
+  // DBWIPES_SLOW_MS environment variable; otherwise disabled.
+  slow_threshold_ms_ = options_.telemetry.slow_ms;
+  if (slow_threshold_ms_ < 0.0) {
+    if (const char* env = std::getenv("DBWIPES_SLOW_MS")) {
+      char* end = nullptr;
+      const double parsed = std::strtod(env, &end);
+      if (end != env && parsed >= 0.0) slow_threshold_ms_ = parsed;
+    }
+  }
 
   if (!options_.wal.dir.empty()) {
     // Recovery happens here, before the first command can arrive:
@@ -140,9 +193,14 @@ Service::Service(std::shared_ptr<Database> db, ServiceOptions options)
     gate_owner_.store(std::thread::id(), std::memory_order_release);
     if (!st.ok()) wal_last_error_ = "wal enable failed: " + st.ToString();
   }
+
+  StartTelemetryThreads();
 }
 
-Service::~Service() { Stop(); }
+Service::~Service() {
+  StopTelemetryThreads();
+  Stop();
+}
 
 Session& Service::session() {
   std::shared_lock<std::shared_mutex> lock(state_mu_);
@@ -150,15 +208,27 @@ Session& Service::session() {
 }
 
 std::string Service::Execute(const std::string& line) {
+  return ExecuteWithRid(line, NextRequestId());
+}
+
+std::string Service::ExecuteWithRid(const std::string& line, uint64_t rid) {
   static MetricCounter* const commands =
       MetricsRegistry::Global().GetCounter("service.commands");
   static MetricCounter* const errors =
       MetricsRegistry::Global().GetCounter("service.errors");
   commands->Increment();
+  // Bind the id to this thread for the command's whole run: the tracer,
+  // logger, profile, and WAL all read it from here.
+  RequestScope scope(rid);
+  const double start_ms = MonotonicMillis();
+  TrackInflightBegin(rid, line, start_ms);
   std::string response = ExecuteCommand(line);
+  TrackInflightEnd(rid);
   // Every failure path funnels through Error(), whose responses start
   // with this exact prefix.
   if (response.compare(0, 12, "{\"ok\": false") == 0) errors->Increment();
+  StampRid(&response, rid);
+  MaybeSlowLog(rid, line, MonotonicMillis() - start_ms, response);
   MaybeAutoCheckpoint();
   return response;
 }
@@ -192,6 +262,10 @@ std::string Service::ExecuteCommand(const std::string& line) {
   }
 
   if (cmd == "stats") return HandleStats();
+
+  if (cmd == "history") return HandleHistory(in);
+
+  if (cmd == "slowlog") return HandleSlowlog();
 
   if (cmd == "wal") return HandleWal(in);
 
@@ -991,7 +1065,7 @@ void Service::ApplyWalLog(const std::string& logged_line,
   // order matches apply order), then drop it for the commit wait: the
   // next client can apply + stage while our fsync is in flight, and
   // the group-commit leader acknowledges both with one fsync.
-  auto ticket = wal->StageCommand(logged_line);
+  auto ticket = wal->StageCommand(logged_line, CurrentRequestId());
   Status st = ticket.ok() ? Status::OK() : ticket.status();
   if (st.ok()) {
     if (order != nullptr && order->owns_lock()) order->unlock();
@@ -1039,12 +1113,17 @@ Status Service::EnableWalLocked(const std::string& dir) {
   size_t errors = 0;
   DBW_RETURN_NOT_OK(wal->Replay(
       wal_snapshot_lsn_,
-      [&](uint64_t /*lsn*/, uint8_t type, const std::string& body) -> Status {
+      [&](uint64_t /*lsn*/, uint64_t rid, uint8_t type,
+          const std::string& body) -> Status {
         if (type != WriteAheadLog::kRecordCommand) {
           return Status::IoError("wal replay: unknown record type " +
                                  std::to_string(type));
         }
         ++replayed;
+        // Run the command under its ORIGINAL request id (recovered from
+        // the frame), so replay trace spans and log lines correlate
+        // with the pre-crash request that wrote the record.
+        RequestScope frame_scope(rid);
         // Through the normal dispatch — this thread owns the gate, so
         // gating and re-logging are skipped (wal_ is also still null).
         // Only ok responses were logged, so a failure here means the
@@ -1143,10 +1222,251 @@ std::string Service::HandleWal(std::istream& in) {
   return Error("unknown wal subcommand '" + sub + "'");
 }
 
+// --- Request telemetry (DESIGN.md §5k) ---
+
+std::string Service::HandleHistory(std::istream& in) {
+  std::string metric;
+  in >> metric;
+
+  if (metric.empty()) {
+    // No metric: describe the store (series names + configuration).
+    std::string names = "[";
+    bool first = true;
+    for (const std::string& name : history_.Names()) {
+      if (!first) names += ", ";
+      first = false;
+      names += "\"" + JsonEscape(name) + "\"";
+    }
+    names += "]";
+    return std::string("{\"ok\": true, \"sampling\": ") +
+           (options_.telemetry.history_enabled ? "true" : "false") +
+           ", \"interval_ms\": " +
+           FormatDouble(options_.telemetry.sample_interval_ms) +
+           ", \"points_per_series\": " +
+           std::to_string(history_.points_per_series()) +
+           ", \"memory_bytes\": " + std::to_string(history_.MemoryBytes()) +
+           ", \"series\": " + names + "}";
+  }
+
+  double window_ms = 0.0;  // <= 0: the whole ring
+  in >> window_ms;
+  const std::vector<TelemetryHistory::Point> points =
+      history_.Query(metric, window_ms, MonotonicMillis());
+  std::string out = "[";
+  bool first = true;
+  for (const TelemetryHistory::Point& p : points) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"t_ms\": " + FormatDouble(p.t_ms) +
+           ", \"value\": " + FormatDouble(p.value) + "}";
+  }
+  out += "]";
+  return "{\"ok\": true, \"metric\": \"" + JsonEscape(metric) +
+         "\", \"points\": " + out + "}";
+}
+
+std::string Service::HandleSlowlog() {
+  std::string entries = "[";
+  {
+    std::lock_guard<std::mutex> lock(slowlog_mu_);
+    bool first = true;
+    for (const std::string& entry : slowlog_) {
+      if (!first) entries += ", ";
+      first = false;
+      entries += entry;  // already a JSON object
+    }
+  }
+  entries += "]";
+  return "{\"ok\": true, \"threshold_ms\": " + FormatDouble(slow_threshold_ms_) +
+         ", \"entries\": " + entries + "}";
+}
+
+void Service::MaybeSlowLog(uint64_t rid, const std::string& line,
+                           double elapsed_ms, const std::string& response) {
+  if (slow_threshold_ms_ < 0.0 || elapsed_ms < slow_threshold_ms_) return;
+  static MetricCounter* const slow =
+      MetricsRegistry::Global().GetCounter("service.slow_requests");
+  slow->Increment();
+
+  std::string entry = "{\"rid\": " + std::to_string(rid) + ", \"cmd\": \"" +
+                      JsonEscape(CommandLabel(line)) +
+                      "\", \"elapsed_ms\": " + FormatDouble(elapsed_ms) +
+                      ", \"ok\": " + (IsOkResponse(response) ? "true" : "false");
+  // Shed/degrade responses carry a machine-readable "reason"; surface
+  // it so the slow log says WHY without a second lookup.
+  const std::string reason_key = "\"reason\": \"";
+  const size_t reason_pos = response.find(reason_key);
+  if (reason_pos != std::string::npos) {
+    const size_t start = reason_pos + reason_key.size();
+    const size_t end = response.find('"', start);
+    if (end != std::string::npos) {
+      entry += ", \"reason\": \"" + response.substr(start, end - start) + "\"";
+    }
+  }
+  // A slow debug gets its stage breakdown and cache hits from the
+  // profile the same thread just produced.
+  if (tl_last_debug.rid == rid && rid != 0) {
+    entry += ", \"stages\": " + tl_last_debug.stages_json +
+             ", \"cache_hits\": " + std::to_string(tl_last_debug.cache_hits);
+  }
+  entry += "}";
+
+  // One structured line per slow request on stderr (grep "SLOWREQ "),
+  // plus the in-memory ring behind the `slowlog` command.
+  std::fprintf(stderr, "SLOWREQ %s\n", entry.c_str());
+  std::lock_guard<std::mutex> lock(slowlog_mu_);
+  slowlog_.push_back(std::move(entry));
+  while (slowlog_.size() > options_.telemetry.slow_log_entries) {
+    slowlog_.pop_front();
+  }
+}
+
+void Service::TrackInflightBegin(uint64_t rid, const std::string& line,
+                                 double start_ms) {
+  if (!options_.telemetry.watchdog_enabled || rid == 0) return;
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  InflightRequest& request = inflight_[rid];
+  request.cmd = CommandLabel(line);
+  request.start_ms = start_ms;
+}
+
+void Service::TrackInflightEnd(uint64_t rid) {
+  if (!options_.telemetry.watchdog_enabled || rid == 0) return;
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  inflight_.erase(rid);
+}
+
+void Service::SetInflightDeadline(uint64_t rid, double deadline_ms) {
+  if (!options_.telemetry.watchdog_enabled || rid == 0) return;
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  auto it = inflight_.find(rid);
+  if (it != inflight_.end()) it->second.deadline_ms = deadline_ms;
+}
+
+void Service::StartTelemetryThreads() {
+  const ServiceOptions::TelemetryOptions& t = options_.telemetry;
+  if (!t.history_enabled && !t.watchdog_enabled) return;
+  {
+    std::lock_guard<std::mutex> lock(telemetry_mu_);
+    telemetry_stop_ = false;
+  }
+  if (t.history_enabled) sampler_ = std::thread(&Service::SamplerLoop, this);
+  if (t.watchdog_enabled) watchdog_ = std::thread(&Service::WatchdogLoop, this);
+}
+
+void Service::StopTelemetryThreads() {
+  {
+    std::lock_guard<std::mutex> lock(telemetry_mu_);
+    telemetry_stop_ = true;
+  }
+  telemetry_cv_.notify_all();
+  if (sampler_.joinable()) sampler_.join();
+  if (watchdog_.joinable()) watchdog_.join();
+}
+
+void Service::SamplerLoop() {
+  const auto interval = std::chrono::duration<double, std::milli>(
+      options_.telemetry.sample_interval_ms);
+  std::unique_lock<std::mutex> lock(telemetry_mu_);
+  while (!telemetry_stop_) {
+    lock.unlock();
+    SampleOnce();
+    lock.lock();
+    telemetry_cv_.wait_for(lock, interval, [this] { return telemetry_stop_; });
+  }
+}
+
+void Service::SampleOnce() {
+  const double now_ms = MonotonicMillis();
+  // One batch per tick: readers either see the whole tick or none of
+  // it (a per-series Record loop would let `history` observe a tick
+  // with some series advanced and the rest still pending).
+  history_.RecordBatch(now_ms, MetricsRegistry::Global().SampleValues());
+}
+
+void Service::WatchdogLoop() {
+  const auto interval = std::chrono::duration<double, std::milli>(
+      options_.telemetry.watchdog_interval_ms);
+  std::unique_lock<std::mutex> lock(telemetry_mu_);
+  while (!telemetry_stop_) {
+    lock.unlock();
+    WatchdogScan();
+    lock.lock();
+    telemetry_cv_.wait_for(lock, interval, [this] { return telemetry_stop_; });
+  }
+}
+
+void Service::WatchdogScan() {
+  static MetricCounter* const stalled =
+      MetricsRegistry::Global().GetCounter("watchdog.stalled_requests");
+  static MetricCounter* const overruns =
+      MetricsRegistry::Global().GetCounter("watchdog.deadline_overruns");
+  static MetricCounter* const fsync_stalls =
+      MetricsRegistry::Global().GetCounter("watchdog.fsync_stalls");
+  static MetricCounter* const scans =
+      MetricsRegistry::Global().GetCounter("watchdog.scans");
+  scans->Increment();
+
+  const double now_ms = MonotonicMillis();
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    for (auto& e : inflight_) {
+      InflightRequest& request = e.second;
+      if (!request.stall_alerted &&
+          now_ms - request.start_ms >= options_.telemetry.stall_threshold_ms) {
+        request.stall_alerted = true;  // alert once per request
+        stalled->Increment();
+        Tracer::Global().RecordInstant(
+            "watchdog/stalled_request",
+            "\"rid\":" + std::to_string(e.first) + ",\"cmd\":\"" +
+                JsonEscape(request.cmd) + "\",\"running_ms\":" +
+                FormatDouble(now_ms - request.start_ms));
+      }
+      if (!request.deadline_alerted && request.deadline_ms > 0.0 &&
+          now_ms >
+              request.deadline_ms + options_.telemetry.deadline_grace_ms) {
+        request.deadline_alerted = true;
+        overruns->Increment();
+        Tracer::Global().RecordInstant(
+            "watchdog/deadline_overrun",
+            "\"rid\":" + std::to_string(e.first) + ",\"cmd\":\"" +
+                JsonEscape(request.cmd) + "\",\"overrun_ms\":" +
+                FormatDouble(now_ms - request.deadline_ms));
+      }
+    }
+  }
+
+  // Fsync probe: the WAL commit leader publishes when it entered fsync;
+  // one alert per stuck episode (the start timestamp identifies it).
+  const double fsync_since = FsyncInFlightSinceMs();
+  if (fsync_since > 0.0 &&
+      now_ms - fsync_since >= options_.telemetry.fsync_stall_ms) {
+    if (fsync_alerted_since_ != fsync_since) {
+      fsync_alerted_since_ = fsync_since;
+      fsync_stalls->Increment();
+      Tracer::Global().RecordInstant(
+          "watchdog/fsync_stall",
+          "\"stuck_ms\":" + FormatDouble(now_ms - fsync_since));
+    }
+  }
+}
+
 std::string Service::RunDebug(ManagedSession& ms) {
   DBW_TRACE_SPAN("service/debug");
   static MetricCounter* const retries =
       MetricsRegistry::Global().GetCounter("service.retries");
+  // Per-stage latency lanes, sampled into the SLO history alongside the
+  // end-to-end service.request_ms.
+  static MetricHistogram* const preprocess_h =
+      MetricsRegistry::Global().GetHistogram("explain.preprocess_ms");
+  static MetricHistogram* const enumerate_h =
+      MetricsRegistry::Global().GetHistogram("explain.enumerate_ms");
+  static MetricHistogram* const predicates_h =
+      MetricsRegistry::Global().GetHistogram("explain.predicates_ms");
+  static MetricHistogram* const rank_h =
+      MetricsRegistry::Global().GetHistogram("explain.rank_ms");
+  static MetricHistogram* const total_h =
+      MetricsRegistry::Global().GetHistogram("explain.total_ms");
 
   auto source = std::make_shared<CancellationSource>();
   {
@@ -1156,6 +1476,13 @@ std::string Service::RunDebug(ManagedSession& ms) {
       source->Cancel("cancelled before start");
     }
     ms.active_cancel = source;
+  }
+
+  if (ms.settings.deadline_ms > 0.0) {
+    // Publish the promised deadline so the watchdog can distinguish
+    // "slow" from "past its deadline and still running".
+    SetInflightDeadline(CurrentRequestId(),
+                        MonotonicMillis() + ms.settings.deadline_ms);
   }
 
   const RetryPolicy policy = CurrentRetryPolicy();
@@ -1184,6 +1511,22 @@ std::string Service::RunDebug(ManagedSession& ms) {
   if (attempts > 1) retries->Increment(attempts - 1);
   if (!exp.ok()) return Error(exp.status());
   exp->profile.attempts = attempts;
+  exp->profile.rid = CurrentRequestId();
+
+  preprocess_h->Observe(exp->profile.preprocess_ms);
+  enumerate_h->Observe(exp->profile.enumerate_ms);
+  predicates_h->Observe(exp->profile.predicates_ms);
+  rank_h->Observe(exp->profile.rank_ms);
+  total_h->Observe(exp->profile.total_ms);
+
+  tl_last_debug.rid = exp->profile.rid;
+  tl_last_debug.cache_hits = exp->profile.cache_hits;
+  tl_last_debug.stages_json =
+      "{\"preprocess_ms\": " + FormatDouble(exp->profile.preprocess_ms) +
+      ", \"enumerate_ms\": " + FormatDouble(exp->profile.enumerate_ms) +
+      ", \"predicates_ms\": " + FormatDouble(exp->profile.predicates_ms) +
+      ", \"rank_ms\": " + FormatDouble(exp->profile.rank_ms) +
+      ", \"total_ms\": " + FormatDouble(exp->profile.total_ms) + "}";
 
   std::string profile_field;
   if (ms.settings.profile_enabled) {
@@ -1244,12 +1587,17 @@ std::future<std::string> Service::Submit(std::string line) {
       MetricsRegistry::Global().GetGauge("service.queue_depth");
 
   submitted->Increment();
+  // The id is assigned at ADMISSION, not execution: a shed response
+  // carries a rid too, so even rejected requests are correlatable.
+  const uint64_t rid = NextRequestId();
   std::promise<std::string> promise;
   std::future<std::string> future = promise.get_future();
 
   std::lock_guard<std::mutex> lock(queue_mu_);
   if (!running_.load(std::memory_order_acquire) || stopping_) {
-    promise.set_value(NotRunningResponse());
+    std::string response = NotRunningResponse();
+    StampRid(&response, rid);
+    promise.set_value(std::move(response));
     return future;
   }
   if (queue_.size() >= options_.queue_capacity ||
@@ -1258,11 +1606,13 @@ std::future<std::string> Service::Submit(std::string line) {
     // unboundedly — the client gets a well-formed retryable error in
     // microseconds, not a timeout in seconds.
     shed->Increment();
-    promise.set_value(ShedResponse(options_.shed_retry_after_ms));
+    std::string response = ShedResponse(options_.shed_retry_after_ms);
+    StampRid(&response, rid);
+    promise.set_value(std::move(response));
     return future;
   }
   queued_bytes_ += line.size();
-  queue_.push_back(QueuedRequest{std::move(line), std::move(promise),
+  queue_.push_back(QueuedRequest{std::move(line), rid, std::move(promise),
                                  std::chrono::steady_clock::now()});
   depth->Set(static_cast<int64_t>(queue_.size()));
   queue_cv_.notify_one();
@@ -1290,7 +1640,7 @@ void Service::WorkerLoop() {
       queued_bytes_ -= request.line.size();
       depth->Set(static_cast<int64_t>(queue_.size()));
     }
-    std::string response = Execute(request.line);
+    std::string response = ExecuteWithRid(request.line, request.rid);
     const double elapsed_ms =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - request.enqueued)

@@ -1,0 +1,77 @@
+#ifndef DBWIPES_COMMON_HTTP_LISTENER_H_
+#define DBWIPES_COMMON_HTTP_LISTENER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "dbwipes/common/status.h"
+
+namespace dbwipes {
+
+/// \brief Minimal single-threaded HTTP/1.0 GET server for the
+/// observability endpoints (/metrics, /healthz, /readyz) — just enough
+/// protocol for curl and a Prometheus scraper, with no third-party
+/// dependencies.
+///
+/// One accept loop thread serves connections serially: reads the
+/// request head (method + path, headers ignored), invokes the handler,
+/// writes the response with Content-Length, and closes. Scrapes are
+/// rare (seconds apart) and responses are small, so serial service is
+/// deliberate — there is no connection pool to size or exhaust. The
+/// accept loop polls with a short timeout so Stop() takes effect
+/// within ~100 ms without needing a wakeup pipe.
+class HttpListener {
+ public:
+  struct Response {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+  /// Maps a request path ("/metrics") to a response. Non-GET methods
+  /// are answered 405 before the handler is consulted.
+  using Handler = std::function<Response(const std::string& path)>;
+
+  HttpListener() = default;
+  ~HttpListener();
+
+  HttpListener(const HttpListener&) = delete;
+  HttpListener& operator=(const HttpListener&) = delete;
+
+  /// Binds 0.0.0.0:`port` (0 picks an ephemeral port — see port()) and
+  /// starts the accept thread. Fails if already started or the bind is
+  /// refused.
+  Status Start(uint16_t port, Handler handler);
+
+  /// The bound port (resolves an ephemeral request). 0 until Start.
+  uint16_t port() const { return port_; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Stops the accept loop and joins the thread. Idempotent.
+  void Stop();
+
+ private:
+  void Loop();
+  void ServeConnection(int fd);
+
+  Handler handler_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+/// The standard observability route table: "/metrics" serves
+/// MetricsRegistry::Global().PrometheusText(), "/healthz" answers 200
+/// while the process is up, "/readyz" answers 200/503 from `ready`,
+/// anything else 404. Shared by dbwipes_server --metrics-port and the
+/// tests so both exercise the same handler.
+HttpListener::Handler MakeObservabilityHandler(std::function<bool()> ready);
+
+}  // namespace dbwipes
+
+#endif  // DBWIPES_COMMON_HTTP_LISTENER_H_

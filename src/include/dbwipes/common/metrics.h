@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace dbwipes {
@@ -41,21 +42,39 @@ class MetricGauge {
 /// comparable — and the write path is two relaxed fetch_adds (bucket
 /// count + sum in nanoseconds), no locks. Buckets are cumulative-free:
 /// bucket i counts observations <= bounds[i], the last bucket is the
-/// overflow.
+/// explicit overflow (see overflow()).
+///
+/// count() is DERIVED from the buckets rather than kept as a third
+/// atomic: a snapshot that reads the buckets once therefore always
+/// satisfies count == sum(buckets), even while Observe calls race it.
 class MetricHistogram {
  public:
-  /// Upper bounds in ms; observations above the last bound land in the
-  /// overflow bucket.
-  static constexpr double kBoundsMs[] = {0.1,  0.25, 0.5,  1.0,   2.5,
+  /// Upper bounds in ms. The sub-0.1 ms bounds give microsecond
+  /// resolution for span-scale latencies (a disabled trace span is
+  /// ~4 ns, a fused-program compile tens of µs — all of which a purely
+  /// ms-scale ladder would flatten into one bucket). Observations
+  /// above the last bound land in the overflow bucket.
+  static constexpr double kBoundsMs[] = {0.001, 0.0025, 0.005, 0.01,  0.025,
+                                         0.05,  0.1,  0.25, 0.5,  1.0,   2.5,
                                          5.0,  10.0, 25.0, 50.0,  100.0,
                                          250.0, 500.0, 1000.0, 2500.0,
                                          5000.0, 10000.0};
   static constexpr size_t kNumBounds = sizeof(kBoundsMs) / sizeof(double);
   static constexpr size_t kNumBuckets = kNumBounds + 1;  // + overflow
 
+  /// An atomically-consistent read of the whole histogram: count is
+  /// computed from the buckets read, so count == sum(buckets) holds by
+  /// construction (sum_ms may trail by in-flight observations).
+  struct Snapshot {
+    uint64_t buckets[kNumBuckets] = {};
+    uint64_t count = 0;
+    uint64_t overflow = 0;
+    double sum_ms = 0.0;
+  };
+
   void Observe(double ms);
 
-  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t count() const;
   double sum_ms() const {
     return static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) /
            1e6;
@@ -63,11 +82,20 @@ class MetricHistogram {
   uint64_t bucket(size_t i) const {
     return buckets_[i].load(std::memory_order_relaxed);
   }
+  /// Observations above kBoundsMs[kNumBounds - 1].
+  uint64_t overflow() const { return bucket(kNumBounds); }
+
+  Snapshot Snap() const;
+
+  /// Estimated quantile (q in [0, 1]) by linear interpolation within
+  /// the bucket the q-th observation falls in; the overflow bucket
+  /// reports the last finite bound. 0 when empty.
+  static double EstimateQuantile(const Snapshot& snap, double q);
+
   void ResetForTest();
 
  private:
   std::atomic<uint64_t> buckets_[kNumBuckets] = {};
-  std::atomic<uint64_t> count_{0};
   std::atomic<uint64_t> sum_ns_{0};
 };
 
@@ -88,8 +116,22 @@ class MetricsRegistry {
   MetricHistogram* GetHistogram(const std::string& name);
 
   /// {"counters": {...}, "gauges": {...}, "histograms": {...}} with
-  /// names sorted for deterministic output.
+  /// names sorted for deterministic output. Histogram entries are read
+  /// via MetricHistogram::Snap, so count == sum(buckets) in every
+  /// snapshot even under concurrent Observe calls.
   std::string SnapshotJson(bool pretty = false) const;
+
+  /// Prometheus text exposition format 0.0.4: counters as
+  /// `dbwipes_<name>_total`, gauges as `dbwipes_<name>`, histograms as
+  /// cumulative `_bucket{le="..."}` series plus `_sum`/`_count`. Names
+  /// are sanitized (non-alphanumerics -> '_') and sorted.
+  std::string PrometheusText() const;
+
+  /// Flattens every metric into (name, value) pairs for the telemetry
+  /// sampler: counters and gauges as-is; each histogram contributes
+  /// `<name>.count`, `<name>.p50_ms`, and `<name>.p99_ms`. Sorted by
+  /// name.
+  std::vector<std::pair<std::string, double>> SampleValues() const;
 
   /// Zeroes every registered metric (pointers stay valid).
   void ResetForTest();

@@ -22,6 +22,12 @@ namespace dbwipes {
 /// Serialized by ExplainProfileToJson (export.h) and surfaced by the
 /// Service's `profile on` mode.
 struct ExplainProfile {
+  /// Request id of the Service request that ran this explain (0 when
+  /// the pipeline ran outside the Service). The same id appears in the
+  /// JSON response, every trace span the request recorded, its log
+  /// lines, and any WAL frames it wrote.
+  uint64_t rid = 0;
+
   /// Attempts the Service made to produce this explanation: 1 plus the
   /// number of transient failures its retry policy recovered from.
   /// Always 1 outside the Service (the pipeline itself never retries).

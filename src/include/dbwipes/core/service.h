@@ -11,9 +11,11 @@
 #include <shared_mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "dbwipes/common/retry.h"
+#include "dbwipes/common/telemetry.h"
 #include "dbwipes/core/session_manager.h"
 #include "dbwipes/storage/wal.h"
 
@@ -48,6 +50,41 @@ struct ServiceOptions {
   /// the Explain profile. max_attempts = 1 disables retries. The
   /// policy's sleep_fn seam is honored (tests capture backoffs).
   RetryPolicy retry;
+
+  /// Request-telemetry knobs (DESIGN.md §5k). The background threads
+  /// (sampler + watchdog) default OFF so embedded/test services stay
+  /// single-threaded and fork-safe; dbwipes_server turns them on.
+  /// Request-id stamping and the slow-request log are always-on
+  /// per-request features, not threads.
+  struct TelemetryOptions {
+    /// Sample MetricsRegistry into the TelemetryHistory ring at
+    /// `sample_interval_ms` cadence (the `history` command's source).
+    bool history_enabled = false;
+    double sample_interval_ms = 100.0;
+    /// Ring capacity per series — bounds memory at
+    /// series * points * 16 bytes regardless of uptime.
+    size_t history_points = 600;
+
+    /// Watchdog thread: flags requests in flight longer than
+    /// `stall_threshold_ms`, deadline overruns past
+    /// `deadline_grace_ms`, and WAL fsyncs stuck past
+    /// `fsync_stall_ms`, via `watchdog.*` alert counters and instant
+    /// trace events.
+    bool watchdog_enabled = false;
+    double watchdog_interval_ms = 100.0;
+    double stall_threshold_ms = 5000.0;
+    double deadline_grace_ms = 500.0;
+    double fsync_stall_ms = 500.0;
+
+    /// Slow-request log threshold: requests at or above this emit one
+    /// structured JSON line (stderr, "SLOWREQ " prefix) and land in
+    /// the `slowlog` ring. >= 0 takes effect directly; < 0 defers to
+    /// the DBWIPES_SLOW_MS environment variable; with neither set the
+    /// log is off.
+    double slow_ms = -1.0;
+    size_t slow_log_entries = 64;
+  };
+  TelemetryOptions telemetry;
 };
 
 /// \brief Machine-facing façade over named sessions: a line-oriented
@@ -111,6 +148,12 @@ struct ServiceOptions {
 ///                                plus per-table shard layout: shard
 ///                                count, per-shard row counts, cached
 ///                                clause bitmaps per shard
+///   history [metric] [window_ms] sampled time series: no args lists
+///                                the series; with a metric returns its
+///                                [t_ms, value] points (optionally only
+///                                the last window_ms)
+///   slowlog                      recent slow-request log entries
+///                                (structured JSON, newest last)
 ///   wal on <dir>                 enable the write-ahead log in <dir>,
 ///                                first recovering any snapshot + log
 ///                                already there (latest valid snapshot
@@ -128,8 +171,12 @@ struct ServiceOptions {
 ///                                Chrome trace_event JSON
 ///
 /// Every response is a JSON object: {"ok": true, ...} on success or
-/// {"ok": false, "error": "..."} on failure — errors never throw; an
-/// unknown subcommand of a multi-word command (e.g. `profile bogus`)
+/// {"ok": false, "error": "..."} on failure — errors never throw.
+/// Every response additionally carries "rid": N, the request's
+/// process-unique id, which the same request stamps into its trace
+/// spans, log lines, ExplainProfile, and WAL frames (end-to-end
+/// correlation; DESIGN.md §5k). An unknown subcommand of a multi-word
+/// command (e.g. `profile bogus`)
 /// fails with the offending token in the error. Failures that may
 /// clear on their own (overload, session-limit, I/O) additionally
 /// carry "retryable": true. A debug run wound down early by a
@@ -192,13 +239,31 @@ class Service {
   void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
   void set_budget(ResourceBudget* budget) { budget_ = budget; }
 
+  /// Sampled metric time series behind the `history` command (always
+  /// allocated; only populated while telemetry.history_enabled).
+  TelemetryHistory& history() { return history_; }
+
  private:
   struct QueuedRequest {
     std::string line;
+    uint64_t rid = 0;  // assigned at admission so sheds are correlated
     std::promise<std::string> promise;
     std::chrono::steady_clock::time_point enqueued;
   };
 
+  /// One live request, tracked for the watchdog: begin/end bracket
+  /// Execute, RunDebug upgrades the entry with the session deadline.
+  struct InflightRequest {
+    std::string cmd;  // first token (plus session route) of the line
+    double start_ms = 0.0;
+    double deadline_ms = 0.0;  // 0 = none
+    bool stall_alerted = false;
+    bool deadline_alerted = false;
+  };
+
+  /// Execute body with an externally-assigned request id (Submit
+  /// assigns at admission; Execute assigns fresh).
+  std::string ExecuteWithRid(const std::string& line, uint64_t rid);
   /// Execute minus the command/error accounting.
   std::string ExecuteCommand(const std::string& line);
   /// The per-session command dispatch (caller holds the session mutex).
@@ -213,8 +278,29 @@ class Service {
   std::string HandleShards(std::istream& in);
   std::string HandleAppend(std::istream& in);
   std::string HandleWal(std::istream& in);
+  std::string HandleHistory(std::istream& in);
+  std::string HandleSlowlog();
   RetryPolicy CurrentRetryPolicy() const;
   void WorkerLoop();
+
+  // --- Request telemetry (DESIGN.md §5k) ---
+
+  void TrackInflightBegin(uint64_t rid, const std::string& line,
+                          double start_ms);
+  void TrackInflightEnd(uint64_t rid);
+  /// RunDebug publishes the session deadline so the watchdog can tell
+  /// "slow" from "past its promised deadline".
+  void SetInflightDeadline(uint64_t rid, double deadline_ms);
+  /// Appends a slow-request entry (and mirrors it to stderr) when the
+  /// request's wall time crosses the threshold.
+  void MaybeSlowLog(uint64_t rid, const std::string& line, double elapsed_ms,
+                    const std::string& response);
+  void StartTelemetryThreads();
+  void StopTelemetryThreads();
+  void SamplerLoop();
+  void WatchdogLoop();
+  void SampleOnce();
+  void WatchdogScan();
 
   // --- Durability (see the class comment) ---
 
@@ -302,6 +388,24 @@ class Service {
   /// Retry knobs adjustable at runtime via the `retry` command.
   std::atomic<size_t> retry_max_attempts_;
   std::atomic<double> retry_backoff_ms_;
+
+  // --- Request telemetry ---
+  TelemetryHistory history_;
+  /// Resolved slow-log threshold: options.telemetry.slow_ms, else
+  /// DBWIPES_SLOW_MS, else -1 (disabled).
+  double slow_threshold_ms_ = -1.0;
+  std::mutex slowlog_mu_;
+  std::deque<std::string> slowlog_;  // newest at the back
+  std::mutex inflight_mu_;
+  std::unordered_map<uint64_t, InflightRequest> inflight_;
+  std::mutex telemetry_mu_;  // pairs with telemetry_cv_ for shutdown
+  std::condition_variable telemetry_cv_;
+  bool telemetry_stop_ = false;
+  std::thread sampler_;
+  std::thread watchdog_;
+  /// Alerted fsync episode (its start timestamp); suppresses repeat
+  /// alerts for the same stuck fsync.
+  double fsync_alerted_since_ = 0.0;
 
   // --- Admission queue ---
   std::mutex queue_mu_;

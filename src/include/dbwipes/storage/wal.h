@@ -59,7 +59,11 @@ struct WalStats {
 ///
 /// On-disk layout: `wal-<seq>.log` files, each starting with an
 /// 16-byte header (magic + base LSN), then records framed as
-/// [u32 body_len][u64 fnv1a(lsn,type,body)][u64 lsn][u8 type][body].
+/// [u32 body_len][u64 fnv1a(lsn,rid,type,body)][u64 lsn][u64 rid]
+/// [u8 type][body]. The rid is the request id that produced the
+/// record (0 when unknown) — checksummed frame metadata, so a
+/// recovered log still tells which request wrote what, and replay can
+/// re-bind each command to its original id.
 /// Open() validates every record: a torn tail (short frame or bad
 /// checksum) in the LAST segment is truncated away — exactly what a
 /// crash mid-write leaves — while the same damage in an earlier
@@ -90,10 +94,12 @@ class WriteAheadLog {
   WriteAheadLog& operator=(const WriteAheadLog&) = delete;
 
   /// Durably appends one record; returns its LSN once every byte up to
-  /// and including it is committed (group-commit fsync).
-  Result<uint64_t> Append(uint8_t type, const std::string& body);
-  Result<uint64_t> AppendCommand(const std::string& line) {
-    return Append(kRecordCommand, line);
+  /// and including it is committed (group-commit fsync). `rid` is the
+  /// originating request id stamped into the frame (0 = none).
+  Result<uint64_t> Append(uint8_t type, const std::string& body,
+                          uint64_t rid = 0);
+  Result<uint64_t> AppendCommand(const std::string& line, uint64_t rid = 0) {
+    return Append(kRecordCommand, line, rid);
   }
 
   /// A staged-but-not-yet-durable record. The epoch pins the commit
@@ -111,9 +117,10 @@ class WriteAheadLog {
   /// equal to apply order can stage under its own serializing lock and
   /// release that lock before WaitDurable — concurrent clients then
   /// share one group-commit fsync instead of serializing on it.
-  Result<Ticket> Stage(uint8_t type, const std::string& body);
-  Result<Ticket> StageCommand(const std::string& line) {
-    return Stage(kRecordCommand, line);
+  Result<Ticket> Stage(uint8_t type, const std::string& body,
+                       uint64_t rid = 0);
+  Result<Ticket> StageCommand(const std::string& line, uint64_t rid = 0) {
+    return Stage(kRecordCommand, line, rid);
   }
 
   /// Second half of Append(): blocks until the staged record is
@@ -121,10 +128,12 @@ class WriteAheadLog {
   /// failure that dropped its batch.
   Status WaitDurable(const Ticket& ticket);
 
-  /// Invokes `fn` for every record with lsn > after_lsn, in LSN order.
-  /// Reads from disk, so it sees exactly what a recovery would.
+  /// Invokes `fn` for every record with lsn > after_lsn, in LSN order,
+  /// with the request id recovered from the frame. Reads from disk, so
+  /// it sees exactly what a recovery would.
   Status Replay(uint64_t after_lsn,
-                const std::function<Status(uint64_t lsn, uint8_t type,
+                const std::function<Status(uint64_t lsn, uint64_t rid,
+                                           uint8_t type,
                                            const std::string& body)>& fn) const;
 
   /// Closes the active segment (if it holds records) and starts a

@@ -12,15 +12,20 @@
 #include <cstring>
 
 #include "dbwipes/common/metrics.h"
+#include "dbwipes/common/telemetry.h"
+#include "dbwipes/common/trace.h"
 
 namespace dbwipes {
 
 namespace {
 
-constexpr char kSegmentMagic[8] = {'D', 'B', 'W', 'W', 'A', 'L', '1', '\0'};
+// '2': frames carry a u64 request id after the LSN (PR 9); a v1 log
+// would checksum-fail against this layout, so the magic refuses it
+// outright instead of misreading it as a torn tail.
+constexpr char kSegmentMagic[8] = {'D', 'B', 'W', 'W', 'A', 'L', '2', '\0'};
 constexpr size_t kSegmentHeaderSize = 16;  // magic + u64 base_lsn
-// [u32 body_len][u64 checksum][u64 lsn][u8 type]
-constexpr size_t kRecordHeaderSize = 4 + 8 + 8 + 1;
+// [u32 body_len][u64 checksum][u64 lsn][u64 rid][u8 type]
+constexpr size_t kRecordHeaderSize = 4 + 8 + 8 + 8 + 1;
 constexpr size_t kMaxRecordBody = 64u << 20;  // sanity cap against garbage lens
 
 uint64_t Fnv1a64(const char* data, size_t n, uint64_t h = 1469598103934665603ull) {
@@ -31,10 +36,12 @@ uint64_t Fnv1a64(const char* data, size_t n, uint64_t h = 1469598103934665603ull
   return h;
 }
 
-uint64_t RecordChecksum(uint64_t lsn, uint8_t type, const std::string& body) {
-  char prefix[9];
+uint64_t RecordChecksum(uint64_t lsn, uint64_t rid, uint8_t type,
+                        const std::string& body) {
+  char prefix[17];
   std::memcpy(prefix, &lsn, 8);
-  prefix[8] = static_cast<char>(type);
+  std::memcpy(prefix + 8, &rid, 8);
+  prefix[16] = static_cast<char>(type);
   return Fnv1a64(body.data(), body.size(), Fnv1a64(prefix, sizeof(prefix)));
 }
 
@@ -141,7 +148,7 @@ struct ScanState {
 /// is corruption (not tearing) when violated mid-file.
 Status ScanSegment(const std::string& path, const std::string& data,
                    uint64_t base_lsn, uint64_t expected_lsn, ScanState* out,
-                   const std::function<Status(uint64_t, uint8_t,
+                   const std::function<Status(uint64_t, uint64_t, uint8_t,
                                               const std::string&)>* fn) {
   size_t off = kSegmentHeaderSize;
   out->valid_bytes = off;
@@ -159,9 +166,10 @@ Status ScanSegment(const std::string& path, const std::string& data,
     }
     const uint64_t checksum = GetU64(data.data() + off + 4);
     const uint64_t lsn = GetU64(data.data() + off + 12);
-    const uint8_t type = static_cast<uint8_t>(data[off + 20]);
+    const uint64_t rid = GetU64(data.data() + off + 20);
+    const uint8_t type = static_cast<uint8_t>(data[off + 28]);
     std::string body(data, off + kRecordHeaderSize, body_len);
-    if (RecordChecksum(lsn, type, body) != checksum) {
+    if (RecordChecksum(lsn, rid, type, body) != checksum) {
       out->torn = true;
       break;
     }
@@ -179,7 +187,7 @@ Status ScanSegment(const std::string& path, const std::string& data,
                              std::to_string(lsn));
     }
     if (fn != nullptr) {
-      Status st = (*fn)(lsn, type, body);
+      Status st = (*fn)(lsn, rid, type, body);
       if (!st.ok()) return st;
     }
     out->max_lsn = lsn;
@@ -352,19 +360,31 @@ Status WriteAheadLog::WriteAndSync(int fd, const std::string& path,
       if (fault.crash) ::_exit(kFaultCrashExit);
       if (!fault.status.ok()) return fault.status;
     }
-    DBW_RETURN_NOT_OK(FsyncFd(fd, path));
+    static MetricHistogram* const fsync_ms =
+        MetricsRegistry::Global().GetHistogram("wal.fsync_ms");
+    // Publish the entry timestamp so the watchdog can flag an fsync
+    // that never comes back (dead disk) — a latency histogram alone
+    // only reports fsyncs that finished.
+    const double start_ms = MonotonicMillis();
+    SetFsyncInFlight(start_ms);
+    Status st = FsyncFd(fd, path);
+    ClearFsyncInFlight();
+    fsync_ms->Observe(MonotonicMillis() - start_ms);
+    DBW_RETURN_NOT_OK(st);
   }
   return Status::OK();
 }
 
-Result<uint64_t> WriteAheadLog::Append(uint8_t type, const std::string& body) {
-  DBW_ASSIGN_OR_RETURN(Ticket ticket, Stage(type, body));
+Result<uint64_t> WriteAheadLog::Append(uint8_t type, const std::string& body,
+                                       uint64_t rid) {
+  DBW_ASSIGN_OR_RETURN(Ticket ticket, Stage(type, body, rid));
   DBW_RETURN_NOT_OK(WaitDurable(ticket));
   return ticket.lsn;
 }
 
 Result<WriteAheadLog::Ticket> WriteAheadLog::Stage(uint8_t type,
-                                                   const std::string& body) {
+                                                   const std::string& body,
+                                                   uint64_t rid) {
   if (options_.faults != nullptr) {
     DBW_RETURN_NOT_OK(options_.faults->Hit("wal/record"));
   }
@@ -379,8 +399,9 @@ Result<WriteAheadLog::Ticket> WriteAheadLog::Stage(uint8_t type,
   ticket.bytes = kRecordHeaderSize + body.size();
   if (pending_records_ == 0) pending_first_lsn_ = ticket.lsn;
   PutU32(&pending_, static_cast<uint32_t>(body.size()));
-  PutU64(&pending_, RecordChecksum(ticket.lsn, type, body));
+  PutU64(&pending_, RecordChecksum(ticket.lsn, rid, type, body));
   PutU64(&pending_, ticket.lsn);
+  PutU64(&pending_, rid);
   pending_.push_back(static_cast<char>(type));
   pending_.append(body);
   ++pending_records_;
@@ -499,19 +520,19 @@ Status WriteAheadLog::WaitDurable(const Ticket& ticket) {
 
 Status WriteAheadLog::Replay(
     uint64_t after_lsn,
-    const std::function<Status(uint64_t, uint8_t, const std::string&)>& fn)
-    const {
+    const std::function<Status(uint64_t, uint64_t, uint8_t,
+                               const std::string&)>& fn) const {
   std::vector<Segment> segments;
   {
     std::lock_guard<std::mutex> lock(mu_);
     segments = segments_;
   }
-  auto deliver = [&](uint64_t lsn, uint8_t type,
+  auto deliver = [&](uint64_t lsn, uint64_t rid, uint8_t type,
                      const std::string& body) -> Status {
     if (lsn <= after_lsn) return Status::OK();
-    return fn(lsn, type, body);
+    return fn(lsn, rid, type, body);
   };
-  const std::function<Status(uint64_t, uint8_t, const std::string&)>
+  const std::function<Status(uint64_t, uint64_t, uint8_t, const std::string&)>
       deliver_fn = deliver;
   for (const Segment& seg : segments) {
     if (seg.max_lsn == 0) continue;

@@ -110,13 +110,14 @@ TEST(MetricsTest, CountersGaugesHistograms) {
   g->Add(-3);
   EXPECT_EQ(g->value(), 4);
 
-  h->Observe(0.05);   // bucket 0 (<= 0.1ms)
+  h->Observe(0.05);   // 50us: lands in the <= 0.05ms bucket (index 5)
   h->Observe(3.0);    // <= 5ms
   h->Observe(1e9);    // overflow
   EXPECT_EQ(h->count(), 3u);
   EXPECT_GT(h->sum_ms(), 1e8);
-  EXPECT_EQ(h->bucket(0), 1u);
+  EXPECT_EQ(h->bucket(5), 1u);
   EXPECT_EQ(h->bucket(MetricHistogram::kNumBuckets - 1), 1u);
+  EXPECT_EQ(h->overflow(), 1u);
 
   // Same name returns the same instance (pointers are stable).
   EXPECT_EQ(reg.GetCounter("test.counter"), c);
@@ -252,19 +253,19 @@ TEST(ObservabilityTest, ProfileCommandTogglesDebugAttachment) {
 
   // Off by default: no top-level profile field.
   std::string debug = service.Execute("debug");
-  EXPECT_EQ(debug.find("\"profile\": {\"stage_ms\""), std::string::npos);
+  EXPECT_EQ(debug.find("\"profile\": {\"rid\""), std::string::npos);
 
   EXPECT_NE(service.Execute("profile on").find("\"ok\": true"),
             std::string::npos);
   debug = service.Execute("debug");
-  EXPECT_NE(debug.find("\"profile\": {\"stage_ms\""), std::string::npos)
+  EXPECT_NE(debug.find("\"profile\": {\"rid\""), std::string::npos)
       << debug.substr(0, 200);
   EXPECT_TRUE(IsWellFormedJson(debug));
 
   EXPECT_NE(service.Execute("profile off").find("\"ok\": true"),
             std::string::npos);
   debug = service.Execute("debug");
-  EXPECT_EQ(debug.find("\"profile\": {\"stage_ms\""), std::string::npos);
+  EXPECT_EQ(debug.find("\"profile\": {\"rid\""), std::string::npos);
 }
 
 // ---------- Tracer ----------

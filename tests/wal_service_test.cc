@@ -56,6 +56,17 @@ ServiceOptions WalOptionsAt(const std::string& dir) {
   return options;
 }
 
+/// Drops the per-request `"rid": N` field so two responses for the
+/// same logical command compare equal.
+std::string StripRid(std::string response) {
+  const size_t pos = response.find(", \"rid\": ");
+  if (pos == std::string::npos) return response;
+  size_t end = pos + 9;
+  while (end < response.size() && response[end] >= '0' && response[end] <= '9')
+    ++end;
+  return response.erase(pos, end - pos);
+}
+
 bool IsOk(const std::string& response) {
   return response.compare(0, 11, "{\"ok\": true") == 0;
 }
@@ -143,7 +154,7 @@ TEST(WalServiceTest, CleanByRankReplaysWithoutADebug) {
     Service service(MakeDb(), WalOptionsAt(dir));
     const std::string state = service.Execute("state");
     EXPECT_EQ(JsonInt(state, "num_applied_predicates"), 1) << state;
-    EXPECT_EQ(service.Execute("result"), state_before);
+    EXPECT_EQ(StripRid(service.Execute("result")), StripRid(state_before));
   }
 }
 

@@ -46,7 +46,9 @@ std::vector<std::pair<uint64_t, std::string>> ReplayAll(
     const WriteAheadLog& wal, uint64_t after_lsn = 0) {
   std::vector<std::pair<uint64_t, std::string>> out;
   Status st = wal.Replay(
-      after_lsn, [&](uint64_t lsn, uint8_t type, const std::string& body) {
+      after_lsn,
+      [&](uint64_t lsn, uint64_t /*rid*/, uint8_t type,
+          const std::string& body) {
         EXPECT_EQ(type, WriteAheadLog::kRecordCommand);
         out.emplace_back(lsn, body);
         return Status::OK();

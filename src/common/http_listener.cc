@@ -50,6 +50,7 @@ void WriteAll(int fd, const std::string& data) {
 HttpListener::~HttpListener() { Stop(); }
 
 Status HttpListener::Start(uint16_t port, Handler handler) {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
   if (running()) return Status::InvalidArgument("http listener already started");
   if (!handler) return Status::InvalidArgument("http listener needs a handler");
 
@@ -63,7 +64,9 @@ Status HttpListener::Start(uint16_t port, Handler handler) {
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  // Observability endpoints stay host-local by default: bind loopback,
+  // not all interfaces, so /metrics is only reachable from this machine.
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     const Status st = Status::IoError("bind to port " + std::to_string(port) +
@@ -95,6 +98,9 @@ Status HttpListener::Start(uint16_t port, Handler handler) {
 }
 
 void HttpListener::Stop() {
+  // lifecycle_mu_ serializes Stop against a concurrent Start, so a
+  // rebind can never race the old accept loop's ownership of listen_fd_.
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
   if (!running_.exchange(false, std::memory_order_acq_rel)) {
     if (thread_.joinable()) thread_.join();
     return;

@@ -1298,8 +1298,14 @@ void Service::MaybeSlowLog(uint64_t rid, const std::string& line,
   const size_t reason_pos = response.find(reason_key);
   if (reason_pos != std::string::npos) {
     const size_t start = reason_pos + reason_key.size();
-    const size_t end = response.find('"', start);
-    if (end != std::string::npos) {
+    // The value is JSON-escaped in the response, so the closing quote is
+    // the first UNescaped '"' — skip backslash escapes (\" and \\) so an
+    // escaped quote inside the reason doesn't truncate it.
+    size_t end = start;
+    while (end < response.size() && response[end] != '"') {
+      end += (response[end] == '\\') ? 2 : 1;
+    }
+    if (end < response.size()) {
       entry += ", \"reason\": \"" + response.substr(start, end - start) + "\"";
     }
   }

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <thread>
 
@@ -40,9 +41,12 @@ class HttpListener {
   HttpListener(const HttpListener&) = delete;
   HttpListener& operator=(const HttpListener&) = delete;
 
-  /// Binds 0.0.0.0:`port` (0 picks an ephemeral port — see port()) and
-  /// starts the accept thread. Fails if already started or the bind is
-  /// refused.
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port — see port())
+  /// and starts the accept thread. Loopback-only by design: the
+  /// observability endpoints are not exposed off-host unless the
+  /// operator puts a proxy in front. Fails if already started or the
+  /// bind is refused. Start/Stop are mutually serialized and safe to
+  /// call from different threads.
   Status Start(uint16_t port, Handler handler);
 
   /// The bound port (resolves an ephemeral request). 0 until Start.
@@ -57,6 +61,7 @@ class HttpListener {
   void Loop();
   void ServeConnection(int fd);
 
+  std::mutex lifecycle_mu_;  // serializes Start/Stop
   Handler handler_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;

@@ -240,6 +240,17 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(WalOptions options) {
     DBW_RETURN_NOT_OK(ReadFile(path, &data));
     if (data.size() < kSegmentHeaderSize ||
         std::memcmp(data.data(), kSegmentMagic, 8) != 0) {
+      // A segment written by another wal format version has a complete,
+      // well-formed "DBWWAL<v>" magic. Its records are durable commits
+      // this reader cannot parse — refuse to open rather than mistaking
+      // it for creation debris and deleting it.
+      if (data.size() >= 8 && std::memcmp(data.data(), "DBWWAL", 6) == 0) {
+        return Status::IoError(
+            "wal unsupported version: " + path + " has magic " +
+            std::string(data.data(), 7) + ", this build reads " +
+            std::string(kSegmentMagic, 7) +
+            "; migrate or remove the old log explicitly");
+      }
       if (last) {
         // A crash during segment creation can leave a short/blank file;
         // drop it and let the active segment be recreated below.

@@ -267,6 +267,28 @@ TEST(WalTest, MissingTailSegmentHeaderIsDiscarded) {
   EXPECT_EQ(ReplayAll(**wal).size(), 1u);
 }
 
+TEST(WalTest, OlderFormatVersionIsRefusedNotDeleted) {
+  const std::string dir = TempWalDir("v1refuse");
+  std::system(("mkdir -p '" + dir + "'").c_str());
+  // A single-segment log written by the previous on-disk format: a
+  // complete "DBWWAL1" header followed by records this reader cannot
+  // parse. It is the LAST (only) segment, the position the
+  // crash-during-creation cleanup targets — but it holds durable
+  // commits, so Open must refuse, not silently delete it.
+  std::string v1 = std::string("DBWWAL1", 7) + std::string(1, '\0');
+  v1 += std::string(1, '\x01') + std::string(7, '\0');  // base lsn 1
+  v1 += "opaque v1 record bytes";
+  const std::string path = dir + "/wal-00000001.log";
+  WriteFileBytes(path, v1);
+
+  auto wal = WriteAheadLog::Open({.dir = dir});
+  ASSERT_FALSE(wal.ok());
+  EXPECT_NE(wal.status().ToString().find("unsupported"), std::string::npos)
+      << wal.status().ToString();
+  // The old log survives byte-for-byte for explicit migration.
+  EXPECT_EQ(ReadFileBytes(path), v1);
+}
+
 // --- Failure paths (armed I/O faults) ---
 
 TEST(WalFaultsTest, WriteErrorRestoresAndLsnsStayContiguous) {

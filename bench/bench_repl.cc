@@ -1,0 +1,318 @@
+// Replication overhead and failover latency. Three measurements:
+//
+//   append   — the primary's append throughput with the WAL alone vs
+//              with a live follower attached. Streaming is async (the
+//              sender tails the durable log off the commit path), so
+//              the acceptance line is replicated <= 1.5x wal-only.
+//   lag      — follower staleness while the primary appends at a
+//              fixed rate: frames behind, sampled mid-stream, plus
+//              the time to drain to full parity once the primary
+//              stops.
+//   failover — the recovery-time objective: kill the primary, then
+//              measure promote -> first successfully served read on
+//              the surviving follower.
+//
+// Emits machine-readable BENCH_repl.json (working directory).
+
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "dbwipes/common/random.h"
+#include "dbwipes/core/service.h"
+
+namespace dbwipes {
+namespace {
+
+using bench::Fmt;
+using bench::TablePrinter;
+
+constexpr size_t kAppendOps = 400;
+constexpr size_t kLagAppends = 300;
+constexpr double kLagPacingMs = 0.2;  // ~5k appends/sec offered rate
+
+std::string FreshDir(const std::string& name) {
+  // Prefer tmpfs so the numbers measure the replication machinery
+  // (framing, socket hops, apply path), not this box's disk.
+  const std::string root =
+      ::access("/dev/shm", W_OK) == 0 ? "/dev/shm" : "/tmp";
+  const std::string dir =
+      root + "/bench_repl_" + std::to_string(::getpid()) + "_" + name;
+  std::system(("rm -rf '" + dir + "'").c_str());
+  return dir;
+}
+
+std::shared_ptr<Database> MakeDb() {
+  Rng rng(53);
+  auto t = std::make_shared<Table>(Schema{{"g", DataType::kInt64},
+                                          {"tag", DataType::kString},
+                                          {"v", DataType::kDouble}},
+                                   "w");
+  for (int g = 0; g < 8; ++g) {
+    for (int i = 0; i < 2500; ++i) {
+      const bool bad = g >= 6 && i < 400;
+      DBW_CHECK_OK(t->AppendRow({Value(static_cast<int64_t>(g)),
+                                 Value(bad ? "bad" : "fine"),
+                                 Value(bad ? rng.Normal(100, 2)
+                                           : rng.Normal(10, 2))}));
+    }
+  }
+  auto db = std::make_shared<Database>();
+  db->RegisterTable(t);
+  return db;
+}
+
+long long JsonInt(const std::string& response, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const size_t at = response.find(needle);
+  if (at == std::string::npos) return -1;
+  return std::strtoll(response.c_str() + at + needle.size(), nullptr, 10);
+}
+
+void MustOk(const std::string& response) {
+  if (response.compare(0, 11, "{\"ok\": true") != 0) {
+    std::fprintf(stderr, "bench_repl: command failed: %s\n", response.c_str());
+    std::abort();
+  }
+}
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::unique_ptr<Service> MakePrimary(const std::string& dir, bool listen) {
+  ServiceOptions options;
+  options.wal.dir = dir;
+  if (listen) options.replication.listen_port = 0;  // ephemeral
+  auto service = std::make_unique<Service>(MakeDb(), options);
+  MustOk(service->Execute("sql SELECT g, avg(v) AS a FROM w GROUP BY g"));
+  MustOk(service->Execute("select_range a 20 1e9"));
+  MustOk(service->Execute("metric too_high 12"));
+  MustOk(service->Execute("shards w 4"));
+  return service;
+}
+
+std::unique_ptr<Service> MakeFollower(int primary_port) {
+  ServiceOptions options;  // memory-only follower
+  options.replication.follow = "127.0.0.1:" + std::to_string(primary_port);
+  options.replication.reconnect.initial_backoff_ms = 5.0;
+  options.replication.reconnect.max_backoff_ms = 50.0;
+  return std::make_unique<Service>(MakeDb(), options);
+}
+
+int PortOf(Service& primary) {
+  const int port = static_cast<int>(
+      JsonInt(primary.Execute("replication status"), "port"));
+  if (port <= 0) {
+    std::fprintf(stderr, "bench_repl: primary is not listening\n");
+    std::abort();
+  }
+  return port;
+}
+
+uint64_t LastApplied(Service& follower) {
+  return static_cast<uint64_t>(JsonInt(follower.Execute("replication status"),
+                                       "last_applied_lsn"));
+}
+
+/// Blocks until the follower applied everything durable on the primary.
+/// Returns the wait in ms (the drain time when called after a burst).
+double DrainToParity(Service& primary, Service& follower) {
+  const uint64_t durable = static_cast<uint64_t>(
+      JsonInt(primary.Execute("wal status"), "durable_lsn"));
+  const auto t0 = std::chrono::steady_clock::now();
+  while (LastApplied(follower) < durable) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    if (MsSince(t0) > 30000.0) {
+      std::fprintf(stderr, "bench_repl: follower never reached lsn %llu\n",
+                   static_cast<unsigned long long>(durable));
+      std::abort();
+    }
+  }
+  return MsSince(t0);
+}
+
+struct AppendRun {
+  double ms = 0.0;
+  double ops_per_sec = 0.0;
+};
+
+/// Timed single-client appends on a WAL-backed primary, optionally with
+/// a live follower consuming the stream the whole time.
+AppendRun RunAppends(bool replicated, const std::string& tag) {
+  const std::string dir = FreshDir(tag);
+  auto primary = MakePrimary(dir, /*listen=*/replicated);
+  std::unique_ptr<Service> follower;
+  if (replicated) {
+    follower = MakeFollower(PortOf(*primary));
+    DrainToParity(*primary, *follower);  // connected and caught up
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < kAppendOps; ++i) {
+    MustOk(primary->Execute("append w 1 fine 10.0"));
+  }
+  AppendRun r;
+  r.ms = MsSince(t0);
+  r.ops_per_sec = static_cast<double>(kAppendOps) / (r.ms / 1000.0);
+  if (replicated) {
+    DrainToParity(*primary, *follower);
+    MustOk(follower->Execute("replicate stop"));
+  }
+  primary.reset();
+  follower.reset();
+  std::system(("rm -rf '" + dir + "'").c_str());
+  return r;
+}
+
+struct LagRun {
+  uint64_t max_lag_frames = 0;
+  double mean_lag_frames = 0.0;
+  double drain_ms = 0.0;  // burst end -> full parity
+};
+
+/// Appends at a fixed offered rate while sampling how many frames the
+/// follower trails by, then times the final drain to parity.
+LagRun RunLag() {
+  const std::string dir = FreshDir("lag");
+  auto primary = MakePrimary(dir, /*listen=*/true);
+  auto follower = MakeFollower(PortOf(*primary));
+  DrainToParity(*primary, *follower);
+  const uint64_t base = LastApplied(*follower);
+
+  LagRun r;
+  uint64_t lag_sum = 0;
+  size_t samples = 0;
+  const auto pacing =
+      std::chrono::duration<double, std::milli>(kLagPacingMs);
+  for (size_t i = 0; i < kLagAppends; ++i) {
+    MustOk(primary->Execute("append w 1 fine 10.0"));
+    if (i % 10 == 9) {
+      // Primary durable lsn == base + appends so far (single client).
+      const uint64_t durable = base + i + 1;
+      const uint64_t applied = LastApplied(*follower);
+      const uint64_t lag = durable > applied ? durable - applied : 0;
+      r.max_lag_frames = std::max(r.max_lag_frames, lag);
+      lag_sum += lag;
+      ++samples;
+    }
+    std::this_thread::sleep_for(pacing);
+  }
+  r.mean_lag_frames =
+      samples > 0 ? static_cast<double>(lag_sum) / samples : 0.0;
+  r.drain_ms = DrainToParity(*primary, *follower);
+  MustOk(follower->Execute("replicate stop"));
+  primary.reset();
+  follower.reset();
+  std::system(("rm -rf '" + dir + "'").c_str());
+  return r;
+}
+
+struct FailoverRun {
+  double promote_ms = 0.0;     // promote command alone
+  double first_read_ms = 0.0;  // primary death -> first served read
+};
+
+/// The recovery-time objective: replicate a working set, destroy the
+/// primary, and time promote -> first successfully served ranking.
+FailoverRun RunFailover() {
+  const std::string dir = FreshDir("failover");
+  auto primary = MakePrimary(dir, /*listen=*/true);
+  auto follower = MakeFollower(PortOf(*primary));
+  for (size_t i = 0; i < 100; ++i) {
+    MustOk(primary->Execute("append w 1 fine 10.0"));
+  }
+  DrainToParity(*primary, *follower);
+  primary.reset();  // the primary is gone
+
+  FailoverRun r;
+  const auto t0 = std::chrono::steady_clock::now();
+  MustOk(follower->Execute("promote"));
+  r.promote_ms = MsSince(t0);
+  MustOk(follower->Execute("debug"));
+  r.first_read_ms = MsSince(t0);
+  MustOk(follower->Execute("append w 1 fine 10.0"));  // writable again
+  follower.reset();
+  std::system(("rm -rf '" + dir + "'").c_str());
+  return r;
+}
+
+void PrintReportAndJson() {
+  std::printf("=== replication: streaming overhead and failover ===\n\n");
+  std::printf("workload: 20k-row world; %zu timed appends; lag probe at "
+              "%.1fms pacing x %zu appends; failover after 100 replicated "
+              "appends\n\n",
+              kAppendOps, kLagPacingMs, kLagAppends);
+
+  const AppendRun wal_only = RunAppends(/*replicated=*/false, "wal_only");
+  const AppendRun replicated = RunAppends(/*replicated=*/true, "replicated");
+  const double overhead = replicated.ms / wal_only.ms;
+  const LagRun lag = RunLag();
+  const FailoverRun failover = RunFailover();
+
+  TablePrinter table({"measurement", "value"});
+  table.AddRow({"wal-only appends", Fmt(wal_only.ops_per_sec, 0) + " ops/s"});
+  table.AddRow({"replicated appends",
+                Fmt(replicated.ops_per_sec, 0) + " ops/s"});
+  table.AddRow({"replication overhead", Fmt(overhead, 2) + "x"});
+  table.AddRow({"follower lag (max)",
+                std::to_string(lag.max_lag_frames) + " frames"});
+  table.AddRow({"follower lag (mean)", Fmt(lag.mean_lag_frames, 1) +
+                " frames"});
+  table.AddRow({"post-burst drain", Fmt(lag.drain_ms, 1) + " ms"});
+  table.AddRow({"promote", Fmt(failover.promote_ms, 1) + " ms"});
+  table.AddRow({"promote -> first read", Fmt(failover.first_read_ms, 1) +
+                " ms"});
+  table.Print();
+  std::printf("\nreplication overhead %.2fx (acceptance: <= 1.5x); "
+              "failover served its first read %.1fms after the primary "
+              "died\n\n",
+              overhead, failover.first_read_ms);
+
+  FILE* f = std::fopen("BENCH_repl.json", "w");
+  if (f != nullptr) {
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"scenario\": {\"rows\": 20000, \"append_ops\": %zu, "
+        "\"lag_appends\": %zu, \"lag_pacing_ms\": %.1f},\n"
+        "  \"append\": {\"wal_only_ops_per_sec\": %.1f, "
+        "\"replicated_ops_per_sec\": %.1f, \"overhead\": %.4f},\n"
+        "  \"lag\": {\"max_lag_frames\": %llu, \"mean_lag_frames\": %.2f, "
+        "\"drain_ms\": %.3f},\n"
+        "  \"failover\": {\"promote_ms\": %.3f, "
+        "\"promote_to_first_read_ms\": %.3f},\n"
+        "  \"acceptance\": {\"replication_overhead_max\": 1.5, "
+        "\"replication_overhead\": %.4f, \"pass\": %s}\n"
+        "}\n",
+        kAppendOps, kLagAppends, kLagPacingMs, wal_only.ops_per_sec,
+        replicated.ops_per_sec, overhead,
+        static_cast<unsigned long long>(lag.max_lag_frames),
+        lag.mean_lag_frames, lag.drain_ms, failover.promote_ms,
+        failover.first_read_ms, overhead, overhead <= 1.5 ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote BENCH_repl.json\n\n");
+  }
+}
+
+}  // namespace
+}  // namespace dbwipes
+
+int main(int argc, char** argv) {
+  dbwipes::PrintReportAndJson();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -23,11 +23,23 @@
 // the self-watchdog. Port 0 binds an ephemeral port (printed on
 // stderr). Slow requests are logged to stderr as one-line JSON when
 // DBWIPES_SLOW_MS is set (see README "Monitoring").
+// Run with `--replication-port P` (requires --wal) to serve the WAL
+// stream to followers, and `--replicate-from HOST:PORT` to start as a
+// read-only follower of that primary (promote it later with the
+// `promote` command). See README "Replication".
+//
+// SIGINT/SIGTERM shut down gracefully: the worker queue drains, a
+// final checkpoint seals the WAL, and the listeners stop — equivalent
+// to typing `quit`.
 
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <iostream>
 #include <string>
 
 #include "dbwipes/common/http_listener.h"
@@ -37,10 +49,44 @@
 
 using namespace dbwipes;  // NOLINT — example brevity
 
+namespace {
+
+// Self-pipe: the signal handler writes one byte, the poll loop wakes.
+int g_signal_pipe[2] = {-1, -1};
+volatile sig_atomic_t g_stop = 0;
+
+void OnSignal(int /*signo*/) {
+  g_stop = 1;
+  const char byte = 1;
+  // write(2) is async-signal-safe; the pipe is O_NONBLOCK so a full
+  // pipe (already woken) cannot wedge the handler.
+  ssize_t ignored = ::write(g_signal_pipe[1], &byte, 1);
+  (void)ignored;
+}
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--workers N] [--wal DIR] [--metrics-port P]\n"
+               "          [--replication-port P] [--replicate-from HOST:PORT]\n"
+               "  --workers N             worker pool size (0 = synchronous)\n"
+               "  --wal DIR               durable write-ahead log + recovery\n"
+               "  --metrics-port P        Prometheus /metrics listener "
+               "(0 = ephemeral)\n"
+               "  --replication-port P    serve the WAL stream to followers "
+               "(needs --wal)\n"
+               "  --replicate-from H:P    start as a read-only follower of "
+               "that primary\n",
+               argv0);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   size_t workers = 0;
   std::string wal_dir;
+  std::string replicate_from;
   int metrics_port = -1;
+  int replication_port = -1;
   for (int i = 1; i + 1 < argc; i += 2) {
     if (std::strcmp(argv[i], "--workers") == 0) {
       workers = static_cast<size_t>(std::atoi(argv[i + 1]));
@@ -48,13 +94,29 @@ int main(int argc, char** argv) {
       wal_dir = argv[i + 1];
     } else if (std::strcmp(argv[i], "--metrics-port") == 0) {
       metrics_port = std::atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--replication-port") == 0) {
+      replication_port = std::atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--replicate-from") == 0) {
+      replicate_from = argv[i + 1];
     } else {
-      std::fprintf(stderr,
-                   "usage: %s [--workers N] [--wal DIR] [--metrics-port P]\n",
-                   argv[0]);
+      Usage(argv[0]);
       return 2;
     }
   }
+  if (replication_port >= 0 && wal_dir.empty()) {
+    std::fprintf(stderr, "--replication-port requires --wal DIR\n");
+    return 2;
+  }
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "pipe failed: %s\n", std::strerror(errno));
+    return 1;
+  }
+  struct sigaction sa {};
+  sa.sa_handler = OnSignal;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
 
   auto db = std::make_shared<Database>();
   {
@@ -67,6 +129,8 @@ int main(int argc, char** argv) {
   ServiceOptions options;
   options.num_workers = workers;
   options.wal.dir = wal_dir;
+  options.replication.listen_port = replication_port;
+  options.replication.follow = replicate_from;
   if (metrics_port >= 0) {
     // A scrape endpoint implies a long-running deployment: turn on the
     // SLO history sampler and the self-watchdog alongside it.
@@ -76,6 +140,10 @@ int main(int argc, char** argv) {
   Service service(db, options);
   if (!wal_dir.empty()) {
     std::fprintf(stderr, "%s\n", service.Execute("wal status").c_str());
+  }
+  if (replication_port >= 0 || !replicate_from.empty()) {
+    std::fprintf(stderr, "%s\n",
+                 service.Execute("replication status").c_str());
   }
   if (workers > 0 && !service.Start().ok()) {
     std::fprintf(stderr, "failed to start worker pool\n");
@@ -95,15 +163,64 @@ int main(int argc, char** argv) {
                  static_cast<unsigned>(listener.port()));
   }
 
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    if (line == "quit" || line == "exit") break;
-    const std::string out =
-        workers > 0 ? service.Submit(line).get() : service.Execute(line);
-    std::printf("%s\n", out.c_str());
-    std::fflush(stdout);
+  // Line loop over poll() so a signal interrupts a blocked read: stdin
+  // readiness and the signal pipe are watched together, and lines are
+  // reassembled from raw reads (std::getline would block through the
+  // signal on some libcs).
+  std::string buffer;
+  bool eof = false;
+  while (!eof && g_stop == 0) {
+    pollfd fds[2];
+    fds[0].fd = STDIN_FILENO;
+    fds[0].events = POLLIN;
+    fds[1].fd = g_signal_pipe[0];
+    fds[1].events = POLLIN;
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // g_stop checked at the top
+      break;
+    }
+    if (g_stop != 0 || (fds[1].revents & POLLIN) != 0) break;
+    if ((fds[0].revents & (POLLIN | POLLHUP)) == 0) continue;
+    char chunk[4096];
+    const ssize_t n = ::read(STDIN_FILENO, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) {
+      eof = true;
+    } else {
+      buffer.append(chunk, static_cast<size_t>(n));
+    }
+    size_t start = 0;
+    for (size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line == "quit" || line == "exit") {
+        eof = true;
+        break;
+      }
+      const std::string out =
+          workers > 0 ? service.Submit(line).get() : service.Execute(line);
+      std::printf("%s\n", out.c_str());
+      std::fflush(stdout);
+    }
+    buffer.erase(0, start);
   }
-  if (workers > 0) service.Stop();
+
+  // Graceful shutdown (same path for quit, EOF, SIGINT, SIGTERM):
+  // drain the worker queue, seal the log with a final checkpoint, stop
+  // replication and the metrics listener.
+  if (g_stop != 0) std::fprintf(stderr, "shutting down on signal\n");
+  if (workers > 0) service.Stop();  // drains accepted requests
+  if (!wal_dir.empty()) {
+    const std::string out = service.Execute("wal checkpoint");
+    std::fprintf(stderr, "final checkpoint: %s\n", out.c_str());
+  }
+  std::fprintf(stderr, "%s\n", service.Execute("replicate stop").c_str());
   listener.Stop();
   return 0;
 }

@@ -19,6 +19,9 @@
 #   scripts/check.sh wal        # bench_wal (BENCH_wal.json)
 #   scripts/check.sh obs        # telemetry suite under tsan +
 #                               # bench_obs (BENCH_obs.json)
+#   scripts/check.sh repl       # replication suite + failover kill
+#                               # matrix under asan AND tsan, then
+#                               # bench_repl (BENCH_repl.json)
 #
 # Each stage configures/builds its preset only when needed, so repeat
 # runs are incremental.
@@ -132,6 +135,32 @@ obs() {
   echo "wrote build/bench/BENCH_obs.json"
 }
 
+repl() {
+  echo "=== repl: replication suite + failover matrix (asan + tsan) ==="
+  # The full replication suite (protocol, streaming, snapshot catch-up,
+  # promote/fencing, repl/* fault sites) plus >=100 randomized
+  # primary-kill points, each proving the promoted follower serves an
+  # exact acknowledged prefix. asan bounds the frame codecs; tsan
+  # proves the apply path is race-free against reads and heartbeats.
+  cmake --preset asan >/dev/null
+  cmake --build --preset asan -j "$jobs" --target replication_test \
+      replication_failover_test
+  ./build-asan/tests/replication_test
+  DBWIPES_FAILOVER_RUNS=108 ./build-asan/tests/replication_failover_test
+  cmake --preset tsan >/dev/null
+  cmake --build --preset tsan -j "$jobs" --target replication_test \
+      replication_failover_test
+  TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/replication_test
+  DBWIPES_FAILOVER_RUNS=60 TSAN_OPTIONS=halt_on_error=1 \
+      ./build-tsan/tests/replication_failover_test
+  # Steady-state streaming overhead vs the WAL alone (<= 1.5x), follower
+  # lag at a fixed offered rate, and promote-to-first-read failover time.
+  cmake --preset default >/dev/null
+  cmake --build --preset default -j "$jobs" --target bench_repl
+  (cd build/bench && ./bench_repl)
+  echo "wrote build/bench/BENCH_repl.json"
+}
+
 case "${1:-all}" in
   tier1)  tier1 ;;
   asan)   asan_smoke ;;
@@ -144,7 +173,8 @@ case "${1:-all}" in
   crash)  crash ;;
   wal)    wal_bench ;;
   obs)    obs ;;
-  all)    tier1; asan_smoke; faults; tsan_smoke; stress; trace_bench; shard_bench; fused_bench; crash; wal_bench; obs ;;
-  *) echo "usage: $0 [tier1|asan|faults|tsan|stress|trace|shard|fused|crash|wal|obs|all]" >&2; exit 2 ;;
+  repl)   repl ;;
+  all)    tier1; asan_smoke; faults; tsan_smoke; stress; trace_bench; shard_bench; fused_bench; crash; wal_bench; obs; repl ;;
+  *) echo "usage: $0 [tier1|asan|faults|tsan|stress|trace|shard|fused|crash|wal|obs|repl|all]" >&2; exit 2 ;;
 esac
 echo "=== check.sh: all requested stages passed ==="

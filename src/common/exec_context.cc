@@ -150,6 +150,19 @@ const std::vector<std::string>& AllIoFaultSites() {
   return sites;
 }
 
+const std::vector<std::string>& AllReplicationFaultSites() {
+  static const std::vector<std::string> sites = {
+      "repl/connect",        // follower dialing the primary
+      "repl/handshake",      // primary handling a follower HELLO
+      "repl/send_frame",     // per WAL frame, before it goes on the wire
+      "repl/corrupt_frame",  // flips a frame byte after checksumming
+      "repl/snapshot_chunk", // per snapshot chunk during bootstrap
+      "repl/recv_frame",     // follower handling a received frame
+      "repl/apply",          // follower, before applying a frame
+  };
+  return sites;
+}
+
 Status ExecContext::CheckContinue() const {
   if (token.IsCancelled()) {
     std::string reason = token.reason();

@@ -133,15 +133,23 @@ void HttpListener::ServeConnection(int fd) {
   static MetricHistogram* const serve_ms =
       MetricsRegistry::Global().GetHistogram("http.serve_ms");
 
-  // A slow/stuck client must not wedge the accept loop: bound each read.
+  // A slow/stuck client must not wedge the accept loop: bound each
+  // read AND each send (a scraper that stops draining its socket would
+  // otherwise block WriteAll forever once the kernel buffer fills).
   timeval tv{};
   tv.tv_usec = 500 * 1000;
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 
+  // Per-read timeouts alone still allow a slow-loris drip (one byte
+  // every 400ms, forever); an overall deadline on assembling the
+  // request line closes that hole.
+  const double deadline_ms = MonotonicMillis() + 2000.0;
   std::string head;
   char buf[1024];
   while (head.find("\r\n") == std::string::npos &&
          head.size() < kMaxRequestHead) {
+    if (MonotonicMillis() > deadline_ms) return;  // slow-loris client
     const ssize_t r = ::read(fd, buf, sizeof(buf));
     if (r < 0 && errno == EINTR) continue;
     if (r <= 0) return;  // timeout, error, or close before a full line

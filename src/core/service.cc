@@ -1,10 +1,14 @@
 #include "dbwipes/core/service.h"
 
+#include <dirent.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
 #include <thread>
 #include <utility>
@@ -16,6 +20,7 @@
 #include "dbwipes/core/snapshot.h"
 #include "dbwipes/expr/parser.h"
 #include "dbwipes/expr/shard_cache.h"
+#include "dbwipes/replication/replication.h"
 #include "dbwipes/storage/shard.h"
 
 namespace dbwipes {
@@ -194,10 +199,27 @@ Service::Service(std::shared_ptr<Database> db, ServiceOptions options)
     if (!st.ok()) wal_last_error_ = "wal enable failed: " + st.ToString();
   }
 
+  // Replication endpoints configured at construction. Failures are
+  // non-fatal (constructor cannot fail) and surface in
+  // `replication status` as last_error.
+  if (options_.replication.listen_port >= 0) {
+    std::lock_guard<std::mutex> repl(repl_mu_);
+    Status st = StartReplicationListenLocked(options_.replication.listen_port);
+    if (!st.ok()) repl_last_error_ = "replicate listen: " + st.ToString();
+  }
+  if (!options_.replication.follow.empty()) {
+    std::lock_guard<std::mutex> repl(repl_mu_);
+    Status st = StartReplicationFollowLocked(options_.replication.follow);
+    if (!st.ok()) repl_last_error_ = "replicate from: " + st.ToString();
+  }
+
   StartTelemetryThreads();
 }
 
 Service::~Service() {
+  // Replication first: its threads call back into Execute/checkpoint
+  // machinery, so they must be gone before anything else winds down.
+  StopReplication();
   StopTelemetryThreads();
   Stop();
 }
@@ -248,6 +270,22 @@ std::string Service::ExecuteCommand(const std::string& line) {
     if (!st.ok()) return Error(st);
     cmd.clear();
     if (!(in >> cmd)) return Error("usage: @<session> <command ...>");
+  }
+
+  // --- Replication role & commands (DESIGN.md §5l) ---
+
+  if (cmd == "replicate") return HandleReplicate(in);
+  if (cmd == "promote") return HandlePromote();
+  if (cmd == "replication") {
+    if (PeekToken(in) == "status") return HandleReplicationStatus();
+    return Error("usage: replication status");
+  }
+  // A follower (or a fenced stale primary) refuses mutations up front,
+  // before they can touch any state. Replay bypasses: replicated
+  // frames and recovery records ARE the follower's mutations.
+  if (!ReplayingOnThisThread()) {
+    std::string rejection = MaybeRejectForRole(cmd, in);
+    if (!rejection.empty()) return rejection;
   }
 
   // --- Process-wide commands (no session involved) ---
@@ -1092,6 +1130,22 @@ Status Service::EnableWalLocked(const std::string& dir) {
   wal_faults_ = wal_options.faults != nullptr ? wal_options.faults : faults_;
   wal_options.faults = wal_faults_;
   DBW_ASSIGN_OR_RETURN(auto wal, WriteAheadLog::Open(std::move(wal_options)));
+  wal_dir_hint_ = dir;
+
+  // Replication epoch recovery: a promoted follower must come back at
+  // its promoted epoch, or a restarted stale primary could outrank it.
+  {
+    auto epoch = LoadReplicationEpoch(dir);
+    if (!epoch.ok()) return epoch.status();
+    if (*epoch > repl_epoch_.load(std::memory_order_acquire)) {
+      repl_epoch_.store(*epoch, std::memory_order_release);
+    }
+    if (*epoch > repl_seen_epoch_.load(std::memory_order_acquire)) {
+      repl_seen_epoch_.store(*epoch, std::memory_order_release);
+    }
+    MetricsRegistry::Global().GetGauge("repl.epoch")->Set(
+        static_cast<int64_t>(repl_epoch_.load(std::memory_order_acquire)));
+  }
 
   wal_snapshot_lsn_ = 0;
   wal_replayed_ = 0;
@@ -1174,6 +1228,14 @@ std::string Service::HandleWal(std::istream& in) {
   }
 
   if (sub == "off") {
+    // repl_mu_ before wal_gate_ (the lock order replication start
+    // established); held across the whole disable so a `replicate
+    // listen` cannot slip in between the check and the reset.
+    std::lock_guard<std::mutex> repl(repl_mu_);
+    if (repl_server_ != nullptr || repl_client_ != nullptr) {
+      return Error(
+          "wal off: replication is active; run `replicate stop` first");
+    }
     std::unique_lock<std::shared_mutex> gate(wal_gate_);
     if (wal_ == nullptr) return Error("wal is off");
     // Seal the current state into the snapshot before dropping the
@@ -1220,6 +1282,527 @@ std::string Service::HandleWal(std::istream& in) {
   }
 
   return Error("unknown wal subcommand '" + sub + "'");
+}
+
+// --- Replication (DESIGN.md §5l) ---
+
+namespace {
+
+Status ReadFileBytes(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  out->clear();
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+  const bool bad = std::ferror(f) != 0;
+  std::fclose(f);
+  if (bad) return Status::IoError("read " + path + " failed");
+  return Status::OK();
+}
+
+/// Unlinks every wal-*.log segment file in `dir` (the local log is
+/// about to be replaced by a shipped snapshot's history).
+Status RemoveWalSegments(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return Status::IoError("opendir " + dir + ": " + std::strerror(errno));
+  }
+  Status st = Status::OK();
+  while (dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.size() < 8 || name.compare(0, 4, "wal-") != 0 ||
+        name.compare(name.size() - 4, 4, ".log") != 0) {
+      continue;
+    }
+    const std::string path = dir + "/" + name;
+    if (::unlink(path.c_str()) != 0) {
+      st = Status::IoError("unlink " + path + ": " + std::strerror(errno));
+      break;
+    }
+  }
+  ::closedir(d);
+  return st;
+}
+
+}  // namespace
+
+std::string Service::MaybeRejectForRole(const std::string& cmd,
+                                        std::istream& in) {
+  const bool follower = follower_.load(std::memory_order_acquire);
+  const bool fenced = repl_fenced_.load(std::memory_order_acquire);
+  if (!follower && !fenced) return std::string();
+
+  // Exactly the commands the WAL would log (state mutations), plus the
+  // durability-config commands that would fork the node's history.
+  bool mutating = IsLoggedSessionCommand(cmd) || cmd == "retry" ||
+                  cmd == "shards" || cmd == "append";
+  if (cmd == "session") mutating = PeekToken(in) == "drop";
+  if (cmd == "snapshot") mutating = PeekToken(in) == "load";
+  if (cmd == "wal") {
+    const std::string sub = PeekToken(in);
+    mutating = sub == "on" || sub == "off";
+  }
+  if (!mutating) return std::string();
+
+  if (follower) {
+    return "{\"ok\": false, \"error\": \"not primary: this node is a "
+           "read-only replica; retry against the primary\", "
+           "\"retryable\": true, \"reason\": \"not_primary\", "
+           "\"retry_after_ms\": " +
+           FormatDouble(options_.replication.not_primary_retry_after_ms) +
+           "}";
+  }
+  return "{\"ok\": false, \"error\": \"epoch fenced: this primary (epoch " +
+         std::to_string(repl_epoch_.load(std::memory_order_acquire)) +
+         ") observed epoch " +
+         std::to_string(repl_seen_epoch_.load(std::memory_order_acquire)) +
+         " from a newer primary and can no longer accept writes\", "
+         "\"reason\": \"fenced\"}";
+}
+
+Status Service::StartReplicationListenLocked(int port) {
+  if (repl_server_ != nullptr) {
+    return Status::InvalidArgument(
+        "replication server already listening on port " +
+        std::to_string(repl_server_->port()));
+  }
+  if (follower_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument(
+        "this node is a follower; promote it before it can serve replicas");
+  }
+  WriteAheadLog* wal = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> gate(wal_gate_);
+    wal = wal_.get();
+  }
+  if (wal == nullptr) {
+    return Status::InvalidArgument(
+        "replicate listen requires the wal (run `wal on <dir>` first)");
+  }
+  ReplicationServerOptions o;
+  o.port = static_cast<uint16_t>(port);
+  o.heartbeat_interval_ms = options_.replication.heartbeat_interval_ms;
+  o.faults = options_.replication.faults != nullptr
+                 ? options_.replication.faults
+                 : faults_;
+  ReplicationServer::Source source;
+  source.wal = wal;
+  source.epoch = [this] {
+    return repl_epoch_.load(std::memory_order_acquire);
+  };
+  source.observe_epoch = [this](uint64_t e) { ObserveReplicationEpoch(e); };
+  source.snapshot = [this] { return ReplicationSnapshotImage(); };
+  auto server = std::make_unique<ReplicationServer>();
+  DBW_RETURN_NOT_OK(server->Start(o, std::move(source)));
+  repl_server_ = std::move(server);
+  MetricsRegistry::Global().GetGauge("repl.epoch")->Set(
+      static_cast<int64_t>(repl_epoch_.load(std::memory_order_acquire)));
+  return Status::OK();
+}
+
+Status Service::StartReplicationFollowLocked(const std::string& target) {
+  if (repl_client_ != nullptr) {
+    return Status::InvalidArgument("already following a primary");
+  }
+  if (repl_server_ != nullptr) {
+    return Status::InvalidArgument(
+        "this node serves followers; `replicate stop` first");
+  }
+  const size_t colon = target.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= target.size()) {
+    return Status::InvalidArgument("replicate from wants <host>:<port>, got '" +
+                                   target + "'");
+  }
+  const std::string host = target.substr(0, colon);
+  char* end = nullptr;
+  const long port = std::strtol(target.c_str() + colon + 1, &end, 10);
+  if (*end != '\0' || port <= 0 || port > 65535) {
+    return Status::InvalidArgument("bad replication port in '" + target + "'");
+  }
+
+  // The local durable log is the resume point: everything in it was
+  // acked by this follower, so the stream restarts right after it.
+  {
+    std::shared_lock<std::shared_mutex> gate(wal_gate_);
+    repl_last_applied_.store(wal_ != nullptr ? wal_->durable_lsn() : 0,
+                             std::memory_order_release);
+  }
+
+  ReplicationClientOptions o;
+  o.host = host;
+  o.port = static_cast<uint16_t>(port);
+  o.heartbeat_timeout_ms = options_.replication.heartbeat_timeout_ms;
+  o.reconnect = options_.replication.reconnect;
+  o.faults = options_.replication.faults != nullptr
+                 ? options_.replication.faults
+                 : faults_;
+  ReplicationClient::Callbacks cb;
+  cb.last_applied = [this] {
+    return repl_last_applied_.load(std::memory_order_acquire);
+  };
+  cb.epoch = [this] { return repl_epoch_.load(std::memory_order_acquire); };
+  cb.observe_epoch = [this](uint64_t e) { ObserveReplicationEpoch(e); };
+  cb.apply = [this](uint64_t lsn, uint64_t rid, const std::string& body) {
+    return ApplyReplicatedFrame(lsn, rid, body);
+  };
+  cb.install_snapshot = [this](const std::string& bytes, uint64_t lsn) {
+    return InstallReplicaSnapshot(bytes, lsn);
+  };
+
+  // Flag the role BEFORE the client thread exists so no mutation can
+  // slip in between "client running" and "mutations rejected".
+  follower_.store(true, std::memory_order_release);
+  repl_fenced_.store(false, std::memory_order_release);
+  auto client = std::make_unique<ReplicationClient>();
+  Status st = client->Start(std::move(o), std::move(cb));
+  if (!st.ok()) {
+    follower_.store(false, std::memory_order_release);
+    return st;
+  }
+  repl_client_ = std::move(client);
+  return Status::OK();
+}
+
+std::string Service::HandleReplicate(std::istream& in) {
+  std::string sub;
+  if (!(in >> sub)) {
+    return Error("usage: replicate listen <port>|from <host>:<port>|stop|status");
+  }
+  if (sub == "status") return HandleReplicationStatus();
+  if (sub == "stop") {
+    // Joins the endpoint threads (outside repl_mu_ — they call back
+    // into the service). The follower ROLE survives a stop: `promote`
+    // is the explicit exit from it, so a paused follower still refuses
+    // writes it could never have replicated.
+    bool was_listening = false;
+    bool was_following = false;
+    {
+      std::lock_guard<std::mutex> repl(repl_mu_);
+      was_listening = repl_server_ != nullptr;
+      was_following = repl_client_ != nullptr;
+    }
+    StopReplication();
+    return std::string("{\"ok\": true, \"stopped_listener\": ") +
+           (was_listening ? "true" : "false") + ", \"stopped_follower\": " +
+           (was_following ? "true" : "false") + "}";
+  }
+
+  std::lock_guard<std::mutex> repl(repl_mu_);
+  if (sub == "listen") {
+    int port = -1;
+    if (!(in >> port) || port < 0 || port > 65535) {
+      return Error("usage: replicate listen <port> (0 picks an ephemeral port)");
+    }
+    Status st = StartReplicationListenLocked(port);
+    if (!st.ok()) return Error(st);
+    return "{\"ok\": true, \"listening\": true, \"port\": " +
+           std::to_string(repl_server_->port()) + ", \"epoch\": " +
+           std::to_string(repl_epoch_.load(std::memory_order_acquire)) + "}";
+  }
+  if (sub == "from") {
+    std::string target;
+    if (!(in >> target)) return Error("usage: replicate from <host>:<port>");
+    Status st = StartReplicationFollowLocked(target);
+    if (!st.ok()) return Error(st);
+    return "{\"ok\": true, \"following\": \"" + JsonEscape(target) +
+           "\", \"epoch\": " +
+           std::to_string(repl_epoch_.load(std::memory_order_acquire)) +
+           ", \"last_applied_lsn\": " +
+           std::to_string(repl_last_applied_.load(std::memory_order_acquire)) +
+           "}";
+  }
+  return Error("unknown replicate subcommand '" + sub + "'");
+}
+
+std::string Service::HandleReplicationStatus() {
+  const bool follower = follower_.load(std::memory_order_acquire);
+  std::string out = std::string("{\"ok\": true, \"role\": \"") +
+                    (follower ? "follower" : "primary") + "\"";
+  out += ", \"epoch\": " +
+         std::to_string(repl_epoch_.load(std::memory_order_acquire));
+  out += ", \"seen_epoch\": " +
+         std::to_string(repl_seen_epoch_.load(std::memory_order_acquire));
+  out += std::string(", \"fenced\": ") +
+         (repl_fenced_.load(std::memory_order_acquire) ? "true" : "false");
+  out += ", \"last_applied_lsn\": " +
+         std::to_string(repl_last_applied_.load(std::memory_order_acquire));
+  {
+    std::lock_guard<std::mutex> repl(repl_mu_);
+    out += ", \"promotions\": " + std::to_string(repl_promotions_);
+    if (repl_server_ != nullptr) {
+      const ReplicationServer::Stats s = repl_server_->stats();
+      out += ", \"listening\": true, \"port\": " + std::to_string(s.port) +
+             ", \"followers\": " + std::to_string(s.followers) +
+             ", \"min_acked_lsn\": " + std::to_string(s.min_acked_lsn) +
+             ", \"frames_sent\": " + std::to_string(s.frames_sent) +
+             ", \"snapshots_sent\": " + std::to_string(s.snapshots_sent) +
+             ", \"epoch_refusals\": " + std::to_string(s.epoch_refusals);
+    } else {
+      out += ", \"listening\": false";
+    }
+    if (repl_client_ != nullptr) {
+      const ReplicationClient::Stats s = repl_client_->stats();
+      out += std::string(", \"following\": true, \"connected\": ") +
+             (s.connected ? "true" : "false") +
+             ", \"source_epoch\": " + std::to_string(s.source_epoch) +
+             ", \"source_durable_lsn\": " +
+             std::to_string(s.source_durable_lsn) +
+             ", \"reconnects\": " + std::to_string(s.reconnects) +
+             ", \"frames_applied\": " + std::to_string(s.frames_applied) +
+             ", \"snapshot_installs\": " + std::to_string(s.snapshot_installs) +
+             ", \"corrupt_frames\": " + std::to_string(s.corrupt_frames) +
+             std::string(", \"fenced_source\": ") +
+             (s.fenced ? "true" : "false") + ", \"stream_error\": \"" +
+             JsonEscape(s.last_error) + "\"";
+    } else {
+      out += ", \"following\": false";
+    }
+    out += ", \"last_error\": \"" + JsonEscape(repl_last_error_) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string Service::HandlePromote() {
+  // A fenced stale primary stays fenced: its acknowledged history may
+  // already have diverged from the new primary's, so promotion would
+  // institutionalize a split brain. Explicit epoch error per the
+  // failover runbook: wipe and re-follow instead.
+  if (repl_fenced_.load(std::memory_order_acquire) &&
+      !follower_.load(std::memory_order_acquire)) {
+    return Error(
+        "epoch fenced: this node (epoch " +
+        std::to_string(repl_epoch_.load(std::memory_order_acquire)) +
+        ") observed epoch " +
+        std::to_string(repl_seen_epoch_.load(std::memory_order_acquire)) +
+        "; promotion refused — resync this node as a follower instead");
+  }
+  if (!follower_.load(std::memory_order_acquire)) {
+    return Error("promote: this node is already a primary");
+  }
+
+  // Disconnect from the old primary first: Stop() joins the client
+  // thread, so after this no apply/install is in flight and
+  // last_applied is final.
+  std::unique_ptr<ReplicationClient> client;
+  {
+    std::lock_guard<std::mutex> repl(repl_mu_);
+    client = std::move(repl_client_);
+  }
+  if (client != nullptr) client->Stop();
+  client.reset();
+
+  const uint64_t new_epoch =
+      std::max(repl_epoch_.load(std::memory_order_acquire),
+               repl_seen_epoch_.load(std::memory_order_acquire)) +
+      1;
+  {
+    // Persist BEFORE accepting writes: an acknowledged promotion must
+    // survive a crash-restart, or this node could come back at its old
+    // epoch and lose a fencing duel it already won.
+    std::lock_guard<std::mutex> lock(epoch_file_mu_);
+    std::string dir;
+    {
+      std::shared_lock<std::shared_mutex> gate(wal_gate_);
+      if (wal_ != nullptr) dir = wal_->dir();
+    }
+    if (!dir.empty()) {
+      Status st = StoreReplicationEpoch(dir, new_epoch);
+      if (!st.ok()) {
+        return Error("promote: cannot persist epoch " +
+                     std::to_string(new_epoch) + ": " + st.ToString());
+      }
+    }
+    repl_epoch_.store(new_epoch, std::memory_order_release);
+    uint64_t seen = repl_seen_epoch_.load(std::memory_order_acquire);
+    while (new_epoch > seen &&
+           !repl_seen_epoch_.compare_exchange_weak(seen, new_epoch)) {
+    }
+  }
+  follower_.store(false, std::memory_order_release);
+  repl_fenced_.store(false, std::memory_order_release);
+  MetricsRegistry::Global().GetGauge("repl.epoch")->Set(
+      static_cast<int64_t>(new_epoch));
+  MetricsRegistry::Global().GetCounter("repl.promotions")->Increment();
+  {
+    std::lock_guard<std::mutex> repl(repl_mu_);
+    ++repl_promotions_;
+  }
+  return "{\"ok\": true, \"promoted\": true, \"epoch\": " +
+         std::to_string(new_epoch) + ", \"last_applied_lsn\": " +
+         std::to_string(repl_last_applied_.load(std::memory_order_acquire)) +
+         "}";
+}
+
+Status Service::ApplyReplicatedFrame(uint64_t lsn, uint64_t rid,
+                                     const std::string& body) {
+  // Exclusive gate + gate_owner_ puts the re-entrant ExecuteCommand in
+  // replay mode: the frame runs under its ORIGINAL rid, skips gating
+  // and internal logging, and cannot interleave with a checkpoint.
+  std::unique_lock<std::shared_mutex> gate(wal_gate_);
+  gate_owner_.store(std::this_thread::get_id(), std::memory_order_release);
+  std::string response;
+  {
+    RequestScope scope(rid);
+    response = ExecuteCommand(body);
+  }
+  // Mirror the frame into the local log at exactly the primary's LSN,
+  // and make it durable before acking — the primary then knows acked
+  // frames survive a follower crash (recovery replays them normally).
+  Status st = Status::OK();
+  if (wal_ != nullptr) {
+    auto ticket = wal_->StageCommand(body, rid);
+    if (!ticket.ok()) {
+      st = ticket.status();
+    } else if (ticket->lsn != lsn) {
+      st = Status::IoError(
+          "replica log diverged: local log assigned lsn " +
+          std::to_string(ticket->lsn) + " to stream lsn " +
+          std::to_string(lsn) + "; snapshot resync required");
+    } else {
+      st = wal_->WaitDurable(*ticket);
+    }
+  }
+  gate_owner_.store(std::thread::id(), std::memory_order_release);
+  gate.unlock();
+  if (!st.ok()) return st;
+  repl_last_applied_.store(lsn, std::memory_order_release);
+  MetricsRegistry::Global().GetGauge("repl.last_applied_lsn")->Set(
+      static_cast<int64_t>(lsn));
+  if (!IsOkResponse(response)) {
+    // Only ok responses were logged on the primary, so a not-ok here
+    // means the replica drifted semantically; count it loudly but keep
+    // the stream alive — the frame is recorded either way.
+    MetricsRegistry::Global().GetCounter("repl.apply_errors")->Increment();
+  }
+  MaybeAutoCheckpoint();
+  return Status::OK();
+}
+
+Status Service::InstallReplicaSnapshot(const std::string& bytes,
+                                       uint64_t snapshot_lsn) {
+  DBW_ASSIGN_OR_RETURN(ServiceSnapshot snap,
+                       ReadSnapshotFromBytes(bytes, "replication snapshot"));
+  if (snap.wal_lsn != snapshot_lsn) {
+    return Status::IoError(
+        "replication snapshot lsn mismatch: file says " +
+        std::to_string(snap.wal_lsn) + ", stream says " +
+        std::to_string(snapshot_lsn));
+  }
+
+  std::unique_lock<std::shared_mutex> gate(wal_gate_);
+  std::string dir = wal_dir_hint_;
+  if (wal_ != nullptr) dir = wal_->dir();
+  if (!dir.empty()) {
+    // Replace the local log wholesale: its history belongs to a
+    // different timeline than the snapshot we are installing. Order —
+    // close, wipe segments, reopen at snapshot_lsn + 1, persist the
+    // snapshot — keeps every intermediate state recoverable (worst
+    // case: old snapshot + no log = the state before this install; the
+    // stream re-syncs on the next connect).
+    wal_enabled_.store(false, std::memory_order_release);
+    wal_.reset();
+    DBW_RETURN_NOT_OK(RemoveWalSegments(dir));
+    WalOptions wal_options = options_.wal;
+    wal_options.dir = dir;
+    wal_faults_ = wal_options.faults != nullptr ? wal_options.faults : faults_;
+    wal_options.faults = wal_faults_;
+    wal_options.start_lsn = snapshot_lsn + 1;
+    DBW_ASSIGN_OR_RETURN(auto wal, WriteAheadLog::Open(std::move(wal_options)));
+    DBW_RETURN_NOT_OK(WriteSnapshot(dir + "/snapshot.dbw", snap, wal_faults_));
+    wal_ = std::move(wal);
+    wal_enabled_.store(true, std::memory_order_release);
+    wal_snapshot_lsn_ = snapshot_lsn;
+  }
+  DBW_RETURN_NOT_OK(LoadWorld(snap));
+  gate.unlock();
+  repl_last_applied_.store(snapshot_lsn, std::memory_order_release);
+  MetricsRegistry::Global().GetGauge("repl.last_applied_lsn")->Set(
+      static_cast<int64_t>(snapshot_lsn));
+  return Status::OK();
+}
+
+Result<std::pair<std::string, uint64_t>> Service::ReplicationSnapshotImage() {
+  // Exclusive gate: nothing can mutate or checkpoint while the image
+  // is captured, so the file read here IS the latest checkpoint and
+  // the log above its wal_lsn is guaranteed intact (TruncateThrough
+  // only retires records <= that lsn).
+  std::unique_lock<std::shared_mutex> gate(wal_gate_);
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument("replication snapshot: wal is off");
+  }
+  const std::string path = wal_->dir() + "/snapshot.dbw";
+  bool checkpointed = false;
+  if (::access(path.c_str(), F_OK) != 0) {
+    DBW_RETURN_NOT_OK(CheckpointLocked());
+    checkpointed = true;
+  }
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    std::string bytes;
+    DBW_RETURN_NOT_OK(ReadFileBytes(path, &bytes));
+    auto snap = ReadSnapshotFromBytes(bytes, path);
+    if (snap.ok() && wal_->CanReplayAfter(snap->wal_lsn)) {
+      return std::make_pair(std::move(bytes), snap->wal_lsn);
+    }
+    if (checkpointed) break;  // a fresh checkpoint should never fail this
+    // Stale or damaged file: write a fresh checkpoint and retry once.
+    DBW_RETURN_NOT_OK(CheckpointLocked());
+    checkpointed = true;
+  }
+  return Status::IoError(
+      "replication snapshot: cannot produce a tailable checkpoint image");
+}
+
+void Service::ObserveReplicationEpoch(uint64_t epoch) {
+  uint64_t seen = repl_seen_epoch_.load(std::memory_order_acquire);
+  while (epoch > seen &&
+         !repl_seen_epoch_.compare_exchange_weak(seen, epoch)) {
+  }
+  const uint64_t own = repl_epoch_.load(std::memory_order_acquire);
+  if (epoch <= own) return;
+  if (follower_.load(std::memory_order_acquire)) {
+    // A follower adopts its primary's newer epoch (and persists it, so
+    // a crash can't roll the epoch back below history it acked).
+    std::lock_guard<std::mutex> lock(epoch_file_mu_);
+    if (epoch <= repl_epoch_.load(std::memory_order_acquire)) return;
+    std::string dir;
+    {
+      std::shared_lock<std::shared_mutex> gate(wal_gate_);
+      if (wal_ != nullptr) dir = wal_->dir();
+    }
+    if (!dir.empty()) {
+      // Best-effort: the atomic rename rarely fails, and a lost adopt
+      // only delays re-adoption to the next heartbeat.
+      (void)StoreReplicationEpoch(dir, epoch);
+    }
+    repl_epoch_.store(epoch, std::memory_order_release);
+    MetricsRegistry::Global().GetGauge("repl.epoch")->Set(
+        static_cast<int64_t>(epoch));
+  } else {
+    // A primary that sees a newer epoch has been superseded: fence it.
+    // Runtime-only state — a fenced primary's operator wipes/resyncs
+    // it rather than restarting it into a second life.
+    repl_fenced_.store(true, std::memory_order_release);
+    MetricsRegistry::Global().GetGauge("repl.fenced")->Set(1);
+  }
+}
+
+void Service::StopReplication() {
+  std::unique_ptr<ReplicationServer> server;
+  std::unique_ptr<ReplicationClient> client;
+  {
+    std::lock_guard<std::mutex> repl(repl_mu_);
+    server = std::move(repl_server_);
+    client = std::move(repl_client_);
+  }
+  // Outside repl_mu_: Stop() joins threads whose callbacks may be
+  // mid-flight inside this service.
+  if (client != nullptr) client->Stop();
+  if (server != nullptr) server->Stop();
 }
 
 // --- Request telemetry (DESIGN.md §5k) ---

@@ -597,7 +597,12 @@ Result<ServiceSnapshot> ReadSnapshot(const std::string& path) {
   if (read_error) {
     return Status::IoError("error reading snapshot '" + path + "'");
   }
+  return ReadSnapshotFromBytes(file, path);
+}
 
+Result<ServiceSnapshot> ReadSnapshotFromBytes(const std::string& file,
+                                              const std::string& origin) {
+  const std::string& path = origin;
   if (file.size() < kHeaderSize) {
     return Status::IoError("truncated snapshot '" + path + "': " +
                            std::to_string(file.size()) +

@@ -272,6 +272,14 @@ const std::vector<std::string>& AllFaultSites();
 /// as its kill-point menu; keep it in sync when adding a site.
 const std::vector<std::string>& AllIoFaultSites();
 
+/// The replication network fault sites ("repl/*"): connect, handshake,
+/// frame send/receive, snapshot chunking, corruption, and apply. Kept
+/// separate from AllIoFaultSites so the WAL crash harness's kill-point
+/// menu (and its run budget) is not diluted by sites that never fire
+/// in a single-node child; the failover matrix iterates this list
+/// instead.
+const std::vector<std::string>& AllReplicationFaultSites();
+
 // ---------------------------------------------------------------------------
 // ExecContext
 // ---------------------------------------------------------------------------

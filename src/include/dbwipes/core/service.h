@@ -12,6 +12,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "dbwipes/common/retry.h"
@@ -22,6 +23,8 @@
 namespace dbwipes {
 
 struct ServiceSnapshot;  // core/snapshot.h
+class ReplicationServer;  // replication/replication.h
+class ReplicationClient;
 
 /// \brief Configuration for the resilient service layer.
 struct ServiceOptions {
@@ -85,6 +88,32 @@ struct ServiceOptions {
     size_t slow_log_entries = 64;
   };
   TelemetryOptions telemetry;
+
+  /// Primary/follower replication knobs (DESIGN.md §5l). Both roles
+  /// can also be entered at runtime via the `replicate` command; these
+  /// options just wire them up at construction.
+  struct ReplicationOptions {
+    /// >= 0 starts a replication listener on that port (0 picks an
+    /// ephemeral port, readable from `replication status`). Requires
+    /// the WAL to be enabled via `wal.dir`.
+    int listen_port = -1;
+    /// Non-empty ("host:port") starts this node as a read-only
+    /// follower of that primary.
+    std::string follow;
+    /// Primary: heartbeat cadence per follower connection.
+    double heartbeat_interval_ms = 100.0;
+    /// Follower: socket recv/send timeout; a primary silent for this
+    /// long triggers a reconnect (with backoff).
+    double heartbeat_timeout_ms = 1000.0;
+    /// Follower reconnect backoff ladder.
+    RetryPolicy reconnect;
+    /// retry_after_ms hint attached to not_primary rejections.
+    double not_primary_retry_after_ms = 50.0;
+    /// Fault injector for the replication sites (repl/*); falls back
+    /// to the service-wide injector when null.
+    FaultInjector* faults = nullptr;
+  };
+  ReplicationOptions replication;
 };
 
 /// \brief Machine-facing façade over named sessions: a line-oriented
@@ -337,6 +366,64 @@ class Service {
     return gate_owner_.load(std::memory_order_acquire) ==
            std::this_thread::get_id();
   }
+
+  // --- Replication (DESIGN.md §5l) ---
+
+  /// Rejects state-mutating commands on a follower (retryable
+  /// not_primary) or on a fenced stale primary (terminal). Returns the
+  /// rejection response, or "" when the command may proceed. `in` is
+  /// only peeked, never consumed.
+  std::string MaybeRejectForRole(const std::string& cmd, std::istream& in);
+  std::string HandleReplicate(std::istream& in);
+  std::string HandleReplicationStatus();
+  std::string HandlePromote();
+  /// Caller holds repl_mu_. Lock order: repl_mu_, then wal_gate_.
+  Status StartReplicationListenLocked(int port);
+  Status StartReplicationFollowLocked(const std::string& target);
+  /// Follower apply path: re-executes `body` under the exclusive gate
+  /// in replay mode (original rid preserved, no internal logging),
+  /// then stages the same line into the local WAL asserting it lands
+  /// on exactly `lsn`, and waits for durability before acking.
+  Status ApplyReplicatedFrame(uint64_t lsn, uint64_t rid,
+                              const std::string& body);
+  /// Follower bootstrap: validates the shipped checkpoint bytes, wipes
+  /// the local log, reopens it starting at snapshot_lsn + 1, persists
+  /// the snapshot locally, and swaps the world in.
+  Status InstallReplicaSnapshot(const std::string& bytes,
+                                uint64_t snapshot_lsn);
+  /// Primary side of snapshot catch-up: returns the checkpoint file's
+  /// bytes plus its wal_lsn, checkpointing first when the existing
+  /// file is missing, invalid, or no longer tailable.
+  Result<std::pair<std::string, uint64_t>> ReplicationSnapshotImage();
+  /// Records a peer-observed epoch: maxes repl_seen_epoch_, adopts a
+  /// newer epoch when following, fences this node when primary.
+  void ObserveReplicationEpoch(uint64_t epoch);
+  /// Stops client then server (outside repl_mu_ — their threads call
+  /// back into the service). Used by `replicate stop` and teardown.
+  void StopReplication();
+
+  /// Replication lifecycle lock (server/client start/stop, promote).
+  /// Lock order: repl_mu_ before wal_gate_; never taken from the
+  /// replication threads themselves.
+  std::mutex repl_mu_;
+  std::unique_ptr<ReplicationServer> repl_server_;
+  std::unique_ptr<ReplicationClient> repl_client_;
+  size_t repl_promotions_ = 0;    // under repl_mu_
+  std::string repl_last_error_;   // under repl_mu_
+  /// Serializes repl-epoch file writes (leaf lock — safe from the
+  /// replication threads).
+  std::mutex epoch_file_mu_;
+  std::atomic<bool> follower_{false};
+  std::atomic<bool> repl_fenced_{false};
+  /// This node's replication epoch (persisted in <wal dir>/repl-epoch).
+  std::atomic<uint64_t> repl_epoch_{1};
+  /// Highest epoch ever observed from any peer (>= repl_epoch_).
+  std::atomic<uint64_t> repl_seen_epoch_{1};
+  /// Highest lsn locally applied+durable from the replication stream.
+  std::atomic<uint64_t> repl_last_applied_{0};
+  /// Remembers the WAL directory across InstallReplicaSnapshot's
+  /// close/wipe/reopen cycle (and failed reopens).
+  std::string wal_dir_hint_;
 
   ServiceOptions options_;
 

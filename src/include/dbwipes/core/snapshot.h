@@ -80,6 +80,13 @@ Status WriteSnapshot(const std::string& path, const ServiceSnapshot& snapshot,
 /// partially applied.
 Result<ServiceSnapshot> ReadSnapshot(const std::string& path);
 
+/// Same validation as ReadSnapshot, but over an in-memory file image.
+/// Replication uses this to read the checkpoint file once and parse
+/// the very bytes it ships, so the snapshot a follower installs and
+/// the LSN it tails from can never disagree. `origin` labels errors.
+Result<ServiceSnapshot> ReadSnapshotFromBytes(const std::string& file,
+                                              const std::string& origin);
+
 /// Serializes/parses the snapshot payload without the file envelope
 /// (exposed for tests; Write/ReadSnapshot add the header + checksum).
 /// `version` selects the section set to expect — pass the envelope's

@@ -33,6 +33,11 @@ struct WalOptions {
   /// I/O fault sites ("wal/*") hit through this when non-null. Not
   /// owned; null in production.
   FaultInjector* faults = nullptr;
+  /// First LSN a brand-new (empty-directory) log assigns. Replication
+  /// bootstrap sets this to snapshot_lsn + 1 so a follower's local log
+  /// carries the primary's LSNs verbatim. Ignored when the directory
+  /// already holds segments — an existing log dictates its own LSNs.
+  uint64_t start_lsn = 1;
 };
 
 /// \brief Point-in-time counters for `wal status` and tests.
@@ -77,9 +82,10 @@ struct WalStats {
 /// restore itself fails does the log poison (every later Append fails
 /// until reopen).
 ///
-/// Thread safety: Append/stats are fully thread-safe. Replay/Rotate/
-/// TruncateThrough must not race Append (the service calls them while
-/// holding its checkpoint gate exclusively).
+/// Thread safety: Append/stats are fully thread-safe, and
+/// ReplayDurable may race both (it delivers only the immutable durable
+/// prefix). Replay/Rotate/TruncateThrough must not race Append (the
+/// service calls them while holding its checkpoint gate exclusively).
 class WriteAheadLog {
  public:
   static constexpr uint8_t kRecordCommand = 1;
@@ -135,6 +141,31 @@ class WriteAheadLog {
                 const std::function<Status(uint64_t lsn, uint64_t rid,
                                            uint8_t type,
                                            const std::string& body)>& fn) const;
+
+  /// Tailing read, safe to race Append/Rotate: invokes `fn` for every
+  /// record with after_lsn < lsn <= D where D is the durable LSN
+  /// captured atomically with the segment list at entry. Capping at D
+  /// is what makes the race safe — a failed commit only ever drops and
+  /// reuses LSNs *above* the durable mark, so everything delivered here
+  /// is acknowledged history that can never be rewritten. Torn or extra
+  /// frames past D (a concurrent group commit mid-write) are expected
+  /// and ignored; durable records missing below D are corruption.
+  /// Segments wholly <= after_lsn are skipped without touching disk, so
+  /// a replication sender polling the tail re-reads only the active
+  /// segment. Racing TruncateThrough can unlink a segment mid-read —
+  /// that surfaces as an IoError and the caller should restart from a
+  /// checkpoint. `delivered_through` (optional) reports D.
+  Status ReplayDurable(
+      uint64_t after_lsn,
+      const std::function<Status(uint64_t lsn, uint64_t rid, uint8_t type,
+                                 const std::string& body)>& fn,
+      uint64_t* delivered_through = nullptr) const;
+
+  /// The base LSN of the oldest retained segment — the smallest LSN a
+  /// Replay can still deliver. Replication uses CanReplayAfter to
+  /// decide between tailing the log and shipping a snapshot.
+  uint64_t first_lsn() const;
+  bool CanReplayAfter(uint64_t lsn) const;
 
   /// Closes the active segment (if it holds records) and starts a
   /// fresh one, so TruncateThrough can retire it.

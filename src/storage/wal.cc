@@ -301,6 +301,11 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(WalOptions options) {
     if (scan.max_lsn != 0) expected_lsn = scan.max_lsn + 1;
   }
 
+  if (wal->segments_.empty() && wal->options_.start_lsn > 1) {
+    // Replication bootstrap: a follower's fresh log continues the
+    // primary's numbering from the installed snapshot.
+    expected_lsn = wal->options_.start_lsn;
+  }
   wal->next_lsn_ = expected_lsn;
   wal->durable_lsn_ = expected_lsn - 1;
 
@@ -562,8 +567,77 @@ Status WriteAheadLog::Replay(
   return Status::OK();
 }
 
-Status WriteAheadLog::Rotate() {
+Status WriteAheadLog::ReplayDurable(
+    uint64_t after_lsn,
+    const std::function<Status(uint64_t, uint64_t, uint8_t,
+                               const std::string&)>& fn,
+    uint64_t* delivered_through) const {
+  std::vector<Segment> segments;
+  uint64_t cap = 0;
+  {
+    // Segment metadata (including per-segment max_lsn) is only advanced
+    // under mu_ *after* a successful fsync, so this copy and `cap`
+    // describe exactly the on-disk durable prefix at this instant.
+    std::lock_guard<std::mutex> lock(mu_);
+    segments = segments_;
+    cap = durable_lsn_;
+  }
+  if (delivered_through != nullptr) *delivered_through = cap;
+  if (cap <= after_lsn) {
+    if (delivered_through != nullptr) *delivered_through = after_lsn;
+    return Status::OK();
+  }
+  auto deliver = [&](uint64_t lsn, uint64_t rid, uint8_t type,
+                     const std::string& body) -> Status {
+    if (lsn <= after_lsn || lsn > cap) return Status::OK();
+    return fn(lsn, rid, type, body);
+  };
+  const std::function<Status(uint64_t, uint64_t, uint8_t, const std::string&)>
+      deliver_fn = deliver;
+  for (const Segment& seg : segments) {
+    if (seg.max_lsn != 0 && seg.max_lsn <= after_lsn) continue;
+    if (seg.base_lsn > cap) break;
+    // The durable records this segment must still hold. max_lsn came
+    // from the same locked copy as `cap`, so anything beyond it in the
+    // file is a concurrent commit in flight — possibly torn, never owed.
+    const uint64_t want = std::min(cap, seg.max_lsn);
+    if (want < seg.base_lsn) continue;  // sealed-empty segment
+    std::string data;
+    DBW_RETURN_NOT_OK(ReadFile(seg.path, &data));
+    ScanState scan;
+    DBW_RETURN_NOT_OK(ScanSegment(seg.path, data, seg.base_lsn, seg.base_lsn,
+                                  &scan, &deliver_fn));
+    if (scan.max_lsn < want) {
+      return Status::IoError("wal tail read: " + seg.path +
+                             " lost durable records (have through lsn " +
+                             std::to_string(scan.max_lsn) + ", expected " +
+                             std::to_string(want) + ")");
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t WriteAheadLog::first_lsn() const {
   std::lock_guard<std::mutex> lock(mu_);
+  return segments_.empty() ? next_lsn_ : segments_.front().base_lsn;
+}
+
+bool WriteAheadLog::CanReplayAfter(uint64_t lsn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t first =
+      segments_.empty() ? next_lsn_ : segments_.front().base_lsn;
+  // Everything in (lsn, durable] must still be on disk: the log's
+  // retained range starts at `first`, so lsn + 1 >= first suffices.
+  return lsn + 1 >= first && lsn <= durable_lsn_;
+}
+
+Status WriteAheadLog::Rotate() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // A group-commit leader writes to the active fd with mu_ RELEASED;
+  // sealing the segment under it (CreateSegment closes that fd, and
+  // the leader republishes into segments_.back()) would land its batch
+  // in the wrong file. Wait for the leader to finish and republish.
+  while (sync_in_flight_) cv_.wait(lock);
   return RotateLocked(next_lsn_);
 }
 
